@@ -1,0 +1,26 @@
+//! # bullet-baselines
+//!
+//! The comparison systems the paper evaluates Bullet against:
+//!
+//! * [`streaming`] — traditional tree streaming over TFRC or UDP (Fig. 6,
+//!   and the tree half of Figs. 9 and 12),
+//! * [`gossip`] — push-gossip epidemic dissemination (Fig. 11),
+//! * [`antientropy`] — tree streaming plus pbcast-style anti-entropy
+//!   recovery (Fig. 11).
+//!
+//! All three reuse the same transports, content-description primitives and
+//! simulator as Bullet itself, so differences in the results reflect the
+//! algorithms rather than implementation details (the role MACEDON plays in
+//! the paper).
+
+#![warn(missing_docs)]
+
+pub mod antientropy;
+pub mod gossip;
+pub mod metrics;
+pub mod streaming;
+
+pub use antientropy::{AntiEntropyConfig, AntiEntropyMsg, AntiEntropyNode};
+pub use gossip::{GossipConfig, GossipMsg, GossipNode};
+pub use metrics::DeliveryMetrics;
+pub use streaming::{StreamConfig, StreamMsg, StreamTransport, StreamingNode};

@@ -1,0 +1,284 @@
+//! Traditional tree streaming (paper §4.2, Fig. 6).
+//!
+//! The source streams every packet to all of its children; each interior node
+//! forwards every packet it receives to all of its own children. The
+//! transport (TFRC or application-paced UDP) throttles each child link
+//! independently, so bandwidth is monotonically non-increasing down the tree
+//! — the limitation Bullet exists to remove. This is the "streaming"
+//! comparison used against both the random tree and the offline bottleneck
+//! tree.
+
+use std::collections::{HashMap, HashSet};
+
+use bullet_netsim::{Agent, Context, OverlayId, SimDuration, SimTime};
+use bullet_overlay::Tree;
+use bullet_transport::{TfrcConfig, TfrcFeedback, TfrcHeader, TfrcReceiver, TfrcSender, UdpSender};
+
+use crate::metrics::DeliveryMetrics;
+
+/// Which transport the streaming tree uses on every overlay link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamTransport {
+    /// TCP-friendly rate control (the paper's default).
+    Tfrc,
+    /// Application-paced best-effort UDP.
+    Udp,
+}
+
+/// Configuration of the streaming application.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Target streaming rate at the source, in bits per second.
+    pub stream_rate_bps: f64,
+    /// Data packet size in bytes.
+    pub packet_size: u32,
+    /// Time at which the source starts streaming.
+    pub stream_start: SimTime,
+    /// Transport used on every parent-child link.
+    pub transport: StreamTransport,
+    /// TFRC parameters (ignored for UDP).
+    pub tfrc: TfrcConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        let packet_size = 1_500;
+        StreamConfig {
+            stream_rate_bps: 600_000.0,
+            packet_size,
+            stream_start: SimTime::from_secs(10),
+            transport: StreamTransport::Tfrc,
+            tfrc: TfrcConfig {
+                packet_size,
+                ..TfrcConfig::default()
+            },
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Interval between packet generations at the source.
+    pub fn packet_interval(&self) -> SimDuration {
+        let per_sec = self.stream_rate_bps / (self.packet_size as f64 * 8.0);
+        SimDuration::from_secs_f64(1.0 / per_sec.max(0.01))
+    }
+}
+
+/// Wire messages of the streaming application.
+#[derive(Clone, Debug)]
+pub enum StreamMsg {
+    /// One data packet. The TFRC header is absent under UDP.
+    Data {
+        /// Transport header when running over TFRC.
+        header: Option<TfrcHeader>,
+        /// Application sequence number.
+        seq: u64,
+    },
+    /// TFRC feedback for the reverse direction of a data connection.
+    Feedback(TfrcFeedback),
+}
+
+enum OutConn {
+    Tfrc(TfrcSender),
+    Udp(UdpSender),
+}
+
+const TIMER_GENERATE: u64 = 1;
+
+/// One node of the streaming tree.
+pub struct StreamingNode {
+    id: OverlayId,
+    parent: Option<OverlayId>,
+    children: Vec<OverlayId>,
+    config: StreamConfig,
+    next_seq: u64,
+    seen: HashSet<u64>,
+    out_conns: HashMap<OverlayId, OutConn>,
+    in_conns: HashMap<OverlayId, TfrcReceiver>,
+    /// Cumulative delivery counters sampled by the harness.
+    pub metrics: DeliveryMetrics,
+}
+
+impl StreamingNode {
+    /// Creates the streaming node for participant `id` of `tree`.
+    pub fn new(id: OverlayId, tree: &Tree, config: StreamConfig) -> Self {
+        StreamingNode {
+            id,
+            parent: tree.parent(id),
+            children: tree.children(id).to_vec(),
+            config,
+            next_seq: 0,
+            seen: HashSet::new(),
+            out_conns: HashMap::new(),
+            in_conns: HashMap::new(),
+            metrics: DeliveryMetrics::default(),
+        }
+    }
+
+    /// Whether this node is the stream source.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// The node's overlay id.
+    pub fn id(&self) -> OverlayId {
+        self.id
+    }
+
+    fn forward_to_children(&mut self, ctx: &mut Context<'_, StreamMsg>, seq: u64) {
+        let now = ctx.now();
+        let packet_size = self.config.packet_size;
+        let tfrc = self.config.tfrc;
+        let transport = self.config.transport;
+        let per_child_rate = self.config.stream_rate_bps / 8.0;
+        for &child in &self.children.clone() {
+            let conn = self.out_conns.entry(child).or_insert_with(|| match transport {
+                StreamTransport::Tfrc => OutConn::Tfrc(TfrcSender::new(tfrc)),
+                StreamTransport::Udp => OutConn::Udp(UdpSender::new(per_child_rate)),
+            });
+            let header = match conn {
+                OutConn::Tfrc(sender) => match sender.try_send(now, packet_size) {
+                    Ok(header) => Some(Some(header)),
+                    Err(_) => None,
+                },
+                OutConn::Udp(sender) => match sender.try_send(now, packet_size) {
+                    Ok(_) => Some(None),
+                    Err(_) => None,
+                },
+            };
+            if let Some(header) = header {
+                ctx.send_data(child, StreamMsg::Data { header, seq }, packet_size);
+            }
+        }
+    }
+}
+
+impl Agent for StreamingNode {
+    type Msg = StreamMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, StreamMsg>) {
+        if self.is_root() {
+            let delay = self.config.stream_start - ctx.now();
+            ctx.set_timer(delay, TIMER_GENERATE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, StreamMsg>, from: OverlayId, msg: StreamMsg) {
+        match msg {
+            StreamMsg::Data { header, seq } => {
+                if let Some(header) = header {
+                    let feedback = self
+                        .in_conns
+                        .entry(from)
+                        .or_default()
+                        .on_data(ctx.now(), header, self.config.packet_size);
+                    if let Some(feedback) = feedback {
+                        ctx.send_control(from, StreamMsg::Feedback(feedback), 60);
+                    }
+                }
+                let duplicate = !self.seen.insert(seq);
+                let from_parent = Some(from) == self.parent;
+                self.metrics
+                    .record_receive(self.config.packet_size, from_parent, duplicate);
+                if !duplicate {
+                    self.forward_to_children(ctx, seq);
+                }
+            }
+            StreamMsg::Feedback(feedback) => {
+                if let Some(OutConn::Tfrc(sender)) = self.out_conns.get_mut(&from) {
+                    sender.on_feedback(ctx.now(), &feedback);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, StreamMsg>, tag: u64) {
+        if tag == TIMER_GENERATE {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.metrics.packets_generated += 1;
+            self.seen.insert(seq);
+            self.forward_to_children(ctx, seq);
+            ctx.set_timer(self.config.packet_interval(), TIMER_GENERATE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::{LinkSpec, NetworkSpec, Sim, SimRng};
+    use bullet_overlay::random_tree;
+
+    fn hub(n: usize, access_bps: f64) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(n + 1);
+        for i in 0..n {
+            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.attach(i);
+        }
+        spec
+    }
+
+    fn run(n: usize, access_bps: f64, transport: StreamTransport, secs: u64) -> Sim<StreamingNode> {
+        let spec = hub(n, access_bps);
+        let mut rng = SimRng::new(1);
+        let tree = random_tree(n, 0, 3, &mut rng);
+        let config = StreamConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            transport,
+            ..StreamConfig::default()
+        };
+        let agents = (0..n).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.run_until(SimTime::from_secs(secs));
+        sim
+    }
+
+    #[test]
+    fn ample_bandwidth_delivers_the_full_stream_over_tfrc() {
+        let sim = run(10, 4_000_000.0, StreamTransport::Tfrc, 30);
+        let generated = sim.agent(0).metrics.packets_generated;
+        assert!(generated > 500);
+        for node in 1..10 {
+            let got = sim.agent(node).metrics.useful_packets;
+            assert!(
+                got as f64 > generated as f64 * 0.8,
+                "node {node} got {got}/{generated}"
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_interior_links_throttle_descendants() {
+        // Access links at half the stream rate: children of the root get at
+        // most ~half the stream, and their own children no more than that.
+        let sim = run(10, 200_000.0, StreamTransport::Tfrc, 30);
+        let generated = sim.agent(0).metrics.packets_generated;
+        for node in 1..10 {
+            let got = sim.agent(node).metrics.useful_packets;
+            assert!(
+                (got as f64) < generated as f64 * 0.8,
+                "node {node} unexpectedly received {got}/{generated}"
+            );
+        }
+    }
+
+    #[test]
+    fn udp_transport_also_delivers() {
+        let sim = run(8, 4_000_000.0, StreamTransport::Udp, 20);
+        let generated = sim.agent(0).metrics.packets_generated;
+        for node in 1..8 {
+            let got = sim.agent(node).metrics.useful_packets;
+            assert!(got as f64 > generated as f64 * 0.7, "node {node}: {got}/{generated}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_a_tree() {
+        let sim = run(10, 1_000_000.0, StreamTransport::Tfrc, 20);
+        for node in 0..10 {
+            assert_eq!(sim.agent(node).metrics.duplicate_packets, 0);
+        }
+    }
+}

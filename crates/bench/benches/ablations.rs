@@ -1,0 +1,11 @@
+//! Ablations of Bullet's design choices (beyond the paper's figures):
+//! disjoint send on/off and resemblance-guided vs random peer selection.
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Ablations — disjoint send and resemblance peering");
+    let figure = figures::ablations(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,11 @@
+//! Figure 6: TFRC streaming over the offline bottleneck-bandwidth tree and a
+//! random tree (medium bandwidth profile, 600 Kbps target stream).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 6 — TFRC streaming over bottleneck vs random tree");
+    let figure = figures::fig06(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,12 @@
+//! Figure 7: Bullet over a random tree (raw / useful / from-parent bandwidth
+//! over time), plus the §4.2 scalars: ~30 Kbps control overhead, <10%
+//! duplicates, link stress ≈1.5.
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 7 — Bullet over a random tree");
+    let (figure, _run) = figures::fig07(scale);
+    print!("{}", report::render_figure(&figure));
+}

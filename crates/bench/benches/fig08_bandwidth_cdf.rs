@@ -1,0 +1,12 @@
+//! Figure 8: CDF of instantaneous achieved bandwidth across nodes late in
+//! the Bullet run of Figure 7.
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 8 — CDF of instantaneous achieved bandwidth");
+    let (figure, cdf) = figures::fig08(scale);
+    print!("{}", report::render_figure(&figure));
+    print!("{}", report::render_cdf("CDF of per-node instantaneous bandwidth (Kbps)", &cdf));
+}

@@ -1,0 +1,11 @@
+//! Figure 9: Bullet vs the bottleneck tree across the low / medium / high
+//! bandwidth profiles of Table 1.
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 9 — bandwidth sweep (low/medium/high)");
+    let figure = figures::fig09(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,11 @@
+//! Figure 10: Bullet with the disjoint transmission strategy disabled (every
+//! parent tries to send everything to every child).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 10 — non-disjoint data transmission");
+    let figure = figures::fig10(scale);
+    print!("{}", report::render_figure(&figure));
+}

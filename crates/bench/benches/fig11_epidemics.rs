@@ -1,0 +1,11 @@
+//! Figure 11: Bullet vs push gossip vs streaming with anti-entropy recovery
+//! (900 Kbps target, loss-free topology, full membership for the epidemics).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 11 — Bullet vs epidemic approaches");
+    let figure = figures::fig11(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,12 @@
+//! Figure 12: Bullet vs the bottleneck tree on lossy topologies (§4.5 loss
+//! model: 0–0.3% on non-transit links, 0–0.1% on transit links, 5% of links
+//! overloaded at 5–10%).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 12 — lossy network sweep");
+    let figure = figures::fig12(scale);
+    print!("{}", report::render_figure(&figure));
+}

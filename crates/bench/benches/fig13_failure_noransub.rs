@@ -1,0 +1,11 @@
+//! Figure 13: worst-case failure of a root child with RanSub failure
+//! detection disabled (peer relationships are frozen at failure time).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 13 — worst-case failure, no RanSub recovery");
+    let figure = figures::fig13(scale);
+    print!("{}", report::render_figure(&figure));
+}

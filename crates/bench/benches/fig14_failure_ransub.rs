@@ -1,0 +1,11 @@
+//! Figure 14: the same worst-case failure with RanSub epoch-timeout failure
+//! detection enabled (the root keeps distributing fresh random subsets).
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 14 — worst-case failure, RanSub recovery enabled");
+    let figure = figures::fig14(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,12 @@
+//! Figure 15: the constrained-source experiment standing in for the
+//! PlanetLab deployment — Bullet vs streaming over hand-crafted good/worst
+//! trees at 1.5 Mbps, with and without the source's uplink constraint.
+
+use bullet_bench::announce;
+use bullet_experiments::{figures, report};
+
+fn main() {
+    let scale = announce("Figure 15 — constrained source (PlanetLab stand-in)");
+    let figure = figures::fig15(scale);
+    print!("{}", report::render_figure(&figure));
+}

@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the hot data-plane primitives: Bloom filter
+//! operations, summary-ticket construction and resemblance, RanSub Compact,
+//! LT encoding/decoding, and the TFRC response function.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bullet_content::{BloomFilter, PermutationFamily, SummaryTicket};
+use bullet_codec::{LtDecoder, LtEncoder};
+use bullet_netsim::SimRng;
+use bullet_ransub::{compact, Member, WeightedSet};
+use bullet_transport::tcp_throughput_bps;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.bench_function("insert_1k", |b| {
+        b.iter_batched(
+            || BloomFilter::new(16_384, 6),
+            |mut bf| {
+                for key in 0..1_000u64 {
+                    bf.insert(black_box(key));
+                }
+                bf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filled = BloomFilter::new(16_384, 6);
+    for key in 0..1_500u64 {
+        filled.insert(key);
+    }
+    group.bench_function("query_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for key in 0..1_000u64 {
+                if filled.contains(black_box(key * 3)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_summary_ticket(c: &mut Criterion) {
+    let family = PermutationFamily::paper_default();
+    let mut group = c.benchmark_group("summary_ticket");
+    group.bench_function("build_1500", |b| {
+        b.iter(|| SummaryTicket::from_elements(&family, black_box(0..1_500u64)))
+    });
+    let a = SummaryTicket::from_elements(&family, 0..1_500);
+    let bticket = SummaryTicket::from_elements(&family, 750..2_250);
+    group.bench_function("resemblance", |b| b.iter(|| a.resemblance(black_box(&bticket))));
+    group.finish();
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut rng = SimRng::new(7);
+    let inputs: Vec<WeightedSet<u64>> = (0..5)
+        .map(|set| WeightedSet {
+            members: (0..10)
+                .map(|i| Member {
+                    node: set * 100 + i,
+                    state: i as u64,
+                })
+                .collect(),
+            population: 200,
+        })
+        .collect();
+    c.bench_function("ransub_compact_5x10", |b| {
+        b.iter(|| compact(black_box(&inputs), 10, &mut rng))
+    });
+}
+
+fn bench_lt_codes(c: &mut Criterion) {
+    let source: Vec<Vec<u8>> = (0..100).map(|i| vec![i as u8; 1_400]).collect();
+    let encoder = LtEncoder::new(source, 9);
+    let mut group = c.benchmark_group("lt_codes");
+    group.bench_function("encode_symbol", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            encoder.symbol(black_box(id))
+        })
+    });
+    group.bench_function("decode_block_k100", |b| {
+        b.iter_batched(
+            || {
+                let symbols: Vec<_> = (0..160).map(|id| encoder.symbol(id)).collect();
+                (LtDecoder::new(100, 1_400, 9), symbols)
+            },
+            |(mut decoder, symbols)| {
+                for symbol in &symbols {
+                    decoder.add(symbol);
+                    if decoder.is_complete() {
+                        break;
+                    }
+                }
+                decoder.is_complete()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tfrc_equation(c: &mut Criterion) {
+    c.bench_function("tfrc_response_function", |b| {
+        b.iter(|| tcp_throughput_bps(black_box(1_500.0), black_box(0.08), black_box(0.01)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_summary_ticket,
+    bench_compact,
+    bench_lt_codes,
+    bench_tfrc_equation
+);
+criterion_main!(benches);

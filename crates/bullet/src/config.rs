@@ -1,0 +1,152 @@
+//! Bullet configuration.
+
+use bullet_netsim::{SimDuration, SimTime};
+use bullet_transport::TfrcConfig;
+
+/// Tunable parameters of a Bullet node.
+///
+/// Defaults follow the paper: 600 Kbps target stream, 1500-byte packets,
+/// 5-second RanSub epochs with 10-entry sets, up to 10 senders and 10
+/// receivers per node, and sender eviction when more than half of the packets
+/// it delivers are duplicates.
+#[derive(Clone, Debug)]
+pub struct BulletConfig {
+    /// Target streaming rate at the source, in bits per second.
+    pub stream_rate_bps: f64,
+    /// Data packet size in bytes (payload plus headers, as accounted on the
+    /// wire).
+    pub packet_size: u32,
+    /// Time at which the source starts streaming.
+    pub stream_start: SimTime,
+    /// RanSub epoch length (collect/distribute period).
+    pub ransub_epoch: SimDuration,
+    /// Number of summary tickets carried per RanSub set.
+    pub ransub_set_size: usize,
+    /// Whether the RanSub root starts a new epoch on timeout even when some
+    /// collect sets are missing (failure detection, §4.6).
+    pub ransub_failure_detection: bool,
+    /// Maximum number of sending peers a node will receive data from.
+    pub max_senders: usize,
+    /// Maximum number of receiving peers a node will serve.
+    pub max_receivers: usize,
+    /// Interval between Bloom filter refreshes pushed to sending peers.
+    pub filter_refresh_interval: SimDuration,
+    /// Interval at which a sending peer scans for missing keys to forward to
+    /// each of its receivers.
+    pub peer_service_interval: SimDuration,
+    /// Interval between peer-set evaluations ("every few RanSub epochs").
+    pub mesh_eval_interval: SimDuration,
+    /// A sending peer is dropped when more than this fraction of the packets
+    /// it delivered in the last evaluation window were duplicates.
+    pub duplicate_drop_threshold: f64,
+    /// Number of recent packets kept in the working set (the recovery
+    /// horizon); older packets are pruned from the set, the summary ticket
+    /// and the Bloom filter.
+    pub working_set_window: usize,
+    /// Bloom filter size in bits.
+    pub bloom_bits: usize,
+    /// Number of Bloom filter hash functions.
+    pub bloom_hashes: u32,
+    /// Maximum keys forwarded to one receiver per service round.
+    pub peer_service_batch: usize,
+    /// How far (in packets) the top of the requested recovery range lags the
+    /// newest sequence number the node has seen. Packets younger than this
+    /// are still expected to arrive from the parent (or are in flight), so
+    /// asking peers for them mostly produces duplicates; the paper's Fig. 4
+    /// shows the requested (Low, High) range advancing behind the live edge.
+    pub recovery_lag_packets: u64,
+    /// Whether the parent picks disjoint data per child (Fig. 5). Disabling
+    /// this reproduces the non-disjoint strategy of Fig. 10.
+    pub disjoint_send: bool,
+    /// Whether peers are chosen by lowest summary-ticket resemblance.
+    /// Disabling this picks a uniformly random candidate instead (ablation).
+    pub resemblance_peering: bool,
+    /// Trace one data packet in this many for link-stress accounting
+    /// (0 disables tracing).
+    pub trace_interval: u64,
+    /// Transport parameters for every TFRC connection.
+    pub tfrc: TfrcConfig,
+}
+
+impl Default for BulletConfig {
+    fn default() -> Self {
+        let packet_size = 1_500;
+        BulletConfig {
+            stream_rate_bps: 600_000.0,
+            packet_size,
+            stream_start: SimTime::from_secs(10),
+            ransub_epoch: SimDuration::from_secs(5),
+            ransub_set_size: 10,
+            ransub_failure_detection: true,
+            max_senders: 10,
+            max_receivers: 10,
+            filter_refresh_interval: SimDuration::from_secs(5),
+            peer_service_interval: SimDuration::from_millis(250),
+            mesh_eval_interval: SimDuration::from_secs(15),
+            duplicate_drop_threshold: 0.5,
+            working_set_window: 1_500,
+            bloom_bits: 16_384,
+            bloom_hashes: 6,
+            peer_service_batch: 64,
+            recovery_lag_packets: 150,
+            disjoint_send: true,
+            resemblance_peering: true,
+            trace_interval: 100,
+            tfrc: TfrcConfig {
+                packet_size,
+                ..TfrcConfig::default()
+            },
+        }
+    }
+}
+
+impl BulletConfig {
+    /// Interval between packet generations at the source implied by the
+    /// stream rate and packet size.
+    pub fn packet_interval(&self) -> SimDuration {
+        let per_sec = self.stream_rate_bps / (self.packet_size as f64 * 8.0);
+        SimDuration::from_secs_f64(1.0 / per_sec.max(0.01))
+    }
+
+    /// Expected number of data packets per RanSub epoch, used to size the
+    /// per-epoch limiting-factor adjustment step.
+    pub fn packets_per_epoch(&self) -> f64 {
+        let per_sec = self.stream_rate_bps / (self.packet_size as f64 * 8.0);
+        (per_sec * self.ransub_epoch.as_secs_f64()).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let config = BulletConfig::default();
+        assert_eq!(config.stream_rate_bps, 600_000.0);
+        assert_eq!(config.packet_size, 1_500);
+        assert_eq!(config.ransub_set_size, 10);
+        assert_eq!(config.max_senders, 10);
+        assert_eq!(config.max_receivers, 10);
+        assert_eq!(config.ransub_epoch, SimDuration::from_secs(5));
+        assert!((config.duplicate_drop_threshold - 0.5).abs() < 1e-12);
+        assert!(config.disjoint_send);
+    }
+
+    #[test]
+    fn packet_interval_matches_rate() {
+        let config = BulletConfig::default();
+        // 600 Kbps / (1500 B * 8) = 50 packets/s => 20 ms.
+        assert_eq!(config.packet_interval().as_micros(), 20_000);
+        assert!((config.packets_per_epoch() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_interval_handles_tiny_rates() {
+        let config = BulletConfig {
+            stream_rate_bps: 1.0,
+            ..BulletConfig::default()
+        };
+        assert!(config.packet_interval() <= SimDuration::from_secs(100));
+    }
+}

@@ -1,0 +1,362 @@
+//! The disjoint data send routine (paper §3.3, Fig. 5).
+//!
+//! A Bullet parent decides, per packet, which child *owns* it (so that the
+//! expected number of nodes holding each packet stays uniform across packets)
+//! and which other children also receive it (to soak up any spare per-child
+//! bandwidth, governed by the limiting factors). Ownership targets the child
+//! whose share of the stream so far is furthest below its sending factor,
+//! which RanSub derives from descendant counts; the non-blocking transport's
+//! accept/refuse outcome provides the feedback that adapts both ownership and
+//! the limiting factors to actual available bandwidth.
+
+use std::collections::VecDeque;
+
+use bullet_netsim::OverlayId;
+
+/// Per-child state kept by the disjoint sender.
+#[derive(Clone, Debug)]
+pub struct ChildState {
+    /// The child's overlay id.
+    pub node: OverlayId,
+    /// Packets this child has owned so far in the current accounting period.
+    pub owned: u64,
+    /// The limiting factor `lf`: the fraction of non-owned packets also
+    /// forwarded to this child.
+    pub limiting_factor: f64,
+    /// Recently forwarded keys, kept to avoid re-sending a key this parent
+    /// already delivered to this child (bounded FIFO).
+    sent_recent: VecDeque<u64>,
+}
+
+impl ChildState {
+    fn new(node: OverlayId) -> Self {
+        ChildState {
+            node,
+            owned: 0,
+            limiting_factor: 1.0,
+            sent_recent: VecDeque::new(),
+        }
+    }
+
+    fn remember_sent(&mut self, key: u64, cap: usize) {
+        self.sent_recent.push_back(key);
+        while self.sent_recent.len() > cap {
+            self.sent_recent.pop_front();
+        }
+    }
+
+    /// Whether this parent already forwarded `key` to the child recently.
+    pub fn already_sent(&self, key: u64) -> bool {
+        self.sent_recent.contains(&key)
+    }
+}
+
+/// Result of routing one packet to the children.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Children the packet was actually delivered to.
+    pub sent_to: Vec<OverlayId>,
+    /// The child that ended up owning the packet, if any.
+    pub owner: Option<OverlayId>,
+}
+
+/// The per-node disjoint send state machine.
+#[derive(Clone, Debug)]
+pub struct DisjointSender {
+    children: Vec<ChildState>,
+    total_owned: u64,
+    /// Per-adjustment change applied to a limiting factor ("one more packet
+    /// per epoch").
+    lf_step: f64,
+    /// When `false`, every packet is offered to every child (the
+    /// non-disjoint strategy of Fig. 10).
+    disjoint: bool,
+    sent_cache_cap: usize,
+}
+
+impl DisjointSender {
+    /// Creates the sender for the given children.
+    ///
+    /// `packets_per_epoch` sizes the limiting-factor adjustment step (the
+    /// paper adjusts by one packet per epoch); `disjoint` disables the
+    /// strategy entirely for the Fig. 10 comparison.
+    pub fn new(children: &[OverlayId], packets_per_epoch: f64, disjoint: bool) -> Self {
+        DisjointSender {
+            children: children.iter().map(|&c| ChildState::new(c)).collect(),
+            total_owned: 0,
+            lf_step: 1.0 / packets_per_epoch.max(1.0),
+            disjoint,
+            sent_cache_cap: 2_048,
+        }
+    }
+
+    /// Whether this node has any children to forward to.
+    pub fn has_children(&self) -> bool {
+        !self.children.is_empty()
+    }
+
+    /// Read access to the per-child state (for tests and reports).
+    pub fn children(&self) -> &[ChildState] {
+        &self.children
+    }
+
+    /// Routes one packet identified by `key`.
+    ///
+    /// `sending_factors[i]` is child `i`'s sending factor `sf_i` (from RanSub
+    /// descendant counts; they should sum to 1). `try_send(child, key)`
+    /// attempts the transmission on the child's non-blocking transport and
+    /// returns whether it was accepted.
+    pub fn route_packet<F>(
+        &mut self,
+        key: u64,
+        sending_factors: &[f64],
+        mut try_send: F,
+    ) -> RouteOutcome
+    where
+        F: FnMut(OverlayId, u64) -> bool,
+    {
+        let mut outcome = RouteOutcome::default();
+        if self.children.is_empty() {
+            return outcome;
+        }
+        assert_eq!(
+            sending_factors.len(),
+            self.children.len(),
+            "one sending factor per child is required"
+        );
+
+        if !self.disjoint {
+            // Non-disjoint strategy: offer the packet to every child and let
+            // the transports throttle (Fig. 10).
+            for child in &mut self.children {
+                if child.already_sent(key) {
+                    continue;
+                }
+                if try_send(child.node, key) {
+                    child.remember_sent(key, self.sent_cache_cap);
+                    outcome.sent_to.push(child.node);
+                    if outcome.owner.is_none() {
+                        outcome.owner = Some(child.node);
+                        child.owned += 1;
+                        self.total_owned += 1;
+                    }
+                }
+            }
+            return outcome;
+        }
+
+        // 1. Pick the owner: the child whose owned share is furthest below
+        //    its sending factor.
+        let total = self.total_owned.max(1) as f64;
+        let mut target_idx = 0;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (i, child) in self.children.iter().enumerate() {
+            let share = child.owned as f64 / total;
+            let deficit = sending_factors[i] - share;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                target_idx = i;
+            }
+        }
+
+        let mut sent_packet = false;
+        if !self.children[target_idx].already_sent(key) && try_send(self.children[target_idx].node, key) {
+            let child = &mut self.children[target_idx];
+            child.owned += 1;
+            self.total_owned += 1;
+            child.remember_sent(key, self.sent_cache_cap);
+            outcome.sent_to.push(child.node);
+            outcome.owner = Some(child.node);
+            sent_packet = true;
+        }
+
+        // 2. Offer the packet to the remaining children: to transfer
+        //    ownership if the target could not take it, or as extra
+        //    bandwidth governed by each child's limiting factor.
+        for i in 0..self.children.len() {
+            if i == target_idx && sent_packet {
+                continue;
+            }
+            let lf = self.children[i].limiting_factor;
+            let should_send = if !sent_packet {
+                true
+            } else {
+                let period = (1.0 / lf.max(1e-6)).round().max(1.0) as u64;
+                key % period == 0
+            };
+            if !should_send {
+                continue;
+            }
+            if self.children[i].already_sent(key) {
+                continue;
+            }
+            let node = self.children[i].node;
+            if try_send(node, key) {
+                let was_ownership_transfer = !sent_packet;
+                let child = &mut self.children[i];
+                if was_ownership_transfer {
+                    child.owned += 1;
+                    self.total_owned += 1;
+                    outcome.owner = Some(node);
+                } else {
+                    child.limiting_factor = (child.limiting_factor + self.lf_step).min(1.0);
+                }
+                child.remember_sent(key, self.sent_cache_cap);
+                outcome.sent_to.push(node);
+                sent_packet = true;
+            } else if sent_packet {
+                // The extra-bandwidth attempt failed: back the limiting
+                // factor off by the same step.
+                let child = &mut self.children[i];
+                child.limiting_factor = (child.limiting_factor - self.lf_step).max(self.lf_step);
+            }
+        }
+        outcome
+    }
+
+    /// Equal sending factors, used before RanSub has reported descendant
+    /// counts.
+    pub fn equal_factors(&self) -> Vec<f64> {
+        let n = self.children.len().max(1);
+        vec![1.0 / n as f64; self.children.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Runs `packets` keys through the sender with per-child acceptance
+    /// capacity (in packets); returns packets delivered per child.
+    fn run(
+        sender: &mut DisjointSender,
+        factors: &[f64],
+        packets: u64,
+        capacity: &HashMap<OverlayId, u64>,
+    ) -> HashMap<OverlayId, u64> {
+        let mut delivered: HashMap<OverlayId, u64> = HashMap::new();
+        let mut used: HashMap<OverlayId, u64> = HashMap::new();
+        for key in 0..packets {
+            sender.route_packet(key, factors, |child, _key| {
+                let cap = capacity.get(&child).copied().unwrap_or(u64::MAX);
+                let u = used.entry(child).or_insert(0);
+                if *u < cap {
+                    *u += 1;
+                    *delivered.entry(child).or_insert(0) += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        delivered
+    }
+
+    #[test]
+    fn ample_bandwidth_sends_everything_to_everyone() {
+        let mut sender = DisjointSender::new(&[1, 2], 250.0, true);
+        let capacity = HashMap::new();
+        let delivered = run(&mut sender, &[0.5, 0.5], 500, &capacity);
+        // Limiting factors start at 1.0 and never get decreased, so both
+        // children receive the entire stream.
+        assert_eq!(delivered[&1], 500);
+        assert_eq!(delivered[&2], 500);
+    }
+
+    #[test]
+    fn constrained_children_receive_disjoint_shares() {
+        let mut sender = DisjointSender::new(&[1, 2], 250.0, true);
+        // Each child can only take half the stream.
+        let capacity: HashMap<OverlayId, u64> = [(1, 250), (2, 250)].into_iter().collect();
+        let delivered = run(&mut sender, &[0.5, 0.5], 500, &capacity);
+        assert_eq!(delivered[&1] + delivered[&2], 500);
+        // Each child got roughly its owned half, not the full stream.
+        assert!(delivered[&1] <= 250 && delivered[&2] <= 250);
+        // Ownership is split evenly.
+        let owned: Vec<u64> = sender.children().iter().map(|c| c.owned).collect();
+        assert!((owned[0] as i64 - owned[1] as i64).abs() < 50, "owned {owned:?}");
+    }
+
+    #[test]
+    fn sending_factors_bias_ownership_toward_larger_subtrees() {
+        let mut sender = DisjointSender::new(&[1, 2], 250.0, true);
+        let capacity: HashMap<OverlayId, u64> = [(1, 400), (2, 400)].into_iter().collect();
+        // Child 1 represents 3/4 of the descendants.
+        run(&mut sender, &[0.75, 0.25], 400, &capacity);
+        let owned: Vec<u64> = sender.children().iter().map(|c| c.owned).collect();
+        assert!(
+            owned[0] > owned[1] * 2,
+            "expected ownership skew toward the larger subtree, got {owned:?}"
+        );
+    }
+
+    #[test]
+    fn ownership_transfers_when_the_target_is_saturated() {
+        let mut sender = DisjointSender::new(&[1, 2], 250.0, true);
+        // Child 1 can accept almost nothing.
+        let capacity: HashMap<OverlayId, u64> = [(1, 5), (2, 1_000)].into_iter().collect();
+        let delivered = run(&mut sender, &[0.5, 0.5], 300, &capacity);
+        assert_eq!(delivered[&1], 5);
+        assert!(delivered[&2] >= 295, "child 2 should own the remainder");
+        let owned: Vec<u64> = sender.children().iter().map(|c| c.owned).collect();
+        assert_eq!(owned[0] + owned[1], 300);
+    }
+
+    #[test]
+    fn limiting_factor_decreases_under_saturation() {
+        // Child 1 owns most of the stream (large subtree) and has ample
+        // bandwidth; child 2 can only take 20 packets, so the extra
+        // (non-owned) sends to it fail and its limiting factor backs off.
+        let mut sender = DisjointSender::new(&[1, 2], 100.0, true);
+        let capacity: HashMap<OverlayId, u64> = [(2, 20)].into_iter().collect();
+        let delivered = run(&mut sender, &[0.9, 0.1], 200, &capacity);
+        let constrained = &sender.children()[1];
+        assert!(
+            constrained.limiting_factor < 1.0,
+            "limiting factor should have backed off, still {}",
+            constrained.limiting_factor
+        );
+        assert_eq!(delivered[&2], 20);
+        assert_eq!(delivered[&1], 200);
+    }
+
+    #[test]
+    fn nondisjoint_mode_sends_duplicates_to_all() {
+        let mut sender = DisjointSender::new(&[1, 2, 3], 250.0, false);
+        let capacity = HashMap::new();
+        let delivered = run(&mut sender, &[1.0 / 3.0; 3], 100, &capacity);
+        assert_eq!(delivered[&1], 100);
+        assert_eq!(delivered[&2], 100);
+        assert_eq!(delivered[&3], 100);
+    }
+
+    #[test]
+    fn no_children_is_a_no_op() {
+        let mut sender = DisjointSender::new(&[], 250.0, true);
+        let outcome = sender.route_packet(1, &[], |_, _| true);
+        assert_eq!(outcome, RouteOutcome::default());
+        assert!(!sender.has_children());
+    }
+
+    #[test]
+    fn duplicate_key_is_not_resent_to_the_same_child() {
+        let mut sender = DisjointSender::new(&[1], 250.0, true);
+        let mut sends = 0;
+        for _ in 0..3 {
+            sender.route_packet(42, &[1.0], |_, _| {
+                sends += 1;
+                true
+            });
+        }
+        assert_eq!(sends, 1, "key 42 must be forwarded to child 1 only once");
+    }
+
+    #[test]
+    fn orphaned_packets_report_no_owner() {
+        let mut sender = DisjointSender::new(&[1, 2], 250.0, true);
+        let outcome = sender.route_packet(7, &[0.5, 0.5], |_, _| false);
+        assert_eq!(outcome.owner, None);
+        assert!(outcome.sent_to.is_empty());
+    }
+}

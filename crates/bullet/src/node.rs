@@ -1,0 +1,673 @@
+//! The Bullet node: one overlay participant running the full protocol.
+//!
+//! A [`BulletNode`] combines every mechanism of §3 of the paper:
+//!
+//! * it receives the parent stream over TFRC and forwards *disjoint* subsets
+//!   of it to its children (ownership + limiting factors, Fig. 5),
+//! * it participates in RanSub, carrying summary tickets up and down the
+//!   tree once per epoch,
+//! * on every delivered RanSub set it may request a new sending peer (the
+//!   candidate with the lowest summary-ticket resemblance),
+//! * it recovers missing packets from its sending peers, steering them with
+//!   Bloom filters, sequence ranges and per-sender row assignments, and
+//! * it periodically re-evaluates its sender and receiver lists, dropping
+//!   wasteful or under-performing peers.
+//!
+//! The node is a [`bullet_netsim::Agent`], so the same code runs under the
+//! discrete-event simulator and the thread-based live runtime in the
+//! examples.
+
+use std::collections::HashMap;
+
+use bullet_content::{missing_keys, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet};
+use bullet_netsim::{Agent, Context, OverlayId, SimDuration};
+use bullet_overlay::Tree;
+use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent};
+use bullet_transport::{TfrcReceiver, TfrcSender};
+
+use crate::config::BulletConfig;
+use crate::disjoint::DisjointSender;
+use crate::messages::BulletMsg;
+use crate::metrics::BulletMetrics;
+use crate::peering::PeerManager;
+
+/// Timer tags used by the node.
+mod timer {
+    pub const GENERATE: u64 = 1;
+    pub const RANSUB_EPOCH: u64 = 2;
+    pub const PEER_SERVICE: u64 = 3;
+    pub const FILTER_REFRESH: u64 = 4;
+    pub const MESH_EVAL: u64 = 5;
+    pub const HOUSEKEEPING: u64 = 6;
+}
+
+/// One Bullet overlay participant.
+pub struct BulletNode {
+    id: OverlayId,
+    parent: Option<OverlayId>,
+    children: Vec<OverlayId>,
+    config: BulletConfig,
+    family: PermutationFamily,
+
+    working_set: WorkingSet,
+    ticket: SummaryTicket,
+    next_seq: u64,
+
+    ransub: RanSub<SummaryTicket>,
+    disjoint: DisjointSender,
+    peers: PeerManager,
+
+    out_conns: HashMap<OverlayId, TfrcSender>,
+    in_conns: HashMap<OverlayId, TfrcReceiver>,
+
+    /// Cumulative data-plane metrics sampled by the experiment harness.
+    pub metrics: BulletMetrics,
+    streaming: bool,
+}
+
+impl BulletNode {
+    /// Creates the node for participant `id` of `tree` with the given
+    /// configuration.
+    pub fn new(id: OverlayId, tree: &Tree, config: BulletConfig) -> Self {
+        let parent = tree.parent(id);
+        let children = tree.children(id).to_vec();
+        let family = PermutationFamily::paper_default();
+        let ticket = SummaryTicket::empty(&family);
+        let ransub = RanSub::new(
+            RanSubConfig {
+                set_size: config.ransub_set_size,
+                failure_detection: config.ransub_failure_detection,
+            },
+            id,
+            parent,
+            children.clone(),
+            ticket.clone(),
+        );
+        let disjoint = DisjointSender::new(&children, config.packets_per_epoch(), config.disjoint_send);
+        let peers = PeerManager::new(
+            config.max_senders,
+            config.max_receivers,
+            config.duplicate_drop_threshold,
+            config.resemblance_peering,
+        );
+        BulletNode {
+            id,
+            parent,
+            children,
+            config,
+            family,
+            working_set: WorkingSet::new(),
+            ticket,
+            next_seq: 0,
+            ransub,
+            disjoint,
+            peers,
+            out_conns: HashMap::new(),
+            in_conns: HashMap::new(),
+            metrics: BulletMetrics::default(),
+            streaming: true,
+        }
+    }
+
+    /// Whether this node is the stream source (the tree root).
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// The node's overlay id.
+    pub fn id(&self) -> OverlayId {
+        self.id
+    }
+
+    /// The node's tree children.
+    pub fn children(&self) -> &[OverlayId] {
+        &self.children
+    }
+
+    /// Current sending peers (mesh links this node receives from).
+    pub fn sender_peers(&self) -> Vec<OverlayId> {
+        self.peers.senders().iter().map(|s| s.node).collect()
+    }
+
+    /// Current receiving peers (mesh links this node serves).
+    pub fn receiver_peers(&self) -> Vec<OverlayId> {
+        self.peers.receivers().iter().map(|r| r.node).collect()
+    }
+
+    /// Pauses or resumes stream generation (root only; used by harnesses).
+    pub fn set_streaming(&mut self, enabled: bool) {
+        self.streaming = enabled;
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &BulletConfig {
+        &self.config
+    }
+
+    fn send_msg(&self, ctx: &mut Context<'_, BulletMsg>, to: OverlayId, msg: BulletMsg) {
+        let size = msg.wire_bytes(self.config.packet_size);
+        if msg.is_data() {
+            ctx.send_data(to, msg, size);
+        } else {
+            ctx.send_control(to, msg, size);
+        }
+    }
+
+    fn send_data_packet(
+        &mut self,
+        ctx: &mut Context<'_, BulletMsg>,
+        to: OverlayId,
+        header: bullet_transport::TfrcHeader,
+        seq: u64,
+    ) {
+        let msg = BulletMsg::Data { header, seq };
+        let size = msg.wire_bytes(self.config.packet_size);
+        if self.config.trace_interval > 0 && seq % self.config.trace_interval == 0 {
+            ctx.send_data_traced(to, msg, size, seq);
+        } else {
+            ctx.send_data(to, msg, size);
+        }
+    }
+
+    /// Builds the reconciliation request describing what this node currently
+    /// holds, striped over `stripe` senders with this request owning `row`.
+    fn build_request(&self, stripe: u64, row: u64) -> ReconcileRequest {
+        let mut filter = BloomFilter::new(self.config.bloom_bits, self.config.bloom_hashes);
+        for seq in self.working_set.iter() {
+            filter.insert(seq);
+        }
+        let (low, high) = self.working_set.range();
+        // The top of the requested range lags the newest sequence number:
+        // packets younger than the lag are expected from the parent (or are
+        // already in flight), so recovering them from peers would mostly
+        // duplicate data (paper Fig. 4).
+        let high = high
+            .saturating_sub(self.config.recovery_lag_packets)
+            .max(low);
+        ReconcileRequest::new(filter, low, high, stripe.max(1), row)
+    }
+
+    /// Records a freshly received (or generated) sequence number in the
+    /// working set and the incremental summary ticket.
+    fn learn_seq(&mut self, seq: u64) {
+        if self.working_set.insert(seq) {
+            self.ticket.insert(&self.family, seq);
+        }
+    }
+
+    /// Rebuilds the summary ticket from the pruned working set and pushes it
+    /// into RanSub.
+    fn rebuild_ticket(&mut self) {
+        self.ticket = SummaryTicket::from_elements(&self.family, self.working_set.iter());
+        self.ransub.set_state(self.ticket.clone());
+    }
+
+    /// Current per-child sending factors from RanSub descendant counts.
+    fn sending_factors(&self) -> Vec<f64> {
+        let counts: Vec<Option<u64>> = self
+            .children
+            .iter()
+            .map(|&c| self.ransub.descendants_of(c))
+            .collect();
+        if counts.iter().any(Option::is_none) {
+            return self.disjoint.equal_factors();
+        }
+        let counts: Vec<f64> = counts.into_iter().map(|c| c.unwrap().max(1) as f64).collect();
+        let total: f64 = counts.iter().sum();
+        counts.into_iter().map(|c| c / total).collect()
+    }
+
+    /// Forwards one packet toward the children using the disjoint send
+    /// routine.
+    fn route_to_children(&mut self, ctx: &mut Context<'_, BulletMsg>, seq: u64) {
+        if self.children.is_empty() {
+            return;
+        }
+        let factors = self.sending_factors();
+        let now = ctx.now();
+        let tfrc = self.config.tfrc;
+        let packet_size = self.config.packet_size;
+        let out_conns = &mut self.out_conns;
+        let mut accepted: Vec<(OverlayId, bullet_transport::TfrcHeader)> = Vec::new();
+        let outcome = self.disjoint.route_packet(seq, &factors, |child, _key| {
+            let conn = out_conns
+                .entry(child)
+                .or_insert_with(|| TfrcSender::new(tfrc));
+            match conn.try_send(now, packet_size) {
+                Ok(header) => {
+                    accepted.push((child, header));
+                    true
+                }
+                Err(_) => false,
+            }
+        });
+        for (child, header) in accepted {
+            self.send_data_packet(ctx, child, header, seq);
+        }
+        self.metrics.forwarded_packets += outcome.sent_to.len() as u64;
+        if outcome.owner.is_none() {
+            self.metrics.orphaned_packets += 1;
+        }
+    }
+
+    /// Handles a delivered RanSub set: possibly requests one new sender peer.
+    fn on_ransub_delivery(
+        &mut self,
+        ctx: &mut Context<'_, BulletMsg>,
+        members: Vec<Member<SummaryTicket>>,
+    ) {
+        if self.is_root() {
+            // The source holds the entire stream; it never needs senders.
+            return;
+        }
+        let mut exclude = vec![self.id];
+        if let Some(parent) = self.parent {
+            exclude.push(parent);
+        }
+        exclude.extend_from_slice(&self.children);
+        let candidate = self
+            .peers
+            .choose_candidate(&self.ticket, &members, &exclude, ctx.rng());
+        if let Some(candidate) = candidate {
+            let stripe = (self.peers.senders().len() as u64 + 1).max(1);
+            let row = self.peers.senders().len() as u64;
+            let request = self.build_request(stripe, row);
+            self.send_msg(ctx, candidate, BulletMsg::PeeringRequest { request });
+        }
+    }
+
+    /// Pushes updated Bloom filters, ranges and row assignments to every
+    /// sending peer.
+    fn refresh_senders(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let senders: Vec<OverlayId> = self.peers.senders().iter().map(|s| s.node).collect();
+        let stripe = senders.len() as u64;
+        for (row, node) in senders.into_iter().enumerate() {
+            let request = self.build_request(stripe.max(1), row as u64);
+            self.send_msg(ctx, node, BulletMsg::FilterRefresh { request });
+        }
+    }
+
+    /// Serves missing keys to every receiving peer, as far as the transports
+    /// allow.
+    fn serve_receivers(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let receiver_nodes: Vec<OverlayId> =
+            self.peers.receivers().iter().map(|r| r.node).collect();
+        let now = ctx.now();
+        let tfrc = self.config.tfrc;
+        let packet_size = self.config.packet_size;
+        let batch = self.config.peer_service_batch;
+        for node in receiver_nodes {
+            let keys: Vec<u64> = {
+                let Some(receiver) = self.peers.receiver_mut(node) else {
+                    continue;
+                };
+                missing_keys(&self.working_set, &receiver.request, batch * 4)
+                    .into_iter()
+                    .filter(|k| !receiver.sent_since_refresh.contains(k))
+                    .take(batch)
+                    .collect()
+            };
+            for key in keys {
+                let conn = self
+                    .out_conns
+                    .entry(node)
+                    .or_insert_with(|| TfrcSender::new(tfrc));
+                match conn.try_send(now, packet_size) {
+                    Ok(header) => {
+                        self.send_data_packet(ctx, node, header, key);
+                        self.metrics.served_packets += 1;
+                        if let Some(receiver) = self.peers.receiver_mut(node) {
+                            receiver.sent_since_refresh.insert(key);
+                            receiver.bytes_sent_window += packet_size as u64;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Periodic mesh improvement (§3.4): report to senders, evict wasteful
+    /// senders, evict the least-benefiting receiver.
+    fn evaluate_mesh(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        // Report our total received bandwidth to every sender so they can
+        // run their receiver eviction.
+        let window_bytes = self.metrics.raw_bytes;
+        let senders: Vec<OverlayId> = self.peers.senders().iter().map(|s| s.node).collect();
+        for node in senders {
+            self.send_msg(
+                ctx,
+                node,
+                BulletMsg::ReceiverReport {
+                    total_bytes_window: window_bytes,
+                },
+            );
+        }
+        let evaluation = self.peers.evaluate_senders();
+        for node in evaluation.drop {
+            self.in_conns.remove(&node);
+            self.send_msg(ctx, node, BulletMsg::PeerDrop);
+        }
+        if let Some(node) = self.peers.evaluate_receivers() {
+            self.out_conns.remove(&node);
+            self.send_msg(ctx, node, BulletMsg::PeerDrop);
+        }
+        self.peers.clear_stale_pending();
+    }
+
+    fn handle_ransub_events(
+        &mut self,
+        ctx: &mut Context<'_, BulletMsg>,
+        events: Vec<RanSubEvent<SummaryTicket>>,
+    ) {
+        for event in events {
+            match event {
+                RanSubEvent::Send { to, msg } => {
+                    self.send_msg(ctx, to, BulletMsg::RanSub(msg));
+                }
+                RanSubEvent::Deliver { members, .. } => {
+                    self.on_ransub_delivery(ctx, members);
+                }
+            }
+        }
+    }
+
+    fn handle_data(
+        &mut self,
+        ctx: &mut Context<'_, BulletMsg>,
+        from: OverlayId,
+        header: bullet_transport::TfrcHeader,
+        seq: u64,
+    ) {
+        // Transport-level processing: loss detection and feedback pacing.
+        let feedback = self
+            .in_conns
+            .entry(from)
+            .or_default()
+            .on_data(ctx.now(), header, self.config.packet_size);
+        if let Some(feedback) = feedback {
+            self.send_msg(ctx, from, BulletMsg::Feedback(feedback));
+        }
+
+        let duplicate =
+            self.working_set.contains(seq) || seq < self.working_set.low_watermark();
+        let from_parent = Some(from) == self.parent;
+        self.metrics
+            .record_receive(self.config.packet_size, from_parent, duplicate);
+        if let Some(sender) = self.peers.sender_mut(from) {
+            sender.total_packets_window += 1;
+            if duplicate {
+                sender.duplicate_packets_window += 1;
+            } else {
+                sender.useful_bytes_window += self.config.packet_size as u64;
+            }
+        }
+        if duplicate {
+            return;
+        }
+        self.learn_seq(seq);
+        self.route_to_children(ctx, seq);
+    }
+}
+
+impl Agent for BulletNode {
+    type Msg = BulletMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        if self.is_root() {
+            let start_delay = self.config.stream_start - ctx.now();
+            ctx.set_timer(start_delay, timer::GENERATE);
+            ctx.set_timer(self.config.ransub_epoch, timer::RANSUB_EPOCH);
+        }
+        // Stagger periodic timers so thousands of nodes do not wake up on the
+        // same tick.
+        let jitter = |rng: &mut bullet_netsim::SimRng, d: SimDuration| d.mul_f64(rng.range_f64(0.5, 1.5));
+        let service = jitter(ctx.rng(), self.config.peer_service_interval);
+        ctx.set_timer(service, timer::PEER_SERVICE);
+        let refresh = jitter(ctx.rng(), self.config.filter_refresh_interval);
+        ctx.set_timer(refresh, timer::FILTER_REFRESH);
+        let eval = jitter(ctx.rng(), self.config.mesh_eval_interval);
+        ctx.set_timer(eval, timer::MESH_EVAL);
+        let housekeeping = jitter(ctx.rng(), SimDuration::from_secs(1));
+        ctx.set_timer(housekeeping, timer::HOUSEKEEPING);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, BulletMsg>, from: OverlayId, msg: BulletMsg) {
+        match msg {
+            BulletMsg::Data { header, seq } => self.handle_data(ctx, from, header, seq),
+            BulletMsg::Feedback(feedback) => {
+                if let Some(conn) = self.out_conns.get_mut(&from) {
+                    conn.on_feedback(ctx.now(), &feedback);
+                }
+            }
+            BulletMsg::RanSub(msg) => {
+                let events = self.ransub.on_message(from, msg, ctx.rng());
+                self.handle_ransub_events(ctx, events);
+            }
+            BulletMsg::PeeringRequest { request } => {
+                if self.peers.on_peering_request(from, request) {
+                    self.send_msg(ctx, from, BulletMsg::PeeringAccept);
+                } else {
+                    self.send_msg(ctx, from, BulletMsg::PeeringReject);
+                }
+            }
+            BulletMsg::PeeringAccept => {
+                if self.peers.on_peering_accept(from) {
+                    // Rebalance the row assignments across all senders now
+                    // that the stripe count changed.
+                    self.refresh_senders(ctx);
+                }
+            }
+            BulletMsg::PeeringReject => self.peers.on_peering_reject(from),
+            BulletMsg::FilterRefresh { request } => {
+                if let Some(receiver) = self.peers.receiver_mut(from) {
+                    receiver.request = request;
+                    receiver.sent_since_refresh.clear();
+                }
+            }
+            BulletMsg::ReceiverReport { total_bytes_window } => {
+                if let Some(receiver) = self.peers.receiver_mut(from) {
+                    receiver.reported_total_bytes = total_bytes_window;
+                }
+            }
+            BulletMsg::PeerDrop => {
+                self.peers.remove_peer(from);
+                self.out_conns.remove(&from);
+                self.in_conns.remove(&from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BulletMsg>, tag: u64) {
+        match tag {
+            timer::GENERATE => {
+                if self.streaming {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.metrics.packets_generated += 1;
+                    self.learn_seq(seq);
+                    self.route_to_children(ctx, seq);
+                }
+                ctx.set_timer(self.config.packet_interval(), timer::GENERATE);
+            }
+            timer::RANSUB_EPOCH => {
+                let events = self.ransub.start_epoch(ctx.rng());
+                self.handle_ransub_events(ctx, events);
+                ctx.set_timer(self.config.ransub_epoch, timer::RANSUB_EPOCH);
+            }
+            timer::PEER_SERVICE => {
+                self.serve_receivers(ctx);
+                ctx.set_timer(self.config.peer_service_interval, timer::PEER_SERVICE);
+            }
+            timer::FILTER_REFRESH => {
+                self.rebuild_ticket();
+                self.refresh_senders(ctx);
+                ctx.set_timer(self.config.filter_refresh_interval, timer::FILTER_REFRESH);
+            }
+            timer::MESH_EVAL => {
+                self.evaluate_mesh(ctx);
+                ctx.set_timer(self.config.mesh_eval_interval, timer::MESH_EVAL);
+            }
+            timer::HOUSEKEEPING => {
+                self.working_set.prune_to_len(self.config.working_set_window);
+                let now = ctx.now();
+                for conn in self.out_conns.values_mut() {
+                    conn.maybe_nofeedback_timeout(now);
+                }
+                ctx.set_timer(SimDuration::from_secs(1), timer::HOUSEKEEPING);
+            }
+            other => debug_assert!(false, "unknown timer tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::{LinkSpec, NetworkSpec, Sim, SimTime};
+    use bullet_overlay::random_tree;
+
+    /// A small hub-and-spoke physical network: every participant has its own
+    /// access link to a common hub router.
+    fn hub_network(n: usize, access_bps: f64) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(n + 1);
+        for i in 0..n {
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                access_bps,
+                SimDuration::from_millis(10),
+            ));
+            spec.attach(i);
+        }
+        spec
+    }
+
+    fn quick_config() -> BulletConfig {
+        BulletConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            ransub_epoch: SimDuration::from_secs(2),
+            filter_refresh_interval: SimDuration::from_secs(2),
+            mesh_eval_interval: SimDuration::from_secs(6),
+            ..BulletConfig::default()
+        }
+    }
+
+    fn build_sim(n: usize, access_bps: f64, config: BulletConfig, seed: u64) -> Sim<BulletNode> {
+        let spec = hub_network(n, access_bps);
+        let mut rng = bullet_netsim::SimRng::new(seed);
+        let tree = random_tree(n, 0, 4, &mut rng);
+        let agents = (0..n).map(|i| BulletNode::new(i, &tree, config.clone())).collect();
+        Sim::new(&spec, agents, seed)
+    }
+
+    #[test]
+    fn all_nodes_receive_most_of_the_stream() {
+        let config = quick_config();
+        let mut sim = build_sim(12, 2_000_000.0, config, 1);
+        sim.run_until(SimTime::from_secs(40));
+        let generated = sim.agent(0).metrics.packets_generated;
+        assert!(generated > 500, "source generated only {generated}");
+        for node in 1..12 {
+            let m = &sim.agent(node).metrics;
+            let fraction = m.useful_packets as f64 / generated as f64;
+            assert!(
+                fraction > 0.7,
+                "node {node} received only {:.0}% of the stream",
+                fraction * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_peerings_are_established() {
+        let config = quick_config();
+        let mut sim = build_sim(16, 1_000_000.0, config, 2);
+        sim.run_until(SimTime::from_secs(40));
+        let with_peers = (1..16)
+            .filter(|&n| !sim.agent(n).sender_peers().is_empty())
+            .count();
+        assert!(
+            with_peers >= 8,
+            "only {with_peers} of 15 nodes established sender peers"
+        );
+        // Peer lists respect their bounds.
+        for node in 0..16 {
+            assert!(sim.agent(node).sender_peers().len() <= 10);
+            assert!(sim.agent(node).receiver_peers().len() <= 10);
+        }
+    }
+
+    #[test]
+    fn duplicate_fraction_stays_low() {
+        let config = quick_config();
+        let mut sim = build_sim(12, 2_000_000.0, config, 3);
+        sim.run_until(SimTime::from_secs(40));
+        for node in 1..12 {
+            let m = &sim.agent(node).metrics;
+            assert!(
+                m.duplicate_fraction() < 0.25,
+                "node {node} duplicate fraction {:.2}",
+                m.duplicate_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_children_get_help_from_peers() {
+        // Access links below the stream rate force parents to send disjoint
+        // subsets; peers must supply the rest.
+        let config = quick_config();
+        let mut sim = build_sim(12, 500_000.0, config, 4);
+        sim.run_until(SimTime::from_secs(45));
+        let peer_supplied = (1..12)
+            .filter(|&n| sim.agent(n).metrics.from_peers_bytes > 0)
+            .count();
+        assert!(
+            peer_supplied >= 6,
+            "only {peer_supplied} nodes received data from mesh peers"
+        );
+    }
+
+    #[test]
+    fn control_overhead_is_modest() {
+        let config = quick_config();
+        let mut sim = build_sim(12, 2_000_000.0, config, 5);
+        let end = SimTime::from_secs(40);
+        sim.run_until(end);
+        for node in 0..12 {
+            let traffic = sim.traffic(node);
+            let control_kbps =
+                traffic.control_bytes_in as f64 * 8.0 / end.as_secs_f64() / 1_000.0;
+            // The quick test configuration refreshes filters every 2 s
+            // (vs. the paper's 5 s), so the bound here is looser than the
+            // paper's ~30 Kbps; the experiment harness checks the
+            // paper-parameter number.
+            assert!(
+                control_kbps < 250.0,
+                "node {node} control overhead {control_kbps:.1} Kbps"
+            );
+        }
+    }
+
+    #[test]
+    fn root_never_requests_senders() {
+        let config = quick_config();
+        let mut sim = build_sim(10, 1_000_000.0, config, 6);
+        sim.run_until(SimTime::from_secs(30));
+        assert!(sim.agent(0).sender_peers().is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = build_sim(10, 1_000_000.0, quick_config(), seed);
+            sim.run_until(SimTime::from_secs(25));
+            (0..10)
+                .map(|n| sim.agent(n).metrics.useful_packets)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,487 @@
+//! Peer-set management: finding peers (§3.1) and improving the mesh (§3.4).
+//!
+//! Each node keeps two bounded lists: *senders* (peers it receives missing
+//! data from) and *receivers* (peers it serves). Candidates arrive once per
+//! RanSub epoch as summary tickets; the node requests the candidate with the
+//! lowest resemblance to its own ticket. Periodically it evicts the least
+//! useful sender (or any sender whose traffic is mostly duplicates) and the
+//! receiver that benefits least from it, freeing trial slots for better
+//! peers.
+
+use bullet_content::{ReconcileRequest, SummaryTicket};
+use bullet_netsim::{OverlayId, SimRng};
+use bullet_ransub::Member;
+use std::collections::HashSet;
+
+/// State kept about one sending peer (a peer this node receives data from).
+#[derive(Clone, Debug)]
+pub struct SenderPeer {
+    /// The peer's overlay id.
+    pub node: OverlayId,
+    /// Useful (non-duplicate) data bytes received from it in the current
+    /// evaluation window.
+    pub useful_bytes_window: u64,
+    /// Duplicate packets received from it in the current window.
+    pub duplicate_packets_window: u64,
+    /// Total data packets received from it in the current window.
+    pub total_packets_window: u64,
+}
+
+impl SenderPeer {
+    fn new(node: OverlayId) -> Self {
+        SenderPeer {
+            node,
+            useful_bytes_window: 0,
+            duplicate_packets_window: 0,
+            total_packets_window: 0,
+        }
+    }
+
+    /// Fraction of this sender's packets that were duplicates in the window.
+    pub fn duplicate_fraction(&self) -> f64 {
+        if self.total_packets_window == 0 {
+            0.0
+        } else {
+            self.duplicate_packets_window as f64 / self.total_packets_window as f64
+        }
+    }
+}
+
+/// State kept about one receiving peer (a peer this node serves data to).
+#[derive(Clone, Debug)]
+pub struct ReceiverPeer {
+    /// The peer's overlay id.
+    pub node: OverlayId,
+    /// The reconciliation state (Bloom filter, range, striping) it installed.
+    pub request: ReconcileRequest,
+    /// Keys already forwarded since the filter was last refreshed, kept so
+    /// the same key is not re-sent while the filter is stale.
+    pub sent_since_refresh: HashSet<u64>,
+    /// Data bytes sent to this receiver in the current evaluation window.
+    pub bytes_sent_window: u64,
+    /// The receiver's total received bandwidth over its last reported window
+    /// (from `ReceiverReport`), in bytes.
+    pub reported_total_bytes: u64,
+}
+
+impl ReceiverPeer {
+    fn new(node: OverlayId, request: ReconcileRequest) -> Self {
+        ReceiverPeer {
+            node,
+            request,
+            sent_since_refresh: HashSet::new(),
+            bytes_sent_window: 0,
+            reported_total_bytes: 0,
+        }
+    }
+
+    /// The fraction of the receiver's total bandwidth that came from this
+    /// node; the receiver with the smallest benefit is evicted first.
+    pub fn benefit(&self) -> f64 {
+        if self.reported_total_bytes == 0 {
+            // No report yet: treat as fully dependent so fresh receivers are
+            // not evicted before they had a chance to report.
+            1.0
+        } else {
+            self.bytes_sent_window as f64 / self.reported_total_bytes as f64
+        }
+    }
+}
+
+/// Outcome of evaluating the sender list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SenderEvaluation {
+    /// Senders to drop (tear down and remove).
+    pub drop: Vec<OverlayId>,
+}
+
+/// Manages the bounded sender and receiver lists of one node.
+#[derive(Clone, Debug)]
+pub struct PeerManager {
+    max_senders: usize,
+    max_receivers: usize,
+    /// Require at least this many packets in the window before judging a
+    /// sender, so newly added peers are not evicted prematurely.
+    min_packets_to_judge: u64,
+    duplicate_drop_threshold: f64,
+    resemblance_peering: bool,
+    senders: Vec<SenderPeer>,
+    receivers: Vec<ReceiverPeer>,
+    /// Outstanding peering requests (candidates we asked, no answer yet).
+    pending: HashSet<OverlayId>,
+}
+
+impl PeerManager {
+    /// Creates a manager with the given list bounds.
+    pub fn new(
+        max_senders: usize,
+        max_receivers: usize,
+        duplicate_drop_threshold: f64,
+        resemblance_peering: bool,
+    ) -> Self {
+        PeerManager {
+            max_senders,
+            max_receivers,
+            min_packets_to_judge: 20,
+            duplicate_drop_threshold,
+            resemblance_peering,
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            pending: HashSet::new(),
+        }
+    }
+
+    /// Current sending peers.
+    pub fn senders(&self) -> &[SenderPeer] {
+        &self.senders
+    }
+
+    /// Current receiving peers.
+    pub fn receivers(&self) -> &[ReceiverPeer] {
+        &self.receivers
+    }
+
+    /// Mutable access to a receiver's state, if present.
+    pub fn receiver_mut(&mut self, node: OverlayId) -> Option<&mut ReceiverPeer> {
+        self.receivers.iter_mut().find(|r| r.node == node)
+    }
+
+    /// Mutable access to a sender's state, if present.
+    pub fn sender_mut(&mut self, node: OverlayId) -> Option<&mut SenderPeer> {
+        self.senders.iter_mut().find(|s| s.node == node)
+    }
+
+    /// Whether `node` is one of our senders.
+    pub fn is_sender(&self, node: OverlayId) -> bool {
+        self.senders.iter().any(|s| s.node == node)
+    }
+
+    /// Whether `node` is one of our receivers.
+    pub fn is_receiver(&self, node: OverlayId) -> bool {
+        self.receivers.iter().any(|r| r.node == node)
+    }
+
+    /// Chooses which candidate (if any) from a freshly delivered RanSub set
+    /// to send a peering request to.
+    ///
+    /// `own_ticket` is this node's current summary ticket; `exclude` lists
+    /// nodes that must not be considered (self, the tree parent, current
+    /// children). Returns the chosen candidate and marks it pending.
+    pub fn choose_candidate(
+        &mut self,
+        own_ticket: &SummaryTicket,
+        candidates: &[Member<SummaryTicket>],
+        exclude: &[OverlayId],
+        rng: &mut SimRng,
+    ) -> Option<OverlayId> {
+        if self.senders.len() + self.pending.len() >= self.max_senders {
+            return None;
+        }
+        let eligible: Vec<&Member<SummaryTicket>> = candidates
+            .iter()
+            .filter(|m| {
+                !exclude.contains(&m.node)
+                    && !self.is_sender(m.node)
+                    && !self.pending.contains(&m.node)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let chosen = if self.resemblance_peering {
+            // Lowest similarity ratio = most disjoint content.
+            eligible
+                .iter()
+                .min_by(|a, b| {
+                    own_ticket
+                        .resemblance(&a.state)
+                        .partial_cmp(&own_ticket.resemblance(&b.state))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.node.cmp(&b.node))
+                })
+                .map(|m| m.node)
+        } else {
+            let idx = rng.range_usize(0, eligible.len());
+            Some(eligible[idx].node)
+        }?;
+        self.pending.insert(chosen);
+        Some(chosen)
+    }
+
+    /// Handles the acceptance of a peering request we sent to `node`.
+    /// Returns `true` if the sender was added to the sender list.
+    pub fn on_peering_accept(&mut self, node: OverlayId) -> bool {
+        self.pending.remove(&node);
+        if self.is_sender(node) || self.senders.len() >= self.max_senders {
+            return false;
+        }
+        self.senders.push(SenderPeer::new(node));
+        true
+    }
+
+    /// Handles the rejection of a peering request we sent to `node`.
+    pub fn on_peering_reject(&mut self, node: OverlayId) {
+        self.pending.remove(&node);
+    }
+
+    /// Handles an incoming peering request from `node`. Returns `true` (and
+    /// installs the receiver) when there is space in the receiver list.
+    pub fn on_peering_request(&mut self, node: OverlayId, request: ReconcileRequest) -> bool {
+        if self.is_receiver(node) {
+            // Refresh the stored request instead of duplicating the entry.
+            if let Some(r) = self.receiver_mut(node) {
+                r.request = request;
+                r.sent_since_refresh.clear();
+            }
+            return true;
+        }
+        if self.receivers.len() >= self.max_receivers {
+            return false;
+        }
+        self.receivers.push(ReceiverPeer::new(node, request));
+        true
+    }
+
+    /// Removes `node` from whichever list it appears in (peer drop or
+    /// failure).
+    pub fn remove_peer(&mut self, node: OverlayId) {
+        self.senders.retain(|s| s.node != node);
+        self.receivers.retain(|r| r.node != node);
+        self.pending.remove(&node);
+    }
+
+    /// Clears outstanding requests that never got an answer (the candidate
+    /// may have failed); called from the periodic evaluation.
+    pub fn clear_stale_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Evaluates the sender list (paper §3.4): drop any sender whose traffic
+    /// was mostly duplicates; otherwise, when the list is full, drop the
+    /// sender delivering the least useful data to open a trial slot. Window
+    /// counters are reset afterwards.
+    pub fn evaluate_senders(&mut self) -> SenderEvaluation {
+        let mut evaluation = SenderEvaluation::default();
+        // Duplicate-heavy senders are dropped regardless of list occupancy.
+        for sender in &self.senders {
+            if sender.total_packets_window >= self.min_packets_to_judge
+                && sender.duplicate_fraction() > self.duplicate_drop_threshold
+            {
+                evaluation.drop.push(sender.node);
+            }
+        }
+        // If nothing wasteful was found and the list is full, free one trial
+        // slot by dropping the least useful sender.
+        if evaluation.drop.is_empty() && self.senders.len() >= self.max_senders {
+            if let Some(worst) = self
+                .senders
+                .iter()
+                .filter(|s| s.total_packets_window >= self.min_packets_to_judge)
+                .min_by_key(|s| s.useful_bytes_window)
+            {
+                evaluation.drop.push(worst.node);
+            }
+        }
+        for node in &evaluation.drop {
+            self.senders.retain(|s| s.node != *node);
+        }
+        for sender in &mut self.senders {
+            sender.useful_bytes_window = 0;
+            sender.duplicate_packets_window = 0;
+            sender.total_packets_window = 0;
+        }
+        evaluation
+    }
+
+    /// Evaluates the receiver list (paper §3.4): when full, drop the receiver
+    /// acquiring the smallest portion of its bandwidth through us. Window
+    /// counters are reset afterwards. Returns the dropped receiver, if any.
+    pub fn evaluate_receivers(&mut self) -> Option<OverlayId> {
+        let dropped = if self.receivers.len() >= self.max_receivers {
+            self.receivers
+                .iter()
+                .min_by(|a, b| {
+                    a.benefit()
+                        .partial_cmp(&b.benefit())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|r| r.node)
+        } else {
+            None
+        };
+        if let Some(node) = dropped {
+            self.receivers.retain(|r| r.node != node);
+        }
+        for receiver in &mut self.receivers {
+            receiver.bytes_sent_window = 0;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_content::{BloomFilter, PermutationFamily};
+
+    fn ticket(range: std::ops::Range<u64>) -> SummaryTicket {
+        SummaryTicket::from_elements(&PermutationFamily::paper_default(), range)
+    }
+
+    fn request() -> ReconcileRequest {
+        ReconcileRequest::new(BloomFilter::new(1_024, 4), 0, 100, 1, 0)
+    }
+
+    fn manager() -> PeerManager {
+        PeerManager::new(3, 3, 0.5, true)
+    }
+
+    #[test]
+    fn chooses_the_most_disjoint_candidate() {
+        let mut pm = manager();
+        let mut rng = SimRng::new(1);
+        let own = ticket(0..500);
+        let candidates = vec![
+            Member { node: 10, state: ticket(0..500) },      // identical
+            Member { node: 11, state: ticket(400..900) },    // partial overlap
+            Member { node: 12, state: ticket(5_000..5_500) }, // disjoint
+        ];
+        let chosen = pm.choose_candidate(&own, &candidates, &[], &mut rng);
+        assert_eq!(chosen, Some(12));
+    }
+
+    #[test]
+    fn excluded_and_existing_peers_are_not_chosen() {
+        let mut pm = manager();
+        let mut rng = SimRng::new(2);
+        let own = ticket(0..100);
+        pm.on_peering_request(11, request());
+        assert!(pm.on_peering_accept(10) || true);
+        // 10 is pending->accepted as sender? ensure by full flow:
+        let candidates = vec![
+            Member { node: 10, state: ticket(900..1_000) },
+            Member { node: 13, state: ticket(700..800) },
+        ];
+        // Exclude 13 (say it is our parent): only 10 remains, but 10 is
+        // already a sender, so nothing is chosen.
+        let chosen = pm.choose_candidate(&own, &candidates, &[13], &mut rng);
+        assert_eq!(chosen, None);
+    }
+
+    #[test]
+    fn sender_list_is_bounded() {
+        let mut pm = manager();
+        for node in 0..10 {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+        }
+        assert_eq!(pm.senders().len(), 3);
+    }
+
+    #[test]
+    fn receiver_list_is_bounded_and_requests_refresh() {
+        let mut pm = manager();
+        assert!(pm.on_peering_request(1, request()));
+        assert!(pm.on_peering_request(2, request()));
+        assert!(pm.on_peering_request(3, request()));
+        assert!(!pm.on_peering_request(4, request()), "list is full");
+        // Re-requesting from an existing receiver refreshes instead of
+        // duplicating.
+        assert!(pm.on_peering_request(2, request()));
+        assert_eq!(pm.receivers().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_heavy_senders_are_dropped() {
+        let mut pm = manager();
+        pm.pending.insert(7);
+        pm.on_peering_accept(7);
+        {
+            let s = pm.sender_mut(7).unwrap();
+            s.total_packets_window = 100;
+            s.duplicate_packets_window = 80;
+            s.useful_bytes_window = 10_000;
+        }
+        let eval = pm.evaluate_senders();
+        assert_eq!(eval.drop, vec![7]);
+        assert!(pm.senders().is_empty());
+    }
+
+    #[test]
+    fn least_useful_sender_is_dropped_only_when_full() {
+        let mut pm = manager();
+        for node in [1, 2] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+            let s = pm.sender_mut(node).unwrap();
+            s.total_packets_window = 100;
+            s.useful_bytes_window = node as u64 * 1_000;
+        }
+        // Not full (2 of 3): nobody is dropped.
+        assert!(pm.evaluate_senders().drop.is_empty());
+        pm.pending.insert(3);
+        pm.on_peering_accept(3);
+        for node in [1, 2, 3] {
+            let s = pm.sender_mut(node).unwrap();
+            s.total_packets_window = 100;
+            s.useful_bytes_window = node as u64 * 1_000;
+        }
+        // Full: the least useful sender (node 1) is dropped.
+        assert_eq!(pm.evaluate_senders().drop, vec![1]);
+    }
+
+    #[test]
+    fn new_senders_are_not_judged_prematurely() {
+        let mut pm = manager();
+        for node in [1, 2, 3] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+        }
+        // No traffic yet: even though the list is full, nothing is dropped.
+        assert!(pm.evaluate_senders().drop.is_empty());
+    }
+
+    #[test]
+    fn least_benefiting_receiver_is_dropped_when_full() {
+        let mut pm = manager();
+        for node in [1, 2, 3] {
+            pm.on_peering_request(node, request());
+        }
+        for (node, sent, total) in [(1u64, 50_000u64, 100_000u64), (2, 10_000, 100_000), (3, 90_000, 100_000)] {
+            let r = pm.receiver_mut(node as usize).unwrap();
+            r.bytes_sent_window = sent;
+            r.reported_total_bytes = total;
+        }
+        assert_eq!(pm.evaluate_receivers(), Some(2));
+        assert_eq!(pm.receivers().len(), 2);
+        // Not full anymore: next evaluation drops nobody.
+        assert_eq!(pm.evaluate_receivers(), None);
+    }
+
+    #[test]
+    fn random_peering_mode_still_respects_exclusions() {
+        let mut pm = PeerManager::new(3, 3, 0.5, false);
+        let mut rng = SimRng::new(3);
+        let own = ticket(0..10);
+        let candidates = vec![
+            Member { node: 5, state: ticket(0..10) },
+            Member { node: 6, state: ticket(0..10) },
+        ];
+        for _ in 0..20 {
+            pm.clear_stale_pending();
+            let chosen = pm.choose_candidate(&own, &candidates, &[5], &mut rng);
+            assert_eq!(chosen, Some(6));
+        }
+    }
+
+    #[test]
+    fn remove_peer_clears_both_lists() {
+        let mut pm = manager();
+        pm.pending.insert(9);
+        pm.on_peering_accept(9);
+        pm.on_peering_request(9, request());
+        pm.remove_peer(9);
+        assert!(!pm.is_sender(9));
+        assert!(!pm.is_receiver(9));
+    }
+}

@@ -1,0 +1,173 @@
+//! Stream framing: blocks and objects (paper §1, §2).
+//!
+//! The sender splits the target data stream into sequential *blocks*, which
+//! are further subdivided into packet-sized *objects*. Every object carries a
+//! global sequence number; the mapping between sequence numbers and (block,
+//! offset) pairs is what lets receivers know which block an arriving packet
+//! belongs to and when a block can be decoded.
+
+/// Identifies one object within the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// Index of the block the object belongs to.
+    pub block: u64,
+    /// Offset of the object within its block.
+    pub offset: u32,
+}
+
+/// Fixed framing parameters shared by the sender and all receivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Framing {
+    /// Number of objects per block.
+    pub objects_per_block: u32,
+    /// Payload bytes per object (typically one packet's payload).
+    pub object_bytes: u32,
+}
+
+impl Framing {
+    /// Creates a framing description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(objects_per_block: u32, object_bytes: u32) -> Self {
+        assert!(objects_per_block > 0, "blocks must contain objects");
+        assert!(object_bytes > 0, "objects must carry payload");
+        Framing {
+            objects_per_block,
+            object_bytes,
+        }
+    }
+
+    /// Bytes of payload carried by one full block.
+    pub fn block_bytes(&self) -> u64 {
+        self.objects_per_block as u64 * self.object_bytes as u64
+    }
+
+    /// Maps a global sequence number to its (block, offset) pair.
+    pub fn object_of(&self, seq: u64) -> ObjectId {
+        ObjectId {
+            block: seq / self.objects_per_block as u64,
+            offset: (seq % self.objects_per_block as u64) as u32,
+        }
+    }
+
+    /// Maps a (block, offset) pair back to the global sequence number.
+    pub fn seq_of(&self, object: ObjectId) -> u64 {
+        object.block * self.objects_per_block as u64 + object.offset as u64
+    }
+
+    /// The sequence-number range `[low, high]` of a block.
+    pub fn block_range(&self, block: u64) -> (u64, u64) {
+        let low = block * self.objects_per_block as u64;
+        (low, low + self.objects_per_block as u64 - 1)
+    }
+
+    /// Number of whole blocks needed to carry `total_bytes` of data.
+    pub fn blocks_for(&self, total_bytes: u64) -> u64 {
+        total_bytes.div_ceil(self.block_bytes())
+    }
+}
+
+/// Tracks per-block completion for a receiver, independent of the encoding
+/// scheme in use (for the null encoding a block completes when every object
+/// arrives; for erasure codes the decoder decides).
+#[derive(Clone, Debug)]
+pub struct BlockProgress {
+    framing: Framing,
+    received: std::collections::HashMap<u64, u32>,
+    complete: std::collections::HashSet<u64>,
+}
+
+impl BlockProgress {
+    /// Creates an empty tracker.
+    pub fn new(framing: Framing) -> Self {
+        BlockProgress {
+            framing,
+            received: std::collections::HashMap::new(),
+            complete: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Records the arrival of `seq`. Returns `Some(block)` if this arrival
+    /// completed the block.
+    pub fn on_object(&mut self, seq: u64) -> Option<u64> {
+        let object = self.framing.object_of(seq);
+        if self.complete.contains(&object.block) {
+            return None;
+        }
+        let count = self.received.entry(object.block).or_insert(0);
+        *count += 1;
+        if *count >= self.framing.objects_per_block {
+            self.complete.insert(object.block);
+            self.received.remove(&object.block);
+            Some(object.block)
+        } else {
+            None
+        }
+    }
+
+    /// Number of blocks fully received.
+    pub fn complete_blocks(&self) -> usize {
+        self.complete.len()
+    }
+
+    /// Whether a specific block is complete.
+    pub fn is_complete(&self, block: u64) -> bool {
+        self.complete.contains(&block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_object_round_trip() {
+        let framing = Framing::new(100, 1_400);
+        for seq in [0u64, 1, 99, 100, 101, 54_321] {
+            let obj = framing.object_of(seq);
+            assert_eq!(framing.seq_of(obj), seq);
+        }
+        assert_eq!(framing.object_of(250), ObjectId { block: 2, offset: 50 });
+    }
+
+    #[test]
+    fn block_range_covers_exactly_one_block() {
+        let framing = Framing::new(64, 1_000);
+        let (low, high) = framing.block_range(3);
+        assert_eq!(low, 192);
+        assert_eq!(high, 255);
+        assert_eq!(framing.object_of(low).block, 3);
+        assert_eq!(framing.object_of(high).block, 3);
+        assert_eq!(framing.object_of(high + 1).block, 4);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let framing = Framing::new(10, 100);
+        assert_eq!(framing.block_bytes(), 1_000);
+        assert_eq!(framing.blocks_for(1), 1);
+        assert_eq!(framing.blocks_for(1_000), 1);
+        assert_eq!(framing.blocks_for(1_001), 2);
+    }
+
+    #[test]
+    fn progress_reports_completion_once() {
+        let framing = Framing::new(4, 100);
+        let mut progress = BlockProgress::new(framing);
+        assert_eq!(progress.on_object(0), None);
+        assert_eq!(progress.on_object(1), None);
+        assert_eq!(progress.on_object(2), None);
+        assert_eq!(progress.on_object(3), Some(0));
+        assert_eq!(progress.on_object(3), None, "already complete");
+        assert!(progress.is_complete(0));
+        assert_eq!(progress.complete_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must contain objects")]
+    fn zero_objects_per_block_rejected() {
+        Framing::new(0, 100);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bullet-codec
+//!
+//! Data encoding schemes for Bullet (paper §2.1).
+//!
+//! Depending on the application, Bullet can disseminate data under a "digital
+//! fountain" erasure code — so that any sufficiently large subset of packets
+//! reconstructs the original blocks — or under the null encoding where the
+//! raw stream is forwarded best-effort. This crate provides:
+//!
+//! * [`block`] — the block/object framing shared by every scheme,
+//! * [`lt`] — LT codes (rateless, robust-soliton degrees, peeling decoder),
+//! * [`tornado`] — a Tornado-style systematic XOR code with a fixed stretch
+//!   factor,
+//! * [`null`] — the pass-through encoding, and
+//! * [`peeling`] — the shared peeling decoder the XOR codes are built on.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod lt;
+pub mod null;
+pub mod peeling;
+pub mod tornado;
+
+pub use block::{BlockProgress, Framing, ObjectId};
+pub use lt::{LtDecoder, LtEncoder, LtSymbol, RobustSoliton};
+pub use null::{NullDecoder, NullEncoder};
+pub use peeling::PeelingDecoder;
+pub use tornado::{TornadoDecoder, TornadoEncoder, TornadoSymbol};

@@ -1,0 +1,291 @@
+//! LT codes (Luby Transform), the rateless fountain code cited by the paper
+//! (§2.1) as removing Tornado codes' fixed stretch factor.
+//!
+//! The encoder draws each symbol's degree from the robust soliton
+//! distribution, picks that many distinct source symbols pseudo-randomly from
+//! the symbol id, and XORs them. Because the neighbor set is derived
+//! deterministically from `(stream seed, symbol id)`, the receiver can
+//! reconstruct it from the id alone — no neighbor list needs to travel with
+//! the packet.
+
+use crate::peeling::PeelingDecoder;
+
+/// The robust soliton degree distribution for `k` source symbols.
+#[derive(Clone, Debug)]
+pub struct RobustSoliton {
+    cumulative: Vec<f64>,
+}
+
+impl RobustSoliton {
+    /// Builds the distribution with the customary parameters
+    /// (`c`, `delta`) controlling the spike and tail.
+    pub fn new(k: usize, c: f64, delta: f64) -> Self {
+        assert!(k > 0);
+        let kf = k as f64;
+        let r = c * (kf / delta).ln() * kf.sqrt();
+        let spike = ((kf / r).floor() as usize).clamp(1, k);
+        // Ideal soliton rho(d).
+        let mut weights = vec![0.0; k + 1];
+        weights[1] = 1.0 / kf;
+        for (d, w) in weights.iter_mut().enumerate().skip(2) {
+            *w = 1.0 / (d as f64 * (d as f64 - 1.0));
+        }
+        // Robust addition tau(d).
+        for (d, w) in weights.iter_mut().enumerate().skip(1) {
+            if d < spike {
+                *w += r / (d as f64 * kf);
+            } else if d == spike {
+                *w += r * (r / delta).ln() / kf;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for &w in weights.iter().skip(1) {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        RobustSoliton { cumulative }
+    }
+
+    /// Standard parameters (c = 0.1, delta = 0.5) giving the ~5% reception
+    /// overhead the paper quotes for LT codes.
+    pub fn standard(k: usize) -> Self {
+        RobustSoliton::new(k, 0.1, 0.5)
+    }
+
+    /// Samples a degree in `[1, k]` from a uniform `u` in `[0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        match self
+            .cumulative
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in distribution"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the neighbor set (source symbol indices) of encoded symbol `id`.
+///
+/// Shared by the encoder and decoder so only the id needs to be transmitted.
+pub fn neighbors(k: usize, stream_seed: u64, id: u64, dist: &RobustSoliton) -> Vec<usize> {
+    let mut state = splitmix(stream_seed ^ id.wrapping_mul(0xA24BAED4963EE407));
+    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+    let degree = dist.sample(u).min(k);
+    let mut picked = Vec::with_capacity(degree);
+    while picked.len() < degree {
+        state = splitmix(state);
+        let idx = (state % k as u64) as usize;
+        if !picked.contains(&idx) {
+            picked.push(idx);
+        }
+    }
+    picked
+}
+
+/// An encoded LT symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LtSymbol {
+    /// Symbol id; the neighbor set is derived from it.
+    pub id: u64,
+    /// XOR of the covered source symbols.
+    pub data: Vec<u8>,
+}
+
+/// The LT encoder for one block of source data.
+#[derive(Clone, Debug)]
+pub struct LtEncoder {
+    source: Vec<Vec<u8>>,
+    seed: u64,
+    dist: RobustSoliton,
+}
+
+impl LtEncoder {
+    /// Creates an encoder over `source` symbols (all the same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is empty or symbols have differing lengths.
+    pub fn new(source: Vec<Vec<u8>>, seed: u64) -> Self {
+        assert!(!source.is_empty(), "cannot encode an empty block");
+        let len = source[0].len();
+        assert!(
+            source.iter().all(|s| s.len() == len),
+            "all source symbols must have equal length"
+        );
+        let dist = RobustSoliton::standard(source.len());
+        LtEncoder { source, seed, dist }
+    }
+
+    /// Number of source symbols `k`.
+    pub fn k(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Produces encoded symbol `id`. Ids may be any `u64`; an unbounded
+    /// stream of distinct ids yields the rateless property.
+    pub fn symbol(&self, id: u64) -> LtSymbol {
+        let covers = neighbors(self.k(), self.seed, id, &self.dist);
+        let mut data = vec![0u8; self.source[0].len()];
+        for &idx in &covers {
+            for (d, s) in data.iter_mut().zip(&self.source[idx]) {
+                *d ^= s;
+            }
+        }
+        LtSymbol { id, data }
+    }
+}
+
+/// The LT decoder for one block.
+#[derive(Clone, Debug)]
+pub struct LtDecoder {
+    inner: PeelingDecoder,
+    k: usize,
+    seed: u64,
+    dist: RobustSoliton,
+}
+
+impl LtDecoder {
+    /// Creates a decoder expecting `k` source symbols of `symbol_bytes` each,
+    /// for the stream identified by `seed`.
+    pub fn new(k: usize, symbol_bytes: usize, seed: u64) -> Self {
+        LtDecoder {
+            inner: PeelingDecoder::new(k, symbol_bytes),
+            k,
+            seed,
+            dist: RobustSoliton::standard(k),
+        }
+    }
+
+    /// Feeds one received symbol. Returns the number of newly recovered
+    /// source symbols.
+    pub fn add(&mut self, symbol: &LtSymbol) -> usize {
+        let covers = neighbors(self.k, self.seed, symbol.id, &self.dist);
+        self.inner.add_symbol(&covers, &symbol.data)
+    }
+
+    /// Whether the whole block has been recovered.
+    pub fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    /// Symbols consumed divided by `k` (the reception overhead `1 + ε`).
+    pub fn overhead(&self) -> f64 {
+        self.inner.overhead()
+    }
+
+    /// Recovered source symbols, if complete.
+    pub fn into_source(self) -> Option<Vec<Vec<u8>>> {
+        self.inner.into_source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_source(k: usize, bytes: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..bytes)
+                    .map(|j| (splitmix((i * bytes + j) as u64) & 0xFF) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_with_modest_overhead() {
+        let k = 100;
+        let source = make_source(k, 64);
+        let enc = LtEncoder::new(source.clone(), 42);
+        let mut dec = LtDecoder::new(k, 64, 42);
+        let mut used = 0;
+        for id in 0..(3 * k as u64) {
+            used += 1;
+            dec.add(&enc.symbol(id));
+            if dec.is_complete() {
+                break;
+            }
+        }
+        assert!(dec.is_complete(), "failed to decode after {used} symbols");
+        assert!(
+            dec.overhead() < 1.6,
+            "reception overhead {} unexpectedly high",
+            dec.overhead()
+        );
+        assert_eq!(dec.into_source().unwrap(), source);
+    }
+
+    #[test]
+    fn decoding_tolerates_arbitrary_losses() {
+        let k = 50;
+        let source = make_source(k, 32);
+        let enc = LtEncoder::new(source.clone(), 7);
+        let mut dec = LtDecoder::new(k, 32, 7);
+        // Drop two out of every three symbols; use only ids divisible by 3.
+        let mut id = 0u64;
+        while !dec.is_complete() && id < 10_000 {
+            if id % 3 == 0 {
+                dec.add(&enc.symbol(id));
+            }
+            id += 1;
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.into_source().unwrap(), source);
+    }
+
+    #[test]
+    fn encoder_and_decoder_agree_on_neighbors() {
+        let dist = RobustSoliton::standard(200);
+        for id in 0..100u64 {
+            let a = neighbors(200, 9, id, &dist);
+            let b = neighbors(200, 9, id, &dist);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert!(a.iter().all(|&i| i < 200));
+            // Distinct indices.
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), a.len());
+        }
+    }
+
+    #[test]
+    fn soliton_distribution_is_a_distribution() {
+        let dist = RobustSoliton::standard(1_000);
+        assert_eq!(dist.sample(0.0), 1);
+        assert!(dist.sample(0.999_999) <= 1_000);
+        // Degree-1 and degree-2 symbols dominate.
+        let low_degree = (0..10_000)
+            .map(|i| dist.sample(i as f64 / 10_000.0))
+            .filter(|&d| d <= 2)
+            .count();
+        assert!(low_degree > 4_000, "only {low_degree} low-degree samples");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_symbols() {
+        let source = make_source(20, 16);
+        let a = LtEncoder::new(source.clone(), 1).symbol(5);
+        let b = LtEncoder::new(source, 2).symbol(5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_symbol_lengths_rejected() {
+        LtEncoder::new(vec![vec![0u8; 4], vec![0u8; 5]], 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The "null" encoding scheme (paper §2.1): the original data stream is
+//! transmitted best-effort, one object per packet, with no redundancy.
+//!
+//! It exists so that applications which do not want coding (or that layer
+//! their own) can still use the Bullet machinery; a block is usable only when
+//! every one of its objects has arrived.
+
+use crate::block::{BlockProgress, Framing};
+
+/// Pass-through "encoder": object `seq` is just the corresponding slice of
+/// the input data.
+#[derive(Clone, Debug)]
+pub struct NullEncoder {
+    framing: Framing,
+    data: Vec<u8>,
+}
+
+impl NullEncoder {
+    /// Wraps `data` with the given framing.
+    pub fn new(framing: Framing, data: Vec<u8>) -> Self {
+        NullEncoder { framing, data }
+    }
+
+    /// Total number of objects in the stream.
+    pub fn objects(&self) -> u64 {
+        (self.data.len() as u64).div_ceil(self.framing.object_bytes as u64)
+    }
+
+    /// The payload of object `seq`, zero-padded at the tail of the stream.
+    /// Returns `None` past the end of the data.
+    pub fn object(&self, seq: u64) -> Option<Vec<u8>> {
+        if seq >= self.objects() {
+            return None;
+        }
+        let size = self.framing.object_bytes as usize;
+        let start = seq as usize * size;
+        let end = (start + size).min(self.data.len());
+        let mut payload = self.data[start..end].to_vec();
+        payload.resize(size, 0);
+        Some(payload)
+    }
+}
+
+/// Pass-through "decoder": collects objects and reassembles the stream once
+/// every object of every block has arrived.
+#[derive(Clone, Debug)]
+pub struct NullDecoder {
+    framing: Framing,
+    progress: BlockProgress,
+    objects: std::collections::BTreeMap<u64, Vec<u8>>,
+    total_objects: u64,
+}
+
+impl NullDecoder {
+    /// Creates a decoder expecting `total_objects` objects.
+    pub fn new(framing: Framing, total_objects: u64) -> Self {
+        NullDecoder {
+            framing,
+            progress: BlockProgress::new(framing),
+            objects: std::collections::BTreeMap::new(),
+            total_objects,
+        }
+    }
+
+    /// Records the arrival of object `seq`. Returns `Some(block)` when this
+    /// arrival completes a block.
+    pub fn add(&mut self, seq: u64, payload: Vec<u8>) -> Option<u64> {
+        if seq >= self.total_objects || self.objects.contains_key(&seq) {
+            return None;
+        }
+        self.objects.insert(seq, payload);
+        self.progress.on_object(seq)
+    }
+
+    /// Number of distinct objects received.
+    pub fn received(&self) -> u64 {
+        self.objects.len() as u64
+    }
+
+    /// Whether the whole stream has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.received() == self.total_objects
+    }
+
+    /// Reassembles the stream if complete.
+    pub fn into_data(self) -> Option<Vec<u8>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut data = Vec::with_capacity(
+            self.total_objects as usize * self.framing.object_bytes as usize,
+        );
+        for (_, payload) in self.objects {
+            data.extend_from_slice(&payload);
+        }
+        Some(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reassembles_the_stream() {
+        let framing = Framing::new(4, 10);
+        let data: Vec<u8> = (0..100u8).collect();
+        let enc = NullEncoder::new(framing, data.clone());
+        assert_eq!(enc.objects(), 10);
+        let mut dec = NullDecoder::new(framing, enc.objects());
+        for seq in 0..enc.objects() {
+            dec.add(seq, enc.object(seq).unwrap());
+        }
+        assert!(dec.is_complete());
+        let out = dec.into_data().unwrap();
+        assert_eq!(&out[..100], &data[..]);
+    }
+
+    #[test]
+    fn tail_object_is_padded() {
+        let framing = Framing::new(4, 10);
+        let enc = NullEncoder::new(framing, vec![7u8; 15]);
+        assert_eq!(enc.objects(), 2);
+        let tail = enc.object(1).unwrap();
+        assert_eq!(tail.len(), 10);
+        assert_eq!(&tail[..5], &[7u8; 5]);
+        assert_eq!(&tail[5..], &[0u8; 5]);
+        assert_eq!(enc.object(2), None);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_arrivals_are_handled() {
+        let framing = Framing::new(2, 4);
+        let data: Vec<u8> = (0..16u8).collect();
+        let enc = NullEncoder::new(framing, data);
+        let mut dec = NullDecoder::new(framing, enc.objects());
+        let order = [3u64, 0, 3, 2, 1];
+        let mut completed_blocks = Vec::new();
+        for &seq in &order {
+            if let Some(block) = dec.add(seq, enc.object(seq).unwrap()) {
+                completed_blocks.push(block);
+            }
+        }
+        assert!(dec.is_complete());
+        assert_eq!(completed_blocks, vec![1, 0]);
+    }
+
+    #[test]
+    fn incomplete_stream_does_not_reassemble() {
+        let framing = Framing::new(2, 4);
+        let dec = NullDecoder::new(framing, 4);
+        assert!(!dec.is_complete());
+        assert!(dec.into_data().is_none());
+    }
+}

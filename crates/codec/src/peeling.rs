@@ -1,0 +1,247 @@
+//! A shared peeling (belief-propagation) decoder for XOR-based erasure codes.
+//!
+//! Both Tornado-style codes and LT codes produce encoded symbols that are the
+//! XOR of some set of source symbols. Decoding proceeds by repeatedly finding
+//! an equation with exactly one unknown source symbol, solving it, and
+//! substituting the result into the remaining equations — the classic peeling
+//! process whose real-time behaviour is what makes the digital fountain
+//! approach practical (paper §2.1).
+
+use std::collections::HashMap;
+
+/// A peeling decoder over `k` source symbols of `symbol_bytes` each.
+#[derive(Clone, Debug)]
+pub struct PeelingDecoder {
+    k: usize,
+    symbol_bytes: usize,
+    recovered: Vec<Option<Vec<u8>>>,
+    recovered_count: usize,
+    /// Pending equations: XOR payload plus the sorted list of still-unknown
+    /// source indices it covers.
+    equations: Vec<Equation>,
+    /// Index from source symbol to the equations referencing it.
+    uses: HashMap<usize, Vec<usize>>,
+    /// Number of symbols fed to the decoder (for overhead statistics).
+    symbols_seen: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Equation {
+    data: Vec<u8>,
+    unknowns: Vec<usize>,
+    live: bool,
+}
+
+fn xor_into(target: &mut [u8], other: &[u8]) {
+    for (t, o) in target.iter_mut().zip(other) {
+        *t ^= o;
+    }
+}
+
+impl PeelingDecoder {
+    /// Creates a decoder for `k` source symbols of `symbol_bytes` bytes.
+    pub fn new(k: usize, symbol_bytes: usize) -> Self {
+        assert!(k > 0, "need at least one source symbol");
+        PeelingDecoder {
+            k,
+            symbol_bytes,
+            recovered: vec![None; k],
+            recovered_count: 0,
+            equations: Vec::new(),
+            uses: HashMap::new(),
+            symbols_seen: 0,
+        }
+    }
+
+    /// Number of source symbols recovered so far.
+    pub fn recovered_count(&self) -> usize {
+        self.recovered_count
+    }
+
+    /// Number of encoded symbols fed to the decoder.
+    pub fn symbols_seen(&self) -> usize {
+        self.symbols_seen
+    }
+
+    /// Whether every source symbol has been recovered.
+    pub fn is_complete(&self) -> bool {
+        self.recovered_count == self.k
+    }
+
+    /// Reception overhead so far: symbols consumed divided by `k`.
+    pub fn overhead(&self) -> f64 {
+        self.symbols_seen as f64 / self.k as f64
+    }
+
+    /// The recovered source symbols, if decoding is complete.
+    pub fn into_source(self) -> Option<Vec<Vec<u8>>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(
+            self.recovered
+                .into_iter()
+                .map(|s| s.expect("complete decoder has all symbols"))
+                .collect(),
+        )
+    }
+
+    /// Adds an encoded symbol that is the XOR of the source symbols listed in
+    /// `covers`. Returns the number of *new* source symbols recovered as a
+    /// result (possibly zero).
+    pub fn add_symbol(&mut self, covers: &[usize], data: &[u8]) -> usize {
+        assert_eq!(data.len(), self.symbol_bytes, "symbol size mismatch");
+        self.symbols_seen += 1;
+        let before = self.recovered_count;
+
+        // Reduce the new equation by already-recovered symbols.
+        let mut payload = data.to_vec();
+        let mut unknowns = Vec::new();
+        for &idx in covers {
+            assert!(idx < self.k, "source index {idx} out of range");
+            match &self.recovered[idx] {
+                Some(known) => xor_into(&mut payload, known),
+                None => {
+                    if !unknowns.contains(&idx) {
+                        unknowns.push(idx)
+                    } else {
+                        // The same index twice cancels out.
+                        unknowns.retain(|&u| u != idx);
+                    }
+                }
+            }
+        }
+        match unknowns.len() {
+            0 => return 0,
+            1 => {
+                self.resolve(unknowns[0], payload);
+            }
+            _ => {
+                let eq_idx = self.equations.len();
+                for &u in &unknowns {
+                    self.uses.entry(u).or_default().push(eq_idx);
+                }
+                self.equations.push(Equation {
+                    data: payload,
+                    unknowns,
+                    live: true,
+                });
+            }
+        }
+        self.recovered_count - before
+    }
+
+    /// Records `value` for source symbol `idx` and propagates through every
+    /// pending equation, iteratively peeling newly solvable ones.
+    fn resolve(&mut self, idx: usize, value: Vec<u8>) {
+        let mut stack = vec![(idx, value)];
+        while let Some((idx, value)) = stack.pop() {
+            if self.recovered[idx].is_some() {
+                continue;
+            }
+            self.recovered[idx] = Some(value);
+            self.recovered_count += 1;
+            let Some(eq_ids) = self.uses.remove(&idx) else {
+                continue;
+            };
+            for eq_id in eq_ids {
+                let eq = &mut self.equations[eq_id];
+                if !eq.live {
+                    continue;
+                }
+                if let Some(pos) = eq.unknowns.iter().position(|&u| u == idx) {
+                    eq.unknowns.swap_remove(pos);
+                    let known = self.recovered[idx].clone().expect("just set");
+                    xor_into(&mut eq.data, &known);
+                    if eq.unknowns.len() == 1 {
+                        eq.live = false;
+                        let solved_idx = eq.unknowns[0];
+                        stack.push((solved_idx, eq.data.clone()));
+                    } else if eq.unknowns.is_empty() {
+                        eq.live = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(byte: u8, len: usize) -> Vec<u8> {
+        vec![byte; len]
+    }
+
+    #[test]
+    fn systematic_symbols_decode_directly() {
+        let mut dec = PeelingDecoder::new(3, 4);
+        assert_eq!(dec.add_symbol(&[0], &sym(1, 4)), 1);
+        assert_eq!(dec.add_symbol(&[1], &sym(2, 4)), 1);
+        assert_eq!(dec.add_symbol(&[2], &sym(3, 4)), 1);
+        assert!(dec.is_complete());
+        let source = dec.into_source().unwrap();
+        assert_eq!(source, vec![sym(1, 4), sym(2, 4), sym(3, 4)]);
+    }
+
+    #[test]
+    fn xor_symbol_recovers_missing_source() {
+        let a = sym(0xAA, 4);
+        let b = sym(0x55, 4);
+        let mut ab = a.clone();
+        xor_into(&mut ab, &b);
+        let mut dec = PeelingDecoder::new(2, 4);
+        dec.add_symbol(&[0], &a);
+        assert!(!dec.is_complete());
+        // The XOR of both recovers b once a is known.
+        assert_eq!(dec.add_symbol(&[0, 1], &ab), 1);
+        assert!(dec.is_complete());
+        assert_eq!(dec.into_source().unwrap()[1], b);
+    }
+
+    #[test]
+    fn chained_peeling_cascades() {
+        // Equations arrive before the symbol that unlocks them.
+        let s: Vec<Vec<u8>> = (0..4u8).map(|i| sym(i + 1, 8)).collect();
+        let mut e01 = s[0].clone();
+        xor_into(&mut e01, &s[1]);
+        let mut e12 = s[1].clone();
+        xor_into(&mut e12, &s[2]);
+        let mut e23 = s[2].clone();
+        xor_into(&mut e23, &s[3]);
+        let mut dec = PeelingDecoder::new(4, 8);
+        assert_eq!(dec.add_symbol(&[0, 1], &e01), 0);
+        assert_eq!(dec.add_symbol(&[1, 2], &e12), 0);
+        assert_eq!(dec.add_symbol(&[2, 3], &e23), 0);
+        // Receiving s0 unlocks the whole chain.
+        assert_eq!(dec.add_symbol(&[0], &s[0]), 4);
+        assert!(dec.is_complete());
+        assert_eq!(dec.into_source().unwrap(), s);
+    }
+
+    #[test]
+    fn duplicate_information_is_harmless() {
+        let mut dec = PeelingDecoder::new(2, 4);
+        dec.add_symbol(&[0], &sym(9, 4));
+        dec.add_symbol(&[0], &sym(9, 4));
+        assert_eq!(dec.recovered_count(), 1);
+        assert_eq!(dec.symbols_seen(), 2);
+        assert!((dec.overhead() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_index_in_one_equation_cancels() {
+        let mut dec = PeelingDecoder::new(2, 4);
+        // x0 ^ x0 ^ x1 = x1.
+        assert_eq!(dec.add_symbol(&[0, 0, 1], &sym(7, 4)), 1);
+        assert_eq!(dec.recovered_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol size mismatch")]
+    fn wrong_symbol_size_panics() {
+        let mut dec = PeelingDecoder::new(2, 4);
+        dec.add_symbol(&[0], &sym(1, 3));
+    }
+}

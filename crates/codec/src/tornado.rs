@@ -1,0 +1,232 @@
+//! A Tornado-style systematic erasure code (paper §2.1).
+//!
+//! Tornado codes transmit the original `k` data packets plus redundant
+//! packets formed by XORing selected data packets; any `(1 + ε)k` received
+//! packets reconstruct the block with ε typically 0.03–0.05, at the cost of a
+//! predetermined stretch factor `n/k`. We implement a single-layer systematic
+//! XOR code with pseudo-random sparse check packets and peeling decoding —
+//! the structure is simplified relative to the full multi-layer cascade, but
+//! it preserves the properties Bullet relies on: systematic transmission, a
+//! fixed stretch factor, low reception overhead, and linear-time peeling.
+
+use crate::peeling::PeelingDecoder;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the set of data packets covered by check packet `check_idx`.
+fn check_neighbors(k: usize, seed: u64, check_idx: u64, degree: usize) -> Vec<usize> {
+    let mut state = splitmix(seed ^ check_idx.wrapping_mul(0xD6E8FEB86659FD93));
+    let mut picked = Vec::with_capacity(degree);
+    while picked.len() < degree.min(k) {
+        state = splitmix(state);
+        let idx = (state % k as u64) as usize;
+        if !picked.contains(&idx) {
+            picked.push(idx);
+        }
+    }
+    picked
+}
+
+/// One packet of a Tornado-encoded block: either an original data packet or
+/// a redundant check packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornadoSymbol {
+    /// Index in `[0, n)`: indices below `k` are systematic data packets,
+    /// the rest are check packets.
+    pub index: u64,
+    /// Payload (data packet) or XOR of covered data packets (check packet).
+    pub data: Vec<u8>,
+}
+
+/// Encoder with a fixed stretch factor `n / k`.
+#[derive(Clone, Debug)]
+pub struct TornadoEncoder {
+    source: Vec<Vec<u8>>,
+    seed: u64,
+    n: usize,
+    check_degree: usize,
+}
+
+impl TornadoEncoder {
+    /// Creates an encoder over `source` with the given stretch factor
+    /// (e.g. 1.5 or 2.0). Check packets cover `check_degree` data packets
+    /// each; small degrees keep encoding and peeling cheap.
+    pub fn new(source: Vec<Vec<u8>>, seed: u64, stretch: f64, check_degree: usize) -> Self {
+        assert!(!source.is_empty(), "cannot encode an empty block");
+        let len = source[0].len();
+        assert!(
+            source.iter().all(|s| s.len() == len),
+            "all source symbols must have equal length"
+        );
+        assert!(stretch >= 1.0, "stretch factor must be at least 1");
+        let k = source.len();
+        let n = ((k as f64) * stretch).round() as usize;
+        TornadoEncoder {
+            source,
+            seed,
+            n: n.max(k),
+            check_degree: check_degree.clamp(2, k.max(2)),
+        }
+    }
+
+    /// Number of source packets `k`.
+    pub fn k(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Total packets per block `n` (stretch × k).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Produces packet `index` of the encoded block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn symbol(&self, index: u64) -> TornadoSymbol {
+        assert!((index as usize) < self.n, "index beyond the stretch factor");
+        let k = self.k();
+        if (index as usize) < k {
+            return TornadoSymbol {
+                index,
+                data: self.source[index as usize].clone(),
+            };
+        }
+        let covers = check_neighbors(k, self.seed, index - k as u64, self.check_degree);
+        let mut data = vec![0u8; self.source[0].len()];
+        for &idx in &covers {
+            for (d, s) in data.iter_mut().zip(&self.source[idx]) {
+                *d ^= s;
+            }
+        }
+        TornadoSymbol { index, data }
+    }
+}
+
+/// Decoder for a Tornado-encoded block.
+#[derive(Clone, Debug)]
+pub struct TornadoDecoder {
+    inner: PeelingDecoder,
+    k: usize,
+    seed: u64,
+    check_degree: usize,
+}
+
+impl TornadoDecoder {
+    /// Creates a decoder matching an encoder's `(k, symbol_bytes, seed,
+    /// check_degree)` parameters.
+    pub fn new(k: usize, symbol_bytes: usize, seed: u64, check_degree: usize) -> Self {
+        TornadoDecoder {
+            inner: PeelingDecoder::new(k, symbol_bytes),
+            k,
+            seed,
+            check_degree: check_degree.clamp(2, k.max(2)),
+        }
+    }
+
+    /// Feeds one received packet; returns the number of newly recovered data
+    /// packets.
+    pub fn add(&mut self, symbol: &TornadoSymbol) -> usize {
+        if (symbol.index as usize) < self.k {
+            self.inner.add_symbol(&[symbol.index as usize], &symbol.data)
+        } else {
+            let covers =
+                check_neighbors(self.k, self.seed, symbol.index - self.k as u64, self.check_degree);
+            self.inner.add_symbol(&covers, &symbol.data)
+        }
+    }
+
+    /// Whether the block is fully recovered.
+    pub fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    /// Reception overhead so far (packets consumed / k).
+    pub fn overhead(&self) -> f64 {
+        self.inner.overhead()
+    }
+
+    /// The recovered data packets, if complete.
+    pub fn into_source(self) -> Option<Vec<Vec<u8>>> {
+        self.inner.into_source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_source(k: usize, bytes: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..bytes).map(|j| ((i * 31 + j * 7) & 0xFF) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn lossless_reception_decodes_from_systematic_packets() {
+        let k = 40;
+        let source = make_source(k, 32);
+        let enc = TornadoEncoder::new(source.clone(), 3, 2.0, 4);
+        let mut dec = TornadoDecoder::new(k, 32, 3, 4);
+        for index in 0..k as u64 {
+            dec.add(&enc.symbol(index));
+        }
+        assert!(dec.is_complete());
+        assert!((dec.overhead() - 1.0).abs() < 1e-9);
+        assert_eq!(dec.into_source().unwrap(), source);
+    }
+
+    #[test]
+    fn check_packets_recover_lost_data_packets() {
+        let k = 60;
+        let source = make_source(k, 16);
+        let enc = TornadoEncoder::new(source.clone(), 11, 2.0, 4);
+        let mut dec = TornadoDecoder::new(k, 16, 11, 4);
+        // Lose 10% of the systematic packets, then read check packets until
+        // the block completes.
+        for index in 0..k as u64 {
+            if index % 10 != 0 {
+                dec.add(&enc.symbol(index));
+            }
+        }
+        assert!(!dec.is_complete());
+        let mut index = k as u64;
+        while !dec.is_complete() && (index as usize) < enc.n() {
+            dec.add(&enc.symbol(index));
+            index += 1;
+        }
+        assert!(dec.is_complete(), "check packets exhausted before recovery");
+        assert!(dec.overhead() < 1.5, "overhead {}", dec.overhead());
+        assert_eq!(dec.into_source().unwrap(), source);
+    }
+
+    #[test]
+    fn stretch_factor_bounds_total_packets() {
+        let enc = TornadoEncoder::new(make_source(100, 8), 1, 1.5, 3);
+        assert_eq!(enc.n(), 150);
+        assert_eq!(enc.k(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the stretch factor")]
+    fn indices_beyond_n_panic() {
+        let enc = TornadoEncoder::new(make_source(10, 8), 1, 1.5, 3);
+        enc.symbol(15);
+    }
+
+    #[test]
+    fn encoder_is_deterministic() {
+        let source = make_source(20, 8);
+        let a = TornadoEncoder::new(source.clone(), 5, 2.0, 3);
+        let b = TornadoEncoder::new(source, 5, 2.0, 3);
+        for index in 0..a.n() as u64 {
+            assert_eq!(a.symbol(index), b.symbol(index));
+        }
+    }
+}

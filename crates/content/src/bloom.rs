@@ -1,0 +1,185 @@
+//! Bloom filters for approximate reconciliation (paper §2.3, §3.2).
+//!
+//! A Bullet receiver describes the packets it already holds with a Bloom
+//! filter and installs it at each sending peer; the peer then forwards only
+//! keys that do not appear in the filter. False positives cause a peer to
+//! withhold a packet the receiver is actually missing (recovered later from
+//! someone else); false negatives never occur, so no bandwidth is wasted on
+//! data the receiver provably has.
+
+/// A fixed-size Bloom filter over `u64` keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `m_bits` bits and `k` hash functions.
+    pub fn new(m_bits: usize, k: u32) -> Self {
+        assert!(m_bits > 0, "a Bloom filter needs at least one bit");
+        assert!(k > 0, "a Bloom filter needs at least one hash function");
+        BloomFilter {
+            bits: vec![0u64; m_bits.div_ceil(64)],
+            m: m_bits,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter sized for `expected_items` at the given target false
+    /// positive rate, using the standard optimal sizing formulas.
+    pub fn for_capacity(expected_items: usize, target_fp: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = target_fp.clamp(1e-9, 0.5);
+        let m = (-(n * p.ln()) / (2f64.ln().powi(2))).ceil().max(64.0) as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;
+        BloomFilter::new(m, k)
+    }
+
+    /// Number of bits in the filter.
+    pub fn bits(&self) -> usize {
+        self.m
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of elements inserted so far.
+    pub fn population(&self) -> usize {
+        self.inserted
+    }
+
+    /// Wire size in bytes (bit array only; header overhead is accounted for
+    /// by callers).
+    pub fn wire_bytes(&self) -> u32 {
+        (self.m as u32).div_ceil(8)
+    }
+
+    fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: two independent 64-bit hashes combined as
+        // h1 + i*h2, the standard Kirsch–Mitzenmacher construction.
+        let h1 = splitmix(key ^ 0x51_7C_C1_B7_27_22_0A_95);
+        let h2 = splitmix(key.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests a key. May return `true` for keys never inserted (false
+    /// positive) but never returns `false` for an inserted key.
+    pub fn contains(&self, key: u64) -> bool {
+        self.positions(key)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Clears the filter (used when rebuilding over a pruned working set).
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// The expected false-positive probability for the current population,
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        let kn = self.k as f64 * self.inserted as f64;
+        let exponent = -kn / self.m as f64;
+        (1.0 - exponent.exp()).powi(self.k as i32)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(4_096, 4);
+        for key in 0..500u64 {
+            bf.insert(key * 13);
+        }
+        for key in 0..500u64 {
+            assert!(bf.contains(key * 13), "inserted key {key} reported absent");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_near_prediction() {
+        let mut bf = BloomFilter::for_capacity(1_000, 0.01);
+        for key in 0..1_000u64 {
+            bf.insert(key);
+        }
+        let fp = (1_000u64..101_000)
+            .filter(|&k| bf.contains(k))
+            .count() as f64
+            / 100_000.0;
+        let predicted = bf.expected_fp_rate();
+        assert!(fp < 0.05, "false positive rate {fp} too high");
+        assert!(
+            (fp - predicted).abs() < 0.02,
+            "observed {fp} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn sizing_formula_produces_reasonable_parameters() {
+        let bf = BloomFilter::for_capacity(1_000, 0.01);
+        // Optimal: m ≈ 9.6 n, k ≈ 7.
+        assert!((8_000..12_000).contains(&bf.bits()), "m={}", bf.bits());
+        assert!((5..=9).contains(&bf.hashes()), "k={}", bf.hashes());
+    }
+
+    #[test]
+    fn clear_empties_the_filter() {
+        let mut bf = BloomFilter::new(1_024, 3);
+        for key in 0..100u64 {
+            bf.insert(key);
+        }
+        bf.clear();
+        assert_eq!(bf.population(), 0);
+        let survivors = (0..100u64).filter(|&k| bf.contains(k)).count();
+        assert_eq!(survivors, 0);
+    }
+
+    #[test]
+    fn wire_bytes_matches_bit_count() {
+        let bf = BloomFilter::new(8_192, 4);
+        assert_eq!(bf.wire_bytes(), 1_024);
+        let bf = BloomFilter::new(100, 2);
+        assert_eq!(bf.wire_bytes(), 13);
+    }
+
+    #[test]
+    fn fp_rate_grows_with_population() {
+        let mut bf = BloomFilter::new(2_048, 4);
+        let mut last = 0.0;
+        for batch in 0..5u64 {
+            for key in batch * 200..(batch + 1) * 200 {
+                bf.insert(key);
+            }
+            let fp = bf.expected_fp_rate();
+            assert!(fp >= last);
+            last = fp;
+        }
+        assert!(last > 0.0 && last < 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Approximate reconciliation between a sending peer and a receiver
+//! (paper §2.3, §3.2).
+//!
+//! The receiver installs a Bloom filter describing its working set at each
+//! sending peer, together with the sequence range it currently cares about
+//! and a `(row, stripe)` assignment that partitions the sequence space among
+//! its senders. A sender then forwards the keys it holds that fall in the
+//! range, match its assigned row, and do not appear in the filter.
+
+use crate::bloom::BloomFilter;
+use crate::working_set::WorkingSet;
+
+/// The reconciliation state a receiver installs at one sending peer.
+#[derive(Clone, Debug)]
+pub struct ReconcileRequest {
+    /// Bloom filter over the receiver's working set.
+    pub filter: BloomFilter,
+    /// Lowest sequence number the receiver is still interested in.
+    pub low: u64,
+    /// Highest sequence number the receiver is interested in.
+    pub high: u64,
+    /// Total number of senders the receiver currently has (the number of
+    /// rows in its sequence matrix, Fig. 4).
+    pub stripe: u64,
+    /// The row of the matrix assigned to this sender: forward only keys with
+    /// `key % stripe == row`.
+    pub row: u64,
+}
+
+impl ReconcileRequest {
+    /// Creates a request covering `[low, high]` striped over `stripe` senders
+    /// with this sender owning `row`.
+    pub fn new(filter: BloomFilter, low: u64, high: u64, stripe: u64, row: u64) -> Self {
+        let stripe = stripe.max(1);
+        ReconcileRequest {
+            filter,
+            low,
+            high,
+            stripe,
+            row: row % stripe,
+        }
+    }
+
+    /// Whether `key` matches this request (in range, on the assigned row, and
+    /// not already described by the receiver's Bloom filter).
+    pub fn wants(&self, key: u64) -> bool {
+        key >= self.low
+            && key <= self.high
+            && key % self.stripe == self.row
+            && !self.filter.contains(key)
+    }
+
+    /// Wire size of the request in bytes: the Bloom filter plus range and
+    /// striping fields.
+    pub fn wire_bytes(&self) -> u32 {
+        self.filter.wire_bytes() + 24
+    }
+}
+
+/// Computes the keys a sender holding `have` should transmit for `request`,
+/// up to `limit` keys, lowest sequence numbers first.
+///
+/// This is the sender-side half of approximate reconciliation: the result
+/// contains no keys the receiver provably has (no false negatives in the
+/// Bloom filter) but may omit keys the receiver is missing if the filter
+/// returned a false positive for them.
+pub fn missing_keys(have: &WorkingSet, request: &ReconcileRequest, limit: usize) -> Vec<u64> {
+    have.iter_range(request.low, request.high)
+        .filter(|&key| key % request.stripe == request.row && !request.filter.contains(key))
+        .take(limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_of(keys: &[u64]) -> BloomFilter {
+        let mut bf = BloomFilter::for_capacity(keys.len().max(16), 0.01);
+        for &k in keys {
+            bf.insert(k);
+        }
+        bf
+    }
+
+    fn working_set_of(range: std::ops::Range<u64>) -> WorkingSet {
+        let mut ws = WorkingSet::new();
+        for k in range {
+            ws.insert(k);
+        }
+        ws
+    }
+
+    #[test]
+    fn sender_offers_only_missing_keys() {
+        let sender = working_set_of(0..100);
+        let receiver_has: Vec<u64> = (0..50).collect();
+        let request = ReconcileRequest::new(filter_of(&receiver_has), 0, 99, 1, 0);
+        let offered = missing_keys(&sender, &request, usize::MAX);
+        // Nothing the receiver already has may be offered.
+        for key in &offered {
+            assert!(!receiver_has.contains(key));
+        }
+        // Most of 50..100 should be offered (false positives may hide a few).
+        assert!(offered.len() >= 45, "offered only {} keys", offered.len());
+    }
+
+    #[test]
+    fn striping_partitions_the_sequence_space() {
+        let sender = working_set_of(0..100);
+        let empty = BloomFilter::new(1_024, 4);
+        let r0 = ReconcileRequest::new(empty.clone(), 0, 99, 4, 1);
+        let offered = missing_keys(&sender, &r0, usize::MAX);
+        assert!(!offered.is_empty());
+        assert!(offered.iter().all(|k| k % 4 == 1));
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let sender = working_set_of(0..1_000);
+        let empty = BloomFilter::new(1_024, 4);
+        let request = ReconcileRequest::new(empty, 200, 299, 1, 0);
+        let offered = missing_keys(&sender, &request, usize::MAX);
+        assert_eq!(offered.len(), 100);
+        assert!(offered.iter().all(|&k| (200..300).contains(&k)));
+    }
+
+    #[test]
+    fn limit_truncates_lowest_first() {
+        let sender = working_set_of(0..100);
+        let empty = BloomFilter::new(1_024, 4);
+        let request = ReconcileRequest::new(empty, 0, 99, 1, 0);
+        let offered = missing_keys(&sender, &request, 10);
+        assert_eq!(offered, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_stripe_is_coerced_to_one() {
+        let request = ReconcileRequest::new(BloomFilter::new(64, 2), 0, 10, 0, 5);
+        assert_eq!(request.stripe, 1);
+        assert_eq!(request.row, 0);
+        assert!(request.wants(3));
+    }
+
+    #[test]
+    fn wants_respects_all_three_conditions() {
+        let receiver_has = [4u64];
+        let request = ReconcileRequest::new(filter_of(&receiver_has), 2, 8, 2, 0);
+        assert!(request.wants(6));
+        assert!(!request.wants(4), "already held");
+        assert!(!request.wants(5), "wrong row");
+        assert!(!request.wants(10), "out of range");
+    }
+}

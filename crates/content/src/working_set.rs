@@ -1,0 +1,193 @@
+//! Working sets (paper §2.3, §3.1).
+//!
+//! Each node maintains a *working set*: the sequence numbers of packets it
+//! has received over some recent window. The working set backs the node's
+//! summary ticket and Bloom filter, and is pruned as old packets stop being
+//! useful for reconstruction so that the Bloom filter's population stays
+//! bounded.
+
+use std::collections::BTreeSet;
+
+/// A set of received packet sequence numbers over a sliding window.
+#[derive(Clone, Debug, Default)]
+pub struct WorkingSet {
+    seqs: BTreeSet<u64>,
+    /// Sequence numbers below this have been pruned and are no longer
+    /// represented (they may or may not have been received).
+    low_watermark: u64,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a received sequence number. Returns `true` if it was new.
+    ///
+    /// Sequence numbers below the low watermark are ignored: they fall
+    /// outside the window the node still cares about.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.low_watermark {
+            return false;
+        }
+        self.seqs.insert(seq)
+    }
+
+    /// Whether `seq` is present in the working set.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.seqs.contains(&seq)
+    }
+
+    /// Number of sequence numbers currently held.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the working set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// The smallest sequence number still held, if any.
+    pub fn min_seq(&self) -> Option<u64> {
+        self.seqs.iter().next().copied()
+    }
+
+    /// The largest sequence number held, if any.
+    pub fn max_seq(&self) -> Option<u64> {
+        self.seqs.iter().next_back().copied()
+    }
+
+    /// The window `(low, high)` of sequence numbers this node currently cares
+    /// about: `low` is the pruning watermark, `high` the largest received.
+    pub fn range(&self) -> (u64, u64) {
+        (self.low_watermark, self.max_seq().unwrap_or(self.low_watermark))
+    }
+
+    /// The low watermark (lowest sequence number still represented).
+    pub fn low_watermark(&self) -> u64 {
+        self.low_watermark
+    }
+
+    /// Removes all sequence numbers below `low` and raises the watermark.
+    ///
+    /// This is the "removing older items that are not needed for data
+    /// reconstruction" step the paper describes; it bounds both memory and
+    /// the Bloom filter population.
+    pub fn prune_below(&mut self, low: u64) {
+        if low <= self.low_watermark {
+            return;
+        }
+        self.seqs = self.seqs.split_off(&low);
+        self.low_watermark = low;
+    }
+
+    /// Keeps only the most recent `max_len` sequence numbers, pruning older
+    /// ones. Returns the new low watermark.
+    pub fn prune_to_len(&mut self, max_len: usize) -> u64 {
+        if self.seqs.len() > max_len {
+            let cutoff = *self
+                .seqs
+                .iter()
+                .rev()
+                .nth(max_len - 1)
+                .expect("len checked above");
+            self.prune_below(cutoff);
+        }
+        self.low_watermark
+    }
+
+    /// Iterates over held sequence numbers in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seqs.iter().copied()
+    }
+
+    /// Sequence numbers in `[low, high]`, in increasing order.
+    pub fn iter_range(&self, low: u64, high: u64) -> impl Iterator<Item = u64> + '_ {
+        self.seqs.range(low..=high).copied()
+    }
+
+    /// Counts missing sequence numbers in `[low, high]` (gaps in the set).
+    pub fn missing_in_range(&self, low: u64, high: u64) -> u64 {
+        if high < low {
+            return 0;
+        }
+        let span = high - low + 1;
+        let held = self.seqs.range(low..=high).count() as u64;
+        span - held
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut ws = WorkingSet::new();
+        assert!(ws.insert(5));
+        assert!(!ws.insert(5));
+        assert!(ws.contains(5));
+        assert!(!ws.contains(6));
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn range_tracks_extremes() {
+        let mut ws = WorkingSet::new();
+        for seq in [10, 3, 7, 20] {
+            ws.insert(seq);
+        }
+        assert_eq!(ws.min_seq(), Some(3));
+        assert_eq!(ws.max_seq(), Some(20));
+        assert_eq!(ws.range(), (0, 20));
+    }
+
+    #[test]
+    fn prune_below_discards_and_blocks_reinsertion() {
+        let mut ws = WorkingSet::new();
+        for seq in 0..100 {
+            ws.insert(seq);
+        }
+        ws.prune_below(50);
+        assert_eq!(ws.len(), 50);
+        assert!(!ws.contains(10));
+        assert!(!ws.insert(10), "pruned seqs must not be reinserted");
+        assert_eq!(ws.low_watermark(), 50);
+        assert_eq!(ws.range(), (50, 99));
+    }
+
+    #[test]
+    fn prune_to_len_keeps_newest() {
+        let mut ws = WorkingSet::new();
+        for seq in 0..1_000 {
+            ws.insert(seq);
+        }
+        ws.prune_to_len(100);
+        assert_eq!(ws.len(), 100);
+        assert_eq!(ws.min_seq(), Some(900));
+        assert_eq!(ws.max_seq(), Some(999));
+    }
+
+    #[test]
+    fn missing_in_range_counts_gaps() {
+        let mut ws = WorkingSet::new();
+        for seq in [0, 1, 2, 5, 9] {
+            ws.insert(seq);
+        }
+        assert_eq!(ws.missing_in_range(0, 9), 5);
+        assert_eq!(ws.missing_in_range(0, 2), 0);
+        assert_eq!(ws.missing_in_range(9, 0), 0);
+    }
+
+    #[test]
+    fn iter_range_is_ordered_and_bounded() {
+        let mut ws = WorkingSet::new();
+        for seq in [8, 2, 6, 4, 10] {
+            ws.insert(seq);
+        }
+        let got: Vec<u64> = ws.iter_range(3, 9).collect();
+        assert_eq!(got, vec![4, 6, 8]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Experiment environments: topologies and trees.
+//!
+//! Small helpers that turn a [`Scale`] plus the paper's per-figure settings
+//! (bandwidth profile, loss profile, participant count) into a generated
+//! topology, and the overlay trees each figure needs (random, offline
+//! bottleneck, Overcast-like, hand-crafted good/worst).
+
+use bullet_netsim::{LinkSpec, Network, NetworkSpec, OverlayId, SimDuration, SimRng};
+use bullet_overlay::{
+    bottleneck_tree, good_tree, overcast_tree, random_tree, worst_tree, OmbtConfig, OvercastConfig,
+    ThroughputOracle, Tree,
+};
+use bullet_topology::{generate, BandwidthProfile, BuiltTopology, LossProfile, TopologyConfig};
+
+use crate::scale::Scale;
+
+/// Builds the transit-stub topology for one experiment.
+pub fn build_topology(
+    scale: Scale,
+    participants: usize,
+    bandwidth: BandwidthProfile,
+    loss: LossProfile,
+    seed: u64,
+) -> BuiltTopology {
+    let mut config = match scale {
+        Scale::Small => TopologyConfig::small(participants, seed),
+        Scale::Default => TopologyConfig::emulation(participants, seed),
+        Scale::Paper => TopologyConfig::paper_scale(participants, seed),
+    };
+    config.bandwidth = bandwidth;
+    config.loss = loss;
+    generate(&config)
+}
+
+/// The overlay tree constructions used across the figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Degree-constrained random tree (Bullet's usual substrate).
+    Random {
+        /// Maximum children per node.
+        max_children: usize,
+    },
+    /// The offline greedy bottleneck-bandwidth tree of §4.1.
+    Bottleneck,
+    /// The Overcast-like online bandwidth-optimized tree.
+    Overcast,
+    /// Hand-crafted "good" tree: fastest nodes (per oracle bandwidth from the
+    /// source) closest to the root (§4.7).
+    Good,
+    /// Hand-crafted "worst" tree: slowest nodes closest to the root (§4.7).
+    Worst,
+}
+
+/// Builds the requested tree over the participants of `topo`.
+pub fn build_tree(topo: &BuiltTopology, kind: TreeKind, root: OverlayId, seed: u64) -> Tree {
+    let participants = topo.participants();
+    match kind {
+        TreeKind::Random { max_children } => {
+            let mut rng = SimRng::new(seed ^ 0x7EE);
+            random_tree(participants, root, max_children, &mut rng)
+        }
+        TreeKind::Bottleneck => {
+            let mut net = Network::new(&topo.spec);
+            bottleneck_tree(&mut net, participants, root, &OmbtConfig::default())
+        }
+        TreeKind::Overcast => {
+            let mut net = Network::new(&topo.spec);
+            overcast_tree(&mut net, participants, root, &OvercastConfig::default())
+        }
+        TreeKind::Good => {
+            let metric = bandwidth_metric_from_source(topo, root);
+            good_tree(root, &metric, 3)
+        }
+        TreeKind::Worst => {
+            let metric = bandwidth_metric_from_source(topo, root);
+            worst_tree(root, &metric, 3)
+        }
+    }
+}
+
+/// Per-node available-bandwidth metric from the source, standing in for the
+/// paper's pathload measurements when hand-crafting trees.
+pub fn bandwidth_metric_from_source(topo: &BuiltTopology, root: OverlayId) -> Vec<f64> {
+    let mut net = Network::new(&topo.spec);
+    let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+    (0..topo.participants())
+        .map(|node| {
+            if node == root {
+                f64::MAX
+            } else {
+                oracle.estimate_bps(root, node).unwrap_or(0.0)
+            }
+        })
+        .collect()
+}
+
+/// The constrained-source environment standing in for the PlanetLab
+/// deployment of §4.7 (see DESIGN.md for the substitution rationale).
+#[derive(Clone, Debug)]
+pub struct ConstrainedSourceTopology {
+    /// Simulator network spec.
+    pub spec: NetworkSpec,
+    /// Per-participant access bandwidth, bits per second.
+    pub access_bps: Vec<f64>,
+    /// The source participant (attached behind the constrained uplink).
+    pub source: OverlayId,
+}
+
+/// Builds the constrained-source topology: the source and `regional` other
+/// nodes sit behind modest access links in one region, `remote` nodes sit in
+/// a well-provisioned region, and the two regions are joined by a wide
+/// transit link. When `constrain_source` is false every node (including the
+/// source) gets a fast access link, reproducing the paper's follow-up run
+/// where Bullet and a good tree both reach the full streaming rate.
+pub fn constrained_source_topology(
+    regional: usize,
+    remote: usize,
+    constrain_source: bool,
+    seed: u64,
+) -> ConstrainedSourceTopology {
+    let mut rng = SimRng::new(seed ^ 0xF16_15);
+    // Routers: 0 = regional hub, 1 = remote hub.
+    let participants = 1 + regional + remote;
+    let mut spec = NetworkSpec::new(2 + participants);
+    spec.add_link(LinkSpec::new(0, 1, 200e6, SimDuration::from_millis(40)));
+    let mut access_bps = Vec::with_capacity(participants);
+    for node in 0..participants {
+        let router = 2 + node;
+        let (hub, bps) = if node == 0 {
+            // The source.
+            let bps = if constrain_source { 2_500_000.0 } else { 15_000_000.0 };
+            (0, bps)
+        } else if node <= regional {
+            (0, rng.range_f64(2_000_000.0, 4_000_000.0))
+        } else {
+            (1, rng.range_f64(10_000_000.0, 20_000_000.0))
+        };
+        spec.add_link(LinkSpec::new(hub, router, bps, SimDuration::from_millis(5)));
+        spec.attach(router);
+        access_bps.push(bps);
+    }
+    ConstrainedSourceTopology {
+        spec,
+        access_bps,
+        source: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_scales_with_scale() {
+        let small = build_topology(Scale::Small, 20, BandwidthProfile::Medium, LossProfile::None, 1);
+        let default = build_topology(Scale::Default, 20, BandwidthProfile::Medium, LossProfile::None, 1);
+        assert!(default.spec.routers > small.spec.routers);
+        assert_eq!(small.participants(), 20);
+    }
+
+    #[test]
+    fn all_tree_kinds_build_valid_trees() {
+        let topo = build_topology(Scale::Small, 15, BandwidthProfile::Medium, LossProfile::None, 3);
+        for kind in [
+            TreeKind::Random { max_children: 4 },
+            TreeKind::Bottleneck,
+            TreeKind::Overcast,
+            TreeKind::Good,
+            TreeKind::Worst,
+        ] {
+            let tree = build_tree(&topo, kind, 0, 3);
+            assert_eq!(tree.len(), 15, "{kind:?}");
+            assert_eq!(tree.root(), 0, "{kind:?}");
+            assert_eq!(tree.subtree_size(0), 15, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn good_and_worst_trees_differ() {
+        let topo = build_topology(Scale::Small, 20, BandwidthProfile::Low, LossProfile::None, 5);
+        let good = build_tree(&topo, TreeKind::Good, 0, 5);
+        let worst = build_tree(&topo, TreeKind::Worst, 0, 5);
+        assert_ne!(good.parents(), worst.parents());
+    }
+
+    #[test]
+    fn constrained_source_topology_shape() {
+        let topo = constrained_source_topology(10, 36, true, 7);
+        assert_eq!(topo.access_bps.len(), 47);
+        assert_eq!(topo.spec.participants(), 47);
+        assert!(topo.access_bps[0] < 3_000_000.0, "source must be constrained");
+        // Remote nodes are fast.
+        assert!(topo.access_bps[20] >= 10_000_000.0);
+        let unconstrained = constrained_source_topology(10, 36, false, 7);
+        assert!(unconstrained.access_bps[0] > 10_000_000.0);
+    }
+
+    #[test]
+    fn metric_ranks_the_source_highest() {
+        let topo = build_topology(Scale::Small, 10, BandwidthProfile::Medium, LossProfile::None, 9);
+        let metric = bandwidth_metric_from_source(&topo, 0);
+        assert_eq!(metric.len(), 10);
+        assert!(metric[0] > metric[1]);
+        assert!(metric.iter().skip(1).all(|&m| m > 0.0));
+    }
+}

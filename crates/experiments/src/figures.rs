@@ -1,0 +1,681 @@
+//! Per-figure experiment definitions.
+//!
+//! One function per table/figure of the paper's evaluation (§4). Each builds
+//! the topology and trees the paper describes, runs the systems under
+//! comparison, and returns a [`FigureResult`] containing the same curves the
+//! figure plots plus the scalar numbers quoted in the surrounding text. The
+//! bench harnesses in `crates/bench` print these results; EXPERIMENTS.md
+//! records paper-versus-measured for each.
+
+use bullet_baselines::{AntiEntropyConfig, GossipConfig, StreamConfig, StreamTransport};
+use bullet_core::BulletConfig;
+use bullet_netsim::{NetworkSpec, SimDuration, SimTime};
+use bullet_overlay::{good_tree, random_tree, worst_tree};
+use bullet_topology::{BandwidthProfile, BuiltTopology, LossProfile};
+
+use crate::env::{build_topology, build_tree, constrained_source_topology, TreeKind};
+use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
+use crate::protocols::{antientropy_run, bullet_run, gossip_run, streaming_run};
+use crate::runner::{RunResult, RunSpec};
+use crate::scale::Scale;
+
+/// The result of reproducing one figure: the plotted curves plus the scalar
+/// numbers the paper quotes around it.
+#[derive(Clone, Debug, Default)]
+pub struct FigureResult {
+    /// Identifier, e.g. "fig07".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The curves of the figure.
+    pub series: Vec<BandwidthSeries>,
+    /// Scalar summaries per run.
+    pub summaries: Vec<(String, RunSummary)>,
+    /// Free-form observations (crossover points, ratios, ...).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    fn new(id: &str, title: &str) -> Self {
+        FigureResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..FigureResult::default()
+        }
+    }
+
+    fn add_run(&mut self, result: &RunResult) {
+        self.series.push(result.useful.clone());
+        self.summaries
+            .push((result.label.clone(), result.summary.clone()));
+    }
+
+    /// The steady-state bandwidth of the series whose label contains
+    /// `needle`, if any.
+    pub fn steady_state_of(&self, needle: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label.contains(needle))
+            .map(|s| s.steady_state_kbps(0.25))
+    }
+}
+
+/// Shared experiment parameters derived from the scale.
+struct Params {
+    participants: usize,
+    duration: SimDuration,
+    sample: SimDuration,
+    stream_start: SimTime,
+    seed: u64,
+}
+
+impl Params {
+    fn new(scale: Scale, seed: u64) -> Self {
+        Params {
+            participants: scale.participants(),
+            duration: SimDuration::from_secs(scale.duration_secs()),
+            sample: SimDuration::from_secs(scale.sample_secs()),
+            stream_start: SimTime::from_secs(scale.stream_start_secs()),
+            seed,
+        }
+    }
+
+    fn run_spec(&self, label: &str) -> RunSpec {
+        RunSpec {
+            label: label.into(),
+            source: 0,
+            duration: self.duration,
+            sample_interval: self.sample,
+            failure: None,
+        }
+    }
+
+    fn bullet_config(&self, rate_bps: f64) -> BulletConfig {
+        BulletConfig {
+            stream_rate_bps: rate_bps,
+            stream_start: self.stream_start,
+            ..BulletConfig::default()
+        }
+    }
+
+    fn stream_config(&self, rate_bps: f64) -> StreamConfig {
+        StreamConfig {
+            stream_rate_bps: rate_bps,
+            stream_start: self.stream_start,
+            transport: StreamTransport::Tfrc,
+            ..StreamConfig::default()
+        }
+    }
+}
+
+const PAPER_RATE_BPS: f64 = 600_000.0;
+const EPIDEMIC_RATE_BPS: f64 = 900_000.0;
+const PLANETLAB_RATE_BPS: f64 = 1_500_000.0;
+
+/// Table 1: the bandwidth ranges per link class and profile, as `(profile,
+/// class, low Kbps, high Kbps)` rows.
+pub fn table1_rows() -> Vec<(String, String, u32, u32)> {
+    use bullet_topology::LinkClass;
+    let mut rows = Vec::new();
+    for profile in BandwidthProfile::ALL {
+        for class in LinkClass::ALL {
+            let range = profile.range(class);
+            rows.push((
+                profile.name().to_string(),
+                class.name().to_string(),
+                range.low,
+                range.high,
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 6: TFRC streaming over the offline bottleneck tree versus a random
+/// tree (medium bandwidth, 600 Kbps target).
+pub fn fig06(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 6);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let mut figure = FigureResult::new(
+        "fig06",
+        "Achieved bandwidth over time for TFRC streaming over the bottleneck bandwidth tree and a random tree",
+    );
+    let stream = p.stream_config(PAPER_RATE_BPS);
+
+    let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
+    let result = streaming_run(
+        &topo.spec,
+        &bottleneck,
+        &stream,
+        &p.run_spec("Bottleneck bandwidth tree"),
+        p.seed,
+    );
+    figure.add_run(&result);
+
+    let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let result = streaming_run(&topo.spec, &random, &stream, &p.run_spec("Random tree"), p.seed);
+    figure.add_run(&result);
+
+    let bottleneck_kbps = figure.steady_state_of("Bottleneck").unwrap_or(0.0);
+    let random_kbps = figure.steady_state_of("Random").unwrap_or(0.0);
+    figure.notes.push(format!(
+        "bottleneck tree {:.0} Kbps vs random tree {:.0} Kbps (paper: ~400 vs <100)",
+        bottleneck_kbps, random_kbps
+    ));
+    figure
+}
+
+/// Figure 7: Bullet over a random tree — raw total, useful total, and
+/// from-parent bandwidth over time, plus the §4.2 scalars (control overhead,
+/// duplicate ratio, link stress).
+pub fn fig07(scale: Scale) -> (FigureResult, RunResult) {
+    let p = Params::new(scale, 7);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let config = p.bullet_config(PAPER_RATE_BPS);
+    let result = bullet_run(&topo.spec, &tree, &config, &p.run_spec("Bullet (random tree)"), p.seed);
+
+    let mut figure = FigureResult::new("fig07", "Achieved bandwidth over time for Bullet over a random tree");
+    figure.series.push(result.raw.clone());
+    figure.series.push(result.useful.clone());
+    figure.series.push(result.from_parent.clone());
+    figure
+        .summaries
+        .push((result.label.clone(), result.summary.clone()));
+    figure.notes.push(format!(
+        "useful {:.0} Kbps, raw {:.0} Kbps, duplicates {:.1}% ({:.0}% of them parent relays), control {:.1} Kbps/node, link stress mean {:.2} max {}",
+        result.summary.steady_useful_kbps,
+        result.summary.steady_raw_kbps,
+        result.summary.duplicate_fraction * 100.0,
+        result.summary.parent_relay_duplicate_share * 100.0,
+        result.summary.control_overhead_kbps,
+        result.summary.link_stress_mean,
+        result.summary.link_stress_max,
+    ));
+    (figure, result)
+}
+
+/// Figure 8: CDF of instantaneous per-node bandwidth near the end of the
+/// Fig. 7 run.
+pub fn fig08(scale: Scale) -> (FigureResult, Cdf) {
+    let (_, run) = fig07(scale);
+    fig08_from(&run)
+}
+
+/// Figure 8 computed from an existing Fig. 7 run (avoids re-running it).
+pub fn fig08_from(run: &RunResult) -> (FigureResult, Cdf) {
+    let at = run.times.last().copied().unwrap_or(0.0) * 0.9;
+    let cdf = run.instantaneous_cdf(at);
+    let mut figure = FigureResult::new(
+        "fig08",
+        "CDF of instantaneous achieved bandwidth across nodes late in the Bullet run",
+    );
+    figure.notes.push(format!(
+        "median {:.0} Kbps, 10th percentile {:.0} Kbps, 90th percentile {:.0} Kbps at t={:.0}s",
+        cdf.quantile(0.5),
+        cdf.quantile(0.1),
+        cdf.quantile(0.9),
+        at
+    ));
+    (figure, cdf)
+}
+
+/// Figure 9: Bullet versus the bottleneck tree across the low, medium and
+/// high bandwidth profiles of Table 1.
+pub fn fig09(scale: Scale) -> FigureResult {
+    bandwidth_sweep(scale, LossProfile::None, "fig09",
+        "Achieved bandwidth for Bullet and the bottleneck tree across low/medium/high bandwidth topologies")
+}
+
+/// Figure 12: the same sweep over lossy topologies (§4.5).
+pub fn fig12(scale: Scale) -> FigureResult {
+    bandwidth_sweep(scale, LossProfile::paper_lossy(), "fig12",
+        "Achieved bandwidth for Bullet and the bottleneck tree over lossy network topologies")
+}
+
+fn bandwidth_sweep(scale: Scale, loss: LossProfile, id: &str, title: &str) -> FigureResult {
+    let mut figure = FigureResult::new(id, title);
+    for (profile, name) in [
+        (BandwidthProfile::High, "High Bandwidth"),
+        (BandwidthProfile::Medium, "Medium Bandwidth"),
+        (BandwidthProfile::Low, "Low Bandwidth"),
+    ] {
+        let p = Params::new(scale, 9 + profile as u64);
+        let topo = build_topology(scale, p.participants, profile, loss, p.seed);
+        let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+        let bullet = bullet_run(
+            &topo.spec,
+            &random,
+            &p.bullet_config(PAPER_RATE_BPS),
+            &p.run_spec(&format!("Bullet - {name}")),
+            p.seed,
+        );
+        figure.add_run(&bullet);
+        let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
+        let tree = streaming_run(
+            &topo.spec,
+            &bottleneck,
+            &p.stream_config(PAPER_RATE_BPS),
+            &p.run_spec(&format!("Bottleneck tree - {name}")),
+            p.seed,
+        );
+        figure.add_run(&tree);
+        let ratio = bullet.steady_state_kbps() / tree.steady_state_kbps().max(1.0);
+        figure.notes.push(format!(
+            "{name}: Bullet {:.0} Kbps vs bottleneck tree {:.0} Kbps (x{:.2})",
+            bullet.steady_state_kbps(),
+            tree.steady_state_kbps(),
+            ratio
+        ));
+    }
+    figure
+}
+
+/// Figure 10: the non-disjoint transmission strategy (every parent tries to
+/// send everything to every child).
+pub fn fig10(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 10);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let mut config = p.bullet_config(PAPER_RATE_BPS);
+    config.disjoint_send = false;
+    let result = bullet_run(
+        &topo.spec,
+        &tree,
+        &config,
+        &p.run_spec("Bullet (non-disjoint strategy)"),
+        p.seed,
+    );
+    let mut figure = FigureResult::new(
+        "fig10",
+        "Achieved bandwidth over time using non-disjoint data transmission",
+    );
+    figure.series.push(result.raw.clone());
+    figure.series.push(result.useful.clone());
+    figure.series.push(result.from_parent.clone());
+    figure
+        .summaries
+        .push((result.label.clone(), result.summary.clone()));
+    figure.notes.push(format!(
+        "useful {:.0} Kbps with the disjoint strategy disabled (paper: ~25% below Fig. 7)",
+        result.summary.steady_useful_kbps
+    ));
+    figure
+}
+
+/// Figure 11: Bullet versus push gossip and streaming with anti-entropy
+/// recovery (900 Kbps target, loss-free topology, full membership for the
+/// epidemics).
+pub fn fig11(scale: Scale) -> FigureResult {
+    let mut p = Params::new(scale, 11);
+    p.participants = scale.epidemic_participants();
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let mut figure = FigureResult::new(
+        "fig11",
+        "Achieved bandwidth over time for Bullet and epidemic approaches",
+    );
+
+    let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let bullet = bullet_run(
+        &topo.spec,
+        &random,
+        &p.bullet_config(EPIDEMIC_RATE_BPS),
+        &p.run_spec("Bullet"),
+        p.seed,
+    );
+    figure.series.push(bullet.raw.clone());
+    figure.add_run(&bullet);
+
+    let gossip_cfg = GossipConfig {
+        stream_rate_bps: EPIDEMIC_RATE_BPS,
+        stream_start: p.stream_start,
+        ..GossipConfig::default()
+    };
+    let gossip = gossip_run(&topo.spec, 0, &gossip_cfg, &p.run_spec("Push gossiping"), p.seed);
+    figure.series.push(gossip.raw.clone());
+    figure.add_run(&gossip);
+
+    let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
+    let ae_cfg = AntiEntropyConfig {
+        stream_rate_bps: EPIDEMIC_RATE_BPS,
+        stream_start: p.stream_start,
+        ..AntiEntropyConfig::default()
+    };
+    let ae = antientropy_run(
+        &topo.spec,
+        &bottleneck,
+        &ae_cfg,
+        &p.run_spec("Streaming w/AE"),
+        p.seed,
+    );
+    figure.series.push(ae.raw.clone());
+    figure.add_run(&ae);
+
+    figure.notes.push(format!(
+        "useful: Bullet {:.0} Kbps, push gossip {:.0} Kbps, streaming w/AE {:.0} Kbps (paper: Bullet ~60% above both)",
+        bullet.steady_state_kbps(),
+        gossip.steady_state_kbps(),
+        ae.steady_state_kbps()
+    ));
+    figure.notes.push(format!(
+        "duplicate fractions: Bullet {:.1}%, gossip {:.1}%, AE {:.1}%",
+        bullet.summary.duplicate_fraction * 100.0,
+        gossip.summary.duplicate_fraction * 100.0,
+        ae.summary.duplicate_fraction * 100.0
+    ));
+    figure
+}
+
+/// Figures 13 and 14: bandwidth over time when one of the root's children
+/// (the one with the most descendants) fails mid-run, without (Fig. 13) and
+/// with (Fig. 14) RanSub epoch-timeout failure detection.
+pub fn failure_figure(scale: Scale, ransub_failure_detection: bool) -> FigureResult {
+    let p = Params::new(scale, 13);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    // Fail the root child with the largest subtree, as in the paper's
+    // worst-case single failure.
+    let victim = tree
+        .children(0)
+        .iter()
+        .copied()
+        .max_by_key(|&c| tree.subtree_size(c))
+        .expect("root has children");
+    let failure_time = SimTime::from_secs((p.duration.as_secs_f64() * 0.6) as u64);
+
+    let mut config = p.bullet_config(PAPER_RATE_BPS);
+    config.ransub_failure_detection = ransub_failure_detection;
+    let mut run = p.run_spec(if ransub_failure_detection {
+        "Bullet, worst-case failure, RanSub recovery enabled"
+    } else {
+        "Bullet, worst-case failure, no RanSub recovery"
+    });
+    run.failure = Some((failure_time, victim));
+    let result = bullet_run(&topo.spec, &tree, &config, &run, p.seed);
+
+    let (id, title) = if ransub_failure_detection {
+        ("fig14", "Bandwidth over time with a worst-case node failure and RanSub recovery enabled")
+    } else {
+        ("fig13", "Bandwidth over time with a worst-case node failure and no RanSub recovery")
+    };
+    let mut figure = FigureResult::new(id, title);
+    figure.series.push(result.raw.clone());
+    figure.series.push(result.useful.clone());
+    figure.series.push(result.from_parent.clone());
+    figure
+        .summaries
+        .push((result.label.clone(), result.summary.clone()));
+
+    // Quantify the drop: average useful bandwidth before vs after failure.
+    let before: Vec<f64> = result
+        .times
+        .iter()
+        .zip(&result.useful.kbps)
+        .filter(|(t, _)| {
+            **t > p.stream_start.as_secs_f64() + 20.0 && **t < failure_time.as_secs_f64()
+        })
+        .map(|(_, k)| *k)
+        .collect();
+    let after: Vec<f64> = result
+        .times
+        .iter()
+        .zip(&result.useful.kbps)
+        .filter(|(t, _)| **t > failure_time.as_secs_f64() + 10.0)
+        .map(|(_, k)| *k)
+        .collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    figure.notes.push(format!(
+        "failed node {victim} ({} descendants) at t={:.0}s; useful bandwidth {:.0} Kbps before vs {:.0} Kbps after",
+        tree.subtree_size(victim) - 1,
+        failure_time.as_secs_f64(),
+        mean(&before),
+        mean(&after)
+    ));
+    figure
+}
+
+/// Figure 13 (no RanSub failure detection).
+pub fn fig13(scale: Scale) -> FigureResult {
+    failure_figure(scale, false)
+}
+
+/// Figure 14 (RanSub failure detection enabled).
+pub fn fig14(scale: Scale) -> FigureResult {
+    failure_figure(scale, true)
+}
+
+/// Figure 15: the constrained-source experiment standing in for the
+/// PlanetLab deployment — Bullet over a random tree versus streaming over
+/// hand-crafted good and worst trees at a 1.5 Mbps target.
+pub fn fig15(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 15);
+    let (regional, remote) = match scale {
+        Scale::Small => (5, 15),
+        Scale::Default => (10, 36),
+        Scale::Paper => (10, 36),
+    };
+    let topo = constrained_source_topology(regional, remote, true, p.seed);
+    let participants = topo.spec.participants();
+    let mut figure = FigureResult::new(
+        "fig15",
+        "Achieved bandwidth over time for Bullet and TFRC streaming over hand-crafted trees with a constrained source",
+    );
+
+    let bullet_tree = {
+        let mut rng = bullet_netsim::SimRng::new(p.seed ^ 0x7EE);
+        random_tree(participants, topo.source, 10, &mut rng)
+    };
+    let bullet = bullet_run(
+        &topo.spec,
+        &bullet_tree,
+        &p.bullet_config(PLANETLAB_RATE_BPS),
+        &p.run_spec("Bullet"),
+        p.seed,
+    );
+    figure.add_run(&bullet);
+
+    let good = good_tree(topo.source, &topo.access_bps, 3);
+    let good_run = streaming_run(
+        &topo.spec,
+        &good,
+        &p.stream_config(PLANETLAB_RATE_BPS),
+        &p.run_spec("Good Tree"),
+        p.seed,
+    );
+    figure.add_run(&good_run);
+
+    let worst = worst_tree(topo.source, &topo.access_bps, 3);
+    let worst_run = streaming_run(
+        &topo.spec,
+        &worst,
+        &p.stream_config(PLANETLAB_RATE_BPS),
+        &p.run_spec("Worst Tree"),
+        p.seed,
+    );
+    figure.add_run(&worst_run);
+
+    figure.notes.push(format!(
+        "constrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps vs worst tree {:.0} Kbps (paper: Bullet well above both, good tree ~300 Kbps)",
+        bullet.steady_state_kbps(),
+        good_run.steady_state_kbps(),
+        worst_run.steady_state_kbps()
+    ));
+
+    // Follow-up run: a well-provisioned source; both Bullet and a good tree
+    // should reach (close to) the full 1.5 Mbps rate.
+    let open = constrained_source_topology(regional, remote, false, p.seed);
+    let open_tree = {
+        let mut rng = bullet_netsim::SimRng::new(p.seed ^ 0x7EE);
+        random_tree(open.spec.participants(), open.source, 10, &mut rng)
+    };
+    let open_bullet = bullet_run(
+        &open.spec,
+        &open_tree,
+        &p.bullet_config(PLANETLAB_RATE_BPS),
+        &p.run_spec("Bullet (unconstrained source)"),
+        p.seed,
+    );
+    let open_good = good_tree(open.source, &open.access_bps, 3);
+    let open_good_run = streaming_run(
+        &open.spec,
+        &open_good,
+        &p.stream_config(PLANETLAB_RATE_BPS),
+        &p.run_spec("Good Tree (unconstrained source)"),
+        p.seed,
+    );
+    figure.notes.push(format!(
+        "unconstrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps (paper: both ~1.5 Mbps)",
+        open_bullet.steady_state_kbps(),
+        open_good_run.steady_state_kbps()
+    ));
+    figure.add_run(&open_bullet);
+    figure.add_run(&open_good_run);
+    figure
+}
+
+/// Ablations of Bullet's design choices (not a paper figure): disjoint send
+/// on/off, resemblance-guided peering vs random peering.
+pub fn ablations(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 20);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let mut figure = FigureResult::new(
+        "ablations",
+        "Bullet design ablations: disjoint send and resemblance-guided peering",
+    );
+    let variants: Vec<(&str, Box<dyn Fn(&mut BulletConfig)>)> = vec![
+        ("Bullet (full)", Box::new(|_c: &mut BulletConfig| {})),
+        (
+            "No disjoint send",
+            Box::new(|c: &mut BulletConfig| c.disjoint_send = false),
+        ),
+        (
+            "Random peer choice",
+            Box::new(|c: &mut BulletConfig| c.resemblance_peering = false),
+        ),
+    ];
+    for (label, tweak) in variants {
+        let mut config = p.bullet_config(PAPER_RATE_BPS);
+        tweak(&mut config);
+        let result = bullet_run(&topo.spec, &tree, &config, &p.run_spec(label), p.seed);
+        figure.notes.push(format!(
+            "{label}: useful {:.0} Kbps, duplicates {:.1}%",
+            result.summary.steady_useful_kbps,
+            result.summary.duplicate_fraction * 100.0
+        ));
+        figure.add_run(&result);
+    }
+    figure
+}
+
+/// Convenience used by tests and the quickstart example: a single small
+/// Bullet run over a generated topology.
+pub fn quick_bullet_demo(participants: usize, seconds: u64, seed: u64) -> RunResult {
+    let topo = build_topology(
+        Scale::Small,
+        participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 6 }, 0, seed);
+    let config = BulletConfig {
+        stream_start: SimTime::from_secs(5),
+        ..BulletConfig::default()
+    };
+    bullet_run(
+        &topo.spec,
+        &tree,
+        &config,
+        &RunSpec {
+            label: "Bullet demo".into(),
+            source: 0,
+            duration: SimDuration::from_secs(seconds),
+            sample_interval: SimDuration::from_secs(2),
+            failure: None,
+        },
+        seed,
+    )
+}
+
+/// Exposes the underlying network spec of a built topology (used by
+/// examples that want to drive the simulator directly).
+pub fn spec_of(topo: &BuiltTopology) -> &NetworkSpec {
+    &topo.spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_twelve_rows_matching_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 12);
+        assert!(rows
+            .iter()
+            .any(|(p, c, lo, hi)| p == "Low bandwidth" && c == "Client-Stub" && *lo == 300 && *hi == 600));
+        assert!(rows
+            .iter()
+            .any(|(p, c, lo, hi)| p == "High bandwidth" && c == "Transit-Transit" && *lo == 10_000 && *hi == 20_000));
+    }
+
+    #[test]
+    fn quick_demo_delivers_data() {
+        let result = quick_bullet_demo(15, 40, 1);
+        assert!(result.steady_state_kbps() > 150.0);
+        assert!(result.summary.median_delivery_fraction > 0.5);
+    }
+
+    #[test]
+    fn figure_result_lookup_by_label() {
+        let mut figure = FigureResult::new("x", "t");
+        let mut series = BandwidthSeries::new("Bullet - Medium");
+        series.push(1.0, 100.0);
+        figure.series.push(series);
+        assert!(figure.steady_state_of("Medium").is_some());
+        assert!(figure.steady_state_of("High").is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # bullet-experiments
+//!
+//! Scenario configuration, metric collection and per-figure experiment
+//! runners for the Bullet reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§4) has a function in
+//! [`figures`] that builds the topology and trees the paper describes, runs
+//! the systems under comparison at a configurable [`Scale`], and returns the
+//! same curves and scalar numbers the paper reports. The bench harnesses in
+//! `crates/bench` print these via [`report`]; EXPERIMENTS.md records
+//! paper-versus-measured for each.
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod figures;
+pub mod metrics;
+pub mod protocols;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use env::{build_topology, build_tree, constrained_source_topology, TreeKind};
+pub use figures::{quick_bullet_demo, FigureResult};
+pub use metrics::{BandwidthSeries, Cdf, RunSummary};
+pub use protocols::{antientropy_run, bullet_run, gossip_run, streaming_run};
+pub use runner::{run_metered, Delivery, MeteredAgent, RunResult, RunSpec};
+pub use scale::Scale;

@@ -1,0 +1,156 @@
+//! Series and summary statistics for experiment results.
+
+/// A labelled bandwidth-over-time series (the unit of every figure's plot).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BandwidthSeries {
+    /// Curve label (e.g. "Bullet - Medium Bandwidth").
+    pub label: String,
+    /// Sample times, in seconds since the start of the run.
+    pub times: Vec<f64>,
+    /// Average per-node bandwidth at each sample, in Kbps.
+    pub kbps: Vec<f64>,
+}
+
+impl BandwidthSeries {
+    /// Creates an empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BandwidthSeries {
+            label: label.into(),
+            times: Vec::new(),
+            kbps: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, time_secs: f64, kbps: f64) {
+        self.times.push(time_secs);
+        self.kbps.push(kbps);
+    }
+
+    /// Mean bandwidth over the final `fraction` of the samples — the
+    /// "steady-state achieved bandwidth" number quoted in the text of the
+    /// paper (e.g. "approximately 500 Kbps" for Fig. 7).
+    pub fn steady_state_kbps(&self, fraction: f64) -> f64 {
+        if self.kbps.is_empty() {
+            return 0.0;
+        }
+        let fraction = fraction.clamp(0.05, 1.0);
+        let start = ((self.kbps.len() as f64) * (1.0 - fraction)).floor() as usize;
+        let tail = &self.kbps[start.min(self.kbps.len() - 1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Peak sample value.
+    pub fn peak_kbps(&self) -> f64 {
+        self.kbps.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// An empirical CDF over per-node values (Fig. 8).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cdf {
+    /// Sorted sample values.
+    pub values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF from unsorted samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Cdf { values: samples }
+    }
+
+    /// The fraction of samples at or below `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let count = self.values.iter().filter(|&&v| v <= x).count();
+        count as f64 / self.values.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0, 1]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Iterates `(value, cumulative fraction)` pairs for plotting.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+}
+
+/// Scalar summary of one run, covering the numbers quoted in the text of
+/// §4.2 (control overhead, duplicate ratio, link stress).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunSummary {
+    /// Mean per-node useful bandwidth in steady state, Kbps.
+    pub steady_useful_kbps: f64,
+    /// Mean per-node raw (including duplicates) bandwidth in steady state,
+    /// Kbps.
+    pub steady_raw_kbps: f64,
+    /// Fraction of received data packets that were duplicates.
+    pub duplicate_fraction: f64,
+    /// Of the duplicates, the fraction that arrived from tree parents
+    /// (relays of recovered packets down the tree).
+    pub parent_relay_duplicate_share: f64,
+    /// Mean per-node control overhead, Kbps.
+    pub control_overhead_kbps: f64,
+    /// Mean link stress over traced packets.
+    pub link_stress_mean: f64,
+    /// Maximum link stress observed.
+    pub link_stress_max: u64,
+    /// Fraction of the generated stream the median node received.
+    pub median_delivery_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_uses_the_tail() {
+        let mut s = BandwidthSeries::new("test");
+        for i in 0..100 {
+            // Ramp from 0 to 990, then read the last 10%.
+            s.push(i as f64, (i * 10) as f64);
+        }
+        let tail = s.steady_state_kbps(0.1);
+        assert!(tail > 900.0, "tail mean {tail}");
+        assert_eq!(s.peak_kbps(), 990.0);
+    }
+
+    #[test]
+    fn steady_state_of_empty_series_is_zero() {
+        assert_eq!(BandwidthSeries::new("x").steady_state_kbps(0.2), 0.0);
+    }
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let cdf = Cdf::from_samples(vec![500.0, 100.0, 300.0, 400.0, 200.0]);
+        assert_eq!(cdf.fraction_at_or_below(250.0), 0.4);
+        assert_eq!(cdf.fraction_at_or_below(500.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(50.0), 0.0);
+        assert_eq!(cdf.quantile(0.0), 100.0);
+        assert_eq!(cdf.quantile(1.0), 500.0);
+        assert_eq!(cdf.quantile(0.5), 300.0);
+        let points: Vec<_> = cdf.points().collect();
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0], (100.0, 0.2));
+    }
+
+    #[test]
+    fn cdf_of_nothing_is_degenerate() {
+        let cdf = Cdf::from_samples(Vec::new());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Thin wrappers that assemble a simulator for each protocol under test and
+//! hand it to the generic metered runner.
+
+use bullet_baselines::{
+    AntiEntropyConfig, AntiEntropyNode, GossipConfig, GossipNode, StreamConfig, StreamingNode,
+};
+use bullet_core::{BulletConfig, BulletNode};
+use bullet_netsim::{NetworkSpec, OverlayId, Sim};
+use bullet_overlay::Tree;
+
+use crate::runner::{run_metered, RunResult, RunSpec};
+
+/// Runs Bullet over `tree` on the given physical network.
+pub fn bullet_run(
+    spec: &NetworkSpec,
+    tree: &Tree,
+    config: &BulletConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<BulletNode> = (0..spec.participants())
+        .map(|i| BulletNode::new(i, tree, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered(sim, run)
+}
+
+/// Runs tree streaming over `tree`.
+pub fn streaming_run(
+    spec: &NetworkSpec,
+    tree: &Tree,
+    config: &StreamConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<StreamingNode> = (0..spec.participants())
+        .map(|i| StreamingNode::new(i, tree, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered(sim, run)
+}
+
+/// Runs push gossip with full membership and the given source.
+pub fn gossip_run(
+    spec: &NetworkSpec,
+    source: OverlayId,
+    config: &GossipConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let n = spec.participants();
+    let agents: Vec<GossipNode> = (0..n)
+        .map(|i| GossipNode::new(i, source, n, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered(sim, run)
+}
+
+/// Runs tree streaming with anti-entropy recovery over `tree`.
+pub fn antientropy_run(
+    spec: &NetworkSpec,
+    tree: &Tree,
+    config: &AntiEntropyConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let n = spec.participants();
+    let agents: Vec<AntiEntropyNode> = (0..n)
+        .map(|i| AntiEntropyNode::new(i, tree, n, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered(sim, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::{LinkSpec, SimDuration, SimRng, SimTime};
+    use bullet_overlay::random_tree;
+
+    fn hub(n: usize, access_bps: f64) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(n + 1);
+        for i in 0..n {
+            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.attach(i);
+        }
+        spec
+    }
+
+    fn quick_spec(label: &str, secs: u64) -> RunSpec {
+        RunSpec {
+            label: label.into(),
+            source: 0,
+            duration: SimDuration::from_secs(secs),
+            sample_interval: SimDuration::from_secs(2),
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn all_protocol_wrappers_produce_results() {
+        let spec = hub(10, 2_000_000.0);
+        let mut rng = SimRng::new(1);
+        let tree = random_tree(10, 0, 3, &mut rng);
+        let run = quick_spec("wrapper", 30);
+
+        let bullet_cfg = BulletConfig {
+            stream_rate_bps: 300_000.0,
+            stream_start: SimTime::from_secs(2),
+            ransub_epoch: SimDuration::from_secs(2),
+            ..BulletConfig::default()
+        };
+        let bullet = bullet_run(&spec, &tree, &bullet_cfg, &run, 1);
+        assert!(bullet.steady_state_kbps() > 100.0);
+
+        let stream_cfg = StreamConfig {
+            stream_rate_bps: 300_000.0,
+            stream_start: SimTime::from_secs(2),
+            ..StreamConfig::default()
+        };
+        let streaming = streaming_run(&spec, &tree, &stream_cfg, &run, 1);
+        assert!(streaming.steady_state_kbps() > 100.0);
+
+        let gossip_cfg = GossipConfig {
+            stream_rate_bps: 300_000.0,
+            stream_start: SimTime::from_secs(2),
+            ..GossipConfig::default()
+        };
+        let gossip = gossip_run(&spec, 0, &gossip_cfg, &run, 1);
+        assert!(gossip.summary.steady_raw_kbps > 50.0);
+
+        let ae_cfg = AntiEntropyConfig {
+            stream_rate_bps: 300_000.0,
+            stream_start: SimTime::from_secs(2),
+            epoch: SimDuration::from_secs(5),
+            ..AntiEntropyConfig::default()
+        };
+        let ae = antientropy_run(&spec, &tree, &ae_cfg, &run, 1);
+        assert!(ae.steady_state_kbps() > 100.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Generic experiment runner.
+//!
+//! Every protocol under evaluation (Bullet, tree streaming, gossip,
+//! anti-entropy) exposes the same cumulative delivery counters through
+//! [`MeteredAgent`]; the runner samples them on a fixed interval while the
+//! simulation advances and turns them into the bandwidth-over-time series,
+//! CDFs and scalar summaries the paper's figures are built from.
+
+use bullet_baselines::{AntiEntropyNode, GossipNode, StreamingNode};
+use bullet_core::BulletNode;
+use bullet_netsim::{Agent, OverlayId, Sim, SimDuration, SimTime};
+
+use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
+
+/// A snapshot of one node's cumulative delivery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Delivery {
+    /// Bytes received for the first time.
+    pub useful_bytes: u64,
+    /// Bytes received in total (including duplicates).
+    pub raw_bytes: u64,
+    /// Bytes received from the tree parent.
+    pub from_parent_bytes: u64,
+    /// Duplicate packets received.
+    pub duplicate_packets: u64,
+    /// Duplicates that arrived from the tree parent.
+    pub duplicate_from_parent: u64,
+    /// Total data packets received.
+    pub total_packets: u64,
+    /// Distinct sequence numbers received.
+    pub useful_packets: u64,
+    /// Packets generated (source only).
+    pub packets_generated: u64,
+}
+
+/// A protocol agent whose delivery progress the runner can observe.
+pub trait MeteredAgent: Agent {
+    /// Returns the node's cumulative delivery counters.
+    fn delivery(&self) -> Delivery;
+}
+
+impl MeteredAgent for BulletNode {
+    fn delivery(&self) -> Delivery {
+        let m = &self.metrics;
+        Delivery {
+            useful_bytes: m.useful_bytes,
+            raw_bytes: m.raw_bytes,
+            from_parent_bytes: m.from_parent_bytes,
+            duplicate_packets: m.duplicate_packets,
+            duplicate_from_parent: m.duplicate_from_parent,
+            total_packets: m.total_packets,
+            useful_packets: m.useful_packets,
+            packets_generated: m.packets_generated,
+        }
+    }
+}
+
+macro_rules! impl_metered_for_baseline {
+    ($ty:ty) => {
+        impl MeteredAgent for $ty {
+            fn delivery(&self) -> Delivery {
+                let m = &self.metrics;
+                Delivery {
+                    useful_bytes: m.useful_bytes,
+                    raw_bytes: m.raw_bytes,
+                    from_parent_bytes: m.from_parent_bytes,
+                    duplicate_packets: m.duplicate_packets,
+                    duplicate_from_parent: 0,
+                    total_packets: m.total_packets,
+                    useful_packets: m.useful_packets,
+                    packets_generated: m.packets_generated,
+                }
+            }
+        }
+    };
+}
+
+impl_metered_for_baseline!(StreamingNode);
+impl_metered_for_baseline!(GossipNode);
+impl_metered_for_baseline!(AntiEntropyNode);
+
+/// The full outcome of one run: per-curve series plus scalar summary.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Curve label.
+    pub label: String,
+    /// Sample times in seconds.
+    pub times: Vec<f64>,
+    /// Average per-node useful bandwidth over time.
+    pub useful: BandwidthSeries,
+    /// Average per-node raw bandwidth over time.
+    pub raw: BandwidthSeries,
+    /// Average per-node bandwidth received from the tree parent over time.
+    pub from_parent: BandwidthSeries,
+    /// Per-sample, per-node cumulative useful bytes (`[sample][node]`),
+    /// source included; used to derive CDFs at arbitrary instants.
+    pub per_node_useful_bytes: Vec<Vec<u64>>,
+    /// The source node (excluded from per-node averages).
+    pub source: OverlayId,
+    /// Scalar summary of the run.
+    pub summary: RunSummary,
+}
+
+impl RunResult {
+    /// CDF of per-node instantaneous useful bandwidth (Kbps) over the sample
+    /// interval ending closest to `at_secs` (Fig. 8).
+    pub fn instantaneous_cdf(&self, at_secs: f64) -> Cdf {
+        if self.per_node_useful_bytes.len() < 2 {
+            return Cdf::from_samples(Vec::new());
+        }
+        let idx = self
+            .times
+            .iter()
+            .position(|&t| t >= at_secs)
+            .unwrap_or(self.times.len() - 1)
+            .max(1);
+        let dt = (self.times[idx] - self.times[idx - 1]).max(1e-9);
+        let now = &self.per_node_useful_bytes[idx];
+        let before = &self.per_node_useful_bytes[idx - 1];
+        let samples: Vec<f64> = now
+            .iter()
+            .zip(before)
+            .enumerate()
+            .filter(|(node, _)| *node != self.source)
+            .map(|(_, (&a, &b))| (a.saturating_sub(b)) as f64 * 8.0 / dt / 1_000.0)
+            .collect();
+        Cdf::from_samples(samples)
+    }
+
+    /// Mean useful bandwidth over the last quarter of the run, in Kbps.
+    pub fn steady_state_kbps(&self) -> f64 {
+        self.useful.steady_state_kbps(0.25)
+    }
+}
+
+/// Parameters of one metered run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Curve label used in reports.
+    pub label: String,
+    /// The source node.
+    pub source: OverlayId,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Sampling interval.
+    pub sample_interval: SimDuration,
+    /// Optional crash failure to inject: `(time, node)`.
+    pub failure: Option<(SimTime, OverlayId)>,
+}
+
+/// Runs the simulation to completion while sampling every agent's delivery
+/// counters, producing the standard [`RunResult`].
+pub fn run_metered<A: MeteredAgent>(mut sim: Sim<A>, spec: &RunSpec) -> RunResult {
+    if let Some((at, node)) = spec.failure {
+        sim.schedule_failure(at, node);
+    }
+    let n = sim.agents().len();
+    let mut times = Vec::new();
+    let mut per_node_useful: Vec<Vec<u64>> = Vec::new();
+    let mut per_node_raw_prev = vec![0u64; n];
+    let mut per_node_useful_prev = vec![0u64; n];
+    let mut per_node_parent_prev = vec![0u64; n];
+    let mut useful = BandwidthSeries::new(spec.label.clone());
+    let mut raw = BandwidthSeries::new(format!("{} (raw)", spec.label));
+    let mut from_parent = BandwidthSeries::new(format!("{} (from parent)", spec.label));
+
+    let end = SimTime::ZERO + spec.duration;
+    let mut last_t = 0.0f64;
+    sim.run_sampled(end, spec.sample_interval, |now, sim| {
+        let t = now.as_secs_f64();
+        let dt = (t - last_t).max(1e-9);
+        last_t = t;
+        let mut useful_sum = 0.0;
+        let mut raw_sum = 0.0;
+        let mut parent_sum = 0.0;
+        let mut row = Vec::with_capacity(n);
+        for node in 0..n {
+            let d = sim.agent(node).delivery();
+            row.push(d.useful_bytes);
+            if node != spec.source {
+                useful_sum += (d.useful_bytes - per_node_useful_prev[node]) as f64;
+                raw_sum += (d.raw_bytes - per_node_raw_prev[node]) as f64;
+                parent_sum += (d.from_parent_bytes - per_node_parent_prev[node]) as f64;
+            }
+            per_node_useful_prev[node] = d.useful_bytes;
+            per_node_raw_prev[node] = d.raw_bytes;
+            per_node_parent_prev[node] = d.from_parent_bytes;
+        }
+        let receivers = (n.saturating_sub(1)).max(1) as f64;
+        useful.push(t, useful_sum * 8.0 / dt / 1_000.0 / receivers);
+        raw.push(t, raw_sum * 8.0 / dt / 1_000.0 / receivers);
+        from_parent.push(t, parent_sum * 8.0 / dt / 1_000.0 / receivers);
+        times.push(t);
+        per_node_useful.push(row);
+    });
+
+    // Scalar summary.
+    let mut total_dups = 0u64;
+    let mut total_parent_dups = 0u64;
+    let mut total_packets = 0u64;
+    let mut delivery_fractions: Vec<f64> = Vec::new();
+    let generated = sim.agent(spec.source).delivery().packets_generated;
+    let mut control_bytes = 0u64;
+    for node in 0..n {
+        let d = sim.agent(node).delivery();
+        total_dups += d.duplicate_packets;
+        total_parent_dups += d.duplicate_from_parent;
+        total_packets += d.total_packets;
+        control_bytes += sim.traffic(node).control_bytes_in;
+        if node != spec.source && generated > 0 {
+            delivery_fractions.push(d.useful_packets as f64 / generated as f64);
+        }
+    }
+    delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let stress = sim.network().stress_stats();
+    let duration_secs = spec.duration.as_secs_f64().max(1e-9);
+    let summary = RunSummary {
+        steady_useful_kbps: useful.steady_state_kbps(0.25),
+        steady_raw_kbps: raw.steady_state_kbps(0.25),
+        duplicate_fraction: if total_packets == 0 {
+            0.0
+        } else {
+            total_dups as f64 / total_packets as f64
+        },
+        parent_relay_duplicate_share: if total_dups == 0 {
+            0.0
+        } else {
+            total_parent_dups as f64 / total_dups as f64
+        },
+        control_overhead_kbps: control_bytes as f64 * 8.0 / duration_secs / 1_000.0 / n as f64,
+        link_stress_mean: stress.mean,
+        link_stress_max: stress.max,
+        median_delivery_fraction: delivery_fractions
+            .get(delivery_fractions.len() / 2)
+            .copied()
+            .unwrap_or(0.0),
+    };
+
+    RunResult {
+        label: spec.label.clone(),
+        times,
+        useful,
+        raw,
+        from_parent,
+        per_node_useful_bytes: per_node_useful,
+        source: spec.source,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_baselines::{StreamConfig, StreamTransport};
+    use bullet_netsim::{LinkSpec, NetworkSpec, SimRng};
+    use bullet_overlay::random_tree;
+
+    fn hub(n: usize, access_bps: f64) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(n + 1);
+        for i in 0..n {
+            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.attach(i);
+        }
+        spec
+    }
+
+    fn streaming_run(n: usize, secs: u64) -> RunResult {
+        let spec = hub(n, 2_000_000.0);
+        let mut rng = SimRng::new(1);
+        let tree = random_tree(n, 0, 3, &mut rng);
+        let config = StreamConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            transport: StreamTransport::Tfrc,
+            ..StreamConfig::default()
+        };
+        let agents = (0..n).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let sim = Sim::new(&spec, agents, 1);
+        run_metered(
+            sim,
+            &RunSpec {
+                label: "streaming".into(),
+                source: 0,
+                duration: SimDuration::from_secs(secs),
+                sample_interval: SimDuration::from_secs(2),
+                failure: None,
+            },
+        )
+    }
+
+    #[test]
+    fn series_have_one_point_per_sample() {
+        let result = streaming_run(8, 20);
+        assert_eq!(result.times.len(), 10);
+        assert_eq!(result.useful.kbps.len(), 10);
+        assert_eq!(result.per_node_useful_bytes.len(), 10);
+        assert_eq!(result.per_node_useful_bytes[0].len(), 8);
+    }
+
+    #[test]
+    fn bandwidth_approaches_the_stream_rate() {
+        let result = streaming_run(8, 40);
+        let steady = result.steady_state_kbps();
+        assert!(
+            (250.0..=450.0).contains(&steady),
+            "steady state {steady} Kbps for a 400 Kbps stream"
+        );
+        assert!(result.summary.median_delivery_fraction > 0.8);
+    }
+
+    #[test]
+    fn cdf_reflects_per_node_rates() {
+        let result = streaming_run(8, 40);
+        let cdf = result.instantaneous_cdf(38.0);
+        assert_eq!(cdf.values.len(), 7, "one sample per non-source node");
+        assert!(cdf.quantile(0.5) > 200.0);
+    }
+
+    #[test]
+    fn failure_injection_stops_a_node() {
+        let spec = hub(6, 2_000_000.0);
+        let mut rng = SimRng::new(2);
+        let tree = random_tree(6, 0, 2, &mut rng);
+        let config = StreamConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            ..StreamConfig::default()
+        };
+        let agents = (0..6).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let sim = Sim::new(&spec, agents, 2);
+        let victim = tree.children(0)[0];
+        let result = run_metered(
+            sim,
+            &RunSpec {
+                label: "failure".into(),
+                source: 0,
+                duration: SimDuration::from_secs(30),
+                sample_interval: SimDuration::from_secs(2),
+                failure: Some((SimTime::from_secs(10), victim)),
+            },
+        );
+        // The victim's cumulative useful bytes freeze after the failure.
+        let idx_at_12 = result.times.iter().position(|&t| t >= 12.0).unwrap();
+        let last = result.per_node_useful_bytes.last().unwrap()[victim];
+        let at_12 = result.per_node_useful_bytes[idx_at_12][victim];
+        assert_eq!(last, at_12, "failed node kept receiving data");
+    }
+}

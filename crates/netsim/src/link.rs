@@ -1,0 +1,236 @@
+//! Physical link model.
+//!
+//! Each physical link is modelled as two independent directed links. A
+//! directed link serializes packets at its configured bandwidth behind a
+//! bounded drop-tail queue, adds a fixed propagation delay, and drops packets
+//! independently at its configured random loss rate. This is the same set of
+//! per-hop effects the paper's ModelNet emulators impose.
+
+use crate::rng::SimRng;
+use crate::time::{transmission_time, SimDuration, SimTime};
+
+/// Identifier of a physical (router-level) node in the emulated topology.
+pub type RouterId = usize;
+
+/// Identifier of a directed link inside a [`crate::network::Network`].
+pub type DirectedLinkId = usize;
+
+/// Specification of one bidirectional physical link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: RouterId,
+    /// The other endpoint.
+    pub b: RouterId,
+    /// Capacity in bits per second (per direction).
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Independent per-packet random loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Drop-tail queue capacity in bytes (per direction).
+    pub queue_bytes: u32,
+}
+
+impl LinkSpec {
+    /// Creates a loss-free link with a default 50 KB queue.
+    pub fn new(a: RouterId, b: RouterId, bandwidth_bps: f64, delay: SimDuration) -> Self {
+        LinkSpec {
+            a,
+            b,
+            bandwidth_bps,
+            delay,
+            loss: 0.0,
+            queue_bytes: 50_000,
+        }
+    }
+
+    /// Sets the random loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the queue capacity in bytes.
+    pub fn with_queue(mut self, queue_bytes: u32) -> Self {
+        self.queue_bytes = queue_bytes;
+        self
+    }
+}
+
+/// What happened when a packet was offered to a directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopOutcome {
+    /// The packet was accepted; it arrives at the far end at the given time.
+    Arrive(SimTime),
+    /// The packet was dropped because the queue was full (congestion loss).
+    DroppedQueue,
+    /// The packet was dropped by the random loss process.
+    DroppedLoss,
+}
+
+/// Counters kept per directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkCounters {
+    /// Packets accepted onto the link.
+    pub packets_sent: u64,
+    /// Bytes accepted onto the link.
+    pub bytes_sent: u64,
+    /// Packets dropped because of queue overflow.
+    pub dropped_queue: u64,
+    /// Packets dropped by the random loss process.
+    pub dropped_loss: u64,
+}
+
+/// A directed link with live queueing state.
+#[derive(Clone, Debug)]
+pub struct DirectedLink {
+    /// Transmitting router.
+    pub from: RouterId,
+    /// Receiving router.
+    pub to: RouterId,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Random loss probability.
+    pub loss: f64,
+    /// Maximum queueing delay implied by the queue size, in simulated time.
+    pub max_queue_delay: SimDuration,
+    /// Time at which the transmitter becomes idle again.
+    pub busy_until: SimTime,
+    /// Traffic counters.
+    pub counters: LinkCounters,
+}
+
+impl DirectedLink {
+    /// Builds the directed link for one direction of `spec`.
+    pub fn from_spec(spec: &LinkSpec, reverse: bool) -> Self {
+        let (from, to) = if reverse { (spec.b, spec.a) } else { (spec.a, spec.b) };
+        DirectedLink {
+            from,
+            to,
+            bandwidth_bps: spec.bandwidth_bps,
+            delay: spec.delay,
+            loss: spec.loss,
+            max_queue_delay: transmission_time(spec.queue_bytes, spec.bandwidth_bps),
+            busy_until: SimTime::ZERO,
+            counters: LinkCounters::default(),
+        }
+    }
+
+    /// Offers a packet of `size_bytes` to the link at time `now`.
+    ///
+    /// Applies the drop-tail queue bound first (congestion loss) and then the
+    /// independent random loss process, mirroring a loss that occurs on the
+    /// wire after the packet left the queue.
+    pub fn offer(&mut self, now: SimTime, size_bytes: u32, rng: &mut SimRng) -> HopOutcome {
+        let start = self.busy_until.max(now);
+        let queueing = start - now;
+        if queueing > self.max_queue_delay {
+            self.counters.dropped_queue += 1;
+            return HopOutcome::DroppedQueue;
+        }
+        let tx = transmission_time(size_bytes, self.bandwidth_bps);
+        self.busy_until = start + tx;
+        self.counters.packets_sent += 1;
+        self.counters.bytes_sent += size_bytes as u64;
+        if rng.chance(self.loss) {
+            self.counters.dropped_loss += 1;
+            return HopOutcome::DroppedLoss;
+        }
+        HopOutcome::Arrive(start + tx + self.delay)
+    }
+
+    /// Current queueing delay a newly offered packet would experience.
+    pub fn current_queue_delay(&self, now: SimTime) -> SimDuration {
+        self.busy_until.max(now) - now
+    }
+
+    /// Utilization proxy: bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.counters.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_link(bw: f64, queue: u32, loss: f64) -> DirectedLink {
+        let spec = LinkSpec::new(0, 1, bw, SimDuration::from_millis(10))
+            .with_queue(queue)
+            .with_loss(loss);
+        DirectedLink::from_spec(&spec, false)
+    }
+
+    #[test]
+    fn packet_arrival_includes_tx_and_propagation() {
+        let mut rng = SimRng::new(1);
+        let mut link = test_link(1_000_000.0, 100_000, 0.0);
+        // 1500 B at 1 Mbps = 12 ms tx + 10 ms propagation.
+        match link.offer(SimTime::ZERO, 1500, &mut rng) {
+            HopOutcome::Arrive(t) => assert_eq!(t.as_micros(), 22_000),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut rng = SimRng::new(1);
+        let mut link = test_link(1_000_000.0, 100_000, 0.0);
+        let first = link.offer(SimTime::ZERO, 1500, &mut rng);
+        let second = link.offer(SimTime::ZERO, 1500, &mut rng);
+        match (first, second) {
+            (HopOutcome::Arrive(a), HopOutcome::Arrive(b)) => {
+                assert_eq!(a.as_micros(), 22_000);
+                assert_eq!(b.as_micros(), 34_000);
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops_packets() {
+        let mut rng = SimRng::new(1);
+        // Queue of 3000 bytes = two 1500-byte packets of queueing delay.
+        let mut link = test_link(1_000_000.0, 3_000, 0.0);
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(link.offer(SimTime::ZERO, 1500, &mut rng));
+        }
+        let drops = outcomes
+            .iter()
+            .filter(|o| matches!(o, HopOutcome::DroppedQueue))
+            .count();
+        assert!(drops >= 2, "expected queue drops, got {outcomes:?}");
+        assert_eq!(link.counters.dropped_queue as usize, drops);
+    }
+
+    #[test]
+    fn random_loss_rate_is_respected() {
+        let mut rng = SimRng::new(2);
+        let mut link = test_link(1e9, 10_000_000, 0.3);
+        let mut lost = 0;
+        for i in 0..10_000 {
+            // Space offers out so the queue never fills.
+            let now = SimTime::from_millis(i as u64);
+            if matches!(link.offer(now, 100, &mut rng), HopOutcome::DroppedLoss) {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / 10_000.0;
+        assert!((0.27..0.33).contains(&rate), "observed loss {rate}");
+    }
+
+    #[test]
+    fn counters_track_bytes() {
+        let mut rng = SimRng::new(3);
+        let mut link = test_link(1e9, 1_000_000, 0.0);
+        for _ in 0..10 {
+            link.offer(SimTime::ZERO, 1000, &mut rng);
+        }
+        assert_eq!(link.counters.packets_sent, 10);
+        assert_eq!(link.counters.bytes_sent, 10_000);
+    }
+}

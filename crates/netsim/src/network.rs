@@ -1,0 +1,304 @@
+//! The emulated physical network.
+//!
+//! A [`Network`] owns the directed links, the routing state, and the mapping
+//! from overlay participants to the router they are attached to. The
+//! simulator asks it to route packets hop by hop; the network applies each
+//! link's queueing, loss, and delay and reports when (and whether) the packet
+//! reaches the next hop.
+
+use std::collections::HashMap;
+
+use crate::link::{DirectedLink, DirectedLinkId, HopOutcome, LinkSpec, RouterId};
+use crate::routing::{Adjacency, ShortestPaths};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifier of an overlay participant (an end host running a protocol
+/// agent), as opposed to a [`RouterId`] in the physical topology.
+pub type OverlayId = usize;
+
+/// Static description of the physical network handed to the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkSpec {
+    /// Number of physical routers.
+    pub routers: usize,
+    /// Bidirectional physical links.
+    pub links: Vec<LinkSpec>,
+    /// For each overlay participant, the router it is attached to.
+    pub attachments: Vec<RouterId>,
+}
+
+impl NetworkSpec {
+    /// Creates an empty spec with `routers` physical nodes.
+    pub fn new(routers: usize) -> Self {
+        NetworkSpec {
+            routers,
+            links: Vec::new(),
+            attachments: Vec::new(),
+        }
+    }
+
+    /// Adds a bidirectional link and returns its index.
+    pub fn add_link(&mut self, spec: LinkSpec) -> usize {
+        self.links.push(spec);
+        self.links.len() - 1
+    }
+
+    /// Attaches a new overlay participant to `router`, returning its id.
+    pub fn attach(&mut self, router: RouterId) -> OverlayId {
+        self.attachments.push(router);
+        self.attachments.len() - 1
+    }
+
+    /// Number of overlay participants.
+    pub fn participants(&self) -> usize {
+        self.attachments.len()
+    }
+}
+
+/// Aggregate link-stress statistics for traced packets (paper §4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StressStats {
+    /// Mean, over traced packets, of the average number of copies crossing
+    /// each physical link that carried the packet at least once.
+    pub mean: f64,
+    /// Largest number of copies of a single traced packet observed on any
+    /// single physical link.
+    pub max: u64,
+    /// Number of traced packets that contributed to the statistics.
+    pub traced_packets: usize,
+}
+
+/// The live network: directed links plus routing and tracing state.
+pub struct Network {
+    links: Vec<DirectedLink>,
+    adjacency: Adjacency,
+    attachments: Vec<RouterId>,
+    /// Cached shortest path trees, keyed by source router.
+    sp_cache: HashMap<RouterId, ShortestPaths>,
+    /// Cached overlay-to-overlay paths (sequences of directed links).
+    path_cache: HashMap<(RouterId, RouterId), Vec<DirectedLinkId>>,
+    /// Per (trace id, directed link) copy counts for link-stress estimation.
+    trace_counts: HashMap<(u64, DirectedLinkId), u64>,
+}
+
+impl Network {
+    /// Builds the live network from a spec.
+    pub fn new(spec: &NetworkSpec) -> Self {
+        let mut links = Vec::with_capacity(spec.links.len() * 2);
+        let mut adjacency = Adjacency::new(spec.routers);
+        for link_spec in &spec.links {
+            let fwd = DirectedLink::from_spec(link_spec, false);
+            let rev = DirectedLink::from_spec(link_spec, true);
+            let cost = link_spec.delay.as_micros().max(1);
+            let fwd_id = links.len();
+            adjacency.add_edge(link_spec.a, link_spec.b, fwd_id, cost);
+            links.push(fwd);
+            let rev_id = links.len();
+            adjacency.add_edge(link_spec.b, link_spec.a, rev_id, cost);
+            links.push(rev);
+        }
+        Network {
+            links,
+            adjacency,
+            attachments: spec.attachments.clone(),
+            sp_cache: HashMap::new(),
+            path_cache: HashMap::new(),
+            trace_counts: HashMap::new(),
+        }
+    }
+
+    /// Number of overlay participants.
+    pub fn participants(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Number of physical routers.
+    pub fn routers(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Router an overlay participant is attached to.
+    pub fn attachment(&self, node: OverlayId) -> RouterId {
+        self.attachments[node]
+    }
+
+    /// Read-only view of a directed link.
+    pub fn link(&self, id: DirectedLinkId) -> &DirectedLink {
+        &self.links[id]
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[DirectedLink] {
+        &self.links
+    }
+
+    /// The routed path (directed link ids) between two overlay participants.
+    ///
+    /// Returns an empty path when both participants share an attachment
+    /// router, and `None` when the destination is unreachable.
+    pub fn path(&mut self, from: OverlayId, to: OverlayId) -> Option<Vec<DirectedLinkId>> {
+        let (src, dst) = (self.attachments[from], self.attachments[to]);
+        if src == dst {
+            return Some(Vec::new());
+        }
+        if let Some(p) = self.path_cache.get(&(src, dst)) {
+            return Some(p.clone());
+        }
+        let adjacency = &self.adjacency;
+        let sp = self
+            .sp_cache
+            .entry(src)
+            .or_insert_with(|| ShortestPaths::compute(adjacency, src));
+        let path = sp.path_to(dst)?;
+        self.path_cache.insert((src, dst), path.clone());
+        Some(path)
+    }
+
+    /// One-way propagation delay (sum of link delays) between two overlay
+    /// participants, ignoring queueing. Used for oracle baselines such as the
+    /// offline tree algorithms.
+    pub fn propagation_delay(&mut self, from: OverlayId, to: OverlayId) -> Option<crate::time::SimDuration> {
+        let path = self.path(from, to)?;
+        let mut total = crate::time::SimDuration::ZERO;
+        for link in path {
+            total = total + self.links[link].delay;
+        }
+        Some(total)
+    }
+
+    /// Offers a packet to one directed link.
+    pub fn offer_hop(
+        &mut self,
+        now: SimTime,
+        link: DirectedLinkId,
+        size_bytes: u32,
+        trace_id: Option<u64>,
+        rng: &mut SimRng,
+    ) -> HopOutcome {
+        if let Some(id) = trace_id {
+            *self.trace_counts.entry((id, link)).or_insert(0) += 1;
+        }
+        self.links[link].offer(now, size_bytes, rng)
+    }
+
+    /// Computes link-stress statistics over all traced packets.
+    pub fn stress_stats(&self) -> StressStats {
+        if self.trace_counts.is_empty() {
+            return StressStats::default();
+        }
+        // Group by trace id: per packet, average copies per utilized link.
+        let mut per_packet: HashMap<u64, (u64, u64)> = HashMap::new(); // (links, copies)
+        let mut max = 0u64;
+        for (&(trace, _link), &count) in &self.trace_counts {
+            let entry = per_packet.entry(trace).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += count;
+            max = max.max(count);
+        }
+        let mean = per_packet
+            .values()
+            .map(|&(links, copies)| copies as f64 / links as f64)
+            .sum::<f64>()
+            / per_packet.len() as f64;
+        StressStats {
+            mean,
+            max,
+            traced_packets: per_packet.len(),
+        }
+    }
+
+    /// Total bytes accepted across all links (a rough global utilization
+    /// number used in tests and reports).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.links.iter().map(|l| l.counters.bytes_sent).sum()
+    }
+
+    /// Total packets dropped (queue + random loss) across all links.
+    pub fn total_drops(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.counters.dropped_queue + l.counters.dropped_loss)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Two clients attached to stubs joined through a single transit router.
+    ///
+    /// ```text
+    /// c0 -- r0 -- r1(transit) -- r2 -- c1
+    /// ```
+    fn dumbbell() -> NetworkSpec {
+        let mut spec = NetworkSpec::new(3);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(5)));
+        spec.add_link(LinkSpec::new(1, 2, 10e6, SimDuration::from_millis(5)));
+        spec.attach(0);
+        spec.attach(2);
+        spec
+    }
+
+    #[test]
+    fn routes_between_participants() {
+        let mut net = Network::new(&dumbbell());
+        let path = net.path(0, 1).expect("path exists");
+        assert_eq!(path.len(), 2);
+        // Forward direction uses the even (forward) directed links.
+        assert_eq!(net.link(path[0]).from, 0);
+        assert_eq!(net.link(path[1]).to, 2);
+    }
+
+    #[test]
+    fn reverse_path_differs_from_forward_path() {
+        let mut net = Network::new(&dumbbell());
+        let fwd = net.path(0, 1).unwrap();
+        let rev = net.path(1, 0).unwrap();
+        assert_eq!(fwd.len(), rev.len());
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn same_attachment_router_gives_empty_path() {
+        let mut spec = dumbbell();
+        let extra = spec.attach(0);
+        let mut net = Network::new(&spec);
+        assert_eq!(net.path(0, extra), Some(vec![]));
+    }
+
+    #[test]
+    fn propagation_delay_sums_link_delays() {
+        let mut net = Network::new(&dumbbell());
+        let d = net.propagation_delay(0, 1).unwrap();
+        assert_eq!(d.as_micros(), 10_000);
+    }
+
+    #[test]
+    fn stress_counts_traced_copies() {
+        let mut net = Network::new(&dumbbell());
+        let mut rng = SimRng::new(1);
+        let path = net.path(0, 1).unwrap();
+        // The same traced packet crosses the first link twice (two copies).
+        net.offer_hop(SimTime::ZERO, path[0], 100, Some(7), &mut rng);
+        net.offer_hop(SimTime::ZERO, path[0], 100, Some(7), &mut rng);
+        net.offer_hop(SimTime::ZERO, path[1], 100, Some(7), &mut rng);
+        let stats = net.stress_stats();
+        assert_eq!(stats.traced_packets, 1);
+        assert_eq!(stats.max, 2);
+        assert!((stats.mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut net = Network::new(&dumbbell());
+        let mut rng = SimRng::new(1);
+        let path = net.path(0, 1).unwrap();
+        for _ in 0..5 {
+            net.offer_hop(SimTime::ZERO, path[0], 1000, None, &mut rng);
+        }
+        assert_eq!(net.total_bytes_sent(), 5_000);
+    }
+}

@@ -1,0 +1,166 @@
+//! Shortest-path routing over the physical topology.
+//!
+//! The paper assumes fixed IP unicast routing between overlay participants
+//! (OMBT assumption 1). We model that with per-source Dijkstra shortest path
+//! trees computed over link propagation delay, which is how the INET-placed
+//! topologies derive their routes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{DirectedLinkId, RouterId};
+
+/// Adjacency representation used by the router: for each router, the list of
+/// `(neighbor, directed link id, cost)` edges leaving it.
+#[derive(Clone, Debug, Default)]
+pub struct Adjacency {
+    edges: Vec<Vec<(RouterId, DirectedLinkId, u64)>>,
+}
+
+impl Adjacency {
+    /// Creates an adjacency structure for `routers` nodes.
+    pub fn new(routers: usize) -> Self {
+        Adjacency {
+            edges: vec![Vec::new(); routers],
+        }
+    }
+
+    /// Adds a directed edge.
+    pub fn add_edge(&mut self, from: RouterId, to: RouterId, link: DirectedLinkId, cost: u64) {
+        self.edges[from].push((to, link, cost));
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the topology has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Edges leaving `router`.
+    pub fn neighbors(&self, router: RouterId) -> &[(RouterId, DirectedLinkId, u64)] {
+        &self.edges[router]
+    }
+}
+
+/// The shortest path tree rooted at one source router.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: RouterId,
+    /// For each router, the directed link used to reach it on the shortest
+    /// path from `source` (and the router that link comes from).
+    prev: Vec<Option<(RouterId, DirectedLinkId)>>,
+    /// Shortest path cost from `source` to each router; `u64::MAX` if
+    /// unreachable.
+    dist: Vec<u64>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra from `source` over the adjacency structure.
+    pub fn compute(adj: &Adjacency, source: RouterId) -> Self {
+        let n = adj.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<(RouterId, DirectedLinkId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0;
+        heap.push(Reverse((0u64, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, link, cost) in adj.neighbors(u) {
+                let nd = d.saturating_add(cost);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some((u, link));
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        ShortestPaths { source, prev, dist }
+    }
+
+    /// The source router this tree is rooted at.
+    pub fn source(&self) -> RouterId {
+        self.source
+    }
+
+    /// Shortest-path cost to `dst`, or `None` if unreachable.
+    pub fn cost_to(&self, dst: RouterId) -> Option<u64> {
+        (self.dist[dst] != u64::MAX).then_some(self.dist[dst])
+    }
+
+    /// The sequence of directed link ids on the path from the source to
+    /// `dst`, or `None` if `dst` is unreachable.
+    pub fn path_to(&self, dst: RouterId) -> Option<Vec<DirectedLinkId>> {
+        if self.dist[dst] == u64::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != self.source {
+            let (p, link) = self.prev[cur]?;
+            path.push(link);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a line topology 0 - 1 - 2 - 3 with unit costs, where the
+    /// directed link id from i to i+1 is `2*i` and the reverse is `2*i+1`.
+    fn line(n: usize) -> Adjacency {
+        let mut adj = Adjacency::new(n);
+        for i in 0..n - 1 {
+            adj.add_edge(i, i + 1, 2 * i, 1);
+            adj.add_edge(i + 1, i, 2 * i + 1, 1);
+        }
+        adj
+    }
+
+    #[test]
+    fn path_on_a_line() {
+        let adj = line(4);
+        let sp = ShortestPaths::compute(&adj, 0);
+        assert_eq!(sp.cost_to(3), Some(3));
+        assert_eq!(sp.path_to(3), Some(vec![0, 2, 4]));
+        assert_eq!(sp.path_to(0), Some(vec![]));
+    }
+
+    #[test]
+    fn unreachable_node_reports_none() {
+        let mut adj = Adjacency::new(3);
+        adj.add_edge(0, 1, 0, 1);
+        adj.add_edge(1, 0, 1, 1);
+        let sp = ShortestPaths::compute(&adj, 0);
+        assert_eq!(sp.cost_to(2), None);
+        assert_eq!(sp.path_to(2), None);
+    }
+
+    #[test]
+    fn picks_cheaper_of_two_routes() {
+        // 0 -> 1 -> 2 costs 2; direct 0 -> 2 costs 5.
+        let mut adj = Adjacency::new(3);
+        adj.add_edge(0, 1, 0, 1);
+        adj.add_edge(1, 2, 1, 1);
+        adj.add_edge(0, 2, 2, 5);
+        let sp = ShortestPaths::compute(&adj, 0);
+        assert_eq!(sp.cost_to(2), Some(2));
+        assert_eq!(sp.path_to(2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn reverse_direction_uses_reverse_links() {
+        let adj = line(3);
+        let sp = ShortestPaths::compute(&adj, 2);
+        assert_eq!(sp.path_to(0), Some(vec![3, 1]));
+    }
+}

@@ -1,0 +1,547 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Sim`] owns the emulated [`Network`], one [`Agent`] per overlay
+//! participant, and a time-ordered event queue. It routes every sent message
+//! hop by hop over the physical topology, applies per-link queueing, loss and
+//! delay, fires timers, and injects scheduled node failures.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::agent::{Action, Agent, Context, MsgClass, TimerId};
+use crate::link::{DirectedLinkId, HopOutcome};
+use crate::network::{Network, NetworkSpec, OverlayId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Delay applied to a message between two participants attached to the same
+/// router (a LAN hop that does not traverse any modelled link).
+const LOOPBACK_DELAY: SimDuration = SimDuration::from_micros(100);
+
+/// Per-class byte counters maintained for every overlay participant.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeTraffic {
+    /// Application-data bytes received.
+    pub data_bytes_in: u64,
+    /// Control bytes received.
+    pub control_bytes_in: u64,
+    /// Application-data bytes sent.
+    pub data_bytes_out: u64,
+    /// Control bytes sent.
+    pub control_bytes_out: u64,
+}
+
+/// Global counters maintained by the simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimCounters {
+    /// Messages handed to destination agents.
+    pub delivered: u64,
+    /// Messages lost in the network (queue overflow or random loss).
+    pub dropped_in_network: u64,
+    /// Messages discarded because the destination had failed.
+    pub dropped_dest_failed: u64,
+    /// Messages discarded because the sender had failed when they were sent.
+    pub dropped_src_failed: u64,
+    /// Timer expirations delivered.
+    pub timers_fired: u64,
+    /// Events processed in total.
+    pub events: u64,
+}
+
+struct Flight<M> {
+    from: OverlayId,
+    to: OverlayId,
+    msg: M,
+    size_bytes: u32,
+    class: MsgClass,
+    trace: Option<u64>,
+    path: Vec<DirectedLinkId>,
+    hop: usize,
+}
+
+enum EventKind<M> {
+    Hop(Flight<M>),
+    Deliver(Flight<M>),
+    Timer {
+        node: OverlayId,
+        id: TimerId,
+        tag: u64,
+    },
+    Fail(OverlayId),
+    Recover(OverlayId),
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Sim<A: Agent> {
+    now: SimTime,
+    network: Network,
+    agents: Vec<A>,
+    failed: Vec<bool>,
+    traffic: Vec<NodeTraffic>,
+    queue: BinaryHeap<QueuedEvent<A::Msg>>,
+    seq: u64,
+    rng: SimRng,
+    cancelled_timers: HashSet<TimerId>,
+    next_timer_id: u64,
+    started: bool,
+    counters: SimCounters,
+}
+
+impl<A: Agent> Sim<A> {
+    /// Builds a simulator over `spec` with one agent per overlay participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of agents differs from the number of participants
+    /// declared in the spec.
+    pub fn new(spec: &NetworkSpec, agents: Vec<A>, seed: u64) -> Self {
+        assert_eq!(
+            spec.participants(),
+            agents.len(),
+            "one agent per attached participant is required"
+        );
+        let n = agents.len();
+        Sim {
+            now: SimTime::ZERO,
+            network: Network::new(spec),
+            agents,
+            failed: vec![false; n],
+            traffic: vec![NodeTraffic::default(); n],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rng: SimRng::new(seed),
+            cancelled_timers: HashSet::new(),
+            next_timer_id: 0,
+            started: false,
+            counters: SimCounters::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the emulated network (link counters, stress stats).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Read access to one agent.
+    pub fn agent(&self, node: OverlayId) -> &A {
+        &self.agents[node]
+    }
+
+    /// Mutable access to one agent (used by harnesses to reconfigure nodes
+    /// between phases; protocol code itself never needs this).
+    pub fn agent_mut(&mut self, node: OverlayId) -> &mut A {
+        &mut self.agents[node]
+    }
+
+    /// All agents.
+    pub fn agents(&self) -> &[A] {
+        &self.agents
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_failed(&self, node: OverlayId) -> bool {
+        self.failed[node]
+    }
+
+    /// Per-node traffic counters.
+    pub fn traffic(&self, node: OverlayId) -> NodeTraffic {
+        self.traffic[node]
+    }
+
+    /// Global simulator counters.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    /// Schedules a crash failure of `node` at absolute time `at`.
+    ///
+    /// From that point on the node neither sends nor receives messages and
+    /// its timers stop firing.
+    pub fn schedule_failure(&mut self, at: SimTime, node: OverlayId) {
+        self.push(at, EventKind::Fail(node));
+    }
+
+    /// Schedules a recovery of a previously failed node.
+    pub fn schedule_recovery(&mut self, at: SimTime, node: OverlayId) {
+        self.push(at, EventKind::Recover(node));
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { time, seq, kind });
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.agents.len() {
+            let mut actions = Vec::new();
+            {
+                let mut ctx = Context::new(
+                    self.now,
+                    node,
+                    &mut self.rng,
+                    &mut actions,
+                    &mut self.next_timer_id,
+                );
+                self.agents[node].on_start(&mut ctx);
+            }
+            self.apply_actions(node, actions);
+        }
+    }
+
+    /// Runs the simulation until simulated time `end` (inclusive of events at
+    /// `end`). Events scheduled after `end` remain queued.
+    pub fn run_until(&mut self, end: SimTime) {
+        self.start_if_needed();
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = ev.time;
+            self.counters.events += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = end;
+    }
+
+    /// Runs until `end`, invoking `sample` every `interval` of simulated
+    /// time (including at `end`). Used by harnesses to build bandwidth-over-
+    /// time series.
+    pub fn run_sampled<F>(&mut self, end: SimTime, interval: SimDuration, mut sample: F)
+    where
+        F: FnMut(SimTime, &Sim<A>),
+    {
+        assert!(!interval.is_zero(), "sampling interval must be non-zero");
+        let mut next = self.now + interval;
+        while next < end {
+            self.run_until(next);
+            sample(next, self);
+            next = next + interval;
+        }
+        self.run_until(end);
+        sample(end, self);
+    }
+
+    fn dispatch(&mut self, kind: EventKind<A::Msg>) {
+        match kind {
+            EventKind::Hop(flight) => self.handle_hop(flight),
+            EventKind::Deliver(flight) => self.handle_deliver(flight),
+            EventKind::Timer { node, id, tag } => self.handle_timer(node, id, tag),
+            EventKind::Fail(node) => {
+                self.failed[node] = true;
+            }
+            EventKind::Recover(node) => {
+                self.failed[node] = false;
+            }
+        }
+    }
+
+    fn handle_hop(&mut self, mut flight: Flight<A::Msg>) {
+        if flight.hop >= flight.path.len() {
+            let delay = if flight.path.is_empty() {
+                LOOPBACK_DELAY
+            } else {
+                SimDuration::ZERO
+            };
+            let at = self.now + delay;
+            self.push(at, EventKind::Deliver(flight));
+            return;
+        }
+        let link = flight.path[flight.hop];
+        match self.network.offer_hop(
+            self.now,
+            link,
+            flight.size_bytes,
+            flight.trace,
+            &mut self.rng,
+        ) {
+            HopOutcome::Arrive(at) => {
+                flight.hop += 1;
+                self.push(at, EventKind::Hop(flight));
+            }
+            HopOutcome::DroppedQueue | HopOutcome::DroppedLoss => {
+                self.counters.dropped_in_network += 1;
+            }
+        }
+    }
+
+    fn handle_deliver(&mut self, flight: Flight<A::Msg>) {
+        let node = flight.to;
+        if self.failed[node] {
+            self.counters.dropped_dest_failed += 1;
+            return;
+        }
+        self.counters.delivered += 1;
+        match flight.class {
+            MsgClass::Data => self.traffic[node].data_bytes_in += flight.size_bytes as u64,
+            MsgClass::Control => self.traffic[node].control_bytes_in += flight.size_bytes as u64,
+        }
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(
+                self.now,
+                node,
+                &mut self.rng,
+                &mut actions,
+                &mut self.next_timer_id,
+            );
+            self.agents[node].on_message(&mut ctx, flight.from, flight.msg);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn handle_timer(&mut self, node: OverlayId, id: TimerId, tag: u64) {
+        if self.cancelled_timers.remove(&id) {
+            return;
+        }
+        if self.failed[node] {
+            return;
+        }
+        self.counters.timers_fired += 1;
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(
+                self.now,
+                node,
+                &mut self.rng,
+                &mut actions,
+                &mut self.next_timer_id,
+            );
+            self.agents[node].on_timer(&mut ctx, tag);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: OverlayId, actions: Vec<Action<A::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send {
+                    to,
+                    msg,
+                    size_bytes,
+                    class,
+                    trace,
+                } => self.send_message(node, to, msg, size_bytes, class, trace),
+                Action::SetTimer { id, delay, tag } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node, id, tag });
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id);
+                }
+            }
+        }
+    }
+
+    fn send_message(
+        &mut self,
+        from: OverlayId,
+        to: OverlayId,
+        msg: A::Msg,
+        size_bytes: u32,
+        class: MsgClass,
+        trace: Option<u64>,
+    ) {
+        if self.failed[from] {
+            self.counters.dropped_src_failed += 1;
+            return;
+        }
+        match class {
+            MsgClass::Data => self.traffic[from].data_bytes_out += size_bytes as u64,
+            MsgClass::Control => self.traffic[from].control_bytes_out += size_bytes as u64,
+        }
+        let Some(path) = self.network.path(from, to) else {
+            self.counters.dropped_in_network += 1;
+            return;
+        };
+        let flight = Flight {
+            from,
+            to,
+            msg,
+            size_bytes,
+            class,
+            trace,
+            path,
+            hop: 0,
+        };
+        self.push(self.now, EventKind::Hop(flight));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    /// A small ping-pong protocol used to exercise the runtime.
+    #[derive(Clone, Debug)]
+    enum PingMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct PingAgent {
+        peer: OverlayId,
+        initiator: bool,
+        pings_to_send: u32,
+        pongs_received: Vec<(SimTime, u32)>,
+        timer_tags: Vec<u64>,
+    }
+
+    impl PingAgent {
+        fn new(peer: OverlayId, initiator: bool, pings: u32) -> Self {
+            PingAgent {
+                peer,
+                initiator,
+                pings_to_send: pings,
+                pongs_received: Vec::new(),
+                timer_tags: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for PingAgent {
+        type Msg = PingMsg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, PingMsg>) {
+            if self.initiator && self.pings_to_send > 0 {
+                ctx.send_data(self.peer, PingMsg::Ping(0), 100);
+                ctx.set_timer(SimDuration::from_secs(1), 7);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, PingMsg>, from: OverlayId, msg: PingMsg) {
+            match msg {
+                PingMsg::Ping(n) => ctx.send_data(from, PingMsg::Pong(n), 100),
+                PingMsg::Pong(n) => {
+                    self.pongs_received.push((ctx.now(), n));
+                    if n + 1 < self.pings_to_send {
+                        ctx.send_data(self.peer, PingMsg::Ping(n + 1), 100);
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, PingMsg>, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+    }
+
+    fn two_node_spec() -> NetworkSpec {
+        let mut spec = NetworkSpec::new(2);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(10)));
+        spec.attach(0);
+        spec.attach(1);
+        spec
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, true, 3), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.run_until(SimTime::from_secs(5));
+        let initiator = sim.agent(0);
+        assert_eq!(initiator.pongs_received.len(), 3);
+        // RTT is a bit over 20 ms (2 x 10 ms propagation + serialization).
+        let first_rtt = initiator.pongs_received[0].0;
+        assert!(first_rtt.as_micros() >= 20_000);
+        assert!(first_rtt.as_micros() < 30_000);
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, true, 1), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.run_until(SimTime::from_millis(500));
+        assert!(sim.agent(0).timer_tags.is_empty());
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.agent(0).timer_tags, vec![7]);
+        assert_eq!(sim.counters().timers_fired, 1);
+    }
+
+    #[test]
+    fn failed_nodes_stop_receiving() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, true, 100), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.schedule_failure(SimTime::from_millis(50), 1);
+        sim.run_until(SimTime::from_secs(10));
+        // The exchange stops shortly after the failure.
+        let pongs = sim.agent(0).pongs_received.len();
+        assert!(pongs < 5, "expected the exchange to stall, got {pongs} pongs");
+        assert!(sim.is_failed(1));
+        assert!(sim.counters().dropped_dest_failed > 0 || sim.counters().dropped_src_failed > 0);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate_per_class() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, true, 2), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.traffic(1).data_bytes_in, 200);
+        assert_eq!(sim.traffic(0).data_bytes_in, 200);
+        assert_eq!(sim.traffic(0).control_bytes_in, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let run = |seed| {
+            let spec = two_node_spec();
+            let agents = vec![PingAgent::new(1, true, 5), PingAgent::new(0, false, 0)];
+            let mut sim = Sim::new(&spec, agents, seed);
+            sim.run_until(SimTime::from_secs(5));
+            sim.agent(0).pongs_received.clone()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn run_sampled_invokes_callback_each_interval() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, true, 1), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        let mut samples = Vec::new();
+        sim.run_sampled(SimTime::from_secs(5), SimDuration::from_secs(1), |t, _| {
+            samples.push(t.as_micros())
+        });
+        assert_eq!(samples.len(), 5);
+        assert_eq!(*samples.last().unwrap(), 5_000_000);
+    }
+}

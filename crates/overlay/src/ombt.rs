@@ -1,0 +1,288 @@
+//! The offline greedy Overlay Maximum Bottleneck Tree (paper §4.1).
+//!
+//! Given complete knowledge of the topology (link bandwidths, loss rates, and
+//! propagation delays) the algorithm greedily grows a tree from the source,
+//! always attaching the outside node reachable through the overlay link with
+//! the highest estimated throughput. Overlay link throughput is estimated as
+//! the minimum of the TCP steady-state rate for the path's RTT and loss, and
+//! the fair share of every physical link on the path given the tree flows
+//! already routed across it. The paper uses this tree as the strongest
+//! tree-based competitor to Bullet; it is explicitly an oracle (it needs
+//! global topology information no online protocol has).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use bullet_netsim::{DirectedLinkId, Network, OverlayId};
+use bullet_transport::tcp_throughput_bps;
+
+use crate::tree::Tree;
+
+/// Configuration of the greedy OMBT construction.
+#[derive(Clone, Copy, Debug)]
+pub struct OmbtConfig {
+    /// Packet size used in the TCP steady-state formula, in bytes.
+    pub packet_size: u32,
+    /// Maximum children per node (degree constraint).
+    pub max_children: usize,
+}
+
+impl Default for OmbtConfig {
+    fn default() -> Self {
+        OmbtConfig {
+            packet_size: 1_500,
+            max_children: 10,
+        }
+    }
+}
+
+/// A candidate overlay edge in the greedy frontier.
+struct Candidate {
+    throughput_bps: f64,
+    from: OverlayId,
+    to: OverlayId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.throughput_bps == other.throughput_bps
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.throughput_bps
+            .partial_cmp(&other.throughput_bps)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| (other.from, other.to).cmp(&(self.from, self.to)))
+    }
+}
+
+/// Oracle estimator for overlay link throughput.
+pub struct ThroughputOracle<'a> {
+    net: &'a mut Network,
+    packet_size: u32,
+    /// Number of tree flows currently routed over each directed link.
+    flows: HashMap<DirectedLinkId, u32>,
+}
+
+impl<'a> ThroughputOracle<'a> {
+    /// Creates an oracle over the given network.
+    pub fn new(net: &'a mut Network, packet_size: u32) -> Self {
+        ThroughputOracle {
+            net,
+            packet_size,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// Estimates the throughput (bits/second) of the overlay link
+    /// `from -> to` under the current tree flows, per the paper's §4.1 model:
+    /// `min(formula rate, min over links of capacity / (flows + 1))`.
+    pub fn estimate_bps(&mut self, from: OverlayId, to: OverlayId) -> Option<f64> {
+        let path = self.net.path(from, to)?;
+        let reverse = self.net.path(to, from)?;
+        let mut loss_survive = 1.0;
+        let mut fair_share = f64::INFINITY;
+        let mut delay = 0.0;
+        for &link_id in &path {
+            let link = self.net.link(link_id);
+            loss_survive *= 1.0 - link.loss;
+            delay += link.delay.as_secs_f64();
+            let flows = *self.flows.get(&link_id).unwrap_or(&0);
+            fair_share = fair_share.min(link.bandwidth_bps / (flows + 1) as f64);
+        }
+        let mut reverse_delay = 0.0;
+        for &link_id in &reverse {
+            reverse_delay += self.net.link(link_id).delay.as_secs_f64();
+        }
+        let rtt = (delay + reverse_delay).max(1e-4);
+        let loss = 1.0 - loss_survive;
+        let formula = if loss > 0.0 {
+            tcp_throughput_bps(self.packet_size as f64, rtt, loss)
+        } else {
+            f64::INFINITY
+        };
+        Some(formula.min(fair_share))
+    }
+
+    /// Marks the overlay link `from -> to` as carrying one more tree flow.
+    pub fn commit_flow(&mut self, from: OverlayId, to: OverlayId) {
+        if let Some(path) = self.net.path(from, to) {
+            for link_id in path {
+                *self.flows.entry(link_id).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// Builds the greedy offline bottleneck-bandwidth tree over `participants`
+/// overlay nodes rooted at `root`.
+pub fn bottleneck_tree(
+    net: &mut Network,
+    participants: usize,
+    root: OverlayId,
+    config: &OmbtConfig,
+) -> Tree {
+    assert!(participants > 0, "need at least one participant");
+    assert!(root < participants, "root out of range");
+    let mut oracle = ThroughputOracle::new(net, config.packet_size);
+    let mut parents: Vec<Option<OverlayId>> = vec![None; participants];
+    let mut in_tree = vec![false; participants];
+    let mut child_count = vec![0usize; participants];
+    in_tree[root] = true;
+
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    for to in 0..participants {
+        if to != root {
+            if let Some(bps) = oracle.estimate_bps(root, to) {
+                heap.push(Candidate {
+                    throughput_bps: bps,
+                    from: root,
+                    to,
+                });
+            }
+        }
+    }
+
+    let mut attached = 1;
+    while attached < participants {
+        let Some(candidate) = heap.pop() else {
+            // Disconnected participants: attach them directly to the root so
+            // the result is still a valid tree.
+            for (node, parent) in parents.iter_mut().enumerate() {
+                if node != root && parent.is_none() {
+                    *parent = Some(root);
+                }
+            }
+            break;
+        };
+        if in_tree[candidate.to] || child_count[candidate.from] >= config.max_children {
+            continue;
+        }
+        // Lazy re-evaluation: the fair shares may have changed since the
+        // candidate was pushed. Recompute; if it is no longer competitive,
+        // push the refreshed value back instead of accepting it.
+        let Some(current) = oracle.estimate_bps(candidate.from, candidate.to) else {
+            continue;
+        };
+        let next_best = heap.peek().map(|c| c.throughput_bps).unwrap_or(0.0);
+        if current + 1e-6 < next_best && current + 1e-6 < candidate.throughput_bps {
+            heap.push(Candidate {
+                throughput_bps: current,
+                from: candidate.from,
+                to: candidate.to,
+            });
+            continue;
+        }
+        // Accept.
+        parents[candidate.to] = Some(candidate.from);
+        in_tree[candidate.to] = true;
+        child_count[candidate.from] += 1;
+        oracle.commit_flow(candidate.from, candidate.to);
+        attached += 1;
+        for to in 0..participants {
+            if !in_tree[to] {
+                if let Some(bps) = oracle.estimate_bps(candidate.to, to) {
+                    heap.push(Candidate {
+                        throughput_bps: bps,
+                        from: candidate.to,
+                        to,
+                    });
+                }
+            }
+        }
+    }
+
+    Tree::from_parents(parents).expect("greedy construction yields a tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::{LinkSpec, NetworkSpec, SimDuration};
+
+    /// Star of routers around one hub; participant i attaches to router i+1
+    /// whose access link bandwidth is `bw[i]`.
+    fn star(bw: &[f64]) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(bw.len() + 1);
+        for (i, &b) in bw.iter().enumerate() {
+            spec.add_link(LinkSpec::new(0, i + 1, b, SimDuration::from_millis(10)));
+            spec.attach(i + 1);
+        }
+        spec
+    }
+
+    #[test]
+    fn prefers_high_bandwidth_interior_nodes() {
+        // Participant 0 is the source (fast access). Participant 1 is fast,
+        // participant 2 is slow. With max 1 child per node, the tree should
+        // chain source -> fast -> slow, never slow -> fast.
+        let spec = star(&[10e6, 10e6, 0.5e6]);
+        let mut net = Network::new(&spec);
+        let config = OmbtConfig {
+            packet_size: 1_500,
+            max_children: 1,
+        };
+        let tree = bottleneck_tree(&mut net, 3, 0, &config);
+        assert_eq!(tree.parent(1), Some(0));
+        assert_eq!(tree.parent(2), Some(1));
+    }
+
+    #[test]
+    fn respects_the_degree_constraint() {
+        let spec = star(&[10e6; 20]);
+        let mut net = Network::new(&spec);
+        let config = OmbtConfig {
+            packet_size: 1_500,
+            max_children: 3,
+        };
+        let tree = bottleneck_tree(&mut net, 20, 0, &config);
+        assert!(tree.max_degree() <= 3);
+        assert_eq!(tree.subtree_size(0), 20);
+    }
+
+    #[test]
+    fn oracle_accounts_for_shared_bottlenecks() {
+        // All participants share the hub's access links; committing flows on
+        // a path must reduce the fair share reported afterwards.
+        let spec = star(&[10e6, 10e6, 10e6]);
+        let mut net = Network::new(&spec);
+        let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+        let before = oracle.estimate_bps(0, 1).unwrap();
+        oracle.commit_flow(0, 1);
+        let after = oracle.estimate_bps(0, 1).unwrap();
+        assert!(after < before, "fair share should shrink: {before} -> {after}");
+        assert!((before / after - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn lossy_paths_are_penalized() {
+        let mut spec = NetworkSpec::new(3);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(10)));
+        spec.add_link(
+            LinkSpec::new(0, 2, 10e6, SimDuration::from_millis(10)).with_loss(0.05),
+        );
+        spec.attach(0);
+        spec.attach(1);
+        spec.attach(2);
+        let mut net = Network::new(&spec);
+        let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+        let clean = oracle.estimate_bps(0, 1).unwrap();
+        let lossy = oracle.estimate_bps(0, 2).unwrap();
+        assert!(lossy < clean, "lossy {lossy} should be below clean {clean}");
+    }
+
+    #[test]
+    fn single_participant_tree_is_trivial() {
+        let spec = star(&[10e6]);
+        let mut net = Network::new(&spec);
+        let tree = bottleneck_tree(&mut net, 1, 0, &OmbtConfig::default());
+        assert_eq!(tree.len(), 1);
+    }
+}

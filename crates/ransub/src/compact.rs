@@ -1,0 +1,189 @@
+//! The Compact operation (paper §2.2).
+//!
+//! Compact takes several fixed-size subsets, each representing a population
+//! of known size, and produces a new fixed-size subset whose members are
+//! uniformly random representatives of the combined population. It is the
+//! primitive that keeps collect and distribute sets both small and unbiased
+//! as they move through the tree.
+
+use bullet_netsim::{OverlayId, SimRng};
+
+/// One entry of a collect or distribute set: a node plus the piece of its
+/// state being disseminated (for Bullet, its summary ticket).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Member<T> {
+    /// The overlay participant this entry describes.
+    pub node: OverlayId,
+    /// The state snapshot carried for that participant.
+    pub state: T,
+}
+
+/// A fixed-size subset together with the size of the population it
+/// represents (which is usually much larger than the subset itself).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedSet<T> {
+    /// The sampled members.
+    pub members: Vec<Member<T>>,
+    /// Total number of nodes this subset stands for.
+    pub population: u64,
+}
+
+impl<T> WeightedSet<T> {
+    /// A subset representing a single node (its own state).
+    pub fn singleton(node: OverlayId, state: T) -> Self {
+        WeightedSet {
+            members: vec![Member { node, state }],
+            population: 1,
+        }
+    }
+
+    /// An empty subset representing nobody.
+    pub fn empty() -> Self {
+        WeightedSet {
+            members: Vec::new(),
+            population: 0,
+        }
+    }
+}
+
+/// Combines `inputs` into a subset of at most `set_size` members, where each
+/// input population is represented in proportion to its size.
+///
+/// Sampling is without replacement over the union of the input members: the
+/// output never contains the same node twice, and if the union holds fewer
+/// than `set_size` distinct nodes all of them are returned.
+pub fn compact<T: Clone>(
+    inputs: &[WeightedSet<T>],
+    set_size: usize,
+    rng: &mut SimRng,
+) -> WeightedSet<T> {
+    let total_population: u64 = inputs.iter().map(|s| s.population).sum();
+    // Collect candidate members with their per-slot selection weight: a
+    // subset of size m representing a population P gives each of its members
+    // weight P / m, so that picking a member is equivalent to first picking
+    // the subset with probability P / total and then one member uniformly.
+    let mut candidates: Vec<(f64, &Member<T>)> = Vec::new();
+    for set in inputs {
+        if set.members.is_empty() || set.population == 0 {
+            continue;
+        }
+        let weight = set.population as f64 / set.members.len() as f64;
+        for member in &set.members {
+            candidates.push((weight, member));
+        }
+    }
+    let mut chosen: Vec<Member<T>> = Vec::new();
+    let mut chosen_nodes: Vec<OverlayId> = Vec::new();
+    while chosen.len() < set_size && !candidates.is_empty() {
+        let total_weight: f64 = candidates.iter().map(|(w, _)| *w).sum();
+        if total_weight <= 0.0 {
+            break;
+        }
+        let mut pick = rng.next_f64() * total_weight;
+        let mut index = candidates.len() - 1;
+        for (i, (w, _)) in candidates.iter().enumerate() {
+            if pick < *w {
+                index = i;
+                break;
+            }
+            pick -= *w;
+        }
+        let (_, member) = candidates.swap_remove(index);
+        if !chosen_nodes.contains(&member.node) {
+            chosen_nodes.push(member.node);
+            chosen.push(member.clone());
+        }
+    }
+    WeightedSet {
+        members: chosen,
+        population: total_population,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(nodes: &[OverlayId], population: u64) -> WeightedSet<u32> {
+        WeightedSet {
+            members: nodes.iter().map(|&n| Member { node: n, state: n as u32 }).collect(),
+            population,
+        }
+    }
+
+    #[test]
+    fn output_size_is_bounded() {
+        let mut rng = SimRng::new(1);
+        let out = compact(&[set(&[1, 2, 3], 3), set(&[4, 5, 6], 3)], 4, &mut rng);
+        assert_eq!(out.members.len(), 4);
+        assert_eq!(out.population, 6);
+    }
+
+    #[test]
+    fn small_union_returns_everyone() {
+        let mut rng = SimRng::new(2);
+        let out = compact(&[set(&[1, 2], 2)], 10, &mut rng);
+        assert_eq!(out.members.len(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_nodes_in_output() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            let out = compact(&[set(&[1, 2, 3], 3), set(&[3, 4, 5], 3)], 5, &mut rng);
+            let mut nodes: Vec<_> = out.members.iter().map(|m| m.node).collect();
+            nodes.sort_unstable();
+            let before = nodes.len();
+            nodes.dedup();
+            assert_eq!(nodes.len(), before);
+        }
+    }
+
+    #[test]
+    fn representation_is_proportional_to_population() {
+        // Subset A stands for 900 nodes, subset B for 100; with one output
+        // slot, A's members should be chosen about 90% of the time.
+        let mut rng = SimRng::new(4);
+        let a = set(&[1, 2, 3], 900);
+        let b = set(&[11, 12, 13], 100);
+        let mut a_hits = 0;
+        for _ in 0..5_000 {
+            let out = compact(&[a.clone(), b.clone()], 1, &mut rng);
+            if out.members[0].node <= 3 {
+                a_hits += 1;
+            }
+        }
+        let fraction = a_hits as f64 / 5_000.0;
+        assert!((0.85..0.95).contains(&fraction), "fraction {fraction}");
+    }
+
+    #[test]
+    fn members_within_a_subset_are_picked_uniformly() {
+        let mut rng = SimRng::new(5);
+        let input = set(&[1, 2, 3, 4, 5], 5);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            let out = compact(&[input.clone()], 1, &mut rng);
+            counts[out.members[0].node - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((1_700..=2_300).contains(&c), "count {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let mut rng = SimRng::new(6);
+        let out: WeightedSet<u32> = compact(&[WeightedSet::empty()], 5, &mut rng);
+        assert!(out.members.is_empty());
+        assert_eq!(out.population, 0);
+    }
+
+    #[test]
+    fn singleton_builder_represents_one_node() {
+        let s = WeightedSet::singleton(7, "ticket");
+        assert_eq!(s.population, 1);
+        assert_eq!(s.members.len(), 1);
+        assert_eq!(s.members[0].node, 7);
+    }
+}

@@ -1,0 +1,512 @@
+//! The RanSub collect/distribute protocol (paper §2.2, Fig. 2).
+//!
+//! Once per epoch the root initiates a *distribute* phase: every node sends
+//! each child a fixed-size, uniformly random subset of the nodes **outside**
+//! that child's subtree (the RanSub-nondescendants option), built by
+//! compacting its own distribute set, its own state, and the collect sets its
+//! other children supplied in the previous epoch. When the distribute wave
+//! reaches the leaves, a *collect* phase flows back up: each node sends its
+//! parent a compacted random subset of its subtree along with the subtree's
+//! size. The root starts the next epoch when all collect sets have returned,
+//! or — when failure detection is enabled — when the epoch timeout expires.
+//!
+//! The struct below is a pure state machine: the embedding protocol (Bullet)
+//! forwards messages to it and sends whatever it returns.
+
+use std::collections::HashMap;
+
+use bullet_netsim::{OverlayId, SimRng};
+
+use crate::compact::{compact, Member, WeightedSet};
+
+/// Configuration for one RanSub instance.
+#[derive(Clone, Copy, Debug)]
+pub struct RanSubConfig {
+    /// Number of members carried in each collect/distribute set
+    /// (paper default: 10, so a set fits in one IP packet).
+    pub set_size: usize,
+    /// Whether the root may start a new epoch before all collect sets have
+    /// returned (the failure-detection mode of §4.6).
+    pub failure_detection: bool,
+}
+
+impl Default for RanSubConfig {
+    fn default() -> Self {
+        RanSubConfig {
+            set_size: 10,
+            failure_detection: true,
+        }
+    }
+}
+
+/// A RanSub wire message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RanSubMsg<T> {
+    /// Sent from parent to child during the distribute phase.
+    Distribute {
+        /// Epoch number.
+        epoch: u64,
+        /// Random subset of the child's non-descendants.
+        set: WeightedSet<T>,
+    },
+    /// Sent from child to parent during the collect phase.
+    Collect {
+        /// Epoch number.
+        epoch: u64,
+        /// Random subset representing the child's subtree, with its size.
+        set: WeightedSet<T>,
+    },
+}
+
+/// What the state machine wants done after handling an input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RanSubEvent<T> {
+    /// Transmit `msg` to overlay participant `to`.
+    Send {
+        /// Destination.
+        to: OverlayId,
+        /// Message to transmit.
+        msg: RanSubMsg<T>,
+    },
+    /// A fresh random subset arrived for this node; hand it to the
+    /// application (Bullet uses it to look for new peers).
+    Deliver {
+        /// Epoch the subset belongs to.
+        epoch: u64,
+        /// The subset members (never includes this node itself).
+        members: Vec<Member<T>>,
+    },
+}
+
+/// The per-node RanSub state machine.
+#[derive(Clone, Debug)]
+pub struct RanSub<T> {
+    config: RanSubConfig,
+    me: OverlayId,
+    parent: Option<OverlayId>,
+    children: Vec<OverlayId>,
+    state: T,
+    current_epoch: u64,
+    /// The distribute set received from the parent in the current epoch.
+    my_distribute: Option<WeightedSet<T>>,
+    /// Collect sets received from children in the current epoch.
+    collects: HashMap<OverlayId, WeightedSet<T>>,
+    /// Collect sets from the most recently completed collect phase; used to
+    /// build the next epoch's distribute sets and to answer descendant-count
+    /// queries.
+    prev_collects: HashMap<OverlayId, WeightedSet<T>>,
+    collect_sent: bool,
+    /// Root only: whether the current epoch's collect phase finished.
+    epoch_complete: bool,
+    /// Number of epochs the root skipped because collects were missing and
+    /// failure detection was disabled.
+    pub stalled_epochs: u64,
+}
+
+impl<T: Clone> RanSub<T> {
+    /// Creates a RanSub instance for one node of the tree.
+    pub fn new(
+        config: RanSubConfig,
+        me: OverlayId,
+        parent: Option<OverlayId>,
+        children: Vec<OverlayId>,
+        initial_state: T,
+    ) -> Self {
+        RanSub {
+            config,
+            me,
+            parent,
+            children,
+            state: initial_state,
+            current_epoch: 0,
+            my_distribute: None,
+            collects: HashMap::new(),
+            prev_collects: HashMap::new(),
+            collect_sent: false,
+            epoch_complete: true,
+            stalled_epochs: 0,
+        }
+    }
+
+    /// Updates the state snapshot (e.g. the node's current summary ticket)
+    /// carried in future collect/distribute sets.
+    pub fn set_state(&mut self, state: T) {
+        self.state = state;
+    }
+
+    /// Whether this node is the tree root.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// The node's children in the underlying tree.
+    pub fn children(&self) -> &[OverlayId] {
+        &self.children
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Number of descendants of `child` (the population its last collect set
+    /// represented), if a collect has been seen from it.
+    pub fn descendants_of(&self, child: OverlayId) -> Option<u64> {
+        self.collects
+            .get(&child)
+            .or_else(|| self.prev_collects.get(&child))
+            .map(|s| s.population)
+    }
+
+    /// Size of the subtree rooted at this node, as of the last collect phase
+    /// it participated in (including the node itself).
+    pub fn subtree_size(&self) -> u64 {
+        1 + self
+            .children
+            .iter()
+            .filter_map(|&c| self.descendants_of(c))
+            .sum::<u64>()
+    }
+
+    /// Root only: starts a new epoch. Returns the distribute messages to
+    /// send, or an empty vector if the previous epoch has not completed and
+    /// failure detection is disabled (RanSub stalls, §4.6).
+    pub fn start_epoch(&mut self, rng: &mut SimRng) -> Vec<RanSubEvent<T>> {
+        assert!(self.is_root(), "only the root starts epochs");
+        if !self.epoch_complete && !self.config.failure_detection {
+            self.stalled_epochs += 1;
+            return Vec::new();
+        }
+        // Freeze the last collect round for use in this distribute phase.
+        if !self.collects.is_empty() {
+            self.prev_collects = std::mem::take(&mut self.collects);
+        } else {
+            self.collects.clear();
+        }
+        self.current_epoch += 1;
+        self.epoch_complete = self.children.is_empty();
+        self.collect_sent = false;
+        self.my_distribute = None;
+        self.distribute_to_children(rng)
+    }
+
+    /// Handles an incoming RanSub message from `from`.
+    pub fn on_message(
+        &mut self,
+        from: OverlayId,
+        msg: RanSubMsg<T>,
+        rng: &mut SimRng,
+    ) -> Vec<RanSubEvent<T>> {
+        match msg {
+            RanSubMsg::Distribute { epoch, set } => self.on_distribute(from, epoch, set, rng),
+            RanSubMsg::Collect { epoch, set } => self.on_collect(from, epoch, set, rng),
+        }
+    }
+
+    fn on_distribute(
+        &mut self,
+        from: OverlayId,
+        epoch: u64,
+        set: WeightedSet<T>,
+        rng: &mut SimRng,
+    ) -> Vec<RanSubEvent<T>> {
+        if Some(from) != self.parent || epoch < self.current_epoch {
+            return Vec::new();
+        }
+        // Entering a new epoch: roll the collect state forward.
+        if epoch > self.current_epoch {
+            if !self.collects.is_empty() {
+                self.prev_collects = std::mem::take(&mut self.collects);
+            }
+            self.current_epoch = epoch;
+            self.collect_sent = false;
+        }
+        self.my_distribute = Some(set.clone());
+        let mut events = Vec::new();
+        let members: Vec<Member<T>> = set
+            .members
+            .iter()
+            .filter(|m| m.node != self.me)
+            .cloned()
+            .collect();
+        if !members.is_empty() {
+            events.push(RanSubEvent::Deliver { epoch, members });
+        }
+        events.extend(self.distribute_to_children(rng));
+        // Leaves answer immediately with their collect set.
+        if self.children.is_empty() {
+            events.extend(self.send_collect_up());
+        }
+        events
+    }
+
+    fn on_collect(
+        &mut self,
+        from: OverlayId,
+        epoch: u64,
+        set: WeightedSet<T>,
+        rng: &mut SimRng,
+    ) -> Vec<RanSubEvent<T>> {
+        let _ = rng;
+        if epoch != self.current_epoch || !self.children.contains(&from) {
+            return Vec::new();
+        }
+        self.collects.insert(from, set);
+        let all_in = self
+            .children
+            .iter()
+            .all(|c| self.collects.contains_key(c));
+        if !all_in {
+            return Vec::new();
+        }
+        if self.is_root() {
+            self.epoch_complete = true;
+            Vec::new()
+        } else {
+            self.send_collect_up()
+        }
+    }
+
+    /// Builds and emits this epoch's distribute messages for every child.
+    fn distribute_to_children(&mut self, rng: &mut SimRng) -> Vec<RanSubEvent<T>> {
+        let children = self.children.clone();
+        let mut events = Vec::with_capacity(children.len());
+        for &child in &children {
+            // RanSub-nondescendants: everything except the child's subtree.
+            let mut inputs: Vec<WeightedSet<T>> = Vec::new();
+            if let Some(ds) = &self.my_distribute {
+                inputs.push(ds.clone());
+            }
+            inputs.push(WeightedSet::singleton(self.me, self.state.clone()));
+            for &sibling in &children {
+                if sibling == child {
+                    continue;
+                }
+                if let Some(cs) = self.prev_collects.get(&sibling) {
+                    inputs.push(cs.clone());
+                }
+            }
+            let set = compact(&inputs, self.config.set_size, rng);
+            events.push(RanSubEvent::Send {
+                to: child,
+                msg: RanSubMsg::Distribute {
+                    epoch: self.current_epoch,
+                    set,
+                },
+            });
+        }
+        events
+    }
+
+    /// Builds this node's collect set from its own state plus its children's
+    /// collect sets and sends it to the parent.
+    fn send_collect_up(&mut self) -> Vec<RanSubEvent<T>> {
+        let Some(parent) = self.parent else {
+            return Vec::new();
+        };
+        if self.collect_sent {
+            return Vec::new();
+        }
+        self.collect_sent = true;
+        let mut inputs: Vec<WeightedSet<T>> =
+            vec![WeightedSet::singleton(self.me, self.state.clone())];
+        for &child in &self.children {
+            if let Some(cs) = self.collects.get(&child) {
+                inputs.push(cs.clone());
+            }
+        }
+        // Use a cheap deterministic mix for the sampling inside the collect
+        // compaction; the embedding protocol supplies real randomness on the
+        // distribute path where uniformity matters most.
+        let mut rng = SimRng::new(self.me as u64 ^ (self.current_epoch << 20));
+        let set = compact(&inputs, self.config.set_size, &mut rng);
+        vec![RanSubEvent::Send {
+            to: parent,
+            msg: RanSubMsg::Collect {
+                epoch: self.current_epoch,
+                set,
+            },
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a full RanSub epoch over an in-memory tree (no network), with
+    /// every node's state being its own id.
+    struct Harness {
+        nodes: Vec<RanSub<usize>>,
+        rng: SimRng,
+    }
+
+    impl Harness {
+        /// `parents[i]` is the parent of node `i` (`None` for the root).
+        fn new(parents: &[Option<usize>], config: RanSubConfig) -> Self {
+            let n = parents.len();
+            let mut children = vec![Vec::new(); n];
+            for (node, parent) in parents.iter().enumerate() {
+                if let Some(p) = parent {
+                    children[*p].push(node);
+                }
+            }
+            let nodes = (0..n)
+                .map(|i| RanSub::new(config, i, parents[i], children[i].clone(), i))
+                .collect();
+            Harness {
+                nodes,
+                rng: SimRng::new(7),
+            }
+        }
+
+        /// Runs one epoch to completion; returns the sets delivered per node.
+        fn run_epoch(&mut self, root: usize) -> Vec<Vec<usize>> {
+            let mut delivered = vec![Vec::new(); self.nodes.len()];
+            let mut queue: Vec<(usize, usize, RanSubMsg<usize>)> = Vec::new();
+            for ev in self.nodes[root].start_epoch(&mut self.rng) {
+                match ev {
+                    RanSubEvent::Send { to, msg } => queue.push((root, to, msg)),
+                    RanSubEvent::Deliver { .. } => {}
+                }
+            }
+            while let Some((from, to, msg)) = queue.pop() {
+                for ev in self.nodes[to].on_message(from, msg, &mut self.rng) {
+                    match ev {
+                        RanSubEvent::Send { to: next, msg } => queue.push((to, next, msg)),
+                        RanSubEvent::Deliver { members, .. } => {
+                            delivered[to].extend(members.iter().map(|m| m.node));
+                        }
+                    }
+                }
+            }
+            delivered
+        }
+    }
+
+    /// A three-level tree: 0 is the root, 1 and 2 its children, 3..7 leaves.
+    fn seven_node_parents() -> Vec<Option<usize>> {
+        vec![None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)]
+    }
+
+    #[test]
+    fn first_epoch_delivers_ancestors_only() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        let delivered = h.run_epoch(0);
+        // In epoch 1 no collect info exists yet, so children see only the
+        // root's state and grandchildren see the root and their parent.
+        assert!(delivered[1].contains(&0));
+        assert!(delivered[3].contains(&0));
+        assert!(delivered[3].contains(&1));
+        assert!(!delivered[3].contains(&3), "a node never receives itself");
+    }
+
+    #[test]
+    fn second_epoch_excludes_descendants() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        let delivered = h.run_epoch(0);
+        // Node 1's distribute set must exclude its own subtree {1, 3, 4} but
+        // should include nodes from the sibling subtree.
+        assert!(!delivered[1].contains(&1));
+        assert!(!delivered[1].contains(&3));
+        assert!(!delivered[1].contains(&4));
+        assert!(
+            delivered[1].iter().any(|n| [2, 5, 6].contains(n)),
+            "expected some non-descendant, got {:?}",
+            delivered[1]
+        );
+        // Leaves should now see members of other subtrees too.
+        assert!(
+            delivered[3].iter().any(|n| [2, 5, 6].contains(n)),
+            "leaf 3 saw {:?}",
+            delivered[3]
+        );
+    }
+
+    #[test]
+    fn descendant_counts_reach_the_root() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        assert_eq!(h.nodes[0].descendants_of(1), Some(3));
+        assert_eq!(h.nodes[0].descendants_of(2), Some(3));
+        assert_eq!(h.nodes[0].subtree_size(), 7);
+        assert_eq!(h.nodes[1].descendants_of(3), Some(1));
+    }
+
+    #[test]
+    fn set_size_is_respected() {
+        // A wide tree: root with 30 leaf children; set size 10.
+        let mut parents = vec![None];
+        for _ in 0..30 {
+            parents.push(Some(0));
+        }
+        let mut h = Harness::new(&parents, RanSubConfig::default());
+        h.run_epoch(0);
+        let delivered = h.run_epoch(0);
+        for sets in delivered.iter().skip(1) {
+            assert!(sets.len() <= 10, "delivered {} members", sets.len());
+        }
+    }
+
+    #[test]
+    fn stalls_without_failure_detection_when_a_collect_is_missing() {
+        let config = RanSubConfig {
+            set_size: 10,
+            failure_detection: false,
+        };
+        let parents = seven_node_parents();
+        let mut h = Harness::new(&parents, config);
+        h.run_epoch(0);
+        // Simulate node 1 failing: drop its collect by replacing it with a
+        // node that never responds. Here we simply mark epoch incomplete by
+        // starting an epoch and never delivering node 1's messages.
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        assert!(!events.is_empty());
+        // Root now waits for collects that never arrive; the next start is
+        // refused.
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        assert!(events.is_empty());
+        assert_eq!(h.nodes[0].stalled_epochs, 1);
+    }
+
+    #[test]
+    fn proceeds_with_failure_detection_when_a_collect_is_missing() {
+        let config = RanSubConfig {
+            set_size: 10,
+            failure_detection: true,
+        };
+        let mut h = Harness::new(&seven_node_parents(), config);
+        h.run_epoch(0);
+        let _ = h.nodes[0].start_epoch(&mut h.rng);
+        // Even though no collect returned (we never delivered messages), the
+        // root may start the next epoch.
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        assert!(!events.is_empty());
+        assert_eq!(h.nodes[0].stalled_epochs, 0);
+    }
+
+    #[test]
+    fn epochs_are_numbered_monotonically() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        assert_eq!(h.nodes[0].epoch(), 1);
+        h.run_epoch(0);
+        assert_eq!(h.nodes[0].epoch(), 2);
+        assert_eq!(h.nodes[6].epoch(), 2);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        h.run_epoch(0);
+        // Replay an epoch-1 distribute to node 1: it must be ignored.
+        let stale = RanSubMsg::Distribute {
+            epoch: 1,
+            set: WeightedSet::singleton(0, 0usize),
+        };
+        let events = h.nodes[1].on_message(0, stale, &mut h.rng);
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Router and link classification.
+//!
+//! The paper classifies every physical link as Client-Stub, Stub-Stub,
+//! Transit-Stub, or Transit-Transit (following Calvert/Doar/Zegura) and
+//! assigns bandwidth ranges per class (Table 1). We keep the same taxonomy.
+
+/// Role of a router in the transit-stub hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Backbone router inside a transit domain.
+    Transit,
+    /// Router inside a stub domain.
+    Stub,
+    /// End host attached to a stub router; overlay participants live here.
+    Client,
+}
+
+/// Classification of a physical link, after the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Client access link (client ↔ stub router).
+    ClientStub,
+    /// Link between two stub routers (within or across stub domains).
+    StubStub,
+    /// Link connecting a stub domain to its transit domain.
+    TransitStub,
+    /// Backbone link between transit routers.
+    TransitTransit,
+}
+
+impl LinkClass {
+    /// Derives the link class from the classes of its two endpoints.
+    pub fn from_endpoints(a: NodeClass, b: NodeClass) -> LinkClass {
+        use NodeClass::*;
+        match (a, b) {
+            (Client, _) | (_, Client) => LinkClass::ClientStub,
+            (Transit, Transit) => LinkClass::TransitTransit,
+            (Transit, Stub) | (Stub, Transit) => LinkClass::TransitStub,
+            (Stub, Stub) => LinkClass::StubStub,
+        }
+    }
+
+    /// All link classes, in Table 1 order.
+    pub const ALL: [LinkClass; 4] = [
+        LinkClass::ClientStub,
+        LinkClass::StubStub,
+        LinkClass::TransitStub,
+        LinkClass::TransitTransit,
+    ];
+
+    /// Human-readable name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkClass::ClientStub => "Client-Stub",
+            LinkClass::StubStub => "Stub-Stub",
+            LinkClass::TransitStub => "Transit-Stub",
+            LinkClass::TransitTransit => "Transit-Transit",
+        }
+    }
+
+    /// Whether the link touches the transit backbone. Used by the §4.5 loss
+    /// model, which treats transit and non-transit links differently.
+    pub fn is_transit(self) -> bool {
+        matches!(self, LinkClass::TransitStub | LinkClass::TransitTransit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_from_endpoints() {
+        assert_eq!(
+            LinkClass::from_endpoints(NodeClass::Client, NodeClass::Stub),
+            LinkClass::ClientStub
+        );
+        assert_eq!(
+            LinkClass::from_endpoints(NodeClass::Stub, NodeClass::Client),
+            LinkClass::ClientStub
+        );
+        assert_eq!(
+            LinkClass::from_endpoints(NodeClass::Stub, NodeClass::Stub),
+            LinkClass::StubStub
+        );
+        assert_eq!(
+            LinkClass::from_endpoints(NodeClass::Transit, NodeClass::Stub),
+            LinkClass::TransitStub
+        );
+        assert_eq!(
+            LinkClass::from_endpoints(NodeClass::Transit, NodeClass::Transit),
+            LinkClass::TransitTransit
+        );
+    }
+
+    #[test]
+    fn transit_classification() {
+        assert!(LinkClass::TransitTransit.is_transit());
+        assert!(LinkClass::TransitStub.is_transit());
+        assert!(!LinkClass::StubStub.is_transit());
+        assert!(!LinkClass::ClientStub.is_transit());
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        assert_eq!(LinkClass::ClientStub.name(), "Client-Stub");
+        assert_eq!(LinkClass::TransitTransit.name(), "Transit-Transit");
+        assert_eq!(LinkClass::ALL.len(), 4);
+    }
+}

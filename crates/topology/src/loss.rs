@@ -1,0 +1,108 @@
+//! Link loss profiles (paper §4.5).
+//!
+//! The lossy-network experiments modify the ModelNet topologies so that
+//! non-transit links lose 0–0.3% of packets, transit links lose 0–0.1%, and a
+//! randomly chosen 5% of links are "overloaded" with 5–10% loss, modelling
+//! queueing under background load.
+
+use bullet_netsim::SimRng;
+
+use crate::classes::LinkClass;
+
+/// How random per-link packet loss is assigned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossProfile {
+    /// No random loss; only congestion (queue) loss occurs.
+    None,
+    /// The §4.5 lossy-network model.
+    Lossy {
+        /// Maximum loss rate on non-transit links (paper: 0.003).
+        non_transit_max: f64,
+        /// Maximum loss rate on transit links (paper: 0.001).
+        transit_max: f64,
+        /// Fraction of links designated overloaded (paper: 0.05).
+        overloaded_fraction: f64,
+        /// Loss range on overloaded links (paper: 0.05–0.1).
+        overloaded_range: (f64, f64),
+    },
+}
+
+impl LossProfile {
+    /// The exact configuration used by the paper's §4.5 experiments.
+    pub fn paper_lossy() -> Self {
+        LossProfile::Lossy {
+            non_transit_max: 0.003,
+            transit_max: 0.001,
+            overloaded_fraction: 0.05,
+            overloaded_range: (0.05, 0.10),
+        }
+    }
+
+    /// Draws the loss rate for one link.
+    ///
+    /// `overloaded` should be `true` for links the caller designated as
+    /// overloaded (a uniformly random `overloaded_fraction` of all links).
+    pub fn sample(&self, class: LinkClass, overloaded: bool, rng: &mut SimRng) -> f64 {
+        match *self {
+            LossProfile::None => 0.0,
+            LossProfile::Lossy {
+                non_transit_max,
+                transit_max,
+                overloaded_range,
+                ..
+            } => {
+                if overloaded {
+                    rng.range_f64(overloaded_range.0, overloaded_range.1)
+                } else if class.is_transit() {
+                    rng.range_f64(0.0, transit_max)
+                } else {
+                    rng.range_f64(0.0, non_transit_max)
+                }
+            }
+        }
+    }
+
+    /// The fraction of links that should be designated overloaded.
+    pub fn overloaded_fraction(&self) -> f64 {
+        match *self {
+            LossProfile::None => 0.0,
+            LossProfile::Lossy {
+                overloaded_fraction, ..
+            } => overloaded_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_never_loses() {
+        let mut rng = SimRng::new(1);
+        for class in LinkClass::ALL {
+            assert_eq!(LossProfile::None.sample(class, false, &mut rng), 0.0);
+            assert_eq!(LossProfile::None.sample(class, true, &mut rng), 0.0);
+        }
+        assert_eq!(LossProfile::None.overloaded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn lossy_profile_respects_class_bounds() {
+        let mut rng = SimRng::new(2);
+        let profile = LossProfile::paper_lossy();
+        for _ in 0..500 {
+            let non_transit = profile.sample(LinkClass::ClientStub, false, &mut rng);
+            assert!((0.0..=0.003).contains(&non_transit));
+            let transit = profile.sample(LinkClass::TransitTransit, false, &mut rng);
+            assert!((0.0..=0.001).contains(&transit));
+            let overloaded = profile.sample(LinkClass::StubStub, true, &mut rng);
+            assert!((0.05..=0.10).contains(&overloaded));
+        }
+    }
+
+    #[test]
+    fn paper_profile_designates_five_percent_overloaded() {
+        assert!((LossProfile::paper_lossy().overloaded_fraction() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! The TCP response function used by TFRC (paper §2.4).
+//!
+//! TFRC sets its transmission rate to the steady-state sending rate of a TCP
+//! flow experiencing the same round-trip time and loss event rate, using the
+//! Padhye et al. response function:
+//!
+//! ```text
+//!                        s
+//! T = ---------------------------------------------
+//!     R*sqrt(2p/3) + t_RTO * 3*sqrt(3p/8) * p * (1 + 32 p^2)
+//! ```
+//!
+//! with `s` the packet size in bytes, `R` the RTT in seconds, `p` the loss
+//! event rate and `t_RTO` the retransmission timeout (TFRC uses `4R`).
+
+/// Result of evaluating the response function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TcpRate {
+    /// Sending rate in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl TcpRate {
+    /// The rate in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        self.bytes_per_sec * 8.0
+    }
+}
+
+/// Evaluates the TCP response function.
+///
+/// Returns `f64::INFINITY` when the loss event rate is zero (TFRC handles
+/// that case separately with slow-start doubling), and guards the RTT away
+/// from zero so the formula stays finite.
+pub fn tcp_throughput(packet_size_bytes: f64, rtt_secs: f64, loss_event_rate: f64, t_rto_secs: f64) -> TcpRate {
+    if loss_event_rate <= 0.0 {
+        return TcpRate {
+            bytes_per_sec: f64::INFINITY,
+        };
+    }
+    let p = loss_event_rate.min(1.0);
+    let r = rtt_secs.max(1e-6);
+    let t_rto = t_rto_secs.max(4.0 * r).max(1e-3);
+    let term1 = r * (2.0 * p / 3.0).sqrt();
+    let term2 = t_rto * (3.0 * (3.0 * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+    TcpRate {
+        bytes_per_sec: packet_size_bytes / (term1 + term2),
+    }
+}
+
+/// Convenience wrapper returning bits per second with `t_RTO = 4R`,
+/// the simple setting the paper says provides the necessary TCP fairness.
+pub fn tcp_throughput_bps(packet_size_bytes: f64, rtt_secs: f64, loss_event_rate: f64) -> f64 {
+    tcp_throughput(packet_size_bytes, rtt_secs, loss_event_rate, 4.0 * rtt_secs).bits_per_sec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_is_unbounded() {
+        let rate = tcp_throughput(1500.0, 0.1, 0.0, 0.4);
+        assert!(rate.bytes_per_sec.is_infinite());
+    }
+
+    #[test]
+    fn rate_decreases_with_loss() {
+        let low = tcp_throughput_bps(1500.0, 0.1, 0.001);
+        let mid = tcp_throughput_bps(1500.0, 0.1, 0.01);
+        let high = tcp_throughput_bps(1500.0, 0.1, 0.1);
+        assert!(low > mid && mid > high);
+    }
+
+    #[test]
+    fn rate_decreases_with_rtt() {
+        let short = tcp_throughput_bps(1500.0, 0.01, 0.01);
+        let long = tcp_throughput_bps(1500.0, 0.2, 0.01);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn rate_scales_with_packet_size() {
+        let small = tcp_throughput_bps(500.0, 0.1, 0.01);
+        let large = tcp_throughput_bps(1500.0, 0.1, 0.01);
+        assert!((large / small - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_simplified_formula_for_small_loss() {
+        // For small p the sqrt(3/2p) term dominates: T ≈ s / (R*sqrt(2p/3)).
+        let p = 1e-4;
+        let s = 1500.0;
+        let r = 0.1;
+        let exact = tcp_throughput(s, r, p, 0.4).bytes_per_sec;
+        let approx = s / (r * (2.0 * p / 3.0_f64).sqrt());
+        assert!((exact - approx).abs() / approx < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let r = tcp_throughput(1500.0, 0.0, 0.5, 0.0);
+        assert!(r.bytes_per_sec.is_finite());
+        let r = tcp_throughput(1500.0, 10.0, 1.5, 40.0);
+        assert!(r.bytes_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # bullet-transport
+//!
+//! Congestion-controlled transports used by Bullet and the baselines.
+//!
+//! The paper transfers data both down the overlay tree and between mesh
+//! peers using an **unreliable variant of TFRC** (§2.4): equation-based, TCP
+//! friendly, but without retransmissions because missing data is recovered
+//! from other peers instead. This crate implements:
+//!
+//! * the TCP response function ([`equation::tcp_throughput`]) shared by TFRC
+//!   and the offline bottleneck-tree estimator,
+//! * loss-event detection and the eight-interval weighted loss history
+//!   ([`loss`]),
+//! * the TFRC sender/receiver state machines ([`tfrc`]),
+//! * a best-effort UDP-like sender ([`udp`]), and
+//! * the non-blocking send primitive ([`rate::RateLimiter`]) whose
+//!   `WouldBlock` outcome drives Bullet's disjoint-send decisions (Fig. 5).
+//!
+//! Everything here is a pure state machine: no clocks, no sockets, no
+//! simulator types other than `SimTime`/`SimDuration`, which makes the same
+//! code usable under the discrete-event simulator and the live runtime.
+
+#![warn(missing_docs)]
+
+pub mod equation;
+pub mod loss;
+pub mod rate;
+pub mod tfrc;
+pub mod udp;
+
+pub use equation::{tcp_throughput, tcp_throughput_bps, TcpRate};
+pub use loss::{LossDetector, LossIntervalHistory};
+pub use rate::{RateLimiter, SendOutcome};
+pub use tfrc::{
+    TfrcConfig, TfrcFeedback, TfrcHeader, TfrcReceiver, TfrcSender, FEEDBACK_PACKET_BYTES,
+};
+pub use udp::UdpSender;

@@ -1,0 +1,114 @@
+//! Best-effort (UDP-like) transport.
+//!
+//! The paper's streaming application can run over UDP, TFRC, or TCP. The UDP
+//! path has no congestion control at all: the application chooses a constant
+//! rate and the network drops whatever does not fit. We keep the same
+//! non-blocking `try_send` interface so protocols can swap transports without
+//! code changes.
+
+use bullet_netsim::SimTime;
+
+use crate::rate::{RateLimiter, SendOutcome};
+
+/// An application-paced, congestion-unaware sender.
+#[derive(Clone, Debug)]
+pub struct UdpSender {
+    limiter: RateLimiter,
+    next_seq: u64,
+    /// Packets handed to the network.
+    pub packets_sent: u64,
+}
+
+impl UdpSender {
+    /// Creates a sender paced at `rate_bytes_per_sec` (the application's
+    /// streaming rate). A rate of `f64::INFINITY` disables pacing entirely.
+    pub fn new(rate_bytes_per_sec: f64) -> Self {
+        let burst = if rate_bytes_per_sec.is_finite() {
+            (rate_bytes_per_sec * 0.02).max(3_000.0)
+        } else {
+            f64::MAX / 4.0
+        };
+        UdpSender {
+            limiter: RateLimiter::new(
+                if rate_bytes_per_sec.is_finite() {
+                    rate_bytes_per_sec
+                } else {
+                    f64::MAX / 4.0
+                },
+                burst,
+            ),
+            next_seq: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// Attempts to send `size_bytes` at `now`; returns the transport sequence
+    /// number on success.
+    pub fn try_send(&mut self, now: SimTime, size_bytes: u32) -> Result<u64, SendOutcome> {
+        match self.limiter.try_consume(now, size_bytes) {
+            SendOutcome::Accepted => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.packets_sent += 1;
+                Ok(seq)
+            }
+            SendOutcome::WouldBlock => Err(SendOutcome::WouldBlock),
+        }
+    }
+
+    /// Changes the pacing rate.
+    pub fn set_rate(&mut self, rate_bytes_per_sec: f64) {
+        self.limiter.set_rate(rate_bytes_per_sec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::SimDuration;
+
+    #[test]
+    fn paces_at_the_configured_rate() {
+        let mut udp = UdpSender::new(10_000.0);
+        let mut sent = 0u64;
+        for i in 0..1_000u64 {
+            let now = SimTime::from_millis(i * 10);
+            if udp.try_send(now, 1_000).is_ok() {
+                sent += 1;
+            }
+        }
+        // 10 seconds at 10 KB/s = 100 KB = about 100 packets (plus burst).
+        assert!((95..=110).contains(&sent), "sent={sent}");
+    }
+
+    #[test]
+    fn unpaced_sender_always_accepts() {
+        let mut udp = UdpSender::new(f64::INFINITY);
+        for _ in 0..10_000 {
+            assert!(udp.try_send(SimTime::ZERO, 1_500).is_ok());
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut udp = UdpSender::new(f64::INFINITY);
+        let a = udp.try_send(SimTime::ZERO, 100).unwrap();
+        let b = udp.try_send(SimTime::ZERO, 100).unwrap();
+        assert_eq!(b, a + 1);
+        assert_eq!(udp.packets_sent, 2);
+    }
+
+    #[test]
+    fn rate_change_applies() {
+        let mut udp = UdpSender::new(1_000.0);
+        udp.set_rate(1_000_000.0);
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        let mut ok = 0;
+        for _ in 0..50 {
+            if udp.try_send(now, 1_000).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 3, "expected burst at new rate, got {ok}");
+    }
+}

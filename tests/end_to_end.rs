@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: topology generation, tree construction,
+//! Bullet, and the baselines all working together through the simulator.
+
+use bullet_suite::baselines::{StreamConfig, StreamTransport, StreamingNode};
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::experiments::{run_metered, RunResult, RunSpec, Scale, TreeKind};
+use bullet_suite::experiments::{build_topology, build_tree};
+use bullet_suite::netsim::{Sim, SimDuration, SimTime};
+use bullet_suite::overlay::Tree;
+use bullet_suite::topology::{BandwidthProfile, BuiltTopology, LossProfile};
+
+const STREAM_BPS: f64 = 600_000.0;
+
+fn small_env(profile: BandwidthProfile, seed: u64) -> (BuiltTopology, Tree) {
+    let topo = build_topology(Scale::Small, 24, profile, LossProfile::None, seed);
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 8 }, 0, seed);
+    (topo, tree)
+}
+
+fn spec(label: &str, secs: u64) -> RunSpec {
+    RunSpec {
+        label: label.into(),
+        source: 0,
+        duration: SimDuration::from_secs(secs),
+        sample_interval: SimDuration::from_secs(3),
+        failure: None,
+    }
+}
+
+fn run_bullet(topo: &BuiltTopology, tree: &Tree, seed: u64, secs: u64) -> RunResult {
+    let config = BulletConfig {
+        stream_rate_bps: STREAM_BPS,
+        stream_start: SimTime::from_secs(10),
+        ..BulletConfig::default()
+    };
+    let agents: Vec<BulletNode> = (0..topo.participants())
+        .map(|id| BulletNode::new(id, tree, config.clone()))
+        .collect();
+    run_metered(Sim::new(&topo.spec, agents, seed), &spec("Bullet", secs))
+}
+
+fn run_streaming(topo: &BuiltTopology, tree: &Tree, seed: u64, secs: u64) -> RunResult {
+    let config = StreamConfig {
+        stream_rate_bps: STREAM_BPS,
+        stream_start: SimTime::from_secs(10),
+        transport: StreamTransport::Tfrc,
+        ..StreamConfig::default()
+    };
+    let agents: Vec<StreamingNode> = (0..topo.participants())
+        .map(|id| StreamingNode::new(id, tree, config.clone()))
+        .collect();
+    run_metered(Sim::new(&topo.spec, agents, seed), &spec("Streaming", secs))
+}
+
+#[test]
+fn bullet_outperforms_streaming_on_a_constrained_random_tree() {
+    let (topo, tree) = small_env(BandwidthProfile::Low, 101);
+    let bullet = run_bullet(&topo, &tree, 101, 120);
+    let streaming = run_streaming(&topo, &tree, 101, 120);
+    let bullet_kbps = bullet.steady_state_kbps();
+    let streaming_kbps = streaming.steady_state_kbps();
+    assert!(
+        bullet_kbps > 1.4 * streaming_kbps,
+        "expected Bullet ({bullet_kbps:.0} Kbps) to clearly beat tree streaming ({streaming_kbps:.0} Kbps) on a constrained topology"
+    );
+}
+
+#[test]
+fn bullet_matches_the_target_rate_when_bandwidth_is_ample() {
+    let (topo, tree) = small_env(BandwidthProfile::High, 102);
+    let bullet = run_bullet(&topo, &tree, 102, 120);
+    let kbps = bullet.steady_state_kbps();
+    assert!(
+        kbps > 0.75 * STREAM_BPS / 1_000.0,
+        "achieved only {kbps:.0} Kbps of a {:.0} Kbps stream on a high-bandwidth topology",
+        STREAM_BPS / 1_000.0
+    );
+}
+
+#[test]
+fn mesh_keeps_descendants_alive_through_a_failure() {
+    let (topo, tree) = small_env(BandwidthProfile::Medium, 103);
+    let victim = tree
+        .children(0)
+        .iter()
+        .copied()
+        .max_by_key(|&c| tree.subtree_size(c))
+        .expect("root has children");
+    let descendants: Vec<usize> = tree
+        .subtree(victim)
+        .into_iter()
+        .filter(|&n| n != victim)
+        .collect();
+    if descendants.is_empty() {
+        // Extremely unlikely with this seed, but the test would be vacuous.
+        panic!("chosen victim has no descendants; adjust the seed");
+    }
+    let config = BulletConfig {
+        stream_rate_bps: STREAM_BPS,
+        stream_start: SimTime::from_secs(10),
+        ..BulletConfig::default()
+    };
+    let agents: Vec<BulletNode> = (0..topo.participants())
+        .map(|id| BulletNode::new(id, &tree, config.clone()))
+        .collect();
+    let mut run_spec = spec("failure", 150);
+    run_spec.failure = Some((SimTime::from_secs(80), victim));
+    let result = run_metered(Sim::new(&topo.spec, agents, 103), &run_spec);
+
+    // Descendants of the failed node must keep making progress afterwards.
+    let idx_fail = result.times.iter().position(|&t| t >= 90.0).unwrap();
+    let last = result.per_node_useful_bytes.last().unwrap();
+    let at_fail = &result.per_node_useful_bytes[idx_fail];
+    let still_progressing = descendants
+        .iter()
+        .filter(|&&n| last[n] > at_fail[n] + 100_000)
+        .count();
+    assert!(
+        still_progressing * 2 >= descendants.len(),
+        "only {still_progressing} of {} descendants kept receiving data after their ancestor failed",
+        descendants.len()
+    );
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_results() {
+    let (topo, tree) = small_env(BandwidthProfile::Medium, 104);
+    let a = run_bullet(&topo, &tree, 104, 60);
+    let b = run_bullet(&topo, &tree, 104, 60);
+    assert_eq!(a.per_node_useful_bytes, b.per_node_useful_bytes);
+    assert_eq!(a.useful.kbps, b.useful.kbps);
+}
+
+#[test]
+fn offline_bottleneck_tree_beats_a_random_tree_for_plain_streaming() {
+    let topo = build_topology(Scale::Small, 24, BandwidthProfile::Medium, LossProfile::None, 105);
+    let random = build_tree(&topo, TreeKind::Random { max_children: 8 }, 0, 105);
+    let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, 105);
+    let random_run = run_streaming(&topo, &random, 105, 120);
+    let bottleneck_run = run_streaming(&topo, &bottleneck, 105, 120);
+    assert!(
+        bottleneck_run.steady_state_kbps() > random_run.steady_state_kbps(),
+        "bottleneck tree ({:.0} Kbps) should beat the random tree ({:.0} Kbps)",
+        bottleneck_run.steady_state_kbps(),
+        random_run.steady_state_kbps()
+    );
+}
+
+#[test]
+fn control_overhead_stays_near_the_paper_figure() {
+    let (topo, tree) = small_env(BandwidthProfile::Medium, 106);
+    let bullet = run_bullet(&topo, &tree, 106, 120);
+    let overhead = bullet.summary.control_overhead_kbps;
+    assert!(
+        overhead < 60.0,
+        "per-node control overhead {overhead:.1} Kbps is far above the paper's ~30 Kbps"
+    );
+}

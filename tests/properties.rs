@@ -1,0 +1,183 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use bullet_suite::codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
+use bullet_suite::content::{BloomFilter, PermutationFamily, SummaryTicket, WorkingSet};
+use bullet_suite::netsim::SimRng;
+use bullet_suite::overlay::{random_tree, Tree};
+use bullet_suite::ransub::{compact, Member, WeightedSet};
+use bullet_suite::transport::tcp_throughput_bps;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A Bloom filter never forgets an inserted key (no false negatives).
+    #[test]
+    fn bloom_filter_has_no_false_negatives(keys in prop::collection::hash_set(0u64..1_000_000, 1..500)) {
+        let mut filter = BloomFilter::for_capacity(keys.len(), 0.01);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(filter.contains(key));
+        }
+    }
+
+    /// Summary-ticket resemblance is symmetric, bounded, and equal to 1 for
+    /// identical working sets.
+    #[test]
+    fn summary_ticket_resemblance_properties(
+        a in prop::collection::hash_set(0u64..100_000, 1..300),
+        b in prop::collection::hash_set(0u64..100_000, 1..300),
+    ) {
+        let family = PermutationFamily::paper_default();
+        let ta = SummaryTicket::from_elements(&family, a.iter().copied());
+        let tb = SummaryTicket::from_elements(&family, b.iter().copied());
+        let r_ab = ta.resemblance(&tb);
+        let r_ba = tb.resemblance(&ta);
+        prop_assert!((r_ab - r_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r_ab));
+        prop_assert_eq!(ta.resemblance(&ta), 1.0);
+    }
+
+    /// Working-set pruning never drops sequence numbers above the watermark
+    /// and never resurrects pruned ones.
+    #[test]
+    fn working_set_pruning_invariants(
+        seqs in prop::collection::hash_set(0u64..10_000, 1..400),
+        cutoff in 0u64..10_000,
+    ) {
+        let mut ws = WorkingSet::new();
+        for &seq in &seqs {
+            ws.insert(seq);
+        }
+        ws.prune_below(cutoff);
+        for &seq in &seqs {
+            if seq >= cutoff {
+                prop_assert!(ws.contains(seq));
+            } else {
+                prop_assert!(!ws.contains(seq));
+                prop_assert!(!ws.insert(seq));
+            }
+        }
+        prop_assert!(ws.low_watermark() >= cutoff.min(ws.low_watermark().max(cutoff)));
+    }
+
+    /// LT codes recover the original block from any sufficiently large set of
+    /// distinct encoded symbols.
+    #[test]
+    fn lt_codes_round_trip(k in 4usize..80, seed in 0u64..1_000, skip in 1u64..4) {
+        let source: Vec<Vec<u8>> = (0..k).map(|i| vec![(i % 251) as u8; 32]).collect();
+        let encoder = LtEncoder::new(source.clone(), seed);
+        let mut decoder = LtDecoder::new(k, 32, seed);
+        let mut id = 0u64;
+        while !decoder.is_complete() && id < 50 * k as u64 {
+            if id % skip == 0 {
+                decoder.add(&encoder.symbol(id));
+            }
+            id += 1;
+        }
+        prop_assert!(decoder.is_complete(), "k={k} never decoded");
+        prop_assert_eq!(decoder.into_source().unwrap(), source);
+    }
+
+    /// Tornado decoding is always *correct*: whatever subset of packets
+    /// arrives (check packets included), once the decoder reports completion
+    /// the reconstructed block equals the original. Recovery from a given
+    /// loss pattern is probabilistic for a sparse single-layer code, so the
+    /// property feeds the initially dropped packets afterwards if needed and
+    /// requires eventual completion with the full packet set.
+    #[test]
+    fn tornado_codes_decode_correctly(k in 8usize..60, drop_every in 5u64..15) {
+        let source: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 7 % 256) as u8; 16]).collect();
+        let encoder = TornadoEncoder::new(source.clone(), 5, 2.0, 4);
+        let mut decoder = TornadoDecoder::new(k, 16, 5, 4);
+        let mut dropped = Vec::new();
+        for index in 0..encoder.n() as u64 {
+            if index % drop_every != 0 {
+                decoder.add(&encoder.symbol(index));
+            } else {
+                dropped.push(index);
+            }
+        }
+        // Late arrivals of the dropped packets must finish the block.
+        for index in dropped {
+            if decoder.is_complete() {
+                break;
+            }
+            decoder.add(&encoder.symbol(index));
+        }
+        prop_assert!(decoder.is_complete());
+        prop_assert_eq!(decoder.into_source().unwrap(), source);
+    }
+
+    /// Compact never emits duplicates, never exceeds the requested size, and
+    /// reports the combined population.
+    #[test]
+    fn compact_invariants(
+        sizes in prop::collection::vec((1usize..8, 1u64..100), 1..6),
+        set_size in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut next_node = 0usize;
+        let inputs: Vec<WeightedSet<u32>> = sizes.iter().map(|&(members, population)| {
+            let members: Vec<Member<u32>> = (0..members).map(|_| {
+                next_node += 1;
+                Member { node: next_node, state: next_node as u32 }
+            }).collect();
+            WeightedSet { members, population }
+        }).collect();
+        let out = compact(&inputs, set_size, &mut rng);
+        prop_assert!(out.members.len() <= set_size);
+        let mut nodes: Vec<_> = out.members.iter().map(|m| m.node).collect();
+        nodes.sort_unstable();
+        let distinct = nodes.len();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), distinct);
+        prop_assert_eq!(out.population, sizes.iter().map(|&(_, p)| p).sum::<u64>());
+    }
+
+    /// Random trees are always valid rooted trees that respect their degree
+    /// bound and contain every participant.
+    #[test]
+    fn random_trees_are_valid(n in 1usize..200, max_children in 1usize..8, seed in 0u64..1_000) {
+        let mut rng = SimRng::new(seed);
+        let tree = random_tree(n, 0, max_children, &mut rng);
+        prop_assert_eq!(tree.len(), n);
+        prop_assert_eq!(tree.subtree_size(0), n);
+        prop_assert!(tree.max_degree() <= max_children);
+        // Rebuilding from the parent array must succeed (validates acyclicity).
+        prop_assert!(Tree::from_parents(tree.parents().to_vec()).is_ok());
+    }
+
+    /// The TCP response function is monotonically decreasing in both loss and
+    /// RTT.
+    #[test]
+    fn tcp_throughput_is_monotone(
+        rtt_ms in 1u32..500,
+        loss_milli in 1u32..300,
+    ) {
+        let rtt = rtt_ms as f64 / 1_000.0;
+        let loss = loss_milli as f64 / 1_000.0;
+        let base = tcp_throughput_bps(1_500.0, rtt, loss);
+        let more_loss = tcp_throughput_bps(1_500.0, rtt, (loss * 1.5).min(0.999));
+        let more_rtt = tcp_throughput_bps(1_500.0, rtt * 1.5, loss);
+        prop_assert!(base > 0.0);
+        prop_assert!(more_loss <= base + 1e-9);
+        prop_assert!(more_rtt <= base + 1e-9);
+    }
+
+    /// Framing maps sequence numbers to (block, offset) pairs and back without
+    /// loss.
+    #[test]
+    fn framing_round_trips(seq in 0u64..1_000_000, per_block in 1u32..500, bytes in 1u32..2_000) {
+        let framing = Framing::new(per_block, bytes);
+        let object = framing.object_of(seq);
+        prop_assert_eq!(framing.seq_of(object), seq);
+        prop_assert!(object.offset < per_block);
+        let (low, high) = framing.block_range(object.block);
+        prop_assert!((low..=high).contains(&seq));
+    }
+}
