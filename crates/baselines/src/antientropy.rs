@@ -209,14 +209,19 @@ impl Agent for AntiEntropyNode {
         ctx.set_timer(SimDuration::from_secs(1), TIMER_HOUSEKEEPING);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, AntiEntropyMsg>, from: OverlayId, msg: AntiEntropyMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, AntiEntropyMsg>,
+        from: OverlayId,
+        msg: AntiEntropyMsg,
+    ) {
         match msg {
             AntiEntropyMsg::Data { header, seq } => {
-                let feedback = self
-                    .in_conns
-                    .entry(from)
-                    .or_default()
-                    .on_data(ctx.now(), header, self.config.packet_size);
+                let feedback = self.in_conns.entry(from).or_default().on_data(
+                    ctx.now(),
+                    header,
+                    self.config.packet_size,
+                );
                 if let Some(feedback) = feedback {
                     ctx.send_control(from, AntiEntropyMsg::Feedback(feedback), 60);
                 }
@@ -271,7 +276,8 @@ impl Agent for AntiEntropyNode {
                 ctx.set_timer(self.config.epoch, TIMER_ANTI_ENTROPY);
             }
             TIMER_HOUSEKEEPING => {
-                self.working_set.prune_to_len(self.config.working_set_window);
+                self.working_set
+                    .prune_to_len(self.config.working_set_window);
                 let now = ctx.now();
                 for conn in self.out_conns.values_mut() {
                     conn.maybe_nofeedback_timeout(now);
@@ -367,14 +373,23 @@ mod tests {
         let request = ReconcileRequest::new(BloomFilter::new(1_024, 4), 0, 99, 1, 0);
         let mut rng = SimRng::new(2);
         let mut actions = Vec::new();
-        let mut next_timer = 0;
-        let mut ctx = Context::new(SimTime::from_secs(1), 0, &mut rng, &mut actions, &mut next_timer);
+        let mut timers = bullet_netsim::TimerAlloc::new();
+        let mut ctx = Context::new(
+            SimTime::from_secs(1),
+            0,
+            &mut rng,
+            &mut actions,
+            &mut timers,
+        );
         node.answer_digest(&mut ctx, 1, &request);
         let data_sends = actions
             .iter()
             .filter(|a| matches!(a, bullet_netsim::Action::Send { .. }))
             .count();
         assert!(data_sends <= 10, "sent {data_sends} repairs");
-        assert!(data_sends >= 4, "transport should allow at least the burst, sent {data_sends}");
+        assert!(
+            data_sends >= 4,
+            "transport should allow at least the burst, sent {data_sends}"
+        );
     }
 }

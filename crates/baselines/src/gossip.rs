@@ -92,7 +92,12 @@ impl GossipNode {
 
     /// Creates a gossip node. `membership` is the full participant list (the
     /// paper's conservative full-membership assumption).
-    pub fn new(id: OverlayId, source: OverlayId, participants: usize, config: GossipConfig) -> Self {
+    pub fn new(
+        id: OverlayId,
+        source: OverlayId,
+        participants: usize,
+        config: GossipConfig,
+    ) -> Self {
         GossipNode {
             id,
             membership: (0..participants).filter(|&n| n != id).collect(),
@@ -106,7 +111,12 @@ impl GossipNode {
         }
     }
 
-    fn push_to_random_peers(&mut self, ctx: &mut Context<'_, GossipMsg>, seq: u64, exclude: Option<OverlayId>) {
+    fn push_to_random_peers(
+        &mut self,
+        ctx: &mut Context<'_, GossipMsg>,
+        seq: u64,
+        exclude: Option<OverlayId>,
+    ) {
         let mut candidates = self.membership.clone();
         if let Some(exclude) = exclude {
             candidates.retain(|&n| n != exclude);
@@ -141,11 +151,11 @@ impl Agent for GossipNode {
     fn on_message(&mut self, ctx: &mut Context<'_, GossipMsg>, from: OverlayId, msg: GossipMsg) {
         match msg {
             GossipMsg::Data { header, seq } => {
-                let feedback = self
-                    .in_conns
-                    .entry(from)
-                    .or_default()
-                    .on_data(ctx.now(), header, self.config.packet_size);
+                let feedback = self.in_conns.entry(from).or_default().on_data(
+                    ctx.now(),
+                    header,
+                    self.config.packet_size,
+                );
                 if let Some(feedback) = feedback {
                     ctx.send_control(from, GossipMsg::Feedback(feedback), 60);
                 }
@@ -184,7 +194,12 @@ mod tests {
     fn hub(n: usize, access_bps: f64) -> NetworkSpec {
         let mut spec = NetworkSpec::new(n + 1);
         for i in 0..n {
-            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                access_bps,
+                SimDuration::from_millis(10),
+            ));
             spec.attach(i);
         }
         spec
@@ -197,7 +212,9 @@ mod tests {
             stream_start: SimTime::from_secs(2),
             ..GossipConfig::default()
         };
-        let agents = (0..n).map(|i| GossipNode::new(i, 0, n, config.clone())).collect();
+        let agents = (0..n)
+            .map(|i| GossipNode::new(i, 0, n, config.clone()))
+            .collect();
         let mut sim = Sim::new(&spec, agents, 3);
         sim.run_until(SimTime::from_secs(secs));
         sim
@@ -220,7 +237,9 @@ mod tests {
     #[test]
     fn gossip_produces_duplicates() {
         let sim = run(15, 4_000_000.0, 25);
-        let total_dups: u64 = (1..15).map(|n| sim.agent(n).metrics.duplicate_packets).sum();
+        let total_dups: u64 = (1..15)
+            .map(|n| sim.agent(n).metrics.duplicate_packets)
+            .sum();
         assert!(
             total_dups > 100,
             "push gossip should waste bandwidth on duplicates, saw {total_dups}"

@@ -132,10 +132,13 @@ impl StreamingNode {
         let transport = self.config.transport;
         let per_child_rate = self.config.stream_rate_bps / 8.0;
         for &child in &self.children.clone() {
-            let conn = self.out_conns.entry(child).or_insert_with(|| match transport {
-                StreamTransport::Tfrc => OutConn::Tfrc(TfrcSender::new(tfrc)),
-                StreamTransport::Udp => OutConn::Udp(UdpSender::new(per_child_rate)),
-            });
+            let conn = self
+                .out_conns
+                .entry(child)
+                .or_insert_with(|| match transport {
+                    StreamTransport::Tfrc => OutConn::Tfrc(TfrcSender::new(tfrc)),
+                    StreamTransport::Udp => OutConn::Udp(UdpSender::new(per_child_rate)),
+                });
             let header = match conn {
                 OutConn::Tfrc(sender) => match sender.try_send(now, packet_size) {
                     Ok(header) => Some(Some(header)),
@@ -167,11 +170,11 @@ impl Agent for StreamingNode {
         match msg {
             StreamMsg::Data { header, seq } => {
                 if let Some(header) = header {
-                    let feedback = self
-                        .in_conns
-                        .entry(from)
-                        .or_default()
-                        .on_data(ctx.now(), header, self.config.packet_size);
+                    let feedback = self.in_conns.entry(from).or_default().on_data(
+                        ctx.now(),
+                        header,
+                        self.config.packet_size,
+                    );
                     if let Some(feedback) = feedback {
                         ctx.send_control(from, StreamMsg::Feedback(feedback), 60);
                     }
@@ -213,7 +216,12 @@ mod tests {
     fn hub(n: usize, access_bps: f64) -> NetworkSpec {
         let mut spec = NetworkSpec::new(n + 1);
         for i in 0..n {
-            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                access_bps,
+                SimDuration::from_millis(10),
+            ));
             spec.attach(i);
         }
         spec
@@ -229,7 +237,9 @@ mod tests {
             transport,
             ..StreamConfig::default()
         };
-        let agents = (0..n).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let agents = (0..n)
+            .map(|i| StreamingNode::new(i, &tree, config.clone()))
+            .collect();
         let mut sim = Sim::new(&spec, agents, 1);
         sim.run_until(SimTime::from_secs(secs));
         sim
@@ -270,7 +280,10 @@ mod tests {
         let generated = sim.agent(0).metrics.packets_generated;
         for node in 1..8 {
             let got = sim.agent(node).metrics.useful_packets;
-            assert!(got as f64 > generated as f64 * 0.7, "node {node}: {got}/{generated}");
+            assert!(
+                got as f64 > generated as f64 * 0.7,
+                "node {node}: {got}/{generated}"
+            );
         }
     }
 

@@ -8,5 +8,8 @@ fn main() {
     let scale = announce("Figure 8 — CDF of instantaneous achieved bandwidth");
     let (figure, cdf) = figures::fig08(scale);
     print!("{}", report::render_figure(&figure));
-    print!("{}", report::render_cdf("CDF of per-node instantaneous bandwidth (Kbps)", &cdf));
+    print!(
+        "{}",
+        report::render_cdf("CDF of per-node instantaneous bandwidth (Kbps)", &cdf)
+    );
 }

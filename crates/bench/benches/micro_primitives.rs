@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use bullet_content::{BloomFilter, PermutationFamily, SummaryTicket};
 use bullet_codec::{LtDecoder, LtEncoder};
+use bullet_content::{BloomFilter, PermutationFamily, SummaryTicket};
 use bullet_netsim::SimRng;
 use bullet_ransub::{compact, Member, WeightedSet};
 use bullet_transport::tcp_throughput_bps;
@@ -51,7 +51,9 @@ fn bench_summary_ticket(c: &mut Criterion) {
     });
     let a = SummaryTicket::from_elements(&family, 0..1_500);
     let bticket = SummaryTicket::from_elements(&family, 750..2_250);
-    group.bench_function("resemblance", |b| b.iter(|| a.resemblance(black_box(&bticket))));
+    group.bench_function("resemblance", |b| {
+        b.iter(|| a.resemblance(black_box(&bticket)))
+    });
     group.finish();
 }
 

@@ -1,0 +1,169 @@
+//! Micro-benchmark of the discrete-event simulator core.
+//!
+//! Drives a 128-node random-tree streaming workload — a source pushing
+//! fixed-size packets down a degree-bounded random tree, every receiver
+//! re-arming a per-packet watchdog timer — and reports both mean time per
+//! run (Criterion) and raw event-loop throughput in events per second. The
+//! workload deliberately uses a payload with no heap data so the measurement
+//! isolates the simulator's own per-event costs (routing, queue handling,
+//! timer management, action dispatch).
+//!
+//! The events/sec line feeds `BENCH_simcore.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use bullet_netsim::{
+    Agent, Context, LinkSpec, NetworkSpec, OverlayId, Sim, SimDuration, SimRng, SimTime,
+};
+use bullet_overlay::random_tree;
+
+const NODES: usize = 128;
+const PACKET_BYTES: u32 = 1_400;
+const PACKET_INTERVAL: SimDuration = SimDuration::from_millis(2);
+const RUN_SECS: u64 = 5;
+
+const TAG_GENERATE: u64 = 1;
+const TAG_WATCHDOG: u64 = 2;
+
+#[derive(Clone)]
+struct Pkt {
+    seq: u64,
+}
+
+/// One node of the streaming tree: the source generates packets on a timer;
+/// every other node forwards each packet to its children and re-arms a
+/// watchdog timer per packet (cancelling the previous one), which exercises
+/// the simulator's timer set/cancel path the way Bullet's control loops do.
+struct StreamNode {
+    children: Vec<OverlayId>,
+    is_source: bool,
+    next_seq: u64,
+    received: u64,
+    watchdog: Option<bullet_netsim::TimerId>,
+    watchdog_fired: u64,
+}
+
+impl StreamNode {
+    fn new(children: Vec<OverlayId>, is_source: bool) -> Self {
+        StreamNode {
+            children,
+            is_source,
+            next_seq: 0,
+            received: 0,
+            watchdog: None,
+            watchdog_fired: 0,
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut Context<'_, Pkt>, seq: u64) {
+        for i in 0..self.children.len() {
+            let child = self.children[i];
+            ctx.send_data(child, Pkt { seq }, PACKET_BYTES);
+        }
+    }
+}
+
+impl Agent for StreamNode {
+    type Msg = Pkt;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Pkt>) {
+        if self.is_source {
+            ctx.set_timer(PACKET_INTERVAL, TAG_GENERATE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Pkt>, _from: OverlayId, msg: Pkt) {
+        self.received += 1;
+        if let Some(id) = self.watchdog.take() {
+            ctx.cancel_timer(id);
+        }
+        self.watchdog = Some(ctx.set_timer(SimDuration::from_secs(2), TAG_WATCHDOG));
+        self.forward(ctx, msg.seq);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Pkt>, tag: u64) {
+        match tag {
+            TAG_GENERATE => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.forward(ctx, seq);
+                ctx.set_timer(PACKET_INTERVAL, TAG_GENERATE);
+            }
+            _ => self.watchdog_fired += 1,
+        }
+    }
+}
+
+/// Star topology: every participant on its own stub router, all joined
+/// through one core router, so every overlay hop crosses two physical links.
+fn star_spec(n: usize) -> NetworkSpec {
+    let mut spec = NetworkSpec::new(n + 1);
+    for i in 0..n {
+        spec.add_link(LinkSpec::new(
+            n,
+            i,
+            100_000_000.0,
+            SimDuration::from_millis(5),
+        ));
+        spec.attach(i);
+    }
+    spec
+}
+
+fn build_sim(seed: u64) -> Sim<StreamNode> {
+    let spec = star_spec(NODES);
+    let mut rng = SimRng::new(seed);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let agents: Vec<StreamNode> = (0..NODES)
+        .map(|i| StreamNode::new(tree.children(i).to_vec(), i == 0))
+        .collect();
+    Sim::new(&spec, agents, seed)
+}
+
+fn run_workload(seed: u64) -> u64 {
+    let mut sim = build_sim(seed);
+    sim.run_until(SimTime::from_secs(RUN_SECS));
+    assert!(
+        sim.agent(NODES - 1).received > 0,
+        "stream never reached the last node"
+    );
+    sim.counters().events
+}
+
+/// Standalone throughput measurement: total events processed per wall-clock
+/// second over several fresh runs. Printed once so the number can be recorded
+/// in `BENCH_simcore.json`.
+fn report_events_per_sec() {
+    // Warm up code and allocator.
+    let _ = run_workload(1);
+    let mut events = 0u64;
+    let start = Instant::now();
+    let rounds = 5;
+    for seed in 0..rounds {
+        events += run_workload(seed + 1);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let eps = events as f64 / secs;
+    println!(
+        "sim_core_throughput {{\"nodes\": {NODES}, \"sim_secs_per_run\": {RUN_SECS}, \
+         \"runs\": {rounds}, \"events\": {events}, \"wall_secs\": {secs:.3}, \
+         \"events_per_sec\": {eps:.0}}}"
+    );
+}
+
+fn bench_sim_core(c: &mut Criterion) {
+    report_events_per_sec();
+    let mut group = c.benchmark_group("sim_core");
+    group.bench_function("random_tree_stream_128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_workload(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_core);
+criterion_main!(benches);

@@ -160,7 +160,9 @@ impl DisjointSender {
         }
 
         let mut sent_packet = false;
-        if !self.children[target_idx].already_sent(key) && try_send(self.children[target_idx].node, key) {
+        if !self.children[target_idx].already_sent(key)
+            && try_send(self.children[target_idx].node, key)
+        {
             let child = &mut self.children[target_idx];
             child.owned += 1;
             self.total_owned += 1;
@@ -182,7 +184,7 @@ impl DisjointSender {
                 true
             } else {
                 let period = (1.0 / lf.max(1e-6)).round().max(1.0) as u64;
-                key % period == 0
+                key.is_multiple_of(period)
             };
             if !should_send {
                 continue;
@@ -275,7 +277,10 @@ mod tests {
         assert!(delivered[&1] <= 250 && delivered[&2] <= 250);
         // Ownership is split evenly.
         let owned: Vec<u64> = sender.children().iter().map(|c| c.owned).collect();
-        assert!((owned[0] as i64 - owned[1] as i64).abs() < 50, "owned {owned:?}");
+        assert!(
+            (owned[0] as i64 - owned[1] as i64).abs() < 50,
+            "owned {owned:?}"
+        );
     }
 
     #[test]

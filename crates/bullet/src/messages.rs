@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn data_uses_the_configured_packet_size() {
-        let msg = BulletMsg::Data { header: header(), seq: 7 };
+        let msg = BulletMsg::Data {
+            header: header(),
+            seq: 7,
+        };
         assert_eq!(msg.wire_bytes(1_500), 1_500);
         assert!(msg.is_data());
     }
@@ -139,7 +142,10 @@ mod tests {
     fn control_messages_are_small() {
         assert_eq!(BulletMsg::PeeringAccept.wire_bytes(1_500), HEADER_BYTES);
         assert_eq!(
-            BulletMsg::ReceiverReport { total_bytes_window: 1 }.wire_bytes(1_500),
+            BulletMsg::ReceiverReport {
+                total_bytes_window: 1
+            }
+            .wire_bytes(1_500),
             HEADER_BYTES
         );
         assert_eq!(

@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 
-use bullet_content::{missing_keys, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet};
+use bullet_content::{
+    missing_keys, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet,
+};
 use bullet_netsim::{Agent, Context, OverlayId, SimDuration};
 use bullet_overlay::Tree;
 use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent};
@@ -83,7 +85,8 @@ impl BulletNode {
             children.clone(),
             ticket.clone(),
         );
-        let disjoint = DisjointSender::new(&children, config.packets_per_epoch(), config.disjoint_send);
+        let disjoint =
+            DisjointSender::new(&children, config.packets_per_epoch(), config.disjoint_send);
         let peers = PeerManager::new(
             config.max_senders,
             config.max_receivers,
@@ -162,7 +165,7 @@ impl BulletNode {
     ) {
         let msg = BulletMsg::Data { header, seq };
         let size = msg.wire_bytes(self.config.packet_size);
-        if self.config.trace_interval > 0 && seq % self.config.trace_interval == 0 {
+        if self.config.trace_interval > 0 && seq.is_multiple_of(self.config.trace_interval) {
             ctx.send_data_traced(to, msg, size, seq);
         } else {
             ctx.send_data(to, msg, size);
@@ -212,7 +215,10 @@ impl BulletNode {
         if counts.iter().any(Option::is_none) {
             return self.disjoint.equal_factors();
         }
-        let counts: Vec<f64> = counts.into_iter().map(|c| c.unwrap().max(1) as f64).collect();
+        let counts: Vec<f64> = counts
+            .into_iter()
+            .map(|c| c.unwrap().max(1) as f64)
+            .collect();
         let total: f64 = counts.iter().sum();
         counts.into_iter().map(|c| c / total).collect()
     }
@@ -380,17 +386,16 @@ impl BulletNode {
         seq: u64,
     ) {
         // Transport-level processing: loss detection and feedback pacing.
-        let feedback = self
-            .in_conns
-            .entry(from)
-            .or_default()
-            .on_data(ctx.now(), header, self.config.packet_size);
+        let feedback = self.in_conns.entry(from).or_default().on_data(
+            ctx.now(),
+            header,
+            self.config.packet_size,
+        );
         if let Some(feedback) = feedback {
             self.send_msg(ctx, from, BulletMsg::Feedback(feedback));
         }
 
-        let duplicate =
-            self.working_set.contains(seq) || seq < self.working_set.low_watermark();
+        let duplicate = self.working_set.contains(seq) || seq < self.working_set.low_watermark();
         let from_parent = Some(from) == self.parent;
         self.metrics
             .record_receive(self.config.packet_size, from_parent, duplicate);
@@ -421,7 +426,8 @@ impl Agent for BulletNode {
         }
         // Stagger periodic timers so thousands of nodes do not wake up on the
         // same tick.
-        let jitter = |rng: &mut bullet_netsim::SimRng, d: SimDuration| d.mul_f64(rng.range_f64(0.5, 1.5));
+        let jitter =
+            |rng: &mut bullet_netsim::SimRng, d: SimDuration| d.mul_f64(rng.range_f64(0.5, 1.5));
         let service = jitter(ctx.rng(), self.config.peer_service_interval);
         ctx.set_timer(service, timer::PEER_SERVICE);
         let refresh = jitter(ctx.rng(), self.config.filter_refresh_interval);
@@ -509,7 +515,8 @@ impl Agent for BulletNode {
                 ctx.set_timer(self.config.mesh_eval_interval, timer::MESH_EVAL);
             }
             timer::HOUSEKEEPING => {
-                self.working_set.prune_to_len(self.config.working_set_window);
+                self.working_set
+                    .prune_to_len(self.config.working_set_window);
                 let now = ctx.now();
                 for conn in self.out_conns.values_mut() {
                     conn.maybe_nofeedback_timeout(now);
@@ -558,7 +565,9 @@ mod tests {
         let spec = hub_network(n, access_bps);
         let mut rng = bullet_netsim::SimRng::new(seed);
         let tree = random_tree(n, 0, 4, &mut rng);
-        let agents = (0..n).map(|i| BulletNode::new(i, &tree, config.clone())).collect();
+        let agents = (0..n)
+            .map(|i| BulletNode::new(i, &tree, config.clone()))
+            .collect();
         Sim::new(&spec, agents, seed)
     }
 
@@ -638,8 +647,7 @@ mod tests {
         sim.run_until(end);
         for node in 0..12 {
             let traffic = sim.traffic(node);
-            let control_kbps =
-                traffic.control_bytes_in as f64 * 8.0 / end.as_secs_f64() / 1_000.0;
+            let control_kbps = traffic.control_bytes_in as f64 * 8.0 / end.as_secs_f64() / 1_000.0;
             // The quick test configuration refreshes filters every 2 s
             // (vs. the paper's 5 s), so the bound here is looser than the
             // paper's ~30 Kbps; the experiment harness checks the

@@ -342,9 +342,18 @@ mod tests {
         let mut rng = SimRng::new(1);
         let own = ticket(0..500);
         let candidates = vec![
-            Member { node: 10, state: ticket(0..500) },      // identical
-            Member { node: 11, state: ticket(400..900) },    // partial overlap
-            Member { node: 12, state: ticket(5_000..5_500) }, // disjoint
+            Member {
+                node: 10,
+                state: ticket(0..500),
+            }, // identical
+            Member {
+                node: 11,
+                state: ticket(400..900),
+            }, // partial overlap
+            Member {
+                node: 12,
+                state: ticket(5_000..5_500),
+            }, // disjoint
         ];
         let chosen = pm.choose_candidate(&own, &candidates, &[], &mut rng);
         assert_eq!(chosen, Some(12));
@@ -356,11 +365,17 @@ mod tests {
         let mut rng = SimRng::new(2);
         let own = ticket(0..100);
         pm.on_peering_request(11, request());
-        assert!(pm.on_peering_accept(10) || true);
+        let _ = pm.on_peering_accept(10);
         // 10 is pending->accepted as sender? ensure by full flow:
         let candidates = vec![
-            Member { node: 10, state: ticket(900..1_000) },
-            Member { node: 13, state: ticket(700..800) },
+            Member {
+                node: 10,
+                state: ticket(900..1_000),
+            },
+            Member {
+                node: 13,
+                state: ticket(700..800),
+            },
         ];
         // Exclude 13 (say it is our parent): only 10 remains, but 10 is
         // already a sender, so nothing is chosen.
@@ -447,7 +462,11 @@ mod tests {
         for node in [1, 2, 3] {
             pm.on_peering_request(node, request());
         }
-        for (node, sent, total) in [(1u64, 50_000u64, 100_000u64), (2, 10_000, 100_000), (3, 90_000, 100_000)] {
+        for (node, sent, total) in [
+            (1u64, 50_000u64, 100_000u64),
+            (2, 10_000, 100_000),
+            (3, 90_000, 100_000),
+        ] {
             let r = pm.receiver_mut(node as usize).unwrap();
             r.bytes_sent_window = sent;
             r.reported_total_bytes = total;
@@ -464,8 +483,14 @@ mod tests {
         let mut rng = SimRng::new(3);
         let own = ticket(0..10);
         let candidates = vec![
-            Member { node: 5, state: ticket(0..10) },
-            Member { node: 6, state: ticket(0..10) },
+            Member {
+                node: 5,
+                state: ticket(0..10),
+            },
+            Member {
+                node: 6,
+                state: ticket(0..10),
+            },
         ];
         for _ in 0..20 {
             pm.clear_stale_pending();

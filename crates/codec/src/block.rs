@@ -129,7 +129,13 @@ mod tests {
             let obj = framing.object_of(seq);
             assert_eq!(framing.seq_of(obj), seq);
         }
-        assert_eq!(framing.object_of(250), ObjectId { block: 2, offset: 50 });
+        assert_eq!(
+            framing.object_of(250),
+            ObjectId {
+                block: 2,
+                offset: 50
+            }
+        );
     }
 
     #[test]

@@ -236,7 +236,7 @@ mod tests {
         // Drop two out of every three symbols; use only ids divisible by 3.
         let mut id = 0u64;
         while !dec.is_complete() && id < 10_000 {
-            if id % 3 == 0 {
+            if id.is_multiple_of(3) {
                 dec.add(&enc.symbol(id));
             }
             id += 1;

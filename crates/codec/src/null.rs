@@ -87,9 +87,8 @@ impl NullDecoder {
         if !self.is_complete() {
             return None;
         }
-        let mut data = Vec::with_capacity(
-            self.total_objects as usize * self.framing.object_bytes as usize,
-        );
+        let mut data =
+            Vec::with_capacity(self.total_objects as usize * self.framing.object_bytes as usize);
         for (_, payload) in self.objects {
             data.extend_from_slice(&payload);
         }

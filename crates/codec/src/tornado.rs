@@ -134,10 +134,15 @@ impl TornadoDecoder {
     /// packets.
     pub fn add(&mut self, symbol: &TornadoSymbol) -> usize {
         if (symbol.index as usize) < self.k {
-            self.inner.add_symbol(&[symbol.index as usize], &symbol.data)
+            self.inner
+                .add_symbol(&[symbol.index as usize], &symbol.data)
         } else {
-            let covers =
-                check_neighbors(self.k, self.seed, symbol.index - self.k as u64, self.check_degree);
+            let covers = check_neighbors(
+                self.k,
+                self.seed,
+                symbol.index - self.k as u64,
+                self.check_degree,
+            );
             self.inner.add_symbol(&covers, &symbol.data)
         }
     }
@@ -164,7 +169,11 @@ mod tests {
 
     fn make_source(k: usize, bytes: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..bytes).map(|j| ((i * 31 + j * 7) & 0xFF) as u8).collect())
+            .map(|i| {
+                (0..bytes)
+                    .map(|j| ((i * 31 + j * 7) & 0xFF) as u8)
+                    .collect()
+            })
             .collect()
     }
 

@@ -128,10 +128,7 @@ mod tests {
         for key in 0..1_000u64 {
             bf.insert(key);
         }
-        let fp = (1_000u64..101_000)
-            .filter(|&k| bf.contains(k))
-            .count() as f64
-            / 100_000.0;
+        let fp = (1_000u64..101_000).filter(|&k| bf.contains(k)).count() as f64 / 100_000.0;
         let predicted = bf.expected_fp_rate();
         assert!(fp < 0.05, "false positive rate {fp} too high");
         assert!(

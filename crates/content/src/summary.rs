@@ -82,7 +82,10 @@ impl SummaryTicket {
     }
 
     /// Builds a ticket from an iterator of working-set elements.
-    pub fn from_elements<I: IntoIterator<Item = u64>>(family: &PermutationFamily, elems: I) -> Self {
+    pub fn from_elements<I: IntoIterator<Item = u64>>(
+        family: &PermutationFamily,
+        elems: I,
+    ) -> Self {
         let mut ticket = SummaryTicket::empty(family);
         for x in elems {
             ticket.insert(family, x);

@@ -62,7 +62,10 @@ impl WorkingSet {
     /// The window `(low, high)` of sequence numbers this node currently cares
     /// about: `low` is the pruning watermark, `high` the largest received.
     pub fn range(&self) -> (u64, u64) {
-        (self.low_watermark, self.max_seq().unwrap_or(self.low_watermark))
+        (
+            self.low_watermark,
+            self.max_seq().unwrap_or(self.low_watermark),
+        )
     }
 
     /// The low watermark (lowest sequence number still represented).
@@ -84,15 +87,22 @@ impl WorkingSet {
     }
 
     /// Keeps only the most recent `max_len` sequence numbers, pruning older
-    /// ones. Returns the new low watermark.
+    /// ones. `max_len == 0` empties the set and raises the watermark past
+    /// the newest held sequence number. Returns the new low watermark.
     pub fn prune_to_len(&mut self, max_len: usize) -> u64 {
         if self.seqs.len() > max_len {
-            let cutoff = *self
-                .seqs
-                .iter()
-                .rev()
-                .nth(max_len - 1)
-                .expect("len checked above");
+            let cutoff = if max_len == 0 {
+                self.max_seq()
+                    .expect("set is non-empty when len > max_len")
+                    .saturating_add(1)
+            } else {
+                *self
+                    .seqs
+                    .iter()
+                    .rev()
+                    .nth(max_len - 1)
+                    .expect("len checked above")
+            };
             self.prune_below(cutoff);
         }
         self.low_watermark
@@ -168,6 +178,25 @@ mod tests {
         assert_eq!(ws.len(), 100);
         assert_eq!(ws.min_seq(), Some(900));
         assert_eq!(ws.max_seq(), Some(999));
+    }
+
+    #[test]
+    fn prune_to_len_zero_empties_without_panicking() {
+        // Regression: `max_len - 1` underflowed and panicked for max_len=0.
+        let mut ws = WorkingSet::new();
+        for seq in 10..20 {
+            ws.insert(seq);
+        }
+        let watermark = ws.prune_to_len(0);
+        assert!(ws.is_empty());
+        assert_eq!(watermark, 20, "watermark passes the newest pruned seq");
+        assert!(!ws.insert(19), "pruned seqs stay pruned");
+        assert!(ws.insert(20), "new seqs above the watermark are accepted");
+
+        // On an empty set it is a no-op.
+        let mut empty = WorkingSet::new();
+        assert_eq!(empty.prune_to_len(0), 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -118,7 +118,7 @@ pub fn constrained_source_topology(
     constrain_source: bool,
     seed: u64,
 ) -> ConstrainedSourceTopology {
-    let mut rng = SimRng::new(seed ^ 0xF16_15);
+    let mut rng = SimRng::new(seed ^ 0xF1615);
     // Routers: 0 = regional hub, 1 = remote hub.
     let participants = 1 + regional + remote;
     let mut spec = NetworkSpec::new(2 + participants);
@@ -128,7 +128,11 @@ pub fn constrained_source_topology(
         let router = 2 + node;
         let (hub, bps) = if node == 0 {
             // The source.
-            let bps = if constrain_source { 2_500_000.0 } else { 15_000_000.0 };
+            let bps = if constrain_source {
+                2_500_000.0
+            } else {
+                15_000_000.0
+            };
             (0, bps)
         } else if node <= regional {
             (0, rng.range_f64(2_000_000.0, 4_000_000.0))
@@ -152,15 +156,33 @@ mod tests {
 
     #[test]
     fn topology_scales_with_scale() {
-        let small = build_topology(Scale::Small, 20, BandwidthProfile::Medium, LossProfile::None, 1);
-        let default = build_topology(Scale::Default, 20, BandwidthProfile::Medium, LossProfile::None, 1);
+        let small = build_topology(
+            Scale::Small,
+            20,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            1,
+        );
+        let default = build_topology(
+            Scale::Default,
+            20,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            1,
+        );
         assert!(default.spec.routers > small.spec.routers);
         assert_eq!(small.participants(), 20);
     }
 
     #[test]
     fn all_tree_kinds_build_valid_trees() {
-        let topo = build_topology(Scale::Small, 15, BandwidthProfile::Medium, LossProfile::None, 3);
+        let topo = build_topology(
+            Scale::Small,
+            15,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            3,
+        );
         for kind in [
             TreeKind::Random { max_children: 4 },
             TreeKind::Bottleneck,
@@ -177,7 +199,13 @@ mod tests {
 
     #[test]
     fn good_and_worst_trees_differ() {
-        let topo = build_topology(Scale::Small, 20, BandwidthProfile::Low, LossProfile::None, 5);
+        let topo = build_topology(
+            Scale::Small,
+            20,
+            BandwidthProfile::Low,
+            LossProfile::None,
+            5,
+        );
         let good = build_tree(&topo, TreeKind::Good, 0, 5);
         let worst = build_tree(&topo, TreeKind::Worst, 0, 5);
         assert_ne!(good.parents(), worst.parents());
@@ -188,7 +216,10 @@ mod tests {
         let topo = constrained_source_topology(10, 36, true, 7);
         assert_eq!(topo.access_bps.len(), 47);
         assert_eq!(topo.spec.participants(), 47);
-        assert!(topo.access_bps[0] < 3_000_000.0, "source must be constrained");
+        assert!(
+            topo.access_bps[0] < 3_000_000.0,
+            "source must be constrained"
+        );
         // Remote nodes are fast.
         assert!(topo.access_bps[20] >= 10_000_000.0);
         let unconstrained = constrained_source_topology(10, 36, false, 7);
@@ -197,7 +228,13 @@ mod tests {
 
     #[test]
     fn metric_ranks_the_source_highest() {
-        let topo = build_topology(Scale::Small, 10, BandwidthProfile::Medium, LossProfile::None, 9);
+        let topo = build_topology(
+            Scale::Small,
+            10,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            9,
+        );
         let metric = bandwidth_metric_from_source(&topo, 0);
         assert_eq!(metric.len(), 10);
         assert!(metric[0] > metric[1]);

@@ -159,7 +159,13 @@ pub fn fig06(scale: Scale) -> FigureResult {
     figure.add_run(&result);
 
     let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
-    let result = streaming_run(&topo.spec, &random, &stream, &p.run_spec("Random tree"), p.seed);
+    let result = streaming_run(
+        &topo.spec,
+        &random,
+        &stream,
+        &p.run_spec("Random tree"),
+        p.seed,
+    );
     figure.add_run(&result);
 
     let bottleneck_kbps = figure.steady_state_of("Bottleneck").unwrap_or(0.0);
@@ -185,9 +191,18 @@ pub fn fig07(scale: Scale) -> (FigureResult, RunResult) {
     );
     let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
     let config = p.bullet_config(PAPER_RATE_BPS);
-    let result = bullet_run(&topo.spec, &tree, &config, &p.run_spec("Bullet (random tree)"), p.seed);
+    let result = bullet_run(
+        &topo.spec,
+        &tree,
+        &config,
+        &p.run_spec("Bullet (random tree)"),
+        p.seed,
+    );
 
-    let mut figure = FigureResult::new("fig07", "Achieved bandwidth over time for Bullet over a random tree");
+    let mut figure = FigureResult::new(
+        "fig07",
+        "Achieved bandwidth over time for Bullet over a random tree",
+    );
     figure.series.push(result.raw.clone());
     figure.series.push(result.useful.clone());
     figure.series.push(result.from_parent.clone());
@@ -241,8 +256,12 @@ pub fn fig09(scale: Scale) -> FigureResult {
 
 /// Figure 12: the same sweep over lossy topologies (§4.5).
 pub fn fig12(scale: Scale) -> FigureResult {
-    bandwidth_sweep(scale, LossProfile::paper_lossy(), "fig12",
-        "Achieved bandwidth for Bullet and the bottleneck tree over lossy network topologies")
+    bandwidth_sweep(
+        scale,
+        LossProfile::paper_lossy(),
+        "fig12",
+        "Achieved bandwidth for Bullet and the bottleneck tree over lossy network topologies",
+    )
 }
 
 fn bandwidth_sweep(scale: Scale, loss: LossProfile, id: &str, title: &str) -> FigureResult {
@@ -355,7 +374,13 @@ pub fn fig11(scale: Scale) -> FigureResult {
         stream_start: p.stream_start,
         ..GossipConfig::default()
     };
-    let gossip = gossip_run(&topo.spec, 0, &gossip_cfg, &p.run_spec("Push gossiping"), p.seed);
+    let gossip = gossip_run(
+        &topo.spec,
+        0,
+        &gossip_cfg,
+        &p.run_spec("Push gossiping"),
+        p.seed,
+    );
     figure.series.push(gossip.raw.clone());
     figure.add_run(&gossip);
 
@@ -424,9 +449,15 @@ pub fn failure_figure(scale: Scale, ransub_failure_detection: bool) -> FigureRes
     let result = bullet_run(&topo.spec, &tree, &config, &run, p.seed);
 
     let (id, title) = if ransub_failure_detection {
-        ("fig14", "Bandwidth over time with a worst-case node failure and RanSub recovery enabled")
+        (
+            "fig14",
+            "Bandwidth over time with a worst-case node failure and RanSub recovery enabled",
+        )
     } else {
-        ("fig13", "Bandwidth over time with a worst-case node failure and no RanSub recovery")
+        (
+            "fig13",
+            "Bandwidth over time with a worst-case node failure and no RanSub recovery",
+        )
     };
     let mut figure = FigureResult::new(id, title);
     figure.series.push(result.raw.clone());
@@ -585,7 +616,8 @@ pub fn ablations(scale: Scale) -> FigureResult {
         "ablations",
         "Bullet design ablations: disjoint send and resemblance-guided peering",
     );
-    let variants: Vec<(&str, Box<dyn Fn(&mut BulletConfig)>)> = vec![
+    type ConfigTweak = Box<dyn Fn(&mut BulletConfig)>;
+    let variants: Vec<(&str, ConfigTweak)> = vec![
         ("Bullet (full)", Box::new(|_c: &mut BulletConfig| {})),
         (
             "No disjoint send",
@@ -654,12 +686,14 @@ mod tests {
     fn table1_has_twelve_rows_matching_the_paper() {
         let rows = table1_rows();
         assert_eq!(rows.len(), 12);
-        assert!(rows
-            .iter()
-            .any(|(p, c, lo, hi)| p == "Low bandwidth" && c == "Client-Stub" && *lo == 300 && *hi == 600));
-        assert!(rows
-            .iter()
-            .any(|(p, c, lo, hi)| p == "High bandwidth" && c == "Transit-Transit" && *lo == 10_000 && *hi == 20_000));
+        assert!(rows.iter().any(|(p, c, lo, hi)| p == "Low bandwidth"
+            && c == "Client-Stub"
+            && *lo == 300
+            && *hi == 600));
+        assert!(rows.iter().any(|(p, c, lo, hi)| p == "High bandwidth"
+            && c == "Transit-Transit"
+            && *lo == 10_000
+            && *hi == 20_000));
     }
 
     #[test]

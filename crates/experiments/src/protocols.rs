@@ -81,7 +81,12 @@ mod tests {
     fn hub(n: usize, access_bps: f64) -> NetworkSpec {
         let mut spec = NetworkSpec::new(n + 1);
         for i in 0..n {
-            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                access_bps,
+                SimDuration::from_millis(10),
+            ));
             spec.attach(i);
         }
         spec

@@ -86,7 +86,9 @@ pub fn render_table1(rows: &[(String, String, u32, u32)]) -> String {
         "Profile", "Link class", "low", "high"
     ));
     for (profile, class, low, high) in rows {
-        out.push_str(&format!("{profile:<18}  {class:<16}  {low:>8}  {high:>8}\n"));
+        out.push_str(&format!(
+            "{profile:<18}  {class:<16}  {low:>8}  {high:>8}\n"
+        ));
     }
     out
 }
@@ -120,7 +122,9 @@ mod tests {
         b.push(5.0, 210.0);
         figure.series.push(a);
         figure.series.push(b);
-        figure.summaries.push(("Bullet".into(), RunSummary::default()));
+        figure
+            .summaries
+            .push(("Bullet".into(), RunSummary::default()));
         figure.notes.push("Bullet wins".into());
         let text = render_figure(&figure);
         assert!(text.contains("figX"));

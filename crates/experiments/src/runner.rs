@@ -258,7 +258,12 @@ mod tests {
     fn hub(n: usize, access_bps: f64) -> NetworkSpec {
         let mut spec = NetworkSpec::new(n + 1);
         for i in 0..n {
-            spec.add_link(LinkSpec::new(n, i, access_bps, SimDuration::from_millis(10)));
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                access_bps,
+                SimDuration::from_millis(10),
+            ));
             spec.attach(i);
         }
         spec
@@ -274,7 +279,9 @@ mod tests {
             transport: StreamTransport::Tfrc,
             ..StreamConfig::default()
         };
-        let agents = (0..n).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let agents = (0..n)
+            .map(|i| StreamingNode::new(i, &tree, config.clone()))
+            .collect();
         let sim = Sim::new(&spec, agents, 1);
         run_metered(
             sim,
@@ -326,7 +333,9 @@ mod tests {
             stream_start: SimTime::from_secs(2),
             ..StreamConfig::default()
         };
-        let agents = (0..6).map(|i| StreamingNode::new(i, &tree, config.clone())).collect();
+        let agents = (0..6)
+            .map(|i| StreamingNode::new(i, &tree, config.clone()))
+            .collect();
         let sim = Sim::new(&spec, agents, 2);
         let victim = tree.children(0)[0];
         let result = run_metered(

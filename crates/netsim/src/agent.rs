@@ -12,8 +12,106 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a pending timer, used for cancellation.
+///
+/// The value packs a slot index (low 32 bits) and a generation stamp (high
+/// 32 bits) allocated by [`TimerAlloc`]; a retired id never matches a live
+/// slot again, so cancelling an already-fired timer is a cheap no-op.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub u64);
+
+/// Generation-stamped timer slot allocator.
+///
+/// Each armed timer occupies one slot; firing or cancelling the timer
+/// *retires* the slot by bumping its generation and returning it to a free
+/// list. A [`TimerId`] is live only while its generation matches its slot's
+/// current generation, which gives runtimes O(1) cancellation with no
+/// unbounded growth — unlike a cancelled-id set, which leaks an entry every
+/// time an agent cancels a timer that already fired.
+#[derive(Clone, Debug, Default)]
+pub struct TimerAlloc {
+    /// Current generation per slot.
+    gens: Vec<u32>,
+    /// Per-slot `(owning node, tag)` of the currently armed timer. Keeping
+    /// the metadata here lets runtimes enqueue just the 8-byte [`TimerId`]
+    /// per pending timer.
+    meta: Vec<(u32, u64)>,
+    /// Retired slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl TimerAlloc {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn parts(id: TimerId) -> (u32, u32) {
+        ((id.0 >> 32) as u32, id.0 as u32)
+    }
+
+    /// Allocates a live timer id owned by `node` carrying `tag`, reusing a
+    /// retired slot when possible.
+    pub fn alloc(&mut self, node: u32, tag: u64) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.meta[slot as usize] = (node, tag);
+                slot
+            }
+            None => {
+                assert!(self.gens.len() < u32::MAX as usize, "timer slots exhausted");
+                self.gens.push(0);
+                self.meta.push((node, tag));
+                (self.gens.len() - 1) as u32
+            }
+        };
+        TimerId(((self.gens[slot as usize] as u64) << 32) | slot as u64)
+    }
+
+    /// Whether `id` refers to a timer that has been armed but not yet fired
+    /// or cancelled.
+    pub fn is_live(&self, id: TimerId) -> bool {
+        let (gen, slot) = Self::parts(id);
+        self.gens.get(slot as usize) == Some(&gen)
+    }
+
+    /// Retires `id` (on firing or cancellation). Returns the timer's
+    /// `(node, tag)` if the id was live; retiring an already-retired id is
+    /// a no-op returning `None`.
+    ///
+    /// A slot whose generation reaches `u32::MAX` is never reused: reuse
+    /// would let a `TimerId` from 2^32 cycles ago alias a live timer (ABA).
+    /// Leaking that one slot keeps stale ids dead forever.
+    pub fn retire(&mut self, id: TimerId) -> Option<(u32, u64)> {
+        let (gen, slot) = Self::parts(id);
+        match self.gens.get_mut(slot as usize) {
+            Some(g) if *g == gen => {
+                *g = g.wrapping_add(1);
+                if *g != u32::MAX {
+                    self.free.push(slot);
+                }
+                Some(self.meta[slot as usize])
+            }
+            _ => None,
+        }
+    }
+
+    /// The `(node, tag)` of a live timer without retiring it, or `None`
+    /// if `id` is stale.
+    pub fn peek(&self, id: TimerId) -> Option<(u32, u64)> {
+        self.is_live(id).then(|| self.meta[id.0 as u32 as usize])
+    }
+
+    /// Number of currently live (armed) timers.
+    pub fn live(&self) -> usize {
+        self.gens.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated — the allocator's high-water mark.
+    pub fn slots(&self) -> usize {
+        self.gens.len()
+    }
+}
 
 /// Classification of a message for accounting purposes.
 ///
@@ -68,7 +166,7 @@ pub struct Context<'a, M> {
     node: OverlayId,
     rng: &'a mut SimRng,
     actions: &'a mut Vec<Action<M>>,
-    next_timer_id: &'a mut u64,
+    timers: &'a mut TimerAlloc,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -78,14 +176,14 @@ impl<'a, M> Context<'a, M> {
         node: OverlayId,
         rng: &'a mut SimRng,
         actions: &'a mut Vec<Action<M>>,
-        next_timer_id: &'a mut u64,
+        timers: &'a mut TimerAlloc,
     ) -> Self {
         Context {
             now,
             node,
             rng,
             actions,
-            next_timer_id,
+            timers,
         }
     }
 
@@ -141,8 +239,7 @@ impl<'a, M> Context<'a, M> {
     /// Arms a timer firing after `delay`; `tag` is echoed back to
     /// [`Agent::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
-        *self.next_timer_id += 1;
+        let id = self.timers.alloc(self.node as u32, tag);
         self.actions.push(Action::SetTimer { id, delay, tag });
         id
     }
@@ -177,16 +274,26 @@ mod tests {
     fn context_records_actions_in_order() {
         let mut rng = SimRng::new(1);
         let mut actions = Vec::new();
-        let mut next_timer = 0;
-        let mut ctx: Context<'_, &'static str> =
-            Context::new(SimTime::from_secs(1), 3, &mut rng, &mut actions, &mut next_timer);
+        let mut timers = TimerAlloc::new();
+        let mut ctx: Context<'_, &'static str> = Context::new(
+            SimTime::from_secs(1),
+            3,
+            &mut rng,
+            &mut actions,
+            &mut timers,
+        );
         ctx.send_data(5, "payload", 1500);
         ctx.send_control(6, "ctrl", 100);
         let timer = ctx.set_timer(SimDuration::from_secs(5), 42);
         ctx.cancel_timer(timer);
         assert_eq!(actions.len(), 4);
         match &actions[0] {
-            Action::Send { to, size_bytes, class, .. } => {
+            Action::Send {
+                to,
+                size_bytes,
+                class,
+                ..
+            } => {
                 assert_eq!(*to, 5);
                 assert_eq!(*size_bytes, 1500);
                 assert_eq!(*class, MsgClass::Data);
@@ -209,13 +316,52 @@ mod tests {
     #[test]
     fn timer_ids_are_unique_across_contexts() {
         let mut rng = SimRng::new(1);
-        let mut next_timer = 0;
+        let mut timers = TimerAlloc::new();
         let mut first = Vec::new();
-        let id_a = Context::<'_, ()>::new(SimTime::ZERO, 0, &mut rng, &mut first, &mut next_timer)
+        let id_a = Context::<'_, ()>::new(SimTime::ZERO, 0, &mut rng, &mut first, &mut timers)
             .set_timer(SimDuration::from_secs(1), 0);
         let mut second = Vec::new();
-        let id_b = Context::<'_, ()>::new(SimTime::ZERO, 0, &mut rng, &mut second, &mut next_timer)
+        let id_b = Context::<'_, ()>::new(SimTime::ZERO, 0, &mut rng, &mut second, &mut timers)
             .set_timer(SimDuration::from_secs(1), 0);
         assert_ne!(id_a, id_b);
+    }
+
+    #[test]
+    fn timer_alloc_reuses_retired_slots_without_id_collisions() {
+        let mut alloc = TimerAlloc::new();
+        let a = alloc.alloc(3, 100);
+        let b = alloc.alloc(4, 200);
+        assert!(alloc.is_live(a) && alloc.is_live(b));
+        assert_eq!(
+            alloc.retire(a),
+            Some((3, 100)),
+            "live id retires to its meta"
+        );
+        assert_eq!(alloc.retire(a), None, "double retire is a no-op");
+        assert!(!alloc.is_live(a));
+        // The slot is reused but the generation differs, so the old id stays
+        // dead and the new timer's metadata wins.
+        let c = alloc.alloc(5, 300);
+        assert_ne!(a, c);
+        assert_eq!(a.0 as u32, c.0 as u32, "slot is reused");
+        assert!(!alloc.is_live(a));
+        assert!(alloc.is_live(c));
+        assert_eq!(alloc.retire(c), Some((5, 300)));
+        assert_eq!(alloc.retire(b), Some((4, 200)));
+        assert_eq!(alloc.slots(), 2, "no growth from the retire/alloc cycle");
+    }
+
+    #[test]
+    fn cancelling_after_fire_does_not_grow_state() {
+        // The regression the slab fixes: a cancelled-id set grows forever
+        // when agents cancel timers that already fired.
+        let mut alloc = TimerAlloc::new();
+        for i in 0..10_000u64 {
+            let id = alloc.alloc(0, i);
+            assert_eq!(alloc.retire(id), Some((0, i)), "fire");
+            assert_eq!(alloc.retire(id), None, "cancel after fire is a no-op");
+        }
+        assert_eq!(alloc.slots(), 1, "a single slot is recycled throughout");
+        assert_eq!(alloc.live(), 0);
     }
 }

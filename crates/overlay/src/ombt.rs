@@ -186,15 +186,13 @@ pub fn bottleneck_tree(
         child_count[candidate.from] += 1;
         oracle.commit_flow(candidate.from, candidate.to);
         attached += 1;
-        for to in 0..participants {
-            if !in_tree[to] {
-                if let Some(bps) = oracle.estimate_bps(candidate.to, to) {
-                    heap.push(Candidate {
-                        throughput_bps: bps,
-                        from: candidate.to,
-                        to,
-                    });
-                }
+        for to in (0..participants).filter(|&to| !in_tree[to]) {
+            if let Some(bps) = oracle.estimate_bps(candidate.to, to) {
+                heap.push(Candidate {
+                    throughput_bps: bps,
+                    from: candidate.to,
+                    to,
+                });
             }
         }
     }
@@ -257,7 +255,10 @@ mod tests {
         let before = oracle.estimate_bps(0, 1).unwrap();
         oracle.commit_flow(0, 1);
         let after = oracle.estimate_bps(0, 1).unwrap();
-        assert!(after < before, "fair share should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "fair share should shrink: {before} -> {after}"
+        );
         assert!((before / after - 2.0).abs() < 0.2);
     }
 
@@ -265,9 +266,7 @@ mod tests {
     fn lossy_paths_are_penalized() {
         let mut spec = NetworkSpec::new(3);
         spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(10)));
-        spec.add_link(
-            LinkSpec::new(0, 2, 10e6, SimDuration::from_millis(10)).with_loss(0.05),
-        );
+        spec.add_link(LinkSpec::new(0, 2, 10e6, SimDuration::from_millis(10)).with_loss(0.05));
         spec.attach(0);
         spec.attach(1);
         spec.attach(2);

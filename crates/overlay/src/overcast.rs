@@ -53,6 +53,7 @@ pub fn overcast_tree(
     let mut parents: Vec<Option<OverlayId>> = vec![None; participants];
     let mut children: Vec<Vec<OverlayId>> = vec![Vec::new(); participants];
 
+    #[allow(clippy::needless_range_loop)] // `node` indexes several structures
     for node in 0..participants {
         if node == root {
             continue;

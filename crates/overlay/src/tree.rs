@@ -56,9 +56,7 @@ impl Tree {
                         })
                     }
                 },
-                Some(p) if *p >= n => {
-                    return Err(TreeError::ParentOutOfRange { node, parent: *p })
-                }
+                Some(p) if *p >= n => return Err(TreeError::ParentOutOfRange { node, parent: *p }),
                 Some(_) => {}
             }
         }
@@ -195,7 +193,9 @@ mod tests {
     use super::*;
 
     fn chain(n: usize) -> Tree {
-        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         Tree::from_parents(parents).unwrap()
     }
 
@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn rejects_missing_root() {
         let err = Tree::from_parents(vec![Some(1), Some(0)]).unwrap_err();
-        assert!(matches!(err, TreeError::MissingRoot | TreeError::Cycle { .. }));
+        assert!(matches!(
+            err,
+            TreeError::MissingRoot | TreeError::Cycle { .. }
+        ));
     }
 
     #[test]

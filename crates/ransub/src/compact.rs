@@ -106,7 +106,13 @@ mod tests {
 
     fn set(nodes: &[OverlayId], population: u64) -> WeightedSet<u32> {
         WeightedSet {
-            members: nodes.iter().map(|&n| Member { node: n, state: n as u32 }).collect(),
+            members: nodes
+                .iter()
+                .map(|&n| Member {
+                    node: n,
+                    state: n as u32,
+                })
+                .collect(),
             population,
         }
     }
@@ -163,7 +169,7 @@ mod tests {
         let input = set(&[1, 2, 3, 4, 5], 5);
         let mut counts = [0usize; 5];
         for _ in 0..10_000 {
-            let out = compact(&[input.clone()], 1, &mut rng);
+            let out = compact(std::slice::from_ref(&input), 1, &mut rng);
             counts[out.members[0].node - 1] += 1;
         }
         for &c in &counts {

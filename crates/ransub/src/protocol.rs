@@ -252,10 +252,7 @@ impl<T: Clone> RanSub<T> {
             return Vec::new();
         }
         self.collects.insert(from, set);
-        let all_in = self
-            .children
-            .iter()
-            .all(|c| self.collects.contains_key(c));
+        let all_in = self.children.iter().all(|c| self.collects.contains_key(c));
         if !all_in {
             return Vec::new();
         }

@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn table1_values_are_reproduced() {
         let medium = BandwidthProfile::Medium;
-        assert_eq!(medium.range(LinkClass::ClientStub), KbpsRange::new(800, 2_800));
+        assert_eq!(
+            medium.range(LinkClass::ClientStub),
+            KbpsRange::new(800, 2_800)
+        );
         assert_eq!(
             medium.range(LinkClass::TransitTransit),
             KbpsRange::new(5_000, 10_000)
@@ -113,7 +116,10 @@ mod tests {
         let low = BandwidthProfile::Low;
         assert_eq!(low.range(LinkClass::ClientStub), KbpsRange::new(300, 600));
         let high = BandwidthProfile::High;
-        assert_eq!(high.range(LinkClass::StubStub), KbpsRange::new(2_000, 8_000));
+        assert_eq!(
+            high.range(LinkClass::StubStub),
+            KbpsRange::new(2_000, 8_000)
+        );
     }
 
     #[test]

@@ -175,7 +175,10 @@ struct Position {
 
 /// Generates a transit-stub topology from `config`.
 pub fn generate(config: &TopologyConfig) -> BuiltTopology {
-    assert!(config.transit_domains > 0, "need at least one transit domain");
+    assert!(
+        config.transit_domains > 0,
+        "need at least one transit domain"
+    );
     assert!(config.transit_per_domain > 0, "need transit routers");
     let mut rng = SimRng::new(config.seed ^ 0x70706F);
 
@@ -216,7 +219,9 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
         if config.transit_domains > 1 {
             let next = (d + 1) % config.transit_domains;
             let a = *rng.choose(&transit_routers[d]).expect("non-empty domain");
-            let b = *rng.choose(&transit_routers[next]).expect("non-empty domain");
+            let b = *rng
+                .choose(&transit_routers[next])
+                .expect("non-empty domain");
             pending_links.push((a, b));
         }
         for e in d + 2..config.transit_domains {
@@ -316,16 +321,28 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
         let loss = config.loss.sample(class, overloaded, &mut rng);
         let queue_bytes = ((bandwidth * config.queue_seconds / 8.0) as u32).max(16_000);
         let link_idx = spec.add_link(
-            LinkSpec::new(a, b, bandwidth, SimDuration::from_secs_f64(delay_ms / 1_000.0))
-                .with_loss(loss)
-                .with_queue(queue_bytes),
+            LinkSpec::new(
+                a,
+                b,
+                bandwidth,
+                SimDuration::from_secs_f64(delay_ms / 1_000.0),
+            )
+            .with_loss(loss)
+            .with_queue(queue_bytes),
         );
         link_classes.push(class);
-        let class_idx = LinkClass::ALL.iter().position(|&c| c == class).expect("known class");
+        let class_idx = LinkClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("known class");
         stats.links_by_class[class_idx] += 1;
         if class == LinkClass::ClientStub {
             // Identify which participant this access link belongs to.
-            let client = if node_classes[a] == NodeClass::Client { a } else { b };
+            let client = if node_classes[a] == NodeClass::Client {
+                a
+            } else {
+                b
+            };
             if let Some(idx) = client_routers.iter().position(|&c| c == client) {
                 access_links[idx] = link_idx;
             }
@@ -366,7 +383,10 @@ mod tests {
         for node in 0..topo.participants() {
             let bw = topo.access_bandwidth_bps(node);
             assert!(bw > 0.0);
-            assert_eq!(topo.link_classes[topo.access_links[node]], LinkClass::ClientStub);
+            assert_eq!(
+                topo.link_classes[topo.access_links[node]],
+                LinkClass::ClientStub
+            );
         }
     }
 

@@ -67,7 +67,8 @@ impl LossProfile {
         match *self {
             LossProfile::None => 0.0,
             LossProfile::Lossy {
-                overloaded_fraction, ..
+                overloaded_fraction,
+                ..
             } => overloaded_fraction,
         }
     }

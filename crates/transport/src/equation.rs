@@ -32,7 +32,12 @@ impl TcpRate {
 /// Returns `f64::INFINITY` when the loss event rate is zero (TFRC handles
 /// that case separately with slow-start doubling), and guards the RTT away
 /// from zero so the formula stays finite.
-pub fn tcp_throughput(packet_size_bytes: f64, rtt_secs: f64, loss_event_rate: f64, t_rto_secs: f64) -> TcpRate {
+pub fn tcp_throughput(
+    packet_size_bytes: f64,
+    rtt_secs: f64,
+    loss_event_rate: f64,
+    t_rto_secs: f64,
+) -> TcpRate {
     if loss_event_rate <= 0.0 {
         return TcpRate {
             bytes_per_sec: f64::INFINITY,

@@ -178,7 +178,11 @@ mod tests {
     fn no_loss_means_zero_rate() {
         let mut det = LossDetector::new();
         for seq in 0..100 {
-            det.on_packet(SimTime::from_millis(seq * 10), seq, SimDuration::from_millis(50));
+            det.on_packet(
+                SimTime::from_millis(seq * 10),
+                seq,
+                SimDuration::from_millis(50),
+            );
         }
         assert_eq!(det.loss_event_rate(), 0.0);
         assert_eq!(det.packets_lost, 0);
@@ -219,13 +223,11 @@ mod tests {
         let run = |period: u64| {
             let mut det = LossDetector::new();
             let rtt = SimDuration::from_millis(10);
-            let mut seq = 0;
             for i in 0..2_000u64 {
-                // Drop every `period`-th packet.
+                // Drop every `period`-th packet; the sequence number is `i`.
                 if i % period != 0 {
-                    det.on_packet(SimTime::from_millis(i * 20), seq, rtt);
+                    det.on_packet(SimTime::from_millis(i * 20), i, rtt);
                 }
-                seq += 1;
             }
             det.loss_event_rate()
         };

@@ -108,7 +108,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         assert!(rl.try_consume(now, 1_000).is_accepted());
         assert_eq!(rl.try_consume(now, 500), SendOutcome::WouldBlock);
-        now = now + SimDuration::from_millis(500);
+        now += SimDuration::from_millis(500);
         // 500 ms at 1000 B/s = 500 bytes.
         assert!(rl.try_consume(now, 500).is_accepted());
         assert_eq!(rl.try_consume(now, 100), SendOutcome::WouldBlock);
@@ -126,10 +126,10 @@ mod tests {
         let mut rl = RateLimiter::new(0.0, 100.0);
         let mut now = SimTime::ZERO;
         assert!(rl.try_consume(now, 100).is_accepted());
-        now = now + SimDuration::from_secs(10);
+        now += SimDuration::from_secs(10);
         assert_eq!(rl.try_consume(now, 100), SendOutcome::WouldBlock);
         rl.set_rate(1_000.0);
-        now = now + SimDuration::from_secs(1);
+        now += SimDuration::from_secs(1);
         assert!(rl.try_consume(now, 100).is_accepted());
     }
 

@@ -94,8 +94,7 @@ pub struct TfrcSender {
 impl TfrcSender {
     /// Creates a sender with the given configuration.
     pub fn new(config: TfrcConfig) -> Self {
-        let initial_rate =
-            config.packet_size as f64 / config.initial_rtt.as_secs_f64().max(1e-3);
+        let initial_rate = config.packet_size as f64 / config.initial_rtt.as_secs_f64().max(1e-3);
         let burst = (config.burst_packets * config.packet_size) as f64;
         TfrcSender {
             config,
@@ -162,8 +161,7 @@ impl TfrcSender {
         if sample > SimDuration::ZERO {
             if self.has_rtt_sample {
                 // Standard EWMA with q = 0.9.
-                let smoothed =
-                    0.9 * self.rtt.as_secs_f64() + 0.1 * sample.as_secs_f64();
+                let smoothed = 0.9 * self.rtt.as_secs_f64() + 0.1 * sample.as_secs_f64();
                 self.rtt = SimDuration::from_secs_f64(smoothed);
             } else {
                 self.rtt = sample;
@@ -205,10 +203,7 @@ impl TfrcSender {
     /// halved — the congestion signal for a completely silent path. Returns
     /// `true` if the rate was reduced.
     pub fn maybe_nofeedback_timeout(&mut self, now: SimTime) -> bool {
-        let deadline = self
-            .rtt
-            .saturating_mul(4)
-            .max(SimDuration::from_secs(2));
+        let deadline = self.rtt.saturating_mul(4).max(SimDuration::from_secs(2));
         let since = match self.last_feedback {
             Some(t) => now.saturating_since(t),
             // Never had feedback: only back off once we have sent something.
@@ -261,8 +256,14 @@ impl TfrcReceiver {
 
     /// Processes an arriving data packet. Returns a feedback packet when one
     /// is due (roughly once per RTT).
-    pub fn on_data(&mut self, now: SimTime, header: TfrcHeader, size_bytes: u32) -> Option<TfrcFeedback> {
-        self.detector.on_packet(now, header.seq, header.rtt_estimate);
+    pub fn on_data(
+        &mut self,
+        now: SimTime,
+        header: TfrcHeader,
+        size_bytes: u32,
+    ) -> Option<TfrcFeedback> {
+        self.detector
+            .on_packet(now, header.seq, header.rtt_estimate);
         self.bytes_received += size_bytes as u64;
         self.bytes_since_feedback += size_bytes as u64;
         self.packets_received += 1;
@@ -316,15 +317,10 @@ mod tests {
             for (at, fb) in pending_feedback.drain(..) {
                 sender.on_feedback(at, &fb);
             }
-            loop {
-                match sender.try_send(now, 1_500) {
-                    Ok(header) => {
-                        let arrive = now + SimDuration::from_millis(50);
-                        if let Some(fb) = receiver.on_data(arrive, header, 1_500) {
-                            pending_feedback.push((arrive + SimDuration::from_millis(50), fb));
-                        }
-                    }
-                    Err(_) => break,
+            while let Ok(header) = sender.try_send(now, 1_500) {
+                let arrive = now + SimDuration::from_millis(50);
+                if let Some(fb) = receiver.on_data(arrive, header, 1_500) {
+                    pending_feedback.push((arrive + SimDuration::from_millis(50), fb));
                 }
             }
         }
@@ -336,7 +332,11 @@ mod tests {
         let (sender, receiver) = drive_lossless(50);
         // With no loss the sender should have ramped well past its initial
         // one-packet-per-RTT rate.
-        assert!(sender.allowed_rate() > 50_000.0, "rate={}", sender.allowed_rate());
+        assert!(
+            sender.allowed_rate() > 50_000.0,
+            "rate={}",
+            sender.allowed_rate()
+        );
         assert!(receiver.loss_event_rate() == 0.0);
         assert!(sender.packets_sent > 100);
     }
@@ -364,7 +364,10 @@ mod tests {
             );
         }
         let before = sender.allowed_rate();
-        assert!(before > 500_000.0, "slow start should have ramped up, rate={before}");
+        assert!(
+            before > 500_000.0,
+            "slow start should have ramped up, rate={before}"
+        );
         sender.on_feedback(
             SimTime::from_millis(1_200),
             &TfrcFeedback {
@@ -375,13 +378,24 @@ mod tests {
             },
         );
         let after = sender.allowed_rate();
-        assert!(after < before, "rate should drop on loss ({before} -> {after})");
+        assert!(
+            after < before,
+            "rate should drop on loss ({before} -> {after})"
+        );
         assert!(!sender.in_slow_start());
         // And it should be close to the response-function value.
-        let expected = tcp_throughput(1_500.0, sender.rtt().as_secs_f64(), 0.05, 4.0 * sender.rtt().as_secs_f64())
-            .bytes_per_sec;
+        let expected = tcp_throughput(
+            1_500.0,
+            sender.rtt().as_secs_f64(),
+            0.05,
+            4.0 * sender.rtt().as_secs_f64(),
+        )
+        .bytes_per_sec;
         let ratio = after / expected;
-        assert!((0.5..=2.0).contains(&ratio), "after={after} expected={expected}");
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "after={after} expected={expected}"
+        );
     }
 
     #[test]
@@ -454,6 +468,9 @@ mod tests {
             }
         }
         // 1500 B every 10 ms = 150 KB/s.
-        assert!((100_000.0..200_000.0).contains(&last_rate), "rate={last_rate}");
+        assert!(
+            (100_000.0..200_000.0).contains(&last_rate),
+            "rate={last_rate}"
+        );
     }
 }

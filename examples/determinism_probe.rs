@@ -1,0 +1,29 @@
+//! Prints the deterministic fingerprint of a fixed 64-node Bullet run.
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/bullet64.rs`) is asserted against golden values there;
+//! this example exists so the fingerprint can be (re)captured on any build
+//! of the simulator — it was used to verify that the zero-allocation
+//! simulator refactor (route interning, pooled flights, generation-stamped
+//! timers) reproduces the pre-refactor event sequence bit for bit.
+//!
+//! Run with `cargo run --release --example determinism_probe`.
+
+#[path = "../tests/support/bullet64.rs"]
+mod bullet64;
+
+fn main() {
+    let (c, digest, bytes_sent) = bullet64::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+}

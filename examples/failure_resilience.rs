@@ -61,9 +61,8 @@ fn mean_between(result: &RunResult, from: f64, to: f64) -> f64 {
 }
 
 fn main() {
-    let topology = generate(
-        &TopologyConfig::small(30, 23).with_bandwidth(BandwidthProfile::Medium),
-    );
+    let topology =
+        generate(&TopologyConfig::small(30, 23).with_bandwidth(BandwidthProfile::Medium));
     let mut rng = SimRng::new(23);
     let tree = random_tree(topology.participants(), 0, 5, &mut rng);
     let victim = tree

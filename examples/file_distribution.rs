@@ -22,9 +22,7 @@ const OBJECTS_PER_BLOCK: u32 = 100;
 fn main() {
     // A constrained topology: the interesting case for file distribution is
     // when no single tree can carry the full rate to everyone.
-    let topology = generate(
-        &TopologyConfig::small(24, 7).with_bandwidth(BandwidthProfile::Low),
-    );
+    let topology = generate(&TopologyConfig::small(24, 7).with_bandwidth(BandwidthProfile::Low));
     let mut rng = SimRng::new(7);
     let tree = random_tree(topology.participants(), 0, 6, &mut rng);
 

@@ -10,13 +10,13 @@
 //!
 //! Run with `cargo run --release --example live_mesh`.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use bullet_suite::bullet::{BulletConfig, BulletMsg, BulletNode};
-use bullet_suite::netsim::{Action, Agent, Context, SimRng, SimTime, TimerId};
+use bullet_suite::netsim::{Action, Agent, Context, SimRng, SimTime, TimerAlloc, TimerId};
 use bullet_suite::overlay::random_tree;
 
 const NODES: usize = 8;
@@ -57,16 +57,17 @@ fn node_loop(
     seed: u64,
 ) -> BulletNode {
     let mut rng = SimRng::new(seed);
-    let mut next_timer_id = 0u64;
+    let mut timer_alloc = TimerAlloc::new();
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
-    let mut cancelled: HashSet<TimerId> = HashSet::new();
     let now_sim = |start: Instant| SimTime::from_micros(start.elapsed().as_micros() as u64);
     let my_id = node.id();
 
-    // Apply the actions an agent callback produced.
+    // Apply the actions an agent callback produced. Cancellation retires the
+    // timer's generation-stamped slot, so a cancelled entry still in the
+    // heap is recognized as dead when it surfaces.
     let apply = |actions: Vec<Action<BulletMsg>>,
-                     timers: &mut BinaryHeap<PendingTimer>,
-                     cancelled: &mut HashSet<TimerId>| {
+                 timers: &mut BinaryHeap<PendingTimer>,
+                 timer_alloc: &mut TimerAlloc| {
         for action in actions {
             match action {
                 Action::Send { to, msg, .. } => {
@@ -79,7 +80,7 @@ fn node_loop(
                     tag,
                 }),
                 Action::CancelTimer(id) => {
-                    cancelled.insert(id);
+                    timer_alloc.retire(id);
                 }
             }
         }
@@ -87,10 +88,16 @@ fn node_loop(
 
     let mut actions = Vec::new();
     {
-        let mut ctx = Context::new(now_sim(start), my_id, &mut rng, &mut actions, &mut next_timer_id);
+        let mut ctx = Context::new(
+            now_sim(start),
+            my_id,
+            &mut rng,
+            &mut actions,
+            &mut timer_alloc,
+        );
         node.on_start(&mut ctx);
     }
-    apply(actions, &mut timers, &mut cancelled);
+    apply(actions, &mut timers, &mut timer_alloc);
 
     while Instant::now() < deadline {
         // Fire due timers.
@@ -99,16 +106,21 @@ fn node_loop(
                 break;
             }
             let timer = timers.pop().expect("peeked");
-            if cancelled.remove(&timer.id) {
-                continue;
+            if timer_alloc.retire(timer.id).is_none() {
+                continue; // cancelled before expiry
             }
             let mut actions = Vec::new();
             {
-                let mut ctx =
-                    Context::new(now_sim(start), my_id, &mut rng, &mut actions, &mut next_timer_id);
+                let mut ctx = Context::new(
+                    now_sim(start),
+                    my_id,
+                    &mut rng,
+                    &mut actions,
+                    &mut timer_alloc,
+                );
                 node.on_timer(&mut ctx, timer.tag);
             }
-            apply(actions, &mut timers, &mut cancelled);
+            apply(actions, &mut timers, &mut timer_alloc);
         }
         // Wait for the next message or the next timer, whichever is sooner.
         let wait = timers
@@ -125,11 +137,11 @@ fn node_loop(
                         my_id,
                         &mut rng,
                         &mut actions,
-                        &mut next_timer_id,
+                        &mut timer_alloc,
                     );
                     node.on_message(&mut ctx, from, msg);
                 }
-                apply(actions, &mut timers, &mut cancelled);
+                apply(actions, &mut timers, &mut timer_alloc);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -181,5 +193,7 @@ fn main() {
             node.sender_peers(),
         );
     }
-    println!("the same BulletNode code ran here under threads and real time instead of the simulator");
+    println!(
+        "the same BulletNode code ran here under threads and real time instead of the simulator"
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
     // 2. A random overlay tree rooted at participant 0 (the stream source).
     let mut rng = SimRng::new(42);
     let tree = random_tree(topology.participants(), 0, 6, &mut rng);
-    println!("overlay tree: height {}, max degree {}", tree.height(), tree.max_degree());
+    println!(
+        "overlay tree: height {}, max degree {}",
+        tree.height(),
+        tree.max_degree()
+    );
 
     // 3. One Bullet node per participant, streaming 600 Kbps from the root.
     let config = BulletConfig {
@@ -54,11 +58,14 @@ fn main() {
 
     println!("\naverage useful bandwidth over time (Kbps):");
     for (t, kbps) in result.times.iter().zip(&result.useful.kbps) {
-        if *t as u64 % 10 == 0 {
+        if (*t as u64).is_multiple_of(10) {
             println!("  t={t:>5.0}s  {kbps:>7.1}");
         }
     }
-    println!("\nsteady state: {:.0} Kbps useful per node", result.steady_state_kbps());
+    println!(
+        "\nsteady state: {:.0} Kbps useful per node",
+        result.steady_state_kbps()
+    );
     println!(
         "duplicates: {:.1}%   control overhead: {:.1} Kbps/node   median delivery: {:.0}%",
         result.summary.duplicate_fraction * 100.0,

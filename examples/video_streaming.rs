@@ -53,7 +53,10 @@ fn run_tree(topology: &BuiltTopology, tree: &Tree) -> RunResult {
     let agents: Vec<StreamingNode> = (0..topology.participants())
         .map(|id| StreamingNode::new(id, tree, config.clone()))
         .collect();
-    run_metered(Sim::new(&topology.spec, agents, 11), &spec("Tree streaming"))
+    run_metered(
+        Sim::new(&topology.spec, agents, 11),
+        &spec("Tree streaming"),
+    )
 }
 
 fn describe(label: &str, result: &RunResult) {
@@ -61,7 +64,10 @@ fn describe(label: &str, result: &RunResult) {
     let cdf: Cdf = result.instantaneous_cdf(at);
     let layers = |kbps: f64| (kbps / DESCRIPTION_KBPS).floor().min(DESCRIPTIONS as f64);
     println!("\n{label}:");
-    println!("  steady state useful bandwidth: {:.0} Kbps per node", result.steady_state_kbps());
+    println!(
+        "  steady state useful bandwidth: {:.0} Kbps per node",
+        result.steady_state_kbps()
+    );
     println!(
         "  per-node instantaneous bandwidth at t={:.0}s: p10 {:.0}, median {:.0}, p90 {:.0} Kbps",
         at,
@@ -88,9 +94,7 @@ fn describe(label: &str, result: &RunResult) {
 }
 
 fn main() {
-    let topology = generate(
-        &TopologyConfig::small(25, 11).with_bandwidth(BandwidthProfile::Low),
-    );
+    let topology = generate(&TopologyConfig::small(25, 11).with_bandwidth(BandwidthProfile::Low));
     let mut rng = SimRng::new(11);
     let tree = random_tree(topology.participants(), 0, 6, &mut rng);
     println!(

@@ -1,0 +1,39 @@
+//! Determinism regression tests for the simulator refactor.
+//!
+//! The zero-allocation simulator rework (interned `RouteId` routes, pooled
+//! flight slab, generation-stamped timer slots, 4-ary event queue with a
+//! current-instant FIFO) must not change a single simulated timestamp, drop
+//! decision, or RNG draw. The golden values below were captured by running
+//! `examples/determinism_probe.rs` against the *pre-refactor* simulator
+//! (seed commit, `Vec`-path flights + `BinaryHeap` + cancelled-timer set)
+//! and are asserted against the current implementation here. The workload
+//! itself lives in `tests/support/bullet64.rs`, shared with the probe.
+
+#[path = "support/bullet64.rs"]
+mod bullet64;
+
+/// The refactored simulator must reproduce the pre-refactor run exactly.
+#[test]
+fn bullet_64_matches_pre_refactor_golden_run() {
+    let (counters, digest, bytes_sent) = bullet64::fingerprint();
+    // Captured from the pre-refactor simulator (see module docs).
+    assert_eq!(counters.delivered, 61_237);
+    assert_eq!(counters.dropped_in_network, 92);
+    assert_eq!(counters.dropped_dest_failed, 0);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.timers_fired, 7_374);
+    assert_eq!(counters.events, 252_623);
+    assert_eq!(digest, 0xb60f_4497_7cd1_2016);
+    assert_eq!(bytes_sent, 143_402_772);
+}
+
+/// Two runs with the same seed must be byte-identical, including the event
+/// count (which covers event ordering, not just outcomes).
+#[test]
+fn bullet_64_is_deterministic_across_runs() {
+    let first = bullet64::fingerprint();
+    let second = bullet64::fingerprint();
+    assert_eq!(first.0, second.0);
+    assert_eq!(first.1, second.1);
+    assert_eq!(first.2, second.2);
+}

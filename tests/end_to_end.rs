@@ -3,8 +3,8 @@
 
 use bullet_suite::baselines::{StreamConfig, StreamTransport, StreamingNode};
 use bullet_suite::bullet::{BulletConfig, BulletNode};
-use bullet_suite::experiments::{run_metered, RunResult, RunSpec, Scale, TreeKind};
 use bullet_suite::experiments::{build_topology, build_tree};
+use bullet_suite::experiments::{run_metered, RunResult, RunSpec, Scale, TreeKind};
 use bullet_suite::netsim::{Sim, SimDuration, SimTime};
 use bullet_suite::overlay::Tree;
 use bullet_suite::topology::{BandwidthProfile, BuiltTopology, LossProfile};
@@ -133,7 +133,13 @@ fn identical_seeds_reproduce_identical_results() {
 
 #[test]
 fn offline_bottleneck_tree_beats_a_random_tree_for_plain_streaming() {
-    let topo = build_topology(Scale::Small, 24, BandwidthProfile::Medium, LossProfile::None, 105);
+    let topo = build_topology(
+        Scale::Small,
+        24,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        105,
+    );
     let random = build_tree(&topo, TreeKind::Random { max_children: 8 }, 0, 105);
     let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, 105);
     let random_run = run_streaming(&topo, &random, 105, 120);

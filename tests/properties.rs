@@ -1,6 +1,13 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! The build environment has no access to crates.io, so instead of the
+//! `proptest` DSL these properties are exercised with an explicit
+//! seeded-case loop: each test draws many random inputs from the workspace's
+//! own deterministic [`SimRng`] and asserts the invariant on every case.
+//! Failures print the offending case number, which (with the fixed seeds)
+//! reproduces deterministically.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use bullet_suite::codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
 use bullet_suite::content::{BloomFilter, PermutationFamily, SummaryTicket, WorkingSet};
@@ -9,45 +16,68 @@ use bullet_suite::overlay::{random_tree, Tree};
 use bullet_suite::ransub::{compact, Member, WeightedSet};
 use bullet_suite::transport::tcp_throughput_bps;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// A Bloom filter never forgets an inserted key (no false negatives).
-    #[test]
-    fn bloom_filter_has_no_false_negatives(keys in prop::collection::hash_set(0u64..1_000_000, 1..500)) {
+/// Draws a value uniformly from `[lo, hi)`.
+fn gen_range(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi);
+    lo + rng.next_u64() % (hi - lo)
+}
+
+/// Draws a random set of distinct values from `[lo, hi)` with a size drawn
+/// from `[min_len, max_len)`.
+fn gen_set(rng: &mut SimRng, lo: u64, hi: u64, min_len: usize, max_len: usize) -> BTreeSet<u64> {
+    let target = gen_range(rng, min_len as u64, max_len as u64) as usize;
+    let mut set = BTreeSet::new();
+    while set.len() < target {
+        set.insert(gen_range(rng, lo, hi));
+    }
+    set
+}
+
+/// A Bloom filter never forgets an inserted key (no false negatives).
+#[test]
+fn bloom_filter_has_no_false_negatives() {
+    let mut rng = SimRng::new(0xB100);
+    for case in 0..CASES {
+        let keys = gen_set(&mut rng, 0, 1_000_000, 1, 500);
         let mut filter = BloomFilter::for_capacity(keys.len(), 0.01);
         for &key in &keys {
             filter.insert(key);
         }
         for &key in &keys {
-            prop_assert!(filter.contains(key));
+            assert!(filter.contains(key), "case {case}: lost key {key}");
         }
     }
+}
 
-    /// Summary-ticket resemblance is symmetric, bounded, and equal to 1 for
-    /// identical working sets.
-    #[test]
-    fn summary_ticket_resemblance_properties(
-        a in prop::collection::hash_set(0u64..100_000, 1..300),
-        b in prop::collection::hash_set(0u64..100_000, 1..300),
-    ) {
-        let family = PermutationFamily::paper_default();
+/// Summary-ticket resemblance is symmetric, bounded, and equal to 1 for
+/// identical working sets.
+#[test]
+fn summary_ticket_resemblance_properties() {
+    let family = PermutationFamily::paper_default();
+    let mut rng = SimRng::new(0x51C4);
+    for case in 0..CASES {
+        let a = gen_set(&mut rng, 0, 100_000, 1, 300);
+        let b = gen_set(&mut rng, 0, 100_000, 1, 300);
         let ta = SummaryTicket::from_elements(&family, a.iter().copied());
         let tb = SummaryTicket::from_elements(&family, b.iter().copied());
         let r_ab = ta.resemblance(&tb);
         let r_ba = tb.resemblance(&ta);
-        prop_assert!((r_ab - r_ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&r_ab));
-        prop_assert_eq!(ta.resemblance(&ta), 1.0);
+        assert!((r_ab - r_ba).abs() < 1e-12, "case {case}: asymmetric");
+        assert!((0.0..=1.0).contains(&r_ab), "case {case}: out of range");
+        assert_eq!(ta.resemblance(&ta), 1.0, "case {case}");
     }
+}
 
-    /// Working-set pruning never drops sequence numbers above the watermark
-    /// and never resurrects pruned ones.
-    #[test]
-    fn working_set_pruning_invariants(
-        seqs in prop::collection::hash_set(0u64..10_000, 1..400),
-        cutoff in 0u64..10_000,
-    ) {
+/// Working-set pruning never drops sequence numbers above the watermark and
+/// never resurrects pruned ones.
+#[test]
+fn working_set_pruning_invariants() {
+    let mut rng = SimRng::new(0x3033);
+    for case in 0..CASES {
+        let seqs = gen_set(&mut rng, 0, 10_000, 1, 400);
+        let cutoff = gen_range(&mut rng, 0, 10_000);
         let mut ws = WorkingSet::new();
         for &seq in &seqs {
             ws.insert(seq);
@@ -55,41 +85,52 @@ proptest! {
         ws.prune_below(cutoff);
         for &seq in &seqs {
             if seq >= cutoff {
-                prop_assert!(ws.contains(seq));
+                assert!(ws.contains(seq), "case {case}: dropped live seq {seq}");
             } else {
-                prop_assert!(!ws.contains(seq));
-                prop_assert!(!ws.insert(seq));
+                assert!(!ws.contains(seq), "case {case}: kept pruned seq {seq}");
+                assert!(!ws.insert(seq), "case {case}: resurrected seq {seq}");
             }
         }
-        prop_assert!(ws.low_watermark() >= cutoff.min(ws.low_watermark().max(cutoff)));
+        assert!(ws.low_watermark() >= cutoff.min(ws.low_watermark().max(cutoff)));
     }
+}
 
-    /// LT codes recover the original block from any sufficiently large set of
-    /// distinct encoded symbols.
-    #[test]
-    fn lt_codes_round_trip(k in 4usize..80, seed in 0u64..1_000, skip in 1u64..4) {
+/// LT codes recover the original block from any sufficiently large set of
+/// distinct encoded symbols.
+#[test]
+fn lt_codes_round_trip() {
+    let mut rng = SimRng::new(0x17C0);
+    for case in 0..CASES {
+        let k = gen_range(&mut rng, 4, 80) as usize;
+        let seed = gen_range(&mut rng, 0, 1_000);
+        let skip = gen_range(&mut rng, 1, 4);
         let source: Vec<Vec<u8>> = (0..k).map(|i| vec![(i % 251) as u8; 32]).collect();
         let encoder = LtEncoder::new(source.clone(), seed);
         let mut decoder = LtDecoder::new(k, 32, seed);
         let mut id = 0u64;
         while !decoder.is_complete() && id < 50 * k as u64 {
-            if id % skip == 0 {
+            if id.is_multiple_of(skip) {
                 decoder.add(&encoder.symbol(id));
             }
             id += 1;
         }
-        prop_assert!(decoder.is_complete(), "k={k} never decoded");
-        prop_assert_eq!(decoder.into_source().unwrap(), source);
+        assert!(decoder.is_complete(), "case {case}: k={k} never decoded");
+        assert_eq!(decoder.into_source().unwrap(), source, "case {case}");
     }
+}
 
-    /// Tornado decoding is always *correct*: whatever subset of packets
-    /// arrives (check packets included), once the decoder reports completion
-    /// the reconstructed block equals the original. Recovery from a given
-    /// loss pattern is probabilistic for a sparse single-layer code, so the
-    /// property feeds the initially dropped packets afterwards if needed and
-    /// requires eventual completion with the full packet set.
-    #[test]
-    fn tornado_codes_decode_correctly(k in 8usize..60, drop_every in 5u64..15) {
+/// Tornado decoding is always *correct*: whatever subset of packets arrives
+/// (check packets included), once the decoder reports completion the
+/// reconstructed block equals the original. Recovery from a given loss
+/// pattern is probabilistic for a sparse single-layer code, so the test
+/// feeds the initially dropped packets afterwards if needed and requires
+/// eventual completion with the full packet set.
+#[test]
+fn tornado_codes_decode_correctly() {
+    let mut rng = SimRng::new(0x70B0);
+    for case in 0..CASES {
+        let k = gen_range(&mut rng, 8, 60) as usize;
+        let drop_every = gen_range(&mut rng, 5, 15);
         let source: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 7 % 256) as u8; 16]).collect();
         let encoder = TornadoEncoder::new(source.clone(), 5, 2.0, 4);
         let mut decoder = TornadoDecoder::new(k, 16, 5, 4);
@@ -108,76 +149,115 @@ proptest! {
             }
             decoder.add(&encoder.symbol(index));
         }
-        prop_assert!(decoder.is_complete());
-        prop_assert_eq!(decoder.into_source().unwrap(), source);
+        assert!(decoder.is_complete(), "case {case}: k={k}");
+        assert_eq!(decoder.into_source().unwrap(), source, "case {case}");
     }
+}
 
-    /// Compact never emits duplicates, never exceeds the requested size, and
-    /// reports the combined population.
-    #[test]
-    fn compact_invariants(
-        sizes in prop::collection::vec((1usize..8, 1u64..100), 1..6),
-        set_size in 1usize..12,
-        seed in 0u64..500,
-    ) {
-        let mut rng = SimRng::new(seed);
+/// Compact never emits duplicates, never exceeds the requested size, and
+/// reports the combined population.
+#[test]
+fn compact_invariants() {
+    let mut rng = SimRng::new(0xC03A);
+    for case in 0..CASES {
+        let n_sets = gen_range(&mut rng, 1, 6) as usize;
+        let sizes: Vec<(usize, u64)> = (0..n_sets)
+            .map(|_| {
+                (
+                    gen_range(&mut rng, 1, 8) as usize,
+                    gen_range(&mut rng, 1, 100),
+                )
+            })
+            .collect();
+        let set_size = gen_range(&mut rng, 1, 12) as usize;
         let mut next_node = 0usize;
-        let inputs: Vec<WeightedSet<u32>> = sizes.iter().map(|&(members, population)| {
-            let members: Vec<Member<u32>> = (0..members).map(|_| {
-                next_node += 1;
-                Member { node: next_node, state: next_node as u32 }
-            }).collect();
-            WeightedSet { members, population }
-        }).collect();
+        let inputs: Vec<WeightedSet<u32>> = sizes
+            .iter()
+            .map(|&(members, population)| {
+                let members: Vec<Member<u32>> = (0..members)
+                    .map(|_| {
+                        next_node += 1;
+                        Member {
+                            node: next_node,
+                            state: next_node as u32,
+                        }
+                    })
+                    .collect();
+                WeightedSet {
+                    members,
+                    population,
+                }
+            })
+            .collect();
         let out = compact(&inputs, set_size, &mut rng);
-        prop_assert!(out.members.len() <= set_size);
+        assert!(out.members.len() <= set_size, "case {case}: oversized");
         let mut nodes: Vec<_> = out.members.iter().map(|m| m.node).collect();
         nodes.sort_unstable();
         let distinct = nodes.len();
         nodes.dedup();
-        prop_assert_eq!(nodes.len(), distinct);
-        prop_assert_eq!(out.population, sizes.iter().map(|&(_, p)| p).sum::<u64>());
+        assert_eq!(nodes.len(), distinct, "case {case}: duplicate members");
+        assert_eq!(
+            out.population,
+            sizes.iter().map(|&(_, p)| p).sum::<u64>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Random trees are always valid rooted trees that respect their degree
-    /// bound and contain every participant.
-    #[test]
-    fn random_trees_are_valid(n in 1usize..200, max_children in 1usize..8, seed in 0u64..1_000) {
-        let mut rng = SimRng::new(seed);
-        let tree = random_tree(n, 0, max_children, &mut rng);
-        prop_assert_eq!(tree.len(), n);
-        prop_assert_eq!(tree.subtree_size(0), n);
-        prop_assert!(tree.max_degree() <= max_children);
-        // Rebuilding from the parent array must succeed (validates acyclicity).
-        prop_assert!(Tree::from_parents(tree.parents().to_vec()).is_ok());
+/// Random trees are always valid rooted trees that respect their degree
+/// bound and contain every participant.
+#[test]
+fn random_trees_are_valid() {
+    let mut rng = SimRng::new(0x73EE);
+    for case in 0..CASES {
+        let n = gen_range(&mut rng, 1, 200) as usize;
+        let max_children = gen_range(&mut rng, 1, 8) as usize;
+        let seed = gen_range(&mut rng, 0, 1_000);
+        let mut tree_rng = SimRng::new(seed);
+        let tree = random_tree(n, 0, max_children, &mut tree_rng);
+        assert_eq!(tree.len(), n, "case {case}");
+        assert_eq!(tree.subtree_size(0), n, "case {case}");
+        assert!(tree.max_degree() <= max_children, "case {case}");
+        // Rebuilding from the parent array must succeed (validates
+        // acyclicity).
+        assert!(
+            Tree::from_parents(tree.parents().to_vec()).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    /// The TCP response function is monotonically decreasing in both loss and
-    /// RTT.
-    #[test]
-    fn tcp_throughput_is_monotone(
-        rtt_ms in 1u32..500,
-        loss_milli in 1u32..300,
-    ) {
-        let rtt = rtt_ms as f64 / 1_000.0;
-        let loss = loss_milli as f64 / 1_000.0;
+/// The TCP response function is monotonically decreasing in both loss and
+/// RTT.
+#[test]
+fn tcp_throughput_is_monotone() {
+    let mut rng = SimRng::new(0x7C40);
+    for case in 0..CASES {
+        let rtt = gen_range(&mut rng, 1, 500) as f64 / 1_000.0;
+        let loss = gen_range(&mut rng, 1, 300) as f64 / 1_000.0;
         let base = tcp_throughput_bps(1_500.0, rtt, loss);
         let more_loss = tcp_throughput_bps(1_500.0, rtt, (loss * 1.5).min(0.999));
         let more_rtt = tcp_throughput_bps(1_500.0, rtt * 1.5, loss);
-        prop_assert!(base > 0.0);
-        prop_assert!(more_loss <= base + 1e-9);
-        prop_assert!(more_rtt <= base + 1e-9);
+        assert!(base > 0.0, "case {case}");
+        assert!(more_loss <= base + 1e-9, "case {case}");
+        assert!(more_rtt <= base + 1e-9, "case {case}");
     }
+}
 
-    /// Framing maps sequence numbers to (block, offset) pairs and back without
-    /// loss.
-    #[test]
-    fn framing_round_trips(seq in 0u64..1_000_000, per_block in 1u32..500, bytes in 1u32..2_000) {
+/// Framing maps sequence numbers to (block, offset) pairs and back without
+/// loss.
+#[test]
+fn framing_round_trips() {
+    let mut rng = SimRng::new(0xF4A3);
+    for case in 0..CASES {
+        let seq = gen_range(&mut rng, 0, 1_000_000);
+        let per_block = gen_range(&mut rng, 1, 500) as u32;
+        let bytes = gen_range(&mut rng, 1, 2_000) as u32;
         let framing = Framing::new(per_block, bytes);
         let object = framing.object_of(seq);
-        prop_assert_eq!(framing.seq_of(object), seq);
-        prop_assert!(object.offset < per_block);
+        assert_eq!(framing.seq_of(object), seq, "case {case}");
+        assert!(object.offset < per_block, "case {case}");
         let (low, high) = framing.block_range(object.block);
-        prop_assert!((low..=high).contains(&seq));
+        assert!((low..=high).contains(&seq), "case {case}");
     }
 }

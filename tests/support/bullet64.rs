@@ -1,0 +1,67 @@
+//! The fixed 64-node Bullet golden workload.
+//!
+//! Shared (via `#[path]` inclusion) by `tests/determinism.rs`, which asserts
+//! the pre-refactor golden fingerprint, and
+//! `examples/determinism_probe.rs`, which recaptures it. Keeping one copy
+//! guarantees a recaptured fingerprint describes exactly the workload the
+//! regression test runs.
+
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::netsim::{LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime};
+use bullet_suite::overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2003;
+const RUN_SECS: u64 = 20;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links)`.
+pub fn fingerprint() -> (SimCounters, u64, u64) {
+    // Star topology: one core router, one stub router per participant.
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ..BulletConfig::default()
+    };
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, SEED);
+    sim.run_until(SimTime::from_secs(RUN_SECS));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for node in 0..NODES {
+        let m = &sim.agent(node).metrics;
+        let t = sim.traffic(node);
+        for v in [
+            m.useful_packets,
+            m.useful_bytes,
+            m.raw_bytes,
+            m.duplicate_packets,
+            m.total_packets,
+            t.data_bytes_in,
+            t.control_bytes_in,
+            t.data_bytes_out,
+            t.control_bytes_out,
+        ] {
+            digest = mix(digest, v);
+        }
+    }
+    (sim.counters(), digest, sim.network().total_bytes_sent())
+}
