@@ -18,9 +18,15 @@ pub struct RobustSoliton {
 
 impl RobustSoliton {
     /// Builds the distribution with the customary parameters
-    /// (`c`, `delta`) controlling the spike and tail.
+    /// (`c`, `delta`) controlling the spike and tail. `k == 0` yields the
+    /// empty distribution (every sampled degree is 0), so a decoder for an
+    /// empty block is representable.
     pub fn new(k: usize, c: f64, delta: f64) -> Self {
-        assert!(k > 0);
+        if k == 0 {
+            return RobustSoliton {
+                cumulative: Vec::new(),
+            };
+        }
         let kf = k as f64;
         let r = c * (kf / delta).ln() * kf.sqrt();
         let spike = ((kf / r).floor() as usize).clamp(1, k);

@@ -40,8 +40,11 @@ fn xor_into(target: &mut [u8], other: &[u8]) {
 
 impl PeelingDecoder {
     /// Creates a decoder for `k` source symbols of `symbol_bytes` bytes.
+    ///
+    /// `k == 0` is the legal degenerate of an empty block (a working set's
+    /// empty tail): the decoder is complete immediately and ignores any
+    /// symbols fed to it.
     pub fn new(k: usize, symbol_bytes: usize) -> Self {
-        assert!(k > 0, "need at least one source symbol");
         PeelingDecoder {
             k,
             symbol_bytes,
@@ -68,8 +71,12 @@ impl PeelingDecoder {
         self.recovered_count == self.k
     }
 
-    /// Reception overhead so far: symbols consumed divided by `k`.
+    /// Reception overhead so far: symbols consumed divided by `k` (0 for
+    /// the empty block, which needs no symbols at all).
     pub fn overhead(&self) -> f64 {
+        if self.k == 0 {
+            return 0.0;
+        }
         self.symbols_seen as f64 / self.k as f64
     }
 

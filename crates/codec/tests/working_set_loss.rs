@@ -1,0 +1,198 @@
+//! Round-trip tests for the erasure codes over a *full working set* under
+//! the paper's §4.5 loss profile, including the empty-block and
+//! single-block edge cases.
+//!
+//! A working set is framed into fixed-size blocks ([`Framing`]); the stream
+//! is truncated mid-block so the tail block carries a single object and the
+//! block after it is empty — both legal degenerates a receiver encounters
+//! at the end of a transfer. Each block crosses its own lossy "path" with a
+//! per-packet drop rate drawn from the paper's lossy-network model:
+//! non-transit links lose up to 0.3% of packets and a random 5% of links
+//! are overloaded at 5–10% loss.
+
+use bullet_codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
+
+/// Deterministic splitmix64 channel randomness (the codec crate has no RNG
+/// dependency of its own).
+struct Channel(u64);
+
+impl Channel {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws one block-path's loss rate from the paper's §4.5 model: 5% of
+    /// links overloaded at 5–10% loss, the rest at 0–0.3%.
+    fn paper_loss_rate(&mut self) -> f64 {
+        if self.unit() < 0.05 {
+            0.05 + self.unit() * 0.05
+        } else {
+            self.unit() * 0.003
+        }
+    }
+
+    fn drops(&mut self, rate: f64) -> bool {
+        self.unit() < rate
+    }
+}
+
+const OBJECT_BYTES: u32 = 48;
+const OBJECTS_PER_BLOCK: u32 = 24;
+/// 12 full blocks, then a block with a single object; the block after the
+/// end of the stream is empty.
+const TOTAL_OBJECTS: u64 = OBJECTS_PER_BLOCK as u64 * 12 + 1;
+
+/// Deterministic payload of one object.
+fn object_payload(seq: u64) -> Vec<u8> {
+    (0..OBJECT_BYTES as u64)
+        .map(|i| (seq.wrapping_mul(31).wrapping_add(i * 7) & 0xFF) as u8)
+        .collect()
+}
+
+/// The framed working set: per-block source symbol vectors (the tail block
+/// has one object, the one after it zero).
+fn working_set() -> Vec<Vec<Vec<u8>>> {
+    let framing = Framing::new(OBJECTS_PER_BLOCK, OBJECT_BYTES);
+    let last_block = framing.object_of(TOTAL_OBJECTS - 1).block;
+    let mut blocks: Vec<Vec<Vec<u8>>> = vec![Vec::new(); last_block as usize + 2];
+    for seq in 0..TOTAL_OBJECTS {
+        let id = framing.object_of(seq);
+        blocks[id.block as usize].push(object_payload(seq));
+    }
+    assert_eq!(blocks[last_block as usize].len(), 1, "single-object tail");
+    assert!(
+        blocks.last().unwrap().is_empty(),
+        "empty block past the end"
+    );
+    blocks
+}
+
+#[test]
+fn lt_decodes_the_full_working_set_under_paper_loss() {
+    let blocks = working_set();
+    let mut channel = Channel(0x17C0_1055);
+    let mut overheads = Vec::new();
+    for (block_idx, source) in blocks.iter().enumerate() {
+        let seed = 0xB17 + block_idx as u64;
+        let k = source.len();
+        let mut decoder = LtDecoder::new(k, OBJECT_BYTES as usize, seed);
+        if k == 0 {
+            assert!(decoder.is_complete(), "empty block decodes from nothing");
+            assert_eq!(decoder.into_source(), Some(Vec::new()));
+            continue;
+        }
+        let encoder = LtEncoder::new(source.clone(), seed);
+        let loss = channel.paper_loss_rate();
+        let mut id = 0u64;
+        while !decoder.is_complete() {
+            assert!(id < 100 * k as u64 + 100, "block {block_idx} never decoded");
+            if !channel.drops(loss) {
+                decoder.add(&encoder.symbol(id));
+            }
+            id += 1;
+        }
+        overheads.push(decoder.overhead());
+        assert_eq!(
+            decoder.into_source().unwrap(),
+            *source,
+            "block {block_idx} reconstructed incorrectly"
+        );
+    }
+    let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    assert!(
+        mean < 2.0,
+        "mean LT reception overhead {mean:.2} unexpectedly high"
+    );
+}
+
+#[test]
+fn tornado_decodes_the_full_working_set_under_paper_loss() {
+    let blocks = working_set();
+    let mut channel = Channel(0x70B0_1055);
+    for (block_idx, source) in blocks.iter().enumerate() {
+        let seed = 0x70B + block_idx as u64;
+        let k = source.len();
+        let mut decoder = TornadoDecoder::new(k, OBJECT_BYTES as usize, seed, 4);
+        if k == 0 {
+            assert!(decoder.is_complete(), "empty block decodes from nothing");
+            assert_eq!(decoder.into_source(), Some(Vec::new()));
+            continue;
+        }
+        let encoder = TornadoEncoder::new(source.clone(), seed, 2.0, 4);
+        let loss = channel.paper_loss_rate();
+        let mut dropped = Vec::new();
+        for index in 0..encoder.n() as u64 {
+            if channel.drops(loss) {
+                dropped.push(index);
+            } else {
+                decoder.add(&encoder.symbol(index));
+            }
+        }
+        // Sparse single-layer recovery from a given pattern is
+        // probabilistic; late retransmissions of the dropped packets must
+        // always finish the block (correctness is unconditional).
+        for index in dropped {
+            if decoder.is_complete() {
+                break;
+            }
+            decoder.add(&encoder.symbol(index));
+        }
+        assert!(decoder.is_complete(), "block {block_idx} never decoded");
+        assert_eq!(
+            decoder.into_source().unwrap(),
+            *source,
+            "block {block_idx} reconstructed incorrectly"
+        );
+    }
+}
+
+#[test]
+fn single_object_blocks_round_trip_both_codecs() {
+    let source = vec![object_payload(7)];
+    let lt_enc = LtEncoder::new(source.clone(), 3);
+    let mut lt_dec = LtDecoder::new(1, OBJECT_BYTES as usize, 3);
+    // Every LT symbol of a k=1 block covers the single source symbol.
+    lt_dec.add(&lt_enc.symbol(0));
+    assert!(lt_dec.is_complete());
+    assert_eq!(lt_dec.into_source().unwrap(), source);
+
+    let t_enc = TornadoEncoder::new(source.clone(), 3, 2.0, 4);
+    assert!(t_enc.n() >= 1);
+    let mut t_dec = TornadoDecoder::new(1, OBJECT_BYTES as usize, 3, 4);
+    t_dec.add(&t_enc.symbol(0));
+    assert!(t_dec.is_complete());
+    assert_eq!(t_dec.into_source().unwrap(), source);
+}
+
+#[test]
+fn empty_block_decoders_complete_without_symbols() {
+    let lt = LtDecoder::new(0, OBJECT_BYTES as usize, 9);
+    assert!(lt.is_complete());
+    assert_eq!(lt.overhead(), 0.0);
+    assert_eq!(lt.into_source(), Some(Vec::new()));
+
+    let tornado = TornadoDecoder::new(0, OBJECT_BYTES as usize, 9, 4);
+    assert!(tornado.is_complete());
+    assert_eq!(tornado.overhead(), 0.0);
+    assert_eq!(tornado.into_source(), Some(Vec::new()));
+}
+
+#[test]
+#[should_panic(expected = "empty block")]
+fn lt_encoder_rejects_an_empty_block() {
+    LtEncoder::new(Vec::new(), 1);
+}
+
+#[test]
+#[should_panic(expected = "empty block")]
+fn tornado_encoder_rejects_an_empty_block() {
+    TornadoEncoder::new(Vec::new(), 1, 2.0, 4);
+}

@@ -8,7 +8,7 @@
 
 use bullet_baselines::{AntiEntropyNode, GossipNode, StreamingNode};
 use bullet_core::BulletNode;
-use bullet_netsim::{Agent, OverlayId, Sim, SimDuration, SimTime};
+use bullet_netsim::{Agent, OverlayId, RoutingStats, Sim, SimDuration, SimTime};
 
 use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
 
@@ -99,6 +99,10 @@ pub struct RunResult {
     pub source: OverlayId,
     /// Scalar summary of the run.
     pub summary: RunSummary,
+    /// Routing work the underlying network performed. At `BULLET_SCALE=paper`
+    /// this is how harnesses verify that no per-source shortest-path tree
+    /// was ever materialized (`trees_built == 0`).
+    pub routing: RoutingStats,
 }
 
 impl RunResult {
@@ -245,6 +249,7 @@ pub fn run_metered<A: MeteredAgent>(mut sim: Sim<A>, spec: &RunSpec) -> RunResul
         per_node_useful_bytes: per_node_useful,
         source: spec.source,
         summary,
+        routing: sim.network().routing_stats(),
     }
 }
 

@@ -7,6 +7,8 @@
 //! preserving the qualitative shape of every result. Set `BULLET_SCALE=paper`
 //! to reproduce the paper-sized runs.
 
+use bullet_netsim::RoutingMode;
+
 /// How large an experiment to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -77,6 +79,23 @@ impl Scale {
             Scale::Paper => 5,
         }
     }
+
+    /// The routing strategy appropriate for this scale's topologies. Small
+    /// and default topologies keep the eager per-source Dijkstra trees; the
+    /// paper's 20,000-router topologies use lazy landmark-guided
+    /// bidirectional search, so no figure ever precomputes 20k shortest-path
+    /// trees. `Sim::new` resolves the same choice automatically from the
+    /// router count ([`RoutingMode::auto`]); this accessor exists for
+    /// harnesses that construct networks explicitly. Paths are identical
+    /// across modes.
+    pub fn routing_mode(self) -> RoutingMode {
+        match self {
+            Scale::Small | Scale::Default => RoutingMode::EagerPerSource,
+            Scale::Paper => RoutingMode::LazyAlt {
+                landmarks: RoutingMode::DEFAULT_LANDMARKS,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +122,14 @@ mod tests {
         for scale in [Scale::Small, Scale::Default, Scale::Paper] {
             assert!(scale.stream_start_secs() < scale.duration_secs());
         }
+    }
+
+    #[test]
+    fn paper_scale_routes_lazily() {
+        assert_eq!(Scale::Default.routing_mode(), RoutingMode::EagerPerSource);
+        assert!(matches!(
+            Scale::Paper.routing_mode(),
+            RoutingMode::LazyAlt { landmarks } if landmarks > 0
+        ));
     }
 }

@@ -9,7 +9,7 @@
 use crate::hash::FxHashMap;
 use crate::link::{DirectedLink, DirectedLinkId, HopOutcome, LinkSpec, RouterId};
 use crate::rng::SimRng;
-use crate::routing::{Adjacency, ShortestPaths};
+use crate::routing::{Adjacency, LazyRouter, RoutingMode, ShortestPaths};
 use crate::time::SimTime;
 
 /// Identifier of an overlay participant (an end host running a protocol
@@ -118,6 +118,42 @@ impl RouteArena {
     }
 }
 
+/// The route computation strategy behind [`Network::route`]. All variants
+/// return the same canonical paths (see `routing` module docs); they differ
+/// only in how much work a cache-missing query costs and what is kept
+/// resident.
+enum RouteComputer {
+    /// Cached full shortest-path trees, one per source router.
+    Eager {
+        trees: FxHashMap<RouterId, ShortestPaths>,
+        buf: Vec<DirectedLinkId>,
+        trees_built: u64,
+    },
+    /// Lazy bidirectional (optionally landmark-guided) point-to-point
+    /// search; nothing per-source is ever materialized. Boxed: the router's
+    /// workspace is much larger than the eager variant's three fields.
+    Lazy(Box<LazyRouter>),
+}
+
+/// Counters describing the routing work a [`Network`] has done. Exposed so
+/// tests and benchmarks can prove that paper-scale runs never build
+/// per-source shortest-path trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// The mode the network routes with.
+    pub mode: RoutingMode,
+    /// Route computations (route-cache misses); cache hits are not counted.
+    pub route_queries: u64,
+    /// Full per-source Dijkstra trees built (eager mode only).
+    pub trees_built: u64,
+    /// Lazy point-to-point searches run.
+    pub lazy_searches: u64,
+    /// Routers settled across all lazy searches.
+    pub routers_settled: u64,
+    /// Landmark tables held by the lazy router.
+    pub landmarks: usize,
+}
+
 /// Per-trace aggregate maintained incrementally as traced copies cross
 /// links.
 #[derive(Clone, Copy, Debug, Default)]
@@ -133,8 +169,11 @@ pub struct Network {
     links: Vec<DirectedLink>,
     adjacency: Adjacency,
     attachments: Vec<RouterId>,
-    /// Cached shortest path trees, keyed by source router.
-    sp_cache: FxHashMap<RouterId, ShortestPaths>,
+    /// Route computation strategy (eager per-source trees or lazy search).
+    mode: RoutingMode,
+    computer: RouteComputer,
+    /// Route computations performed (route-cache misses).
+    route_queries: u64,
     /// Interned routes; steady-state sends never allocate or copy a path.
     routes: RouteArena,
     /// Route ids keyed by (source router, destination router).
@@ -152,8 +191,16 @@ pub struct Network {
 }
 
 impl Network {
-    /// Builds the live network from a spec.
+    /// Builds the live network from a spec, picking the routing mode from
+    /// the topology size (see [`RoutingMode::resolve`]; the `BULLET_ROUTING`
+    /// environment variable overrides it). All modes return identical
+    /// canonical routes.
     pub fn new(spec: &NetworkSpec) -> Self {
+        Self::with_routing(spec, RoutingMode::resolve(spec.routers))
+    }
+
+    /// Builds the live network from a spec with an explicit routing mode.
+    pub fn with_routing(spec: &NetworkSpec, mode: RoutingMode) -> Self {
         let mut links = Vec::with_capacity(spec.links.len() * 2);
         let mut adjacency = Adjacency::new(spec.routers);
         for link_spec in &spec.links {
@@ -168,11 +215,26 @@ impl Network {
             links.push(rev);
         }
         let link_count = links.len();
+        let computer = match mode {
+            RoutingMode::EagerPerSource => RouteComputer::Eager {
+                trees: FxHashMap::default(),
+                buf: Vec::new(),
+                trees_built: 0,
+            },
+            RoutingMode::LazyBidirectional => {
+                RouteComputer::Lazy(Box::new(LazyRouter::new(&adjacency, 0)))
+            }
+            RoutingMode::LazyAlt { landmarks } => {
+                RouteComputer::Lazy(Box::new(LazyRouter::new(&adjacency, landmarks)))
+            }
+        };
         Network {
             links,
             adjacency,
             attachments: spec.attachments.clone(),
-            sp_cache: FxHashMap::default(),
+            mode,
+            computer,
+            route_queries: 0,
             routes: RouteArena::new(),
             route_cache: FxHashMap::default(),
             link_traces: vec![FxHashMap::default(); link_count],
@@ -222,15 +284,50 @@ impl Network {
         if let Some(&id) = self.route_cache.get(&(src, dst)) {
             return Some(id);
         }
+        self.route_queries += 1;
         let adjacency = &self.adjacency;
-        let sp = self
-            .sp_cache
-            .entry(src)
-            .or_insert_with(|| ShortestPaths::compute(adjacency, src));
-        let path = sp.path_to(dst)?;
-        let id = self.routes.intern(&path);
+        let path: &[DirectedLinkId] = match &mut self.computer {
+            RouteComputer::Eager {
+                trees,
+                buf,
+                trees_built,
+            } => {
+                let sp = trees.entry(src).or_insert_with(|| {
+                    *trees_built += 1;
+                    ShortestPaths::compute(adjacency, src)
+                });
+                if !sp.path_into(dst, buf) {
+                    return None;
+                }
+                buf
+            }
+            RouteComputer::Lazy(router) => {
+                let (_cost, path) = router.query(adjacency, src, dst)?;
+                path
+            }
+        };
+        let id = self.routes.intern(path);
         self.route_cache.insert((src, dst), id);
         Some(id)
+    }
+
+    /// Counters describing the routing work done so far.
+    pub fn routing_stats(&self) -> RoutingStats {
+        let (trees_built, lazy_searches, routers_settled, landmarks) = match &self.computer {
+            RouteComputer::Eager { trees_built, .. } => (*trees_built, 0, 0, 0),
+            RouteComputer::Lazy(router) => {
+                let s = router.stats();
+                (0, s.searches, s.settled, s.landmarks)
+            }
+        };
+        RoutingStats {
+            mode: self.mode,
+            route_queries: self.route_queries,
+            trees_built,
+            lazy_searches,
+            routers_settled,
+            landmarks,
+        }
     }
 
     /// The directed links of an interned route, in hop order.
@@ -456,6 +553,36 @@ mod tests {
         assert_eq!(second.max, 2);
         // Trace 1: 1 copy / 1 link = 1.0; trace 2: 4 copies / 2 links = 2.0.
         assert!((second.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_routing_modes_return_identical_routes() {
+        let spec = dumbbell();
+        let mut eager = Network::with_routing(&spec, RoutingMode::EagerPerSource);
+        let mut bidi = Network::with_routing(&spec, RoutingMode::LazyBidirectional);
+        let mut alt = Network::with_routing(&spec, RoutingMode::LazyAlt { landmarks: 2 });
+        for (a, b) in [(0, 1), (1, 0)] {
+            let reference = eager.path(a, b);
+            assert_eq!(reference, bidi.path(a, b));
+            assert_eq!(reference, alt.path(a, b));
+        }
+        assert_eq!(eager.routing_stats().trees_built, 2);
+        assert_eq!(bidi.routing_stats().trees_built, 0);
+        assert_eq!(bidi.routing_stats().lazy_searches, 2);
+        assert_eq!(alt.routing_stats().landmarks, 2);
+    }
+
+    #[test]
+    fn routing_stats_count_cache_misses_only() {
+        let mut net = Network::with_routing(&dumbbell(), RoutingMode::LazyBidirectional);
+        net.route(0, 1);
+        net.route(0, 1);
+        net.route(0, 1);
+        let stats = net.routing_stats();
+        assert_eq!(stats.route_queries, 1, "repeat lookups hit the cache");
+        assert_eq!(stats.lazy_searches, 1);
+        assert!(stats.routers_settled > 0);
+        assert_eq!(stats.mode, RoutingMode::LazyBidirectional);
     }
 
     #[test]

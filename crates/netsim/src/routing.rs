@@ -1,20 +1,121 @@
 //! Shortest-path routing over the physical topology.
 //!
 //! The paper assumes fixed IP unicast routing between overlay participants
-//! (OMBT assumption 1). We model that with per-source Dijkstra shortest path
-//! trees computed over link propagation delay, which is how the INET-placed
-//! topologies derive their routes.
+//! (OMBT assumption 1). We model that with shortest paths over link
+//! propagation delay, which is how the INET-placed topologies derive their
+//! routes.
+//!
+//! # Canonical paths
+//!
+//! Several equal-cost shortest paths can exist between a router pair, so
+//! "the" route must be pinned down independently of which algorithm (or
+//! query order) computes it. We define the **canonical shortest path** from
+//! `s` to `t` by walking back from `t`: at every node `v`, follow the
+//! *tight* incoming edge `(u, link)` (one with `dist(s, u) + cost == dist(s,
+//! v)`) with the smallest directed link id. Because the distance array of a
+//! graph is unique and every edge cost is at least 1 (as [`Network`]
+//! guarantees via `delay.as_micros().max(1)`), this predecessor chain is a
+//! pure function of the graph — both the eager reference Dijkstra
+//! ([`ShortestPaths`]) and the lazy bidirectional searches ([`LazyRouter`])
+//! reproduce it hop for hop, which is what the routing-equivalence test
+//! harness in `tests/support/routing_equiv.rs` asserts.
+//!
+//! [`Network`]: crate::network::Network
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::link::{DirectedLinkId, RouterId};
 
+/// How a [`Network`](crate::network::Network) computes routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// One full Dijkstra shortest-path tree per source router, cached for
+    /// the network's lifetime. Fast for small graphs whose participants talk
+    /// to everyone, but at paper scale (20k routers) each first contact
+    /// costs a whole-graph scan and each source pins an O(routers) tree.
+    EagerPerSource,
+    /// On-demand bidirectional Dijkstra per router pair: two frontiers grow
+    /// from source and destination and stop as soon as the best meeting
+    /// cost is proven optimal. Nothing is precomputed and only the routers
+    /// near the query are ever touched.
+    LazyBidirectional,
+    /// Bidirectional search guided by ALT (A*, landmarks, triangle
+    /// inequality) lower bounds. A handful of landmark distance tables are
+    /// built once (a few full Dijkstras); every query then prunes its
+    /// frontiers with the landmark potentials. Requires symmetric link
+    /// costs, which every [`NetworkSpec`](crate::network::NetworkSpec)-built
+    /// topology has.
+    LazyAlt {
+        /// Number of landmarks (0 degenerates to plain bidirectional).
+        landmarks: usize,
+    },
+}
+
+impl RoutingMode {
+    /// Router count at which [`RoutingMode::auto`] switches from the eager
+    /// per-source trees to lazy landmark-guided search.
+    pub const AUTO_LAZY_ROUTERS: usize = 4_096;
+
+    /// Default landmark count for [`RoutingMode::LazyAlt`].
+    pub const DEFAULT_LANDMARKS: usize = 8;
+
+    /// Picks a mode from the topology size: small graphs keep the eager
+    /// per-source trees, paper-scale graphs get lazy ALT search.
+    pub fn auto(routers: usize) -> RoutingMode {
+        if routers >= Self::AUTO_LAZY_ROUTERS {
+            RoutingMode::LazyAlt {
+                landmarks: Self::DEFAULT_LANDMARKS,
+            }
+        } else {
+            RoutingMode::EagerPerSource
+        }
+    }
+
+    /// Resolves the mode for a topology of `routers` routers, honouring the
+    /// `BULLET_ROUTING` environment variable (`eager`, `bidir`, or `alt`)
+    /// and falling back to [`RoutingMode::auto`] when it is unset or empty.
+    /// All modes return identical canonical paths; the variable only
+    /// selects the computation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `BULLET_ROUTING` value — silently falling
+    /// back would attribute benchmark numbers to the wrong strategy.
+    pub fn resolve(routers: usize) -> RoutingMode {
+        match std::env::var("BULLET_ROUTING").as_deref() {
+            Ok("eager") => RoutingMode::EagerPerSource,
+            Ok("bidir") | Ok("bidirectional") | Ok("lazy") => RoutingMode::LazyBidirectional,
+            Ok("alt") => RoutingMode::LazyAlt {
+                landmarks: Self::DEFAULT_LANDMARKS,
+            },
+            Ok("") | Err(_) => RoutingMode::auto(routers),
+            Ok(other) => {
+                panic!("unrecognized BULLET_ROUTING value {other:?}: expected eager, bidir, or alt")
+            }
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingMode::EagerPerSource => "eager-per-source",
+            RoutingMode::LazyBidirectional => "lazy-bidirectional",
+            RoutingMode::LazyAlt { .. } => "lazy-alt",
+        }
+    }
+}
+
 /// Adjacency representation used by the router: for each router, the list of
-/// `(neighbor, directed link id, cost)` edges leaving it.
+/// `(neighbor, directed link id, cost)` edges leaving it, plus the mirrored
+/// in-edge lists the bidirectional searches walk.
 #[derive(Clone, Debug, Default)]
 pub struct Adjacency {
+    /// Out-edges: `edges[u]` holds `(v, link, cost)` for every edge `u → v`.
     edges: Vec<Vec<(RouterId, DirectedLinkId, u64)>>,
+    /// In-edges: `in_edges[v]` holds `(u, link, cost)` for every edge
+    /// `u → v`.
+    in_edges: Vec<Vec<(RouterId, DirectedLinkId, u64)>>,
 }
 
 impl Adjacency {
@@ -22,12 +123,14 @@ impl Adjacency {
     pub fn new(routers: usize) -> Self {
         Adjacency {
             edges: vec![Vec::new(); routers],
+            in_edges: vec![Vec::new(); routers],
         }
     }
 
     /// Adds a directed edge.
     pub fn add_edge(&mut self, from: RouterId, to: RouterId, link: DirectedLinkId, cost: u64) {
         self.edges[from].push((to, link, cost));
+        self.in_edges[to].push((from, link, cost));
     }
 
     /// Number of routers.
@@ -44,14 +147,23 @@ impl Adjacency {
     pub fn neighbors(&self, router: RouterId) -> &[(RouterId, DirectedLinkId, u64)] {
         &self.edges[router]
     }
+
+    /// Edges arriving at `router`, as `(from, link, cost)`.
+    pub fn in_neighbors(&self, router: RouterId) -> &[(RouterId, DirectedLinkId, u64)] {
+        &self.in_edges[router]
+    }
 }
 
 /// The shortest path tree rooted at one source router.
+///
+/// This is the *reference* router: a full eager Dijkstra whose predecessor
+/// array follows the canonical tie-break (smallest link id among tight
+/// in-edges), making `path_to` independent of heap iteration order.
 #[derive(Clone, Debug)]
 pub struct ShortestPaths {
     source: RouterId,
-    /// For each router, the directed link used to reach it on the shortest
-    /// path from `source` (and the router that link comes from).
+    /// For each router, the directed link used to reach it on the canonical
+    /// shortest path from `source` (and the router that link comes from).
     prev: Vec<Option<(RouterId, DirectedLinkId)>>,
     /// Shortest path cost from `source` to each router; `u64::MAX` if
     /// unreachable.
@@ -77,6 +189,16 @@ impl ShortestPaths {
                     dist[v] = nd;
                     prev[v] = Some((u, link));
                     heap.push(Reverse((nd, v)));
+                } else if nd == dist[v] && nd != u64::MAX {
+                    // Canonical tie-break: among tight in-edges keep the
+                    // smallest link id. Every tight edge is relaxed exactly
+                    // once (when its tail settles), so the winner is a pure
+                    // function of the graph, not of heap order.
+                    if let Some((_, prev_link)) = prev[v] {
+                        if link < prev_link {
+                            prev[v] = Some((u, link));
+                        }
+                    }
                 }
             }
         }
@@ -93,27 +215,513 @@ impl ShortestPaths {
         (self.dist[dst] != u64::MAX).then_some(self.dist[dst])
     }
 
+    /// Writes the canonical path (directed link ids, source to `dst`) into
+    /// `out`, returning `false` if `dst` is unreachable.
+    pub fn path_into(&self, dst: RouterId, out: &mut Vec<DirectedLinkId>) -> bool {
+        out.clear();
+        if self.dist[dst] == u64::MAX {
+            return false;
+        }
+        let mut cur = dst;
+        while cur != self.source {
+            let Some((p, link)) = self.prev[cur] else {
+                out.clear();
+                return false;
+            };
+            out.push(link);
+            cur = p;
+        }
+        out.reverse();
+        true
+    }
+
     /// The sequence of directed link ids on the path from the source to
     /// `dst`, or `None` if `dst` is unreachable.
     pub fn path_to(&self, dst: RouterId) -> Option<Vec<DirectedLinkId>> {
-        if self.dist[dst] == u64::MAX {
-            return None;
-        }
         let mut path = Vec::new();
-        let mut cur = dst;
-        while cur != self.source {
-            let (p, link) = self.prev[cur]?;
-            path.push(link);
-            cur = p;
+        self.path_into(dst, &mut path).then_some(path)
+    }
+}
+
+/// Dijkstra distances only (no predecessors); used to build landmark tables.
+fn dijkstra_dist(adj: &Adjacency, source: RouterId) -> Vec<u64> {
+    let n = adj.len();
+    let mut dist = vec![u64::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
         }
-        path.reverse();
-        Some(path)
+        for &(v, _, cost) in adj.neighbors(u) {
+            let nd = d.saturating_add(cost);
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Farthest-point landmark selection: each landmark maximizes the minimum
+/// distance to the ones already chosen, so landmarks spread to the graph's
+/// periphery (and into other components, since unreachable counts as
+/// farthest). Returns one full distance table per landmark.
+fn select_landmarks(adj: &Adjacency, count: usize) -> Vec<Vec<u64>> {
+    let n = adj.len();
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    let mut tables: Vec<Vec<u64>> = Vec::new();
+    let mut closest = dijkstra_dist(adj, 0);
+    for _ in 0..count.min(n) {
+        let mut next = 0;
+        for (v, &c) in closest.iter().enumerate() {
+            if c > closest[next] {
+                next = v;
+            }
+        }
+        if !tables.is_empty() && closest[next] == 0 {
+            break; // every router is already a landmark
+        }
+        let table = dijkstra_dist(adj, next);
+        for (c, &d) in closest.iter_mut().zip(&table) {
+            *c = (*c).min(d);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Adds a (possibly negative) potential to a scaled distance, clamping into
+/// `u64` key space. Valid labels never go negative (potentials are lower
+/// bounds), so the clamp only defends saturated sentinel arithmetic.
+#[inline]
+fn add_pot(d: u64, p: i64) -> u64 {
+    (d as i128 + p as i128).clamp(0, u64::MAX as i128) as u64
+}
+
+/// One frontier of a bidirectional search. All per-node arrays are stamped
+/// with the query epoch, so starting a new query is O(1) — no clearing.
+#[derive(Debug)]
+struct SearchSide {
+    /// Tentative distance in *scaled* (doubled) cost units.
+    dist: Vec<u64>,
+    /// Heap key (`dist + potential`) of the node's freshest heap entry.
+    key: Vec<u64>,
+    /// Epoch in which `dist`/`key` were last written.
+    stamp: Vec<u32>,
+    /// Epoch in which the node was settled (popped with a fresh key).
+    settled_at: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl SearchSide {
+    fn new(n: usize) -> Self {
+        SearchSide {
+            dist: vec![0; n],
+            key: vec![0; n],
+            stamp: vec![0; n],
+            settled_at: vec![0; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn labeled(&self, epoch: u32, v: RouterId) -> bool {
+        self.stamp[v] == epoch
+    }
+
+    #[inline]
+    fn settled(&self, epoch: u32, v: RouterId) -> bool {
+        self.settled_at[v] == epoch
+    }
+
+    /// Lowers `v`'s tentative distance to `d` if it improves; returns
+    /// whether it did.
+    #[inline]
+    fn improve(&mut self, epoch: u32, v: RouterId, d: u64) -> bool {
+        if self.stamp[v] == epoch && d >= self.dist[v] {
+            return false;
+        }
+        self.stamp[v] = epoch;
+        self.dist[v] = d;
+        true
+    }
+
+    /// Smallest key of a *fresh* (non-stale, unsettled) heap entry, popping
+    /// stale entries off the top. `None` once the frontier is exhausted.
+    fn peek_fresh(&mut self, epoch: u32) -> Option<u64> {
+        while let Some(&Reverse((key, v32))) = self.heap.peek() {
+            let v = v32 as usize;
+            if self.stamp[v] != epoch || self.settled_at[v] == epoch || key != self.key[v] {
+                self.heap.pop();
+                continue;
+            }
+            return Some(key);
+        }
+        None
+    }
+}
+
+/// Per-query landmark potential cache. The potential `p(v) = π_t(v) −
+/// π_s(v)` (difference of the landmark lower bounds toward destination and
+/// source) is consistent for the forward search and, negated, for the
+/// backward search; working in doubled cost units keeps it integral.
+#[derive(Debug)]
+struct PotCache {
+    stamp: Vec<u32>,
+    val: Vec<i64>,
+    epoch: u32,
+    active: bool,
+    /// Landmark distances to the query source / destination.
+    at_src: Vec<u64>,
+    at_dst: Vec<u64>,
+}
+
+impl PotCache {
+    fn new(n: usize) -> Self {
+        PotCache {
+            stamp: vec![0; n],
+            val: vec![0; n],
+            epoch: 0,
+            active: false,
+            at_src: Vec::new(),
+            at_dst: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, epoch: u32, landmarks: &[Vec<u64>], src: RouterId, dst: RouterId) {
+        self.epoch = epoch;
+        self.active = !landmarks.is_empty();
+        self.at_src.clear();
+        self.at_dst.clear();
+        for table in landmarks {
+            self.at_src.push(table[src]);
+            self.at_dst.push(table[dst]);
+        }
+    }
+
+    /// The potential of `v` for the current query (0 without landmarks).
+    fn get(&mut self, landmarks: &[Vec<u64>], v: RouterId) -> i64 {
+        if !self.active {
+            return 0;
+        }
+        if self.stamp[v] == self.epoch {
+            return self.val[v];
+        }
+        let mut pi_dst = 0i64;
+        let mut pi_src = 0i64;
+        for (l, table) in landmarks.iter().enumerate() {
+            let dv = table[v];
+            if dv == u64::MAX {
+                continue; // landmark in another component: no bound
+            }
+            let dv = dv as i64;
+            let dt = self.at_dst[l];
+            if dt != u64::MAX {
+                pi_dst = pi_dst.max((dv - dt as i64).abs());
+            }
+            let ds = self.at_src[l];
+            if ds != u64::MAX {
+                pi_src = pi_src.max((dv - ds as i64).abs());
+            }
+        }
+        let p = pi_dst - pi_src;
+        self.stamp[v] = self.epoch;
+        self.val[v] = p;
+        p
+    }
+}
+
+/// Which frontier an [`advance`] step grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    Forward,
+    Backward,
+}
+
+/// Settles the next node of `side`, relaxing its edges and tightening the
+/// meeting upper bound `mu` against the `other` side's labels. Returns the
+/// settled router, or `None` if the frontier is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    epoch: u32,
+    adj: &Adjacency,
+    dir: Dir,
+    side: &mut SearchSide,
+    other: &SearchSide,
+    pot: &mut PotCache,
+    landmarks: &[Vec<u64>],
+    mu: &mut u64,
+    settled: &mut u64,
+) -> Option<RouterId> {
+    loop {
+        let Reverse((key, v32)) = side.heap.pop()?;
+        let v = v32 as usize;
+        if side.stamp[v] != epoch || side.settled_at[v] == epoch || key != side.key[v] {
+            continue; // stale entry
+        }
+        side.settled_at[v] = epoch;
+        *settled += 1;
+        let dv = side.dist[v];
+        if other.labeled(epoch, v) {
+            // Any label on the other side is the cost of a real path, so
+            // the sum is a valid upper bound on the s→t distance.
+            *mu = (*mu).min(dv.saturating_add(other.dist[v]));
+        }
+        let edges = match dir {
+            Dir::Forward => adj.neighbors(v),
+            Dir::Backward => adj.in_neighbors(v),
+        };
+        for &(u, _link, cost) in edges {
+            let nd = dv.saturating_add(cost.saturating_mul(2));
+            if other.labeled(epoch, u) {
+                *mu = (*mu).min(nd.saturating_add(other.dist[u]));
+            }
+            if side.improve(epoch, u, nd) {
+                let p = pot.get(landmarks, u);
+                let key = match dir {
+                    Dir::Forward => add_pot(nd, p),
+                    Dir::Backward => add_pot(nd, -p),
+                };
+                side.key[u] = key;
+                side.heap.push(Reverse((key, u as u32)));
+            }
+        }
+        return Some(v);
+    }
+}
+
+/// Counters describing the work a [`LazyRouter`] has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LazyRouterStats {
+    /// Point-to-point searches run (route-cache misses).
+    pub searches: u64,
+    /// Routers settled across all searches and reconstruction resumes.
+    pub settled: u64,
+    /// Landmark tables built at construction.
+    pub landmarks: usize,
+}
+
+/// On-demand point-to-point router: lazy bidirectional Dijkstra with an
+/// optional ALT (landmark) lower-bound mode.
+///
+/// A query grows a forward frontier from the source and a backward frontier
+/// from the destination until the best meeting cost `μ` is provably optimal
+/// (`top_f + top_b ≥ μ`), then reconstructs the *canonical* path (see the
+/// module docs) by walking tight in-edges back from the destination,
+/// resuming the forward search on demand where its ball has not yet proven
+/// or refuted tightness. All distances run in doubled cost units so the
+/// landmark potentials stay integral; all per-node state is epoch-stamped so
+/// a query does no O(routers) clearing.
+///
+/// The ALT potentials assume symmetric edge costs (`cost(u→v) == cost(v→u)`),
+/// which holds for every topology built from a `NetworkSpec`.
+#[derive(Debug)]
+pub struct LazyRouter {
+    epoch: u32,
+    landmark_dists: Vec<Vec<u64>>,
+    fwd: SearchSide,
+    bwd: SearchSide,
+    pot: PotCache,
+    path_buf: Vec<DirectedLinkId>,
+    rev_buf: Vec<DirectedLinkId>,
+    searches: u64,
+    settled: u64,
+}
+
+impl LazyRouter {
+    /// Builds a lazy router over `adj`. `landmarks > 0` precomputes that
+    /// many farthest-point landmark distance tables (a few full Dijkstras —
+    /// the only precomputation; nothing per-source is ever built).
+    pub fn new(adj: &Adjacency, landmarks: usize) -> Self {
+        let n = adj.len();
+        LazyRouter {
+            epoch: 0,
+            landmark_dists: select_landmarks(adj, landmarks),
+            fwd: SearchSide::new(n),
+            bwd: SearchSide::new(n),
+            pot: PotCache::new(n),
+            path_buf: Vec::new(),
+            rev_buf: Vec::new(),
+            searches: 0,
+            settled: 0,
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> LazyRouterStats {
+        LazyRouterStats {
+            searches: self.searches,
+            settled: self.settled,
+            landmarks: self.landmark_dists.len(),
+        }
+    }
+
+    /// Computes the canonical shortest path from `src` to `dst`, returning
+    /// its cost and directed link sequence (borrowed from an internal
+    /// buffer), or `None` if unreachable. Identical to
+    /// [`ShortestPaths::path_to`] on the same graph.
+    pub fn query(
+        &mut self,
+        adj: &Adjacency,
+        src: RouterId,
+        dst: RouterId,
+    ) -> Option<(u64, &[DirectedLinkId])> {
+        self.path_buf.clear();
+        if src == dst {
+            return Some((0, &self.path_buf));
+        }
+        self.searches += 1;
+        self.epoch = self.epoch.checked_add(1).expect("routing epoch overflow");
+        let epoch = self.epoch;
+        self.pot.begin(epoch, &self.landmark_dists, src, dst);
+        self.fwd.heap.clear();
+        self.bwd.heap.clear();
+
+        let ps = self.pot.get(&self.landmark_dists, src);
+        self.fwd.improve(epoch, src, 0);
+        self.fwd.key[src] = add_pot(0, ps);
+        self.fwd.heap.push(Reverse((self.fwd.key[src], src as u32)));
+        let pd = self.pot.get(&self.landmark_dists, dst);
+        self.bwd.improve(epoch, dst, 0);
+        self.bwd.key[dst] = add_pot(0, -pd);
+        self.bwd.heap.push(Reverse((self.bwd.key[dst], dst as u32)));
+
+        // Phase 1: alternate the cheaper frontier until the meeting bound
+        // is proven optimal. With consistent potentials the per-node keys
+        // satisfy `true_dist(v) + p(v) ≥ top`, so once `top_f + top_b ≥ μ`
+        // no untouched node can lie on a cheaper path (the potentials
+        // cancel in the sum).
+        let mut mu = u64::MAX;
+        loop {
+            let kf = self.fwd.peek_fresh(epoch);
+            let kb = self.bwd.peek_fresh(epoch);
+            if mu == u64::MAX {
+                // A frontier exhausted before the searches met: if the
+                // destination were reachable it would have been settled (and
+                // μ set) by the exhausted side.
+                if kf.is_none() || kb.is_none() {
+                    return None;
+                }
+            } else if kf
+                .unwrap_or(u64::MAX)
+                .saturating_add(kb.unwrap_or(u64::MAX))
+                >= mu
+            {
+                break;
+            }
+            if kf.unwrap_or(u64::MAX) <= kb.unwrap_or(u64::MAX) {
+                advance(
+                    epoch,
+                    adj,
+                    Dir::Forward,
+                    &mut self.fwd,
+                    &self.bwd,
+                    &mut self.pot,
+                    &self.landmark_dists,
+                    &mut mu,
+                    &mut self.settled,
+                );
+            } else {
+                advance(
+                    epoch,
+                    adj,
+                    Dir::Backward,
+                    &mut self.bwd,
+                    &self.fwd,
+                    &mut self.pot,
+                    &self.landmark_dists,
+                    &mut mu,
+                    &mut self.settled,
+                );
+            }
+        }
+
+        // Phase 2: canonical reconstruction. Walk back from the destination
+        // choosing, at every node, the tight in-edge with the smallest link
+        // id — exactly the reference Dijkstra's tie-break. Tightness of an
+        // in-neighbor is decided from forward distances, resuming the
+        // forward search just far enough to settle the neighbor or to prove
+        // its true distance exceeds the target.
+        let mut rev = std::mem::take(&mut self.rev_buf);
+        rev.clear();
+        let mut v = dst;
+        let mut dv = mu;
+        while v != src {
+            let mut best: Option<(DirectedLinkId, RouterId, u64)> = None;
+            for &(u, link, cost) in adj.in_neighbors(v) {
+                if let Some((best_link, _, _)) = best {
+                    if link >= best_link {
+                        continue; // only a smaller link id can win
+                    }
+                }
+                let step = cost.saturating_mul(2);
+                if step > dv {
+                    continue;
+                }
+                let target = dv - step;
+                if self.forward_dist_equals(adj, u, target, &mut mu) {
+                    best = Some((link, u, target));
+                }
+            }
+            let (link, u, target) =
+                best.expect("a shortest path always has a tight canonical predecessor");
+            rev.push(link);
+            v = u;
+            dv = target;
+        }
+        self.path_buf.extend(rev.iter().rev());
+        self.rev_buf = rev;
+        Some((mu / 2, &self.path_buf))
+    }
+
+    /// Whether the true forward (scaled) distance of `u` equals `target`,
+    /// resuming the forward search as needed. Sound because an unsettled
+    /// node's true key is bounded below by the frontier top, and no node on
+    /// a shortest path can be *closer* than its target (that would shorten
+    /// the path).
+    fn forward_dist_equals(
+        &mut self,
+        adj: &Adjacency,
+        u: RouterId,
+        target: u64,
+        mu: &mut u64,
+    ) -> bool {
+        let epoch = self.epoch;
+        loop {
+            if self.fwd.settled(epoch, u) {
+                return self.fwd.dist[u] == target;
+            }
+            let Some(kf) = self.fwd.peek_fresh(epoch) else {
+                return false; // frontier exhausted: u is unreachable
+            };
+            let pu = self.pot.get(&self.landmark_dists, u);
+            if kf > add_pot(target, pu) {
+                return false; // true dist of u provably exceeds target
+            }
+            advance(
+                epoch,
+                adj,
+                Dir::Forward,
+                &mut self.fwd,
+                &self.bwd,
+                &mut self.pot,
+                &self.landmark_dists,
+                mu,
+                &mut self.settled,
+            );
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
 
     /// Builds a line topology 0 - 1 - 2 - 3 with unit costs, where the
     /// directed link id from i to i+1 is `2*i` and the reverse is `2*i+1`.
@@ -143,6 +751,10 @@ mod tests {
         let sp = ShortestPaths::compute(&adj, 0);
         assert_eq!(sp.cost_to(2), None);
         assert_eq!(sp.path_to(2), None);
+        let mut lazy = LazyRouter::new(&adj, 0);
+        assert!(lazy.query(&adj, 0, 2).is_none());
+        let mut alt = LazyRouter::new(&adj, 2);
+        assert!(alt.query(&adj, 0, 2).is_none());
     }
 
     #[test]
@@ -155,6 +767,10 @@ mod tests {
         let sp = ShortestPaths::compute(&adj, 0);
         assert_eq!(sp.cost_to(2), Some(2));
         assert_eq!(sp.path_to(2), Some(vec![0, 1]));
+        let mut lazy = LazyRouter::new(&adj, 0);
+        let (cost, path) = lazy.query(&adj, 0, 2).unwrap();
+        assert_eq!(cost, 2);
+        assert_eq!(path, &[0, 1]);
     }
 
     #[test]
@@ -162,5 +778,121 @@ mod tests {
         let adj = line(3);
         let sp = ShortestPaths::compute(&adj, 2);
         assert_eq!(sp.path_to(0), Some(vec![3, 1]));
+        let mut lazy = LazyRouter::new(&adj, 0);
+        assert_eq!(lazy.query(&adj, 2, 0).unwrap().1, &[3, 1]);
+    }
+
+    #[test]
+    fn equal_cost_diamond_resolves_to_the_canonical_path() {
+        // Two equal-cost paths 0→1→3 (links 0,4) and 0→2→3 (links 2,6).
+        // The canonical rule (smallest tight in-link at every node, walking
+        // back from the destination) picks link 4 into node 3, so the route
+        // is [0, 4] — for the reference and both lazy modes.
+        let mut adj = Adjacency::new(4);
+        adj.add_edge(0, 1, 0, 1);
+        adj.add_edge(1, 0, 1, 1);
+        adj.add_edge(0, 2, 2, 1);
+        adj.add_edge(2, 0, 3, 1);
+        adj.add_edge(1, 3, 4, 1);
+        adj.add_edge(3, 1, 5, 1);
+        adj.add_edge(2, 3, 6, 1);
+        adj.add_edge(3, 2, 7, 1);
+        let sp = ShortestPaths::compute(&adj, 0);
+        assert_eq!(sp.path_to(3), Some(vec![0, 4]));
+        let mut bidi = LazyRouter::new(&adj, 0);
+        assert_eq!(bidi.query(&adj, 0, 3).unwrap(), (2, &[0, 4][..]));
+        let mut alt = LazyRouter::new(&adj, 3);
+        assert_eq!(alt.query(&adj, 0, 3).unwrap(), (2, &[0, 4][..]));
+    }
+
+    /// Random symmetric graphs with tiny integer costs (maximally tie-heavy)
+    /// must give identical paths from the reference and both lazy modes,
+    /// for every pair.
+    #[test]
+    fn lazy_matches_reference_on_random_tie_heavy_graphs() {
+        let mut rng = SimRng::new(0xD1785);
+        for case in 0..30 {
+            let n = 8 + (rng.next_u64() % 40) as usize;
+            let mut adj = Adjacency::new(n);
+            let mut next_link = 0;
+            let mut add = |adj: &mut Adjacency, a: usize, b: usize, cost: u64| {
+                adj.add_edge(a, b, next_link, cost);
+                adj.add_edge(b, a, next_link + 1, cost);
+                next_link += 2;
+            };
+            // A ring keeps most of the graph connected, chords add ties.
+            for i in 0..n {
+                let cost = 1 + rng.next_u64() % 3;
+                add(&mut adj, i, (i + 1) % n, cost);
+            }
+            for _ in 0..n {
+                let a = (rng.next_u64() % n as u64) as usize;
+                let b = (rng.next_u64() % n as u64) as usize;
+                if a != b {
+                    add(&mut adj, a, b, 1 + rng.next_u64() % 3);
+                }
+            }
+            let mut bidi = LazyRouter::new(&adj, 0);
+            let mut alt = LazyRouter::new(&adj, 3);
+            for src in 0..n {
+                let sp = ShortestPaths::compute(&adj, src);
+                for dst in 0..n {
+                    let reference = sp.path_to(dst);
+                    let lazy = bidi.query(&adj, src, dst).map(|(c, p)| (c, p.to_vec()));
+                    let guided = alt.query(&adj, src, dst).map(|(c, p)| (c, p.to_vec()));
+                    match reference {
+                        None => {
+                            assert!(lazy.is_none(), "case {case}: {src}->{dst}");
+                            assert!(guided.is_none(), "case {case}: {src}->{dst}");
+                        }
+                        Some(path) => {
+                            let (lc, lp) = lazy.expect("reachable");
+                            let (gc, gp) = guided.expect("reachable");
+                            assert_eq!(lc, sp.cost_to(dst).unwrap(), "case {case}");
+                            assert_eq!(lp, path, "case {case}: {src}->{dst} bidi");
+                            assert_eq!(gc, lc, "case {case}");
+                            assert_eq!(gp, path, "case {case}: {src}->{dst} alt");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_router_counts_its_work() {
+        let adj = line(6);
+        let mut lazy = LazyRouter::new(&adj, 0);
+        assert_eq!(lazy.stats(), LazyRouterStats::default());
+        lazy.query(&adj, 0, 5).unwrap();
+        let stats = lazy.stats();
+        assert_eq!(stats.searches, 1);
+        assert!(stats.settled > 0 && stats.settled <= 12);
+        // Same-router queries do not run a search.
+        lazy.query(&adj, 2, 2).unwrap();
+        assert_eq!(lazy.stats().searches, 1);
+    }
+
+    #[test]
+    fn landmark_selection_spreads_and_caps() {
+        let adj = line(10);
+        let tables = select_landmarks(&adj, 3);
+        assert_eq!(tables.len(), 3);
+        // The first landmark is the node farthest from router 0.
+        assert_eq!(tables[0][9], 0);
+        // More landmarks than routers caps out.
+        let small = line(2);
+        assert!(select_landmarks(&small, 8).len() <= 2);
+    }
+
+    #[test]
+    fn auto_mode_switches_at_the_threshold() {
+        assert_eq!(RoutingMode::auto(100), RoutingMode::EagerPerSource);
+        assert_eq!(
+            RoutingMode::auto(RoutingMode::AUTO_LAZY_ROUTERS),
+            RoutingMode::LazyAlt {
+                landmarks: RoutingMode::DEFAULT_LANDMARKS
+            }
+        );
     }
 }

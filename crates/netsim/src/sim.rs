@@ -123,15 +123,31 @@ impl<A: Agent> Sim<A> {
     /// Panics if the number of agents differs from the number of participants
     /// declared in the spec.
     pub fn new(spec: &NetworkSpec, agents: Vec<A>, seed: u64) -> Self {
+        Self::with_network(Network::new(spec), agents, seed)
+    }
+
+    /// Builds a simulator with an explicit routing mode (see
+    /// [`crate::routing::RoutingMode`]). Routes are identical across modes;
+    /// only the computation strategy differs.
+    pub fn with_routing(
+        spec: &NetworkSpec,
+        agents: Vec<A>,
+        seed: u64,
+        mode: crate::routing::RoutingMode,
+    ) -> Self {
+        Self::with_network(Network::with_routing(spec, mode), agents, seed)
+    }
+
+    fn with_network(network: Network, agents: Vec<A>, seed: u64) -> Self {
         assert_eq!(
-            spec.participants(),
+            network.participants(),
             agents.len(),
             "one agent per attached participant is required"
         );
         let n = agents.len();
         Sim {
             now: SimTime::ZERO,
-            network: Network::new(spec),
+            network,
             agents,
             failed: vec![false; n],
             traffic: vec![NodeTraffic::default(); n],

@@ -1,0 +1,161 @@
+//! Regression tests for two event-queue/timer edge paths of the
+//! zero-allocation simulator rework:
+//!
+//! 1. the current-instant FIFO fast path after `run_until` rewinds the
+//!    clock (a same-instant push must not be allowed to jump ahead of an
+//!    earlier-keyed event still sitting in the heap, and vice versa), and
+//! 2. cancelling a stale `TimerId` twice after its generation-stamped slot
+//!    has been reused by a newer timer (the stale id must stay dead and the
+//!    newer timer must be unaffected).
+
+use bullet_netsim::{
+    Agent, Context, LinkSpec, NetworkSpec, OverlayId, Sim, SimDuration, SimTime, TimerId,
+};
+
+fn two_node_spec() -> NetworkSpec {
+    let mut spec = NetworkSpec::new(2);
+    spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(10)));
+    spec.attach(0);
+    spec.attach(1);
+    spec
+}
+
+/// An inert agent used where only externally scheduled events matter.
+struct Inert;
+
+impl Agent for Inert {
+    type Msg = ();
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: OverlayId, _msg: ()) {}
+    fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _tag: u64) {}
+}
+
+/// After `run_until` rewinds the clock, a push at the rewound instant has a
+/// *larger* sequence number but an *earlier* time than events already queued
+/// at the old instant. The FIFO fast path must reject it (its key is not
+/// larger than the FIFO back) so the heap restores global `(time, seq)`
+/// order: here, the recovery at t=5 s must dispatch before the failure
+/// queued at t=10 s, leaving the node failed.
+#[test]
+fn clock_rewind_keeps_fifo_and_heap_in_global_key_order() {
+    let spec = two_node_spec();
+    let mut sim = Sim::new(&spec, vec![Inert, Inert], 1);
+    sim.run_until(SimTime::from_secs(10));
+    // Queued at the current instant: takes the FIFO fast path.
+    sim.schedule_failure(SimTime::from_secs(10), 1);
+    // Rewind the clock; the failure is still pending at t=10 s.
+    sim.run_until(SimTime::from_secs(5));
+    // Scheduled at the rewound "now": must NOT ride the FIFO behind the
+    // t=10 s failure — chronological order is recovery first.
+    sim.schedule_recovery(SimTime::from_secs(5), 1);
+    assert!(!sim.is_failed(1));
+    sim.run_until(SimTime::from_secs(20));
+    assert!(
+        sim.is_failed(1),
+        "recovery(5s) must dispatch before failure(10s) despite later scheduling"
+    );
+    assert_eq!(sim.counters().events, 2);
+}
+
+/// Same rewind, opposite order: events pushed at the rewound instant in
+/// increasing key order may use the FIFO again, and they dispatch before
+/// the later-time event left in the queue.
+#[test]
+fn pushes_after_rewind_dispatch_before_older_later_events() {
+    let spec = two_node_spec();
+    let mut sim = Sim::new(&spec, vec![Inert, Inert], 1);
+    sim.run_until(SimTime::from_secs(10));
+    sim.schedule_recovery(SimTime::from_secs(10), 0);
+    sim.run_until(SimTime::from_secs(4));
+    // Two same-instant events after the rewind; chronologically they come
+    // first and must themselves stay in seq order: fail then recover.
+    sim.schedule_failure(SimTime::from_secs(4), 0);
+    sim.schedule_recovery(SimTime::from_secs(4), 0);
+    sim.run_until(SimTime::from_secs(4));
+    assert!(!sim.is_failed(0), "fail(4s) then recover(4s) in seq order");
+    // The t=10 s recovery is still pending.
+    sim.schedule_failure(SimTime::from_secs(9), 0);
+    sim.run_until(SimTime::from_secs(20));
+    assert!(!sim.is_failed(0), "recover(10s) dispatches after fail(9s)");
+    assert_eq!(sim.counters().events, 4);
+}
+
+/// Arms a short and a long timer; when the short one fires it cancels the
+/// long timer's *stale predecessor id* twice, after the slot has been
+/// reused. The stale cancels must be no-ops: the live reincarnation fires.
+struct StaleCanceller {
+    /// The id whose slot will be retired and reused.
+    stale: Option<TimerId>,
+    fired: Vec<(u64, SimTime)>,
+}
+
+const TAG_SHORT: u64 = 1;
+const TAG_FIRST: u64 = 2;
+const TAG_REUSED: u64 = 3;
+
+impl Agent for StaleCanceller {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        // Slot 0: will fire at 1 s and be retired.
+        self.stale = Some(ctx.set_timer(SimDuration::from_secs(1), TAG_FIRST));
+        ctx.set_timer(SimDuration::from_secs(2), TAG_SHORT);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: OverlayId, _msg: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ()>, tag: u64) {
+        self.fired.push((tag, ctx.now()));
+        match tag {
+            TAG_FIRST => {
+                // Nothing: the slot is now retired and free for reuse.
+            }
+            TAG_SHORT => {
+                // Reuse the retired slot (generation bumped), then cancel
+                // the stale id twice. Neither cancel may touch the reused
+                // slot's live timer.
+                ctx.set_timer(SimDuration::from_secs(1), TAG_REUSED);
+                let stale = self.stale.take().expect("armed at start");
+                ctx.cancel_timer(stale);
+                ctx.cancel_timer(stale);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn double_cancel_of_stale_id_after_slot_reuse_is_a_no_op() {
+    let spec = two_node_spec();
+    let agents = vec![
+        StaleCanceller {
+            stale: None,
+            fired: Vec::new(),
+        },
+        StaleCanceller {
+            stale: None,
+            fired: Vec::new(),
+        },
+    ];
+    let mut sim = Sim::new(&spec, agents, 7);
+    sim.run_until(SimTime::from_secs(10));
+    for node in 0..2 {
+        let fired = &sim.agent(node).fired;
+        assert_eq!(
+            fired.iter().map(|&(tag, _)| tag).collect::<Vec<_>>(),
+            vec![TAG_FIRST, TAG_SHORT, TAG_REUSED],
+            "node {node}: the reused-slot timer must fire despite stale cancels"
+        );
+        assert_eq!(
+            fired[2].1,
+            SimTime::from_secs(3),
+            "reused timer fires on time"
+        );
+    }
+    let (_, _, timer_slots, live) = sim.pool_stats();
+    assert_eq!(live, 0, "all timers resolved");
+    assert!(
+        timer_slots <= 4,
+        "stale cancels must not grow the slab (got {timer_slots} slots)"
+    );
+    assert_eq!(sim.counters().timers_fired, 6);
+}

@@ -24,8 +24,13 @@ pub struct TopologyConfig {
     pub transit_per_domain: usize,
     /// Stub domains hanging off each transit router.
     pub stubs_per_transit: usize,
-    /// Routers per stub domain.
+    /// Routers per stub domain (the connected ring part).
     pub routers_per_stub: usize,
+    /// Degree-one leaf routers per stub domain, each hanging off one ring
+    /// router by a single link. The paper's INET topologies attach all
+    /// overlay participants to degree-one stub nodes; when this is non-zero
+    /// clients are attached exclusively to leaf routers.
+    pub leaf_routers_per_stub: usize,
     /// Number of overlay participants (clients attached to stub routers).
     pub clients: usize,
     /// Probability of an extra chord between two routers of the same transit
@@ -57,6 +62,7 @@ impl TopologyConfig {
             transit_per_domain: 4,
             stubs_per_transit: 2,
             routers_per_stub: 4,
+            leaf_routers_per_stub: 0,
             clients,
             transit_chord_prob: 0.3,
             interdomain_link_prob: 0.5,
@@ -77,6 +83,7 @@ impl TopologyConfig {
             transit_per_domain: 8,
             stubs_per_transit: 4,
             routers_per_stub: 8,
+            leaf_routers_per_stub: 0,
             clients,
             transit_chord_prob: 0.3,
             interdomain_link_prob: 0.5,
@@ -95,7 +102,8 @@ impl TopologyConfig {
             transit_domains: 10,
             transit_per_domain: 10,
             stubs_per_transit: 10,
-            routers_per_stub: 20,
+            routers_per_stub: 16,
+            leaf_routers_per_stub: 4,
             clients,
             transit_chord_prob: 0.3,
             interdomain_link_prob: 0.4,
@@ -124,7 +132,8 @@ impl TopologyConfig {
     /// client end hosts).
     pub fn router_count(&self) -> usize {
         let transit = self.transit_domains * self.transit_per_domain;
-        transit + transit * self.stubs_per_transit * self.routers_per_stub
+        let per_stub = self.routers_per_stub + self.leaf_routers_per_stub;
+        transit + transit * self.stubs_per_transit * per_stub
     }
 }
 
@@ -235,6 +244,7 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
 
     // 3. Stub domains hanging off each transit router.
     let mut stub_domains: Vec<Vec<RouterId>> = Vec::new();
+    let mut leaf_routers: Vec<RouterId> = Vec::new();
     for domain in &transit_routers {
         for &transit in domain {
             for _ in 0..config.stubs_per_transit {
@@ -259,6 +269,21 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
                 // One transit-stub uplink.
                 let gateway = *rng.choose(&stub).expect("non-empty stub");
                 pending_links.push((gateway, transit));
+                // Degree-one leaf routers, each hanging off one ring router.
+                // They are kept out of `stub` so gateway selection and the
+                // stub-to-stub chords below never touch them, preserving
+                // their degree-one property (paper client attachment).
+                for _ in 0..config.leaf_routers_per_stub {
+                    let anchor = *rng.choose(&stub).expect("non-empty stub");
+                    let id = positions.len();
+                    positions.push(Position {
+                        x: positions[anchor].x + rng.range_f64(-0.01, 0.01),
+                        y: positions[anchor].y + rng.range_f64(-0.01, 0.01),
+                    });
+                    node_classes.push(NodeClass::Stub);
+                    pending_links.push((id, anchor));
+                    leaf_routers.push(id);
+                }
                 stub_domains.push(stub);
             }
         }
@@ -280,16 +305,23 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
         }
     }
 
-    // 5. Clients: each participant is a new end host attached to a random
-    //    stub router by a client-stub access link.
+    // 5. Clients: each participant is a new end host attached by a
+    //    client-stub access link — to a random degree-one leaf router when
+    //    the configuration has them (paper attachment model), otherwise to
+    //    a random stub ring router.
     let all_stub_routers: Vec<RouterId> = stub_domains.iter().flatten().copied().collect();
     assert!(
         !all_stub_routers.is_empty(),
         "configuration produced no stub routers to attach clients to"
     );
+    let attach_candidates: &[RouterId] = if leaf_routers.is_empty() {
+        &all_stub_routers
+    } else {
+        &leaf_routers
+    };
     let mut client_routers = Vec::with_capacity(config.clients);
     for _ in 0..config.clients {
-        let stub = *rng.choose(&all_stub_routers).expect("non-empty stub set");
+        let stub = *rng.choose(attach_candidates).expect("non-empty stub set");
         let id = positions.len();
         positions.push(Position {
             x: positions[stub].x + rng.range_f64(-0.005, 0.005),
@@ -306,7 +338,7 @@ pub fn generate(config: &TopologyConfig) -> BuiltTopology {
     let mut access_links = vec![usize::MAX; config.clients];
     let mut stats = TopologyStats {
         transit_routers: config.transit_domains * config.transit_per_domain,
-        stub_routers: all_stub_routers.len(),
+        stub_routers: all_stub_routers.len() + leaf_routers.len(),
         clients: config.clients,
         links_by_class: [0; 4],
     };
@@ -472,5 +504,55 @@ mod tests {
     fn paper_scale_config_reaches_twenty_thousand_routers() {
         let config = TopologyConfig::paper_scale(1000, 1);
         assert!(config.router_count() >= 20_000);
+    }
+
+    #[test]
+    fn paper_scale_attaches_clients_to_degree_one_leaf_stubs() {
+        let config = TopologyConfig::paper_scale(50, 13);
+        let topo = generate(&config);
+        assert_eq!(topo.spec.routers, config.router_count() + 50);
+        assert!(topo.spec.routers >= 20_000);
+        // Router-to-router degree of each attachment router must be exactly
+        // one: clients hang off degree-one leaf stubs, as in the paper's
+        // INET placement.
+        let mut degree = vec![0usize; topo.spec.routers];
+        for link in &topo.spec.links {
+            if topo.node_classes[link.a] != NodeClass::Client
+                && topo.node_classes[link.b] != NodeClass::Client
+            {
+                degree[link.a] += 1;
+                degree[link.b] += 1;
+            }
+        }
+        for node in 0..topo.participants() {
+            // The stub end of the participant's access link must be a
+            // degree-one leaf router.
+            let access = &topo.spec.links[topo.access_links[node]];
+            let stub = if topo.node_classes[access.a] == NodeClass::Client {
+                access.b
+            } else {
+                access.a
+            };
+            assert_eq!(topo.node_classes[stub], NodeClass::Stub);
+            assert_eq!(
+                degree[stub], 1,
+                "participant {node} attached to stub router {stub} of degree {}",
+                degree[stub]
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_free_configs_are_unchanged_by_the_leaf_extension() {
+        // The leaf-router code paths draw no randomness when the count is
+        // zero, so pre-existing topology classes stay byte-identical.
+        let topo = generate(&TopologyConfig::small(10, 42));
+        assert_eq!(topo.stats.stub_routers, 2 * 4 * 2 * 4);
+        for node in 0..topo.participants() {
+            assert_eq!(
+                topo.link_classes[topo.access_links[node]],
+                LinkClass::ClientStub
+            );
+        }
     }
 }

@@ -1,0 +1,38 @@
+//! Prints the deterministic fingerprint of the `BULLET_SCALE=paper` smoke
+//! run (256 Bullet nodes streaming over a ≥20,000-router transit-stub
+//! topology with lazy landmark-guided routing).
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/paper_smoke.rs`) is asserted against golden values there;
+//! this example exists so the fingerprint can be (re)captured on any build
+//! of the simulator.
+//!
+//! Run with `cargo run --release --example paper_smoke_probe`.
+
+#[path = "../tests/support/paper_smoke.rs"]
+mod paper_smoke;
+
+fn main() {
+    let (c, digest, bytes_sent, routing) = paper_smoke::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+    println!(
+        "routing: mode={} queries={} trees_built={} lazy_searches={} routers_settled={} landmarks={}",
+        routing.mode.name(),
+        routing.route_queries,
+        routing.trees_built,
+        routing.lazy_searches,
+        routing.routers_settled,
+        routing.landmarks
+    );
+}

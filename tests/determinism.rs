@@ -11,6 +11,10 @@
 
 #[path = "support/bullet64.rs"]
 mod bullet64;
+#[path = "support/paper_smoke.rs"]
+mod paper_smoke;
+
+use bullet_suite::netsim::RoutingMode;
 
 /// The refactored simulator must reproduce the pre-refactor run exactly.
 #[test]
@@ -36,4 +40,34 @@ fn bullet_64_is_deterministic_across_runs() {
     assert_eq!(first.0, second.0);
     assert_eq!(first.1, second.1);
     assert_eq!(first.2, second.2);
+}
+
+/// The `BULLET_SCALE=paper` smoke run: 256 Bullet nodes streaming for a few
+/// simulated seconds over a ≥20,000-router paper-class topology, routed by
+/// lazy landmark-guided bidirectional search. The goldens below were
+/// captured with `examples/paper_smoke_probe.rs`; because every route is
+/// canonical, route-computation order can never leak into these values —
+/// any divergence means the lazy router (or the simulator) changed
+/// behaviour.
+#[test]
+fn paper_scale_smoke_matches_golden_run() {
+    let (counters, digest, bytes_sent, routing) = paper_smoke::fingerprint();
+    assert_eq!(counters.delivered, 18_982);
+    assert_eq!(counters.dropped_in_network, 246);
+    assert_eq!(counters.dropped_dest_failed, 0);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.timers_fired, 7_779);
+    assert_eq!(counters.events, 427_235);
+    assert_eq!(digest, 0x4f1d_76a4_5a57_617e);
+    assert_eq!(bytes_sent, 473_096_556);
+
+    // The acceptance gate for the routing rework: a paper-scale topology
+    // built and streamed without ever materializing a per-source
+    // shortest-path tree (let alone all-pairs state).
+    assert!(matches!(routing.mode, RoutingMode::LazyAlt { .. }));
+    assert_eq!(routing.trees_built, 0, "no SPT may ever be built");
+    assert_eq!(routing.route_queries, 627);
+    assert_eq!(routing.lazy_searches, 627);
+    assert_eq!(routing.routers_settled, 1_874_197);
+    assert_eq!(routing.landmarks, 8);
 }

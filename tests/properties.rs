@@ -11,10 +11,14 @@ use std::collections::BTreeSet;
 
 use bullet_suite::codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
 use bullet_suite::content::{BloomFilter, PermutationFamily, SummaryTicket, WorkingSet};
-use bullet_suite::netsim::SimRng;
+use bullet_suite::netsim::{LinkSpec, NetworkSpec, SimDuration, SimRng};
 use bullet_suite::overlay::{random_tree, Tree};
 use bullet_suite::ransub::{compact, Member, WeightedSet};
+use bullet_suite::topology::{generate, TopologyConfig};
 use bullet_suite::transport::tcp_throughput_bps;
+
+#[path = "support/routing_equiv.rs"]
+mod routing_equiv;
 
 const CASES: u64 = 64;
 
@@ -242,6 +246,72 @@ fn tcp_throughput_is_monotone() {
         assert!(more_loss <= base + 1e-9, "case {case}");
         assert!(more_rtt <= base + 1e-9, "case {case}");
     }
+}
+
+/// For seeded transit-stub topologies at small and default (emulation)
+/// scale, the lazy bidirectional search and its ALT variant return exactly
+/// the reference per-source Dijkstra's path — cost and hop sequence — for
+/// every ordered participant pair.
+#[test]
+fn lazy_routing_matches_reference_on_seeded_topology_classes() {
+    let mut rng = SimRng::new(0x0D17_0A11);
+    for case in 0..6 {
+        let seed = rng.next_u64();
+        let clients = 6 + (rng.next_u64() % 8) as usize;
+        let small = generate(&TopologyConfig::small(clients, seed));
+        routing_equiv::assert_all_participant_pairs_equivalent(
+            &small.spec,
+            &format!("small/case{case}"),
+        );
+        let emulation = generate(&TopologyConfig::emulation(clients, seed));
+        routing_equiv::assert_all_participant_pairs_equivalent(
+            &emulation.spec,
+            &format!("emulation/case{case}"),
+        );
+    }
+}
+
+/// A uniform-delay grid maximizes equal-cost path ties; the canonical
+/// tie-break must make all three strategies agree on every pair anyway.
+#[test]
+fn lazy_routing_matches_reference_on_tie_heavy_grids() {
+    let (w, h) = (7, 7);
+    let mut spec = NetworkSpec::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                spec.add_link(LinkSpec::new(id, id + 1, 1e6, SimDuration::from_millis(1)));
+            }
+            if y + 1 < h {
+                spec.add_link(LinkSpec::new(id, id + w, 1e6, SimDuration::from_millis(1)));
+            }
+            spec.attach(id);
+        }
+    }
+    routing_equiv::assert_all_participant_pairs_equivalent(&spec, "grid7x7");
+}
+
+/// The paper topology class (≈20k routers): a sampled set of participant
+/// pairs must route identically under all three strategies, and the lazy
+/// strategies must never build a shortest-path tree.
+#[test]
+fn lazy_routing_matches_reference_on_the_paper_topology_class() {
+    let topo = generate(&TopologyConfig::paper_scale(16, 5));
+    assert!(
+        topo.spec.routers >= 20_000,
+        "paper class must be paper-sized"
+    );
+    let n = topo.participants();
+    let mut pairs = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                pairs.push((a, b));
+            }
+        }
+    }
+    routing_equiv::assert_sampled_pairs_equivalent(&topo.spec, &pairs, "paper");
 }
 
 /// Framing maps sequence numbers to (block, offset) pairs and back without

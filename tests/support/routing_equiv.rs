@@ -1,0 +1,112 @@
+//! Routing-equivalence harness.
+//!
+//! The lazy bidirectional router and its ALT (landmark) variant must return
+//! the *same* canonical route — identical hop sequence, hence identical
+//! cost — as the eager per-source reference Dijkstra, for every router pair
+//! the overlay can use. This module cross-checks all three strategies over
+//! one `NetworkSpec` and is shared (via `#[path]` inclusion) by
+//! `tests/properties.rs` and the paper-scale tests, so every generated
+//! topology class goes through the same gate.
+
+use bullet_suite::netsim::{Network, NetworkSpec, RoutingMode};
+
+/// Number of landmarks the harness gives the ALT router. Deliberately small
+/// so the landmark bounds do real pruning work instead of degenerating.
+pub const HARNESS_LANDMARKS: usize = 4;
+
+/// Builds the three networks under comparison.
+fn networks(spec: &NetworkSpec) -> (Network, Network, Network) {
+    (
+        Network::with_routing(spec, RoutingMode::EagerPerSource),
+        Network::with_routing(spec, RoutingMode::LazyBidirectional),
+        Network::with_routing(
+            spec,
+            RoutingMode::LazyAlt {
+                landmarks: HARNESS_LANDMARKS,
+            },
+        ),
+    )
+}
+
+/// Asserts that one participant pair routes identically under all three
+/// strategies (path hop sequence and propagation cost).
+fn assert_pair(
+    eager: &mut Network,
+    bidi: &mut Network,
+    alt: &mut Network,
+    a: usize,
+    b: usize,
+    label: &str,
+) {
+    let reference = eager.path(a, b);
+    let lazy = bidi.path(a, b);
+    let guided = alt.path(a, b);
+    assert_eq!(
+        reference, lazy,
+        "{label}: participants {a}->{b}: bidirectional path diverges from reference"
+    );
+    assert_eq!(
+        reference, guided,
+        "{label}: participants {a}->{b}: ALT path diverges from reference"
+    );
+    if reference.is_some() {
+        let cost = eager.propagation_delay(a, b);
+        assert_eq!(
+            cost,
+            bidi.propagation_delay(a, b),
+            "{label}: {a}->{b}: bidirectional cost diverges"
+        );
+        assert_eq!(
+            cost,
+            alt.propagation_delay(a, b),
+            "{label}: {a}->{b}: ALT cost diverges"
+        );
+    }
+}
+
+/// Cross-checks every ordered participant pair of `spec` across the three
+/// routing strategies, then verifies each strategy did what it claims
+/// (the reference built trees, the lazy routers built none).
+pub fn assert_all_participant_pairs_equivalent(spec: &NetworkSpec, label: &str) {
+    let (mut eager, mut bidi, mut alt) = networks(spec);
+    let n = spec.participants();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                assert_pair(&mut eager, &mut bidi, &mut alt, a, b, label);
+            }
+        }
+    }
+    check_strategy_invariants(&eager, &bidi, &alt, label);
+}
+
+/// Cross-checks a sampled subset of ordered participant pairs — used at
+/// paper scale where all-pairs would run 20k-router reference Dijkstras for
+/// every source.
+pub fn assert_sampled_pairs_equivalent(spec: &NetworkSpec, pairs: &[(usize, usize)], label: &str) {
+    let (mut eager, mut bidi, mut alt) = networks(spec);
+    for &(a, b) in pairs {
+        if a != b {
+            assert_pair(&mut eager, &mut bidi, &mut alt, a, b, label);
+        }
+    }
+    check_strategy_invariants(&eager, &bidi, &alt, label);
+}
+
+fn check_strategy_invariants(eager: &Network, bidi: &Network, alt: &Network, label: &str) {
+    let e = eager.routing_stats();
+    assert_eq!(e.lazy_searches, 0, "{label}: reference ran lazy searches");
+    let b = bidi.routing_stats();
+    assert_eq!(b.trees_built, 0, "{label}: lazy router built SPT trees");
+    let g = alt.routing_stats();
+    assert_eq!(g.trees_built, 0, "{label}: ALT router built SPT trees");
+    // The comparison must not be vacuous: each strategy must actually have
+    // run its claimed algorithm on the pairs it was handed.
+    if e.route_queries > 0 {
+        assert!(e.trees_built > 0, "{label}: reference built no trees");
+        assert!(b.lazy_searches > 0, "{label}: bidi ran no searches");
+        assert!(b.routers_settled > 0, "{label}: bidi settled nothing");
+        assert!(g.lazy_searches > 0, "{label}: ALT ran no searches");
+        assert!(g.landmarks > 0, "{label}: ALT router holds no landmarks");
+    }
+}
