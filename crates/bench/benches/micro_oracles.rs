@@ -1,0 +1,216 @@
+//! Micro-benchmark of the batched tree-oracle setup path.
+//!
+//! Every figure that compares Bullet against an offline tree (OMBT,
+//! Overcast-like, hand-crafted good/worst) first runs a bandwidth oracle
+//! over the topology. Before PR 3 those oracles issued one lazy
+//! point-to-point search per (source, destination) pair — ~1M searches for a
+//! 1,000-participant paper-scale run. This benchmark measures the batched
+//! one-to-many path (`Network::route_batched` backed by
+//! `LazyRouter::paths_to_many`) against that pairwise baseline:
+//!
+//! - **ombt**: the greedy offline bottleneck tree of §4.1 (the worst-case
+//!   oracle: it evaluates every accepted node against every outside node);
+//! - **overcast**: the online bandwidth-optimized join sequence of §4.2;
+//! - **metric**: the per-node bandwidth-from-source metric behind the
+//!   hand-crafted good/worst trees of §4.7 (forward row prefetched, reverse
+//!   pairs left as point queries);
+//! - **figure_setup_total**: the sum — the oracle wall time a figure pays
+//!   before its first simulated packet.
+//!
+//! Every comparison asserts the batched and pairwise results are
+//! bit-identical (same parents / same estimates); the `oracle_bench {...}`
+//! JSON lines feed `BENCH_oracles.json` at the repository root and the
+//! nightly `BENCH_oracles` artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use bullet_bench::announce;
+use bullet_experiments::Scale;
+use bullet_netsim::{Network, RoutingStats};
+use bullet_overlay::{
+    bottleneck_tree_with, overcast_tree_with, OmbtConfig, OracleStrategy, OvercastConfig,
+    ThroughputOracle,
+};
+use bullet_topology::{generate, BuiltTopology, TopologyConfig};
+
+fn topology(scale: Scale) -> (BuiltTopology, &'static str) {
+    let clients = scale.participants();
+    match scale {
+        Scale::Small => (generate(&TopologyConfig::small(clients, 11)), "small"),
+        Scale::Default => (
+            generate(&TopologyConfig::emulation(clients, 11)),
+            "emulation",
+        ),
+        Scale::Paper => (generate(&TopologyConfig::paper_scale(clients, 11)), "paper"),
+    }
+}
+
+struct OracleReport {
+    oracle: &'static str,
+    batched_ms: f64,
+    pairwise_ms: f64,
+    identical: bool,
+    stats: RoutingStats,
+}
+
+impl OracleReport {
+    fn print(&self, class: &str, routers: usize, participants: usize) {
+        println!(
+            "oracle_bench {{\"topology\": \"{class}\", \"routers\": {routers}, \
+             \"participants\": {participants}, \"oracle\": \"{}\", \"batched_ms\": {:.1}, \
+             \"pairwise_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": {}, \
+             \"trees_built\": {}, \"row_fills\": {}, \"point_searches\": {}}}",
+            self.oracle,
+            self.batched_ms,
+            self.pairwise_ms,
+            self.pairwise_ms / self.batched_ms.max(1e-9),
+            self.identical,
+            self.stats.trees_built,
+            self.stats.batched_queries,
+            self.stats.lazy_searches,
+        );
+    }
+}
+
+fn measure_ombt(topo: &BuiltTopology, participants: usize) -> OracleReport {
+    let config = OmbtConfig::default();
+    let mut net = Network::new(&topo.spec);
+    let start = Instant::now();
+    let batched = bottleneck_tree_with(&mut net, participants, 0, &config, OracleStrategy::Batched);
+    let batched_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = net.routing_stats();
+    drop(net);
+    let mut net = Network::new(&topo.spec);
+    let start = Instant::now();
+    let pairwise =
+        bottleneck_tree_with(&mut net, participants, 0, &config, OracleStrategy::Pairwise);
+    let pairwise_ms = start.elapsed().as_secs_f64() * 1e3;
+    OracleReport {
+        oracle: "ombt",
+        batched_ms,
+        pairwise_ms,
+        identical: batched.parents() == pairwise.parents(),
+        stats,
+    }
+}
+
+fn measure_overcast(topo: &BuiltTopology, participants: usize) -> OracleReport {
+    let config = OvercastConfig::default();
+    let mut net = Network::new(&topo.spec);
+    let start = Instant::now();
+    let batched = overcast_tree_with(&mut net, participants, 0, &config, OracleStrategy::Batched);
+    let batched_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = net.routing_stats();
+    drop(net);
+    let mut net = Network::new(&topo.spec);
+    let start = Instant::now();
+    let pairwise = overcast_tree_with(&mut net, participants, 0, &config, OracleStrategy::Pairwise);
+    let pairwise_ms = start.elapsed().as_secs_f64() * 1e3;
+    OracleReport {
+        oracle: "overcast",
+        batched_ms,
+        pairwise_ms,
+        identical: batched.parents() == pairwise.parents(),
+        stats,
+    }
+}
+
+/// The bandwidth-from-source metric behind the good/worst trees: forward row
+/// prefetched in one batch, reverse pairs as point queries — against the
+/// all-point-query baseline.
+fn measure_metric(topo: &BuiltTopology, participants: usize) -> OracleReport {
+    let metric = |prefetch: bool| -> (Vec<Option<f64>>, f64, RoutingStats) {
+        let mut net = Network::new(&topo.spec);
+        let start = Instant::now();
+        let mut oracle = ThroughputOracle::with_strategy(&mut net, 1_500, OracleStrategy::Pairwise);
+        if prefetch {
+            oracle.prefetch_from(0);
+        }
+        let values = (1..participants)
+            .map(|node| oracle.estimate_bps(0, node))
+            .collect();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = net.routing_stats();
+        (values, ms, stats)
+    };
+    let (batched_values, batched_ms, stats) = metric(true);
+    let (pairwise_values, pairwise_ms, _) = metric(false);
+    OracleReport {
+        oracle: "metric",
+        batched_ms,
+        pairwise_ms,
+        identical: batched_values == pairwise_values,
+        stats,
+    }
+}
+
+fn report(scale: Scale) -> BuiltTopology {
+    let (topo, class) = topology(scale);
+    let participants = topo.participants();
+    let routers = topo.spec.routers;
+    let mut total_batched = 0.0;
+    let mut total_pairwise = 0.0;
+    let mut all_identical = true;
+    let mut total_stats: Option<RoutingStats> = None;
+    for measure in [measure_ombt, measure_overcast, measure_metric] {
+        let r = measure(&topo, participants);
+        r.print(class, routers, participants);
+        total_batched += r.batched_ms;
+        total_pairwise += r.pairwise_ms;
+        all_identical &= r.identical;
+        total_stats = Some(match total_stats {
+            None => r.stats,
+            Some(acc) => RoutingStats {
+                route_queries: acc.route_queries + r.stats.route_queries,
+                batched_queries: acc.batched_queries + r.stats.batched_queries,
+                trees_built: acc.trees_built + r.stats.trees_built,
+                lazy_searches: acc.lazy_searches + r.stats.lazy_searches,
+                routers_settled: acc.routers_settled + r.stats.routers_settled,
+                ..acc
+            },
+        });
+        assert!(
+            r.identical,
+            "{}: batched oracle diverged from pairwise",
+            r.oracle
+        );
+    }
+    let total = OracleReport {
+        oracle: "figure_setup_total",
+        batched_ms: total_batched,
+        pairwise_ms: total_pairwise,
+        identical: all_identical,
+        stats: total_stats.expect("at least one oracle measured"),
+    };
+    total.print(class, routers, participants);
+    topo
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let scale = announce("micro_oracles — batched tree-oracle setup");
+    let topo = report(scale);
+    // Criterion smoke: one batched OMBT construction end to end, on a small
+    // fixed overlay so `cargo bench` stays quick at every scale.
+    let smoke = generate(&TopologyConfig::small(24, 7));
+    let mut group = c.benchmark_group("oracles");
+    group.bench_function("ombt_batched_small", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&smoke.spec);
+            bottleneck_tree_with(
+                &mut net,
+                smoke.participants(),
+                0,
+                &OmbtConfig::default(),
+                OracleStrategy::Batched,
+            )
+            .parents()
+            .len()
+        })
+    });
+    group.finish();
+    drop(topo);
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use bullet_content::{
-    missing_keys, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet,
+    missing_keys_iter, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet,
 };
 use bullet_netsim::{Agent, Context, OverlayId, SimDuration};
 use bullet_overlay::Tree;
@@ -61,6 +61,14 @@ pub struct BulletNode {
 
     out_conns: HashMap<OverlayId, TfrcSender>,
     in_conns: HashMap<OverlayId, TfrcReceiver>,
+
+    /// Reusable peer-id buffer for the periodic timers (filter refresh, peer
+    /// service, mesh evaluation), which need the sender/receiver node list
+    /// while mutating `self`; without it every tick re-collects the list
+    /// into a fresh `Vec`.
+    scratch_peers: Vec<OverlayId>,
+    /// Reusable key buffer for `serve_receivers`.
+    scratch_keys: Vec<u64>,
 
     /// Cumulative data-plane metrics sampled by the experiment harness.
     pub metrics: BulletMetrics,
@@ -107,6 +115,8 @@ impl BulletNode {
             peers,
             out_conns: HashMap::new(),
             in_conns: HashMap::new(),
+            scratch_peers: Vec::new(),
+            scratch_keys: Vec::new(),
             metrics: BulletMetrics::default(),
             streaming: true,
         }
@@ -282,38 +292,60 @@ impl BulletNode {
         }
     }
 
+    /// Takes the scratch buffer filled with the current sender peer ids.
+    /// The caller must hand the buffer back via `self.scratch_peers = buf`
+    /// when done (forgetting only costs a per-tick allocation, not
+    /// correctness).
+    fn take_sender_peers(&mut self) -> Vec<OverlayId> {
+        let mut buf = std::mem::take(&mut self.scratch_peers);
+        buf.clear();
+        buf.extend(self.peers.senders().iter().map(|s| s.node));
+        buf
+    }
+
+    /// Takes the scratch buffer filled with the current receiver peer ids;
+    /// same return contract as [`Self::take_sender_peers`].
+    fn take_receiver_peers(&mut self) -> Vec<OverlayId> {
+        let mut buf = std::mem::take(&mut self.scratch_peers);
+        buf.clear();
+        buf.extend(self.peers.receivers().iter().map(|r| r.node));
+        buf
+    }
+
     /// Pushes updated Bloom filters, ranges and row assignments to every
     /// sending peer.
     fn refresh_senders(&mut self, ctx: &mut Context<'_, BulletMsg>) {
-        let senders: Vec<OverlayId> = self.peers.senders().iter().map(|s| s.node).collect();
+        let senders = self.take_sender_peers();
         let stripe = senders.len() as u64;
-        for (row, node) in senders.into_iter().enumerate() {
+        for (row, &node) in senders.iter().enumerate() {
             let request = self.build_request(stripe.max(1), row as u64);
             self.send_msg(ctx, node, BulletMsg::FilterRefresh { request });
         }
+        self.scratch_peers = senders;
     }
 
     /// Serves missing keys to every receiving peer, as far as the transports
     /// allow.
     fn serve_receivers(&mut self, ctx: &mut Context<'_, BulletMsg>) {
-        let receiver_nodes: Vec<OverlayId> =
-            self.peers.receivers().iter().map(|r| r.node).collect();
+        let receiver_nodes = self.take_receiver_peers();
+        let mut keys = std::mem::take(&mut self.scratch_keys);
         let now = ctx.now();
         let tfrc = self.config.tfrc;
         let packet_size = self.config.packet_size;
         let batch = self.config.peer_service_batch;
-        for node in receiver_nodes {
-            let keys: Vec<u64> = {
+        for &node in &receiver_nodes {
+            keys.clear();
+            {
                 let Some(receiver) = self.peers.receiver_mut(node) else {
                     continue;
                 };
-                missing_keys(&self.working_set, &receiver.request, batch * 4)
-                    .into_iter()
-                    .filter(|k| !receiver.sent_since_refresh.contains(k))
-                    .take(batch)
-                    .collect()
-            };
-            for key in keys {
+                keys.extend(
+                    missing_keys_iter(&self.working_set, &receiver.request, batch * 4)
+                        .filter(|k| !receiver.sent_since_refresh.contains(k))
+                        .take(batch),
+                );
+            }
+            for &key in &keys {
                 let conn = self
                     .out_conns
                     .entry(node)
@@ -331,6 +363,8 @@ impl BulletNode {
                 }
             }
         }
+        self.scratch_keys = keys;
+        self.scratch_peers = receiver_nodes;
     }
 
     /// Periodic mesh improvement (§3.4): report to senders, evict wasteful
@@ -339,8 +373,8 @@ impl BulletNode {
         // Report our total received bandwidth to every sender so they can
         // run their receiver eviction.
         let window_bytes = self.metrics.raw_bytes;
-        let senders: Vec<OverlayId> = self.peers.senders().iter().map(|s| s.node).collect();
-        for node in senders {
+        let senders = self.take_sender_peers();
+        for &node in &senders {
             self.send_msg(
                 ctx,
                 node,
@@ -349,6 +383,7 @@ impl BulletNode {
                 },
             );
         }
+        self.scratch_peers = senders;
         let evaluation = self.peers.evaluate_senders();
         for node in evaluation.drop {
             self.in_conns.remove(&node);

@@ -61,18 +61,21 @@ impl BloomFilter {
     }
 
     fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
-        // Double hashing: two independent 64-bit hashes combined as
-        // h1 + i*h2, the standard Kirsch–Mitzenmacher construction.
-        let h1 = splitmix(key ^ 0x51_7C_C1_B7_27_22_0A_95);
-        let h2 = splitmix(key.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+        let (h1, h2) = hash_pair(key);
         let m = self.m as u64;
         (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 
     /// Inserts a key.
     pub fn insert(&mut self, key: u64) {
-        let positions: Vec<usize> = self.positions(key).collect();
-        for pos in positions {
+        // Inlined double hashing rather than `positions()`: the iterator
+        // borrows `self`, which would force collecting the positions into a
+        // heap-allocated `Vec` before the `&mut self.bits` writes — and this
+        // runs on the summary/reconciliation hot path for every packet.
+        let (h1, h2) = hash_pair(key);
+        let m = self.m as u64;
+        for i in 0..self.k as u64 {
+            let pos = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
             self.bits[pos / 64] |= 1u64 << (pos % 64);
         }
         self.inserted += 1;
@@ -98,6 +101,15 @@ impl BloomFilter {
         let exponent = -kn / self.m as f64;
         (1.0 - exponent.exp()).powi(self.k as i32)
     }
+}
+
+/// Double hashing: two independent 64-bit hashes combined as `h1 + i*h2`,
+/// the standard Kirsch–Mitzenmacher construction.
+#[inline]
+fn hash_pair(key: u64) -> (u64, u64) {
+    let h1 = splitmix(key ^ 0x51_7C_C1_B7_27_22_0A_95);
+    let h2 = splitmix(key.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+    (h1, h2)
 }
 
 fn splitmix(mut z: u64) -> u64 {

@@ -20,6 +20,6 @@ pub mod summary;
 pub mod working_set;
 
 pub use bloom::BloomFilter;
-pub use reconcile::{missing_keys, ReconcileRequest};
+pub use reconcile::{missing_keys, missing_keys_iter, ReconcileRequest};
 pub use summary::{PermutationFamily, SummaryTicket, DEFAULT_ENTRIES};
 pub use working_set::WorkingSet;

@@ -65,10 +65,20 @@ impl ReconcileRequest {
 /// Bloom filter) but may omit keys the receiver is missing if the filter
 /// returned a false positive for them.
 pub fn missing_keys(have: &WorkingSet, request: &ReconcileRequest, limit: usize) -> Vec<u64> {
+    missing_keys_iter(have, request, limit).collect()
+}
+
+/// Iterator form of [`missing_keys`], for callers that stream the keys into
+/// a reusable buffer instead of allocating a fresh `Vec` per peer-service
+/// tick.
+pub fn missing_keys_iter<'a>(
+    have: &'a WorkingSet,
+    request: &'a ReconcileRequest,
+    limit: usize,
+) -> impl Iterator<Item = u64> + 'a {
     have.iter_range(request.low, request.high)
-        .filter(|&key| key % request.stripe == request.row && !request.filter.contains(key))
+        .filter(move |&key| key % request.stripe == request.row && !request.filter.contains(key))
         .take(limit)
-        .collect()
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 
 use bullet_netsim::{LinkSpec, Network, NetworkSpec, OverlayId, SimDuration, SimRng};
 use bullet_overlay::{
-    bottleneck_tree, good_tree, overcast_tree, random_tree, worst_tree, OmbtConfig, OvercastConfig,
-    ThroughputOracle, Tree,
+    bottleneck_tree, good_tree, overcast_tree, random_tree, worst_tree, OmbtConfig, OracleStrategy,
+    OvercastConfig, ThroughputOracle, Tree,
 };
 use bullet_topology::{generate, BandwidthProfile, BuiltTopology, LossProfile, TopologyConfig};
 
@@ -80,9 +80,15 @@ pub fn build_tree(topo: &BuiltTopology, kind: TreeKind, root: OverlayId, seed: u
 
 /// Per-node available-bandwidth metric from the source, standing in for the
 /// paper's pathload measurements when hand-crafting trees.
+///
+/// The forward routes (root → everyone) are batch-computed with one
+/// one-to-many search up front; the reverse pairs stay point queries, since
+/// each `node → root` route is needed exactly once and a full row fill per
+/// node would overshoot a single-target need.
 pub fn bandwidth_metric_from_source(topo: &BuiltTopology, root: OverlayId) -> Vec<f64> {
     let mut net = Network::new(&topo.spec);
-    let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+    let mut oracle = ThroughputOracle::with_strategy(&mut net, 1_500, OracleStrategy::Pairwise);
+    oracle.prefetch_from(root);
     (0..topo.participants())
         .map(|node| {
             if node == root {

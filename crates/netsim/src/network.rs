@@ -101,8 +101,9 @@ impl RouteArena {
     }
 
     fn intern(&mut self, path: &[DirectedLinkId]) -> RouteId {
+        // Stay clear of the route-memo sentinels (u32::MAX and u32::MAX - 1).
         assert!(
-            self.spans.len() < u32::MAX as usize,
+            self.spans.len() < (u32::MAX - 2) as usize,
             "route arena exhausted"
         );
         let start = u32::try_from(self.links.len()).expect("route arena offset fits in u32");
@@ -115,6 +116,46 @@ impl RouteArena {
     fn links(&self, id: RouteId) -> &[DirectedLinkId] {
         let (start, len) = self.spans[id.0 as usize];
         &self.links[start as usize..start as usize + len as usize]
+    }
+}
+
+/// Flat `participants × participants` route-memo table.
+///
+/// The simulator's per-send hot path used to hash a `(RouterId, RouterId)`
+/// key on every cache hit; for mid-sized overlays this table replaces that
+/// lookup with one multiply-add and a 4-byte load. It also gives the batched
+/// oracle path ([`Network::route_all_from`]) a place to record whole rows of
+/// routes at once. Entries are `RouteId` raw values with two sentinels.
+#[derive(Clone, Debug)]
+struct RouteMemo {
+    n: usize,
+    table: Vec<u32>,
+}
+
+impl RouteMemo {
+    /// The pair has not been routed yet.
+    const UNKNOWN: u32 = u32::MAX;
+    /// The destination is unreachable (memoized negative result).
+    const UNREACHABLE: u32 = u32::MAX - 1;
+
+    fn new(n: usize) -> Self {
+        RouteMemo {
+            n,
+            table: vec![Self::UNKNOWN; n * n],
+        }
+    }
+
+    #[inline]
+    fn get(&self, from: OverlayId, to: OverlayId) -> u32 {
+        self.table[from * self.n + to]
+    }
+
+    #[inline]
+    fn set(&mut self, from: OverlayId, to: OverlayId, route: Option<RouteId>) {
+        self.table[from * self.n + to] = match route {
+            Some(id) => id.0,
+            None => Self::UNREACHABLE,
+        };
     }
 }
 
@@ -143,7 +184,10 @@ pub struct RoutingStats {
     /// The mode the network routes with.
     pub mode: RoutingMode,
     /// Route computations (route-cache misses); cache hits are not counted.
+    /// Pairs computed by a batched row fill count individually.
     pub route_queries: u64,
+    /// Batched one-to-many row fills run ([`Network::route_all_from`]).
+    pub batched_queries: u64,
     /// Full per-source Dijkstra trees built (eager mode only).
     pub trees_built: u64,
     /// Lazy point-to-point searches run.
@@ -178,6 +222,12 @@ pub struct Network {
     routes: RouteArena,
     /// Route ids keyed by (source router, destination router).
     route_cache: FxHashMap<(RouterId, RouterId), RouteId>,
+    /// Flat participant-pair route memo (see [`RouteMemo`]); `None` for
+    /// overlays above [`Network::MEMO_MAX_PARTICIPANTS`].
+    memo: Option<RouteMemo>,
+    /// Batched one-to-many row fills performed (see
+    /// [`Network::route_all_from`]).
+    batched_queries: u64,
     /// Flat per-link trace state: for each directed link, copies per trace
     /// id. Only the (small, sampled) trace dimension is hashed.
     link_traces: Vec<FxHashMap<u64, u64>>,
@@ -228,6 +278,9 @@ impl Network {
                 RouteComputer::Lazy(Box::new(LazyRouter::new(&adjacency, landmarks)))
             }
         };
+        let participants = spec.attachments.len();
+        let memo =
+            (participants <= Self::MEMO_MAX_PARTICIPANTS).then(|| RouteMemo::new(participants));
         Network {
             links,
             adjacency,
@@ -237,6 +290,8 @@ impl Network {
             route_queries: 0,
             routes: RouteArena::new(),
             route_cache: FxHashMap::default(),
+            memo,
+            batched_queries: 0,
             link_traces: vec![FxHashMap::default(); link_count],
             trace_aggs: FxHashMap::default(),
             stress_ratio_sum: 0.0,
@@ -269,14 +324,37 @@ impl Network {
         &self.links
     }
 
+    /// Largest overlay for which the flat participant-pair route memo is
+    /// kept (`n²` 4-byte entries — 16 MiB at the cap; the paper's 1,000
+    /// participants cost 4 MiB). Larger overlays fall back to the router-pair
+    /// hash alone and to pairwise computation.
+    pub const MEMO_MAX_PARTICIPANTS: usize = 2_048;
+
     /// The interned route between two overlay participants.
     ///
     /// Returns [`RouteId::EMPTY`] when both participants share an attachment
     /// router, and `None` when the destination is unreachable. After the
-    /// first lookup for a router pair the route is served from the arena
-    /// with no allocation or path copy — this is the simulator's per-send
-    /// hot path.
+    /// first lookup for a participant pair the route is served from the flat
+    /// route-memo table (or, above [`Network::MEMO_MAX_PARTICIPANTS`], the
+    /// router-pair hash) with no allocation or path copy — this is the
+    /// simulator's per-send hot path.
     pub fn route(&mut self, from: OverlayId, to: OverlayId) -> Option<RouteId> {
+        if let Some(memo) = &self.memo {
+            let entry = memo.get(from, to);
+            if entry != RouteMemo::UNKNOWN {
+                return (entry != RouteMemo::UNREACHABLE).then_some(RouteId(entry));
+            }
+        }
+        let id = self.route_between_routers(from, to);
+        if let Some(memo) = &mut self.memo {
+            memo.set(from, to, id);
+        }
+        id
+    }
+
+    /// Computes (or fetches from the router-pair cache) the route between two
+    /// participants, without consulting or updating the participant memo.
+    fn route_between_routers(&mut self, from: OverlayId, to: OverlayId) -> Option<RouteId> {
         let (src, dst) = (self.attachments[from], self.attachments[to]);
         if src == dst {
             return Some(RouteId::EMPTY);
@@ -311,6 +389,115 @@ impl Network {
         Some(id)
     }
 
+    /// The interned route between two overlay participants, batch-computing
+    /// the **entire row** of routes out of `from` on a memo miss (see
+    /// [`Network::route_all_from`]).
+    ///
+    /// This is the oracle-side lookup: offline tree constructions evaluate a
+    /// candidate source against many destinations (and, over their run, the
+    /// reverse pairs of every participant), so amortizing a whole row per
+    /// miss turns their O(participants²) point searches into O(participants)
+    /// one-to-many searches. For overlays above
+    /// [`Network::MEMO_MAX_PARTICIPANTS`] it degrades to a plain
+    /// [`Network::route`]. Routes are canonical either way — bit-identical to
+    /// what the pairwise path returns.
+    pub fn route_batched(&mut self, from: OverlayId, to: OverlayId) -> Option<RouteId> {
+        match &self.memo {
+            None => self.route(from, to),
+            Some(memo) => {
+                if memo.get(from, to) == RouteMemo::UNKNOWN {
+                    self.route_all_from(from);
+                }
+                let entry = self.memo.as_ref().expect("memo present").get(from, to);
+                debug_assert_ne!(entry, RouteMemo::UNKNOWN, "row fill covers every pair");
+                (entry != RouteMemo::UNREACHABLE).then_some(RouteId(entry))
+            }
+        }
+    }
+
+    /// Batch-computes and memoizes the routes from `from` to **every**
+    /// participant: pairs already known are kept, the rest are computed with
+    /// a single one-to-many forward search ([`LazyRouter::paths_to_many`]) in
+    /// the lazy modes, or one shortest-path tree in eager mode. A no-op for
+    /// overlays above [`Network::MEMO_MAX_PARTICIPANTS`].
+    pub fn route_all_from(&mut self, from: OverlayId) {
+        if self.memo.is_none() {
+            return;
+        }
+        let src = self.attachments[from];
+        let n = self.attachments.len();
+        // Pass 1: serve participants already covered by the memo or the
+        // router-pair cache; collect the distinct routers still missing.
+        let mut targets: Vec<RouterId> = Vec::new();
+        let mut target_of: FxHashMap<RouterId, usize> = FxHashMap::default();
+        let mut pending: Vec<(OverlayId, usize)> = Vec::new();
+        {
+            let memo = self.memo.as_mut().expect("checked above");
+            for t in 0..n {
+                if memo.get(from, t) != RouteMemo::UNKNOWN {
+                    continue;
+                }
+                let dst = self.attachments[t];
+                if dst == src {
+                    memo.set(from, t, Some(RouteId::EMPTY));
+                    continue;
+                }
+                if let Some(&id) = self.route_cache.get(&(src, dst)) {
+                    memo.set(from, t, Some(id));
+                    continue;
+                }
+                let idx = *target_of.entry(dst).or_insert_with(|| {
+                    targets.push(dst);
+                    targets.len() - 1
+                });
+                pending.push((t, idx));
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        self.batched_queries += 1;
+        self.route_queries += targets.len() as u64;
+        // Pass 2: compute the missing router pairs in one batch.
+        let mut row: Vec<Option<RouteId>> = vec![None; targets.len()];
+        let adjacency = &self.adjacency;
+        match &mut self.computer {
+            RouteComputer::Eager {
+                trees,
+                buf,
+                trees_built,
+            } => {
+                let sp = trees.entry(src).or_insert_with(|| {
+                    *trees_built += 1;
+                    ShortestPaths::compute(adjacency, src)
+                });
+                for (idx, &dst) in targets.iter().enumerate() {
+                    if sp.path_into(dst, buf) {
+                        let id = self.routes.intern(buf);
+                        self.route_cache.insert((src, dst), id);
+                        row[idx] = Some(id);
+                    }
+                }
+            }
+            RouteComputer::Lazy(router) => {
+                let routes = &mut self.routes;
+                let cache = &mut self.route_cache;
+                let row = &mut row;
+                router.paths_to_many(adjacency, src, &targets, |idx, res| {
+                    if let Some((_cost, links)) = res {
+                        let id = routes.intern(links);
+                        cache.insert((src, targets[idx]), id);
+                        row[idx] = Some(id);
+                    }
+                });
+            }
+        }
+        let memo = self.memo.as_mut().expect("checked above");
+        for (t, idx) in pending {
+            memo.set(from, t, row[idx]);
+        }
+    }
+
     /// Counters describing the routing work done so far.
     pub fn routing_stats(&self) -> RoutingStats {
         let (trees_built, lazy_searches, routers_settled, landmarks) = match &self.computer {
@@ -323,6 +510,7 @@ impl Network {
         RoutingStats {
             mode: self.mode,
             route_queries: self.route_queries,
+            batched_queries: self.batched_queries,
             trees_built,
             lazy_searches,
             routers_settled,
@@ -583,6 +771,66 @@ mod tests {
         assert_eq!(stats.lazy_searches, 1);
         assert!(stats.routers_settled > 0);
         assert_eq!(stats.mode, RoutingMode::LazyBidirectional);
+    }
+
+    #[test]
+    fn batched_row_fill_matches_point_queries() {
+        for mode in [
+            RoutingMode::EagerPerSource,
+            RoutingMode::LazyBidirectional,
+            RoutingMode::LazyAlt { landmarks: 2 },
+        ] {
+            let spec = dumbbell();
+            let mut point = Network::with_routing(&spec, mode);
+            let mut batched = Network::with_routing(&spec, mode);
+            for a in 0..spec.participants() {
+                for b in 0..spec.participants() {
+                    let reference = point.path(a, b);
+                    let via_batch = batched.route_batched(a, b);
+                    let got = via_batch.map(|id| batched.route_links(id).to_vec());
+                    assert_eq!(reference, got, "{mode:?}: {a}->{b}");
+                    // After the row fill, the plain hot-path lookup agrees.
+                    assert_eq!(batched.route(a, b), via_batch, "{mode:?}: {a}->{b}");
+                }
+            }
+            let stats = batched.routing_stats();
+            assert!(stats.batched_queries > 0, "{mode:?}: no row fill ran");
+            if mode != RoutingMode::EagerPerSource {
+                assert_eq!(stats.trees_built, 0, "{mode:?}: batched built SPTs");
+                assert_eq!(stats.lazy_searches, 0, "{mode:?}: fell back to point");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_row_fill_memoizes_unreachable_destinations() {
+        // Participant 1 sits on an isolated router.
+        let mut spec = NetworkSpec::new(3);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(5)));
+        spec.attach(0);
+        spec.attach(2);
+        let mut net = Network::with_routing(&spec, RoutingMode::LazyBidirectional);
+        assert_eq!(net.route_batched(0, 1), None);
+        let queries = net.routing_stats().route_queries;
+        // Served from the memo: no further computation.
+        assert_eq!(net.route_batched(0, 1), None);
+        assert_eq!(net.route(0, 1), None);
+        assert_eq!(net.routing_stats().route_queries, queries);
+    }
+
+    #[test]
+    fn route_all_from_prefills_the_hot_path() {
+        let spec = dumbbell();
+        let mut net = Network::with_routing(&spec, RoutingMode::LazyAlt { landmarks: 2 });
+        net.route_all_from(0);
+        let stats = net.routing_stats();
+        assert_eq!(stats.batched_queries, 1);
+        // Subsequent hot-path lookups are memo hits: no new computations.
+        net.route(0, 1).expect("route exists");
+        assert_eq!(net.routing_stats().route_queries, stats.route_queries);
+        // A second row fill finds nothing left to do.
+        net.route_all_from(0);
+        assert_eq!(net.routing_stats().batched_queries, 1);
     }
 
     #[test]

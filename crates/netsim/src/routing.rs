@@ -436,6 +436,99 @@ impl PotCache {
     }
 }
 
+/// Per-batch multi-target ALT potential for [`LazyRouter::paths_to_many`].
+///
+/// For a batched one-to-many query the forward search must settle *every*
+/// target, so the useful potential is a lower bound on the distance to the
+/// **nearest** target: `p(v) = max_L min_t |d_L(v) − d_L(t)|`. Each
+/// `|d_L(v) − d_L(t)|` is the standard ALT bound (consistent under the
+/// symmetric-cost assumption); taking `min` over targets and `max` over
+/// landmarks preserves consistency, and `p(t) = 0` at every target. The
+/// inner `min` is an `O(log targets)` binary search over the per-landmark
+/// sorted target distances, memoized per node per query epoch.
+#[derive(Debug)]
+struct BatchPot {
+    stamp: Vec<u32>,
+    val: Vec<u64>,
+    epoch: u32,
+    active: bool,
+    /// Per landmark, the sorted distances from that landmark to every batch
+    /// target; empty when the landmark cannot bound this batch (some target
+    /// lies outside its component).
+    sorted: Vec<Vec<u64>>,
+}
+
+impl BatchPot {
+    fn new(n: usize) -> Self {
+        BatchPot {
+            stamp: vec![0; n],
+            val: vec![0; n],
+            epoch: 0,
+            active: false,
+            sorted: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, epoch: u32, landmarks: &[Vec<u64>], targets: &[RouterId]) {
+        self.epoch = epoch;
+        self.active = false;
+        self.sorted.resize_with(landmarks.len(), Vec::new);
+        for (l, table) in landmarks.iter().enumerate() {
+            let buf = &mut self.sorted[l];
+            buf.clear();
+            let mut usable = true;
+            for &t in targets {
+                let d = table[t];
+                if d == u64::MAX {
+                    usable = false;
+                    break;
+                }
+                buf.push(d);
+            }
+            if usable {
+                buf.sort_unstable();
+                self.active = true;
+            } else {
+                buf.clear();
+            }
+        }
+    }
+
+    /// Lower bound on the distance from `v` to the nearest batch target
+    /// (0 without landmarks or for nodes a landmark cannot see).
+    fn get(&mut self, landmarks: &[Vec<u64>], v: RouterId) -> u64 {
+        if !self.active {
+            return 0;
+        }
+        if self.stamp[v] == self.epoch {
+            return self.val[v];
+        }
+        let mut p = 0u64;
+        for (l, table) in landmarks.iter().enumerate() {
+            let ts = &self.sorted[l];
+            if ts.is_empty() {
+                continue;
+            }
+            let dv = table[v];
+            if dv == u64::MAX {
+                continue; // landmark in another component: no bound
+            }
+            let i = ts.partition_point(|&d| d < dv);
+            let mut nearest = u64::MAX;
+            if i < ts.len() {
+                nearest = ts[i] - dv;
+            }
+            if i > 0 {
+                nearest = nearest.min(dv - ts[i - 1]);
+            }
+            p = p.max(nearest);
+        }
+        self.stamp[v] = self.epoch;
+        self.val[v] = p;
+        p
+    }
+}
+
 /// Which frontier an [`advance`] step grows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Dir {
@@ -500,6 +593,8 @@ fn advance(
 pub struct LazyRouterStats {
     /// Point-to-point searches run (route-cache misses).
     pub searches: u64,
+    /// Batched one-to-many searches run ([`LazyRouter::paths_to_many`]).
+    pub batched: u64,
     /// Routers settled across all searches and reconstruction resumes.
     pub settled: u64,
     /// Landmark tables built at construction.
@@ -531,6 +626,16 @@ pub struct LazyRouter {
     rev_buf: Vec<DirectedLinkId>,
     searches: u64,
     settled: u64,
+    // Batched one-to-many state (see `paths_to_many`). All arrays are
+    // epoch-stamped like the search sides, so a batch query is O(1) to begin.
+    batch_pot: BatchPot,
+    /// Marks the routers that are targets of the current batch query.
+    target_stamp: Vec<u32>,
+    /// Memoized canonical predecessor per node per batch epoch, so targets
+    /// sharing a path suffix walk it once.
+    canon_stamp: Vec<u32>,
+    canon_prev: Vec<(RouterId, DirectedLinkId)>,
+    batched: u64,
 }
 
 impl LazyRouter {
@@ -549,6 +654,11 @@ impl LazyRouter {
             rev_buf: Vec::new(),
             searches: 0,
             settled: 0,
+            batch_pot: BatchPot::new(n),
+            target_stamp: vec![0; n],
+            canon_stamp: vec![0; n],
+            canon_prev: vec![(0, 0); n],
+            batched: 0,
         }
     }
 
@@ -556,6 +666,7 @@ impl LazyRouter {
     pub fn stats(&self) -> LazyRouterStats {
         LazyRouterStats {
             searches: self.searches,
+            batched: self.batched,
             settled: self.settled,
             landmarks: self.landmark_dists.len(),
         }
@@ -714,6 +825,160 @@ impl LazyRouter {
                 mu,
                 &mut self.settled,
             );
+        }
+    }
+
+    /// Batched one-to-many query: computes the canonical shortest path from
+    /// `src` to every router in `targets` with a **single** forward search,
+    /// early-terminating once every target is settled.
+    ///
+    /// The search is a plain forward Dijkstra (unscaled costs) guided, in ALT
+    /// mode, by the multi-target lower bound of [`BatchPot`] — a consistent
+    /// potential, so every popped node's distance is final and the paths are
+    /// exactly the canonical ones the pairwise [`LazyRouter::query`] and the
+    /// eager [`ShortestPaths`] return. `emit(i, result)` is called once per
+    /// target index, in order; the result is `None` for unreachable targets
+    /// and otherwise the cost plus the link sequence (borrowed from an
+    /// internal buffer, valid for the duration of the callback).
+    ///
+    /// Reconstruction walks tight in-edges back from each target (smallest
+    /// link id wins, as everywhere), resuming the forward search on demand
+    /// where the early-terminated ball has not yet proven or refuted
+    /// tightness; the canonical predecessor of each node is memoized per
+    /// query, so targets sharing a path suffix walk it once.
+    pub fn paths_to_many(
+        &mut self,
+        adj: &Adjacency,
+        src: RouterId,
+        targets: &[RouterId],
+        mut emit: impl FnMut(usize, Option<(u64, &[DirectedLinkId])>),
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        self.batched += 1;
+        self.epoch = self.epoch.checked_add(1).expect("routing epoch overflow");
+        let epoch = self.epoch;
+        self.batch_pot.begin(epoch, &self.landmark_dists, targets);
+        self.fwd.heap.clear();
+        self.fwd.improve(epoch, src, 0);
+        let ps = self.batch_pot.get(&self.landmark_dists, src);
+        self.fwd.key[src] = ps;
+        self.fwd.heap.push(Reverse((ps, src as u32)));
+
+        // Phase 1: settle until every distinct target is settled (or the
+        // frontier is exhausted, leaving the rest provably unreachable).
+        let mut remaining = 0usize;
+        for &t in targets {
+            if self.target_stamp[t] != epoch {
+                self.target_stamp[t] = epoch;
+                remaining += 1;
+            }
+        }
+        while remaining > 0 {
+            let Some(v) = self.batch_advance(adj) else {
+                break;
+            };
+            if self.target_stamp[v] == epoch {
+                remaining -= 1;
+            }
+        }
+
+        // Phase 2: canonical reconstruction per target.
+        let mut rev = std::mem::take(&mut self.rev_buf);
+        for (i, &t) in targets.iter().enumerate() {
+            if !self.fwd.settled(epoch, t) {
+                emit(i, None);
+                continue;
+            }
+            rev.clear();
+            let mut v = t;
+            while v != src {
+                let (u, link) = self.batch_canonical_prev(adj, v);
+                rev.push(link);
+                v = u;
+            }
+            self.path_buf.clear();
+            self.path_buf.extend(rev.iter().rev());
+            emit(i, Some((self.fwd.dist[t], &self.path_buf)));
+        }
+        self.rev_buf = rev;
+    }
+
+    /// Settles the next node of the batched forward search, or `None` once
+    /// the frontier is exhausted.
+    fn batch_advance(&mut self, adj: &Adjacency) -> Option<RouterId> {
+        let epoch = self.epoch;
+        loop {
+            let Reverse((key, v32)) = self.fwd.heap.pop()?;
+            let v = v32 as usize;
+            if self.fwd.stamp[v] != epoch
+                || self.fwd.settled_at[v] == epoch
+                || key != self.fwd.key[v]
+            {
+                continue; // stale entry
+            }
+            self.fwd.settled_at[v] = epoch;
+            self.settled += 1;
+            let dv = self.fwd.dist[v];
+            for &(u, _link, cost) in adj.neighbors(v) {
+                let nd = dv.saturating_add(cost);
+                if self.fwd.improve(epoch, u, nd) {
+                    let p = self.batch_pot.get(&self.landmark_dists, u);
+                    let key = nd.saturating_add(p);
+                    self.fwd.key[u] = key;
+                    self.fwd.heap.push(Reverse((key, u as u32)));
+                }
+            }
+            return Some(v);
+        }
+    }
+
+    /// The canonical predecessor (tight in-edge with the smallest link id) of
+    /// a settled node `v` in the current batch search, memoized per epoch.
+    fn batch_canonical_prev(&mut self, adj: &Adjacency, v: RouterId) -> (RouterId, DirectedLinkId) {
+        if self.canon_stamp[v] == self.epoch {
+            return self.canon_prev[v];
+        }
+        let dv = self.fwd.dist[v];
+        let mut best: Option<(DirectedLinkId, RouterId)> = None;
+        for &(u, link, cost) in adj.in_neighbors(v) {
+            if let Some((best_link, _)) = best {
+                if link >= best_link {
+                    continue; // only a smaller link id can win
+                }
+            }
+            if cost > dv {
+                continue;
+            }
+            if self.batch_dist_equals(adj, u, dv - cost) {
+                best = Some((link, u));
+            }
+        }
+        let (link, u) = best.expect("a shortest path always has a tight canonical predecessor");
+        self.canon_stamp[v] = self.epoch;
+        self.canon_prev[v] = (u, link);
+        (u, link)
+    }
+
+    /// Whether the true forward distance of `u` in the batch search equals
+    /// `target`, resuming the search as needed. Sound because the batch
+    /// potential is consistent: an unsettled node's final key (`dist + p`)
+    /// is bounded below by the current frontier top.
+    fn batch_dist_equals(&mut self, adj: &Adjacency, u: RouterId, target: u64) -> bool {
+        let epoch = self.epoch;
+        loop {
+            if self.fwd.settled(epoch, u) {
+                return self.fwd.dist[u] == target;
+            }
+            let Some(top) = self.fwd.peek_fresh(epoch) else {
+                return false; // frontier exhausted: u is unreachable
+            };
+            let pu = self.batch_pot.get(&self.landmark_dists, u);
+            if top > target.saturating_add(pu) {
+                return false; // true dist of u provably exceeds target
+            }
+            self.batch_advance(adj);
         }
     }
 }
@@ -883,6 +1148,120 @@ mod tests {
         // More landmarks than routers caps out.
         let small = line(2);
         assert!(select_landmarks(&small, 8).len() <= 2);
+    }
+
+    /// Runs `paths_to_many` and collects the per-target results as owned
+    /// vectors for comparison.
+    fn batch(
+        router: &mut LazyRouter,
+        adj: &Adjacency,
+        src: RouterId,
+        targets: &[RouterId],
+    ) -> Vec<Option<(u64, Vec<DirectedLinkId>)>> {
+        let mut out: Vec<Option<(u64, Vec<DirectedLinkId>)>> = vec![None; targets.len()];
+        router.paths_to_many(adj, src, targets, |i, res| {
+            out[i] = res.map(|(c, p)| (c, p.to_vec()));
+        });
+        out
+    }
+
+    #[test]
+    fn batched_paths_match_the_reference_on_a_line() {
+        let adj = line(5);
+        let sp = ShortestPaths::compute(&adj, 1);
+        let mut lazy = LazyRouter::new(&adj, 0);
+        let targets = [4, 0, 1, 3, 4]; // out of order, duplicate, src itself
+        let got = batch(&mut lazy, &adj, 1, &targets);
+        for (i, &t) in targets.iter().enumerate() {
+            let (cost, path) = got[i].clone().expect("reachable");
+            assert_eq!(Some(cost), sp.cost_to(t), "target {t}");
+            assert_eq!(Some(path), sp.path_to(t), "target {t}");
+        }
+        assert_eq!(lazy.stats().batched, 1);
+        assert_eq!(lazy.stats().searches, 0);
+    }
+
+    #[test]
+    fn batched_paths_report_unreachable_targets() {
+        let mut adj = Adjacency::new(4);
+        adj.add_edge(0, 1, 0, 1);
+        adj.add_edge(1, 0, 1, 1);
+        // Routers 2 and 3 form a separate component.
+        adj.add_edge(2, 3, 2, 1);
+        adj.add_edge(3, 2, 3, 1);
+        for landmarks in [0, 2] {
+            let mut lazy = LazyRouter::new(&adj, landmarks);
+            let got = batch(&mut lazy, &adj, 0, &[1, 2, 3, 0]);
+            assert_eq!(got[0], Some((1, vec![0])), "landmarks {landmarks}");
+            assert_eq!(got[1], None, "landmarks {landmarks}");
+            assert_eq!(got[2], None, "landmarks {landmarks}");
+            assert_eq!(got[3], Some((0, vec![])), "landmarks {landmarks}");
+        }
+    }
+
+    /// The batched one-to-many query must return bit-identical canonical
+    /// paths to the eager reference (and hence to the pairwise lazy modes)
+    /// on tie-heavy random graphs, with and without landmarks.
+    #[test]
+    fn batched_paths_match_reference_on_random_tie_heavy_graphs() {
+        let mut rng = SimRng::new(0xBA7C4);
+        for case in 0..20 {
+            let n = 8 + (rng.next_u64() % 40) as usize;
+            let mut adj = Adjacency::new(n);
+            let mut next_link = 0;
+            let mut add = |adj: &mut Adjacency, a: usize, b: usize, cost: u64| {
+                adj.add_edge(a, b, next_link, cost);
+                adj.add_edge(b, a, next_link + 1, cost);
+                next_link += 2;
+            };
+            for i in 0..n {
+                add(&mut adj, i, (i + 1) % n, 1 + rng.next_u64() % 3);
+            }
+            for _ in 0..n {
+                let a = (rng.next_u64() % n as u64) as usize;
+                let b = (rng.next_u64() % n as u64) as usize;
+                if a != b {
+                    add(&mut adj, a, b, 1 + rng.next_u64() % 3);
+                }
+            }
+            let targets: Vec<RouterId> = (0..n).collect();
+            let mut plain = LazyRouter::new(&adj, 0);
+            let mut alt = LazyRouter::new(&adj, 3);
+            for src in 0..n {
+                let sp = ShortestPaths::compute(&adj, src);
+                let got_plain = batch(&mut plain, &adj, src, &targets);
+                let got_alt = batch(&mut alt, &adj, src, &targets);
+                for dst in 0..n {
+                    let reference = sp.path_to(dst).map(|p| (sp.cost_to(dst).unwrap(), p));
+                    assert_eq!(got_plain[dst], reference, "case {case}: {src}->{dst} plain");
+                    assert_eq!(got_alt[dst], reference, "case {case}: {src}->{dst} alt");
+                }
+            }
+        }
+    }
+
+    /// Batched queries interleave safely with pairwise queries on the same
+    /// router (the epoch-stamped workspaces are shared).
+    #[test]
+    fn batched_and_pairwise_queries_interleave() {
+        let adj = line(6);
+        let mut lazy = LazyRouter::new(&adj, 2);
+        let sp = ShortestPaths::compute(&adj, 0);
+        let (c1, p1) = lazy
+            .query(&adj, 0, 5)
+            .map(|(c, p)| (c, p.to_vec()))
+            .unwrap();
+        let got = batch(&mut lazy, &adj, 0, &[5, 2]);
+        assert_eq!(got[0], Some((c1, p1.clone())));
+        assert_eq!(got[1].as_ref().map(|(_, p)| p.clone()), sp.path_to(2));
+        let (c2, p2) = lazy
+            .query(&adj, 0, 5)
+            .map(|(c, p)| (c, p.to_vec()))
+            .unwrap();
+        assert_eq!((c2, p2), (c1, p1));
+        let stats = lazy.stats();
+        assert_eq!(stats.searches, 2);
+        assert_eq!(stats.batched, 1);
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod random_tree;
 pub mod tree;
 
 pub use handcrafted::{good_tree, layered_tree, worst_tree};
-pub use ombt::{bottleneck_tree, OmbtConfig, ThroughputOracle};
-pub use overcast::{overcast_tree, OvercastConfig};
+pub use ombt::{
+    bottleneck_tree, bottleneck_tree_with, OmbtConfig, OracleStrategy, ThroughputOracle,
+};
+pub use overcast::{overcast_tree, overcast_tree_with, OvercastConfig};
 pub use random_tree::random_tree;
 pub use tree::{Tree, TreeError};

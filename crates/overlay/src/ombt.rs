@@ -63,21 +63,66 @@ impl Ord for Candidate {
     }
 }
 
+/// How a [`ThroughputOracle`] acquires the unicast routes it inspects.
+///
+/// Both strategies return the same canonical paths (the guarantee lives in
+/// `bullet_netsim::routing`), so the trees built on top of them are
+/// bit-identical; they differ only in how much search work a cache-missing
+/// pair costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleStrategy {
+    /// One point-to-point computation per (source, destination) pair — the
+    /// pre-batching behaviour, kept as the reference baseline for the
+    /// `micro_oracles` benchmark and the equivalence goldens.
+    Pairwise,
+    /// Batched one-to-many queries: the first miss on a source's row fills
+    /// the network's flat participant route table with a single forward
+    /// search ([`Network::route_all_from`]). Tree constructions evaluate a
+    /// candidate source against many destinations (and, over their run, the
+    /// reverse pair of every participant), so this turns their
+    /// O(participants²) point searches into O(participants) batched ones.
+    #[default]
+    Batched,
+}
+
 /// Oracle estimator for overlay link throughput.
 pub struct ThroughputOracle<'a> {
     net: &'a mut Network,
     packet_size: u32,
     /// Number of tree flows currently routed over each directed link.
     flows: HashMap<DirectedLinkId, u32>,
+    strategy: OracleStrategy,
 }
 
 impl<'a> ThroughputOracle<'a> {
-    /// Creates an oracle over the given network.
+    /// Creates an oracle over the given network with the default
+    /// ([`OracleStrategy::Batched`]) route acquisition.
     pub fn new(net: &'a mut Network, packet_size: u32) -> Self {
+        Self::with_strategy(net, packet_size, OracleStrategy::default())
+    }
+
+    /// Creates an oracle with an explicit route-acquisition strategy.
+    pub fn with_strategy(net: &'a mut Network, packet_size: u32, strategy: OracleStrategy) -> Self {
         ThroughputOracle {
             net,
             packet_size,
             flows: HashMap::new(),
+            strategy,
+        }
+    }
+
+    /// Batch-computes the routes from `from` to every participant up front
+    /// (one one-to-many search), regardless of strategy. Useful when the
+    /// caller knows it will evaluate `from` against many destinations but
+    /// wants single-target reverse pairs to stay point queries.
+    pub fn prefetch_from(&mut self, from: OverlayId) {
+        self.net.route_all_from(from);
+    }
+
+    fn route(&mut self, from: OverlayId, to: OverlayId) -> Option<bullet_netsim::RouteId> {
+        match self.strategy {
+            OracleStrategy::Pairwise => self.net.route(from, to),
+            OracleStrategy::Batched => self.net.route_batched(from, to),
         }
     }
 
@@ -85,12 +130,12 @@ impl<'a> ThroughputOracle<'a> {
     /// `from -> to` under the current tree flows, per the paper's §4.1 model:
     /// `min(formula rate, min over links of capacity / (flows + 1))`.
     pub fn estimate_bps(&mut self, from: OverlayId, to: OverlayId) -> Option<f64> {
-        let path = self.net.path(from, to)?;
-        let reverse = self.net.path(to, from)?;
+        let fwd = self.route(from, to)?;
+        let rev = self.route(to, from)?;
         let mut loss_survive = 1.0;
         let mut fair_share = f64::INFINITY;
         let mut delay = 0.0;
-        for &link_id in &path {
+        for &link_id in self.net.route_links(fwd) {
             let link = self.net.link(link_id);
             loss_survive *= 1.0 - link.loss;
             delay += link.delay.as_secs_f64();
@@ -98,7 +143,7 @@ impl<'a> ThroughputOracle<'a> {
             fair_share = fair_share.min(link.bandwidth_bps / (flows + 1) as f64);
         }
         let mut reverse_delay = 0.0;
-        for &link_id in &reverse {
+        for &link_id in self.net.route_links(rev) {
             reverse_delay += self.net.link(link_id).delay.as_secs_f64();
         }
         let rtt = (delay + reverse_delay).max(1e-4);
@@ -113,25 +158,40 @@ impl<'a> ThroughputOracle<'a> {
 
     /// Marks the overlay link `from -> to` as carrying one more tree flow.
     pub fn commit_flow(&mut self, from: OverlayId, to: OverlayId) {
-        if let Some(path) = self.net.path(from, to) {
-            for link_id in path {
-                *self.flows.entry(link_id).or_insert(0) += 1;
-            }
+        let Some(id) = self.route(from, to) else {
+            return;
+        };
+        for &link_id in self.net.route_links(id) {
+            *self.flows.entry(link_id).or_insert(0) += 1;
         }
     }
 }
 
 /// Builds the greedy offline bottleneck-bandwidth tree over `participants`
-/// overlay nodes rooted at `root`.
+/// overlay nodes rooted at `root`, batching its candidate-evaluation rounds
+/// through the network's one-to-many query path.
 pub fn bottleneck_tree(
     net: &mut Network,
     participants: usize,
     root: OverlayId,
     config: &OmbtConfig,
 ) -> Tree {
+    bottleneck_tree_with(net, participants, root, config, OracleStrategy::default())
+}
+
+/// [`bottleneck_tree`] with an explicit [`OracleStrategy`]. Both strategies
+/// build bit-identical trees; `Pairwise` exists as the baseline for the
+/// `micro_oracles` benchmark and the equivalence goldens.
+pub fn bottleneck_tree_with(
+    net: &mut Network,
+    participants: usize,
+    root: OverlayId,
+    config: &OmbtConfig,
+    strategy: OracleStrategy,
+) -> Tree {
     assert!(participants > 0, "need at least one participant");
     assert!(root < participants, "root out of range");
-    let mut oracle = ThroughputOracle::new(net, config.packet_size);
+    let mut oracle = ThroughputOracle::with_strategy(net, config.packet_size, strategy);
     let mut parents: Vec<Option<OverlayId>> = vec![None; participants];
     let mut in_tree = vec![false; participants];
     let mut child_count = vec![0usize; participants];
@@ -275,6 +335,55 @@ mod tests {
         let clean = oracle.estimate_bps(0, 1).unwrap();
         let lossy = oracle.estimate_bps(0, 2).unwrap();
         assert!(lossy < clean, "lossy {lossy} should be below clean {clean}");
+    }
+
+    #[test]
+    fn batched_and_pairwise_strategies_build_the_same_tree() {
+        let spec = star(&[10e6, 3e6, 7e6, 1e6, 12e6, 5e6, 2e6, 9e6]);
+        let config = OmbtConfig {
+            packet_size: 1_500,
+            max_children: 2,
+        };
+        let batched = bottleneck_tree_with(
+            &mut Network::new(&spec),
+            8,
+            0,
+            &config,
+            OracleStrategy::Batched,
+        );
+        let pairwise = bottleneck_tree_with(
+            &mut Network::new(&spec),
+            8,
+            0,
+            &config,
+            OracleStrategy::Pairwise,
+        );
+        assert_eq!(batched.parents(), pairwise.parents());
+    }
+
+    #[test]
+    fn batched_estimates_match_pairwise_estimates() {
+        let spec = star(&[10e6, 10e6, 4e6]);
+        let mut net_a = Network::new(&spec);
+        let mut net_b = Network::new(&spec);
+        let mut batched =
+            ThroughputOracle::with_strategy(&mut net_a, 1_500, OracleStrategy::Batched);
+        let mut pairwise =
+            ThroughputOracle::with_strategy(&mut net_b, 1_500, OracleStrategy::Pairwise);
+        for from in 0..3 {
+            for to in 0..3 {
+                if from == to {
+                    continue;
+                }
+                assert_eq!(
+                    batched.estimate_bps(from, to),
+                    pairwise.estimate_bps(from, to),
+                    "{from}->{to}"
+                );
+                batched.commit_flow(from, to);
+                pairwise.commit_flow(from, to);
+            }
+        }
     }
 
     #[test]

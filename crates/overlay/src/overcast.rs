@@ -14,7 +14,7 @@
 
 use bullet_netsim::{Network, OverlayId};
 
-use crate::ombt::ThroughputOracle;
+use crate::ombt::{OracleStrategy, ThroughputOracle};
 use crate::tree::Tree;
 
 /// Configuration of the Overcast-like construction.
@@ -40,16 +40,31 @@ impl Default for OvercastConfig {
     }
 }
 
-/// Builds an Overcast-style tree by joining participants one at a time.
+/// Builds an Overcast-style tree by joining participants one at a time,
+/// batching each joiner's bandwidth probes through the network's one-to-many
+/// query path (a joining node's reverse probes all share it as their source,
+/// so one row fill per join covers its entire descent).
 pub fn overcast_tree(
     net: &mut Network,
     participants: usize,
     root: OverlayId,
     config: &OvercastConfig,
 ) -> Tree {
+    overcast_tree_with(net, participants, root, config, OracleStrategy::default())
+}
+
+/// [`overcast_tree`] with an explicit [`OracleStrategy`]. Both strategies
+/// build bit-identical trees.
+pub fn overcast_tree_with(
+    net: &mut Network,
+    participants: usize,
+    root: OverlayId,
+    config: &OvercastConfig,
+    strategy: OracleStrategy,
+) -> Tree {
     assert!(participants > 0, "need at least one participant");
     assert!(root < participants, "root out of range");
-    let mut oracle = ThroughputOracle::new(net, config.packet_size);
+    let mut oracle = ThroughputOracle::with_strategy(net, config.packet_size, strategy);
     let mut parents: Vec<Option<OverlayId>> = vec![None; participants];
     let mut children: Vec<Vec<OverlayId>> = vec![Vec::new(); participants];
 
@@ -145,6 +160,30 @@ mod tests {
             tree.children(0).len() < 11,
             "expected some nodes to migrate below the root's children"
         );
+    }
+
+    #[test]
+    fn batched_and_pairwise_strategies_build_the_same_tree() {
+        let spec = star(&[9e6, 2e6, 7e6, 4e6, 11e6, 3e6, 6e6, 1e6, 8e6, 5e6]);
+        let config = OvercastConfig {
+            max_children: 3,
+            ..OvercastConfig::default()
+        };
+        let batched = overcast_tree_with(
+            &mut Network::new(&spec),
+            10,
+            0,
+            &config,
+            OracleStrategy::Batched,
+        );
+        let pairwise = overcast_tree_with(
+            &mut Network::new(&spec),
+            10,
+            0,
+            &config,
+            OracleStrategy::Pairwise,
+        );
+        assert_eq!(batched.parents(), pairwise.parents());
     }
 
     #[test]

@@ -11,8 +11,11 @@ use std::collections::BTreeSet;
 
 use bullet_suite::codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
 use bullet_suite::content::{BloomFilter, PermutationFamily, SummaryTicket, WorkingSet};
-use bullet_suite::netsim::{LinkSpec, NetworkSpec, SimDuration, SimRng};
-use bullet_suite::overlay::{random_tree, Tree};
+use bullet_suite::netsim::{LinkSpec, Network, NetworkSpec, SimDuration, SimRng};
+use bullet_suite::overlay::{
+    bottleneck_tree_with, overcast_tree_with, random_tree, OmbtConfig, OracleStrategy,
+    OvercastConfig, ThroughputOracle, Tree,
+};
 use bullet_suite::ransub::{compact, Member, WeightedSet};
 use bullet_suite::topology::{generate, TopologyConfig};
 use bullet_suite::transport::tcp_throughput_bps;
@@ -312,6 +315,98 @@ fn lazy_routing_matches_reference_on_the_paper_topology_class() {
         }
     }
     routing_equiv::assert_sampled_pairs_equivalent(&topo.spec, &pairs, "paper");
+}
+
+/// The offline tree oracles must build **bit-identical** trees whether their
+/// routes come from pairwise point searches or from the batched one-to-many
+/// row fills: the paths are canonical either way, and the floating-point
+/// estimate arithmetic is untouched by the strategy. This is the oracle
+/// counterpart of the routing-equivalence gate.
+#[test]
+fn tree_oracles_are_identical_under_batched_and_pairwise_routing() {
+    let mut rng = SimRng::new(0x0BA7_C11E);
+    for case in 0..4 {
+        let seed = rng.next_u64();
+        let clients = 10 + (rng.next_u64() % 8) as usize;
+        for (topo, class) in [
+            (generate(&TopologyConfig::small(clients, seed)), "small"),
+            (
+                generate(&TopologyConfig::emulation(clients, seed)),
+                "emulation",
+            ),
+        ] {
+            let label = format!("{class}/case{case}");
+            let ombt = OmbtConfig {
+                packet_size: 1_500,
+                max_children: 4,
+            };
+            let batched = bottleneck_tree_with(
+                &mut Network::new(&topo.spec),
+                clients,
+                0,
+                &ombt,
+                OracleStrategy::Batched,
+            );
+            let pairwise = bottleneck_tree_with(
+                &mut Network::new(&topo.spec),
+                clients,
+                0,
+                &ombt,
+                OracleStrategy::Pairwise,
+            );
+            assert_eq!(
+                batched.parents(),
+                pairwise.parents(),
+                "{label}: OMBT diverges under batching"
+            );
+            let overcast = OvercastConfig {
+                max_children: 3,
+                ..OvercastConfig::default()
+            };
+            let batched = overcast_tree_with(
+                &mut Network::new(&topo.spec),
+                clients,
+                0,
+                &overcast,
+                OracleStrategy::Batched,
+            );
+            let pairwise = overcast_tree_with(
+                &mut Network::new(&topo.spec),
+                clients,
+                0,
+                &overcast,
+                OracleStrategy::Pairwise,
+            );
+            assert_eq!(
+                batched.parents(),
+                pairwise.parents(),
+                "{label}: Overcast diverges under batching"
+            );
+            // The per-node bandwidth metric behind the hand-crafted
+            // good/worst trees: batched row fills vs pure point queries.
+            let estimates = |strategy: OracleStrategy, prefetch: bool| -> Vec<Option<f64>> {
+                let mut net = Network::new(&topo.spec);
+                let mut oracle = ThroughputOracle::with_strategy(&mut net, 1_500, strategy);
+                if prefetch {
+                    oracle.prefetch_from(0);
+                }
+                (1..clients)
+                    .map(|node| oracle.estimate_bps(0, node))
+                    .collect()
+            };
+            let prefetched = estimates(OracleStrategy::Pairwise, true);
+            let batched = estimates(OracleStrategy::Batched, false);
+            let pairwise = estimates(OracleStrategy::Pairwise, false);
+            assert_eq!(
+                prefetched, pairwise,
+                "{label}: prefetched metric diverges from pairwise"
+            );
+            assert_eq!(
+                batched, pairwise,
+                "{label}: batched metric diverges from pairwise"
+            );
+        }
+    }
 }
 
 /// Framing maps sequence numbers to (block, offset) pairs and back without

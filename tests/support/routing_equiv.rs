@@ -3,8 +3,10 @@
 //! The lazy bidirectional router and its ALT (landmark) variant must return
 //! the *same* canonical route — identical hop sequence, hence identical
 //! cost — as the eager per-source reference Dijkstra, for every router pair
-//! the overlay can use. This module cross-checks all three strategies over
-//! one `NetworkSpec` and is shared (via `#[path]` inclusion) by
+//! the overlay can use; the batched one-to-many row fills
+//! (`Network::route_batched` / `route_all_from`) must reproduce those same
+//! routes again. This module cross-checks all strategies over one
+//! `NetworkSpec` and is shared (via `#[path]` inclusion) by
 //! `tests/properties.rs` and the paper-scale tests, so every generated
 //! topology class goes through the same gate.
 
@@ -28,12 +30,31 @@ fn networks(spec: &NetworkSpec) -> (Network, Network, Network) {
     )
 }
 
+/// Builds the batched (row-filling) networks under comparison: plain
+/// bidirectional and ALT, both queried exclusively through
+/// `Network::route_batched`.
+fn batched_networks(spec: &NetworkSpec) -> (Network, Network) {
+    (
+        Network::with_routing(spec, RoutingMode::LazyBidirectional),
+        Network::with_routing(
+            spec,
+            RoutingMode::LazyAlt {
+                landmarks: HARNESS_LANDMARKS,
+            },
+        ),
+    )
+}
+
 /// Asserts that one participant pair routes identically under all three
-/// strategies (path hop sequence and propagation cost).
+/// pairwise strategies (path hop sequence and propagation cost) and under
+/// the batched one-to-many row fills.
+#[allow(clippy::too_many_arguments)]
 fn assert_pair(
     eager: &mut Network,
     bidi: &mut Network,
     alt: &mut Network,
+    bidi_batched: &mut Network,
+    alt_batched: &mut Network,
     a: usize,
     b: usize,
     label: &str,
@@ -49,6 +70,15 @@ fn assert_pair(
         reference, guided,
         "{label}: participants {a}->{b}: ALT path diverges from reference"
     );
+    for (net, name) in [(bidi_batched, "batched-bidi"), (alt_batched, "batched-alt")] {
+        let batched = net
+            .route_batched(a, b)
+            .map(|id| net.route_links(id).to_vec());
+        assert_eq!(
+            reference, batched,
+            "{label}: participants {a}->{b}: {name} row fill diverges from reference"
+        );
+    }
     if reference.is_some() {
         let cost = eager.propagation_delay(a, b);
         assert_eq!(
@@ -64,20 +94,32 @@ fn assert_pair(
     }
 }
 
-/// Cross-checks every ordered participant pair of `spec` across the three
-/// routing strategies, then verifies each strategy did what it claims
-/// (the reference built trees, the lazy routers built none).
+/// Cross-checks every ordered participant pair of `spec` across the routing
+/// strategies (pairwise and batched), then verifies each strategy did what
+/// it claims (the reference built trees, the lazy routers built none, the
+/// batched networks never fell back to point searches).
 pub fn assert_all_participant_pairs_equivalent(spec: &NetworkSpec, label: &str) {
     let (mut eager, mut bidi, mut alt) = networks(spec);
+    let (mut bidi_batched, mut alt_batched) = batched_networks(spec);
     let n = spec.participants();
     for a in 0..n {
         for b in 0..n {
             if a != b {
-                assert_pair(&mut eager, &mut bidi, &mut alt, a, b, label);
+                assert_pair(
+                    &mut eager,
+                    &mut bidi,
+                    &mut alt,
+                    &mut bidi_batched,
+                    &mut alt_batched,
+                    a,
+                    b,
+                    label,
+                );
             }
         }
     }
     check_strategy_invariants(&eager, &bidi, &alt, label);
+    check_batched_invariants(&bidi_batched, &alt_batched, n, label);
 }
 
 /// Cross-checks a sampled subset of ordered participant pairs — used at
@@ -85,12 +127,23 @@ pub fn assert_all_participant_pairs_equivalent(spec: &NetworkSpec, label: &str) 
 /// every source.
 pub fn assert_sampled_pairs_equivalent(spec: &NetworkSpec, pairs: &[(usize, usize)], label: &str) {
     let (mut eager, mut bidi, mut alt) = networks(spec);
+    let (mut bidi_batched, mut alt_batched) = batched_networks(spec);
     for &(a, b) in pairs {
         if a != b {
-            assert_pair(&mut eager, &mut bidi, &mut alt, a, b, label);
+            assert_pair(
+                &mut eager,
+                &mut bidi,
+                &mut alt,
+                &mut bidi_batched,
+                &mut alt_batched,
+                a,
+                b,
+                label,
+            );
         }
     }
     check_strategy_invariants(&eager, &bidi, &alt, label);
+    check_batched_invariants(&bidi_batched, &alt_batched, spec.participants(), label);
 }
 
 fn check_strategy_invariants(eager: &Network, bidi: &Network, alt: &Network, label: &str) {
@@ -108,5 +161,27 @@ fn check_strategy_invariants(eager: &Network, bidi: &Network, alt: &Network, lab
         assert!(b.routers_settled > 0, "{label}: bidi settled nothing");
         assert!(g.lazy_searches > 0, "{label}: ALT ran no searches");
         assert!(g.landmarks > 0, "{label}: ALT router holds no landmarks");
+    }
+}
+
+fn check_batched_invariants(bidi: &Network, alt: &Network, participants: usize, label: &str) {
+    // The flat route memo covers every harness topology, so a batched
+    // network must serve everything from one-to-many row fills: no SPT
+    // trees, no point searches, and at most one row fill per participant.
+    for (net, name) in [(bidi, "batched-bidi"), (alt, "batched-alt")] {
+        let s = net.routing_stats();
+        assert_eq!(s.trees_built, 0, "{label}: {name} built SPT trees");
+        assert_eq!(
+            s.lazy_searches, 0,
+            "{label}: {name} fell back to point searches"
+        );
+        if s.route_queries > 0 {
+            assert!(s.batched_queries > 0, "{label}: {name} ran no row fills");
+            assert!(
+                s.batched_queries <= participants as u64,
+                "{label}: {name} ran more row fills than participants"
+            );
+            assert!(s.routers_settled > 0, "{label}: {name} settled nothing");
+        }
     }
 }
