@@ -24,3 +24,11 @@ pub use antientropy::{AntiEntropyConfig, AntiEntropyMsg, AntiEntropyNode};
 pub use gossip::{GossipConfig, GossipMsg, GossipNode};
 pub use metrics::DeliveryMetrics;
 pub use streaming::{StreamConfig, StreamMsg, StreamTransport, StreamingNode};
+
+// The baselines run under scenario scripts with the default (no-op)
+// lifecycle hooks: their nodes fail and revive silently. Link and router
+// dynamics still apply in full, which is all the comparative
+// time-varying-link figures need.
+impl bullet_dynamics::ScenarioAgent for StreamingNode {}
+impl bullet_dynamics::ScenarioAgent for GossipNode {}
+impl bullet_dynamics::ScenarioAgent for AntiEntropyNode {}

@@ -1,0 +1,101 @@
+//! Scenario-dynamics benchmark: churn, flash crowd, oscillating bottleneck.
+//!
+//! Runs the three scenario figures from `bullet_experiments::scenarios` at
+//! the selected `BULLET_SCALE` and prints their series plus one
+//! `churn_bench {...}` JSON line per run. Those lines feed
+//! `BENCH_churn.json` at the repository root and the nightly `BENCH_churn`
+//! artifact published by the paper-smoke workflow.
+//!
+//! Setting `BULLET_SCENARIO` additionally runs a Bullet random-tree figure
+//! under that custom script (see the README's "Scenarios" section for the
+//! format) — a harness for one-off what-if runs.
+
+use std::time::Instant;
+
+use bullet_bench::announce;
+use bullet_dynamics::ScenarioScript;
+use bullet_experiments::{
+    build_topology, build_tree, bullet_run_scenario, report, scenarios, FigureResult, RunSpec,
+    Scale, TreeKind,
+};
+use bullet_netsim::{SimDuration, SimTime};
+use bullet_topology::{BandwidthProfile, LossProfile};
+
+fn print_bench_lines(figure: &FigureResult, scale: Scale, wall_ms: f64) {
+    for (label, summary) in &figure.summaries {
+        println!(
+            "churn_bench {{\"figure\": \"{}\", \"run\": \"{}\", \"scale\": \"{:?}\", \
+             \"participants\": {}, \"steady_useful_kbps\": {:.1}, \"steady_raw_kbps\": {:.1}, \
+             \"duplicate_fraction\": {:.4}, \"median_delivery_fraction\": {:.4}, \
+             \"control_overhead_kbps\": {:.2}, \"figure_wall_ms\": {:.0}}}",
+            figure.id,
+            label,
+            scale,
+            scale.participants(),
+            summary.steady_useful_kbps,
+            summary.steady_raw_kbps,
+            summary.duplicate_fraction,
+            summary.median_delivery_fraction,
+            summary.control_overhead_kbps,
+            wall_ms,
+        );
+    }
+}
+
+fn main() {
+    let scale = announce("Scenario dynamics — churn, flash crowd, oscillating bottleneck");
+
+    for (name, build) in [
+        (
+            "churn",
+            scenarios::churn_figure as fn(Scale) -> FigureResult,
+        ),
+        ("flashcrowd", scenarios::flash_crowd_figure),
+        ("oscillation", scenarios::oscillating_bottleneck_figure),
+    ] {
+        let start = Instant::now();
+        let figure = build(scale);
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        println!("\n== {name} ==");
+        print!("{}", report::render_figure(&figure));
+        print_bench_lines(&figure, scale, wall_ms);
+    }
+
+    if let Some(script) = ScenarioScript::from_env() {
+        println!("\n== custom BULLET_SCENARIO ==");
+        let seed = 99;
+        let topo = build_topology(
+            scale,
+            scale.participants(),
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            seed,
+        );
+        let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, seed);
+        let config = bullet_core::BulletConfig {
+            stream_rate_bps: 600_000.0,
+            stream_start: SimTime::from_secs(scale.stream_start_secs()),
+            ..bullet_core::BulletConfig::default()
+        }
+        .churn();
+        let run = RunSpec {
+            label: format!("Bullet - custom scenario ({} events)", script.len()),
+            source: 0,
+            duration: SimDuration::from_secs(scale.duration_secs()),
+            sample_interval: SimDuration::from_secs(scale.sample_secs()),
+            failure: None,
+        };
+        let result = bullet_run_scenario(&topo.spec, &tree, &config, &run, &script, seed);
+        let mut figure = FigureResult {
+            id: "custom".into(),
+            title: "Bullet under the BULLET_SCENARIO script".into(),
+            ..FigureResult::default()
+        };
+        figure.series.push(result.useful.clone());
+        figure
+            .summaries
+            .push((result.label.clone(), result.summary.clone()));
+        print!("{}", report::render_figure(&figure));
+        print_bench_lines(&figure, scale, 0.0);
+    }
+}

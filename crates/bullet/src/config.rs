@@ -61,6 +61,16 @@ pub struct BulletConfig {
     /// Whether peers are chosen by lowest summary-ticket resemblance.
     /// Disabling this picks a uniformly random candidate instead (ablation).
     pub resemblance_peering: bool,
+    /// Drop a sending peer after this many consecutive mesh-evaluation
+    /// windows with zero packets from it (`None` disables the check).
+    ///
+    /// Under churn a crashed sender otherwise survives forever: it delivers
+    /// nothing, so the duplicate/usefulness eviction rules never judge it,
+    /// while its row of the reconciliation stripe (Fig. 4) stays assigned
+    /// to a corpse and those sequence numbers are never re-requested from
+    /// live peers. Static-network runs keep the paper behaviour (`None`);
+    /// churn scenarios enable it.
+    pub sender_idle_evals_to_drop: Option<u32>,
     /// Trace one data packet in this many for link-stress accounting
     /// (0 disables tracing).
     pub trace_interval: u64,
@@ -91,6 +101,7 @@ impl Default for BulletConfig {
             recovery_lag_packets: 150,
             disjoint_send: true,
             resemblance_peering: true,
+            sender_idle_evals_to_drop: None,
             trace_interval: 100,
             tfrc: TfrcConfig {
                 packet_size,
@@ -101,6 +112,16 @@ impl Default for BulletConfig {
 }
 
 impl BulletConfig {
+    /// The configuration profile for churn scenarios: the paper defaults
+    /// plus dead-sender eviction after two idle evaluation windows, so a
+    /// crashed peer's reconciliation row is reassigned to live senders.
+    pub fn churn(self) -> Self {
+        BulletConfig {
+            sender_idle_evals_to_drop: Some(2),
+            ..self
+        }
+    }
+
     /// Interval between packet generations at the source implied by the
     /// stream rate and packet size.
     pub fn packet_interval(&self) -> SimDuration {

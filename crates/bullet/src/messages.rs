@@ -52,6 +52,19 @@ pub enum BulletMsg {
     },
     /// Either endpoint tears down the peering relationship.
     PeerDrop,
+    /// A gracefully departing node tells its tree parent goodbye and hands
+    /// over its children for adoption (scenario dynamics).
+    Leave {
+        /// The leaver's children, to be adopted by the recipient.
+        children: Vec<usize>,
+    },
+    /// A gracefully departing node points each of its children at their new
+    /// parent (the leaver's own parent).
+    Reparent {
+        /// The child's new tree parent (`None` only if a root ever left,
+        /// which scenario scripts do not do).
+        new_parent: Option<usize>,
+    },
 }
 
 /// Fixed per-message header overhead (IP + UDP + Bullet framing), in bytes.
@@ -85,7 +98,10 @@ impl BulletMsg {
             BulletMsg::PeeringAccept
             | BulletMsg::PeeringReject
             | BulletMsg::PeerDrop
+            | BulletMsg::Reparent { .. }
             | BulletMsg::ReceiverReport { .. } => HEADER_BYTES,
+            // Eight bytes of address per handed-over child.
+            BulletMsg::Leave { children } => HEADER_BYTES + children.len() as u32 * 8,
         }
     }
 

@@ -22,9 +22,10 @@ use std::collections::HashMap;
 use bullet_content::{
     missing_keys_iter, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet,
 };
+use bullet_dynamics::ScenarioAgent;
 use bullet_netsim::{Agent, Context, OverlayId, SimDuration};
 use bullet_overlay::Tree;
-use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent};
+use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent, RanSubMsg};
 use bullet_transport::{TfrcReceiver, TfrcSender};
 
 use crate::config::BulletConfig;
@@ -33,7 +34,12 @@ use crate::messages::BulletMsg;
 use crate::metrics::BulletMetrics;
 use crate::peering::PeerManager;
 
-/// Timer tags used by the node.
+/// Timer tags used by the node. The low byte of a tag is the timer kind;
+/// the high bits carry the node's *timer generation*, bumped on every
+/// rejoin so periodic chains armed before a crash die silently instead of
+/// doubling up with the chains the rejoin re-arms. Generation zero keeps
+/// the raw constants, so static-network runs are bit-identical to the
+/// pre-dynamics protocol.
 mod timer {
     pub const GENERATE: u64 = 1;
     pub const RANSUB_EPOCH: u64 = 2;
@@ -41,6 +47,9 @@ mod timer {
     pub const FILTER_REFRESH: u64 = 4;
     pub const MESH_EVAL: u64 = 5;
     pub const HOUSEKEEPING: u64 = 6;
+
+    /// Bits of the tag holding the timer kind.
+    pub const KIND_BITS: u32 = 8;
 }
 
 /// One Bullet overlay participant.
@@ -73,6 +82,9 @@ pub struct BulletNode {
     /// Cumulative data-plane metrics sampled by the experiment harness.
     pub metrics: BulletMetrics,
     streaming: bool,
+    /// Timer generation (see the `timer` module docs): bumped on rejoin so
+    /// stale periodic chains die instead of doubling.
+    timer_gen: u64,
 }
 
 impl BulletNode {
@@ -119,7 +131,13 @@ impl BulletNode {
             scratch_keys: Vec::new(),
             metrics: BulletMetrics::default(),
             streaming: true,
+            timer_gen: 0,
         }
+    }
+
+    /// Encodes a timer kind with the current timer generation.
+    fn tag(&self, kind: u64) -> u64 {
+        kind | (self.timer_gen << timer::KIND_BITS)
     }
 
     /// Whether this node is the stream source (the tree root).
@@ -135,6 +153,12 @@ impl BulletNode {
     /// The node's tree children.
     pub fn children(&self) -> &[OverlayId] {
         &self.children
+    }
+
+    /// The node's current tree parent (`None` for the root). Changes when a
+    /// graceful leave reparents the node.
+    pub fn parent(&self) -> Option<OverlayId> {
+        self.parent
     }
 
     /// Current sending peers (mesh links this node receives from).
@@ -266,6 +290,38 @@ impl BulletNode {
         }
     }
 
+    /// Arms the recurring maintenance timers (peer service, filter refresh,
+    /// mesh evaluation, housekeeping) under the current timer generation,
+    /// staggered so thousands of nodes do not wake up on the same tick.
+    /// Used at start-up and again by the late-join bootstrap.
+    fn arm_periodic_timers(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let jitter =
+            |rng: &mut bullet_netsim::SimRng, d: SimDuration| d.mul_f64(rng.range_f64(0.5, 1.5));
+        let service = jitter(ctx.rng(), self.config.peer_service_interval);
+        ctx.set_timer(service, self.tag(timer::PEER_SERVICE));
+        let refresh = jitter(ctx.rng(), self.config.filter_refresh_interval);
+        ctx.set_timer(refresh, self.tag(timer::FILTER_REFRESH));
+        let eval = jitter(ctx.rng(), self.config.mesh_eval_interval);
+        ctx.set_timer(eval, self.tag(timer::MESH_EVAL));
+        let housekeeping = jitter(ctx.rng(), SimDuration::from_secs(1));
+        ctx.set_timer(housekeeping, self.tag(timer::HOUSEKEEPING));
+    }
+
+    /// Adopts `child` into the tree view (children list, RanSub membership,
+    /// disjoint-send routing) if it is not already there.
+    fn adopt_child(&mut self, child: OverlayId) {
+        if child == self.id || self.children.contains(&child) {
+            return;
+        }
+        self.children.push(child);
+        self.ransub.add_child(child);
+        self.disjoint = DisjointSender::new(
+            &self.children,
+            self.config.packets_per_epoch(),
+            self.config.disjoint_send,
+        );
+    }
+
     /// Handles a delivered RanSub set: possibly requests one new sender peer.
     fn on_ransub_delivery(
         &mut self,
@@ -384,7 +440,9 @@ impl BulletNode {
             );
         }
         self.scratch_peers = senders;
-        let evaluation = self.peers.evaluate_senders();
+        let evaluation = self
+            .peers
+            .evaluate_senders(self.config.sender_idle_evals_to_drop);
         for node in evaluation.drop {
             self.in_conns.remove(&node);
             self.send_msg(ctx, node, BulletMsg::PeerDrop);
@@ -456,21 +514,10 @@ impl Agent for BulletNode {
     fn on_start(&mut self, ctx: &mut Context<'_, BulletMsg>) {
         if self.is_root() {
             let start_delay = self.config.stream_start - ctx.now();
-            ctx.set_timer(start_delay, timer::GENERATE);
-            ctx.set_timer(self.config.ransub_epoch, timer::RANSUB_EPOCH);
+            ctx.set_timer(start_delay, self.tag(timer::GENERATE));
+            ctx.set_timer(self.config.ransub_epoch, self.tag(timer::RANSUB_EPOCH));
         }
-        // Stagger periodic timers so thousands of nodes do not wake up on the
-        // same tick.
-        let jitter =
-            |rng: &mut bullet_netsim::SimRng, d: SimDuration| d.mul_f64(rng.range_f64(0.5, 1.5));
-        let service = jitter(ctx.rng(), self.config.peer_service_interval);
-        ctx.set_timer(service, timer::PEER_SERVICE);
-        let refresh = jitter(ctx.rng(), self.config.filter_refresh_interval);
-        ctx.set_timer(refresh, timer::FILTER_REFRESH);
-        let eval = jitter(ctx.rng(), self.config.mesh_eval_interval);
-        ctx.set_timer(eval, timer::MESH_EVAL);
-        let housekeeping = jitter(ctx.rng(), SimDuration::from_secs(1));
-        ctx.set_timer(housekeeping, timer::HOUSEKEEPING);
+        self.arm_periodic_timers(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, BulletMsg>, from: OverlayId, msg: BulletMsg) {
@@ -482,6 +529,17 @@ impl Agent for BulletNode {
                 }
             }
             BulletMsg::RanSub(msg) => {
+                // Tree repair under churn: a Collect only ever comes from a
+                // node whose parent pointer is us. If we do not list it as
+                // a child — its handoff `Leave` was lost while we were
+                // down, or it was reparented to us while we were
+                // unreachable — adopt it, so its subtree rejoins the
+                // distribute/collect flow instead of staying orphaned on
+                // mesh recovery alone. A no-op in static runs (collects
+                // only come from actual children).
+                if matches!(msg, RanSubMsg::Collect { .. }) {
+                    self.adopt_child(from);
+                }
                 let events = self.ransub.on_message(from, msg, ctx.rng());
                 self.handle_ransub_events(ctx, events);
             }
@@ -516,11 +574,51 @@ impl Agent for BulletNode {
                 self.out_conns.remove(&from);
                 self.in_conns.remove(&from);
             }
+            BulletMsg::Leave { children } => {
+                // A child left gracefully: adopt its children (tree repair)
+                // and prune it from the RanSub view so its stale subtree is
+                // neither double-counted nor waited on.
+                if !self.children.contains(&from) {
+                    return;
+                }
+                self.children.retain(|&c| c != from);
+                let events = self.ransub.remove_child(from);
+                self.handle_ransub_events(ctx, events);
+                for child in children {
+                    if child != self.id && !self.children.contains(&child) {
+                        self.children.push(child);
+                        self.ransub.add_child(child);
+                    }
+                }
+                self.disjoint = DisjointSender::new(
+                    &self.children,
+                    self.config.packets_per_epoch(),
+                    self.config.disjoint_send,
+                );
+                self.peers.remove_peer(from);
+                self.out_conns.remove(&from);
+                self.in_conns.remove(&from);
+            }
+            BulletMsg::Reparent { new_parent } => {
+                // Our parent left gracefully and handed us to its parent.
+                if Some(from) != self.parent {
+                    return;
+                }
+                self.parent = new_parent;
+                self.ransub.set_parent(new_parent);
+                self.in_conns.remove(&from);
+                self.out_conns.remove(&from);
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, BulletMsg>, tag: u64) {
-        match tag {
+        if tag >> timer::KIND_BITS != self.timer_gen {
+            // A periodic chain armed before a crash/rejoin: let it die
+            // instead of doubling up with the chains the rejoin re-armed.
+            return;
+        }
+        match tag & ((1 << timer::KIND_BITS) - 1) {
             timer::GENERATE => {
                 if self.streaming {
                     let seq = self.next_seq;
@@ -529,25 +627,31 @@ impl Agent for BulletNode {
                     self.learn_seq(seq);
                     self.route_to_children(ctx, seq);
                 }
-                ctx.set_timer(self.config.packet_interval(), timer::GENERATE);
+                ctx.set_timer(self.config.packet_interval(), self.tag(timer::GENERATE));
             }
             timer::RANSUB_EPOCH => {
                 let events = self.ransub.start_epoch(ctx.rng());
                 self.handle_ransub_events(ctx, events);
-                ctx.set_timer(self.config.ransub_epoch, timer::RANSUB_EPOCH);
+                ctx.set_timer(self.config.ransub_epoch, self.tag(timer::RANSUB_EPOCH));
             }
             timer::PEER_SERVICE => {
                 self.serve_receivers(ctx);
-                ctx.set_timer(self.config.peer_service_interval, timer::PEER_SERVICE);
+                ctx.set_timer(
+                    self.config.peer_service_interval,
+                    self.tag(timer::PEER_SERVICE),
+                );
             }
             timer::FILTER_REFRESH => {
                 self.rebuild_ticket();
                 self.refresh_senders(ctx);
-                ctx.set_timer(self.config.filter_refresh_interval, timer::FILTER_REFRESH);
+                ctx.set_timer(
+                    self.config.filter_refresh_interval,
+                    self.tag(timer::FILTER_REFRESH),
+                );
             }
             timer::MESH_EVAL => {
                 self.evaluate_mesh(ctx);
-                ctx.set_timer(self.config.mesh_eval_interval, timer::MESH_EVAL);
+                ctx.set_timer(self.config.mesh_eval_interval, self.tag(timer::MESH_EVAL));
             }
             timer::HOUSEKEEPING => {
                 self.working_set
@@ -556,10 +660,81 @@ impl Agent for BulletNode {
                 for conn in self.out_conns.values_mut() {
                     conn.maybe_nofeedback_timeout(now);
                 }
-                ctx.set_timer(SimDuration::from_secs(1), timer::HOUSEKEEPING);
+                ctx.set_timer(SimDuration::from_secs(1), self.tag(timer::HOUSEKEEPING));
             }
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
+    }
+}
+
+impl ScenarioAgent for BulletNode {
+    /// Graceful departure (scenario dynamics): tear down every mesh peering
+    /// with an explicit `PeerDrop`, hand the tree children to the parent
+    /// (`Leave` up, `Reparent` down), and clear local peer state. The
+    /// driver fails the node immediately after this returns.
+    fn on_graceful_leave(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let peers: Vec<OverlayId> = self
+            .peers
+            .senders()
+            .iter()
+            .map(|s| s.node)
+            .chain(self.peers.receivers().iter().map(|r| r.node))
+            .collect();
+        for node in peers {
+            self.send_msg(ctx, node, BulletMsg::PeerDrop);
+        }
+        if let Some(parent) = self.parent {
+            self.send_msg(
+                ctx,
+                parent,
+                BulletMsg::Leave {
+                    children: self.children.clone(),
+                },
+            );
+            for &child in &self.children.clone() {
+                self.send_msg(
+                    ctx,
+                    child,
+                    BulletMsg::Reparent {
+                        new_parent: Some(parent),
+                    },
+                );
+            }
+        }
+        self.children.clear();
+        self.peers = PeerManager::new(
+            self.config.max_senders,
+            self.config.max_receivers,
+            self.config.duplicate_drop_threshold,
+            self.config.resemblance_peering,
+        );
+        self.out_conns.clear();
+        self.in_conns.clear();
+    }
+
+    /// Late-join / rejoin bootstrap (scenario dynamics): bump the timer
+    /// generation (stale periodic chains die silently), discard transport
+    /// and peer state that refers to a network that has moved on, rebuild
+    /// the summary ticket from whatever content survived, and re-arm the
+    /// periodic timers. The working set is kept — after a crash/rejoin the
+    /// node still holds its packets and should advertise them.
+    fn on_join(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        self.timer_gen += 1;
+        self.out_conns.clear();
+        self.in_conns.clear();
+        self.peers = PeerManager::new(
+            self.config.max_senders,
+            self.config.max_receivers,
+            self.config.duplicate_drop_threshold,
+            self.config.resemblance_peering,
+        );
+        self.rebuild_ticket();
+        if self.is_root() {
+            let start_delay = self.config.stream_start.saturating_since(ctx.now());
+            ctx.set_timer(start_delay, self.tag(timer::GENERATE));
+            ctx.set_timer(self.config.ransub_epoch, self.tag(timer::RANSUB_EPOCH));
+        }
+        self.arm_periodic_timers(ctx);
     }
 }
 
@@ -700,6 +875,111 @@ mod tests {
         let mut sim = build_sim(10, 1_000_000.0, config, 6);
         sim.run_until(SimTime::from_secs(30));
         assert!(sim.agent(0).sender_peers().is_empty());
+    }
+
+    #[test]
+    fn graceful_leave_hands_children_to_the_parent() {
+        use bullet_dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript};
+        let n = 12;
+        let spec = hub_network(n, 2_000_000.0);
+        let mut rng = bullet_netsim::SimRng::new(9);
+        let tree = random_tree(n, 0, 3, &mut rng);
+        let leaver = (1..n)
+            .find(|&node| !tree.children(node).is_empty())
+            .expect("an interior non-root node exists");
+        let parent = tree.parent(leaver).unwrap();
+        let kids = tree.children(leaver).to_vec();
+        let agents = (0..n)
+            .map(|i| BulletNode::new(i, &tree, quick_config()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 9);
+        let script = ScenarioScript::new().at(
+            SimTime::from_secs(20),
+            ScenarioAction::GracefulLeave { node: leaver },
+        );
+        let mut driver = ScenarioDriver::new(&script);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(30));
+        assert!(sim.is_failed(leaver));
+        assert!(
+            !sim.agent(parent).children().contains(&leaver),
+            "parent still lists the leaver as a child"
+        );
+        for &kid in &kids {
+            assert_eq!(
+                sim.agent(kid).parent(),
+                Some(parent),
+                "child {kid} was not reparented"
+            );
+            assert!(
+                sim.agent(parent).children().contains(&kid),
+                "parent did not adopt grandchild {kid}"
+            );
+        }
+        // The repaired tree keeps delivering to the orphaned subtree.
+        let before: Vec<u64> = kids
+            .iter()
+            .map(|&k| sim.agent(k).metrics.useful_packets)
+            .collect();
+        driver.run_until(&mut sim, SimTime::from_secs(45));
+        for (i, &kid) in kids.iter().enumerate() {
+            assert!(
+                sim.agent(kid).metrics.useful_packets > before[i] + 50,
+                "adopted child {kid} stalled after the handoff"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_and_rejoin_resumes_delivery_without_timer_doubling() {
+        use bullet_dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript};
+        let n = 12;
+        let victim = 5;
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(20),
+                ScenarioAction::Crash { node: victim },
+            )
+            .at(
+                SimTime::from_secs(30),
+                ScenarioAction::Join { node: victim },
+            );
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = build_sim(n, 2_000_000.0, quick_config(), 7);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(29));
+        let frozen = sim.agent(victim).metrics.useful_packets;
+        driver.run_until(&mut sim, SimTime::from_secs(60));
+        assert!(
+            sim.agent(victim).metrics.useful_packets > frozen + 100,
+            "rejoined node did not resume receiving the stream"
+        );
+        // Each periodic chain keeps exactly one armed timer; a rejoin that
+        // doubled the chains would exceed the per-node budget (4 periodic
+        // chains per node, plus the root's generate + RanSub chains).
+        let (_, _, _, live) = sim.pool_stats();
+        assert!(
+            live <= 4 * n + 2,
+            "timer chains doubled after rejoin: {live} live timers for {n} nodes"
+        );
+    }
+
+    #[test]
+    fn crashed_senders_are_pruned_under_the_churn_profile() {
+        let mut sim = build_sim(16, 1_000_000.0, quick_config().churn(), 2);
+        sim.run_until(SimTime::from_secs(40));
+        let (node, dead) = (1..16)
+            .find_map(|n| sim.agent(n).sender_peers().first().copied().map(|s| (n, s)))
+            .expect("some node established a sender peer");
+        sim.set_node_failed(dead, true);
+        // Several 6-second evaluation windows: the dead sender delivers
+        // nothing, trips the idle limit, and is dropped — freeing its
+        // reconciliation row for live peers.
+        sim.run_until(SimTime::from_secs(80));
+        assert!(
+            !sim.agent(node).sender_peers().contains(&dead),
+            "crashed sender survived {dead} in node {node}'s sender list"
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct SenderPeer {
     pub duplicate_packets_window: u64,
     /// Total data packets received from it in the current window.
     pub total_packets_window: u64,
+    /// Consecutive evaluation windows in which this sender delivered
+    /// nothing at all (dead-peer detection under churn).
+    pub idle_windows: u32,
+    /// Whether this sender has ever delivered a packet; fresh trial peers
+    /// get a doubled idle grace before being judged dead.
+    pub ever_delivered: bool,
 }
 
 impl SenderPeer {
@@ -34,6 +40,8 @@ impl SenderPeer {
             useful_bytes_window: 0,
             duplicate_packets_window: 0,
             total_packets_window: 0,
+            idle_windows: 0,
+            ever_delivered: false,
         }
     }
 
@@ -260,8 +268,36 @@ impl PeerManager {
     /// was mostly duplicates; otherwise, when the list is full, drop the
     /// sender delivering the least useful data to open a trial slot. Window
     /// counters are reset afterwards.
-    pub fn evaluate_senders(&mut self) -> SenderEvaluation {
+    ///
+    /// `idle_limit` additionally drops senders that delivered *nothing* for
+    /// that many consecutive windows (dead-peer detection under churn —
+    /// such senders are invisible to the duplicate/usefulness rules, whose
+    /// judgement requires a minimum packet count). A fresh trial peer that
+    /// has never delivered anything gets twice the limit before judgement,
+    /// so a slow first reconciliation round is not mistaken for a corpse
+    /// (the same sheltering `min_packets_to_judge` gives the other rules).
+    /// `None` preserves the paper's static-network behaviour.
+    pub fn evaluate_senders(&mut self, idle_limit: Option<u32>) -> SenderEvaluation {
         let mut evaluation = SenderEvaluation::default();
+        // Dead senders first: no packets at all for `idle_limit` windows.
+        if let Some(limit) = idle_limit {
+            for sender in &mut self.senders {
+                if sender.total_packets_window == 0 {
+                    sender.idle_windows += 1;
+                    let grace = if sender.ever_delivered {
+                        limit
+                    } else {
+                        limit * 2
+                    };
+                    if sender.idle_windows >= grace {
+                        evaluation.drop.push(sender.node);
+                    }
+                } else {
+                    sender.idle_windows = 0;
+                    sender.ever_delivered = true;
+                }
+            }
+        }
         // Duplicate-heavy senders are dropped regardless of list occupancy.
         for sender in &self.senders {
             if sender.total_packets_window >= self.min_packets_to_judge
@@ -417,7 +453,7 @@ mod tests {
             s.duplicate_packets_window = 80;
             s.useful_bytes_window = 10_000;
         }
-        let eval = pm.evaluate_senders();
+        let eval = pm.evaluate_senders(None);
         assert_eq!(eval.drop, vec![7]);
         assert!(pm.senders().is_empty());
     }
@@ -433,7 +469,7 @@ mod tests {
             s.useful_bytes_window = node as u64 * 1_000;
         }
         // Not full (2 of 3): nobody is dropped.
-        assert!(pm.evaluate_senders().drop.is_empty());
+        assert!(pm.evaluate_senders(None).drop.is_empty());
         pm.pending.insert(3);
         pm.on_peering_accept(3);
         for node in [1, 2, 3] {
@@ -442,7 +478,62 @@ mod tests {
             s.useful_bytes_window = node as u64 * 1_000;
         }
         // Full: the least useful sender (node 1) is dropped.
-        assert_eq!(pm.evaluate_senders().drop, vec![1]);
+        assert_eq!(pm.evaluate_senders(None).drop, vec![1]);
+    }
+
+    #[test]
+    fn idle_senders_are_dropped_only_with_a_limit() {
+        // A crashed sender delivers nothing: the duplicate/usefulness rules
+        // never judge it (min_packets_to_judge), so without the idle limit
+        // it survives forever and its reconciliation row stays dead.
+        let mut pm = manager();
+        for node in [1, 2] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+        }
+        pm.sender_mut(1).unwrap().total_packets_window = 100;
+        // Without a limit: the idle sender survives arbitrarily many windows.
+        for _ in 0..5 {
+            assert!(pm.evaluate_senders(None).drop.is_empty());
+        }
+        // Mark sender 2 as once-alive (it delivered, then its node crashed).
+        pm.sender_mut(2).unwrap().total_packets_window = 5;
+        assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        // With a limit of 2: first idle window counts, second drops.
+        pm.sender_mut(1).unwrap().total_packets_window = 100;
+        assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        pm.sender_mut(1).unwrap().total_packets_window = 100;
+        assert_eq!(pm.evaluate_senders(Some(2)).drop, vec![2]);
+        assert!(pm.is_sender(1), "active sender untouched");
+        assert!(!pm.is_sender(2));
+    }
+
+    #[test]
+    fn fresh_trial_senders_get_a_doubled_idle_grace() {
+        // A peer that has never delivered (its first reconciliation round
+        // may legitimately take a while) survives `limit` idle windows and
+        // only drops at `2 * limit`.
+        let mut pm = manager();
+        pm.pending.insert(4);
+        pm.on_peering_accept(4);
+        for _ in 0..3 {
+            assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        }
+        assert_eq!(pm.evaluate_senders(Some(2)).drop, vec![4]);
+    }
+
+    #[test]
+    fn a_delivery_resets_the_idle_count() {
+        let mut pm = manager();
+        pm.pending.insert(7);
+        pm.on_peering_accept(7);
+        assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        // One packet arrives: the idle streak restarts.
+        pm.sender_mut(7).unwrap().total_packets_window = 1;
+        assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        assert_eq!(pm.senders()[0].idle_windows, 0);
+        assert!(pm.evaluate_senders(Some(2)).drop.is_empty());
+        assert_eq!(pm.evaluate_senders(Some(2)).drop, vec![7]);
     }
 
     #[test]
@@ -453,7 +544,7 @@ mod tests {
             pm.on_peering_accept(node);
         }
         // No traffic yet: even though the list is full, nothing is dropped.
-        assert!(pm.evaluate_senders().drop.is_empty());
+        assert!(pm.evaluate_senders(None).drop.is_empty());
     }
 
     #[test]

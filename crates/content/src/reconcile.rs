@@ -144,6 +144,55 @@ mod tests {
         assert_eq!(offered, (0..10).collect::<Vec<u64>>());
     }
 
+    /// The departed-sender recovery property behind Bullet's churn repair:
+    /// while a dead sender still owns row `r` of the stripe, the keys of
+    /// that row are requested from nobody else — but as soon as the
+    /// receiver restripes its requests over the surviving senders, every
+    /// one of those keys becomes requestable again. A stale Bloom filter
+    /// (or stale row assignment) must suppress re-requests only until the
+    /// next refresh, never permanently.
+    #[test]
+    fn restriping_after_a_departed_sender_reexposes_its_row() {
+        let sender = working_set_of(0..200);
+        let receiver_has: Vec<u64> = (0..40).collect();
+        // Two senders: the live one owns row 0, the (about to die) one row 1.
+        let live_before = ReconcileRequest::new(filter_of(&receiver_has), 0, 199, 2, 0);
+        let dead_row: Vec<u64> = (40..200).filter(|k| k % 2 == 1).collect();
+        let offered_before = missing_keys(&sender, &live_before, usize::MAX);
+        for key in &dead_row {
+            assert!(
+                !offered_before.contains(key),
+                "key {key} of the dead row leaked before the restripe"
+            );
+        }
+        // Sender 1 departs; the receiver rebuilds its request with stripe 1.
+        let live_after = ReconcileRequest::new(filter_of(&receiver_has), 0, 199, 1, 0);
+        let offered_after = missing_keys(&sender, &live_after, usize::MAX);
+        for key in &dead_row {
+            assert!(
+                offered_after.contains(key) || receiver_has.contains(key),
+                "key {key} stayed suppressed after the restripe"
+            );
+        }
+    }
+
+    /// A refreshed (rebuilt) filter stops suppressing keys the receiver
+    /// lost interest in advertising: re-requests resume once the stale
+    /// filter is replaced, even for keys a false positive used to hide.
+    #[test]
+    fn filter_refresh_unsuppresses_previously_hidden_keys() {
+        let sender = working_set_of(0..100);
+        // A filter that (wrongly, from the receiver's perspective) claims
+        // to hold everything — e.g. captured before the receiver pruned
+        // its working set, or from a previous session before a rejoin.
+        let all: Vec<u64> = (0..100).collect();
+        let stale = ReconcileRequest::new(filter_of(&all), 0, 99, 1, 0);
+        assert!(missing_keys(&sender, &stale, usize::MAX).is_empty());
+        // The refreshed request carries the receiver's true (empty) state.
+        let refreshed = ReconcileRequest::new(filter_of(&[]), 0, 99, 1, 0);
+        assert_eq!(missing_keys(&sender, &refreshed, usize::MAX).len(), 100);
+    }
+
     #[test]
     fn zero_stripe_is_coerced_to_one() {
         let request = ReconcileRequest::new(BloomFilter::new(64, 2), 0, 10, 0, 5);

@@ -1,0 +1,412 @@
+//! The scenario driver: applies a [`ScenarioScript`] to a running
+//! simulation.
+//!
+//! Two application channels keep semantics precise:
+//!
+//! * **Pre-scheduled events** (crashes, bare recoveries) go through the
+//!   simulator's own event queue at install time, in script order. A
+//!   one-crash script is therefore *event-for-event identical* to the
+//!   legacy `RunSpec::failure` injection — same sequence numbers, same
+//!   ordering against messages at the failure instant — which is what lets
+//!   the Figs. 13/14 harness route through the engine without moving its
+//!   golden numbers.
+//! * **Stepped events** (graceful leaves, joins, link and router mutations)
+//!   need either an agent callback or `&mut` access to the network, which
+//!   the event queue cannot deliver. The driver runs the simulator up to
+//!   the event's instant and applies the action *after every simulator
+//!   event at that instant* — a fixed, documented interleaving that keeps
+//!   runs deterministic.
+
+use bullet_netsim::{Agent, Context, Sim, SimDuration, SimTime};
+
+use crate::script::{ScenarioAction, ScenarioEvent, ScenarioScript};
+
+/// The lifecycle contract protocol agents opt into to participate in
+/// scripted membership dynamics. Both hooks default to no-ops, so a
+/// protocol that ignores churn still runs under any script — its nodes
+/// just fail and revive silently.
+pub trait ScenarioAgent: Agent {
+    /// The node is about to leave gracefully: say goodbye (hand children
+    /// off, tear down peerings). Emitted sends still go out; immediately
+    /// after this returns the node is failed.
+    fn on_graceful_leave(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// The node just (re)joined: bootstrap participation (re-arm periodic
+    /// timers, reset stale connection state). Runs with the failed flag
+    /// already cleared.
+    fn on_join(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+}
+
+/// Counters of the actions a driver has applied, for harness assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Crashes pre-scheduled at install.
+    pub crashes: u64,
+    /// Bare recoveries pre-scheduled at install.
+    pub recoveries: u64,
+    /// Graceful leaves applied.
+    pub leaves: u64,
+    /// Joins applied.
+    pub joins: u64,
+    /// Link mutations applied (capacity, loss, up/down).
+    pub link_mutations: u64,
+    /// Router (correlated stub) mutations applied.
+    pub router_mutations: u64,
+}
+
+/// Drives one [`ScenarioScript`] over one simulation run.
+pub struct ScenarioDriver {
+    initially_down: Vec<usize>,
+    prescheduled: Vec<ScenarioEvent>,
+    stepped: Vec<ScenarioEvent>,
+    next: usize,
+    installed: bool,
+    /// What has been applied so far.
+    pub stats: ScenarioStats,
+}
+
+impl ScenarioDriver {
+    /// Builds a driver for `script`. Call [`ScenarioDriver::install`]
+    /// before the first run step.
+    pub fn new(script: &ScenarioScript) -> Self {
+        let mut prescheduled = Vec::new();
+        let mut stepped = Vec::new();
+        for event in script.sorted_events() {
+            if event.action.is_prescheduled() {
+                prescheduled.push(event);
+            } else {
+                stepped.push(event);
+            }
+        }
+        ScenarioDriver {
+            initially_down: script.initially_down().to_vec(),
+            prescheduled,
+            stepped,
+            next: 0,
+            installed: false,
+            stats: ScenarioStats::default(),
+        }
+    }
+
+    /// Installs the script into a fresh simulation: marks late joiners
+    /// failed and pre-schedules crashes/recoveries through the simulator's
+    /// event queue (in script order, before any other event is scheduled —
+    /// exactly like the legacy failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn install<A: ScenarioAgent>(&mut self, sim: &mut Sim<A>) {
+        assert!(!self.installed, "driver installed twice");
+        self.installed = true;
+        for &node in &self.initially_down {
+            sim.set_node_failed(node, true);
+        }
+        for event in &self.prescheduled {
+            match event.action {
+                ScenarioAction::Crash { node } => {
+                    sim.schedule_failure(event.at, node);
+                    self.stats.crashes += 1;
+                }
+                ScenarioAction::Recover { node } => {
+                    sim.schedule_recovery(event.at, node);
+                    self.stats.recoveries += 1;
+                }
+                ref other => unreachable!("not a prescheduled action: {other:?}"),
+            }
+        }
+    }
+
+    /// Runs the simulation until `end`, applying every stepped event whose
+    /// time has come. An event at time `t` applies after all simulator
+    /// events at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ScenarioDriver::install`] has not run.
+    pub fn run_until<A: ScenarioAgent>(&mut self, sim: &mut Sim<A>, end: SimTime) {
+        assert!(self.installed, "call install() before running");
+        while self.next < self.stepped.len() && self.stepped[self.next].at <= end {
+            let event = self.stepped[self.next].clone();
+            self.next += 1;
+            sim.run_until(event.at);
+            self.apply(sim, &event.action);
+        }
+        sim.run_until(end);
+    }
+
+    /// Runs until `end`, invoking `sample` every `interval` of simulated
+    /// time (including at `end`) — the scenario-aware mirror of
+    /// [`Sim::run_sampled`].
+    pub fn run_sampled<A: ScenarioAgent, F>(
+        &mut self,
+        sim: &mut Sim<A>,
+        end: SimTime,
+        interval: SimDuration,
+        mut sample: F,
+    ) where
+        F: FnMut(SimTime, &Sim<A>),
+    {
+        assert!(!interval.is_zero(), "sampling interval must be non-zero");
+        let mut next = sim.now() + interval;
+        while next < end {
+            self.run_until(sim, next);
+            sample(next, sim);
+            next += interval;
+        }
+        self.run_until(sim, end);
+        sample(end, sim);
+    }
+
+    /// Stepped events not yet applied.
+    pub fn pending(&self) -> usize {
+        self.stepped.len() - self.next
+    }
+
+    fn apply<A: ScenarioAgent>(&mut self, sim: &mut Sim<A>, action: &ScenarioAction) {
+        match *action {
+            ScenarioAction::GracefulLeave { node } => {
+                if !sim.is_failed(node) {
+                    sim.invoke_agent(node, |agent, ctx| agent.on_graceful_leave(ctx));
+                }
+                sim.set_node_failed(node, true);
+                self.stats.leaves += 1;
+            }
+            ScenarioAction::Join { node } => {
+                sim.set_node_failed(node, false);
+                sim.invoke_agent(node, |agent, ctx| agent.on_join(ctx));
+                self.stats.joins += 1;
+            }
+            ScenarioAction::SetLinkBandwidth { link, bps } => {
+                sim.network_mut().set_link_bandwidth(link, bps);
+                self.stats.link_mutations += 1;
+            }
+            ScenarioAction::SetLinkLoss { link, loss } => {
+                sim.network_mut().set_link_loss(link, loss);
+                self.stats.link_mutations += 1;
+            }
+            ScenarioAction::SetLinkUp { link, up } => {
+                sim.network_mut().set_link_up(link, up);
+                self.stats.link_mutations += 1;
+            }
+            ScenarioAction::SetRouterUp { router, up } => {
+                sim.network_mut().set_router_up(router, up);
+                self.stats.router_mutations += 1;
+            }
+            ScenarioAction::Crash { .. } | ScenarioAction::Recover { .. } => {
+                unreachable!("prescheduled actions never reach the stepping path")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_netsim::{LinkSpec, NetworkSpec, OverlayId, SimCounters};
+
+    /// A heartbeat protocol: every node broadcasts a beat each second and
+    /// counts beats it hears; the scenario hooks record their invocations.
+    struct BeatAgent {
+        peers: Vec<OverlayId>,
+        heard: u64,
+        leaves: Vec<SimTime>,
+        joins: Vec<SimTime>,
+    }
+
+    impl BeatAgent {
+        fn new(peers: Vec<OverlayId>) -> Self {
+            BeatAgent {
+                peers,
+                heard: 0,
+                leaves: Vec::new(),
+                joins: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for BeatAgent {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: OverlayId, _msg: ()) {
+            self.heard += 1;
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _tag: u64) {
+            for &peer in &self.peers.clone() {
+                ctx.send_data(peer, (), 100);
+            }
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+    }
+
+    impl ScenarioAgent for BeatAgent {
+        fn on_graceful_leave(&mut self, ctx: &mut Context<'_, ()>) {
+            self.leaves.push(ctx.now());
+            for &peer in &self.peers.clone() {
+                ctx.send_data(peer, (), 100);
+            }
+        }
+
+        fn on_join(&mut self, ctx: &mut Context<'_, ()>) {
+            self.joins.push(ctx.now());
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+    }
+
+    fn hub(n: usize) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(n + 1);
+        for i in 0..n {
+            spec.add_link(LinkSpec::new(
+                n,
+                i,
+                10_000_000.0,
+                SimDuration::from_millis(5),
+            ));
+            spec.attach(i);
+        }
+        spec
+    }
+
+    fn beat_sim(n: usize) -> Sim<BeatAgent> {
+        let agents = (0..n)
+            .map(|i| BeatAgent::new((0..n).filter(|&p| p != i).collect()))
+            .collect();
+        Sim::new(&hub(n), agents, 42)
+    }
+
+    #[test]
+    fn lifecycle_hooks_run_at_scripted_times() {
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(3),
+                ScenarioAction::GracefulLeave { node: 1 },
+            )
+            .at(SimTime::from_secs(6), ScenarioAction::Join { node: 1 });
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(10));
+        assert_eq!(sim.agent(1).leaves, vec![SimTime::from_secs(3)]);
+        assert_eq!(sim.agent(1).joins, vec![SimTime::from_secs(6)]);
+        assert!(!sim.is_failed(1), "rejoined node must be up");
+        assert_eq!(driver.stats.leaves, 1);
+        assert_eq!(driver.stats.joins, 1);
+        assert_eq!(driver.pending(), 0);
+        // The goodbye beats emitted in on_graceful_leave were delivered.
+        assert!(sim.agent(0).heard > 0);
+    }
+
+    #[test]
+    fn crash_via_driver_is_event_identical_to_schedule_failure() {
+        let legacy: SimCounters = {
+            let mut sim = beat_sim(4);
+            sim.schedule_failure(SimTime::from_secs(5), 2);
+            sim.run_until(SimTime::from_secs(12));
+            sim.counters()
+        };
+        let scripted: SimCounters = {
+            let script = ScenarioScript::single_crash(SimTime::from_secs(5), 2);
+            let mut driver = ScenarioDriver::new(&script);
+            let mut sim = beat_sim(4);
+            driver.install(&mut sim);
+            driver.run_until(&mut sim, SimTime::from_secs(12));
+            assert_eq!(driver.stats.crashes, 1);
+            sim.counters()
+        };
+        assert_eq!(
+            legacy, scripted,
+            "one-crash script must be event-for-event identical to the legacy injection"
+        );
+    }
+
+    #[test]
+    fn initially_down_nodes_stay_silent_until_joined() {
+        let mut script = ScenarioScript::new();
+        script.down_from_start(2);
+        script.push(SimTime::from_secs(5), ScenarioAction::Join { node: 2 });
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(4));
+        assert_eq!(
+            sim.agent(2).heard,
+            0,
+            "down node must not receive while down"
+        );
+        let heard_by_0_before = sim.agent(0).heard;
+        driver.run_until(&mut sim, SimTime::from_secs(10));
+        assert!(sim.agent(2).heard > 0, "joined node hears beats");
+        assert!(
+            sim.agent(0).heard > heard_by_0_before,
+            "joined node beats again"
+        );
+    }
+
+    #[test]
+    fn link_mutations_apply_between_steps() {
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(2),
+                ScenarioAction::SetLinkBandwidth {
+                    link: 0,
+                    bps: 1_000.0,
+                },
+            )
+            .at(
+                SimTime::from_secs(4),
+                ScenarioAction::SetLinkUp { link: 1, up: false },
+            )
+            .at(
+                SimTime::from_secs(6),
+                ScenarioAction::SetRouterUp {
+                    router: 3,
+                    up: false,
+                },
+            );
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(3));
+        let (fwd, _) = bullet_netsim::Network::directed_ids(0);
+        assert_eq!(sim.network().link(fwd).bandwidth_bps, 1_000.0);
+        assert_eq!(sim.network().topology_epoch(), 0);
+        driver.run_until(&mut sim, SimTime::from_secs(5));
+        assert_eq!(sim.network().topology_epoch(), 1, "link-down invalidates");
+        driver.run_until(&mut sim, SimTime::from_secs(8));
+        assert_eq!(sim.network().topology_epoch(), 2, "hub outage invalidates");
+        assert_eq!(driver.stats.link_mutations, 2);
+        assert_eq!(driver.stats.router_mutations, 1);
+    }
+
+    #[test]
+    fn run_sampled_samples_every_interval_across_events() {
+        let script = ScenarioScript::single_crash(SimTime::from_secs(3), 1);
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(2);
+        driver.install(&mut sim);
+        let mut samples = Vec::new();
+        driver.run_sampled(
+            &mut sim,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(2),
+            |t, _| samples.push(t.as_micros()),
+        );
+        assert_eq!(
+            samples,
+            vec![2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "call install() before running")]
+    fn running_without_install_panics() {
+        let mut driver = ScenarioDriver::new(&ScenarioScript::new());
+        let mut sim = beat_sim(2);
+        driver.run_until(&mut sim, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! # bullet-dynamics
+//!
+//! The scenario dynamics engine: deterministic scripts of mid-run network
+//! and membership events — node crashes, graceful leaves, late joins, flash
+//! crowds, link capacity/loss mutation and correlated stub outages — plus
+//! the driver that applies them to a running [`bullet_netsim::Sim`].
+//!
+//! The paper's evaluation freezes the network for the length of a run and
+//! scripts at most one node failure (Figs. 13/14). Bullet's headline claim,
+//! though, is that the *mesh* keeps delivering when the network changes
+//! underneath it; this crate makes those regimes expressible:
+//!
+//! * [`ScenarioScript`] is a deterministic, time-sorted list of
+//!   [`ScenarioEvent`]s, built either explicitly, from the distribution
+//!   generators ([`ScenarioScript::exponential_churn`],
+//!   [`ScenarioScript::flash_crowd`], [`ScenarioScript::oscillating_link`],
+//!   [`ScenarioScript::stub_outage`]), or parsed from the text format the
+//!   `BULLET_SCENARIO` environment variable carries.
+//! * [`ScenarioDriver`] owns a script during a run: crashes and recoveries
+//!   are pre-scheduled through the simulator's own event queue (so a
+//!   one-crash script is event-for-event identical to the legacy
+//!   `RunSpec::failure` path), while lifecycle transitions that need agent
+//!   cooperation — graceful leaves, (re)joins — and link mutations are
+//!   applied between event-loop steps, after every simulator event at their
+//!   instant.
+//! * [`ScenarioAgent`] is the lifecycle contract protocols opt into:
+//!   `on_graceful_leave` says goodbye (Bullet hands its children to its
+//!   parent and tears down mesh peerings), `on_join` bootstraps a late
+//!   joiner or rejoiner (Bullet re-arms its periodic timers under a fresh
+//!   timer generation).
+//!
+//! Everything is deterministic: generators draw from the workspace's seeded
+//! [`bullet_netsim::SimRng`], events are totally ordered by `(time,
+//! insertion index)`, and the driver's interleaving with the simulator is a
+//! pure function of the script and the seed.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod script;
+
+pub use driver::{ScenarioAgent, ScenarioDriver, ScenarioStats};
+pub use script::{ChurnConfig, ScenarioAction, ScenarioEvent, ScenarioScript};

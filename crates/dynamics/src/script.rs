@@ -1,0 +1,579 @@
+//! Scenario scripts: deterministic, time-sorted mid-run event lists.
+//!
+//! A script is data, not behaviour: it can be built explicitly, generated
+//! from churn/flash-crowd/oscillation distributions, or parsed from the
+//! text format carried by the `BULLET_SCENARIO` environment variable. The
+//! [`crate::ScenarioDriver`] applies it to a running simulation.
+
+use bullet_netsim::{OverlayId, RouterId, SimRng, SimTime};
+
+/// One scripted action against the running simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioAction {
+    /// Crash-fail an overlay node: it stops sending, receiving and firing
+    /// timers, with no goodbye. Pre-scheduled through the simulator's own
+    /// event queue (same ordering as the legacy `RunSpec::failure` path).
+    Crash {
+        /// The failing node.
+        node: OverlayId,
+    },
+    /// Clear a node's failed flag without re-bootstrapping it (the
+    /// simulator's bare recovery event). Protocols whose timers died while
+    /// failed usually want [`ScenarioAction::Join`] instead.
+    Recover {
+        /// The recovering node.
+        node: OverlayId,
+    },
+    /// Graceful departure: the agent's
+    /// [`crate::ScenarioAgent::on_graceful_leave`] hook runs (Bullet hands
+    /// its children to its parent and tears down mesh peerings), then the
+    /// node fails.
+    GracefulLeave {
+        /// The departing node.
+        node: OverlayId,
+    },
+    /// Late join or rejoin: the node's failed flag clears and its
+    /// [`crate::ScenarioAgent::on_join`] hook bootstraps participation.
+    Join {
+        /// The joining node.
+        node: OverlayId,
+    },
+    /// Set the capacity of one physical link (both directions), in bits per
+    /// second. Does not re-route (link costs are propagation delays).
+    SetLinkBandwidth {
+        /// Physical (spec) link index.
+        link: usize,
+        /// New capacity in bits per second.
+        bps: f64,
+    },
+    /// Set the random loss probability of one physical link.
+    SetLinkLoss {
+        /// Physical (spec) link index.
+        link: usize,
+        /// New loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Take one physical link administratively up or down. Route-affecting:
+    /// the network epoch-invalidates its lookup layers.
+    SetLinkUp {
+        /// Physical (spec) link index.
+        link: usize,
+        /// New administrative state.
+        up: bool,
+    },
+    /// Take every link incident to a router up or down — a correlated stub
+    /// outage. Route-affecting.
+    SetRouterUp {
+        /// The router whose links change state.
+        router: RouterId,
+        /// New administrative state.
+        up: bool,
+    },
+}
+
+impl ScenarioAction {
+    /// Whether the driver pre-schedules this action through the simulator's
+    /// event queue (crashes and bare recoveries) rather than applying it
+    /// between event-loop steps.
+    pub fn is_prescheduled(&self) -> bool {
+        matches!(
+            self,
+            ScenarioAction::Crash { .. } | ScenarioAction::Recover { .. }
+        )
+    }
+}
+
+/// A timed scripted action.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioEvent {
+    /// Absolute simulated time at which the action applies.
+    pub at: SimTime,
+    /// The action.
+    pub action: ScenarioAction,
+}
+
+/// Parameters of the exponential session-time churn generator.
+///
+/// Each node alternates exponentially distributed up (session) and down
+/// periods, crashing at session end and rejoining afterwards — the
+/// standard churn model of the peer-to-peer literature. A configurable
+/// fraction of nodes instead departs *gracefully* at the end of its first
+/// session and never returns.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// The nodes subject to churn (exclude the source and any other node
+    /// that must stay up).
+    pub nodes: Vec<OverlayId>,
+    /// Churn begins here (give the overlay time to settle first).
+    pub start: SimTime,
+    /// No churn events are generated at or after this time.
+    pub end: SimTime,
+    /// Mean session (up) time.
+    pub mean_session_secs: f64,
+    /// Mean downtime between sessions.
+    pub mean_downtime_secs: f64,
+    /// Fraction of nodes that leave gracefully (once, permanently) instead
+    /// of crash/rejoin cycling.
+    pub graceful_fraction: f64,
+    /// Seed for the generator's deterministic randomness.
+    pub seed: u64,
+}
+
+/// A deterministic scenario: timed events plus the set of nodes that start
+/// the run down (late joiners).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioScript {
+    events: Vec<ScenarioEvent>,
+    initially_down: Vec<OverlayId>,
+}
+
+impl ScenarioScript {
+    /// An empty script (the run plays out exactly as without a driver).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an action at `at`. Events at equal times apply in insertion
+    /// order.
+    pub fn at(mut self, at: SimTime, action: ScenarioAction) -> Self {
+        self.push(at, action);
+        self
+    }
+
+    /// Appends an action at `at` (by-reference form of [`Self::at`]).
+    pub fn push(&mut self, at: SimTime, action: ScenarioAction) {
+        self.events.push(ScenarioEvent { at, action });
+    }
+
+    /// Marks `node` as down from the start of the run (a late joiner: its
+    /// `on_start` sends are dropped and its timers stay silent until a
+    /// [`ScenarioAction::Join`] revives it).
+    pub fn down_from_start(&mut self, node: OverlayId) {
+        if !self.initially_down.contains(&node) {
+            self.initially_down.push(node);
+        }
+    }
+
+    /// The nodes down from the start of the run.
+    pub fn initially_down(&self) -> &[OverlayId] {
+        &self.initially_down
+    }
+
+    /// The scripted events, sorted by time (stable: equal times keep
+    /// insertion order).
+    pub fn sorted_events(&self) -> Vec<ScenarioEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at.as_micros());
+        events
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the script holds no events and no initially-down nodes.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.initially_down.is_empty()
+    }
+
+    /// Merges `other`'s events and initially-down set into `self`.
+    pub fn merge(mut self, other: ScenarioScript) -> Self {
+        self.events.extend(other.events);
+        for node in other.initially_down {
+            self.down_from_start(node);
+        }
+        self
+    }
+
+    /// The paper's worst-case single failure (Figs. 13/14) as a one-event
+    /// script. Event-for-event identical to the legacy `RunSpec::failure`
+    /// injection.
+    pub fn single_crash(at: SimTime, node: OverlayId) -> Self {
+        Self::new().at(at, ScenarioAction::Crash { node })
+    }
+
+    /// Exponential session-time churn over the configured nodes (see
+    /// [`ChurnConfig`]). Fully deterministic in the seed; each node draws
+    /// from its own decorrelated stream, so the node set can change without
+    /// perturbing other nodes' schedules.
+    pub fn exponential_churn(config: &ChurnConfig) -> Self {
+        let mut script = Self::new();
+        for &node in &config.nodes {
+            let mut rng = SimRng::new(
+                config
+                    .seed
+                    .wrapping_add((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let graceful = rng.chance(config.graceful_fraction);
+            let mut t = config.start.as_secs_f64() + rng.exponential(config.mean_session_secs);
+            let end = config.end.as_secs_f64();
+            loop {
+                if t >= end {
+                    break;
+                }
+                let leave_at = SimTime::from_secs_f64(t);
+                if graceful {
+                    script.push(leave_at, ScenarioAction::GracefulLeave { node });
+                    break;
+                }
+                script.push(leave_at, ScenarioAction::Crash { node });
+                t += rng.exponential(config.mean_downtime_secs);
+                if t >= end {
+                    break;
+                }
+                script.push(SimTime::from_secs_f64(t), ScenarioAction::Join { node });
+                t += rng.exponential(config.mean_session_secs);
+            }
+        }
+        script
+    }
+
+    /// A flash crowd: `nodes` start the run down and join at times drawn
+    /// uniformly from `[start, start + ramp)`.
+    pub fn flash_crowd(nodes: &[OverlayId], start: SimTime, ramp_secs: f64, seed: u64) -> Self {
+        let mut script = Self::new();
+        let mut rng = SimRng::new(seed);
+        for &node in nodes {
+            script.down_from_start(node);
+            let offset = rng.next_f64() * ramp_secs;
+            script.push(
+                SimTime::from_secs_f64(start.as_secs_f64() + offset),
+                ScenarioAction::Join { node },
+            );
+        }
+        script
+    }
+
+    /// An oscillating bottleneck: the link's capacity drops to `low_bps` at
+    /// `start`, toggles between low and `high_bps` every `half_period`, and
+    /// is restored to `high_bps` at `end`.
+    pub fn oscillating_link(
+        link: usize,
+        high_bps: f64,
+        low_bps: f64,
+        half_period_secs: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        let mut script = Self::new();
+        let mut t = start.as_secs_f64();
+        let mut low = true;
+        while t < end.as_secs_f64() {
+            script.push(
+                SimTime::from_secs_f64(t),
+                ScenarioAction::SetLinkBandwidth {
+                    link,
+                    bps: if low { low_bps } else { high_bps },
+                },
+            );
+            low = !low;
+            t += half_period_secs;
+        }
+        script.push(
+            end,
+            ScenarioAction::SetLinkBandwidth {
+                link,
+                bps: high_bps,
+            },
+        );
+        script
+    }
+
+    /// A correlated stub outage: every link incident to `router` goes down
+    /// at `at` and comes back after `duration_secs`.
+    pub fn stub_outage(router: RouterId, at: SimTime, duration_secs: f64) -> Self {
+        Self::new()
+            .at(at, ScenarioAction::SetRouterUp { router, up: false })
+            .at(
+                SimTime::from_secs_f64(at.as_secs_f64() + duration_secs),
+                ScenarioAction::SetRouterUp { router, up: true },
+            )
+    }
+
+    /// Parses the text scenario format used by the `BULLET_SCENARIO`
+    /// environment variable.
+    ///
+    /// Events are separated by `;` or newlines. Each event is
+    /// whitespace-separated fields; the first is the time in (possibly
+    /// fractional) seconds, except for the time-less `down` marker:
+    ///
+    /// ```text
+    /// down <node>                  node starts the run down (late joiner)
+    /// <t> crash <node>             crash-fail
+    /// <t> leave <node>             graceful leave
+    /// <t> join <node>              (re)join
+    /// <t> recover <node>           bare recovery (no bootstrap)
+    /// <t> link-bw <link> <bps>     set link capacity
+    /// <t> link-loss <link> <p>     set link loss probability
+    /// <t> link-down <link>         take link down
+    /// <t> link-up <link>           bring link up
+    /// <t> router-down <router>     correlated stub outage
+    /// <t> router-up <router>       end of the outage
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut script = Self::new();
+        for raw in text.split([';', '\n']) {
+            let entry = raw.trim();
+            if entry.is_empty() || entry.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = entry.split_whitespace().collect();
+            let err = |what: &str| format!("scenario entry {entry:?}: {what}");
+            if fields[0] == "down" {
+                let node = Self::field::<OverlayId>(&fields, 1, entry)?;
+                script.down_from_start(node);
+                continue;
+            }
+            let secs: f64 = fields[0]
+                .parse()
+                .map_err(|_| err("expected a time in seconds"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(err("time must be a non-negative number"));
+            }
+            let at = SimTime::from_secs_f64(secs);
+            let verb = *fields.get(1).ok_or_else(|| err("missing action"))?;
+            let action = match verb {
+                "crash" => ScenarioAction::Crash {
+                    node: Self::field(&fields, 2, entry)?,
+                },
+                "leave" => ScenarioAction::GracefulLeave {
+                    node: Self::field(&fields, 2, entry)?,
+                },
+                "join" => ScenarioAction::Join {
+                    node: Self::field(&fields, 2, entry)?,
+                },
+                "recover" => ScenarioAction::Recover {
+                    node: Self::field(&fields, 2, entry)?,
+                },
+                "link-bw" => ScenarioAction::SetLinkBandwidth {
+                    link: Self::field(&fields, 2, entry)?,
+                    bps: Self::field(&fields, 3, entry)?,
+                },
+                "link-loss" => ScenarioAction::SetLinkLoss {
+                    link: Self::field(&fields, 2, entry)?,
+                    loss: Self::field(&fields, 3, entry)?,
+                },
+                "link-down" => ScenarioAction::SetLinkUp {
+                    link: Self::field(&fields, 2, entry)?,
+                    up: false,
+                },
+                "link-up" => ScenarioAction::SetLinkUp {
+                    link: Self::field(&fields, 2, entry)?,
+                    up: true,
+                },
+                "router-down" => ScenarioAction::SetRouterUp {
+                    router: Self::field(&fields, 2, entry)?,
+                    up: false,
+                },
+                "router-up" => ScenarioAction::SetRouterUp {
+                    router: Self::field(&fields, 2, entry)?,
+                    up: true,
+                },
+                other => return Err(err(&format!("unknown action {other:?}"))),
+            };
+            script.push(at, action);
+        }
+        Ok(script)
+    }
+
+    /// Reads and parses the `BULLET_SCENARIO` environment variable, if set
+    /// and non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed value — silently ignoring it would attribute a
+    /// run's results to a scenario that never happened.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("BULLET_SCENARIO") {
+            Ok(text) if !text.trim().is_empty() => {
+                Some(Self::parse(&text).expect("invalid BULLET_SCENARIO"))
+            }
+            _ => None,
+        }
+    }
+
+    fn field<T: std::str::FromStr>(
+        fields: &[&str],
+        index: usize,
+        entry: &str,
+    ) -> Result<T, String> {
+        fields
+            .get(index)
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("scenario entry {entry:?}: bad or missing field {index}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_stably_by_time() {
+        let t = SimTime::from_secs(5);
+        let script = ScenarioScript::new()
+            .at(SimTime::from_secs(9), ScenarioAction::Crash { node: 9 })
+            .at(t, ScenarioAction::Crash { node: 1 })
+            .at(t, ScenarioAction::Join { node: 2 });
+        let sorted = script.sorted_events();
+        assert_eq!(sorted[0].at, t);
+        assert_eq!(sorted[0].action, ScenarioAction::Crash { node: 1 });
+        assert_eq!(sorted[1].action, ScenarioAction::Join { node: 2 });
+        assert_eq!(sorted[2].at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn exponential_churn_is_deterministic_and_well_formed() {
+        let config = ChurnConfig {
+            nodes: (1..20).collect(),
+            start: SimTime::from_secs(20),
+            end: SimTime::from_secs(200),
+            mean_session_secs: 40.0,
+            mean_downtime_secs: 10.0,
+            graceful_fraction: 0.2,
+            seed: 7,
+        };
+        let a = ScenarioScript::exponential_churn(&config);
+        let b = ScenarioScript::exponential_churn(&config);
+        assert_eq!(a, b, "same config must generate the same script");
+        assert!(!a.is_empty(), "200 s of churn generated no events");
+        // Per node: alternating leave/join starting with a leave, inside
+        // the window; graceful leavers never rejoin.
+        for &node in &config.nodes {
+            let mut up = true;
+            let mut left_gracefully = false;
+            for event in a.sorted_events() {
+                let (is_node, joins) = match event.action {
+                    ScenarioAction::Crash { node: n } => (n == node, false),
+                    ScenarioAction::GracefulLeave { node: n } => (n == node, false),
+                    ScenarioAction::Join { node: n } => (n == node, true),
+                    _ => (false, false),
+                };
+                if !is_node {
+                    continue;
+                }
+                assert!(event.at >= config.start && event.at < config.end);
+                assert!(!left_gracefully, "node {node} acted after a graceful leave");
+                assert_ne!(
+                    up,
+                    joins,
+                    "node {node} double-{}",
+                    if joins { "joined" } else { "left" }
+                );
+                up = joins;
+                if matches!(event.action, ScenarioAction::GracefulLeave { .. }) {
+                    left_gracefully = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_marks_nodes_down_and_joins_inside_the_ramp() {
+        let nodes: Vec<usize> = (10..30).collect();
+        let start = SimTime::from_secs(50);
+        let script = ScenarioScript::flash_crowd(&nodes, start, 20.0, 3);
+        assert_eq!(script.initially_down(), &nodes[..]);
+        assert_eq!(script.len(), nodes.len(), "one join per crowd member");
+        for event in script.sorted_events() {
+            assert!(matches!(event.action, ScenarioAction::Join { .. }));
+            assert!(event.at >= start);
+            assert!(event.at.as_secs_f64() < start.as_secs_f64() + 20.0);
+        }
+    }
+
+    #[test]
+    fn oscillating_link_alternates_and_restores() {
+        let script = ScenarioScript::oscillating_link(
+            4,
+            1e6,
+            2.5e5,
+            10.0,
+            SimTime::from_secs(100),
+            SimTime::from_secs(140),
+        );
+        let events = script.sorted_events();
+        let rates: Vec<f64> = events
+            .iter()
+            .map(|e| match e.action {
+                ScenarioAction::SetLinkBandwidth { link, bps } => {
+                    assert_eq!(link, 4);
+                    bps
+                }
+                ref other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(rates, vec![2.5e5, 1e6, 2.5e5, 1e6, 1e6]);
+        assert_eq!(events.last().unwrap().at, SimTime::from_secs(140));
+    }
+
+    #[test]
+    fn stub_outage_brackets_the_window() {
+        let script = ScenarioScript::stub_outage(17, SimTime::from_secs(30), 12.5);
+        let events = script.sorted_events();
+        assert_eq!(
+            events[0].action,
+            ScenarioAction::SetRouterUp {
+                router: 17,
+                up: false
+            }
+        );
+        assert_eq!(
+            events[1].action,
+            ScenarioAction::SetRouterUp {
+                router: 17,
+                up: true
+            }
+        );
+        assert_eq!(events[1].at, SimTime::from_secs_f64(42.5));
+    }
+
+    #[test]
+    fn parses_the_env_format() {
+        let script = ScenarioScript::parse(
+            "down 7; 10 crash 3; 20.5 join 3\n30 link-bw 2 250000; 40 link-loss 2 0.1; \
+             50 link-down 2; 60 link-up 2; 70 router-down 9; 80 router-up 9; 90 leave 4; \
+             # a comment\n95 recover 3",
+        )
+        .expect("valid script");
+        assert_eq!(script.initially_down(), &[7]);
+        let events = script.sorted_events();
+        assert_eq!(events.len(), 10);
+        assert_eq!(events[0].action, ScenarioAction::Crash { node: 3 });
+        assert_eq!(events[1].at, SimTime::from_secs_f64(20.5));
+        assert_eq!(
+            events[2].action,
+            ScenarioAction::SetLinkBandwidth {
+                link: 2,
+                bps: 250_000.0
+            }
+        );
+        assert_eq!(events[8].action, ScenarioAction::GracefulLeave { node: 4 });
+        assert_eq!(events[9].action, ScenarioAction::Recover { node: 3 });
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(ScenarioScript::parse("ten crash 3").is_err());
+        assert!(ScenarioScript::parse("10 explode 3").is_err());
+        assert!(ScenarioScript::parse("10 crash").is_err());
+        assert!(ScenarioScript::parse("-5 crash 3").is_err());
+        assert!(ScenarioScript::parse("10 link-bw 2").is_err());
+    }
+
+    #[test]
+    fn merge_combines_events_and_down_sets() {
+        let a = ScenarioScript::single_crash(SimTime::from_secs(10), 1);
+        let mut b = ScenarioScript::new();
+        b.down_from_start(5);
+        b.push(SimTime::from_secs(5), ScenarioAction::Join { node: 5 });
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.initially_down(), &[5]);
+        assert_eq!(
+            merged.sorted_events()[0].action,
+            ScenarioAction::Join { node: 5 }
+        );
+    }
+}

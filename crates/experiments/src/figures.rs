@@ -9,13 +9,16 @@
 
 use bullet_baselines::{AntiEntropyConfig, GossipConfig, StreamConfig, StreamTransport};
 use bullet_core::BulletConfig;
+use bullet_dynamics::ScenarioScript;
 use bullet_netsim::{NetworkSpec, SimDuration, SimTime};
 use bullet_overlay::{good_tree, random_tree, worst_tree};
 use bullet_topology::{BandwidthProfile, BuiltTopology, LossProfile};
 
 use crate::env::{build_topology, build_tree, constrained_source_topology, TreeKind};
 use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
-use crate::protocols::{antientropy_run, bullet_run, gossip_run, streaming_run};
+use crate::protocols::{
+    antientropy_run, bullet_run, bullet_run_scenario, gossip_run, streaming_run,
+};
 use crate::runner::{RunResult, RunSpec};
 use crate::scale::Scale;
 
@@ -36,7 +39,7 @@ pub struct FigureResult {
 }
 
 impl FigureResult {
-    fn new(id: &str, title: &str) -> Self {
+    pub(crate) fn new(id: &str, title: &str) -> Self {
         FigureResult {
             id: id.to_string(),
             title: title.to_string(),
@@ -44,7 +47,7 @@ impl FigureResult {
         }
     }
 
-    fn add_run(&mut self, result: &RunResult) {
+    pub(crate) fn add_run(&mut self, result: &RunResult) {
         self.series.push(result.useful.clone());
         self.summaries
             .push((result.label.clone(), result.summary.clone()));
@@ -61,16 +64,16 @@ impl FigureResult {
 }
 
 /// Shared experiment parameters derived from the scale.
-struct Params {
-    participants: usize,
-    duration: SimDuration,
-    sample: SimDuration,
-    stream_start: SimTime,
-    seed: u64,
+pub(crate) struct Params {
+    pub(crate) participants: usize,
+    pub(crate) duration: SimDuration,
+    pub(crate) sample: SimDuration,
+    pub(crate) stream_start: SimTime,
+    pub(crate) seed: u64,
 }
 
 impl Params {
-    fn new(scale: Scale, seed: u64) -> Self {
+    pub(crate) fn new(scale: Scale, seed: u64) -> Self {
         Params {
             participants: scale.participants(),
             duration: SimDuration::from_secs(scale.duration_secs()),
@@ -80,7 +83,7 @@ impl Params {
         }
     }
 
-    fn run_spec(&self, label: &str) -> RunSpec {
+    pub(crate) fn run_spec(&self, label: &str) -> RunSpec {
         RunSpec {
             label: label.into(),
             source: 0,
@@ -90,7 +93,7 @@ impl Params {
         }
     }
 
-    fn bullet_config(&self, rate_bps: f64) -> BulletConfig {
+    pub(crate) fn bullet_config(&self, rate_bps: f64) -> BulletConfig {
         BulletConfig {
             stream_rate_bps: rate_bps,
             stream_start: self.stream_start,
@@ -98,7 +101,7 @@ impl Params {
         }
     }
 
-    fn stream_config(&self, rate_bps: f64) -> StreamConfig {
+    pub(crate) fn stream_config(&self, rate_bps: f64) -> StreamConfig {
         StreamConfig {
             stream_rate_bps: rate_bps,
             stream_start: self.stream_start,
@@ -440,13 +443,18 @@ pub fn failure_figure(scale: Scale, ransub_failure_detection: bool) -> FigureRes
 
     let mut config = p.bullet_config(PAPER_RATE_BPS);
     config.ransub_failure_detection = ransub_failure_detection;
-    let mut run = p.run_spec(if ransub_failure_detection {
+    let run = p.run_spec(if ransub_failure_detection {
         "Bullet, worst-case failure, RanSub recovery enabled"
     } else {
         "Bullet, worst-case failure, no RanSub recovery"
     });
-    run.failure = Some((failure_time, victim));
-    let result = bullet_run(&topo.spec, &tree, &config, &run, p.seed);
+    // The failure is a one-event scenario script. The driver pre-schedules
+    // crashes through the simulator's event queue exactly like the legacy
+    // `RunSpec::failure` injection, so the figure's numbers are unchanged
+    // (asserted by `fig13_through_the_scenario_engine_matches_the_legacy_path`
+    // in tests/end_to_end.rs).
+    let script = ScenarioScript::single_crash(failure_time, victim);
+    let result = bullet_run_scenario(&topo.spec, &tree, &config, &run, &script, p.seed);
 
     let (id, title) = if ransub_failure_detection {
         (

@@ -19,10 +19,17 @@ pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scenarios;
 
 pub use env::{build_topology, build_tree, constrained_source_topology, TreeKind};
 pub use figures::{quick_bullet_demo, FigureResult};
 pub use metrics::{BandwidthSeries, Cdf, RunSummary};
-pub use protocols::{antientropy_run, bullet_run, gossip_run, streaming_run};
-pub use runner::{run_metered, Delivery, MeteredAgent, RunResult, RunSpec};
+pub use protocols::{
+    antientropy_run, bullet_run, bullet_run_scenario, gossip_run, streaming_run,
+    streaming_run_scenario,
+};
+pub use runner::{run_metered, run_metered_dynamic, Delivery, MeteredAgent, RunResult, RunSpec};
 pub use scale::Scale;
+pub use scenarios::{
+    access_link_of, churn_figure, flash_crowd_figure, oscillating_bottleneck_figure,
+};

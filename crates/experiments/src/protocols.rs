@@ -5,10 +5,11 @@ use bullet_baselines::{
     AntiEntropyConfig, AntiEntropyNode, GossipConfig, GossipNode, StreamConfig, StreamingNode,
 };
 use bullet_core::{BulletConfig, BulletNode};
+use bullet_dynamics::ScenarioScript;
 use bullet_netsim::{NetworkSpec, OverlayId, Sim};
 use bullet_overlay::Tree;
 
-use crate::runner::{run_metered, RunResult, RunSpec};
+use crate::runner::{run_metered, run_metered_dynamic, RunResult, RunSpec};
 
 /// Runs Bullet over `tree` on the given physical network.
 pub fn bullet_run(
@@ -23,6 +24,40 @@ pub fn bullet_run(
         .collect();
     let sim = Sim::new(spec, agents, seed);
     run_metered(sim, run)
+}
+
+/// Runs Bullet over `tree` under a scenario script (churn, flash crowds,
+/// link dynamics). Identical to [`bullet_run`] when the script is empty.
+pub fn bullet_run_scenario(
+    spec: &NetworkSpec,
+    tree: &Tree,
+    config: &BulletConfig,
+    run: &RunSpec,
+    script: &ScenarioScript,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<BulletNode> = (0..spec.participants())
+        .map(|i| BulletNode::new(i, tree, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered_dynamic(sim, run, script)
+}
+
+/// Runs tree streaming over `tree` under a scenario script (the baselines
+/// use the default no-op lifecycle hooks; link dynamics apply in full).
+pub fn streaming_run_scenario(
+    spec: &NetworkSpec,
+    tree: &Tree,
+    config: &StreamConfig,
+    run: &RunSpec,
+    script: &ScenarioScript,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<StreamingNode> = (0..spec.participants())
+        .map(|i| StreamingNode::new(i, tree, config.clone()))
+        .collect();
+    let sim = Sim::new(spec, agents, seed);
+    run_metered_dynamic(sim, run, script)
 }
 
 /// Runs tree streaming over `tree`.

@@ -8,6 +8,7 @@
 
 use bullet_baselines::{AntiEntropyNode, GossipNode, StreamingNode};
 use bullet_core::BulletNode;
+use bullet_dynamics::{ScenarioAgent, ScenarioDriver, ScenarioScript};
 use bullet_netsim::{Agent, OverlayId, RoutingStats, Sim, SimDuration, SimTime};
 
 use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
@@ -152,105 +153,161 @@ pub struct RunSpec {
     pub failure: Option<(SimTime, OverlayId)>,
 }
 
+/// The sampling state of one metered run, shared between the static
+/// ([`run_metered`]) and scenario-driven ([`run_metered_dynamic`]) drivers.
+struct Meter {
+    n: usize,
+    source: OverlayId,
+    times: Vec<f64>,
+    per_node_useful: Vec<Vec<u64>>,
+    per_node_raw_prev: Vec<u64>,
+    per_node_useful_prev: Vec<u64>,
+    per_node_parent_prev: Vec<u64>,
+    useful: BandwidthSeries,
+    raw: BandwidthSeries,
+    from_parent: BandwidthSeries,
+    last_t: f64,
+}
+
+impl Meter {
+    fn new(n: usize, spec: &RunSpec) -> Self {
+        Meter {
+            n,
+            source: spec.source,
+            times: Vec::new(),
+            per_node_useful: Vec::new(),
+            per_node_raw_prev: vec![0; n],
+            per_node_useful_prev: vec![0; n],
+            per_node_parent_prev: vec![0; n],
+            useful: BandwidthSeries::new(spec.label.clone()),
+            raw: BandwidthSeries::new(format!("{} (raw)", spec.label)),
+            from_parent: BandwidthSeries::new(format!("{} (from parent)", spec.label)),
+            last_t: 0.0,
+        }
+    }
+
+    fn sample<A: MeteredAgent>(&mut self, now: SimTime, sim: &Sim<A>) {
+        let t = now.as_secs_f64();
+        let dt = (t - self.last_t).max(1e-9);
+        self.last_t = t;
+        let mut useful_sum = 0.0;
+        let mut raw_sum = 0.0;
+        let mut parent_sum = 0.0;
+        let mut row = Vec::with_capacity(self.n);
+        for node in 0..self.n {
+            let d = sim.agent(node).delivery();
+            row.push(d.useful_bytes);
+            if node != self.source {
+                useful_sum += (d.useful_bytes - self.per_node_useful_prev[node]) as f64;
+                raw_sum += (d.raw_bytes - self.per_node_raw_prev[node]) as f64;
+                parent_sum += (d.from_parent_bytes - self.per_node_parent_prev[node]) as f64;
+            }
+            self.per_node_useful_prev[node] = d.useful_bytes;
+            self.per_node_raw_prev[node] = d.raw_bytes;
+            self.per_node_parent_prev[node] = d.from_parent_bytes;
+        }
+        let receivers = (self.n.saturating_sub(1)).max(1) as f64;
+        self.useful
+            .push(t, useful_sum * 8.0 / dt / 1_000.0 / receivers);
+        self.raw.push(t, raw_sum * 8.0 / dt / 1_000.0 / receivers);
+        self.from_parent
+            .push(t, parent_sum * 8.0 / dt / 1_000.0 / receivers);
+        self.times.push(t);
+        self.per_node_useful.push(row);
+    }
+
+    fn finish<A: MeteredAgent>(self, sim: &Sim<A>, spec: &RunSpec) -> RunResult {
+        let n = self.n;
+        let mut total_dups = 0u64;
+        let mut total_parent_dups = 0u64;
+        let mut total_packets = 0u64;
+        let mut delivery_fractions: Vec<f64> = Vec::new();
+        let generated = sim.agent(spec.source).delivery().packets_generated;
+        let mut control_bytes = 0u64;
+        for node in 0..n {
+            let d = sim.agent(node).delivery();
+            total_dups += d.duplicate_packets;
+            total_parent_dups += d.duplicate_from_parent;
+            total_packets += d.total_packets;
+            control_bytes += sim.traffic(node).control_bytes_in;
+            if node != spec.source && generated > 0 {
+                delivery_fractions.push(d.useful_packets as f64 / generated as f64);
+            }
+        }
+        delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let stress = sim.network().stress_stats();
+        let duration_secs = spec.duration.as_secs_f64().max(1e-9);
+        let summary = RunSummary {
+            steady_useful_kbps: self.useful.steady_state_kbps(0.25),
+            steady_raw_kbps: self.raw.steady_state_kbps(0.25),
+            duplicate_fraction: if total_packets == 0 {
+                0.0
+            } else {
+                total_dups as f64 / total_packets as f64
+            },
+            parent_relay_duplicate_share: if total_dups == 0 {
+                0.0
+            } else {
+                total_parent_dups as f64 / total_dups as f64
+            },
+            control_overhead_kbps: control_bytes as f64 * 8.0 / duration_secs / 1_000.0 / n as f64,
+            link_stress_mean: stress.mean,
+            link_stress_max: stress.max,
+            median_delivery_fraction: delivery_fractions
+                .get(delivery_fractions.len() / 2)
+                .copied()
+                .unwrap_or(0.0),
+        };
+
+        RunResult {
+            label: spec.label.clone(),
+            times: self.times,
+            useful: self.useful,
+            raw: self.raw,
+            from_parent: self.from_parent,
+            per_node_useful_bytes: self.per_node_useful,
+            source: spec.source,
+            summary,
+            routing: sim.network().routing_stats(),
+        }
+    }
+}
+
 /// Runs the simulation to completion while sampling every agent's delivery
 /// counters, producing the standard [`RunResult`].
 pub fn run_metered<A: MeteredAgent>(mut sim: Sim<A>, spec: &RunSpec) -> RunResult {
     if let Some((at, node)) = spec.failure {
         sim.schedule_failure(at, node);
     }
-    let n = sim.agents().len();
-    let mut times = Vec::new();
-    let mut per_node_useful: Vec<Vec<u64>> = Vec::new();
-    let mut per_node_raw_prev = vec![0u64; n];
-    let mut per_node_useful_prev = vec![0u64; n];
-    let mut per_node_parent_prev = vec![0u64; n];
-    let mut useful = BandwidthSeries::new(spec.label.clone());
-    let mut raw = BandwidthSeries::new(format!("{} (raw)", spec.label));
-    let mut from_parent = BandwidthSeries::new(format!("{} (from parent)", spec.label));
-
+    let mut meter = Meter::new(sim.agents().len(), spec);
     let end = SimTime::ZERO + spec.duration;
-    let mut last_t = 0.0f64;
-    sim.run_sampled(end, spec.sample_interval, |now, sim| {
-        let t = now.as_secs_f64();
-        let dt = (t - last_t).max(1e-9);
-        last_t = t;
-        let mut useful_sum = 0.0;
-        let mut raw_sum = 0.0;
-        let mut parent_sum = 0.0;
-        let mut row = Vec::with_capacity(n);
-        for node in 0..n {
-            let d = sim.agent(node).delivery();
-            row.push(d.useful_bytes);
-            if node != spec.source {
-                useful_sum += (d.useful_bytes - per_node_useful_prev[node]) as f64;
-                raw_sum += (d.raw_bytes - per_node_raw_prev[node]) as f64;
-                parent_sum += (d.from_parent_bytes - per_node_parent_prev[node]) as f64;
-            }
-            per_node_useful_prev[node] = d.useful_bytes;
-            per_node_raw_prev[node] = d.raw_bytes;
-            per_node_parent_prev[node] = d.from_parent_bytes;
-        }
-        let receivers = (n.saturating_sub(1)).max(1) as f64;
-        useful.push(t, useful_sum * 8.0 / dt / 1_000.0 / receivers);
-        raw.push(t, raw_sum * 8.0 / dt / 1_000.0 / receivers);
-        from_parent.push(t, parent_sum * 8.0 / dt / 1_000.0 / receivers);
-        times.push(t);
-        per_node_useful.push(row);
+    sim.run_sampled(end, spec.sample_interval, |now, sim| meter.sample(now, sim));
+    meter.finish(&sim, spec)
+}
+
+/// Runs the simulation under a [`ScenarioScript`], sampling exactly like
+/// [`run_metered`].
+///
+/// Crashes in the script pre-schedule through the simulator's event queue
+/// before anything else — the same ordering as `RunSpec::failure` — so a
+/// one-crash script reproduces the legacy failure injection event for
+/// event. Lifecycle and link events apply between event-loop steps at
+/// their scripted instants.
+pub fn run_metered_dynamic<A>(mut sim: Sim<A>, spec: &RunSpec, script: &ScenarioScript) -> RunResult
+where
+    A: MeteredAgent + ScenarioAgent,
+{
+    let mut driver = ScenarioDriver::new(script);
+    driver.install(&mut sim);
+    if let Some((at, node)) = spec.failure {
+        sim.schedule_failure(at, node);
+    }
+    let mut meter = Meter::new(sim.agents().len(), spec);
+    let end = SimTime::ZERO + spec.duration;
+    driver.run_sampled(&mut sim, end, spec.sample_interval, |now, sim| {
+        meter.sample(now, sim)
     });
-
-    // Scalar summary.
-    let mut total_dups = 0u64;
-    let mut total_parent_dups = 0u64;
-    let mut total_packets = 0u64;
-    let mut delivery_fractions: Vec<f64> = Vec::new();
-    let generated = sim.agent(spec.source).delivery().packets_generated;
-    let mut control_bytes = 0u64;
-    for node in 0..n {
-        let d = sim.agent(node).delivery();
-        total_dups += d.duplicate_packets;
-        total_parent_dups += d.duplicate_from_parent;
-        total_packets += d.total_packets;
-        control_bytes += sim.traffic(node).control_bytes_in;
-        if node != spec.source && generated > 0 {
-            delivery_fractions.push(d.useful_packets as f64 / generated as f64);
-        }
-    }
-    delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let stress = sim.network().stress_stats();
-    let duration_secs = spec.duration.as_secs_f64().max(1e-9);
-    let summary = RunSummary {
-        steady_useful_kbps: useful.steady_state_kbps(0.25),
-        steady_raw_kbps: raw.steady_state_kbps(0.25),
-        duplicate_fraction: if total_packets == 0 {
-            0.0
-        } else {
-            total_dups as f64 / total_packets as f64
-        },
-        parent_relay_duplicate_share: if total_dups == 0 {
-            0.0
-        } else {
-            total_parent_dups as f64 / total_dups as f64
-        },
-        control_overhead_kbps: control_bytes as f64 * 8.0 / duration_secs / 1_000.0 / n as f64,
-        link_stress_mean: stress.mean,
-        link_stress_max: stress.max,
-        median_delivery_fraction: delivery_fractions
-            .get(delivery_fractions.len() / 2)
-            .copied()
-            .unwrap_or(0.0),
-    };
-
-    RunResult {
-        label: spec.label.clone(),
-        times,
-        useful,
-        raw,
-        from_parent,
-        per_node_useful_bytes: per_node_useful,
-        source: spec.source,
-        summary,
-        routing: sim.network().routing_stats(),
-    }
+    meter.finish(&sim, spec)
 }
 
 #[cfg(test)]

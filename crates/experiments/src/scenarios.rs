@@ -1,0 +1,275 @@
+//! Scenario-dynamics experiment figures (beyond the paper's evaluation).
+//!
+//! The paper freezes the network for the length of every run and scripts at
+//! most one node failure; these figures exercise the regimes fault-
+//! resilient streaming overlays are actually judged on — continuous churn,
+//! flash crowds and time-varying bottlenecks — using the
+//! `bullet-dynamics` scenario engine. Each follows the same
+//! [`FigureResult`] conventions as the paper figures, so the report
+//! printers and bench harnesses consume them unchanged.
+
+use bullet_dynamics::{ChurnConfig, ScenarioScript};
+use bullet_netsim::{NetworkSpec, OverlayId, SimTime};
+use bullet_topology::{BandwidthProfile, LossProfile};
+
+use crate::env::{build_topology, build_tree, TreeKind};
+use crate::figures::{FigureResult, Params};
+use crate::protocols::{bullet_run_scenario, streaming_run_scenario};
+use crate::runner::RunResult;
+use crate::scale::Scale;
+
+/// The target stream rate the scenario figures use (the paper's 600 Kbps).
+const SCENARIO_RATE_BPS: f64 = 600_000.0;
+
+/// The physical (spec) link index of `node`'s access link — the first link
+/// incident to its attachment router. With the generated topologies'
+/// degree-one leaf attachment this is *the* access link, i.e. the node's
+/// bottleneck.
+pub fn access_link_of(spec: &NetworkSpec, node: OverlayId) -> usize {
+    let router = spec.attachments[node];
+    spec.links
+        .iter()
+        .position(|l| l.a == router || l.b == router)
+        .expect("participant routers have an access link")
+}
+
+/// Exponential session-time churn sweep: Bullet under increasingly rapid
+/// crash/rejoin churn of every non-source node, against a churn-free
+/// baseline on the same topology and tree.
+///
+/// Each sweep point runs with mean session times of 1×, 1/2× and 1/4× the
+/// post-settling run window (CliqueStream-style session churn); downtime
+/// averages a quarter of the session time. The Bullet configuration uses
+/// the churn profile (dead senders evicted after two idle evaluation
+/// windows) so reconciliation rows are restriped off crashed peers.
+pub fn churn_figure(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 31);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let config = p.bullet_config(SCENARIO_RATE_BPS).churn();
+    let mut figure = FigureResult::new(
+        "churn",
+        "Achieved bandwidth under exponential session-time churn (crash/rejoin of every non-source node)",
+    );
+
+    let baseline = bullet_run_scenario(
+        &topo.spec,
+        &tree,
+        &config,
+        &p.run_spec("Bullet - no churn"),
+        &ScenarioScript::new(),
+        p.seed,
+    );
+    figure.add_run(&baseline);
+
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    for divisor in [1.0, 2.0, 4.0] {
+        let mean_session = window / divisor;
+        let script = ScenarioScript::exponential_churn(&ChurnConfig {
+            nodes: (1..p.participants).collect(),
+            start: p.stream_start,
+            end: SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.95),
+            mean_session_secs: mean_session,
+            mean_downtime_secs: mean_session / 4.0,
+            graceful_fraction: 0.25,
+            seed: p.seed ^ 0xC0_94,
+        });
+        let label = format!("Bullet - mean session {mean_session:.0}s");
+        let result = bullet_run_scenario(
+            &topo.spec,
+            &tree,
+            &config,
+            &p.run_spec(&label),
+            &script,
+            p.seed,
+        );
+        figure.notes.push(format!(
+            "mean session {mean_session:.0}s ({} scripted events): useful {:.0} Kbps vs {:.0} Kbps churn-free, median delivery {:.0}%",
+            script.len(),
+            result.summary.steady_useful_kbps,
+            baseline.summary.steady_useful_kbps,
+            result.summary.median_delivery_fraction * 100.0,
+        ));
+        figure.add_run(&result);
+    }
+    figure
+}
+
+/// Flash crowd: 60% of the overlay starts the run down and joins over a
+/// short ramp mid-stream. The figure tracks the bandwidth dip while the
+/// crowd bootstraps and its recovery as the mesh absorbs the joiners.
+pub fn flash_crowd_figure(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 32);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let config = p.bullet_config(SCENARIO_RATE_BPS).churn();
+
+    let crowd_start = p.participants - (p.participants * 6 / 10);
+    let crowd: Vec<OverlayId> = (crowd_start.max(1)..p.participants).collect();
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    let join_at = SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.4);
+    let ramp = window * 0.1;
+    let script = ScenarioScript::flash_crowd(&crowd, join_at, ramp, p.seed ^ 0xF1A5);
+
+    let mut figure = FigureResult::new(
+        "flashcrowd",
+        "Achieved bandwidth while a flash crowd (60% of the overlay) joins mid-stream",
+    );
+    let result = bullet_run_scenario(
+        &topo.spec,
+        &tree,
+        &config,
+        &p.run_spec("Bullet - flash crowd"),
+        &script,
+        p.seed,
+    );
+    // Useful first (add_run), raw second: `steady_state_of("flash crowd")`
+    // finds the first matching label, and gates must read useful bandwidth.
+    figure.add_run(&result);
+    figure.series.push(result.raw.clone());
+
+    // How long after the last join until per-crowd-member delivery catches
+    // up to a healthy rate.
+    let catch_up = crowd_catch_up_secs(&result, &crowd, join_at.as_secs_f64() + ramp);
+    figure.notes.push(format!(
+        "{} joiners over {ramp:.0}s starting at t={:.0}s; steady useful {:.0} Kbps; crowd reached half the steady rate {} after the ramp",
+        crowd.len(),
+        join_at.as_secs_f64(),
+        result.summary.steady_useful_kbps,
+        match catch_up {
+            Some(secs) => format!("{secs:.0}s"),
+            None => "never".into(),
+        },
+    ));
+    figure
+}
+
+/// First sample time at which the crowd's average instantaneous useful
+/// bandwidth reaches half the run's steady-state rate, as seconds after
+/// `after_secs`.
+fn crowd_catch_up_secs(result: &RunResult, crowd: &[OverlayId], after_secs: f64) -> Option<f64> {
+    let target = result.summary.steady_useful_kbps / 2.0;
+    let mut prev: Option<(f64, &Vec<u64>)> = None;
+    for (idx, t) in result.times.iter().copied().enumerate() {
+        let row = &result.per_node_useful_bytes[idx];
+        if let Some((pt, prow)) = prev {
+            let dt = (t - pt).max(1e-9);
+            let kbps = crowd
+                .iter()
+                .map(|&n| (row[n].saturating_sub(prow[n])) as f64 * 8.0 / dt / 1_000.0)
+                .sum::<f64>()
+                / crowd.len().max(1) as f64;
+            if t > after_secs && kbps >= target {
+                return Some(t - after_secs);
+            }
+        }
+        prev = Some((t, row));
+    }
+    None
+}
+
+/// Oscillating bottleneck: the access link of the root child with the most
+/// descendants — the Fig. 13 worst-case victim, but throttled periodically
+/// instead of crashed — square-waves between its provisioned rate and a
+/// quarter of the stream rate. Bullet over the tree is compared against
+/// TFRC streaming over the *same* tree under the same oscillation: the
+/// tree loses the whole subtree during every trough, while the mesh routes
+/// recovery traffic around the throttled uplink.
+pub fn oscillating_bottleneck_figure(scale: Scale) -> FigureResult {
+    let p = Params::new(scale, 33);
+    let topo = build_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let victim = tree
+        .children(0)
+        .iter()
+        .copied()
+        .max_by_key(|&c| tree.subtree_size(c))
+        .expect("root has children");
+    let link = access_link_of(&topo.spec, victim);
+    let high_bps = topo.spec.links[link].bandwidth_bps;
+    let low_bps = SCENARIO_RATE_BPS / 4.0;
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    let script = ScenarioScript::oscillating_link(
+        link,
+        high_bps,
+        low_bps,
+        window / 8.0,
+        SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.2),
+        SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.95),
+    );
+
+    let mut figure = FigureResult::new(
+        "oscillation",
+        "Achieved bandwidth while the worst-case root child's access link oscillates between its provisioned rate and a quarter of the stream rate",
+    );
+    let bullet = bullet_run_scenario(
+        &topo.spec,
+        &tree,
+        &p.bullet_config(SCENARIO_RATE_BPS),
+        &p.run_spec("Bullet - oscillating bottleneck"),
+        &script,
+        p.seed,
+    );
+    figure.add_run(&bullet);
+
+    let streaming = streaming_run_scenario(
+        &topo.spec,
+        &tree,
+        &p.stream_config(SCENARIO_RATE_BPS),
+        &p.run_spec("Tree streaming - oscillating bottleneck"),
+        &script,
+        p.seed,
+    );
+    figure.add_run(&streaming);
+
+    figure.notes.push(format!(
+        "node {victim} ({} descendants) access link {link} square-waves {:.1} Mbps <-> {:.0} Kbps every {:.0}s: Bullet {:.0} Kbps vs tree streaming {:.0} Kbps steady useful",
+        tree.subtree_size(victim) - 1,
+        high_bps / 1e6,
+        low_bps / 1e3,
+        window / 8.0,
+        bullet.summary.steady_useful_kbps,
+        streaming.summary.steady_useful_kbps,
+    ));
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_link_lookup_finds_the_attachment_link() {
+        let topo = build_topology(
+            Scale::Small,
+            10,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            5,
+        );
+        for node in 0..10 {
+            let link = access_link_of(&topo.spec, node);
+            let spec = &topo.spec.links[link];
+            let router = topo.spec.attachments[node];
+            assert!(spec.a == router || spec.b == router);
+        }
+    }
+}

@@ -88,6 +88,35 @@ impl<T> EventQueue<T> {
         Some((key, value))
     }
 
+    /// Removes every event whose value fails `keep`, then restores the heap
+    /// invariant in one bottom-up pass.
+    ///
+    /// Keys are unique and popping always returns the minimum key, so the
+    /// pop *sequence* after a `retain` is identical to what it would have
+    /// been had the removed events simply been popped and discarded — the
+    /// internal array layout cannot leak into simulation results. Used by
+    /// the simulator's dead-timer compaction sweep.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        let mut write = 0;
+        for read in 0..self.keys.len() {
+            if keep(&self.values[read]) {
+                if write != read {
+                    self.keys.swap(write, read);
+                    self.values.swap(write, read);
+                }
+                write += 1;
+            }
+        }
+        self.keys.truncate(write);
+        self.values.truncate(write);
+        // Floyd heapify: sift every internal node down, deepest first.
+        if write > 1 {
+            for parent in (0..=(write - 2) / 4).rev() {
+                self.sift_down(parent);
+            }
+        }
+    }
+
     #[inline]
     fn swap(&mut self, a: usize, b: usize) {
         self.keys.swap(a, b);
@@ -187,6 +216,44 @@ mod tests {
             assert_eq!(got, expected);
         }
         assert!(fast.is_empty());
+    }
+
+    #[test]
+    fn retain_preserves_pop_order_of_kept_events() {
+        let mut state = 0xdead_beef_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 40
+        };
+        let mut q = EventQueue::new();
+        let mut kept = Vec::new();
+        for seq in 0..5_000u64 {
+            let t = next();
+            q.push(event_key(t, seq), (t, seq));
+            if seq % 3 != 0 {
+                kept.push((t, seq));
+            }
+        }
+        q.retain(|&(_, seq)| seq % 3 != 0);
+        assert_eq!(q.len(), kept.len());
+        kept.sort_unstable();
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(popped, kept, "retain changed the pop sequence");
+    }
+
+    #[test]
+    fn retain_handles_empty_and_full_removal() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        q.retain(|_| true);
+        assert!(q.is_empty());
+        for seq in 0..10 {
+            q.push(event_key(seq, seq), seq);
+        }
+        q.retain(|_| false);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct LinkSpec {
     pub loss: f64,
     /// Drop-tail queue capacity in bytes (per direction).
     pub queue_bytes: u32,
+    /// Administrative state: a link that is down carries no traffic and is
+    /// excluded from routing. Scenario scripts flip this to model outages.
+    pub up: bool,
 }
 
 impl LinkSpec {
@@ -42,6 +45,7 @@ impl LinkSpec {
             delay,
             loss: 0.0,
             queue_bytes: 50_000,
+            up: true,
         }
     }
 
@@ -67,6 +71,9 @@ pub enum HopOutcome {
     DroppedQueue,
     /// The packet was dropped by the random loss process.
     DroppedLoss,
+    /// The packet was dropped because the link is administratively down
+    /// (scenario-scripted outage).
+    DroppedDown,
 }
 
 /// Counters kept per directed link.
@@ -80,6 +87,8 @@ pub struct LinkCounters {
     pub dropped_queue: u64,
     /// Packets dropped by the random loss process.
     pub dropped_loss: u64,
+    /// Packets dropped because the link was administratively down.
+    pub dropped_down: u64,
 }
 
 /// A directed link with live queueing state.
@@ -95,8 +104,13 @@ pub struct DirectedLink {
     pub delay: SimDuration,
     /// Random loss probability.
     pub loss: f64,
+    /// Drop-tail queue capacity in bytes; kept so capacity mutations can
+    /// recompute `max_queue_delay`.
+    pub queue_bytes: u32,
     /// Maximum queueing delay implied by the queue size, in simulated time.
     pub max_queue_delay: SimDuration,
+    /// Administrative state (see [`LinkSpec::up`]).
+    pub up: bool,
     /// Time at which the transmitter becomes idle again.
     pub busy_until: SimTime,
     /// Traffic counters.
@@ -117,10 +131,27 @@ impl DirectedLink {
             bandwidth_bps: spec.bandwidth_bps,
             delay: spec.delay,
             loss: spec.loss,
+            queue_bytes: spec.queue_bytes,
             max_queue_delay: transmission_time(spec.queue_bytes, spec.bandwidth_bps),
+            up: spec.up,
             busy_until: SimTime::ZERO,
             counters: LinkCounters::default(),
         }
+    }
+
+    /// Changes the link capacity, recomputing the queueing-delay bound the
+    /// drop-tail queue implies. Packets already accepted keep their old
+    /// serialization schedule (`busy_until` is untouched): a capacity change
+    /// affects traffic offered from that point on.
+    pub fn set_bandwidth(&mut self, bandwidth_bps: f64) {
+        self.bandwidth_bps = bandwidth_bps;
+        self.max_queue_delay = transmission_time(self.queue_bytes, bandwidth_bps);
+    }
+
+    /// Routing cost of this link (propagation delay in microseconds, with the
+    /// same ≥ 1 floor [`crate::network::Network`] applies at construction).
+    pub fn cost(&self) -> u64 {
+        self.delay.as_micros().max(1)
     }
 
     /// Offers a packet of `size_bytes` to the link at time `now`.
@@ -129,6 +160,10 @@ impl DirectedLink {
     /// independent random loss process, mirroring a loss that occurs on the
     /// wire after the packet left the queue.
     pub fn offer(&mut self, now: SimTime, size_bytes: u32, rng: &mut SimRng) -> HopOutcome {
+        if !self.up {
+            self.counters.dropped_down += 1;
+            return HopOutcome::DroppedDown;
+        }
         let start = self.busy_until.max(now);
         let queueing = start - now;
         if queueing > self.max_queue_delay {
@@ -225,6 +260,45 @@ mod tests {
         }
         let rate = lost as f64 / 10_000.0;
         assert!((0.27..0.33).contains(&rate), "observed loss {rate}");
+    }
+
+    #[test]
+    fn down_links_drop_without_consuming_randomness() {
+        let mut rng = SimRng::new(4);
+        let reference = rng.clone();
+        let mut link = test_link(1e6, 100_000, 0.5);
+        link.up = false;
+        for _ in 0..5 {
+            assert_eq!(
+                link.offer(SimTime::ZERO, 1000, &mut rng),
+                HopOutcome::DroppedDown
+            );
+        }
+        assert_eq!(link.counters.dropped_down, 5);
+        assert_eq!(link.counters.packets_sent, 0);
+        // The loss process must not have advanced the RNG: scripted outages
+        // cannot perturb draws elsewhere in the simulation.
+        let mut reference = reference;
+        assert_eq!(rng.next_u64(), reference.next_u64());
+        link.up = true;
+        assert!(matches!(
+            link.offer(SimTime::ZERO, 1000, &mut rng),
+            HopOutcome::Arrive(_) | HopOutcome::DroppedLoss
+        ));
+    }
+
+    #[test]
+    fn bandwidth_mutation_rescales_queue_bound_and_tx_time() {
+        let mut rng = SimRng::new(5);
+        let mut link = test_link(1_000_000.0, 3_000, 0.0);
+        let before = link.max_queue_delay;
+        link.set_bandwidth(2_000_000.0);
+        assert_eq!(link.max_queue_delay.as_micros(), before.as_micros() / 2);
+        // 1500 B at 2 Mbps = 6 ms tx + 10 ms propagation.
+        match link.offer(SimTime::ZERO, 1500, &mut rng) {
+            HopOutcome::Arrive(t) => assert_eq!(t.as_micros(), 16_000),
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 
     #[test]

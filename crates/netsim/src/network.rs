@@ -9,8 +9,8 @@
 use crate::hash::FxHashMap;
 use crate::link::{DirectedLink, DirectedLinkId, HopOutcome, LinkSpec, RouterId};
 use crate::rng::SimRng;
-use crate::routing::{Adjacency, LazyRouter, RoutingMode, ShortestPaths};
-use crate::time::SimTime;
+use crate::routing::{Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths};
+use crate::time::{SimDuration, SimTime};
 
 /// Identifier of an overlay participant (an end host running a protocol
 /// agent), as opposed to a [`RouterId`] in the physical topology.
@@ -52,6 +52,40 @@ impl NetworkSpec {
     /// Number of overlay participants.
     pub fn participants(&self) -> usize {
         self.attachments.len()
+    }
+
+    /// Sets the capacity of physical link `index` (both directions).
+    ///
+    /// The spec-side mutators mirror the live [`Network`] mutation API so the
+    /// routing-equivalence harness can rebuild a fresh network from the
+    /// mutated spec and compare it against the incrementally invalidated one.
+    pub fn set_link_bandwidth(&mut self, index: usize, bandwidth_bps: f64) {
+        self.links[index].bandwidth_bps = bandwidth_bps;
+    }
+
+    /// Sets the random loss probability of physical link `index`.
+    pub fn set_link_loss(&mut self, index: usize, loss: f64) {
+        self.links[index].loss = loss;
+    }
+
+    /// Sets the propagation delay of physical link `index`.
+    pub fn set_link_delay(&mut self, index: usize, delay: crate::time::SimDuration) {
+        self.links[index].delay = delay;
+    }
+
+    /// Sets the administrative state of physical link `index`.
+    pub fn set_link_up(&mut self, index: usize, up: bool) {
+        self.links[index].up = up;
+    }
+
+    /// Sets the administrative state of every physical link incident to
+    /// `router` (a correlated stub outage).
+    pub fn set_router_up(&mut self, router: RouterId, up: bool) {
+        for link in &mut self.links {
+            if link.a == router || link.b == router {
+                link.up = up;
+            }
+        }
     }
 }
 
@@ -157,6 +191,13 @@ impl RouteMemo {
             None => Self::UNREACHABLE,
         };
     }
+
+    /// Forgets every memoized pair (topology mutation). One linear fill —
+    /// a few milliseconds even at the participant cap, and scenario scripts
+    /// mutate topology a handful of times per simulated run.
+    fn invalidate(&mut self) {
+        self.table.fill(Self::UNKNOWN);
+    }
 }
 
 /// The route computation strategy behind [`Network::route`]. All variants
@@ -238,6 +279,17 @@ pub struct Network {
     stress_ratio_sum: f64,
     /// Largest per-(trace, link) copy count seen so far.
     stress_max: u64,
+    /// Bumped by every route-affecting topology mutation. Epoch `e` routes
+    /// in the arena stay valid for flights already in the air, but the
+    /// lookup layers (router-pair cache, participant memo, router
+    /// workspaces) only ever serve the current epoch.
+    topology_epoch: u64,
+    /// Work counters of routers retired by topology rebuilds, folded into
+    /// [`Network::routing_stats`] so mutation never resets the totals.
+    retired_lazy: LazyRouterStats,
+    /// Whether a mutation invalidated the route computer; the rebuild is
+    /// deferred to the next route computation ([`Network::ensure_computer`]).
+    computer_stale: bool,
 }
 
 impl Network {
@@ -252,32 +304,13 @@ impl Network {
     /// Builds the live network from a spec with an explicit routing mode.
     pub fn with_routing(spec: &NetworkSpec, mode: RoutingMode) -> Self {
         let mut links = Vec::with_capacity(spec.links.len() * 2);
-        let mut adjacency = Adjacency::new(spec.routers);
         for link_spec in &spec.links {
-            let fwd = DirectedLink::from_spec(link_spec, false);
-            let rev = DirectedLink::from_spec(link_spec, true);
-            let cost = link_spec.delay.as_micros().max(1);
-            let fwd_id = links.len();
-            adjacency.add_edge(link_spec.a, link_spec.b, fwd_id, cost);
-            links.push(fwd);
-            let rev_id = links.len();
-            adjacency.add_edge(link_spec.b, link_spec.a, rev_id, cost);
-            links.push(rev);
+            links.push(DirectedLink::from_spec(link_spec, false));
+            links.push(DirectedLink::from_spec(link_spec, true));
         }
+        let adjacency = Self::build_adjacency(spec.routers, &links);
         let link_count = links.len();
-        let computer = match mode {
-            RoutingMode::EagerPerSource => RouteComputer::Eager {
-                trees: FxHashMap::default(),
-                buf: Vec::new(),
-                trees_built: 0,
-            },
-            RoutingMode::LazyBidirectional => {
-                RouteComputer::Lazy(Box::new(LazyRouter::new(&adjacency, 0)))
-            }
-            RoutingMode::LazyAlt { landmarks } => {
-                RouteComputer::Lazy(Box::new(LazyRouter::new(&adjacency, landmarks)))
-            }
-        };
+        let computer = Self::build_computer(mode, &adjacency);
         let participants = spec.attachments.len();
         let memo =
             (participants <= Self::MEMO_MAX_PARTICIPANTS).then(|| RouteMemo::new(participants));
@@ -296,6 +329,38 @@ impl Network {
             trace_aggs: FxHashMap::default(),
             stress_ratio_sum: 0.0,
             stress_max: 0,
+            topology_epoch: 0,
+            retired_lazy: LazyRouterStats::default(),
+            computer_stale: false,
+        }
+    }
+
+    /// Builds the routing adjacency from the directed-link table, skipping
+    /// links that are administratively down.
+    fn build_adjacency(routers: usize, links: &[DirectedLink]) -> Adjacency {
+        let mut adjacency = Adjacency::new(routers);
+        for (id, link) in links.iter().enumerate() {
+            if link.up {
+                adjacency.add_edge(link.from, link.to, id, link.cost());
+            }
+        }
+        adjacency
+    }
+
+    /// Builds a fresh route computer for `mode` over `adjacency`.
+    fn build_computer(mode: RoutingMode, adjacency: &Adjacency) -> RouteComputer {
+        match mode {
+            RoutingMode::EagerPerSource => RouteComputer::Eager {
+                trees: FxHashMap::default(),
+                buf: Vec::new(),
+                trees_built: 0,
+            },
+            RoutingMode::LazyBidirectional => {
+                RouteComputer::Lazy(Box::new(LazyRouter::new(adjacency, 0)))
+            }
+            RoutingMode::LazyAlt { landmarks } => {
+                RouteComputer::Lazy(Box::new(LazyRouter::new(adjacency, landmarks)))
+            }
         }
     }
 
@@ -362,6 +427,7 @@ impl Network {
         if let Some(&id) = self.route_cache.get(&(src, dst)) {
             return Some(id);
         }
+        self.ensure_computer();
         self.route_queries += 1;
         let adjacency = &self.adjacency;
         let path: &[DirectedLinkId] = match &mut self.computer {
@@ -424,6 +490,7 @@ impl Network {
         if self.memo.is_none() {
             return;
         }
+        self.ensure_computer();
         let src = self.attachments[from];
         let n = self.attachments.len();
         // Pass 1: serve participants already covered by the memo or the
@@ -498,7 +565,9 @@ impl Network {
         }
     }
 
-    /// Counters describing the routing work done so far.
+    /// Counters describing the routing work done so far. Totals accumulate
+    /// across topology mutations (a rebuild retires the live router's
+    /// counters into a base the new router adds to).
     pub fn routing_stats(&self) -> RoutingStats {
         let (trees_built, lazy_searches, routers_settled, landmarks) = match &self.computer {
             RouteComputer::Eager { trees_built, .. } => (*trees_built, 0, 0, 0),
@@ -512,9 +581,128 @@ impl Network {
             route_queries: self.route_queries,
             batched_queries: self.batched_queries,
             trees_built,
-            lazy_searches,
-            routers_settled,
+            lazy_searches: lazy_searches + self.retired_lazy.searches,
+            routers_settled: routers_settled + self.retired_lazy.settled,
             landmarks,
+        }
+    }
+
+    /// The topology mutation epoch: 0 for a pristine network, bumped by
+    /// every route-affecting mutation ([`Network::set_link_up`],
+    /// [`Network::set_link_delay`], [`Network::set_router_up`]). Capacity
+    /// and loss mutations do not move it — link costs are propagation
+    /// delays, so those changes cannot re-route anything.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
+    /// Sets the capacity of physical link `index` (both directions), in bits
+    /// per second. Routes are unaffected (costs are delays); oracles see the
+    /// new capacity immediately because they re-read link state on every
+    /// estimate.
+    pub fn set_link_bandwidth(&mut self, index: usize, bandwidth_bps: f64) {
+        let (fwd, rev) = Self::directed_ids(index);
+        self.links[fwd].set_bandwidth(bandwidth_bps);
+        self.links[rev].set_bandwidth(bandwidth_bps);
+    }
+
+    /// Sets the random loss probability of physical link `index` (both
+    /// directions). Routes are unaffected.
+    pub fn set_link_loss(&mut self, index: usize, loss: f64) {
+        let (fwd, rev) = Self::directed_ids(index);
+        self.links[fwd].loss = loss;
+        self.links[rev].loss = loss;
+    }
+
+    /// Sets the propagation delay of physical link `index` (both
+    /// directions). Delay is the routing cost, so this invalidates routes.
+    pub fn set_link_delay(&mut self, index: usize, delay: SimDuration) {
+        let (fwd, rev) = Self::directed_ids(index);
+        self.links[fwd].delay = delay;
+        self.links[rev].delay = delay;
+        self.invalidate_routes();
+    }
+
+    /// Takes physical link `index` administratively up or down (both
+    /// directions) and invalidates routes. Packets offered to a down link
+    /// are dropped ([`HopOutcome::DroppedDown`]); flights already past it
+    /// continue unharmed.
+    pub fn set_link_up(&mut self, index: usize, up: bool) {
+        let (fwd, rev) = Self::directed_ids(index);
+        if self.links[fwd].up == up && self.links[rev].up == up {
+            return;
+        }
+        self.links[fwd].up = up;
+        self.links[rev].up = up;
+        self.invalidate_routes();
+    }
+
+    /// Takes every physical link incident to `router` up or down — a
+    /// correlated outage of a stub router and all its attachments — and
+    /// invalidates routes.
+    pub fn set_router_up(&mut self, router: RouterId, up: bool) {
+        let mut changed = false;
+        for link in &mut self.links {
+            if (link.from == router || link.to == router) && link.up != up {
+                link.up = up;
+                changed = true;
+            }
+        }
+        if changed {
+            self.invalidate_routes();
+        }
+    }
+
+    /// The two directed-link ids of physical (spec) link `index`.
+    pub fn directed_ids(index: usize) -> (DirectedLinkId, DirectedLinkId) {
+        (2 * index, 2 * index + 1)
+    }
+
+    /// Epoch-stamped route invalidation after a topology mutation.
+    ///
+    /// The interned route arena is append-only — [`RouteId`]s held by
+    /// in-flight messages stay valid, so packets already launched keep
+    /// following the path they were routed on, exactly like packets in the
+    /// air when a real route change converges. Every *lookup* layer above
+    /// the arena is moved to the new epoch: the router-pair cache and the
+    /// flat participant memo are cleared, the adjacency is rebuilt, and the
+    /// route computer is marked stale — the rebuild itself (fresh landmark
+    /// tables in ALT mode are several full-graph Dijkstras at paper scale)
+    /// is deferred to the next route computation, so a burst of scripted
+    /// mutations at one instant, or an outage immediately healed, pays it
+    /// once. The next send per pair recomputes and re-interns its canonical
+    /// route, so post-mutation routes are bit-identical to a freshly built
+    /// network on the mutated topology — `tests/support/routing_equiv.rs`
+    /// holds that gate.
+    fn invalidate_routes(&mut self) {
+        self.topology_epoch += 1;
+        self.adjacency = Self::build_adjacency(self.adjacency.len(), &self.links);
+        self.computer_stale = true;
+        self.route_cache.clear();
+        if let Some(memo) = &mut self.memo {
+            memo.invalidate();
+        }
+    }
+
+    /// Rebuilds the route computer if a mutation left it stale, folding the
+    /// retiring router's work counters into the running totals.
+    fn ensure_computer(&mut self) {
+        if !self.computer_stale {
+            return;
+        }
+        self.computer_stale = false;
+        if let RouteComputer::Lazy(router) = &self.computer {
+            let s = router.stats();
+            self.retired_lazy.searches += s.searches;
+            self.retired_lazy.settled += s.settled;
+        }
+        let trees_built_so_far = match &self.computer {
+            RouteComputer::Eager { trees_built, .. } => *trees_built,
+            RouteComputer::Lazy(_) => 0,
+        };
+        self.computer = Self::build_computer(self.mode, &self.adjacency);
+        if let RouteComputer::Eager { trees_built, .. } = &mut self.computer {
+            *trees_built = trees_built_so_far;
         }
     }
 
@@ -831,6 +1019,138 @@ mod tests {
         // A second row fill finds nothing left to do.
         net.route_all_from(0);
         assert_eq!(net.routing_stats().batched_queries, 1);
+    }
+
+    /// Two disjoint router paths between the participants' routers:
+    /// a fast one through router 1 and a slow one through router 3.
+    fn diamond() -> NetworkSpec {
+        let mut spec = NetworkSpec::new(4);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(2))); // 0
+        spec.add_link(LinkSpec::new(1, 2, 10e6, SimDuration::from_millis(2))); // 1
+        spec.add_link(LinkSpec::new(0, 3, 10e6, SimDuration::from_millis(20))); // 2
+        spec.add_link(LinkSpec::new(3, 2, 10e6, SimDuration::from_millis(20))); // 3
+        spec.attach(0);
+        spec.attach(2);
+        spec
+    }
+
+    #[test]
+    fn link_down_invalidates_and_reroutes() {
+        for mode in [
+            RoutingMode::EagerPerSource,
+            RoutingMode::LazyBidirectional,
+            RoutingMode::LazyAlt { landmarks: 2 },
+        ] {
+            let mut net = Network::with_routing(&diamond(), mode);
+            let fast = net.path(0, 1).expect("path exists");
+            let fast_id = net.route(0, 1).unwrap();
+            assert_eq!(net.topology_epoch(), 0);
+            net.set_link_up(0, false); // take the fast branch down
+            assert_eq!(net.topology_epoch(), 1);
+            let slow = net.path(0, 1).expect("detour exists");
+            assert_ne!(fast, slow, "{mode:?}: route did not move off the dead link");
+            assert_eq!(slow, vec![4, 6], "{mode:?}: detour through router 3");
+            // The old interned route is still readable (in-flight packets).
+            assert_eq!(net.route_links(fast_id).to_vec(), fast);
+            // Bringing the link back re-invalidates and restores the route.
+            net.set_link_up(0, true);
+            assert_eq!(net.topology_epoch(), 2);
+            assert_eq!(net.path(0, 1), Some(fast.clone()), "{mode:?}");
+            // Idempotent flips do not churn the epoch.
+            net.set_link_up(0, true);
+            assert_eq!(net.topology_epoch(), 2);
+        }
+    }
+
+    #[test]
+    fn mutated_network_routes_match_a_fresh_build() {
+        let mut spec = diamond();
+        let mut net = Network::with_routing(&spec, RoutingMode::LazyBidirectional);
+        net.path(0, 1);
+        net.set_link_up(1, false);
+        net.set_link_delay(2, SimDuration::from_millis(1));
+        spec.set_link_up(1, false);
+        spec.set_link_delay(2, SimDuration::from_millis(1));
+        let mut fresh = Network::with_routing(&spec, RoutingMode::LazyBidirectional);
+        for (a, b) in [(0, 1), (1, 0)] {
+            assert_eq!(net.path(a, b), fresh.path(a, b), "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn capacity_and_loss_mutations_do_not_touch_routes() {
+        let mut net = Network::new(&diamond());
+        let before = net.path(0, 1).unwrap();
+        let queries = net.routing_stats().route_queries;
+        net.set_link_bandwidth(0, 1e6);
+        net.set_link_loss(0, 0.25);
+        assert_eq!(net.topology_epoch(), 0, "capacity/loss must not re-route");
+        assert_eq!(net.path(0, 1), Some(before));
+        assert_eq!(
+            net.routing_stats().route_queries,
+            queries,
+            "memo survived the mutation"
+        );
+        let (fwd, _) = Network::directed_ids(0);
+        assert_eq!(net.link(fwd).bandwidth_bps, 1e6);
+        assert_eq!(net.link(fwd).loss, 0.25);
+    }
+
+    #[test]
+    fn router_outage_disconnects_and_recovers() {
+        let mut spec = NetworkSpec::new(3);
+        spec.add_link(LinkSpec::new(0, 1, 10e6, SimDuration::from_millis(5)));
+        spec.add_link(LinkSpec::new(1, 2, 10e6, SimDuration::from_millis(5)));
+        spec.attach(0);
+        spec.attach(2);
+        let mut net = Network::new(&spec);
+        assert!(net.route(0, 1).is_some());
+        net.set_router_up(1, false);
+        assert_eq!(net.route(0, 1), None, "transit outage disconnects");
+        assert_eq!(net.route_batched(0, 1), None);
+        net.set_router_up(1, true);
+        assert!(net.route(0, 1).is_some(), "recovery restores the route");
+    }
+
+    #[test]
+    fn back_to_back_mutations_defer_the_router_rebuild() {
+        // An outage healed before any route query (or a burst of scripted
+        // mutations at one instant) must pay a single computer rebuild, not
+        // one per mutation — at paper scale a rebuild re-runs the landmark
+        // Dijkstras over the whole graph.
+        let mut net = Network::with_routing(&diamond(), RoutingMode::LazyAlt { landmarks: 2 });
+        let fast = net.path(0, 1).expect("path exists");
+        let before = net.routing_stats();
+        net.set_link_up(0, false);
+        net.set_link_up(0, true); // healed before any query
+        assert_eq!(net.topology_epoch(), 2);
+        assert_eq!(
+            net.path(0, 1),
+            Some(fast),
+            "healed topology routes as before"
+        );
+        let after = net.routing_stats();
+        assert_eq!(
+            after.lazy_searches,
+            before.lazy_searches + 1,
+            "exactly one fresh search after the burst; retired counters folded once"
+        );
+    }
+
+    #[test]
+    fn routing_work_counters_accumulate_across_mutations() {
+        let mut net = Network::with_routing(&diamond(), RoutingMode::LazyBidirectional);
+        net.path(0, 1);
+        let before = net.routing_stats();
+        assert!(before.lazy_searches > 0);
+        net.set_link_up(0, false);
+        net.path(0, 1);
+        let after = net.routing_stats();
+        assert!(
+            after.lazy_searches > before.lazy_searches,
+            "retired searches must fold into the totals, got {after:?}"
+        );
+        assert!(after.routers_settled > before.routers_settled);
     }
 
     #[test]

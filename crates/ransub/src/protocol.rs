@@ -168,6 +168,53 @@ impl<T: Clone> RanSub<T> {
             .sum::<u64>()
     }
 
+    /// Membership repair: a child departed (crash or graceful leave).
+    ///
+    /// The child is removed from the tree view and *both* collect
+    /// generations are pruned, so its stale subtree can no longer be
+    /// double-counted in descendant queries or compacted into future
+    /// distribute sets from this node. If the departed child was the only
+    /// collect still outstanding this epoch, the collect phase completes:
+    /// a non-root node emits its collect-up message, the root marks the
+    /// epoch complete (so the next epoch starts on time even without
+    /// failure detection).
+    pub fn remove_child(&mut self, child: OverlayId) -> Vec<RanSubEvent<T>> {
+        let before = self.children.len();
+        self.children.retain(|&c| c != child);
+        self.collects.remove(&child);
+        self.prev_collects.remove(&child);
+        if before == self.children.len() {
+            return Vec::new();
+        }
+        // Vacuously true for a node left childless: it behaves like a leaf.
+        let all_in = self.children.iter().all(|c| self.collects.contains_key(c));
+        if !all_in {
+            return Vec::new();
+        }
+        if self.is_root() {
+            self.epoch_complete = true;
+            Vec::new()
+        } else {
+            self.send_collect_up()
+        }
+    }
+
+    /// Membership repair: adopt `child` (e.g. a grandchild handed over by a
+    /// gracefully leaving node). No collect state exists for it yet, so
+    /// descendant queries answer `None` until its first collect arrives.
+    pub fn add_child(&mut self, child: OverlayId) {
+        if child != self.me && !self.children.contains(&child) {
+            self.children.push(child);
+        }
+    }
+
+    /// Membership repair: the node was handed to a new parent (or became
+    /// detached). Collect messages flow to the new parent from the next
+    /// phase on.
+    pub fn set_parent(&mut self, parent: Option<OverlayId>) {
+        self.parent = parent;
+    }
+
     /// Root only: starts a new epoch. Returns the distribute messages to
     /// send, or an empty vector if the previous epoch has not completed and
     /// failure detection is disabled (RanSub stalls, §4.6).
@@ -491,6 +538,128 @@ mod tests {
         h.run_epoch(0);
         assert_eq!(h.nodes[0].epoch(), 2);
         assert_eq!(h.nodes[6].epoch(), 2);
+    }
+
+    #[test]
+    fn departed_child_is_pruned_from_both_collect_generations() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        h.run_epoch(0);
+        assert_eq!(h.nodes[0].subtree_size(), 7);
+        // Child 1 (subtree {1, 3, 4}) departs.
+        let events = h.nodes[0].remove_child(1);
+        assert!(events.is_empty(), "root emits nothing on repair");
+        assert_eq!(h.nodes[0].descendants_of(1), None, "stale counts pruned");
+        assert_eq!(h.nodes[0].subtree_size(), 4, "no double-count after repair");
+        assert_eq!(h.nodes[0].children(), &[2]);
+        // The next epochs run cleanly over the remaining tree and the
+        // departed subtree no longer reaches anyone's distribute sets.
+        h.run_epoch(0);
+        let delivered = h.run_epoch(0);
+        for (node, sets) in delivered.iter().enumerate() {
+            if [0, 2, 5, 6].contains(&node) {
+                for member in sets {
+                    assert!(
+                        ![1, 3, 4].contains(member),
+                        "node {node} still sees departed subtree member {member}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_epoch_departure_completes_the_collect_phase() {
+        // Root with children 1 and 2; child 2's collect arrives, child 1
+        // departs before answering. Without failure detection the root
+        // would stall forever; repair must complete the epoch instead.
+        let config = RanSubConfig {
+            set_size: 10,
+            failure_detection: false,
+        };
+        let parents = vec![None, Some(0), Some(0)];
+        let mut h = Harness::new(&parents, config);
+        h.run_epoch(0);
+        // Start an epoch manually and deliver only child 2's messages.
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        let to_child2: Vec<RanSubMsg<usize>> = events
+            .iter()
+            .filter_map(|e| match e {
+                RanSubEvent::Send { to: 2, msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(to_child2.len(), 1);
+        for msg in to_child2 {
+            for ev in h.nodes[2].on_message(0, msg, &mut h.rng) {
+                if let RanSubEvent::Send { to: 0, msg } = ev {
+                    h.nodes[0].on_message(2, msg, &mut h.rng);
+                }
+            }
+        }
+        // Child 1 never answered; the root refuses to start the next epoch.
+        assert!(h.nodes[0].start_epoch(&mut h.rng).is_empty());
+        assert_eq!(h.nodes[0].stalled_epochs, 1);
+        // Repair: removing the dead child completes the collect phase.
+        assert!(h.nodes[0].remove_child(1).is_empty());
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        assert!(!events.is_empty(), "epoch must start after repair");
+        assert_eq!(h.nodes[0].subtree_size(), 2);
+    }
+
+    #[test]
+    fn interior_node_departure_triggers_collect_up() {
+        // Node 1 (children 3 and 4): 3's collect is in, 4 departs. The
+        // repair must emit node 1's own collect to the root, with node 4's
+        // subtree excluded from the population count.
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        let events = h.nodes[0].start_epoch(&mut h.rng);
+        // Deliver the distribute wave to node 1 only (not its children), so
+        // node 1 sits mid-epoch waiting for collects.
+        for ev in events {
+            if let RanSubEvent::Send { to: 1, msg } = ev {
+                h.nodes[1].on_message(0, msg, &mut h.rng);
+            }
+        }
+        // Child 3 answers; child 4 never does.
+        let collect3 = RanSubMsg::Collect {
+            epoch: h.nodes[1].epoch(),
+            set: WeightedSet::singleton(3, 3usize),
+        };
+        assert!(h.nodes[1].on_message(3, collect3, &mut h.rng).is_empty());
+        let events = h.nodes[1].remove_child(4);
+        match events.as_slice() {
+            [RanSubEvent::Send {
+                to: 0,
+                msg: RanSubMsg::Collect { set, .. },
+            }] => {
+                assert_eq!(set.population, 2, "population is self + child 3 only");
+                assert!(
+                    set.members.iter().all(|m| m.node != 4),
+                    "departed child leaked into the collect set"
+                );
+            }
+            other => panic!("expected a collect-up, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adopted_children_join_the_tree_view() {
+        let mut h = Harness::new(&seven_node_parents(), RanSubConfig::default());
+        h.run_epoch(0);
+        // Node 1 leaves gracefully: the root adopts its children 3 and 4.
+        h.nodes[0].remove_child(1);
+        h.nodes[0].add_child(3);
+        h.nodes[0].add_child(4);
+        h.nodes[0].add_child(4); // idempotent
+        h.nodes[3].set_parent(Some(0));
+        h.nodes[4].set_parent(Some(0));
+        assert_eq!(h.nodes[0].children(), &[2, 3, 4]);
+        // A full epoch over the repaired tree restores the counts.
+        h.run_epoch(0);
+        assert_eq!(h.nodes[0].subtree_size(), 6, "everyone but the leaver");
+        assert_eq!(h.nodes[0].descendants_of(3), Some(1));
     }
 
     #[test]

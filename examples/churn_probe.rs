@@ -1,0 +1,35 @@
+//! Prints the deterministic fingerprint of the fixed 64-node churn run.
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/churn64.rs`) drives the bullet64 star through the
+//! scenario engine: crash + rejoin, graceful leave with child handoff, a
+//! flash crowd of late joiners, an access-link capacity oscillation, and a
+//! correlated stub-router outage. The determinism test pins this
+//! fingerprint to golden values; this example exists so they can be
+//! (re)captured on any build.
+//!
+//! Run with `cargo run --release --example churn_probe`.
+
+#[path = "../tests/support/churn64.rs"]
+mod churn64;
+
+fn main() {
+    let (c, digest, bytes_sent, epoch, stats) = churn64::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+    println!("topology_epoch: {epoch}");
+    println!(
+        "scenario: crashes={} leaves={} joins={} link_mutations={} router_mutations={}",
+        stats.crashes, stats.leaves, stats.joins, stats.link_mutations, stats.router_mutations
+    );
+}

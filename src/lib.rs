@@ -16,6 +16,7 @@ pub use bullet_baselines as baselines;
 pub use bullet_codec as codec;
 pub use bullet_content as content;
 pub use bullet_core as bullet;
+pub use bullet_dynamics as dynamics;
 pub use bullet_experiments as experiments;
 pub use bullet_netsim as netsim;
 pub use bullet_overlay as overlay;

@@ -11,6 +11,8 @@
 
 #[path = "support/bullet64.rs"]
 mod bullet64;
+#[path = "support/churn64.rs"]
+mod churn64;
 #[path = "support/paper_smoke.rs"]
 mod paper_smoke;
 
@@ -40,6 +42,43 @@ fn bullet_64_is_deterministic_across_runs() {
     assert_eq!(first.0, second.0);
     assert_eq!(first.1, second.1);
     assert_eq!(first.2, second.2);
+}
+
+/// The 64-node churn run: the bullet64 star driven by the scenario engine
+/// through a crash + rejoin, a graceful leave with child handoff, a
+/// 16-node flash crowd, an access-link capacity oscillation, and a
+/// correlated stub-router outage (two route-invalidating epochs). The
+/// goldens below were captured with `examples/churn_probe.rs` on the first
+/// scenario-engine build; any divergence means the dynamics driver, the
+/// mutable-network invalidation, or the churn protocol paths changed
+/// behaviour.
+#[test]
+fn churn_64_matches_golden_run() {
+    let (counters, digest, bytes_sent, epoch, stats) = churn64::fingerprint();
+    assert_eq!(counters.delivered, 44_032);
+    assert_eq!(counters.dropped_in_network, 391);
+    assert_eq!(counters.dropped_dest_failed, 314);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.timers_fired, 6_504);
+    assert_eq!(counters.events, 184_647);
+    assert_eq!(digest, 0x5a57_6fcd_5133_257e);
+    assert_eq!(bytes_sent, 105_616_680);
+    // One stub outage down + up: exactly two route-invalidating epochs.
+    assert_eq!(epoch, 2);
+    // The script applied in full: 1 crash, 1 graceful leave, 1 rejoin plus
+    // 16 flash-crowd joins, 2 capacity mutations, 2 router mutations.
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.leaves, 1);
+    assert_eq!(stats.joins, 17);
+    assert_eq!(stats.link_mutations, 2);
+    assert_eq!(stats.router_mutations, 2);
+}
+
+/// Two churn runs with the same seed must be byte-identical: scenario
+/// application (including epoch-invalidated rerouting) is deterministic.
+#[test]
+fn churn_64_is_deterministic_across_runs() {
+    assert_eq!(churn64::fingerprint(), churn64::fingerprint());
 }
 
 /// The `BULLET_SCALE=paper` smoke run: 256 Bullet nodes streaming for a few

@@ -3,8 +3,12 @@
 
 use bullet_suite::baselines::{StreamConfig, StreamTransport, StreamingNode};
 use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::dynamics::{ChurnConfig, ScenarioScript};
 use bullet_suite::experiments::{build_topology, build_tree};
-use bullet_suite::experiments::{run_metered, RunResult, RunSpec, Scale, TreeKind};
+use bullet_suite::experiments::{
+    bullet_run, bullet_run_scenario, flash_crowd_figure, run_metered, RunResult, RunSpec, Scale,
+    TreeKind,
+};
 use bullet_suite::netsim::{Sim, SimDuration, SimTime};
 use bullet_suite::overlay::Tree;
 use bullet_suite::topology::{BandwidthProfile, BuiltTopology, LossProfile};
@@ -149,6 +153,125 @@ fn offline_bottleneck_tree_beats_a_random_tree_for_plain_streaming() {
         "bottleneck tree ({:.0} Kbps) should beat the random tree ({:.0} Kbps)",
         bottleneck_run.steady_state_kbps(),
         random_run.steady_state_kbps()
+    );
+}
+
+/// Satellite gate for routing Figs. 13/14 through the scenario engine: the
+/// one-crash script must reproduce the legacy `RunSpec::failure` injection
+/// **exactly** — same sampled series, same summary — because the driver
+/// pre-schedules crashes through the simulator's event queue with the same
+/// ordering the legacy path used. This replays the `failure_figure` inputs
+/// at small scale down both paths and compares bit for bit.
+#[test]
+fn fig13_through_the_scenario_engine_matches_the_legacy_path() {
+    // Mirrors figures::failure_figure at Scale::Small (seed 13, medium
+    // bandwidth, 600 Kbps, random tree, worst-case victim at 60% of 90 s).
+    let scale = Scale::Small;
+    let seed = 13;
+    let topo = build_topology(scale, 30, BandwidthProfile::Medium, LossProfile::None, seed);
+    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, seed);
+    let victim = tree
+        .children(0)
+        .iter()
+        .copied()
+        .max_by_key(|&c| tree.subtree_size(c))
+        .expect("root has children");
+    let failure_time = SimTime::from_secs((90.0 * 0.6) as u64);
+    let mut config = BulletConfig {
+        stream_rate_bps: 600_000.0,
+        stream_start: SimTime::from_secs(10),
+        ..BulletConfig::default()
+    };
+    config.ransub_failure_detection = false;
+    let mut run = RunSpec {
+        label: "Bullet, worst-case failure, no RanSub recovery".into(),
+        source: 0,
+        duration: SimDuration::from_secs(90),
+        sample_interval: SimDuration::from_secs(2),
+        failure: None,
+    };
+
+    let script = ScenarioScript::single_crash(failure_time, victim);
+    let scripted = bullet_run_scenario(&topo.spec, &tree, &config, &run, &script, seed);
+
+    run.failure = Some((failure_time, victim));
+    let legacy = bullet_run(&topo.spec, &tree, &config, &run, seed);
+
+    assert_eq!(
+        legacy.useful.kbps, scripted.useful.kbps,
+        "useful series moved"
+    );
+    assert_eq!(legacy.raw.kbps, scripted.raw.kbps, "raw series moved");
+    assert_eq!(
+        legacy.from_parent.kbps, scripted.from_parent.kbps,
+        "from-parent series moved"
+    );
+    assert_eq!(
+        legacy.per_node_useful_bytes, scripted.per_node_useful_bytes,
+        "per-node byte counters moved"
+    );
+    assert_eq!(legacy.summary, scripted.summary, "summary scalars moved");
+}
+
+/// A flash crowd absorbed mid-run: the late joiners bootstrap off the mesh
+/// and end the run having received a meaningful share of the stream.
+#[test]
+fn flash_crowd_joiners_catch_up() {
+    let figure = flash_crowd_figure(Scale::Small);
+    assert_eq!(figure.id, "flashcrowd");
+    assert!(!figure.notes.is_empty());
+    let steady = figure
+        .steady_state_of("flash crowd")
+        .expect("figure has a labelled series");
+    assert!(
+        steady > 150.0,
+        "overlay collapsed under the flash crowd: {steady:.0} Kbps steady"
+    );
+}
+
+/// Continuous crash/rejoin churn of every non-source node: the mesh keeps
+/// the median node progressing even while a quarter of the overlay is down
+/// at any instant.
+#[test]
+fn bullet_survives_exponential_churn() {
+    let (topo, tree) = small_env(BandwidthProfile::Medium, 107);
+    let config = BulletConfig {
+        stream_rate_bps: STREAM_BPS,
+        stream_start: SimTime::from_secs(10),
+        ..BulletConfig::default()
+    }
+    .churn();
+    let script = ScenarioScript::exponential_churn(&ChurnConfig {
+        nodes: (1..topo.participants()).collect(),
+        start: SimTime::from_secs(15),
+        end: SimTime::from_secs(110),
+        mean_session_secs: 40.0,
+        mean_downtime_secs: 10.0,
+        graceful_fraction: 0.2,
+        seed: 107,
+    });
+    assert!(!script.is_empty(), "churn script generated no events");
+    let result = bullet_run_scenario(
+        &topo.spec,
+        &tree,
+        &config,
+        &spec("Bullet under churn", 120),
+        &script,
+        107,
+    );
+    let kbps = result.steady_state_kbps();
+    assert!(
+        kbps > 100.0,
+        "mesh collapsed under churn: {kbps:.0} Kbps steady useful"
+    );
+    // Churning nodes miss whatever fell out of the recovery horizon while
+    // they were down (the working set covers ~30 s of stream), so whole-run
+    // delivery fractions sit well below the static-network runs; the gate
+    // is that the median node still makes real progress.
+    assert!(
+        result.summary.median_delivery_fraction > 0.15,
+        "median node received only {:.0}% of the stream under churn",
+        result.summary.median_delivery_fraction * 100.0
     );
 }
 

@@ -317,6 +317,131 @@ fn lazy_routing_matches_reference_on_the_paper_topology_class() {
     routing_equiv::assert_sampled_pairs_equivalent(&topo.spec, &pairs, "paper");
 }
 
+/// The scenario-dynamics mutation gate on seeded topology classes: after
+/// every scripted link/router mutation, the incrementally invalidated
+/// networks (all strategies, pairwise and batched) must route bit-identically
+/// to a freshly rebuilt network on the mutated topology.
+#[test]
+fn mutated_routing_matches_fresh_rebuild_on_seeded_topology_classes() {
+    use routing_equiv::TopoMutation;
+    let mut rng = SimRng::new(0x0D11_A317);
+    for case in 0..4 {
+        let seed = rng.next_u64();
+        let clients = 6 + (rng.next_u64() % 6) as usize;
+        for (topo, class) in [
+            (generate(&TopologyConfig::small(clients, seed)), "small"),
+            (
+                generate(&TopologyConfig::emulation(clients, seed)),
+                "emulation",
+            ),
+        ] {
+            let spec = &topo.spec;
+            let links = spec.links.len();
+            let pick = |rng: &mut SimRng| (rng.next_u64() % links as u64) as usize;
+            let mut mutations = vec![
+                TopoMutation::Bandwidth(pick(&mut rng), 256_000.0),
+                TopoMutation::LinkUp(pick(&mut rng), false),
+                TopoMutation::Delay(pick(&mut rng), SimDuration::from_millis(50)),
+                TopoMutation::Loss(pick(&mut rng), 0.2),
+            ];
+            // A correlated stub outage of one participant's attachment
+            // router, later healed; and the downed link restored.
+            let stub = spec.attachments[(rng.next_u64() % clients as u64) as usize];
+            mutations.push(TopoMutation::RouterUp(stub, false));
+            mutations.push(TopoMutation::RouterUp(stub, true));
+            if let TopoMutation::LinkUp(link, _) = mutations[1] {
+                mutations.push(TopoMutation::LinkUp(link, true));
+            }
+            routing_equiv::assert_mutation_equivalence(
+                spec,
+                &mutations,
+                &format!("{class}/case{case}"),
+            );
+        }
+    }
+}
+
+/// Same gate on the tie-heavy grid, where a mutation shifts which of many
+/// equal-cost paths is canonical — the hardest case for incremental
+/// invalidation to get bit-identical.
+#[test]
+fn mutated_routing_matches_fresh_rebuild_on_tie_heavy_grids() {
+    use routing_equiv::TopoMutation;
+    let (w, h) = (5, 5);
+    let mut spec = NetworkSpec::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                spec.add_link(LinkSpec::new(id, id + 1, 1e6, SimDuration::from_millis(1)));
+            }
+            if y + 1 < h {
+                spec.add_link(LinkSpec::new(id, id + w, 1e6, SimDuration::from_millis(1)));
+            }
+            spec.attach(id);
+        }
+    }
+    let mutations = [
+        TopoMutation::LinkUp(0, false),
+        TopoMutation::Delay(7, SimDuration::from_millis(3)),
+        TopoMutation::LinkUp(0, true),
+        TopoMutation::RouterUp(12, false), // the grid's center router
+        TopoMutation::RouterUp(12, true),
+        TopoMutation::Delay(7, SimDuration::from_millis(1)),
+    ];
+    routing_equiv::assert_mutation_equivalence(&spec, &mutations, "grid5x5");
+}
+
+/// The bandwidth oracles must observe link mutations: estimates read live
+/// link state, so a capacity change (no route change) and a delay change
+/// (route change) both show up in the next estimate — the oracle side of
+/// the scenario engine's time-varying-link support.
+#[test]
+fn throughput_oracle_rereads_mutated_link_state() {
+    let topo = generate(&TopologyConfig::small(8, 0x0AC1E));
+    let mut spec = topo.spec.clone();
+    let before = {
+        let mut net = Network::new(&spec);
+        let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+        (1..8)
+            .map(|n| oracle.estimate_bps(0, n))
+            .collect::<Vec<_>>()
+    };
+    // Throttle participant 0's access link far below every estimate above.
+    let router = spec.attachments[0];
+    let access = spec
+        .links
+        .iter()
+        .position(|l| l.a == router || l.b == router)
+        .expect("attached participants have an access link");
+    let throttled_bps = 64_000.0;
+    let mut net = Network::new(&spec);
+    net.set_link_bandwidth(access, throttled_bps);
+    spec.set_link_bandwidth(access, throttled_bps);
+    let (mutated, fresh): (Vec<_>, Vec<_>) = {
+        let mutated = {
+            let mut oracle = ThroughputOracle::new(&mut net, 1_500);
+            (1..8).map(|n| oracle.estimate_bps(0, n)).collect()
+        };
+        let mut fresh_net = Network::new(&spec);
+        let mut oracle = ThroughputOracle::new(&mut fresh_net, 1_500);
+        (mutated, (1..8).map(|n| oracle.estimate_bps(0, n)).collect())
+    };
+    assert_eq!(
+        mutated, fresh,
+        "oracle over the mutated network diverges from a fresh rebuild"
+    );
+    for (n, (b, m)) in before.iter().zip(&mutated).enumerate() {
+        let b = b.expect("reachable before");
+        let m = m.expect("reachable after");
+        assert!(
+            m <= throttled_bps + 1.0 && m < b,
+            "estimate 0->{}: {m} Bps ignores the throttled access link ({b} Bps before)",
+            n + 1
+        );
+    }
+}
+
 /// The offline tree oracles must build **bit-identical** trees whether their
 /// routes come from pairwise point searches or from the batched one-to-many
 /// row fills: the paths are canonical either way, and the floating-point

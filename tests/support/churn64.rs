@@ -1,0 +1,132 @@
+//! The fixed 64-node churn golden workload.
+//!
+//! The bullet64 star topology and configuration, driven by a scenario
+//! script that exercises every dynamics channel at once: a crash with a
+//! later rejoin, a graceful leave (child handoff), a flash crowd of late
+//! joiners, an oscillating access-link capacity, and a correlated stub
+//! outage with recovery. Shared (via `#[path]` inclusion) by
+//! `tests/determinism.rs`, which pins the fingerprint to golden values,
+//! and `examples/churn_probe.rs`, which recaptures them.
+
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript, ScenarioStats};
+use bullet_suite::netsim::{LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime};
+use bullet_suite::overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2003;
+const RUN_SECS: u64 = 20;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// The churn script over the 64-node star: every scenario channel fires at
+/// least once inside the 20-second window.
+fn script() -> ScenarioScript {
+    let script = ScenarioScript::new()
+        // Crash + rejoin cycle.
+        .at(SimTime::from_secs(6), ScenarioAction::Crash { node: 3 })
+        .at(SimTime::from_secs(10), ScenarioAction::Join { node: 3 })
+        // Graceful leave: children are handed to the leaver's parent.
+        .at(
+            SimTime::from_secs(9),
+            ScenarioAction::GracefulLeave { node: 5 },
+        )
+        // Node 1's access link halves in capacity, then recovers.
+        .at(
+            SimTime::from_secs(7),
+            ScenarioAction::SetLinkBandwidth {
+                link: 1,
+                bps: 1_000_000.0,
+            },
+        )
+        .at(
+            SimTime::from_secs(13),
+            ScenarioAction::SetLinkBandwidth {
+                link: 1,
+                bps: 2_000_000.0,
+            },
+        )
+        // Correlated outage of node 7's stub router (route-invalidating).
+        .at(
+            SimTime::from_secs(11),
+            ScenarioAction::SetRouterUp {
+                router: 7,
+                up: false,
+            },
+        )
+        .at(
+            SimTime::from_secs(14),
+            ScenarioAction::SetRouterUp {
+                router: 7,
+                up: true,
+            },
+        );
+    // Flash crowd: the last quarter of the overlay joins at 8..12 s.
+    let crowd: Vec<usize> = (48..NODES).collect();
+    script.merge(ScenarioScript::flash_crowd(
+        &crowd,
+        SimTime::from_secs(8),
+        4.0,
+        SEED ^ 0xF1A5,
+    ))
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links, topology epoch, scenario stats)`.
+pub fn fingerprint() -> (SimCounters, u64, u64, u64, ScenarioStats) {
+    // Star topology: one core router, one stub router per participant —
+    // identical to the bullet64 golden workload.
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ..BulletConfig::default()
+    }
+    .churn();
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, SEED);
+    let mut driver = ScenarioDriver::new(&script());
+    driver.install(&mut sim);
+    driver.run_until(&mut sim, SimTime::from_secs(RUN_SECS));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for node in 0..NODES {
+        let m = &sim.agent(node).metrics;
+        let t = sim.traffic(node);
+        for v in [
+            m.useful_packets,
+            m.useful_bytes,
+            m.raw_bytes,
+            m.duplicate_packets,
+            m.total_packets,
+            t.data_bytes_in,
+            t.control_bytes_in,
+            t.data_bytes_out,
+            t.control_bytes_out,
+        ] {
+            digest = mix(digest, v);
+        }
+    }
+    (
+        sim.counters(),
+        digest,
+        sim.network().total_bytes_sent(),
+        sim.network().topology_epoch(),
+        driver.stats,
+    )
+}

@@ -10,7 +10,7 @@
 //! `tests/properties.rs` and the paper-scale tests, so every generated
 //! topology class goes through the same gate.
 
-use bullet_suite::netsim::{Network, NetworkSpec, RoutingMode};
+use bullet_suite::netsim::{Network, NetworkSpec, RouterId, RoutingMode, SimDuration};
 
 /// Number of landmarks the harness gives the ALT router. Deliberately small
 /// so the landmark bounds do real pruning work instead of degenerating.
@@ -161,6 +161,142 @@ fn check_strategy_invariants(eager: &Network, bidi: &Network, alt: &Network, lab
         assert!(b.routers_settled > 0, "{label}: bidi settled nothing");
         assert!(g.lazy_searches > 0, "{label}: ALT ran no searches");
         assert!(g.landmarks > 0, "{label}: ALT router holds no landmarks");
+    }
+}
+
+/// One scripted topology mutation, applied identically to a live
+/// [`Network`] (incremental, epoch-invalidated path) and to a
+/// [`NetworkSpec`] (from which a fresh network is rebuilt for comparison).
+#[derive(Clone, Copy, Debug)]
+pub enum TopoMutation {
+    /// Set a physical link's capacity (not route-affecting).
+    Bandwidth(usize, f64),
+    /// Set a physical link's loss probability (not route-affecting).
+    Loss(usize, f64),
+    /// Set a physical link's propagation delay (route-affecting).
+    Delay(usize, SimDuration),
+    /// Take a physical link up/down (route-affecting).
+    LinkUp(usize, bool),
+    /// Take every link of a router up/down (route-affecting).
+    RouterUp(RouterId, bool),
+}
+
+impl TopoMutation {
+    fn apply_to_network(self, net: &mut Network) {
+        match self {
+            TopoMutation::Bandwidth(link, bps) => net.set_link_bandwidth(link, bps),
+            TopoMutation::Loss(link, loss) => net.set_link_loss(link, loss),
+            TopoMutation::Delay(link, delay) => net.set_link_delay(link, delay),
+            TopoMutation::LinkUp(link, up) => net.set_link_up(link, up),
+            TopoMutation::RouterUp(router, up) => net.set_router_up(router, up),
+        }
+    }
+
+    fn apply_to_spec(self, spec: &mut NetworkSpec) {
+        match self {
+            TopoMutation::Bandwidth(link, bps) => spec.set_link_bandwidth(link, bps),
+            TopoMutation::Loss(link, loss) => spec.set_link_loss(link, loss),
+            TopoMutation::Delay(link, delay) => spec.set_link_delay(link, delay),
+            TopoMutation::LinkUp(link, up) => spec.set_link_up(link, up),
+            TopoMutation::RouterUp(router, up) => spec.set_router_up(router, up),
+        }
+    }
+}
+
+/// The mutation gate of the scenario-dynamics engine: after **each** step
+/// of `mutations`, every ordered participant-pair route served by the
+/// incrementally invalidated networks (all three strategies, pairwise and
+/// batched row fills) must be bit-identical to a *freshly rebuilt* eager
+/// network on the mutated spec — and the incremental networks' link state
+/// (capacity, loss, delay, up) must match the rebuilt one's too.
+///
+/// Every network is warmed with a full all-pairs sweep before the first
+/// mutation so that stale caches, memo rows and router workspaces actually
+/// exist to be invalidated.
+pub fn assert_mutation_equivalence(spec: &NetworkSpec, mutations: &[TopoMutation], label: &str) {
+    let (mut eager, mut bidi, mut alt) = networks(spec);
+    let (mut bidi_batched, mut alt_batched) = batched_networks(spec);
+    let n = spec.participants();
+    let warm = |net: &mut Network| {
+        for a in 0..n {
+            for b in 0..n {
+                let _ = net.path(a, b);
+            }
+        }
+    };
+    for net in [&mut eager, &mut bidi, &mut alt] {
+        warm(net);
+    }
+    for a in 0..n {
+        for b in 0..n {
+            let _ = bidi_batched.route_batched(a, b);
+            let _ = alt_batched.route_batched(a, b);
+        }
+    }
+    let mut mutated_spec = spec.clone();
+    for (step, &mutation) in mutations.iter().enumerate() {
+        mutation.apply_to_spec(&mut mutated_spec);
+        for net in [
+            &mut eager,
+            &mut bidi,
+            &mut alt,
+            &mut bidi_batched,
+            &mut alt_batched,
+        ] {
+            mutation.apply_to_network(net);
+        }
+        let mut fresh = Network::with_routing(&mutated_spec, RoutingMode::EagerPerSource);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let reference = fresh.path(a, b);
+                let ctx = format!("{label}: step {step} ({mutation:?}): {a}->{b}");
+                assert_eq!(reference, eager.path(a, b), "{ctx}: incremental eager");
+                assert_eq!(reference, bidi.path(a, b), "{ctx}: incremental bidi");
+                assert_eq!(reference, alt.path(a, b), "{ctx}: incremental alt");
+                for (net, name) in [
+                    (&mut bidi_batched, "batched-bidi"),
+                    (&mut alt_batched, "batched-alt"),
+                ] {
+                    let batched = net
+                        .route_batched(a, b)
+                        .map(|id| net.route_links(id).to_vec());
+                    assert_eq!(reference, batched, "{ctx}: incremental {name}");
+                }
+            }
+        }
+        // Link state followed the mutation on every incremental network.
+        for (id, want) in fresh.links().iter().enumerate() {
+            for (net, name) in [(&eager, "eager"), (&bidi, "bidi"), (&alt, "alt")] {
+                let got = net.link(id);
+                let ctx = format!("{label}: step {step} ({mutation:?}): link {id} on {name}");
+                assert_eq!(got.bandwidth_bps, want.bandwidth_bps, "{ctx}: bandwidth");
+                assert_eq!(got.loss, want.loss, "{ctx}: loss");
+                assert_eq!(got.delay, want.delay, "{ctx}: delay");
+                assert_eq!(got.up, want.up, "{ctx}: up");
+            }
+        }
+    }
+    // Route-affecting mutations (and only those) moved the epoch.
+    let route_affecting = mutations
+        .iter()
+        .filter(|m| {
+            matches!(
+                m,
+                TopoMutation::Delay(..) | TopoMutation::LinkUp(..) | TopoMutation::RouterUp(..)
+            )
+        })
+        .count() as u64;
+    assert!(
+        eager.topology_epoch() <= route_affecting,
+        "{label}: epoch {} exceeds the {} route-affecting mutations",
+        eager.topology_epoch(),
+        route_affecting
+    );
+    if route_affecting > 0 {
+        assert!(eager.topology_epoch() > 0, "{label}: epoch never moved");
     }
 }
 
