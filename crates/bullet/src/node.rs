@@ -206,22 +206,36 @@ impl BulletNode {
         }
     }
 
-    /// Builds the reconciliation request describing what this node currently
-    /// holds, striped over `stripe` senders with this request owning `row`.
-    fn build_request(&self, stripe: u64, row: u64) -> ReconcileRequest {
+    /// Builds the Bloom filter describing the node's current working set.
+    /// Built once per peering request or refresh tick; the refresh path
+    /// shares one filter across every sender via `Arc`.
+    fn build_filter(&self) -> BloomFilter {
         let mut filter = BloomFilter::new(self.config.bloom_bits, self.config.bloom_hashes);
         for seq in self.working_set.iter() {
             filter.insert(seq);
         }
+        filter
+    }
+
+    /// The sequence range the node currently asks peers to recover.
+    ///
+    /// The top of the requested range lags the newest sequence number:
+    /// packets younger than the lag are expected from the parent (or are
+    /// already in flight), so recovering them from peers would mostly
+    /// duplicate data (paper Fig. 4).
+    fn request_range(&self) -> (u64, u64) {
         let (low, high) = self.working_set.range();
-        // The top of the requested range lags the newest sequence number:
-        // packets younger than the lag are expected from the parent (or are
-        // already in flight), so recovering them from peers would mostly
-        // duplicate data (paper Fig. 4).
         let high = high
             .saturating_sub(self.config.recovery_lag_packets)
             .max(low);
-        ReconcileRequest::new(filter, low, high, stripe.max(1), row)
+        (low, high)
+    }
+
+    /// Builds the reconciliation request describing what this node currently
+    /// holds, striped over `stripe` senders with this request owning `row`.
+    fn build_request(&self, stripe: u64, row: u64) -> ReconcileRequest {
+        let (low, high) = self.request_range();
+        ReconcileRequest::new(self.build_filter(), low, high, stripe.max(1), row)
     }
 
     /// Records a freshly received (or generated) sequence number in the
@@ -369,12 +383,21 @@ impl BulletNode {
     }
 
     /// Pushes updated Bloom filters, ranges and row assignments to every
-    /// sending peer.
+    /// sending peer. The ~2 KB filter is built once and shared by `Arc`
+    /// across the per-sender requests — only the row assignment differs —
+    /// so enqueueing each refresh message is a pointer bump, not a filter
+    /// clone; `wire_bytes` still accounts for the full filter per message.
     fn refresh_senders(&mut self, ctx: &mut Context<'_, BulletMsg>) {
         let senders = self.take_sender_peers();
-        let stripe = senders.len() as u64;
+        if senders.is_empty() {
+            self.scratch_peers = senders;
+            return;
+        }
+        let stripe = (senders.len() as u64).max(1);
+        let filter = std::sync::Arc::new(self.build_filter());
+        let (low, high) = self.request_range();
         for (row, &node) in senders.iter().enumerate() {
-            let request = self.build_request(stripe.max(1), row as u64);
+            let request = ReconcileRequest::new(filter.clone(), low, high, stripe, row as u64);
             self.send_msg(ctx, node, BulletMsg::FilterRefresh { request });
         }
         self.scratch_peers = senders;
@@ -691,7 +714,7 @@ impl ScenarioAgent for BulletNode {
                     children: self.children.clone(),
                 },
             );
-            for &child in &self.children.clone() {
+            for &child in &self.children {
                 self.send_msg(
                     ctx,
                     child,

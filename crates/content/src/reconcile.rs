@@ -7,14 +7,25 @@
 //! its senders. A sender then forwards the keys it holds that fall in the
 //! range, match its assigned row, and do not appear in the filter.
 
+use std::sync::Arc;
+
 use crate::bloom::BloomFilter;
 use crate::working_set::WorkingSet;
 
 /// The reconciliation state a receiver installs at one sending peer.
+///
+/// The Bloom filter is behind an `Arc`: a refresh tick builds one filter
+/// describing the receiver's working set and installs it at *every* sending
+/// peer (only the `(stripe, row)` assignment differs per sender), so the
+/// per-sender requests — and the control messages carrying them through the
+/// simulator — share the ~2 KB bit array instead of cloning it. Cloning a
+/// request is a pointer bump; [`ReconcileRequest::wire_bytes`] still counts
+/// the full filter, so modelled control traffic is unchanged.
 #[derive(Clone, Debug)]
 pub struct ReconcileRequest {
-    /// Bloom filter over the receiver's working set.
-    pub filter: BloomFilter,
+    /// Bloom filter over the receiver's working set (shared across the
+    /// receiver's senders; see the type docs).
+    pub filter: Arc<BloomFilter>,
     /// Lowest sequence number the receiver is still interested in.
     pub low: u64,
     /// Highest sequence number the receiver is interested in.
@@ -29,11 +40,18 @@ pub struct ReconcileRequest {
 
 impl ReconcileRequest {
     /// Creates a request covering `[low, high]` striped over `stripe` senders
-    /// with this sender owning `row`.
-    pub fn new(filter: BloomFilter, low: u64, high: u64, stripe: u64, row: u64) -> Self {
+    /// with this sender owning `row`. Accepts either an owned filter or an
+    /// already-shared `Arc<BloomFilter>` (the multi-sender refresh path).
+    pub fn new(
+        filter: impl Into<Arc<BloomFilter>>,
+        low: u64,
+        high: u64,
+        stripe: u64,
+        row: u64,
+    ) -> Self {
         let stripe = stripe.max(1);
         ReconcileRequest {
-            filter,
+            filter: filter.into(),
             low,
             high,
             stripe,
@@ -191,6 +209,44 @@ mod tests {
         // The refreshed request carries the receiver's true (empty) state.
         let refreshed = ReconcileRequest::new(filter_of(&[]), 0, 99, 1, 0);
         assert_eq!(missing_keys(&sender, &refreshed, usize::MAX).len(), 100);
+    }
+
+    /// Per-sender requests built from one shared filter behave exactly like
+    /// requests owning private copies, and cloning them must not copy the
+    /// filter (the refresh-tick enqueue path is a pointer bump).
+    #[test]
+    fn requests_share_one_filter_across_senders() {
+        let filter = Arc::new(filter_of(&(0..50).collect::<Vec<u64>>()));
+        let bytes = ReconcileRequest::new(filter.clone(), 0, 99, 1, 0).wire_bytes();
+        let rows: Vec<ReconcileRequest> = (0..4)
+            .map(|row| ReconcileRequest::new(filter.clone(), 0, 99, 4, row))
+            .collect();
+        for (row, req) in rows.iter().enumerate() {
+            let owned = ReconcileRequest::new(
+                filter_of(&(0..50).collect::<Vec<u64>>()),
+                0,
+                99,
+                4,
+                row as u64,
+            );
+            for key in 0..100 {
+                assert_eq!(req.wants(key), owned.wants(key), "row {row} key {key}");
+            }
+            assert_eq!(
+                req.wire_bytes(),
+                bytes,
+                "wire size must count the full filter"
+            );
+            assert!(
+                Arc::ptr_eq(&req.filter, &filter),
+                "row {row} copied the filter"
+            );
+        }
+        let cloned = rows[0].clone();
+        assert!(
+            Arc::ptr_eq(&cloned.filter, &filter),
+            "clone copied the filter"
+        );
     }
 
     #[test]

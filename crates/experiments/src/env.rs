@@ -5,7 +5,9 @@
 //! topology, and the overlay trees each figure needs (random, offline
 //! bottleneck, Overcast-like, hand-crafted good/worst).
 
-use bullet_netsim::{LinkSpec, Network, NetworkSpec, OverlayId, SimDuration, SimRng};
+use std::sync::Arc;
+
+use bullet_netsim::{LinkSpec, Network, NetworkSetup, NetworkSpec, OverlayId, SimDuration, SimRng};
 use bullet_overlay::{
     bottleneck_tree, good_tree, overcast_tree, random_tree, worst_tree, OmbtConfig, OracleStrategy,
     OvercastConfig, ThroughputOracle, Tree,
@@ -13,6 +15,113 @@ use bullet_overlay::{
 use bullet_topology::{generate, BandwidthProfile, BuiltTopology, LossProfile, TopologyConfig};
 
 use crate::scale::Scale;
+
+/// A network spec bundled with its shared immutable routing setup
+/// ([`NetworkSetup`]: adjacency + ALT landmark tables).
+///
+/// This is the unit of setup sharing in the parallel harness: the expensive
+/// pieces are built **once per topology class** when the spec is prepared,
+/// and every run — on any worker thread — gets its own cheap mutable
+/// [`Network`] view over them through [`PreparedSpec::network`]. The view's
+/// link queues, route arena, caches and participant route memo are private
+/// per run; routes are bit-identical to constructing `Network::new(spec)`
+/// from scratch (gated in `bullet_netsim` and by the figure thread-
+/// invariance tests).
+#[derive(Clone)]
+pub struct PreparedSpec {
+    spec: Arc<NetworkSpec>,
+    setup: Arc<NetworkSetup>,
+}
+
+impl PreparedSpec {
+    /// Prepares `spec`, building the shared routing setup (the routing mode
+    /// resolves from the topology size exactly like `Sim::new`).
+    pub fn new(spec: NetworkSpec) -> Self {
+        let setup = Arc::new(NetworkSetup::new(&spec));
+        PreparedSpec {
+            spec: Arc::new(spec),
+            setup,
+        }
+    }
+
+    /// The underlying network spec.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Number of overlay participants.
+    pub fn participants(&self) -> usize {
+        self.spec.participants()
+    }
+
+    /// A fresh per-run network view over the shared setup.
+    pub fn network(&self) -> Network {
+        Network::with_setup(&self.spec, &self.setup)
+    }
+}
+
+/// A generated [`BuiltTopology`] bundled with its shared routing setup;
+/// the topology-class analogue of [`PreparedSpec`] (see there for the
+/// sharing model). Cloning is two `Arc` bumps, so figure grids move clones
+/// into their run tasks.
+#[derive(Clone)]
+pub struct PreparedTopology {
+    built: Arc<BuiltTopology>,
+    setup: Arc<NetworkSetup>,
+}
+
+impl PreparedTopology {
+    /// Prepares an already-generated topology.
+    pub fn from_built(built: BuiltTopology) -> Self {
+        let setup = Arc::new(NetworkSetup::new(&built.spec));
+        PreparedTopology {
+            built: Arc::new(built),
+            setup,
+        }
+    }
+
+    /// The generated topology.
+    pub fn built(&self) -> &BuiltTopology {
+        &self.built
+    }
+
+    /// The underlying network spec.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.built.spec
+    }
+
+    /// Number of overlay participants.
+    pub fn participants(&self) -> usize {
+        self.built.participants()
+    }
+
+    /// A fresh per-run network view over the shared setup.
+    pub fn network(&self) -> Network {
+        Network::with_setup(&self.built.spec, &self.setup)
+    }
+
+    /// Builds an overlay tree like [`build_tree`], with the oracle-backed
+    /// kinds (bottleneck, Overcast, good/worst) running over a shared-setup
+    /// network view instead of a from-scratch network — at paper scale that
+    /// skips a second landmark construction per figure. Trees are identical
+    /// to [`build_tree`]'s (routes are canonical either way).
+    pub fn tree(&self, kind: TreeKind, root: OverlayId, seed: u64) -> Tree {
+        build_tree_on(&self.built, || self.network(), kind, root, seed)
+    }
+}
+
+/// Generates and prepares the topology for one experiment: the topology
+/// *and* its routing setup are built once here and shared (via `Arc`)
+/// across every run of the figure's grid.
+pub fn prepare_topology(
+    scale: Scale,
+    participants: usize,
+    bandwidth: BandwidthProfile,
+    loss: LossProfile,
+    seed: u64,
+) -> PreparedTopology {
+    PreparedTopology::from_built(build_topology(scale, participants, bandwidth, loss, seed))
+}
 
 /// Builds the transit-stub topology for one experiment.
 pub fn build_topology(
@@ -53,6 +162,19 @@ pub enum TreeKind {
 
 /// Builds the requested tree over the participants of `topo`.
 pub fn build_tree(topo: &BuiltTopology, kind: TreeKind, root: OverlayId, seed: u64) -> Tree {
+    build_tree_on(topo, || Network::new(&topo.spec), kind, root, seed)
+}
+
+/// [`build_tree`] with an explicit network factory, so callers holding a
+/// [`PreparedTopology`] reuse its shared routing setup for the oracle-backed
+/// tree kinds.
+fn build_tree_on(
+    topo: &BuiltTopology,
+    make_network: impl Fn() -> Network,
+    kind: TreeKind,
+    root: OverlayId,
+    seed: u64,
+) -> Tree {
     let participants = topo.participants();
     match kind {
         TreeKind::Random { max_children } => {
@@ -60,19 +182,19 @@ pub fn build_tree(topo: &BuiltTopology, kind: TreeKind, root: OverlayId, seed: u
             random_tree(participants, root, max_children, &mut rng)
         }
         TreeKind::Bottleneck => {
-            let mut net = Network::new(&topo.spec);
+            let mut net = make_network();
             bottleneck_tree(&mut net, participants, root, &OmbtConfig::default())
         }
         TreeKind::Overcast => {
-            let mut net = Network::new(&topo.spec);
+            let mut net = make_network();
             overcast_tree(&mut net, participants, root, &OvercastConfig::default())
         }
         TreeKind::Good => {
-            let metric = bandwidth_metric_from_source(topo, root);
+            let metric = bandwidth_metric_on(make_network(), participants, root);
             good_tree(root, &metric, 3)
         }
         TreeKind::Worst => {
-            let metric = bandwidth_metric_from_source(topo, root);
+            let metric = bandwidth_metric_on(make_network(), participants, root);
             worst_tree(root, &metric, 3)
         }
     }
@@ -86,10 +208,14 @@ pub fn build_tree(topo: &BuiltTopology, kind: TreeKind, root: OverlayId, seed: u
 /// each `node → root` route is needed exactly once and a full row fill per
 /// node would overshoot a single-target need.
 pub fn bandwidth_metric_from_source(topo: &BuiltTopology, root: OverlayId) -> Vec<f64> {
-    let mut net = Network::new(&topo.spec);
+    bandwidth_metric_on(Network::new(&topo.spec), topo.participants(), root)
+}
+
+/// [`bandwidth_metric_from_source`] over an already-constructed network.
+fn bandwidth_metric_on(mut net: Network, participants: usize, root: OverlayId) -> Vec<f64> {
     let mut oracle = ThroughputOracle::with_strategy(&mut net, 1_500, OracleStrategy::Pairwise);
     oracle.prefetch_from(root);
-    (0..topo.participants())
+    (0..participants)
         .map(|node| {
             if node == root {
                 f64::MAX
@@ -230,6 +356,60 @@ mod tests {
         assert!(topo.access_bps[20] >= 10_000_000.0);
         let unconstrained = constrained_source_topology(10, 36, false, 7);
         assert!(unconstrained.access_bps[0] > 10_000_000.0);
+    }
+
+    #[test]
+    fn prepared_topology_builds_identical_trees_and_networks() {
+        let topo = build_topology(
+            Scale::Small,
+            15,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            3,
+        );
+        let prepared = prepare_topology(
+            Scale::Small,
+            15,
+            BandwidthProfile::Medium,
+            LossProfile::None,
+            3,
+        );
+        for kind in [
+            TreeKind::Random { max_children: 4 },
+            TreeKind::Bottleneck,
+            TreeKind::Overcast,
+            TreeKind::Good,
+            TreeKind::Worst,
+        ] {
+            assert_eq!(
+                build_tree(&topo, kind, 0, 3).parents(),
+                prepared.tree(kind, 0, 3).parents(),
+                "{kind:?}: shared-setup tree diverged"
+            );
+        }
+        // Two per-run views (and a from-scratch network) route identically.
+        let mut fresh = Network::new(&topo.spec);
+        let mut view_a = prepared.network();
+        let mut view_b = prepared.network();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(fresh.path(a, b), view_a.path(a, b), "{a}->{b}");
+                assert_eq!(fresh.path(a, b), view_b.path(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_spec_views_match_fresh_networks() {
+        let raw = constrained_source_topology(4, 6, true, 7);
+        let prepared = PreparedSpec::new(raw.spec.clone());
+        assert_eq!(prepared.participants(), raw.spec.participants());
+        let mut fresh = Network::new(&raw.spec);
+        let mut view = prepared.network();
+        for a in 0..prepared.participants() {
+            assert_eq!(fresh.path(a, 0), view.path(a, 0), "{a}->0");
+            assert_eq!(fresh.path(0, a), view.path(0, a), "0->{a}");
+        }
     }
 
     #[test]

@@ -6,6 +6,25 @@
 //! figure plots plus the scalar numbers quoted in the surrounding text. The
 //! bench harnesses in `crates/bench` print these results; EXPERIMENTS.md
 //! records paper-versus-measured for each.
+//!
+//! # The run grid
+//!
+//! Internally every figure is a **plan**: a grid of independent run tasks
+//! (configuration × seed) plus an assembly step that turns the ordered run
+//! results into the figure. Plans execute on the scoped-thread
+//! [`RunPool`](crate::pool::RunPool) (`BULLET_THREADS`, default all cores),
+//! and [`crate::suite::figure_suite`] flattens the plans of *every* figure
+//! into one grid so the whole evaluation saturates the machine. Because
+//! results are collected in task order and each run owns all of its mutable
+//! state (the expensive immutable setup — generated topology, bandwidth
+//! assignment, ALT landmark tables — is shared read-only via `Arc`, see
+//! [`crate::env::PreparedTopology`]), figure output is bit-identical at any
+//! thread count. `BULLET_SEEDS` widens each configuration to a multi-seed
+//! sweep; seed index 0 reproduces the historical single-seed output byte
+//! for byte, extra seeds append `[seed k]` series and a per-configuration
+//! spread note.
+
+use std::sync::Arc;
 
 use bullet_baselines::{AntiEntropyConfig, GossipConfig, StreamConfig, StreamTransport};
 use bullet_core::BulletConfig;
@@ -14,17 +33,19 @@ use bullet_netsim::{NetworkSpec, SimDuration, SimTime};
 use bullet_overlay::{good_tree, random_tree, worst_tree};
 use bullet_topology::{BandwidthProfile, BuiltTopology, LossProfile};
 
-use crate::env::{build_topology, build_tree, constrained_source_topology, TreeKind};
+use crate::env::{constrained_source_topology, prepare_topology, PreparedSpec, TreeKind};
 use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
+use crate::pool::{seed_label, RunPool, Sweep, Task};
 use crate::protocols::{
-    antientropy_run, bullet_run, bullet_run_scenario, gossip_run, streaming_run,
+    antientropy_run_on, bullet_run, bullet_run_on, bullet_run_scenario_on, gossip_run_on,
+    streaming_run_on,
 };
 use crate::runner::{RunResult, RunSpec};
 use crate::scale::Scale;
 
 /// The result of reproducing one figure: the plotted curves plus the scalar
 /// numbers the paper quotes around it.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FigureResult {
     /// Identifier, e.g. "fig07".
     pub id: String,
@@ -60,6 +81,88 @@ impl FigureResult {
             .iter()
             .find(|s| s.label.contains(needle))
             .map(|s| s.steady_state_kbps(0.25))
+    }
+}
+
+/// One unit of figure work: a single metered run, executed on a pool worker.
+pub(crate) type RunTask = Task<'static, RunResult>;
+
+/// Turns a figure plan's ordered run results into the finished figure(s).
+pub(crate) type AssembleFn = Box<dyn FnOnce(Vec<RunResult>) -> Vec<FigureResult> + Send>;
+
+/// A figure as a run grid plus its assembly step (see the module docs).
+/// Most plans assemble exactly one figure; the Fig. 7 plan also derives
+/// Fig. 8 from its run.
+pub(crate) struct FigurePlan {
+    tasks: Vec<RunTask>,
+    assemble: AssembleFn,
+}
+
+impl FigurePlan {
+    pub(crate) fn new(
+        tasks: Vec<RunTask>,
+        assemble: impl FnOnce(Vec<RunResult>) -> Vec<FigureResult> + Send + 'static,
+    ) -> Self {
+        FigurePlan {
+            tasks,
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// Number of runs in this plan's grid.
+    pub(crate) fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Splits the plan for suite-level flattening.
+    pub(crate) fn into_parts(self) -> (Vec<RunTask>, AssembleFn) {
+        (self.tasks, self.assemble)
+    }
+
+    /// Executes the grid on `pool` and assembles the figure(s).
+    pub(crate) fn run(self, pool: &RunPool) -> Vec<FigureResult> {
+        let results = pool.run(self.tasks);
+        (self.assemble)(results)
+    }
+}
+
+/// Runs a single-figure plan and unwraps its figure.
+fn run_single(plan: FigurePlan, sweep: &Sweep) -> FigureResult {
+    let mut figures = plan.run(sweep.pool());
+    debug_assert_eq!(figures.len(), 1);
+    figures.remove(0)
+}
+
+/// Splits grid results into per-configuration chunks of `seeds` runs each.
+/// This is the one home of the grid-layout contract — configuration-major,
+/// seed-minor — shared by every figure and scenario assembly.
+pub(crate) fn chunked(results: Vec<RunResult>, seeds: usize) -> Vec<Vec<RunResult>> {
+    let mut chunks = Vec::new();
+    let mut iter = results.into_iter();
+    loop {
+        let chunk: Vec<RunResult> = iter.by_ref().take(seeds.max(1)).collect();
+        if chunk.is_empty() {
+            return chunks;
+        }
+        chunks.push(chunk);
+    }
+}
+
+/// Appends one steady-state spread note per multi-seed configuration.
+pub(crate) fn push_seed_spread_notes(figure: &mut FigureResult, chunks: &[Vec<RunResult>]) {
+    for chunk in chunks {
+        if chunk.len() < 2 {
+            continue;
+        }
+        let rates: Vec<f64> = chunk.iter().map(|r| r.steady_state_kbps()).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        figure.notes.push(format!(
+            "{}: across {} seeds, steady useful mean {mean:.0} Kbps (min {min:.0}, max {max:.0})",
+            chunk[0].label,
+            chunk.len(),
+        ));
     }
 }
 
@@ -137,81 +240,116 @@ pub fn table1_rows() -> Vec<(String, String, u32, u32)> {
 /// Figure 6: TFRC streaming over the offline bottleneck tree versus a random
 /// tree (medium bandwidth, 600 Kbps target).
 pub fn fig06(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(fig06_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig06_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 6);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let mut figure = FigureResult::new(
-        "fig06",
-        "Achieved bandwidth over time for TFRC streaming over the bottleneck bandwidth tree and a random tree",
-    );
     let stream = p.stream_config(PAPER_RATE_BPS);
+    let bottleneck = Arc::new(topo.tree(TreeKind::Bottleneck, 0, p.seed));
+    let random = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
 
-    let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
-    let result = streaming_run(
-        &topo.spec,
-        &bottleneck,
-        &stream,
-        &p.run_spec("Bottleneck bandwidth tree"),
-        p.seed,
-    );
-    figure.add_run(&result);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    let seeds = sweep.run_seeds(p.seed);
+    for (tree, label) in [
+        (bottleneck, "Bottleneck bandwidth tree"),
+        (random, "Random tree"),
+    ] {
+        for (k, &seed) in seeds.iter().enumerate() {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let stream = stream.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                streaming_run_on(topo.network(), &tree, &stream, &run, seed)
+            }));
+        }
+    }
 
-    let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
-    let result = streaming_run(
-        &topo.spec,
-        &random,
-        &stream,
-        &p.run_spec("Random tree"),
-        p.seed,
-    );
-    figure.add_run(&result);
-
-    let bottleneck_kbps = figure.steady_state_of("Bottleneck").unwrap_or(0.0);
-    let random_kbps = figure.steady_state_of("Random").unwrap_or(0.0);
-    figure.notes.push(format!(
-        "bottleneck tree {:.0} Kbps vs random tree {:.0} Kbps (paper: ~400 vs <100)",
-        bottleneck_kbps, random_kbps
-    ));
-    figure
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "fig06",
+            "Achieved bandwidth over time for TFRC streaming over the bottleneck bandwidth tree and a random tree",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for result in chunk {
+                figure.add_run(result);
+            }
+        }
+        let bottleneck_kbps = figure.steady_state_of("Bottleneck").unwrap_or(0.0);
+        let random_kbps = figure.steady_state_of("Random").unwrap_or(0.0);
+        figure.notes.push(format!(
+            "bottleneck tree {:.0} Kbps vs random tree {:.0} Kbps (paper: ~400 vs <100)",
+            bottleneck_kbps, random_kbps
+        ));
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Figure 7: Bullet over a random tree — raw total, useful total, and
 /// from-parent bandwidth over time, plus the §4.2 scalars (control overhead,
 /// duplicate ratio, link stress).
 pub fn fig07(scale: Scale) -> (FigureResult, RunResult) {
+    let sweep = Sweep::from_env();
+    let (tasks, seeds) = fig07_grid(scale, &sweep);
+    let results = sweep.pool().run(tasks);
+    fig07_assemble(results, seeds)
+}
+
+/// The Fig. 7 run grid: one Bullet-over-random-tree configuration × seeds.
+fn fig07_grid(scale: Scale, sweep: &Sweep) -> (Vec<RunTask>, usize) {
     let p = Params::new(scale, 7);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     let config = p.bullet_config(PAPER_RATE_BPS);
-    let result = bullet_run(
-        &topo.spec,
-        &tree,
-        &config,
-        &p.run_spec("Bullet (random tree)"),
-        p.seed,
-    );
+    let seeds = sweep.run_seeds(p.seed);
+    let tasks: Vec<RunTask> = seeds
+        .iter()
+        .enumerate()
+        .map(|(k, &seed)| {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label("Bullet (random tree)", k));
+            Box::new(move || bullet_run_on(topo.network(), &tree, &config, &run, seed)) as RunTask
+        })
+        .collect();
+    (tasks, seeds.len())
+}
 
+fn fig07_assemble(results: Vec<RunResult>, seeds: usize) -> (FigureResult, RunResult) {
+    let mut chunks = chunked(results, seeds);
+    let runs = chunks.remove(0);
     let mut figure = FigureResult::new(
         "fig07",
         "Achieved bandwidth over time for Bullet over a random tree",
     );
-    figure.series.push(result.raw.clone());
-    figure.series.push(result.useful.clone());
-    figure.series.push(result.from_parent.clone());
-    figure
-        .summaries
-        .push((result.label.clone(), result.summary.clone()));
+    for result in &runs {
+        figure.series.push(result.raw.clone());
+        figure.series.push(result.useful.clone());
+        figure.series.push(result.from_parent.clone());
+        figure
+            .summaries
+            .push((result.label.clone(), result.summary.clone()));
+    }
+    let result = &runs[0];
     figure.notes.push(format!(
         "useful {:.0} Kbps, raw {:.0} Kbps, duplicates {:.1}% ({:.0}% of them parent relays), control {:.1} Kbps/node, link stress mean {:.2} max {}",
         result.summary.steady_useful_kbps,
@@ -222,7 +360,20 @@ pub fn fig07(scale: Scale) -> (FigureResult, RunResult) {
         result.summary.link_stress_mean,
         result.summary.link_stress_max,
     ));
-    (figure, result)
+    push_seed_spread_notes(&mut figure, std::slice::from_ref(&runs));
+    let mut runs = runs;
+    (figure, runs.remove(0))
+}
+
+/// The suite plan covering Figs. 7 and 8 with a single grid (Fig. 8 is a
+/// CDF over the Fig. 7 run).
+pub(crate) fn fig07and08_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    let (tasks, seeds) = fig07_grid(scale, sweep);
+    FigurePlan::new(tasks, move |results| {
+        let (fig7, run) = fig07_assemble(results, seeds);
+        let (fig8, _) = fig08_from(&run);
+        vec![fig7, fig8]
+    })
 }
 
 /// Figure 8: CDF of instantaneous per-node bandwidth near the end of the
@@ -253,184 +404,275 @@ pub fn fig08_from(run: &RunResult) -> (FigureResult, Cdf) {
 /// Figure 9: Bullet versus the bottleneck tree across the low, medium and
 /// high bandwidth profiles of Table 1.
 pub fn fig09(scale: Scale) -> FigureResult {
-    bandwidth_sweep(scale, LossProfile::None, "fig09",
+    let sweep = Sweep::from_env();
+    run_single(fig09_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig09_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    bandwidth_sweep_plan(scale, sweep, LossProfile::None, "fig09",
         "Achieved bandwidth for Bullet and the bottleneck tree across low/medium/high bandwidth topologies")
 }
 
 /// Figure 12: the same sweep over lossy topologies (§4.5).
 pub fn fig12(scale: Scale) -> FigureResult {
-    bandwidth_sweep(
+    let sweep = Sweep::from_env();
+    run_single(fig12_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig12_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    bandwidth_sweep_plan(
         scale,
+        sweep,
         LossProfile::paper_lossy(),
         "fig12",
         "Achieved bandwidth for Bullet and the bottleneck tree over lossy network topologies",
     )
 }
 
-fn bandwidth_sweep(scale: Scale, loss: LossProfile, id: &str, title: &str) -> FigureResult {
-    let mut figure = FigureResult::new(id, title);
+fn bandwidth_sweep_plan(
+    scale: Scale,
+    sweep: &Sweep,
+    loss: LossProfile,
+    id: &str,
+    title: &str,
+) -> FigurePlan {
+    let mut tasks: Vec<RunTask> = Vec::new();
+    let mut profile_names = Vec::new();
     for (profile, name) in [
         (BandwidthProfile::High, "High Bandwidth"),
         (BandwidthProfile::Medium, "Medium Bandwidth"),
         (BandwidthProfile::Low, "Low Bandwidth"),
     ] {
         let p = Params::new(scale, 9 + profile as u64);
-        let topo = build_topology(scale, p.participants, profile, loss, p.seed);
-        let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
-        let bullet = bullet_run(
-            &topo.spec,
-            &random,
-            &p.bullet_config(PAPER_RATE_BPS),
-            &p.run_spec(&format!("Bullet - {name}")),
-            p.seed,
-        );
-        figure.add_run(&bullet);
-        let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
-        let tree = streaming_run(
-            &topo.spec,
-            &bottleneck,
-            &p.stream_config(PAPER_RATE_BPS),
-            &p.run_spec(&format!("Bottleneck tree - {name}")),
-            p.seed,
-        );
-        figure.add_run(&tree);
-        let ratio = bullet.steady_state_kbps() / tree.steady_state_kbps().max(1.0);
-        figure.notes.push(format!(
-            "{name}: Bullet {:.0} Kbps vs bottleneck tree {:.0} Kbps (x{:.2})",
-            bullet.steady_state_kbps(),
-            tree.steady_state_kbps(),
-            ratio
-        ));
+        let topo = prepare_topology(scale, p.participants, profile, loss, p.seed);
+        let random = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+        let bottleneck = Arc::new(topo.tree(TreeKind::Bottleneck, 0, p.seed));
+        let bullet_cfg = p.bullet_config(PAPER_RATE_BPS);
+        let stream_cfg = p.stream_config(PAPER_RATE_BPS);
+        let seeds = sweep.run_seeds(p.seed);
+        for (k, &seed) in seeds.iter().enumerate() {
+            let topo = topo.clone();
+            let tree = random.clone();
+            let config = bullet_cfg.clone();
+            let run = p.run_spec(&seed_label(&format!("Bullet - {name}"), k));
+            tasks.push(Box::new(move || {
+                bullet_run_on(topo.network(), &tree, &config, &run, seed)
+            }));
+        }
+        for (k, &seed) in seeds.iter().enumerate() {
+            let topo = topo.clone();
+            let tree = bottleneck.clone();
+            let config = stream_cfg.clone();
+            let run = p.run_spec(&seed_label(&format!("Bottleneck tree - {name}"), k));
+            tasks.push(Box::new(move || {
+                streaming_run_on(topo.network(), &tree, &config, &run, seed)
+            }));
+        }
+        profile_names.push(name);
     }
-    figure
+    let seeds = sweep.seeds();
+    let (id, title) = (id.to_string(), title.to_string());
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(&id, &title);
+        let chunks = chunked(results, seeds);
+        for (i, name) in profile_names.iter().enumerate() {
+            let bullet_runs = &chunks[2 * i];
+            let tree_runs = &chunks[2 * i + 1];
+            for run in bullet_runs {
+                figure.add_run(run);
+            }
+            for run in tree_runs {
+                figure.add_run(run);
+            }
+            let bullet = &bullet_runs[0];
+            let tree = &tree_runs[0];
+            let ratio = bullet.steady_state_kbps() / tree.steady_state_kbps().max(1.0);
+            figure.notes.push(format!(
+                "{name}: Bullet {:.0} Kbps vs bottleneck tree {:.0} Kbps (x{:.2})",
+                bullet.steady_state_kbps(),
+                tree.steady_state_kbps(),
+                ratio
+            ));
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Figure 10: the non-disjoint transmission strategy (every parent tries to
 /// send everything to every child).
 pub fn fig10(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(fig10_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig10_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 10);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     let mut config = p.bullet_config(PAPER_RATE_BPS);
     config.disjoint_send = false;
-    let result = bullet_run(
-        &topo.spec,
-        &tree,
-        &config,
-        &p.run_spec("Bullet (non-disjoint strategy)"),
-        p.seed,
-    );
-    let mut figure = FigureResult::new(
-        "fig10",
-        "Achieved bandwidth over time using non-disjoint data transmission",
-    );
-    figure.series.push(result.raw.clone());
-    figure.series.push(result.useful.clone());
-    figure.series.push(result.from_parent.clone());
-    figure
-        .summaries
-        .push((result.label.clone(), result.summary.clone()));
-    figure.notes.push(format!(
-        "useful {:.0} Kbps with the disjoint strategy disabled (paper: ~25% below Fig. 7)",
-        result.summary.steady_useful_kbps
-    ));
-    figure
+
+    let seeds = sweep.run_seeds(p.seed);
+    let tasks: Vec<RunTask> = seeds
+        .iter()
+        .enumerate()
+        .map(|(k, &seed)| {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label("Bullet (non-disjoint strategy)", k));
+            Box::new(move || bullet_run_on(topo.network(), &tree, &config, &run, seed)) as RunTask
+        })
+        .collect();
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let runs = chunked(results, seeds).remove(0);
+        let mut figure = FigureResult::new(
+            "fig10",
+            "Achieved bandwidth over time using non-disjoint data transmission",
+        );
+        for result in &runs {
+            figure.series.push(result.raw.clone());
+            figure.series.push(result.useful.clone());
+            figure.series.push(result.from_parent.clone());
+            figure
+                .summaries
+                .push((result.label.clone(), result.summary.clone()));
+        }
+        figure.notes.push(format!(
+            "useful {:.0} Kbps with the disjoint strategy disabled (paper: ~25% below Fig. 7)",
+            runs[0].summary.steady_useful_kbps
+        ));
+        push_seed_spread_notes(&mut figure, std::slice::from_ref(&runs));
+        vec![figure]
+    })
 }
 
 /// Figure 11: Bullet versus push gossip and streaming with anti-entropy
 /// recovery (900 Kbps target, loss-free topology, full membership for the
 /// epidemics).
 pub fn fig11(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(fig11_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig11_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let mut p = Params::new(scale, 11);
     p.participants = scale.epidemic_participants();
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let mut figure = FigureResult::new(
-        "fig11",
-        "Achieved bandwidth over time for Bullet and epidemic approaches",
-    );
-
-    let random = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
-    let bullet = bullet_run(
-        &topo.spec,
-        &random,
-        &p.bullet_config(EPIDEMIC_RATE_BPS),
-        &p.run_spec("Bullet"),
-        p.seed,
-    );
-    figure.series.push(bullet.raw.clone());
-    figure.add_run(&bullet);
-
+    let random = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+    let bottleneck = Arc::new(topo.tree(TreeKind::Bottleneck, 0, p.seed));
+    let bullet_cfg = p.bullet_config(EPIDEMIC_RATE_BPS);
     let gossip_cfg = GossipConfig {
         stream_rate_bps: EPIDEMIC_RATE_BPS,
         stream_start: p.stream_start,
         ..GossipConfig::default()
     };
-    let gossip = gossip_run(
-        &topo.spec,
-        0,
-        &gossip_cfg,
-        &p.run_spec("Push gossiping"),
-        p.seed,
-    );
-    figure.series.push(gossip.raw.clone());
-    figure.add_run(&gossip);
-
-    let bottleneck = build_tree(&topo, TreeKind::Bottleneck, 0, p.seed);
     let ae_cfg = AntiEntropyConfig {
         stream_rate_bps: EPIDEMIC_RATE_BPS,
         stream_start: p.stream_start,
         ..AntiEntropyConfig::default()
     };
-    let ae = antientropy_run(
-        &topo.spec,
-        &bottleneck,
-        &ae_cfg,
-        &p.run_spec("Streaming w/AE"),
-        p.seed,
-    );
-    figure.series.push(ae.raw.clone());
-    figure.add_run(&ae);
 
-    figure.notes.push(format!(
-        "useful: Bullet {:.0} Kbps, push gossip {:.0} Kbps, streaming w/AE {:.0} Kbps (paper: Bullet ~60% above both)",
-        bullet.steady_state_kbps(),
-        gossip.steady_state_kbps(),
-        ae.steady_state_kbps()
-    ));
-    figure.notes.push(format!(
-        "duplicate fractions: Bullet {:.1}%, gossip {:.1}%, AE {:.1}%",
-        bullet.summary.duplicate_fraction * 100.0,
-        gossip.summary.duplicate_fraction * 100.0,
-        ae.summary.duplicate_fraction * 100.0
-    ));
-    figure
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let tree = random.clone();
+        let config = bullet_cfg.clone();
+        let run = p.run_spec(&seed_label("Bullet", k));
+        tasks.push(Box::new(move || {
+            bullet_run_on(topo.network(), &tree, &config, &run, seed)
+        }));
+    }
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let config = gossip_cfg.clone();
+        let run = p.run_spec(&seed_label("Push gossiping", k));
+        tasks.push(Box::new(move || {
+            gossip_run_on(topo.network(), 0, &config, &run, seed)
+        }));
+    }
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let tree = bottleneck.clone();
+        let config = ae_cfg.clone();
+        let run = p.run_spec(&seed_label("Streaming w/AE", k));
+        tasks.push(Box::new(move || {
+            antientropy_run_on(topo.network(), &tree, &config, &run, seed)
+        }));
+    }
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "fig11",
+            "Achieved bandwidth over time for Bullet and epidemic approaches",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for result in chunk {
+                figure.series.push(result.raw.clone());
+                figure.add_run(result);
+            }
+        }
+        let (bullet, gossip, ae) = (&chunks[0][0], &chunks[1][0], &chunks[2][0]);
+        figure.notes.push(format!(
+            "useful: Bullet {:.0} Kbps, push gossip {:.0} Kbps, streaming w/AE {:.0} Kbps (paper: Bullet ~60% above both)",
+            bullet.steady_state_kbps(),
+            gossip.steady_state_kbps(),
+            ae.steady_state_kbps()
+        ));
+        figure.notes.push(format!(
+            "duplicate fractions: Bullet {:.1}%, gossip {:.1}%, AE {:.1}%",
+            bullet.summary.duplicate_fraction * 100.0,
+            gossip.summary.duplicate_fraction * 100.0,
+            ae.summary.duplicate_fraction * 100.0
+        ));
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Figures 13 and 14: bandwidth over time when one of the root's children
 /// (the one with the most descendants) fails mid-run, without (Fig. 13) and
 /// with (Fig. 14) RanSub epoch-timeout failure detection.
 pub fn failure_figure(scale: Scale, ransub_failure_detection: bool) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(
+        failure_figure_plan(scale, &sweep, ransub_failure_detection),
+        &sweep,
+    )
+}
+
+pub(crate) fn failure_figure_plan(
+    scale: Scale,
+    sweep: &Sweep,
+    ransub_failure_detection: bool,
+) -> FigurePlan {
     let p = Params::new(scale, 13);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     // Fail the root child with the largest subtree, as in the paper's
     // worst-case single failure.
     let victim = tree
@@ -439,74 +681,96 @@ pub fn failure_figure(scale: Scale, ransub_failure_detection: bool) -> FigureRes
         .copied()
         .max_by_key(|&c| tree.subtree_size(c))
         .expect("root has children");
+    let descendants = tree.subtree_size(victim) - 1;
     let failure_time = SimTime::from_secs((p.duration.as_secs_f64() * 0.6) as u64);
 
     let mut config = p.bullet_config(PAPER_RATE_BPS);
     config.ransub_failure_detection = ransub_failure_detection;
-    let run = p.run_spec(if ransub_failure_detection {
+    let label = if ransub_failure_detection {
         "Bullet, worst-case failure, RanSub recovery enabled"
     } else {
         "Bullet, worst-case failure, no RanSub recovery"
-    });
+    };
     // The failure is a one-event scenario script. The driver pre-schedules
     // crashes through the simulator's event queue exactly like the legacy
     // `RunSpec::failure` injection, so the figure's numbers are unchanged
     // (asserted by `fig13_through_the_scenario_engine_matches_the_legacy_path`
     // in tests/end_to_end.rs).
-    let script = ScenarioScript::single_crash(failure_time, victim);
-    let result = bullet_run_scenario(&topo.spec, &tree, &config, &run, &script, p.seed);
+    let script = Arc::new(ScenarioScript::single_crash(failure_time, victim));
 
-    let (id, title) = if ransub_failure_detection {
-        (
-            "fig14",
-            "Bandwidth over time with a worst-case node failure and RanSub recovery enabled",
-        )
-    } else {
-        (
-            "fig13",
-            "Bandwidth over time with a worst-case node failure and no RanSub recovery",
-        )
-    };
-    let mut figure = FigureResult::new(id, title);
-    figure.series.push(result.raw.clone());
-    figure.series.push(result.useful.clone());
-    figure.series.push(result.from_parent.clone());
-    figure
-        .summaries
-        .push((result.label.clone(), result.summary.clone()));
-
-    // Quantify the drop: average useful bandwidth before vs after failure.
-    let before: Vec<f64> = result
-        .times
+    let seeds = sweep.run_seeds(p.seed);
+    let tasks: Vec<RunTask> = seeds
         .iter()
-        .zip(&result.useful.kbps)
-        .filter(|(t, _)| {
-            **t > p.stream_start.as_secs_f64() + 20.0 && **t < failure_time.as_secs_f64()
+        .enumerate()
+        .map(|(k, &seed)| {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let script = script.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            Box::new(move || {
+                bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+            }) as RunTask
         })
-        .map(|(_, k)| *k)
         .collect();
-    let after: Vec<f64> = result
-        .times
-        .iter()
-        .zip(&result.useful.kbps)
-        .filter(|(t, _)| **t > failure_time.as_secs_f64() + 10.0)
-        .map(|(_, k)| *k)
-        .collect();
-    let mean = |v: &[f64]| {
-        if v.is_empty() {
-            0.0
+
+    let seeds = seeds.len();
+    let stream_start_secs = p.stream_start.as_secs_f64();
+    FigurePlan::new(tasks, move |results| {
+        let runs = chunked(results, seeds).remove(0);
+        let (id, title) = if ransub_failure_detection {
+            (
+                "fig14",
+                "Bandwidth over time with a worst-case node failure and RanSub recovery enabled",
+            )
         } else {
-            v.iter().sum::<f64>() / v.len() as f64
+            (
+                "fig13",
+                "Bandwidth over time with a worst-case node failure and no RanSub recovery",
+            )
+        };
+        let mut figure = FigureResult::new(id, title);
+        for result in &runs {
+            figure.series.push(result.raw.clone());
+            figure.series.push(result.useful.clone());
+            figure.series.push(result.from_parent.clone());
+            figure
+                .summaries
+                .push((result.label.clone(), result.summary.clone()));
         }
-    };
-    figure.notes.push(format!(
-        "failed node {victim} ({} descendants) at t={:.0}s; useful bandwidth {:.0} Kbps before vs {:.0} Kbps after",
-        tree.subtree_size(victim) - 1,
-        failure_time.as_secs_f64(),
-        mean(&before),
-        mean(&after)
-    ));
-    figure
+
+        // Quantify the drop: average useful bandwidth before vs after failure.
+        let result = &runs[0];
+        let before: Vec<f64> = result
+            .times
+            .iter()
+            .zip(&result.useful.kbps)
+            .filter(|(t, _)| **t > stream_start_secs + 20.0 && **t < failure_time.as_secs_f64())
+            .map(|(_, k)| *k)
+            .collect();
+        let after: Vec<f64> = result
+            .times
+            .iter()
+            .zip(&result.useful.kbps)
+            .filter(|(t, _)| **t > failure_time.as_secs_f64() + 10.0)
+            .map(|(_, k)| *k)
+            .collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        figure.notes.push(format!(
+            "failed node {victim} ({descendants} descendants) at t={:.0}s; useful bandwidth {:.0} Kbps before vs {:.0} Kbps after",
+            failure_time.as_secs_f64(),
+            mean(&before),
+            mean(&after)
+        ));
+        push_seed_spread_notes(&mut figure, std::slice::from_ref(&runs));
+        vec![figure]
+    })
 }
 
 /// Figure 13 (no RanSub failure detection).
@@ -523,144 +787,197 @@ pub fn fig14(scale: Scale) -> FigureResult {
 /// PlanetLab deployment — Bullet over a random tree versus streaming over
 /// hand-crafted good and worst trees at a 1.5 Mbps target.
 pub fn fig15(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(fig15_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn fig15_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 15);
     let (regional, remote) = match scale {
         Scale::Small => (5, 15),
         Scale::Default => (10, 36),
         Scale::Paper => (10, 36),
     };
-    let topo = constrained_source_topology(regional, remote, true, p.seed);
-    let participants = topo.spec.participants();
-    let mut figure = FigureResult::new(
-        "fig15",
-        "Achieved bandwidth over time for Bullet and TFRC streaming over hand-crafted trees with a constrained source",
-    );
+    let constrained = constrained_source_topology(regional, remote, true, p.seed);
+    let source = constrained.source;
+    let participants = constrained.spec.participants();
+    let access_bps = constrained.access_bps.clone();
+    let net = PreparedSpec::new(constrained.spec);
 
-    let bullet_tree = {
+    let bullet_tree = Arc::new({
         let mut rng = bullet_netsim::SimRng::new(p.seed ^ 0x7EE);
-        random_tree(participants, topo.source, 10, &mut rng)
-    };
-    let bullet = bullet_run(
-        &topo.spec,
-        &bullet_tree,
-        &p.bullet_config(PLANETLAB_RATE_BPS),
-        &p.run_spec("Bullet"),
-        p.seed,
-    );
-    figure.add_run(&bullet);
-
-    let good = good_tree(topo.source, &topo.access_bps, 3);
-    let good_run = streaming_run(
-        &topo.spec,
-        &good,
-        &p.stream_config(PLANETLAB_RATE_BPS),
-        &p.run_spec("Good Tree"),
-        p.seed,
-    );
-    figure.add_run(&good_run);
-
-    let worst = worst_tree(topo.source, &topo.access_bps, 3);
-    let worst_run = streaming_run(
-        &topo.spec,
-        &worst,
-        &p.stream_config(PLANETLAB_RATE_BPS),
-        &p.run_spec("Worst Tree"),
-        p.seed,
-    );
-    figure.add_run(&worst_run);
-
-    figure.notes.push(format!(
-        "constrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps vs worst tree {:.0} Kbps (paper: Bullet well above both, good tree ~300 Kbps)",
-        bullet.steady_state_kbps(),
-        good_run.steady_state_kbps(),
-        worst_run.steady_state_kbps()
-    ));
+        random_tree(participants, source, 10, &mut rng)
+    });
+    let good = Arc::new(good_tree(source, &access_bps, 3));
+    let worst = Arc::new(worst_tree(source, &access_bps, 3));
 
     // Follow-up run: a well-provisioned source; both Bullet and a good tree
     // should reach (close to) the full 1.5 Mbps rate.
     let open = constrained_source_topology(regional, remote, false, p.seed);
-    let open_tree = {
+    let open_source = open.source;
+    let open_participants = open.spec.participants();
+    let open_access = open.access_bps.clone();
+    let open_net = PreparedSpec::new(open.spec);
+    let open_tree = Arc::new({
         let mut rng = bullet_netsim::SimRng::new(p.seed ^ 0x7EE);
-        random_tree(open.spec.participants(), open.source, 10, &mut rng)
-    };
-    let open_bullet = bullet_run(
-        &open.spec,
-        &open_tree,
-        &p.bullet_config(PLANETLAB_RATE_BPS),
-        &p.run_spec("Bullet (unconstrained source)"),
-        p.seed,
-    );
-    let open_good = good_tree(open.source, &open.access_bps, 3);
-    let open_good_run = streaming_run(
-        &open.spec,
-        &open_good,
-        &p.stream_config(PLANETLAB_RATE_BPS),
-        &p.run_spec("Good Tree (unconstrained source)"),
-        p.seed,
-    );
-    figure.notes.push(format!(
-        "unconstrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps (paper: both ~1.5 Mbps)",
-        open_bullet.steady_state_kbps(),
-        open_good_run.steady_state_kbps()
-    ));
-    figure.add_run(&open_bullet);
-    figure.add_run(&open_good_run);
-    figure
+        random_tree(open_participants, open_source, 10, &mut rng)
+    });
+    let open_good = Arc::new(good_tree(open_source, &open_access, 3));
+
+    let bullet_cfg = p.bullet_config(PLANETLAB_RATE_BPS);
+    let stream_cfg = p.stream_config(PLANETLAB_RATE_BPS);
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (k, &seed) in seeds.iter().enumerate() {
+        let net = net.clone();
+        let tree = bullet_tree.clone();
+        let config = bullet_cfg.clone();
+        let run = p.run_spec(&seed_label("Bullet", k));
+        tasks.push(Box::new(move || {
+            bullet_run_on(net.network(), &tree, &config, &run, seed)
+        }));
+    }
+    for (tree, label) in [(good, "Good Tree"), (worst, "Worst Tree")] {
+        for (k, &seed) in seeds.iter().enumerate() {
+            let net = net.clone();
+            let tree = tree.clone();
+            let config = stream_cfg.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                streaming_run_on(net.network(), &tree, &config, &run, seed)
+            }));
+        }
+    }
+    for (k, &seed) in seeds.iter().enumerate() {
+        let net = open_net.clone();
+        let tree = open_tree.clone();
+        let config = bullet_cfg.clone();
+        let run = p.run_spec(&seed_label("Bullet (unconstrained source)", k));
+        tasks.push(Box::new(move || {
+            bullet_run_on(net.network(), &tree, &config, &run, seed)
+        }));
+    }
+    for (k, &seed) in seeds.iter().enumerate() {
+        let net = open_net.clone();
+        let tree = open_good.clone();
+        let config = stream_cfg.clone();
+        let run = p.run_spec(&seed_label("Good Tree (unconstrained source)", k));
+        tasks.push(Box::new(move || {
+            streaming_run_on(net.network(), &tree, &config, &run, seed)
+        }));
+    }
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "fig15",
+            "Achieved bandwidth over time for Bullet and TFRC streaming over hand-crafted trees with a constrained source",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks[0..3] {
+            for result in chunk {
+                figure.add_run(result);
+            }
+        }
+        figure.notes.push(format!(
+            "constrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps vs worst tree {:.0} Kbps (paper: Bullet well above both, good tree ~300 Kbps)",
+            chunks[0][0].steady_state_kbps(),
+            chunks[1][0].steady_state_kbps(),
+            chunks[2][0].steady_state_kbps()
+        ));
+        figure.notes.push(format!(
+            "unconstrained source: Bullet {:.0} Kbps vs good tree {:.0} Kbps (paper: both ~1.5 Mbps)",
+            chunks[3][0].steady_state_kbps(),
+            chunks[4][0].steady_state_kbps()
+        ));
+        for chunk in &chunks[3..5] {
+            for result in chunk {
+                figure.add_run(result);
+            }
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Ablations of Bullet's design choices (not a paper figure): disjoint send
 /// on/off, resemblance-guided peering vs random peering.
 pub fn ablations(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    run_single(ablations_plan(scale, &sweep), &sweep)
+}
+
+pub(crate) fn ablations_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 20);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
-    let mut figure = FigureResult::new(
-        "ablations",
-        "Bullet design ablations: disjoint send and resemblance-guided peering",
-    );
-    type ConfigTweak = Box<dyn Fn(&mut BulletConfig)>;
-    let variants: Vec<(&str, ConfigTweak)> = vec![
-        ("Bullet (full)", Box::new(|_c: &mut BulletConfig| {})),
-        (
-            "No disjoint send",
-            Box::new(|c: &mut BulletConfig| c.disjoint_send = false),
-        ),
-        (
-            "Random peer choice",
-            Box::new(|c: &mut BulletConfig| c.resemblance_peering = false),
-        ),
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+
+    let full = p.bullet_config(PAPER_RATE_BPS);
+    let mut no_disjoint = full.clone();
+    no_disjoint.disjoint_send = false;
+    let mut random_peers = full.clone();
+    random_peers.resemblance_peering = false;
+    let variants: Vec<(&'static str, BulletConfig)> = vec![
+        ("Bullet (full)", full),
+        ("No disjoint send", no_disjoint),
+        ("Random peer choice", random_peers),
     ];
-    for (label, tweak) in variants {
-        let mut config = p.bullet_config(PAPER_RATE_BPS);
-        tweak(&mut config);
-        let result = bullet_run(&topo.spec, &tree, &config, &p.run_spec(label), p.seed);
-        figure.notes.push(format!(
-            "{label}: useful {:.0} Kbps, duplicates {:.1}%",
-            result.summary.steady_useful_kbps,
-            result.summary.duplicate_fraction * 100.0
-        ));
-        figure.add_run(&result);
+
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (label, config) in &variants {
+        for (k, &seed) in seeds.iter().enumerate() {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                bullet_run_on(topo.network(), &tree, &config, &run, seed)
+            }));
+        }
     }
-    figure
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "ablations",
+            "Bullet design ablations: disjoint send and resemblance-guided peering",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            let result = &chunk[0];
+            figure.notes.push(format!(
+                "{}: useful {:.0} Kbps, duplicates {:.1}%",
+                result.label,
+                result.summary.steady_useful_kbps,
+                result.summary.duplicate_fraction * 100.0
+            ));
+            for result in chunk {
+                figure.add_run(result);
+            }
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Convenience used by tests and the quickstart example: a single small
 /// Bullet run over a generated topology.
 pub fn quick_bullet_demo(participants: usize, seconds: u64, seed: u64) -> RunResult {
-    let topo = build_topology(
+    let topo = crate::env::build_topology(
         Scale::Small,
         participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 6 }, 0, seed);
+    let tree = crate::env::build_tree(&topo, TreeKind::Random { max_children: 6 }, 0, seed);
     let config = BulletConfig {
         stream_start: SimTime::from_secs(5),
         ..BulletConfig::default()
@@ -719,5 +1036,33 @@ mod tests {
         figure.series.push(series);
         assert!(figure.steady_state_of("Medium").is_some());
         assert!(figure.steady_state_of("High").is_none());
+    }
+
+    #[test]
+    fn chunking_is_configuration_major() {
+        let run = |label: &str| RunResult {
+            label: label.into(),
+            times: Vec::new(),
+            useful: BandwidthSeries::new(label),
+            raw: BandwidthSeries::new(label),
+            from_parent: BandwidthSeries::new(label),
+            per_node_useful_bytes: Vec::new(),
+            source: 0,
+            summary: RunSummary::default(),
+            routing: bullet_netsim::RoutingStats {
+                mode: bullet_netsim::RoutingMode::EagerPerSource,
+                route_queries: 0,
+                batched_queries: 0,
+                trees_built: 0,
+                lazy_searches: 0,
+                routers_settled: 0,
+                landmarks: 0,
+            },
+        };
+        let results = vec![run("a0"), run("a1"), run("b0"), run("b1")];
+        let chunks = chunked(results, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0][1].label, "a1");
+        assert_eq!(chunks[1][0].label, "b0");
     }
 }

@@ -15,21 +15,29 @@
 pub mod env;
 pub mod figures;
 pub mod metrics;
+pub mod pool;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod scenarios;
+pub mod suite;
 
-pub use env::{build_topology, build_tree, constrained_source_topology, TreeKind};
+pub use env::{
+    build_topology, build_tree, constrained_source_topology, prepare_topology, PreparedSpec,
+    PreparedTopology, TreeKind,
+};
 pub use figures::{quick_bullet_demo, FigureResult};
 pub use metrics::{BandwidthSeries, Cdf, RunSummary};
+pub use pool::{RunPool, Sweep};
 pub use protocols::{
-    antientropy_run, bullet_run, bullet_run_scenario, gossip_run, streaming_run,
-    streaming_run_scenario,
+    antientropy_run, antientropy_run_on, bullet_run, bullet_run_on, bullet_run_scenario,
+    bullet_run_scenario_on, gossip_run, gossip_run_on, streaming_run, streaming_run_on,
+    streaming_run_scenario, streaming_run_scenario_on,
 };
 pub use runner::{run_metered, run_metered_dynamic, Delivery, MeteredAgent, RunResult, RunSpec};
 pub use scale::Scale;
 pub use scenarios::{
     access_link_of, churn_figure, flash_crowd_figure, oscillating_bottleneck_figure,
 };
+pub use suite::{figure_suite, figure_suite_subset, render_suite, SUITE_PLAN_KEYS};

@@ -1,0 +1,266 @@
+//! Scoped-thread worker pool for the experiment grid.
+//!
+//! Every figure of the paper's evaluation is a grid of *independent* runs
+//! (protocols × bandwidth profiles × link classes × scenarios × seeds):
+//! each run owns its simulator, its RNG stream and its metering state, so
+//! the grid parallelizes perfectly. [`RunPool`] executes a batch of such
+//! run tasks on `std::thread::scope` workers and collects the results into
+//! their **submission order**, which is what makes the harness
+//! deterministic: a figure assembled from the ordered results is
+//! bit-identical no matter how many threads executed the grid, or how the
+//! OS interleaved them. `tests/parallel.rs` holds that gate.
+//!
+//! Thread count comes from `BULLET_THREADS` (default: all available
+//! cores); `BULLET_SEEDS` widens every figure's grid to a multi-seed sweep
+//! (default: the single per-figure seed, which reproduces the historical
+//! single-seed output byte for byte).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of grid work: built by a figure, executed by a worker.
+pub type Task<'scope, R> = Box<dyn FnOnce() -> R + Send + 'scope>;
+
+/// A fixed-width scoped-thread worker pool (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunPool {
+    threads: usize,
+}
+
+impl RunPool {
+    /// A pool of exactly `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        RunPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads the worker count from `BULLET_THREADS`, defaulting to the
+    /// machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-numeric or zero `BULLET_THREADS` — silently falling
+    /// back would attribute benchmark numbers to the wrong configuration.
+    pub fn from_env() -> Self {
+        Self::new(env_count("BULLET_THREADS", || {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }))
+    }
+
+    /// The number of worker threads this pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task and returns the results **in task order**,
+    /// regardless of which worker ran what when.
+    ///
+    /// With one worker (or one task) this degenerates to a plain serial
+    /// map on the calling thread — the reference execution every other
+    /// thread count must reproduce. A panicking task propagates out of the
+    /// scope and fails the harness, exactly like serial execution.
+    pub fn run<'scope, R: Send>(&self, tasks: Vec<Task<'scope, R>>) -> Vec<R> {
+        let n = tasks.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        // Tasks are claimed through a shared cursor (cheap work stealing:
+        // long and short runs pack onto workers greedily); each result
+        // lands in the slot of its task index, restoring serial order.
+        let task_slots: Vec<Mutex<Option<Task<'scope, R>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let result_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let task = task_slots[index]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("each task index is claimed exactly once");
+                    let result = task();
+                    *result_slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("scope joined every worker, so every task completed")
+            })
+            .collect()
+    }
+}
+
+/// Reads a positive count from the environment variable `name`, calling
+/// `default` when it is unset or empty and panicking on anything that is
+/// not a positive integer (silent fallback would attribute benchmark
+/// numbers to the wrong configuration).
+fn env_count(name: &str, default: impl FnOnce() -> usize) -> usize {
+    parse_count(name, std::env::var(name).ok().as_deref(), default)
+}
+
+/// The parsing half of [`env_count`], split out for tests.
+fn parse_count(name: &str, value: Option<&str>, default: impl FnOnce() -> usize) -> usize {
+    match value {
+        None | Some("") => default(),
+        Some(text) => match text.parse::<usize>() {
+            Ok(count) if count >= 1 => count,
+            _ => panic!("unrecognized {name} value {text:?}: expected a positive count"),
+        },
+    }
+}
+
+/// Grid-widening parameters of one harness invocation: how many workers
+/// execute the run grid and how many seeds each figure configuration sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sweep {
+    pool: RunPool,
+    seeds: usize,
+}
+
+impl Sweep {
+    /// An explicit sweep: `threads` workers, `seeds` seeds per figure
+    /// configuration (both clamped to at least one).
+    pub fn new(threads: usize, seeds: usize) -> Self {
+        Sweep {
+            pool: RunPool::new(threads),
+            seeds: seeds.max(1),
+        }
+    }
+
+    /// The serial single-seed sweep: the reference configuration that
+    /// reproduces the historical figure output byte for byte.
+    pub fn serial() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// Reads `BULLET_THREADS` and `BULLET_SEEDS` (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-numeric or zero values, like [`RunPool::from_env`].
+    pub fn from_env() -> Self {
+        Sweep {
+            pool: RunPool::from_env(),
+            seeds: env_count("BULLET_SEEDS", || 1),
+        }
+    }
+
+    /// The worker pool runs execute on.
+    pub fn pool(&self) -> &RunPool {
+        &self.pool
+    }
+
+    /// Seeds per figure configuration.
+    pub fn seeds(&self) -> usize {
+        self.seeds
+    }
+
+    /// The per-run seeds derived from a figure's base seed: seed index 0 is
+    /// the base seed itself (preserving the single-seed goldens), later
+    /// indices decorrelate with a splitmix-style odd multiplier.
+    pub fn run_seeds(&self, base: u64) -> Vec<u64> {
+        (0..self.seeds)
+            .map(|k| match k {
+                0 => base,
+                k => base ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            })
+            .collect()
+    }
+}
+
+/// The display label of seed `k` of a configuration: index 0 keeps the bare
+/// label (single-seed output is byte-identical to the historical harness).
+pub(crate) fn seed_label(base: &str, k: usize) -> String {
+    if k == 0 {
+        base.to_string()
+    } else {
+        format!("{base} [seed {k}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order_at_any_thread_count() {
+        for threads in [1, 2, 8, 32] {
+            let pool = RunPool::new(threads);
+            let tasks: Vec<Task<'_, usize>> = (0..57)
+                .map(|i| {
+                    // Reverse-skewed busy work so late tasks finish first
+                    // under real parallelism.
+                    Box::new(move || {
+                        let mut acc: usize = i;
+                        for _ in 0..(57 - i) * 1_000 {
+                            acc = acc.wrapping_mul(31).wrapping_add(1) % 1_000_003;
+                        }
+                        std::hint::black_box(acc);
+                        i
+                    }) as Task<'_, usize>
+                })
+                .collect();
+            let results = pool.run(tasks);
+            assert_eq!(results, (0..57).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let shared = vec![1u64, 2, 3];
+        let pool = RunPool::new(4);
+        let tasks: Vec<Task<'_, u64>> = (0..8)
+            .map(|i| {
+                let shared = &shared;
+                Box::new(move || shared.iter().sum::<u64>() + i) as Task<'_, u64>
+            })
+            .collect();
+        assert_eq!(pool.run(tasks), (0..8).map(|i| 6 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(parse_count("BULLET_THREADS", Some("4"), || 1), 4);
+        assert_eq!(parse_count("BULLET_THREADS", Some("1"), || 1), 1);
+        assert_eq!(parse_count("BULLET_THREADS", None, || 6), 6);
+        assert_eq!(parse_count("BULLET_SEEDS", Some(""), || 6), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "BULLET_THREADS")]
+    fn invalid_thread_count_panics() {
+        parse_count("BULLET_THREADS", Some("many"), || 1);
+    }
+
+    #[test]
+    fn sweep_seeds_start_at_the_base_seed() {
+        let sweep = Sweep::new(1, 3);
+        let seeds = sweep.run_seeds(7);
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0], 7, "seed 0 must preserve the historical run");
+        assert_eq!(
+            seeds.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+        assert_eq!(Sweep::serial().run_seeds(7), vec![7]);
+    }
+
+    #[test]
+    fn seed_labels_keep_the_bare_label_for_seed_zero() {
+        assert_eq!(seed_label("Bullet", 0), "Bullet");
+        assert_eq!(seed_label("Bullet", 2), "Bullet [seed 2]");
+    }
+}

@@ -6,10 +6,27 @@ use bullet_baselines::{
 };
 use bullet_core::{BulletConfig, BulletNode};
 use bullet_dynamics::ScenarioScript;
-use bullet_netsim::{NetworkSpec, OverlayId, Sim};
+use bullet_netsim::{Network, NetworkSpec, OverlayId, Sim};
 use bullet_overlay::Tree;
 
 use crate::runner::{run_metered, run_metered_dynamic, RunResult, RunSpec};
+
+/// Runs Bullet over `tree` on an already-constructed network — the
+/// parallel-harness entry point, where the network is a cheap per-run view
+/// over a shared setup (see [`crate::env::PreparedTopology`]).
+pub fn bullet_run_on(
+    network: Network,
+    tree: &Tree,
+    config: &BulletConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<BulletNode> = (0..network.participants())
+        .map(|i| BulletNode::new(i, tree, config.clone()))
+        .collect();
+    let sim = Sim::with_network(network, agents, seed);
+    run_metered(sim, run)
+}
 
 /// Runs Bullet over `tree` on the given physical network.
 pub fn bullet_run(
@@ -19,11 +36,23 @@ pub fn bullet_run(
     run: &RunSpec,
     seed: u64,
 ) -> RunResult {
-    let agents: Vec<BulletNode> = (0..spec.participants())
+    bullet_run_on(Network::new(spec), tree, config, run, seed)
+}
+
+/// [`bullet_run_scenario`] on an already-constructed network.
+pub fn bullet_run_scenario_on(
+    network: Network,
+    tree: &Tree,
+    config: &BulletConfig,
+    run: &RunSpec,
+    script: &ScenarioScript,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<BulletNode> = (0..network.participants())
         .map(|i| BulletNode::new(i, tree, config.clone()))
         .collect();
-    let sim = Sim::new(spec, agents, seed);
-    run_metered(sim, run)
+    let sim = Sim::with_network(network, agents, seed);
+    run_metered_dynamic(sim, run, script)
 }
 
 /// Runs Bullet over `tree` under a scenario script (churn, flash crowds,
@@ -36,10 +65,22 @@ pub fn bullet_run_scenario(
     script: &ScenarioScript,
     seed: u64,
 ) -> RunResult {
-    let agents: Vec<BulletNode> = (0..spec.participants())
-        .map(|i| BulletNode::new(i, tree, config.clone()))
+    bullet_run_scenario_on(Network::new(spec), tree, config, run, script, seed)
+}
+
+/// [`streaming_run_scenario`] on an already-constructed network.
+pub fn streaming_run_scenario_on(
+    network: Network,
+    tree: &Tree,
+    config: &StreamConfig,
+    run: &RunSpec,
+    script: &ScenarioScript,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<StreamingNode> = (0..network.participants())
+        .map(|i| StreamingNode::new(i, tree, config.clone()))
         .collect();
-    let sim = Sim::new(spec, agents, seed);
+    let sim = Sim::with_network(network, agents, seed);
     run_metered_dynamic(sim, run, script)
 }
 
@@ -53,11 +94,22 @@ pub fn streaming_run_scenario(
     script: &ScenarioScript,
     seed: u64,
 ) -> RunResult {
-    let agents: Vec<StreamingNode> = (0..spec.participants())
+    streaming_run_scenario_on(Network::new(spec), tree, config, run, script, seed)
+}
+
+/// [`streaming_run`] on an already-constructed network.
+pub fn streaming_run_on(
+    network: Network,
+    tree: &Tree,
+    config: &StreamConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<StreamingNode> = (0..network.participants())
         .map(|i| StreamingNode::new(i, tree, config.clone()))
         .collect();
-    let sim = Sim::new(spec, agents, seed);
-    run_metered_dynamic(sim, run, script)
+    let sim = Sim::with_network(network, agents, seed);
+    run_metered(sim, run)
 }
 
 /// Runs tree streaming over `tree`.
@@ -68,10 +120,22 @@ pub fn streaming_run(
     run: &RunSpec,
     seed: u64,
 ) -> RunResult {
-    let agents: Vec<StreamingNode> = (0..spec.participants())
-        .map(|i| StreamingNode::new(i, tree, config.clone()))
+    streaming_run_on(Network::new(spec), tree, config, run, seed)
+}
+
+/// [`gossip_run`] on an already-constructed network.
+pub fn gossip_run_on(
+    network: Network,
+    source: OverlayId,
+    config: &GossipConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let n = network.participants();
+    let agents: Vec<GossipNode> = (0..n)
+        .map(|i| GossipNode::new(i, source, n, config.clone()))
         .collect();
-    let sim = Sim::new(spec, agents, seed);
+    let sim = Sim::with_network(network, agents, seed);
     run_metered(sim, run)
 }
 
@@ -83,11 +147,22 @@ pub fn gossip_run(
     run: &RunSpec,
     seed: u64,
 ) -> RunResult {
-    let n = spec.participants();
-    let agents: Vec<GossipNode> = (0..n)
-        .map(|i| GossipNode::new(i, source, n, config.clone()))
+    gossip_run_on(Network::new(spec), source, config, run, seed)
+}
+
+/// [`antientropy_run`] on an already-constructed network.
+pub fn antientropy_run_on(
+    network: Network,
+    tree: &Tree,
+    config: &AntiEntropyConfig,
+    run: &RunSpec,
+    seed: u64,
+) -> RunResult {
+    let n = network.participants();
+    let agents: Vec<AntiEntropyNode> = (0..n)
+        .map(|i| AntiEntropyNode::new(i, tree, n, config.clone()))
         .collect();
-    let sim = Sim::new(spec, agents, seed);
+    let sim = Sim::with_network(network, agents, seed);
     run_metered(sim, run)
 }
 
@@ -99,12 +174,7 @@ pub fn antientropy_run(
     run: &RunSpec,
     seed: u64,
 ) -> RunResult {
-    let n = spec.participants();
-    let agents: Vec<AntiEntropyNode> = (0..n)
-        .map(|i| AntiEntropyNode::new(i, tree, n, config.clone()))
-        .collect();
-    let sim = Sim::new(spec, agents, seed);
-    run_metered(sim, run)
+    antientropy_run_on(Network::new(spec), tree, config, run, seed)
 }
 
 #[cfg(test)]

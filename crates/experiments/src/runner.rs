@@ -81,7 +81,11 @@ impl_metered_for_baseline!(GossipNode);
 impl_metered_for_baseline!(AntiEntropyNode);
 
 /// The full outcome of one run: per-curve series plus scalar summary.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every sampled value bit for bit — the
+/// thread-invariance gates assert whole `RunResult`s equal across
+/// `BULLET_THREADS` settings.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Curve label.
     pub label: String,

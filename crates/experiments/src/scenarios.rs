@@ -5,16 +5,24 @@
 //! resilient streaming overlays are actually judged on — continuous churn,
 //! flash crowds and time-varying bottlenecks — using the
 //! `bullet-dynamics` scenario engine. Each follows the same
-//! [`FigureResult`] conventions as the paper figures, so the report
-//! printers and bench harnesses consume them unchanged.
+//! [`FigureResult`] conventions as the paper figures (including the
+//! parallel run-grid execution and `BULLET_SEEDS` sweeps; see the
+//! [`crate::figures`] module docs), so the report printers and bench
+//! harnesses consume them unchanged. Extra sweep seeds re-generate the
+//! scenario scripts under the per-seed RNG, so a multi-seed churn figure
+//! samples genuinely different churn event sequences, not just different
+//! protocol RNG draws.
+
+use std::sync::Arc;
 
 use bullet_dynamics::{ChurnConfig, ScenarioScript};
 use bullet_netsim::{NetworkSpec, OverlayId, SimTime};
 use bullet_topology::{BandwidthProfile, LossProfile};
 
-use crate::env::{build_topology, build_tree, TreeKind};
-use crate::figures::{FigureResult, Params};
-use crate::protocols::{bullet_run_scenario, streaming_run_scenario};
+use crate::env::{prepare_topology, TreeKind};
+use crate::figures::{chunked, push_seed_spread_notes, FigurePlan, FigureResult, Params, RunTask};
+use crate::pool::{seed_label, Sweep};
+use crate::protocols::{bullet_run_scenario_on, streaming_run_scenario_on};
 use crate::runner::RunResult;
 use crate::scale::Scale;
 
@@ -43,77 +51,119 @@ pub fn access_link_of(spec: &NetworkSpec, node: OverlayId) -> usize {
 /// the churn profile (dead senders evicted after two idle evaluation
 /// windows) so reconciliation rows are restriped off crashed peers.
 pub fn churn_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = churn_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+pub(crate) fn churn_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 31);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     let config = p.bullet_config(SCENARIO_RATE_BPS).churn();
-    let mut figure = FigureResult::new(
-        "churn",
-        "Achieved bandwidth under exponential session-time churn (crash/rejoin of every non-source node)",
-    );
+    let seeds = sweep.run_seeds(p.seed);
 
-    let baseline = bullet_run_scenario(
-        &topo.spec,
-        &tree,
-        &config,
-        &p.run_spec("Bullet - no churn"),
-        &ScenarioScript::new(),
-        p.seed,
-    );
-    figure.add_run(&baseline);
-
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let tree = tree.clone();
+        let config = config.clone();
+        let run = p.run_spec(&seed_label("Bullet - no churn", k));
+        tasks.push(Box::new(move || {
+            bullet_run_scenario_on(
+                topo.network(),
+                &tree,
+                &config,
+                &run,
+                &ScenarioScript::new(),
+                seed,
+            )
+        }));
+    }
     let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    let mut sweep_points = Vec::new();
     for divisor in [1.0, 2.0, 4.0] {
         let mean_session = window / divisor;
-        let script = ScenarioScript::exponential_churn(&ChurnConfig {
-            nodes: (1..p.participants).collect(),
-            start: p.stream_start,
-            end: SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.95),
-            mean_session_secs: mean_session,
-            mean_downtime_secs: mean_session / 4.0,
-            graceful_fraction: 0.25,
-            seed: p.seed ^ 0xC0_94,
-        });
         let label = format!("Bullet - mean session {mean_session:.0}s");
-        let result = bullet_run_scenario(
-            &topo.spec,
-            &tree,
-            &config,
-            &p.run_spec(&label),
-            &script,
-            p.seed,
-        );
-        figure.notes.push(format!(
-            "mean session {mean_session:.0}s ({} scripted events): useful {:.0} Kbps vs {:.0} Kbps churn-free, median delivery {:.0}%",
-            script.len(),
-            result.summary.steady_useful_kbps,
-            baseline.summary.steady_useful_kbps,
-            result.summary.median_delivery_fraction * 100.0,
-        ));
-        figure.add_run(&result);
+        let mut script_lens = Vec::new();
+        for (k, &seed) in seeds.iter().enumerate() {
+            // Each sweep seed regenerates the churn script under its own
+            // RNG: multi-seed figures sample different event sequences.
+            let script = Arc::new(ScenarioScript::exponential_churn(&ChurnConfig {
+                nodes: (1..p.participants).collect(),
+                start: p.stream_start,
+                end: SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.95),
+                mean_session_secs: mean_session,
+                mean_downtime_secs: mean_session / 4.0,
+                graceful_fraction: 0.25,
+                seed: seed ^ 0xC0_94,
+            }));
+            script_lens.push(script.len());
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label(&label, k));
+            tasks.push(Box::new(move || {
+                bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+            }));
+        }
+        sweep_points.push((mean_session, script_lens));
     }
-    figure
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "churn",
+            "Achieved bandwidth under exponential session-time churn (crash/rejoin of every non-source node)",
+        );
+        let chunks = chunked(results, seeds);
+        for run in &chunks[0] {
+            figure.add_run(run);
+        }
+        let baseline = &chunks[0][0];
+        for ((mean_session, script_lens), chunk) in sweep_points.iter().zip(&chunks[1..]) {
+            let result = &chunk[0];
+            figure.notes.push(format!(
+                "mean session {mean_session:.0}s ({} scripted events): useful {:.0} Kbps vs {:.0} Kbps churn-free, median delivery {:.0}%",
+                script_lens[0],
+                result.summary.steady_useful_kbps,
+                baseline.summary.steady_useful_kbps,
+                result.summary.median_delivery_fraction * 100.0,
+            ));
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// Flash crowd: 60% of the overlay starts the run down and joins over a
 /// short ramp mid-stream. The figure tracks the bandwidth dip while the
 /// crowd bootstraps and its recovery as the mesh absorbs the joiners.
 pub fn flash_crowd_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = flash_crowd_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+pub(crate) fn flash_crowd_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 32);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     let config = p.bullet_config(SCENARIO_RATE_BPS).churn();
 
     let crowd_start = p.participants - (p.participants * 6 / 10);
@@ -121,39 +171,60 @@ pub fn flash_crowd_figure(scale: Scale) -> FigureResult {
     let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
     let join_at = SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.4);
     let ramp = window * 0.1;
-    let script = ScenarioScript::flash_crowd(&crowd, join_at, ramp, p.seed ^ 0xF1A5);
 
-    let mut figure = FigureResult::new(
-        "flashcrowd",
-        "Achieved bandwidth while a flash crowd (60% of the overlay) joins mid-stream",
-    );
-    let result = bullet_run_scenario(
-        &topo.spec,
-        &tree,
-        &config,
-        &p.run_spec("Bullet - flash crowd"),
-        &script,
-        p.seed,
-    );
-    // Useful first (add_run), raw second: `steady_state_of("flash crowd")`
-    // finds the first matching label, and gates must read useful bandwidth.
-    figure.add_run(&result);
-    figure.series.push(result.raw.clone());
+    let seeds = sweep.run_seeds(p.seed);
+    let tasks: Vec<RunTask> = seeds
+        .iter()
+        .enumerate()
+        .map(|(k, &seed)| {
+            let script = Arc::new(ScenarioScript::flash_crowd(
+                &crowd,
+                join_at,
+                ramp,
+                seed ^ 0xF1A5,
+            ));
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label("Bullet - flash crowd", k));
+            Box::new(move || {
+                bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+            }) as RunTask
+        })
+        .collect();
 
-    // How long after the last join until per-crowd-member delivery catches
-    // up to a healthy rate.
-    let catch_up = crowd_catch_up_secs(&result, &crowd, join_at.as_secs_f64() + ramp);
-    figure.notes.push(format!(
-        "{} joiners over {ramp:.0}s starting at t={:.0}s; steady useful {:.0} Kbps; crowd reached half the steady rate {} after the ramp",
-        crowd.len(),
-        join_at.as_secs_f64(),
-        result.summary.steady_useful_kbps,
-        match catch_up {
-            Some(secs) => format!("{secs:.0}s"),
-            None => "never".into(),
-        },
-    ));
-    figure
+    let seeds = seeds.len();
+    let crowd_len = crowd.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "flashcrowd",
+            "Achieved bandwidth while a flash crowd (60% of the overlay) joins mid-stream",
+        );
+        let chunks = chunked(results, seeds);
+        let runs = &chunks[0];
+        // Useful first (add_run), raw second: `steady_state_of("flash crowd")`
+        // finds the first matching label, and gates must read useful bandwidth.
+        for result in runs {
+            figure.add_run(result);
+            figure.series.push(result.raw.clone());
+        }
+        let result = &runs[0];
+
+        // How long after the last join until per-crowd-member delivery catches
+        // up to a healthy rate.
+        let catch_up = crowd_catch_up_secs(result, &crowd, join_at.as_secs_f64() + ramp);
+        figure.notes.push(format!(
+            "{crowd_len} joiners over {ramp:.0}s starting at t={:.0}s; steady useful {:.0} Kbps; crowd reached half the steady rate {} after the ramp",
+            join_at.as_secs_f64(),
+            result.summary.steady_useful_kbps,
+            match catch_up {
+                Some(secs) => format!("{secs:.0}s"),
+                None => "never".into(),
+            },
+        ));
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 /// First sample time at which the crowd's average instantaneous useful
@@ -188,73 +259,96 @@ fn crowd_catch_up_secs(result: &RunResult, crowd: &[OverlayId], after_secs: f64)
 /// tree loses the whole subtree during every trough, while the mesh routes
 /// recovery traffic around the throttled uplink.
 pub fn oscillating_bottleneck_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = oscillating_bottleneck_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+pub(crate) fn oscillating_bottleneck_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     let p = Params::new(scale, 33);
-    let topo = build_topology(
+    let topo = prepare_topology(
         scale,
         p.participants,
         BandwidthProfile::Medium,
         LossProfile::None,
         p.seed,
     );
-    let tree = build_tree(&topo, TreeKind::Random { max_children: 10 }, 0, p.seed);
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
     let victim = tree
         .children(0)
         .iter()
         .copied()
         .max_by_key(|&c| tree.subtree_size(c))
         .expect("root has children");
-    let link = access_link_of(&topo.spec, victim);
-    let high_bps = topo.spec.links[link].bandwidth_bps;
+    let descendants = tree.subtree_size(victim) - 1;
+    let link = access_link_of(topo.spec(), victim);
+    let high_bps = topo.spec().links[link].bandwidth_bps;
     let low_bps = SCENARIO_RATE_BPS / 4.0;
     let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
-    let script = ScenarioScript::oscillating_link(
+    let script = Arc::new(ScenarioScript::oscillating_link(
         link,
         high_bps,
         low_bps,
         window / 8.0,
         SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.2),
         SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.95),
-    );
-
-    let mut figure = FigureResult::new(
-        "oscillation",
-        "Achieved bandwidth while the worst-case root child's access link oscillates between its provisioned rate and a quarter of the stream rate",
-    );
-    let bullet = bullet_run_scenario(
-        &topo.spec,
-        &tree,
-        &p.bullet_config(SCENARIO_RATE_BPS),
-        &p.run_spec("Bullet - oscillating bottleneck"),
-        &script,
-        p.seed,
-    );
-    figure.add_run(&bullet);
-
-    let streaming = streaming_run_scenario(
-        &topo.spec,
-        &tree,
-        &p.stream_config(SCENARIO_RATE_BPS),
-        &p.run_spec("Tree streaming - oscillating bottleneck"),
-        &script,
-        p.seed,
-    );
-    figure.add_run(&streaming);
-
-    figure.notes.push(format!(
-        "node {victim} ({} descendants) access link {link} square-waves {:.1} Mbps <-> {:.0} Kbps every {:.0}s: Bullet {:.0} Kbps vs tree streaming {:.0} Kbps steady useful",
-        tree.subtree_size(victim) - 1,
-        high_bps / 1e6,
-        low_bps / 1e3,
-        window / 8.0,
-        bullet.summary.steady_useful_kbps,
-        streaming.summary.steady_useful_kbps,
     ));
-    figure
+
+    let bullet_cfg = p.bullet_config(SCENARIO_RATE_BPS);
+    let stream_cfg = p.stream_config(SCENARIO_RATE_BPS);
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let tree = tree.clone();
+        let config = bullet_cfg.clone();
+        let script = script.clone();
+        let run = p.run_spec(&seed_label("Bullet - oscillating bottleneck", k));
+        tasks.push(Box::new(move || {
+            bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+        }));
+    }
+    for (k, &seed) in seeds.iter().enumerate() {
+        let topo = topo.clone();
+        let tree = tree.clone();
+        let config = stream_cfg.clone();
+        let script = script.clone();
+        let run = p.run_spec(&seed_label("Tree streaming - oscillating bottleneck", k));
+        tasks.push(Box::new(move || {
+            streaming_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+        }));
+    }
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "oscillation",
+            "Achieved bandwidth while the worst-case root child's access link oscillates between its provisioned rate and a quarter of the stream rate",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        let (bullet, streaming) = (&chunks[0][0], &chunks[1][0]);
+        figure.notes.push(format!(
+            "node {victim} ({descendants} descendants) access link {link} square-waves {:.1} Mbps <-> {:.0} Kbps every {:.0}s: Bullet {:.0} Kbps vs tree streaming {:.0} Kbps steady useful",
+            high_bps / 1e6,
+            low_bps / 1e3,
+            window / 8.0,
+            bullet.summary.steady_useful_kbps,
+            streaming.summary.steady_useful_kbps,
+        ));
+        crate::figures::push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::build_topology;
 
     #[test]
     fn access_link_lookup_finds_the_attachment_link() {

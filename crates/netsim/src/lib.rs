@@ -61,7 +61,9 @@ pub mod time;
 pub use agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use link::{DirectedLink, DirectedLinkId, HopOutcome, LinkCounters, LinkSpec, RouterId};
-pub use network::{Network, NetworkSpec, OverlayId, RouteId, RoutingStats, StressStats};
+pub use network::{
+    Network, NetworkSetup, NetworkSpec, OverlayId, RouteId, RoutingStats, StressStats,
+};
 pub use rng::SimRng;
 pub use routing::{Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths};
 pub use sim::{NodeTraffic, Sim, SimCounters};

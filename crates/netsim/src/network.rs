@@ -6,10 +6,14 @@
 //! link's queueing, loss, and delay and reports when (and whether) the packet
 //! reaches the next hop.
 
+use std::sync::Arc;
+
 use crate::hash::FxHashMap;
 use crate::link::{DirectedLink, DirectedLinkId, HopOutcome, LinkSpec, RouterId};
 use crate::rng::SimRng;
-use crate::routing::{Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths};
+use crate::routing::{
+    select_landmarks, Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths,
+};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of an overlay participant (an end host running a protocol
@@ -249,10 +253,81 @@ struct TraceAgg {
     copies: u64,
 }
 
+/// The immutable, shareable half of a [`Network`]: the routing adjacency
+/// and the ALT landmark distance tables, both pure functions of a
+/// [`NetworkSpec`] and a [`RoutingMode`].
+///
+/// Building these is the expensive part of network construction at paper
+/// scale (the landmark tables alone are several full-graph Dijkstras over
+/// 20k routers), yet every run over the same topology needs identical
+/// copies. A parallel experiment harness therefore builds one `NetworkSetup`
+/// per topology class and hands each run a cheap mutable view via
+/// [`Network::with_setup`]; the `Arc`s inside are shared across worker
+/// threads. Routes are bit-identical to a [`Network::new`] construction —
+/// the setup holds exactly the state `Network::with_routing` would have
+/// computed itself (asserted by `shared_setup_matches_per_run_construction`
+/// in this module's tests and by the experiments-crate gates).
+#[derive(Clone, Debug)]
+pub struct NetworkSetup {
+    routers: usize,
+    /// Physical (spec) link count the adjacency was built over; checked
+    /// against the spec on every [`Network::with_setup`] so a stale setup
+    /// cannot silently mis-index a different link table.
+    spec_links: usize,
+    mode: RoutingMode,
+    adjacency: Arc<Adjacency>,
+    /// Landmark distance tables ([`RoutingMode::LazyAlt`] only; empty
+    /// otherwise).
+    landmarks: Arc<Vec<Vec<u64>>>,
+}
+
+impl NetworkSetup {
+    /// Builds the shared setup for `spec`, resolving the routing mode from
+    /// the topology size exactly like [`Network::new`] does.
+    pub fn new(spec: &NetworkSpec) -> Self {
+        Self::with_routing(spec, RoutingMode::resolve(spec.routers))
+    }
+
+    /// Builds the shared setup for `spec` with an explicit routing mode.
+    pub fn with_routing(spec: &NetworkSpec, mode: RoutingMode) -> Self {
+        Self::from_links(spec, mode, &Network::build_links(spec))
+    }
+
+    /// Builds the setup over an already-expanded directed-link table (must
+    /// come from [`Network::build_links`] on `spec`).
+    fn from_links(spec: &NetworkSpec, mode: RoutingMode, links: &[DirectedLink]) -> Self {
+        let adjacency = Arc::new(Network::build_adjacency(spec.routers, links));
+        let landmarks = match mode {
+            RoutingMode::LazyAlt { landmarks } => Arc::new(select_landmarks(&adjacency, landmarks)),
+            _ => Arc::new(Vec::new()),
+        };
+        NetworkSetup {
+            routers: spec.routers,
+            spec_links: spec.links.len(),
+            mode,
+            adjacency,
+            landmarks,
+        }
+    }
+
+    /// The routing mode this setup was built for.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// Number of physical routers the setup covers.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+}
+
 /// The live network: directed links plus routing and tracing state.
 pub struct Network {
     links: Vec<DirectedLink>,
-    adjacency: Adjacency,
+    /// Routing adjacency. Shared with the originating [`NetworkSetup`] (and
+    /// sibling runs) until a topology mutation replaces it with this
+    /// network's private rebuilt copy.
+    adjacency: Arc<Adjacency>,
     attachments: Vec<RouterId>,
     /// Route computation strategy (eager per-source trees or lazy search).
     mode: RoutingMode,
@@ -303,14 +378,53 @@ impl Network {
 
     /// Builds the live network from a spec with an explicit routing mode.
     pub fn with_routing(spec: &NetworkSpec, mode: RoutingMode) -> Self {
+        let links = Self::build_links(spec);
+        let setup = NetworkSetup::from_links(spec, mode, &links);
+        Self::from_setup_parts(spec, &setup, links)
+    }
+
+    /// Builds a live network over a shared [`NetworkSetup`], skipping the
+    /// adjacency and landmark construction. This is the cheap per-run view a
+    /// parallel harness hands each worker: link queues, route arena, caches
+    /// and the participant memo are private to this network; only the
+    /// immutable setup is shared. `spec` must be the spec the setup was
+    /// built from (same routers and links) — routes are then bit-identical
+    /// to [`Network::with_routing`] on that spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec`'s router or link count differs from what the setup
+    /// was built over.
+    pub fn with_setup(spec: &NetworkSpec, setup: &NetworkSetup) -> Self {
+        Self::from_setup_parts(spec, setup, Self::build_links(spec))
+    }
+
+    /// Expands a spec's bidirectional links into the directed-link table.
+    fn build_links(spec: &NetworkSpec) -> Vec<DirectedLink> {
         let mut links = Vec::with_capacity(spec.links.len() * 2);
         for link_spec in &spec.links {
             links.push(DirectedLink::from_spec(link_spec, false));
             links.push(DirectedLink::from_spec(link_spec, true));
         }
-        let adjacency = Self::build_adjacency(spec.routers, &links);
+        links
+    }
+
+    /// The shared constructor tail behind [`Network::with_routing`] and
+    /// [`Network::with_setup`]: `links` must be `Self::build_links(spec)`.
+    fn from_setup_parts(
+        spec: &NetworkSpec,
+        setup: &NetworkSetup,
+        links: Vec<DirectedLink>,
+    ) -> Self {
+        assert_eq!(
+            (spec.routers, spec.links.len()),
+            (setup.routers, setup.spec_links),
+            "NetworkSetup was built for a different topology"
+        );
+        let adjacency = setup.adjacency.clone();
         let link_count = links.len();
-        let computer = Self::build_computer(mode, &adjacency);
+        let mode = setup.mode;
+        let computer = Self::build_computer(mode, &adjacency, Some(setup.landmarks.clone()));
         let participants = spec.attachments.len();
         let memo =
             (participants <= Self::MEMO_MAX_PARTICIPANTS).then(|| RouteMemo::new(participants));
@@ -347,19 +461,29 @@ impl Network {
         adjacency
     }
 
-    /// Builds a fresh route computer for `mode` over `adjacency`.
-    fn build_computer(mode: RoutingMode, adjacency: &Adjacency) -> RouteComputer {
+    /// Builds a fresh route computer for `mode` over `adjacency`. When
+    /// `shared_landmarks` is given (construction over a [`NetworkSetup`])
+    /// the ALT tables are reused instead of recomputed; topology-mutation
+    /// rebuilds pass `None`, because the mutated graph needs fresh tables.
+    fn build_computer(
+        mode: RoutingMode,
+        adjacency: &Adjacency,
+        shared_landmarks: Option<Arc<Vec<Vec<u64>>>>,
+    ) -> RouteComputer {
         match mode {
             RoutingMode::EagerPerSource => RouteComputer::Eager {
                 trees: FxHashMap::default(),
                 buf: Vec::new(),
                 trees_built: 0,
             },
-            RoutingMode::LazyBidirectional => {
-                RouteComputer::Lazy(Box::new(LazyRouter::new(adjacency, 0)))
-            }
+            RoutingMode::LazyBidirectional => RouteComputer::Lazy(Box::new(
+                LazyRouter::with_landmarks(adjacency, Arc::new(Vec::new())),
+            )),
             RoutingMode::LazyAlt { landmarks } => {
-                RouteComputer::Lazy(Box::new(LazyRouter::new(adjacency, landmarks)))
+                RouteComputer::Lazy(Box::new(match shared_landmarks {
+                    Some(tables) => LazyRouter::with_landmarks(adjacency, tables),
+                    None => LazyRouter::new(adjacency, landmarks),
+                }))
             }
         }
     }
@@ -676,7 +800,10 @@ impl Network {
     /// holds that gate.
     fn invalidate_routes(&mut self) {
         self.topology_epoch += 1;
-        self.adjacency = Self::build_adjacency(self.adjacency.len(), &self.links);
+        // The rebuilt adjacency is private to this network: a shared
+        // NetworkSetup (and any sibling runs over it) keeps describing the
+        // unmutated topology.
+        self.adjacency = Arc::new(Self::build_adjacency(self.adjacency.len(), &self.links));
         self.computer_stale = true;
         self.route_cache.clear();
         if let Some(memo) = &mut self.memo {
@@ -700,7 +827,7 @@ impl Network {
             RouteComputer::Eager { trees_built, .. } => *trees_built,
             RouteComputer::Lazy(_) => 0,
         };
-        self.computer = Self::build_computer(self.mode, &self.adjacency);
+        self.computer = Self::build_computer(self.mode, &self.adjacency, None);
         if let RouteComputer::Eager { trees_built, .. } = &mut self.computer {
             *trees_built = trees_built_so_far;
         }
@@ -1151,6 +1278,57 @@ mod tests {
             "retired searches must fold into the totals, got {after:?}"
         );
         assert!(after.routers_settled > before.routers_settled);
+    }
+
+    #[test]
+    fn shared_setup_matches_per_run_construction() {
+        // A NetworkSetup built once and shared must yield networks whose
+        // routes, stats and mutation behaviour are bit-identical to plain
+        // per-run construction — the correctness gate for the parallel
+        // harness's setup sharing.
+        for mode in [
+            RoutingMode::EagerPerSource,
+            RoutingMode::LazyBidirectional,
+            RoutingMode::LazyAlt { landmarks: 2 },
+        ] {
+            let spec = diamond();
+            let setup = NetworkSetup::with_routing(&spec, mode);
+            assert_eq!(setup.mode(), mode);
+            assert_eq!(setup.routers(), spec.routers);
+            let mut fresh = Network::with_routing(&spec, mode);
+            let mut shared_a = Network::with_setup(&spec, &setup);
+            let mut shared_b = Network::with_setup(&spec, &setup);
+            for (a, b) in [(0, 1), (1, 0)] {
+                let reference = fresh.path(a, b);
+                assert_eq!(reference, shared_a.path(a, b), "{mode:?}: {a}->{b}");
+                assert_eq!(reference, shared_b.path(a, b), "{mode:?}: {a}->{b}");
+            }
+            assert_eq!(
+                fresh.routing_stats(),
+                shared_a.routing_stats(),
+                "{mode:?}: shared-setup view did different routing work"
+            );
+            // Mutating one shared view must not leak into its siblings.
+            shared_a.set_link_up(0, false);
+            assert_ne!(shared_a.path(0, 1), shared_b.path(0, 1), "{mode:?}");
+            assert_eq!(shared_b.path(0, 1), fresh.path(0, 1), "{mode:?}");
+            assert_eq!(shared_b.topology_epoch(), 0, "{mode:?}");
+            // And the mutated view reroutes exactly like a mutated fresh one.
+            fresh.set_link_up(0, false);
+            assert_eq!(shared_a.path(0, 1), fresh.path(0, 1), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn network_and_setup_are_send_and_sync_where_required() {
+        fn send<T: Send>() {}
+        fn send_sync<T: Send + Sync>() {}
+        // Runs move their private Network into worker threads...
+        send::<Network>();
+        // ...while the setup (and the spec it came from) is shared by
+        // reference across all of them.
+        send_sync::<NetworkSetup>();
+        send_sync::<NetworkSpec>();
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::link::{DirectedLinkId, RouterId};
 
@@ -269,7 +270,7 @@ fn dijkstra_dist(adj: &Adjacency, source: RouterId) -> Vec<u64> {
 /// distance to the ones already chosen, so landmarks spread to the graph's
 /// periphery (and into other components, since unreachable counts as
 /// farthest). Returns one full distance table per landmark.
-fn select_landmarks(adj: &Adjacency, count: usize) -> Vec<Vec<u64>> {
+pub(crate) fn select_landmarks(adj: &Adjacency, count: usize) -> Vec<Vec<u64>> {
     let n = adj.len();
     if n == 0 || count == 0 {
         return Vec::new();
@@ -618,7 +619,12 @@ pub struct LazyRouterStats {
 #[derive(Debug)]
 pub struct LazyRouter {
     epoch: u32,
-    landmark_dists: Vec<Vec<u64>>,
+    /// Landmark distance tables, sharable across routers over the same
+    /// graph: building them is the only whole-graph precomputation a lazy
+    /// router does (a few full Dijkstras — dozens of milliseconds and ~1 MB
+    /// per table at paper scale), so parallel experiment harnesses build
+    /// them once per topology and hand every per-run router the same `Arc`.
+    landmark_dists: Arc<Vec<Vec<u64>>>,
     fwd: SearchSide,
     bwd: SearchSide,
     pot: PotCache,
@@ -643,10 +649,27 @@ impl LazyRouter {
     /// many farthest-point landmark distance tables (a few full Dijkstras —
     /// the only precomputation; nothing per-source is ever built).
     pub fn new(adj: &Adjacency, landmarks: usize) -> Self {
+        Self::with_landmarks(adj, Arc::new(select_landmarks(adj, landmarks)))
+    }
+
+    /// Builds a lazy router over `adj` reusing already-computed landmark
+    /// distance tables (see [`LazyRouter::new`]; pass an empty vector for
+    /// plain bidirectional search). The tables must have been computed over
+    /// the same graph, or lower bounds — and therefore paths — would be
+    /// wrong. The per-query workspace is private to this router; only the
+    /// immutable tables are shared.
+    pub fn with_landmarks(adj: &Adjacency, tables: Arc<Vec<Vec<u64>>>) -> Self {
         let n = adj.len();
+        // A release assert: tables from a different graph would make the ALT
+        // lower bounds — and thus every returned path — silently wrong, and
+        // the check is a handful of `len` reads per router construction.
+        assert!(
+            tables.iter().all(|t| t.len() == n),
+            "landmark tables must cover every router of the graph"
+        );
         LazyRouter {
             epoch: 0,
-            landmark_dists: select_landmarks(adj, landmarks),
+            landmark_dists: tables,
             fwd: SearchSide::new(n),
             bwd: SearchSide::new(n),
             pot: PotCache::new(n),

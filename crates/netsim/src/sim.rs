@@ -6,6 +6,7 @@
 //! delay, fires timers, and injects scheduled node failures.
 
 use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 
 use crate::agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
 use crate::event_queue::{event_key, key_time_micros, EventQueue};
@@ -68,6 +69,120 @@ struct Flight<M> {
 /// Index into the simulator's flight pool.
 type FlightId = u32;
 
+/// Recycled slab of in-flight messages, indexed by [`FlightId`].
+///
+/// Slots are `MaybeUninit` rather than `Option`: the hottest queue path
+/// (every hop and delivery resolves a `FlightId`) pays neither the
+/// discriminant byte (which padded each slot) nor the `Some`-check branch.
+///
+/// # Safety invariant
+///
+/// A slot is initialized if and only if its id is *not* on the `free` list.
+/// [`Sim`] upholds this by construction: `alloc` writes the slot and hands
+/// out the id inside exactly one queued `Hop`/`Deliver` event; the event's
+/// handler either forwards the id into the next queued event or ends the
+/// flight through `take`/`free`, which return the id to the free list. No
+/// id is ever referenced by two live events, so no freed slot is ever read.
+struct FlightSlab<M> {
+    slots: Vec<MaybeUninit<Flight<M>>>,
+    /// Free slots in `slots`.
+    free: Vec<FlightId>,
+}
+
+impl<M> FlightSlab<M> {
+    fn new() -> Self {
+        FlightSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Takes a slot from the pool (or grows the pool) and stores `flight`.
+    fn alloc(&mut self, flight: Flight<M>) -> FlightId {
+        match self.free.pop() {
+            Some(fid) => {
+                self.slots[fid as usize].write(flight);
+                fid
+            }
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "flight pool exhausted"
+                );
+                self.slots.push(MaybeUninit::new(flight));
+                (self.slots.len() - 1) as FlightId
+            }
+        }
+    }
+
+    /// A live flight. `fid` must come from [`FlightSlab::alloc`] and not yet
+    /// have been returned through [`FlightSlab::take`] or
+    /// [`FlightSlab::free`] (the safety invariant above).
+    #[inline]
+    fn get(&self, fid: FlightId) -> &Flight<M> {
+        // SAFETY: per the slab invariant, a fid held by a queued event is
+        // not on the free list, so its slot was written by `alloc`.
+        unsafe { self.slots[fid as usize].assume_init_ref() }
+    }
+
+    /// Mutable access to a live flight; same contract as [`FlightSlab::get`].
+    #[inline]
+    fn get_mut(&mut self, fid: FlightId) -> &mut Flight<M> {
+        // SAFETY: as in `get`.
+        unsafe { self.slots[fid as usize].assume_init_mut() }
+    }
+
+    /// Moves a live flight out and returns its slot to the pool; same
+    /// contract as [`FlightSlab::get`].
+    #[inline]
+    fn take(&mut self, fid: FlightId) -> Flight<M> {
+        // SAFETY: as in `get`; pushing fid onto the free list afterwards is
+        // what marks the slot uninitialized again.
+        let flight = unsafe { self.slots[fid as usize].assume_init_read() };
+        self.free.push(fid);
+        flight
+    }
+
+    /// Drops a live flight and returns its slot to the pool.
+    #[inline]
+    fn release(&mut self, fid: FlightId) {
+        drop(self.take(fid));
+    }
+
+    /// Total slots (the pool's high-water mark).
+    fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Currently free slots.
+    fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl<M> Drop for FlightSlab<M> {
+    fn drop(&mut self) {
+        if !std::mem::needs_drop::<Flight<M>>() {
+            return;
+        }
+        // Flights still in the air when the simulator is dropped (events
+        // left in the queue) own payloads that must be released. Rebuild
+        // occupancy from the free list; this is the only O(slots) walk and
+        // it runs once, at teardown.
+        let mut live = vec![true; self.slots.len()];
+        for &fid in &self.free {
+            live[fid as usize] = false;
+        }
+        for (slot, live) in self.slots.iter_mut().zip(live) {
+            if live {
+                // SAFETY: the slot is not on the free list, so per the slab
+                // invariant it holds an initialized flight.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
 /// A queued event, 16 bytes: flights live in the pool, timer `(node, tag)`
 /// metadata lives in the timer slab, so each variant carries only a handle.
 enum EventKind {
@@ -103,10 +218,8 @@ pub struct Sim<A: Agent> {
     now_fifo: VecDeque<(u128, EventKind)>,
     seq: u64,
     rng: SimRng,
-    /// Pooled in-flight messages; `None` slots are free.
-    flights: Vec<Option<Flight<A::Msg>>>,
-    /// Free slots in `flights`.
-    free_flights: Vec<FlightId>,
+    /// Pooled in-flight messages (see [`FlightSlab`]).
+    flights: FlightSlab<A::Msg>,
     /// Reusable buffer for the actions emitted by one agent callback.
     scratch_actions: Vec<Action<A::Msg>>,
     /// Generation-stamped timer slots (armed timers; O(1) cancel).
@@ -146,7 +259,18 @@ impl<A: Agent> Sim<A> {
         Self::with_network(Network::with_routing(spec, mode), agents, seed)
     }
 
-    fn with_network(network: Network, agents: Vec<A>, seed: u64) -> Self {
+    /// Builds a simulator over an already-constructed [`Network`].
+    ///
+    /// Experiment harnesses use this to hand every run a cheap view over a
+    /// shared [`crate::NetworkSetup`] (`Network::with_setup`) instead of
+    /// rebuilding landmark tables per run. Behaviour is identical to
+    /// [`Sim::new`] over the spec the network was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of agents differs from the network's participant
+    /// count.
+    pub fn with_network(network: Network, agents: Vec<A>, seed: u64) -> Self {
         assert_eq!(
             network.participants(),
             agents.len(),
@@ -163,8 +287,7 @@ impl<A: Agent> Sim<A> {
             now_fifo: VecDeque::new(),
             seq: 0,
             rng: SimRng::new(seed),
-            flights: Vec::new(),
-            free_flights: Vec::new(),
+            flights: FlightSlab::new(),
             scratch_actions: Vec::new(),
             timers: TimerAlloc::new(),
             queued_timers: 0,
@@ -433,33 +556,8 @@ impl<A: Agent> Sim<A> {
         }
     }
 
-    /// Takes a flight slot from the pool (or grows the pool) and stores
-    /// `flight` in it.
-    fn alloc_flight(&mut self, flight: Flight<A::Msg>) -> FlightId {
-        match self.free_flights.pop() {
-            Some(fid) => {
-                self.flights[fid as usize] = Some(flight);
-                fid
-            }
-            None => {
-                assert!(
-                    self.flights.len() < u32::MAX as usize,
-                    "flight pool exhausted"
-                );
-                self.flights.push(Some(flight));
-                (self.flights.len() - 1) as FlightId
-            }
-        }
-    }
-
-    /// Returns a flight slot to the pool, dropping its payload.
-    fn free_flight(&mut self, fid: FlightId) {
-        self.flights[fid as usize] = None;
-        self.free_flights.push(fid);
-    }
-
     fn handle_hop(&mut self, fid: FlightId) {
-        let flight = self.flights[fid as usize].as_ref().expect("live flight");
+        let flight = self.flights.get(fid);
         let links = self.network.route_links(flight.route);
         let hop = flight.hop as usize;
         if hop >= links.len() {
@@ -479,22 +577,18 @@ impl<A: Agent> Sim<A> {
             .offer_hop(self.now, link, size_bytes, trace, &mut self.rng)
         {
             HopOutcome::Arrive(at) => {
-                self.flights[fid as usize]
-                    .as_mut()
-                    .expect("live flight")
-                    .hop += 1;
+                self.flights.get_mut(fid).hop += 1;
                 self.push(at, EventKind::Hop(fid));
             }
             HopOutcome::DroppedQueue | HopOutcome::DroppedLoss | HopOutcome::DroppedDown => {
                 self.counters.dropped_in_network += 1;
-                self.free_flight(fid);
+                self.flights.release(fid);
             }
         }
     }
 
     fn handle_deliver(&mut self, fid: FlightId) {
-        let flight = self.flights[fid as usize].take().expect("live flight");
-        self.free_flights.push(fid);
+        let flight = self.flights.take(fid);
         let node = flight.to;
         if self.failed[node] {
             self.counters.dropped_dest_failed += 1;
@@ -574,7 +668,7 @@ impl<A: Agent> Sim<A> {
             self.counters.dropped_in_network += 1;
             return;
         };
-        let fid = self.alloc_flight(Flight {
+        let fid = self.flights.alloc(Flight {
             from,
             to,
             msg,
@@ -593,8 +687,8 @@ impl<A: Agent> Sim<A> {
     /// growing these.
     pub fn pool_stats(&self) -> (usize, usize, usize, usize) {
         (
-            self.flights.len(),
-            self.free_flights.len(),
+            self.flights.slots(),
+            self.flights.free_slots(),
             self.timers.slots(),
             self.timers.live(),
         )
@@ -946,6 +1040,42 @@ mod tests {
         assert!(
             sim.agent(0).pongs_received.len() > during,
             "exchange did not recover after the link came back"
+        );
+    }
+
+    /// Flights still queued when the simulator is torn down own their
+    /// payloads; the `MaybeUninit` flight slab must drop them (its `Drop`
+    /// walks the occupancy the free list implies).
+    #[test]
+    fn in_flight_payloads_are_dropped_with_the_sim() {
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct Payload(#[allow(dead_code)] Arc<()>);
+
+        struct Mute;
+        impl Agent for Mute {
+            type Msg = Payload;
+            fn on_start(&mut self, _ctx: &mut Context<'_, Payload>) {}
+            fn on_message(&mut self, _ctx: &mut Context<'_, Payload>, _from: usize, _m: Payload) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Payload>, _tag: u64) {}
+        }
+
+        let keeper = Arc::new(());
+        let spec = two_node_spec();
+        let mut sim = Sim::new(&spec, vec![Mute, Mute], 1);
+        for _ in 0..5 {
+            let payload = Payload(keeper.clone());
+            sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, payload, 100));
+        }
+        // Advance partway: some flights delivered, some still in the air.
+        sim.run_until(SimTime::from_millis(1));
+        assert!(Arc::strong_count(&keeper) > 1, "flights still queued");
+        drop(sim);
+        assert_eq!(
+            Arc::strong_count(&keeper),
+            1,
+            "queued flight payloads leaked at teardown"
         );
     }
 

@@ -1,0 +1,104 @@
+//! Thread-invariance gates for the parallel experiment harness.
+//!
+//! The run grid of every figure executes on a scoped-thread worker pool
+//! (`BULLET_THREADS`), with the expensive immutable setup — generated
+//! topology, bandwidth assignment, ALT landmark tables — shared across
+//! workers via `Arc` and every mutable piece (network link state, route
+//! memo, simulator, RNG) private per run. The contract is absolute: **all
+//! `RunResult`s, `FigureResult`s and rendered report bytes are
+//! bit-identical at any thread count.** These tests hold that contract at
+//! 1 vs 8 threads, over a multi-seed sweep (so result reordering would be
+//! caught), and re-run the bullet64/churn64 golden workloads concurrently
+//! to pin them against their single-threaded fingerprints.
+
+#[path = "support/bullet64.rs"]
+mod bullet64;
+#[path = "support/churn64.rs"]
+mod churn64;
+
+use bullet_suite::experiments::{figure_suite_subset, render_suite, Scale, Sweep};
+
+/// The subset of the suite the invariance gate sweeps: a multi-run paper
+/// figure (fig09: three topologies × two protocols), the fig07 grid with
+/// its derived fig08 CDF, and a scenario-dynamics figure (churn: scripted
+/// mid-run membership events). Two seeds widen every configuration so the
+/// grid is large enough that an ordering bug cannot hide.
+const GATED_SUBSET: &[&str] = &["fig07", "fig09", "churn"];
+
+#[test]
+fn figure_suite_is_bit_identical_across_thread_counts() {
+    let serial = figure_suite_subset(Scale::Small, GATED_SUBSET, &Sweep::new(1, 2));
+    let threaded = figure_suite_subset(Scale::Small, GATED_SUBSET, &Sweep::new(8, 2));
+    assert_eq!(
+        serial.len(),
+        threaded.len(),
+        "thread count changed the figure count"
+    );
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a, b, "figure {} differs between 1 and 8 threads", a.id);
+    }
+    // The rendered reports — what the bench harnesses print and what the
+    // BENCH artifacts are built from — must match byte for byte.
+    assert_eq!(render_suite(&serial), render_suite(&threaded));
+}
+
+#[test]
+fn multi_seed_sweep_widens_the_grid_deterministically() {
+    let single = figure_suite_subset(Scale::Small, &["fig07"], &Sweep::new(8, 1));
+    let multi = figure_suite_subset(Scale::Small, &["fig07"], &Sweep::new(8, 3));
+    // Seed 0 of the sweep reproduces the single-seed figure's series
+    // exactly (same run, same label); extra seeds append labelled series
+    // plus a spread note.
+    let (fig7_single, fig7_multi) = (&single[0], &multi[0]);
+    assert_eq!(fig7_multi.series.len(), 3 * fig7_single.series.len());
+    assert_eq!(&fig7_multi.series[..3], &fig7_single.series[..]);
+    assert!(fig7_multi
+        .series
+        .iter()
+        .any(|s| s.label.contains("[seed 2]")));
+    assert_eq!(
+        fig7_multi.notes.len(),
+        fig7_single.notes.len() + 1,
+        "multi-seed figures append one spread note per configuration"
+    );
+    // The extra seeds are genuinely different runs, not copies.
+    assert_ne!(fig7_multi.series[0].kbps, fig7_multi.series[3].kbps);
+}
+
+/// The golden workloads re-run on worker threads: eight concurrent
+/// executions of the bullet64 fingerprint must all reproduce the golden
+/// values the single-threaded determinism test pins (`tests/determinism.rs`
+/// holds the authoritative constants; this cross-checks them under
+/// `BULLET_THREADS=8`-style concurrency).
+#[test]
+fn bullet64_golden_is_identical_under_concurrency() {
+    let reference = bullet64::fingerprint();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8).map(|_| scope.spawn(bullet64::fingerprint)).collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for fingerprint in concurrent {
+        assert_eq!(fingerprint, reference);
+    }
+}
+
+/// Same gate for the churn64 golden: scenario-driven runs (mid-run network
+/// mutation, epoch-invalidated rerouting, membership churn) are equally
+/// thread-context-independent.
+#[test]
+fn churn64_golden_is_identical_under_concurrency() {
+    let reference = churn64::fingerprint();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8).map(|_| scope.spawn(churn64::fingerprint)).collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for fingerprint in concurrent {
+        assert_eq!(fingerprint, reference);
+    }
+}
