@@ -3,6 +3,43 @@
 use bullet_netsim::{SimDuration, SimTime};
 use bullet_transport::TfrcConfig;
 
+/// Failure-detection and recovery parameters (§4.6).
+///
+/// `None` in [`BulletConfig::recovery`] disables the subsystem entirely:
+/// no orphan-detection or retry timers are armed, no extra messages are
+/// sent and no extra randomness is drawn, so runs without recovery are
+/// bit-identical to the pre-recovery protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryConfig {
+    /// A non-root node that sees no RanSub `Distribute` from its parent
+    /// for this many consecutive epoch lengths declares the parent dead
+    /// and re-attaches elsewhere.
+    pub orphan_epochs: u32,
+    /// Evict a mesh peer (sender or receiver) after this many consecutive
+    /// mesh-evaluation windows without any traffic or control activity
+    /// from it. Generalizes `sender_idle_evals_to_drop` to both peer
+    /// lists; an explicit `sender_idle_evals_to_drop` still takes
+    /// precedence for senders.
+    pub peer_idle_windows: u32,
+    /// Give up on a control RPC (`PeeringRequest`, `Reattach`) after this
+    /// many sends to one target.
+    pub max_retries: u32,
+    /// Delay before the first control-RPC retry; successive retries back
+    /// off exponentially (doubling per attempt).
+    pub retry_base: SimDuration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            orphan_epochs: 2,
+            peer_idle_windows: 2,
+            max_retries: 3,
+            retry_base: SimDuration::from_millis(500),
+        }
+    }
+}
+
 /// Tunable parameters of a Bullet node.
 ///
 /// Defaults follow the paper: 600 Kbps target stream, 1500-byte packets,
@@ -71,6 +108,10 @@ pub struct BulletConfig {
     /// live peers. Static-network runs keep the paper behaviour (`None`);
     /// churn scenarios enable it.
     pub sender_idle_evals_to_drop: Option<u32>,
+    /// Failure-detection and recovery (§4.6): orphan re-attach, peer
+    /// liveness eviction and control-RPC retries. `None` (the default)
+    /// disables the subsystem with zero behavioural footprint.
+    pub recovery: Option<RecoveryConfig>,
     /// Trace one data packet in this many for link-stress accounting
     /// (0 disables tracing).
     pub trace_interval: u64,
@@ -102,6 +143,7 @@ impl Default for BulletConfig {
             disjoint_send: true,
             resemblance_peering: true,
             sender_idle_evals_to_drop: None,
+            recovery: None,
             trace_interval: 100,
             tfrc: TfrcConfig {
                 packet_size,
@@ -119,6 +161,17 @@ impl BulletConfig {
         BulletConfig {
             sender_idle_evals_to_drop: Some(2),
             ..self
+        }
+    }
+
+    /// The configuration profile for failure-recovery scenarios: the churn
+    /// profile plus the §4.6 detect-and-re-attach subsystem with its
+    /// default knobs (2-epoch orphan detection, 2-window peer liveness,
+    /// 3 control retries on a 500 ms exponential backoff).
+    pub fn recovery(self) -> Self {
+        BulletConfig {
+            recovery: Some(RecoveryConfig::default()),
+            ..self.churn()
         }
     }
 

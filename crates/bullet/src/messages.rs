@@ -65,6 +65,15 @@ pub enum BulletMsg {
         /// which scenario scripts do not do).
         new_parent: Option<usize>,
     },
+    /// An orphan (a node whose parent went silent, §4.6) asks the recipient
+    /// to adopt it as a tree child.
+    Reattach,
+    /// The recipient of a [`BulletMsg::Reattach`] adopted the orphan; the
+    /// orphan should switch its parent pointer to the sender.
+    ReattachAccept,
+    /// The recipient of a [`BulletMsg::Reattach`] refused the adoption
+    /// (it would create a cycle); the orphan should try its next candidate.
+    ReattachReject,
 }
 
 /// Fixed per-message header overhead (IP + UDP + Bullet framing), in bytes.
@@ -99,6 +108,9 @@ impl BulletMsg {
             | BulletMsg::PeeringReject
             | BulletMsg::PeerDrop
             | BulletMsg::Reparent { .. }
+            | BulletMsg::Reattach
+            | BulletMsg::ReattachAccept
+            | BulletMsg::ReattachReject
             | BulletMsg::ReceiverReport { .. } => HEADER_BYTES,
             // Eight bytes of address per handed-over child.
             BulletMsg::Leave { children } => HEADER_BYTES + children.len() as u32 * 8,

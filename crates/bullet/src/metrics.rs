@@ -36,6 +36,24 @@ pub struct BulletMetrics {
     pub forwarded_packets: u64,
     /// Packets served to mesh receivers.
     pub served_packets: u64,
+    /// Times this node declared its parent dead after RanSub-epoch
+    /// silence and started a re-attach (§4.6 recovery subsystem).
+    pub orphan_detections: u64,
+    /// Re-attaches completed (a candidate accepted the `Reattach`).
+    pub reattaches: u64,
+    /// Cumulative microseconds spent between orphan detection and the
+    /// matching re-attach acceptance (divide by `reattaches` for the mean
+    /// time-to-reattach).
+    pub reattach_wait_us: u64,
+    /// Useful data packets that arrived (from mesh peers) while this node
+    /// was orphaned — the recovery window the mesh bridged.
+    pub orphan_window_packets: u64,
+    /// Control RPCs (`PeeringRequest`, `Reattach`) re-sent after a
+    /// timeout.
+    pub control_retries: u64,
+    /// Evicted-for-silence peers that were later heard from again — the
+    /// liveness detector's false positives.
+    pub false_positive_evictions: u64,
 }
 
 impl BulletMetrics {

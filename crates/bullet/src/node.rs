@@ -47,9 +47,45 @@ mod timer {
     pub const FILTER_REFRESH: u64 = 4;
     pub const MESH_EVAL: u64 = 5;
     pub const HOUSEKEEPING: u64 = 6;
+    /// Orphan detection (§4.6): counts RanSub-epoch silence. Armed only
+    /// when the recovery subsystem is configured.
+    pub const ORPHAN: u64 = 7;
+    /// Control-RPC retry/backoff tick. Armed only while a retryable RPC
+    /// (`PeeringRequest`, `Reattach`) is outstanding under recovery.
+    pub const RETRY: u64 = 8;
 
     /// Bits of the tag holding the timer kind.
     pub const KIND_BITS: u32 = 8;
+}
+
+/// The in-flight state of one §4.6 re-attach: the deterministic candidate
+/// ladder and the retry/backoff position against the current rung.
+#[derive(Clone, Debug)]
+struct ReattachState {
+    /// Candidates in preference order: the current RanSub sample, then
+    /// live mesh peers, then the tree root.
+    candidates: Vec<OverlayId>,
+    /// Index of the candidate currently being asked.
+    index: usize,
+    /// `Reattach` messages sent to the current candidate.
+    attempts: u32,
+    /// Retry ticks remaining before the next send (exponential backoff).
+    cooldown: u32,
+    /// When the orphan declared its parent dead, in microseconds.
+    started_us: u64,
+    /// The parent declared dead (excluded from candidates; told `Leave`
+    /// once the node re-attaches elsewhere).
+    old_parent: OverlayId,
+}
+
+/// One outstanding `PeeringRequest` under retry protection.
+#[derive(Clone, Debug)]
+struct PendingPeering {
+    node: OverlayId,
+    /// Requests sent so far (the initial send counts).
+    attempts: u32,
+    /// Retry ticks remaining before the next resend.
+    cooldown: u32,
 }
 
 /// One Bullet overlay participant.
@@ -85,6 +121,31 @@ pub struct BulletNode {
     /// Timer generation (see the `timer` module docs): bumped on rejoin so
     /// stale periodic chains die instead of doubling.
     timer_gen: u64,
+
+    // ---- §4.6 recovery subsystem (inert unless `config.recovery`) ----
+    /// Ancestors from the parent up to the root, as far as locally known
+    /// (exact from the construction tree; truncated to the new parent
+    /// after a re-attach). Used to refuse cycle-creating adoptions.
+    root_path: Vec<OverlayId>,
+    /// The tree root (re-attach candidate of last resort).
+    root_id: OverlayId,
+    /// Node ids of the most recently delivered RanSub set (recovery only).
+    last_sample: Vec<OverlayId>,
+    /// `Distribute` messages seen from the parent, total.
+    distributes_seen: u64,
+    /// Value of `distributes_seen` at the previous orphan-detection tick.
+    distributes_at_last_check: u64,
+    /// Consecutive orphan-detection ticks without a parent `Distribute`.
+    orphan_strikes: u32,
+    /// In-flight re-attach, if any.
+    reattach: Option<ReattachState>,
+    /// Outstanding peering requests under retry protection.
+    peering_retries: Vec<PendingPeering>,
+    /// Whether a RETRY tick is currently armed.
+    retry_timer_armed: bool,
+    /// Peers recently evicted for silence, watched for signs of life
+    /// (the liveness detector's false-positive metric). Bounded FIFO.
+    recently_evicted: Vec<OverlayId>,
 }
 
 impl BulletNode {
@@ -93,6 +154,13 @@ impl BulletNode {
     pub fn new(id: OverlayId, tree: &Tree, config: BulletConfig) -> Self {
         let parent = tree.parent(id);
         let children = tree.children(id).to_vec();
+        let mut root_path = Vec::new();
+        let mut ancestor = parent;
+        while let Some(a) = ancestor {
+            root_path.push(a);
+            ancestor = tree.parent(a);
+        }
+        let root_id = root_path.last().copied().unwrap_or(id);
         let family = PermutationFamily::paper_default();
         let ticket = SummaryTicket::empty(&family);
         let ransub = RanSub::new(
@@ -132,6 +200,16 @@ impl BulletNode {
             metrics: BulletMetrics::default(),
             streaming: true,
             timer_gen: 0,
+            root_path,
+            root_id,
+            last_sample: Vec::new(),
+            distributes_seen: 0,
+            distributes_at_last_check: 0,
+            orphan_strikes: 0,
+            reattach: None,
+            peering_retries: Vec::new(),
+            retry_timer_armed: false,
+            recently_evicted: Vec::new(),
         }
     }
 
@@ -322,10 +400,17 @@ impl BulletNode {
     }
 
     /// Adopts `child` into the tree view (children list, RanSub membership,
-    /// disjoint-send routing) if it is not already there.
-    fn adopt_child(&mut self, child: OverlayId) {
-        if child == self.id || self.children.contains(&child) {
-            return;
+    /// disjoint-send routing) if it is not already there. Returns whether
+    /// `child` is a tree child afterwards: adopting an own ancestor (a
+    /// node on the root path) is refused, since making an ancestor a child
+    /// would close a parent-pointer cycle and detach the loop from the
+    /// root — the pathological reparent orders churn can produce.
+    fn adopt_child(&mut self, child: OverlayId) -> bool {
+        if child == self.id || self.root_path.contains(&child) {
+            return false;
+        }
+        if self.children.contains(&child) {
+            return true;
         }
         self.children.push(child);
         self.ransub.add_child(child);
@@ -334,6 +419,7 @@ impl BulletNode {
             self.config.packets_per_epoch(),
             self.config.disjoint_send,
         );
+        true
     }
 
     /// Handles a delivered RanSub set: possibly requests one new sender peer.
@@ -345,6 +431,12 @@ impl BulletNode {
         if self.is_root() {
             // The source holds the entire stream; it never needs senders.
             return;
+        }
+        if self.config.recovery.is_some() {
+            // Remember the sample: it is the deterministic candidate pool
+            // the orphan re-attach draws from (§4.6).
+            self.last_sample.clear();
+            self.last_sample.extend(members.iter().map(|m| m.node));
         }
         let mut exclude = vec![self.id];
         if let Some(parent) = self.parent {
@@ -359,7 +451,259 @@ impl BulletNode {
             let row = self.peers.senders().len() as u64;
             let request = self.build_request(stripe, row);
             self.send_msg(ctx, candidate, BulletMsg::PeeringRequest { request });
+            if self.config.recovery.is_some() {
+                // Put the request under retry protection: a lost
+                // PeeringRequest is otherwise dead forever (the pending
+                // mark blocks re-asking until the next stale sweep).
+                self.peering_retries.push(PendingPeering {
+                    node: candidate,
+                    attempts: 1,
+                    cooldown: 0,
+                });
+                self.arm_retry_timer(ctx);
+            }
         }
+    }
+
+    /// Arms the shared control-RPC retry tick if it is not already armed.
+    /// No-op without the recovery subsystem.
+    fn arm_retry_timer(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let Some(recovery) = self.config.recovery else {
+            return;
+        };
+        if self.retry_timer_armed {
+            return;
+        }
+        self.retry_timer_armed = true;
+        ctx.set_timer(recovery.retry_base, self.tag(timer::RETRY));
+    }
+
+    /// Arms the orphan-detection tick (non-root nodes under recovery): the
+    /// first check waits out a two-epoch grace — RanSub needs a full
+    /// epoch to reach the leaves after start-up or a rejoin — then the
+    /// handler re-arms every epoch.
+    fn arm_orphan_timer(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        if self.config.recovery.is_none() || self.is_root() {
+            return;
+        }
+        ctx.set_timer(
+            self.config.ransub_epoch.saturating_mul(2),
+            self.tag(timer::ORPHAN),
+        );
+    }
+
+    /// One orphan-detection tick: a strike per epoch without a parent
+    /// `Distribute`; enough strikes declare the parent dead (§4.6).
+    fn check_orphan(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let Some(recovery) = self.config.recovery else {
+            return;
+        };
+        if self.is_root() || self.reattach.is_some() {
+            return;
+        }
+        if self.distributes_seen == self.distributes_at_last_check {
+            self.orphan_strikes += 1;
+        } else {
+            self.orphan_strikes = 0;
+        }
+        self.distributes_at_last_check = self.distributes_seen;
+        if self.orphan_strikes >= recovery.orphan_epochs {
+            self.orphan_strikes = 0;
+            self.begin_reattach(ctx);
+        }
+    }
+
+    /// Declares the parent dead and starts the re-attach ladder: the
+    /// current RanSub sample in delivery order, then live mesh peers, then
+    /// the root as the attachment of last resort — all deterministic, no
+    /// randomness drawn.
+    fn begin_reattach(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let Some(old_parent) = self.parent else {
+            return;
+        };
+        let mut pool: Vec<OverlayId> = Vec::new();
+        pool.extend(self.last_sample.iter().copied());
+        pool.extend(self.peers.senders().iter().map(|s| s.node));
+        pool.extend(self.peers.receivers().iter().map(|r| r.node));
+        pool.push(self.root_id);
+        let mut candidates: Vec<OverlayId> = Vec::new();
+        for n in pool {
+            if n != self.id
+                && n != old_parent
+                && !self.children.contains(&n)
+                && !candidates.contains(&n)
+            {
+                candidates.push(n);
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        self.metrics.orphan_detections += 1;
+        self.reattach = Some(ReattachState {
+            candidates,
+            index: 0,
+            attempts: 0,
+            cooldown: 0,
+            started_us: ctx.now().as_micros(),
+            old_parent,
+        });
+        self.reattach_send_current(ctx);
+    }
+
+    /// Sends `Reattach` to the current ladder candidate and schedules the
+    /// exponential-backoff follow-up.
+    fn reattach_send_current(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let target = {
+            let Some(state) = self.reattach.as_mut() else {
+                return;
+            };
+            let Some(&target) = state.candidates.get(state.index) else {
+                self.reattach = None;
+                return;
+            };
+            state.attempts += 1;
+            state.cooldown = 1u32 << state.attempts.min(6);
+            if state.attempts > 1 {
+                self.metrics.control_retries += 1;
+            }
+            target
+        };
+        self.send_msg(ctx, target, BulletMsg::Reattach);
+        self.arm_retry_timer(ctx);
+    }
+
+    /// Finishes a re-attach: `new_parent` (any ladder candidate we
+    /// contacted) accepted the adoption. Every *other* contacted candidate
+    /// may also have adopted us, so they and the dead parent get an empty
+    /// `Leave` to prune us from their child lists.
+    fn complete_reattach(&mut self, ctx: &mut Context<'_, BulletMsg>, new_parent: OverlayId) {
+        let contacted_end = match &self.reattach {
+            Some(state) => state.index.min(state.candidates.len() - 1),
+            None => return,
+        };
+        if !self.reattach.as_ref().unwrap().candidates[..=contacted_end].contains(&new_parent) {
+            return;
+        }
+        let state = self.reattach.take().unwrap();
+        for &c in &state.candidates[..=contacted_end] {
+            if c != new_parent {
+                self.send_msg(
+                    ctx,
+                    c,
+                    BulletMsg::Leave {
+                        children: Vec::new(),
+                    },
+                );
+            }
+        }
+        self.send_msg(
+            ctx,
+            state.old_parent,
+            BulletMsg::Leave {
+                children: Vec::new(),
+            },
+        );
+        self.parent = Some(new_parent);
+        self.ransub.set_parent(Some(new_parent));
+        // Only the immediate ancestor is known after a re-attach; the
+        // cycle guard degrades gracefully to that prefix.
+        self.root_path = vec![new_parent];
+        self.in_conns.remove(&state.old_parent);
+        self.out_conns.remove(&state.old_parent);
+        self.metrics.reattaches += 1;
+        self.metrics.reattach_wait_us += ctx.now().as_micros().saturating_sub(state.started_us);
+        self.orphan_strikes = 0;
+        self.distributes_at_last_check = self.distributes_seen;
+    }
+
+    /// Stands down an in-flight re-attach (the "dead" parent spoke):
+    /// contacted candidates may have adopted us, so prune with empty
+    /// `Leave`s.
+    fn cancel_reattach(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        if let Some(state) = self.reattach.take() {
+            let contacted_end = state.index.min(state.candidates.len() - 1);
+            for &c in &state.candidates[..=contacted_end] {
+                self.send_msg(
+                    ctx,
+                    c,
+                    BulletMsg::Leave {
+                        children: Vec::new(),
+                    },
+                );
+            }
+        }
+        self.orphan_strikes = 0;
+    }
+
+    /// One control-RPC retry tick: walk the re-attach ladder and the
+    /// outstanding peering requests, resending or advancing whatever ran
+    /// out of backoff; re-arm while any work remains.
+    fn service_retries(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        let Some(recovery) = self.config.recovery else {
+            return;
+        };
+        let mut send_reattach = false;
+        if let Some(state) = self.reattach.as_mut() {
+            if state.cooldown > 0 {
+                state.cooldown -= 1;
+            } else if state.attempts >= recovery.max_retries {
+                state.index += 1;
+                state.attempts = 0;
+                if state.index >= state.candidates.len() {
+                    self.reattach = None;
+                } else {
+                    send_reattach = true;
+                }
+            } else {
+                send_reattach = true;
+            }
+        }
+        if send_reattach {
+            self.reattach_send_current(ctx);
+        }
+        let mut resend: Vec<OverlayId> = Vec::new();
+        let mut i = 0;
+        while i < self.peering_retries.len() {
+            let entry = &mut self.peering_retries[i];
+            if entry.cooldown > 0 {
+                entry.cooldown -= 1;
+                i += 1;
+            } else if entry.attempts >= recovery.max_retries {
+                let node = entry.node;
+                self.peering_retries.remove(i);
+                // Give up: clear the pending mark so the next RanSub
+                // delivery may pick a fresh candidate.
+                self.peers.on_peering_reject(node);
+            } else {
+                entry.attempts += 1;
+                entry.cooldown = 1u32 << entry.attempts.min(6);
+                resend.push(entry.node);
+                i += 1;
+            }
+        }
+        for node in resend {
+            let stripe = (self.peers.senders().len() as u64 + 1).max(1);
+            let row = self.peers.senders().len() as u64;
+            let request = self.build_request(stripe, row);
+            self.metrics.control_retries += 1;
+            self.send_msg(ctx, node, BulletMsg::PeeringRequest { request });
+        }
+        if self.reattach.is_some() || !self.peering_retries.is_empty() {
+            self.arm_retry_timer(ctx);
+        }
+    }
+
+    /// Watches a silence-evicted peer for later signs of life (the
+    /// liveness detector's false-positive metric). Bounded FIFO.
+    fn note_evicted(&mut self, node: OverlayId) {
+        if self.recently_evicted.contains(&node) {
+            return;
+        }
+        if self.recently_evicted.len() >= 16 {
+            self.recently_evicted.remove(0);
+        }
+        self.recently_evicted.push(node);
     }
 
     /// Takes the scratch buffer filled with the current sender peer ids.
@@ -463,18 +807,48 @@ impl BulletNode {
             );
         }
         self.scratch_peers = senders;
-        let evaluation = self
-            .peers
-            .evaluate_senders(self.config.sender_idle_evals_to_drop);
+        let recovery = self.config.recovery;
+        // An explicit idle-sender knob wins; otherwise the recovery
+        // subsystem's peer-liveness window covers senders too.
+        let idle_limit = self
+            .config
+            .sender_idle_evals_to_drop
+            .or(recovery.map(|r| r.peer_idle_windows));
+        let evaluation = self.peers.evaluate_senders(idle_limit);
+        let restripe = recovery.is_some() && !evaluation.drop.is_empty();
         for node in evaluation.drop {
             self.in_conns.remove(&node);
             self.send_msg(ctx, node, BulletMsg::PeerDrop);
+            if recovery.is_some() {
+                self.note_evicted(node);
+            }
+        }
+        if let Some(r) = recovery {
+            // Active receiver liveness: a receiver that neither refreshed
+            // its filter nor reported for `peer_idle_windows` windows is
+            // presumed dead and its slot reclaimed.
+            for node in self.peers.evaluate_receiver_liveness(r.peer_idle_windows) {
+                self.out_conns.remove(&node);
+                self.send_msg(ctx, node, BulletMsg::PeerDrop);
+                self.note_evicted(node);
+            }
         }
         if let Some(node) = self.peers.evaluate_receivers() {
             self.out_conns.remove(&node);
             self.send_msg(ctx, node, BulletMsg::PeerDrop);
         }
-        self.peers.clear_stale_pending();
+        if recovery.is_none() {
+            // Without retries a pending request that got no answer is
+            // stale after one window; the retry machinery otherwise owns
+            // that bookkeeping (it clears the mark when it gives up).
+            self.peers.clear_stale_pending();
+        }
+        if restripe {
+            // Evicting a dead sender reassigns its reconciliation row;
+            // push the restriped assignments to the survivors now rather
+            // than waiting for the next periodic refresh.
+            self.refresh_senders(ctx);
+        }
     }
 
     fn handle_ransub_events(
@@ -526,6 +900,11 @@ impl BulletNode {
         if duplicate {
             return;
         }
+        if self.reattach.is_some() {
+            // Useful data that arrived while orphaned: the mesh bridged
+            // the recovery window (§4.6 evaluation metric).
+            self.metrics.orphan_window_packets += 1;
+        }
         self.learn_seq(seq);
         self.route_to_children(ctx, seq);
     }
@@ -541,9 +920,18 @@ impl Agent for BulletNode {
             ctx.set_timer(self.config.ransub_epoch, self.tag(timer::RANSUB_EPOCH));
         }
         self.arm_periodic_timers(ctx);
+        self.arm_orphan_timer(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, BulletMsg>, from: OverlayId, msg: BulletMsg) {
+        if self.config.recovery.is_some() {
+            if let Some(pos) = self.recently_evicted.iter().position(|&n| n == from) {
+                // An evicted-for-silence peer spoke again: the liveness
+                // detector fired on a slow peer, not a dead one.
+                self.recently_evicted.remove(pos);
+                self.metrics.false_positive_evictions += 1;
+            }
+        }
         match msg {
             BulletMsg::Data { header, seq } => self.handle_data(ctx, from, header, seq),
             BulletMsg::Feedback(feedback) => {
@@ -563,33 +951,54 @@ impl Agent for BulletNode {
                 if matches!(msg, RanSubMsg::Collect { .. }) {
                     self.adopt_child(from);
                 }
+                if self.config.recovery.is_some()
+                    && Some(from) == self.parent
+                    && matches!(msg, RanSubMsg::Distribute { .. })
+                {
+                    // Parent liveness signal for the orphan detector.
+                    self.distributes_seen += 1;
+                    if self.reattach.is_some() {
+                        // The "dead" parent spoke mid-re-attach: false
+                        // alarm, stand down and undo any adoptions.
+                        self.cancel_reattach(ctx);
+                    }
+                }
                 let events = self.ransub.on_message(from, msg, ctx.rng());
                 self.handle_ransub_events(ctx, events);
             }
             BulletMsg::PeeringRequest { request } => {
                 if self.peers.on_peering_request(from, request) {
+                    if let Some(receiver) = self.peers.receiver_mut(from) {
+                        receiver.active_this_window = true;
+                    }
                     self.send_msg(ctx, from, BulletMsg::PeeringAccept);
                 } else {
                     self.send_msg(ctx, from, BulletMsg::PeeringReject);
                 }
             }
             BulletMsg::PeeringAccept => {
+                self.peering_retries.retain(|p| p.node != from);
                 if self.peers.on_peering_accept(from) {
                     // Rebalance the row assignments across all senders now
                     // that the stripe count changed.
                     self.refresh_senders(ctx);
                 }
             }
-            BulletMsg::PeeringReject => self.peers.on_peering_reject(from),
+            BulletMsg::PeeringReject => {
+                self.peering_retries.retain(|p| p.node != from);
+                self.peers.on_peering_reject(from)
+            }
             BulletMsg::FilterRefresh { request } => {
                 if let Some(receiver) = self.peers.receiver_mut(from) {
                     receiver.request = request;
                     receiver.sent_since_refresh.clear();
+                    receiver.active_this_window = true;
                 }
             }
             BulletMsg::ReceiverReport { total_bytes_window } => {
                 if let Some(receiver) = self.peers.receiver_mut(from) {
                     receiver.reported_total_bytes = total_bytes_window;
+                    receiver.active_this_window = true;
                 }
             }
             BulletMsg::PeerDrop => {
@@ -608,7 +1017,10 @@ impl Agent for BulletNode {
                 let events = self.ransub.remove_child(from);
                 self.handle_ransub_events(ctx, events);
                 for child in children {
-                    if child != self.id && !self.children.contains(&child) {
+                    if child != self.id
+                        && !self.children.contains(&child)
+                        && !self.root_path.contains(&child)
+                    {
                         self.children.push(child);
                         self.ransub.add_child(child);
                     }
@@ -629,8 +1041,43 @@ impl Agent for BulletNode {
                 }
                 self.parent = new_parent;
                 self.ransub.set_parent(new_parent);
+                // Keep the ancestor path in step: the leaver drops out and
+                // the path now starts at the grandparent.
+                if self.root_path.first() == Some(&from) {
+                    self.root_path.remove(0);
+                } else if let Some(p) = new_parent {
+                    self.root_path = vec![p];
+                }
                 self.in_conns.remove(&from);
                 self.out_conns.remove(&from);
+            }
+            BulletMsg::Reattach => {
+                // An orphan asks for adoption (§4.6). Refuse anything that
+                // would bend the tree into a cycle.
+                if self.adopt_child(from) {
+                    self.send_msg(ctx, from, BulletMsg::ReattachAccept);
+                } else {
+                    self.send_msg(ctx, from, BulletMsg::ReattachReject);
+                }
+            }
+            BulletMsg::ReattachAccept => self.complete_reattach(ctx, from),
+            BulletMsg::ReattachReject => {
+                let mut advance = false;
+                if let Some(state) = self.reattach.as_mut() {
+                    if state.candidates.get(state.index) == Some(&from) {
+                        state.index += 1;
+                        state.attempts = 0;
+                        state.cooldown = 0;
+                        if state.index >= state.candidates.len() {
+                            self.reattach = None;
+                        } else {
+                            advance = true;
+                        }
+                    }
+                }
+                if advance {
+                    self.reattach_send_current(ctx);
+                }
             }
         }
     }
@@ -685,6 +1132,14 @@ impl Agent for BulletNode {
                 }
                 ctx.set_timer(SimDuration::from_secs(1), self.tag(timer::HOUSEKEEPING));
             }
+            timer::ORPHAN => {
+                self.check_orphan(ctx);
+                ctx.set_timer(self.config.ransub_epoch, self.tag(timer::ORPHAN));
+            }
+            timer::RETRY => {
+                self.retry_timer_armed = false;
+                self.service_retries(ctx);
+            }
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
     }
@@ -733,6 +1188,8 @@ impl ScenarioAgent for BulletNode {
         );
         self.out_conns.clear();
         self.in_conns.clear();
+        self.reattach = None;
+        self.peering_retries.clear();
     }
 
     /// Late-join / rejoin bootstrap (scenario dynamics): bump the timer
@@ -752,12 +1209,24 @@ impl ScenarioAgent for BulletNode {
             self.config.resemblance_peering,
         );
         self.rebuild_ticket();
+        // Recovery state refers to the pre-crash network: reset it so the
+        // orphan detector restarts from its grace period and stale retry
+        // ladders die with the old timer generation.
+        self.last_sample.clear();
+        self.distributes_seen = 0;
+        self.distributes_at_last_check = 0;
+        self.orphan_strikes = 0;
+        self.reattach = None;
+        self.peering_retries.clear();
+        self.retry_timer_armed = false;
+        self.recently_evicted.clear();
         if self.is_root() {
             let start_delay = self.config.stream_start.saturating_since(ctx.now());
             ctx.set_timer(start_delay, self.tag(timer::GENERATE));
             ctx.set_timer(self.config.ransub_epoch, self.tag(timer::RANSUB_EPOCH));
         }
         self.arm_periodic_timers(ctx);
+        self.arm_orphan_timer(ctx);
     }
 }
 
@@ -1002,6 +1471,108 @@ mod tests {
         assert!(
             !sim.agent(node).sender_peers().contains(&dead),
             "crashed sender survived {dead} in node {node}'s sender list"
+        );
+    }
+
+    #[test]
+    fn orphans_reattach_after_a_parent_crash() {
+        use bullet_dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript};
+        let n = 16;
+        let spec = hub_network(n, 2_000_000.0);
+        let mut rng = bullet_netsim::SimRng::new(22);
+        let tree = random_tree(n, 0, 3, &mut rng);
+        let victim = (1..n)
+            .find(|&node| !tree.children(node).is_empty())
+            .expect("an interior non-root node exists");
+        let orphans = tree.children(victim).to_vec();
+        let agents = (0..n)
+            .map(|i| BulletNode::new(i, &tree, quick_config().recovery()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 22);
+        let script = ScenarioScript::new().at(
+            SimTime::from_secs(20),
+            ScenarioAction::Crash { node: victim },
+        );
+        let mut driver = ScenarioDriver::new(&script);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(25));
+        let frozen: Vec<u64> = orphans
+            .iter()
+            .map(|&o| sim.agent(o).metrics.useful_packets)
+            .collect();
+        driver.run_until(&mut sim, SimTime::from_secs(60));
+        for (i, &orphan) in orphans.iter().enumerate() {
+            let m = sim.agent(orphan).metrics;
+            assert!(
+                m.orphan_detections >= 1,
+                "orphan {orphan} never noticed its parent died"
+            );
+            assert!(m.reattaches >= 1, "orphan {orphan} never re-attached");
+            let new_parent = sim
+                .agent(orphan)
+                .parent()
+                .expect("re-attached orphan has a parent");
+            assert_ne!(
+                new_parent, victim,
+                "orphan {orphan} still points at the corpse"
+            );
+            assert!(
+                !sim.is_failed(new_parent),
+                "orphan {orphan} re-attached to a failed node {new_parent}"
+            );
+            assert!(
+                sim.agent(new_parent).children().contains(&orphan),
+                "new parent {new_parent} does not list orphan {orphan} as a child"
+            );
+            assert!(
+                sim.agent(orphan).metrics.useful_packets > frozen[i] + 100,
+                "orphan {orphan} did not resume receiving the stream after re-attach"
+            );
+        }
+    }
+
+    #[test]
+    fn collects_and_reattaches_from_ancestors_are_never_adopted() {
+        use bullet_overlay::Tree;
+        use bullet_ransub::WeightedSet;
+        // A chain 0 -> 1 -> 2 -> 3 plus a side child 4 of the root: node
+        // 2's root path is [1, 0], and node 4 is unrelated to node 2.
+        let tree =
+            Tree::from_parents(vec![None, Some(0), Some(1), Some(2), Some(0)]).expect("valid tree");
+        let n = tree.len();
+        let spec = hub_network(n, 2_000_000.0);
+        let agents = (0..n)
+            .map(|i| BulletNode::new(i, &tree, quick_config().recovery()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 23);
+        sim.run_until(SimTime::from_secs(1));
+        // Force a Collect and a Reattach from the grandparent — an ancestor
+        // that is NOT node 2's parent, so only the cycle guard stands
+        // between it and adoption.
+        sim.invoke_agent(2, |agent, ctx| {
+            let collect = BulletMsg::RanSub(RanSubMsg::Collect {
+                epoch: 1,
+                set: WeightedSet::empty(),
+            });
+            agent.on_message(ctx, 0, collect);
+            agent.on_message(ctx, 0, BulletMsg::Reattach);
+        });
+        assert!(
+            !sim.agent(2).children().contains(&0),
+            "node 2 adopted its own ancestor: the tree now has a cycle"
+        );
+        // A stray Collect from an unrelated node is still adopted (tree
+        // repair under churn keeps working).
+        sim.invoke_agent(2, |agent, ctx| {
+            let collect = BulletMsg::RanSub(RanSubMsg::Collect {
+                epoch: 1,
+                set: WeightedSet::empty(),
+            });
+            agent.on_message(ctx, 4, collect);
+        });
+        assert!(
+            sim.agent(2).children().contains(&4),
+            "node 2 refused a legitimate adoption"
         );
     }
 

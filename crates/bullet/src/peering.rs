@@ -70,6 +70,13 @@ pub struct ReceiverPeer {
     /// The receiver's total received bandwidth over its last reported window
     /// (from `ReceiverReport`), in bytes.
     pub reported_total_bytes: u64,
+    /// Whether any control activity (filter refresh, report, re-request)
+    /// arrived from this receiver in the current evaluation window; fed to
+    /// the liveness eviction of the recovery subsystem.
+    pub active_this_window: bool,
+    /// Consecutive evaluation windows without any activity from this
+    /// receiver (dead-peer detection under churn).
+    pub idle_windows: u32,
 }
 
 impl ReceiverPeer {
@@ -80,6 +87,8 @@ impl ReceiverPeer {
             sent_since_refresh: HashSet::new(),
             bytes_sent_window: 0,
             reported_total_bytes: 0,
+            active_this_window: true,
+            idle_windows: 0,
         }
     }
 
@@ -329,6 +338,32 @@ impl PeerManager {
         evaluation
     }
 
+    /// Drops receivers that showed no control activity (filter refreshes,
+    /// reports, re-requests) for `limit` consecutive evaluation windows —
+    /// the receiver-side half of the recovery subsystem's peer-liveness
+    /// detection. A crashed receiver otherwise occupies a serving slot
+    /// forever: it reports nothing, so the benefit-based eviction (which
+    /// shelters non-reporters as fully dependent) never judges it. Returns
+    /// the evicted receivers and resets the per-window activity flags.
+    pub fn evaluate_receiver_liveness(&mut self, limit: u32) -> Vec<OverlayId> {
+        let mut drop = Vec::new();
+        for receiver in &mut self.receivers {
+            if receiver.active_this_window {
+                receiver.idle_windows = 0;
+            } else {
+                receiver.idle_windows += 1;
+                if receiver.idle_windows >= limit {
+                    drop.push(receiver.node);
+                }
+            }
+            receiver.active_this_window = false;
+        }
+        for node in &drop {
+            self.receivers.retain(|r| r.node != *node);
+        }
+        drop
+    }
+
     /// Evaluates the receiver list (paper §3.4): when full, drop the receiver
     /// acquiring the smallest portion of its bandwidth through us. Window
     /// counters are reset afterwards. Returns the dropped receiver, if any.
@@ -566,6 +601,22 @@ mod tests {
         assert_eq!(pm.receivers().len(), 2);
         // Not full anymore: next evaluation drops nobody.
         assert_eq!(pm.evaluate_receivers(), None);
+    }
+
+    #[test]
+    fn silent_receivers_are_dropped_by_the_liveness_check() {
+        let mut pm = manager();
+        pm.on_peering_request(1, request());
+        pm.on_peering_request(2, request());
+        // Fresh receivers count as active in their first window.
+        assert!(pm.evaluate_receiver_liveness(2).is_empty());
+        // Receiver 1 refreshes (activity); receiver 2 stays silent.
+        pm.receiver_mut(1).unwrap().active_this_window = true;
+        assert!(pm.evaluate_receiver_liveness(2).is_empty());
+        pm.receiver_mut(1).unwrap().active_this_window = true;
+        assert_eq!(pm.evaluate_receiver_liveness(2), vec![2]);
+        assert!(pm.is_receiver(1), "active receiver untouched");
+        assert!(!pm.is_receiver(2), "silent receiver evicted");
     }
 
     #[test]

@@ -3,19 +3,22 @@
 //!
 //! Two application channels keep semantics precise:
 //!
-//! * **Pre-scheduled events** (crashes, bare recoveries) go through the
-//!   simulator's own event queue at install time, in script order. A
-//!   one-crash script is therefore *event-for-event identical* to the
-//!   legacy `RunSpec::failure` injection — same sequence numbers, same
-//!   ordering against messages at the failure instant — which is what lets
-//!   the Figs. 13/14 harness route through the engine without moving its
+//! * **Pre-scheduled events** (crashes) go through the simulator's own
+//!   event queue at install time, in script order. A one-crash script is
+//!   therefore *event-for-event identical* to the legacy
+//!   `RunSpec::failure` injection — same sequence numbers, same ordering
+//!   against messages at the failure instant — which is what lets the
+//!   Figs. 13/14 harness route through the engine without moving its
 //!   golden numbers.
-//! * **Stepped events** (graceful leaves, joins, link and router mutations)
-//!   need either an agent callback or `&mut` access to the network, which
-//!   the event queue cannot deliver. The driver runs the simulator up to
-//!   the event's instant and applies the action *after every simulator
-//!   event at that instant* — a fixed, documented interleaving that keeps
-//!   runs deterministic.
+//! * **Stepped events** (recoveries, graceful leaves, joins, partitions,
+//!   fault plans, link and router mutations) need either an agent callback
+//!   or `&mut` access to the network/simulator, which the event queue
+//!   cannot deliver. The driver runs the simulator up to the event's
+//!   instant and applies the action *after every simulator event at that
+//!   instant* — a fixed, documented interleaving that keeps runs
+//!   deterministic. Recoveries step (rather than pre-schedule) so they can
+//!   run the agent's `on_join` bootstrap: recovered nodes bump timer
+//!   generations and reset connection state exactly like late joiners.
 
 use bullet_netsim::{Agent, Context, Sim, SimDuration, SimTime};
 
@@ -42,7 +45,7 @@ pub trait ScenarioAgent: Agent {
 pub struct ScenarioStats {
     /// Crashes pre-scheduled at install.
     pub crashes: u64,
-    /// Bare recoveries pre-scheduled at install.
+    /// Crash recoveries applied (failed flag cleared + `on_join` re-bootstrap).
     pub recoveries: u64,
     /// Graceful leaves applied.
     pub leaves: u64,
@@ -52,6 +55,12 @@ pub struct ScenarioStats {
     pub link_mutations: u64,
     /// Router (correlated stub) mutations applied.
     pub router_mutations: u64,
+    /// Partitions applied.
+    pub partitions: u64,
+    /// Partition heals applied.
+    pub heals: u64,
+    /// Fault plans installed.
+    pub faults: u64,
 }
 
 /// Drives one [`ScenarioScript`] over one simulation run.
@@ -89,8 +98,8 @@ impl ScenarioDriver {
     }
 
     /// Installs the script into a fresh simulation: marks late joiners
-    /// failed and pre-schedules crashes/recoveries through the simulator's
-    /// event queue (in script order, before any other event is scheduled —
+    /// failed and pre-schedules crashes through the simulator's event
+    /// queue (in script order, before any other event is scheduled —
     /// exactly like the legacy failure injection).
     ///
     /// # Panics
@@ -107,10 +116,6 @@ impl ScenarioDriver {
                 ScenarioAction::Crash { node } => {
                     sim.schedule_failure(event.at, node);
                     self.stats.crashes += 1;
-                }
-                ScenarioAction::Recover { node } => {
-                    sim.schedule_recovery(event.at, node);
-                    self.stats.recoveries += 1;
                 }
                 ref other => unreachable!("not a prescheduled action: {other:?}"),
             }
@@ -164,36 +169,53 @@ impl ScenarioDriver {
     }
 
     fn apply<A: ScenarioAgent>(&mut self, sim: &mut Sim<A>, action: &ScenarioAction) {
-        match *action {
-            ScenarioAction::GracefulLeave { node } => {
+        match action {
+            &ScenarioAction::Recover { node } => {
+                sim.set_node_failed(node, false);
+                sim.invoke_agent(node, |agent, ctx| agent.on_join(ctx));
+                self.stats.recoveries += 1;
+            }
+            &ScenarioAction::GracefulLeave { node } => {
                 if !sim.is_failed(node) {
                     sim.invoke_agent(node, |agent, ctx| agent.on_graceful_leave(ctx));
                 }
                 sim.set_node_failed(node, true);
                 self.stats.leaves += 1;
             }
-            ScenarioAction::Join { node } => {
+            &ScenarioAction::Join { node } => {
                 sim.set_node_failed(node, false);
                 sim.invoke_agent(node, |agent, ctx| agent.on_join(ctx));
                 self.stats.joins += 1;
             }
-            ScenarioAction::SetLinkBandwidth { link, bps } => {
+            &ScenarioAction::SetLinkBandwidth { link, bps } => {
                 sim.network_mut().set_link_bandwidth(link, bps);
                 self.stats.link_mutations += 1;
             }
-            ScenarioAction::SetLinkLoss { link, loss } => {
+            &ScenarioAction::SetLinkLoss { link, loss } => {
                 sim.network_mut().set_link_loss(link, loss);
                 self.stats.link_mutations += 1;
             }
-            ScenarioAction::SetLinkUp { link, up } => {
+            &ScenarioAction::SetLinkUp { link, up } => {
                 sim.network_mut().set_link_up(link, up);
                 self.stats.link_mutations += 1;
             }
-            ScenarioAction::SetRouterUp { router, up } => {
+            &ScenarioAction::SetRouterUp { router, up } => {
                 sim.network_mut().set_router_up(router, up);
                 self.stats.router_mutations += 1;
             }
-            ScenarioAction::Crash { .. } | ScenarioAction::Recover { .. } => {
+            ScenarioAction::Partition { nodes } => {
+                sim.set_partition(nodes);
+                self.stats.partitions += 1;
+            }
+            ScenarioAction::Heal => {
+                sim.heal_partition();
+                self.stats.heals += 1;
+            }
+            &ScenarioAction::Fault { node, plan } => {
+                sim.set_fault_plan(node, plan);
+                self.stats.faults += 1;
+            }
+            ScenarioAction::Crash { .. } => {
                 unreachable!("prescheduled actions never reach the stepping path")
             }
         }
@@ -322,6 +344,68 @@ mod tests {
             legacy, scripted,
             "one-crash script must be event-for-event identical to the legacy injection"
         );
+    }
+
+    #[test]
+    fn recover_runs_the_on_join_bootstrap() {
+        let script = ScenarioScript::new()
+            .at(SimTime::from_secs(3), ScenarioAction::Crash { node: 1 })
+            .at(SimTime::from_secs(6), ScenarioAction::Recover { node: 1 });
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(10));
+        assert_eq!(
+            sim.agent(1).joins,
+            vec![SimTime::from_secs(6)],
+            "recovery must run the agent's on_join bootstrap"
+        );
+        assert!(!sim.is_failed(1), "recovered node must be up");
+        assert!(sim.agent(1).heard > 0, "recovered node rejoins the stream");
+        assert_eq!(driver.stats.crashes, 1);
+        assert_eq!(driver.stats.recoveries, 1);
+        assert_eq!(driver.stats.joins, 0, "recoveries are counted separately");
+    }
+
+    #[test]
+    fn partition_heal_and_fault_apply_between_steps() {
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(2),
+                ScenarioAction::Partition { nodes: vec![1] },
+            )
+            .at(SimTime::from_secs(5), ScenarioAction::Heal)
+            .at(
+                SimTime::from_secs(7),
+                ScenarioAction::Fault {
+                    node: 0,
+                    plan: bullet_netsim::FaultPlan {
+                        drop_chance: 1.0,
+                        ..Default::default()
+                    },
+                },
+            );
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(4));
+        assert!(sim.is_partitioned(), "cut active inside the window");
+        let isolated_heard = sim.agent(1).heard;
+        driver.run_until(&mut sim, SimTime::from_secs(6));
+        assert!(!sim.is_partitioned(), "heal clears the cut");
+        driver.run_until(&mut sim, SimTime::from_secs(10));
+        assert!(
+            sim.agent(1).heard > isolated_heard,
+            "healed node hears beats again"
+        );
+        assert_eq!(
+            sim.fault_plan(0).map(|plan| plan.drop_chance),
+            Some(1.0),
+            "fault plan installed"
+        );
+        assert_eq!(driver.stats.partitions, 1);
+        assert_eq!(driver.stats.heals, 1);
+        assert_eq!(driver.stats.faults, 1);
     }
 
     #[test]

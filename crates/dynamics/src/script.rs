@@ -5,7 +5,7 @@
 //! text format carried by the `BULLET_SCENARIO` environment variable. The
 //! [`crate::ScenarioDriver`] applies it to a running simulation.
 
-use bullet_netsim::{OverlayId, RouterId, SimRng, SimTime};
+use bullet_netsim::{FaultPlan, OverlayId, RouterId, SimDuration, SimRng, SimTime};
 
 /// One scripted action against the running simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,9 +17,11 @@ pub enum ScenarioAction {
         /// The failing node.
         node: OverlayId,
     },
-    /// Clear a node's failed flag without re-bootstrapping it (the
-    /// simulator's bare recovery event). Protocols whose timers died while
-    /// failed usually want [`ScenarioAction::Join`] instead.
+    /// Recovery from a crash: the node's failed flag clears and its
+    /// [`crate::ScenarioAgent::on_join`] hook re-bootstraps participation —
+    /// timer generations bump so stale pre-crash timer chains die, and
+    /// connection state resets exactly as for a late join. Counted
+    /// separately from [`ScenarioAction::Join`] in the driver's stats.
     Recover {
         /// The recovering node.
         node: OverlayId,
@@ -69,17 +71,32 @@ pub enum ScenarioAction {
         /// New administrative state.
         up: bool,
     },
+    /// Partition the overlay: the listed nodes land on one side of a cut,
+    /// everyone else on the other, and every message crossing it is dropped
+    /// until a [`ScenarioAction::Heal`]. Replaces any active partition.
+    Partition {
+        /// The nodes isolated on one side of the cut.
+        nodes: Vec<OverlayId>,
+    },
+    /// Heal any active partition.
+    Heal,
+    /// Install (or replace) a node's control-plane [`FaultPlan`]: its
+    /// control messages are dropped/duplicated/delayed off the simulator
+    /// RNG from this instant on. An all-zero plan effectively clears it.
+    Fault {
+        /// The node whose control traffic is faulted.
+        node: OverlayId,
+        /// The fault probabilities and delay.
+        plan: FaultPlan,
+    },
 }
 
 impl ScenarioAction {
     /// Whether the driver pre-schedules this action through the simulator's
-    /// event queue (crashes and bare recoveries) rather than applying it
-    /// between event-loop steps.
+    /// event queue (crashes only) rather than applying it between
+    /// event-loop steps.
     pub fn is_prescheduled(&self) -> bool {
-        matches!(
-            self,
-            ScenarioAction::Crash { .. } | ScenarioAction::Recover { .. }
-        )
+        matches!(self, ScenarioAction::Crash { .. })
     }
 }
 
@@ -291,6 +308,45 @@ impl ScenarioScript {
             )
     }
 
+    /// Alternating partition/heal churn: starting after an exponentially
+    /// distributed whole period (mean `mean_whole_secs`) past `start`, the
+    /// overlay splits for an exponentially distributed period (mean
+    /// `mean_partition_secs`), then heals, and the cycle repeats until
+    /// `end`. Each cut isolates a fresh uniformly-sized random subset of
+    /// `nodes` (sorted, for reproducible scripts). Fully deterministic in
+    /// the seed, and the script always ends with a heal so no partition
+    /// outlives the window.
+    pub fn partition_churn(
+        nodes: &[OverlayId],
+        start: SimTime,
+        end: SimTime,
+        mean_whole_secs: f64,
+        mean_partition_secs: f64,
+        seed: u64,
+    ) -> Self {
+        let mut script = Self::new();
+        if nodes.is_empty() {
+            return script;
+        }
+        let mut rng = SimRng::new(seed);
+        let end_secs = end.as_secs_f64();
+        let mut t = start.as_secs_f64() + rng.exponential(mean_whole_secs);
+        while t < end_secs {
+            let size = rng.range_usize(1, nodes.len() + 1);
+            let mut side = rng.sample(nodes, size);
+            side.sort_unstable();
+            script.push(
+                SimTime::from_secs_f64(t),
+                ScenarioAction::Partition { nodes: side },
+            );
+            t += rng.exponential(mean_partition_secs);
+            let heal_at = SimTime::from_secs_f64(t.min(end_secs));
+            script.push(heal_at, ScenarioAction::Heal);
+            t += rng.exponential(mean_whole_secs);
+        }
+        script
+    }
+
     /// Parses the text scenario format used by the `BULLET_SCENARIO`
     /// environment variable.
     ///
@@ -303,13 +359,17 @@ impl ScenarioScript {
     /// <t> crash <node>             crash-fail
     /// <t> leave <node>             graceful leave
     /// <t> join <node>              (re)join
-    /// <t> recover <node>           bare recovery (no bootstrap)
+    /// <t> recover <node>           recovery from a crash (re-bootstraps)
     /// <t> link-bw <link> <bps>     set link capacity
     /// <t> link-loss <link> <p>     set link loss probability
     /// <t> link-down <link>         take link down
     /// <t> link-up <link>           bring link up
     /// <t> router-down <router>     correlated stub outage
     /// <t> router-up <router>       end of the outage
+    /// <t> partition <n1,n2,...>    isolate the listed nodes from the rest
+    /// <t> heal                     heal any active partition
+    /// <t> fault <node> <drop> <dup> <delayp> <delaysecs>
+    ///                              install a control-plane fault plan
     /// ```
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut script = Self::new();
@@ -370,6 +430,41 @@ impl ScenarioScript {
                     router: Self::field(&fields, 2, entry)?,
                     up: true,
                 },
+                "partition" => {
+                    let list = *fields.get(2).ok_or_else(|| err("missing node list"))?;
+                    let mut nodes = Vec::new();
+                    for part in list.split(',') {
+                        nodes.push(
+                            part.parse::<OverlayId>()
+                                .map_err(|_| err(&format!("bad partition node {part:?}")))?,
+                        );
+                    }
+                    ScenarioAction::Partition { nodes }
+                }
+                "heal" => ScenarioAction::Heal,
+                "fault" => {
+                    let drop_chance: f64 = Self::field(&fields, 3, entry)?;
+                    let duplicate_chance: f64 = Self::field(&fields, 4, entry)?;
+                    let delay_chance: f64 = Self::field(&fields, 5, entry)?;
+                    let delay_secs: f64 = Self::field(&fields, 6, entry)?;
+                    for p in [drop_chance, duplicate_chance, delay_chance] {
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(err("fault probabilities must be in [0, 1]"));
+                        }
+                    }
+                    if !delay_secs.is_finite() || delay_secs < 0.0 {
+                        return Err(err("fault delay must be a non-negative number"));
+                    }
+                    ScenarioAction::Fault {
+                        node: Self::field(&fields, 2, entry)?,
+                        plan: FaultPlan {
+                            drop_chance,
+                            duplicate_chance,
+                            delay_chance,
+                            delay: SimDuration::from_secs_f64(delay_secs),
+                        },
+                    }
+                }
                 other => return Err(err(&format!("unknown action {other:?}"))),
             };
             script.push(at, action);
@@ -391,6 +486,54 @@ impl ScenarioScript {
             }
             _ => None,
         }
+    }
+
+    /// Serializes the script back to the `BULLET_SCENARIO` text format
+    /// accepted by [`Self::parse`]: one entry per line, `down` markers
+    /// first, then events in insertion order. The round trip is lossless —
+    /// `parse(&script.format())` reconstructs `script` exactly (times are
+    /// microsecond-resolution and floats print at full precision).
+    pub fn format(&self) -> String {
+        let mut lines = Vec::with_capacity(self.initially_down.len() + self.events.len());
+        for &node in &self.initially_down {
+            lines.push(format!("down {node}"));
+        }
+        for event in &self.events {
+            let t = event.at.as_secs_f64();
+            lines.push(match &event.action {
+                ScenarioAction::Crash { node } => format!("{t} crash {node}"),
+                ScenarioAction::Recover { node } => format!("{t} recover {node}"),
+                ScenarioAction::GracefulLeave { node } => format!("{t} leave {node}"),
+                ScenarioAction::Join { node } => format!("{t} join {node}"),
+                ScenarioAction::SetLinkBandwidth { link, bps } => {
+                    format!("{t} link-bw {link} {bps}")
+                }
+                ScenarioAction::SetLinkLoss { link, loss } => {
+                    format!("{t} link-loss {link} {loss}")
+                }
+                ScenarioAction::SetLinkUp { link, up: false } => format!("{t} link-down {link}"),
+                ScenarioAction::SetLinkUp { link, up: true } => format!("{t} link-up {link}"),
+                ScenarioAction::SetRouterUp { router, up: false } => {
+                    format!("{t} router-down {router}")
+                }
+                ScenarioAction::SetRouterUp { router, up: true } => {
+                    format!("{t} router-up {router}")
+                }
+                ScenarioAction::Partition { nodes } => {
+                    let list: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+                    format!("{t} partition {}", list.join(","))
+                }
+                ScenarioAction::Heal => format!("{t} heal"),
+                ScenarioAction::Fault { node, plan } => format!(
+                    "{t} fault {node} {} {} {} {}",
+                    plan.drop_chance,
+                    plan.duplicate_chance,
+                    plan.delay_chance,
+                    plan.delay.as_secs_f64()
+                ),
+            });
+        }
+        lines.join("\n")
     }
 
     fn field<T: std::str::FromStr>(
@@ -560,6 +703,199 @@ mod tests {
         assert!(ScenarioScript::parse("10 crash").is_err());
         assert!(ScenarioScript::parse("-5 crash 3").is_err());
         assert!(ScenarioScript::parse("10 link-bw 2").is_err());
+    }
+
+    #[test]
+    fn parses_partition_heal_and_fault_verbs() {
+        let script =
+            ScenarioScript::parse("5 partition 1,2,7; 9 heal; 12 fault 4 0.25 0 0.5 0.125")
+                .expect("valid script");
+        let events = script.sorted_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].action,
+            ScenarioAction::Partition {
+                nodes: vec![1, 2, 7]
+            }
+        );
+        assert_eq!(events[1].action, ScenarioAction::Heal);
+        assert_eq!(
+            events[2].action,
+            ScenarioAction::Fault {
+                node: 4,
+                plan: FaultPlan {
+                    drop_chance: 0.25,
+                    duplicate_chance: 0.0,
+                    delay_chance: 0.5,
+                    delay: SimDuration::from_secs_f64(0.125),
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_partition_and_fault_entries() {
+        assert!(ScenarioScript::parse("5 partition").is_err());
+        assert!(ScenarioScript::parse("5 partition 1,x,3").is_err());
+        assert!(
+            ScenarioScript::parse("5 fault 4 1.5 0 0 0").is_err(),
+            "p > 1"
+        );
+        assert!(
+            ScenarioScript::parse("5 fault 4 0 -0.1 0 0").is_err(),
+            "p < 0"
+        );
+        assert!(
+            ScenarioScript::parse("5 fault 4 0 0 0 -1").is_err(),
+            "delay < 0"
+        );
+        assert!(
+            ScenarioScript::parse("5 fault 4 0 0 0").is_err(),
+            "missing field"
+        );
+    }
+
+    #[test]
+    fn format_round_trips_every_verb() {
+        let mut script = ScenarioScript::new()
+            .at(SimTime::from_secs(6), ScenarioAction::Crash { node: 3 })
+            .at(
+                SimTime::from_secs_f64(7.25),
+                ScenarioAction::Recover { node: 3 },
+            )
+            .at(
+                SimTime::from_secs(9),
+                ScenarioAction::GracefulLeave { node: 5 },
+            )
+            .at(SimTime::from_secs(10), ScenarioAction::Join { node: 6 })
+            .at(
+                SimTime::from_secs(11),
+                ScenarioAction::SetLinkBandwidth {
+                    link: 1,
+                    bps: 250_000.5,
+                },
+            )
+            .at(
+                SimTime::from_secs(12),
+                ScenarioAction::SetLinkLoss { link: 2, loss: 0.1 },
+            )
+            .at(
+                SimTime::from_secs(13),
+                ScenarioAction::SetLinkUp { link: 2, up: false },
+            )
+            .at(
+                SimTime::from_secs(14),
+                ScenarioAction::SetLinkUp { link: 2, up: true },
+            )
+            .at(
+                SimTime::from_secs(15),
+                ScenarioAction::SetRouterUp {
+                    router: 9,
+                    up: false,
+                },
+            )
+            .at(
+                SimTime::from_secs(16),
+                ScenarioAction::SetRouterUp {
+                    router: 9,
+                    up: true,
+                },
+            )
+            .at(
+                SimTime::from_secs_f64(17.125),
+                ScenarioAction::Partition {
+                    nodes: vec![1, 4, 9],
+                },
+            )
+            .at(SimTime::from_secs(18), ScenarioAction::Heal)
+            .at(
+                SimTime::from_secs(19),
+                ScenarioAction::Fault {
+                    node: 7,
+                    plan: FaultPlan {
+                        drop_chance: 0.125,
+                        duplicate_chance: 0.0625,
+                        delay_chance: 0.5,
+                        delay: SimDuration::from_millis(250),
+                    },
+                },
+            );
+        script.down_from_start(7);
+        script.down_from_start(11);
+        let reparsed = ScenarioScript::parse(&script.format()).expect("formatted script parses");
+        assert_eq!(reparsed, script, "parse(format(s)) must reconstruct s");
+    }
+
+    #[test]
+    fn format_round_trips_generated_scripts() {
+        let script = ScenarioScript::exponential_churn(&ChurnConfig {
+            nodes: (1..10).collect(),
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(60),
+            mean_session_secs: 13.0,
+            mean_downtime_secs: 4.0,
+            graceful_fraction: 0.25,
+            seed: 21,
+        })
+        .merge(ScenarioScript::partition_churn(
+            &[1, 2, 3, 4, 5],
+            SimTime::from_secs(5),
+            SimTime::from_secs(60),
+            9.0,
+            3.0,
+            77,
+        ));
+        let reparsed = ScenarioScript::parse(&script.format()).expect("formatted script parses");
+        assert_eq!(reparsed, script);
+    }
+
+    #[test]
+    fn partition_churn_alternates_and_ends_healed() {
+        let nodes: Vec<usize> = (1..12).collect();
+        let a = ScenarioScript::partition_churn(
+            &nodes,
+            SimTime::from_secs(10),
+            SimTime::from_secs(120),
+            15.0,
+            6.0,
+            5,
+        );
+        let b = ScenarioScript::partition_churn(
+            &nodes,
+            SimTime::from_secs(10),
+            SimTime::from_secs(120),
+            15.0,
+            6.0,
+            5,
+        );
+        assert_eq!(a, b, "same config must generate the same script");
+        assert!(
+            !a.is_empty(),
+            "110 s of partition churn generated no events"
+        );
+        let events = a.sorted_events();
+        let mut partitioned = false;
+        for event in &events {
+            match &event.action {
+                ScenarioAction::Partition { nodes: side } => {
+                    assert!(!partitioned, "partition while already partitioned");
+                    assert!(!side.is_empty());
+                    let mut sorted = side.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(&sorted, side, "sides are emitted sorted");
+                    assert!(side.iter().all(|n| nodes.contains(n)));
+                    assert!(event.at >= SimTime::from_secs(10));
+                    partitioned = true;
+                }
+                ScenarioAction::Heal => {
+                    assert!(partitioned, "heal without a partition");
+                    partitioned = false;
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+            assert!(event.at <= SimTime::from_secs(120));
+        }
+        assert!(!partitioned, "script must end healed");
     }
 
     #[test]

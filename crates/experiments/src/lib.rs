@@ -39,5 +39,6 @@ pub use runner::{run_metered, run_metered_dynamic, Delivery, MeteredAgent, RunRe
 pub use scale::Scale;
 pub use scenarios::{
     access_link_of, churn_figure, flash_crowd_figure, oscillating_bottleneck_figure,
+    partition_figure, recovery_figure, sustained_crash_script, RECOVERY_CRASH_EVERY_SECS,
 };
 pub use suite::{figure_suite, figure_suite_subset, render_suite, SUITE_PLAN_KEYS};

@@ -110,6 +110,24 @@ pub struct RunSummary {
     pub link_stress_max: u64,
     /// Fraction of the generated stream the median node received.
     pub median_delivery_fraction: f64,
+    /// Total orphan detections across nodes (§4.6 recovery subsystem;
+    /// zero for baselines and recovery-off runs).
+    pub orphan_detections: u64,
+    /// Total completed orphan re-attaches across nodes.
+    pub reattaches: u64,
+    /// Mean seconds from orphan detection to re-attach acceptance (zero
+    /// when nothing re-attached).
+    pub mean_reattach_secs: f64,
+    /// Median across re-attached nodes of their mean detection-to-accept
+    /// time, seconds (the §4.6 acceptance number).
+    pub median_reattach_secs: f64,
+    /// Total useful packets that arrived from the mesh while their
+    /// receiver was orphaned — the window the mesh bridged.
+    pub orphan_window_packets: u64,
+    /// Total control RPCs re-sent after a timeout.
+    pub control_retries: u64,
+    /// Total peers evicted for silence that were later heard from again.
+    pub false_positive_evictions: u64,
 }
 
 #[cfg(test)]

@@ -32,6 +32,18 @@ pub struct Delivery {
     pub useful_packets: u64,
     /// Packets generated (source only).
     pub packets_generated: u64,
+    /// Orphan detections (§4.6 recovery; zero for baselines).
+    pub orphan_detections: u64,
+    /// Completed orphan re-attaches.
+    pub reattaches: u64,
+    /// Cumulative microseconds between orphan detection and re-attach.
+    pub reattach_wait_us: u64,
+    /// Useful packets received from the mesh while orphaned.
+    pub orphan_window_packets: u64,
+    /// Control RPCs re-sent after a timeout.
+    pub control_retries: u64,
+    /// Silence-evicted peers later heard from again.
+    pub false_positive_evictions: u64,
 }
 
 /// A protocol agent whose delivery progress the runner can observe.
@@ -52,6 +64,12 @@ impl MeteredAgent for BulletNode {
             total_packets: m.total_packets,
             useful_packets: m.useful_packets,
             packets_generated: m.packets_generated,
+            orphan_detections: m.orphan_detections,
+            reattaches: m.reattaches,
+            reattach_wait_us: m.reattach_wait_us,
+            orphan_window_packets: m.orphan_window_packets,
+            control_retries: m.control_retries,
+            false_positive_evictions: m.false_positive_evictions,
         }
     }
 }
@@ -70,6 +88,7 @@ macro_rules! impl_metered_for_baseline {
                     total_packets: m.total_packets,
                     useful_packets: m.useful_packets,
                     packets_generated: m.packets_generated,
+                    ..Delivery::default()
                 }
             }
         }
@@ -228,12 +247,23 @@ impl Meter {
         let mut delivery_fractions: Vec<f64> = Vec::new();
         let generated = sim.agent(spec.source).delivery().packets_generated;
         let mut control_bytes = 0u64;
+        let mut recovery = Delivery::default();
+        let mut node_reattach_secs: Vec<f64> = Vec::new();
         for node in 0..n {
             let d = sim.agent(node).delivery();
+            if d.reattaches > 0 {
+                node_reattach_secs.push(d.reattach_wait_us as f64 / 1e6 / d.reattaches as f64);
+            }
             total_dups += d.duplicate_packets;
             total_parent_dups += d.duplicate_from_parent;
             total_packets += d.total_packets;
             control_bytes += sim.traffic(node).control_bytes_in;
+            recovery.orphan_detections += d.orphan_detections;
+            recovery.reattaches += d.reattaches;
+            recovery.reattach_wait_us += d.reattach_wait_us;
+            recovery.orphan_window_packets += d.orphan_window_packets;
+            recovery.control_retries += d.control_retries;
+            recovery.false_positive_evictions += d.false_positive_evictions;
             if node != spec.source && generated > 0 {
                 delivery_fractions.push(d.useful_packets as f64 / generated as f64);
             }
@@ -261,6 +291,24 @@ impl Meter {
                 .get(delivery_fractions.len() / 2)
                 .copied()
                 .unwrap_or(0.0),
+            orphan_detections: recovery.orphan_detections,
+            reattaches: recovery.reattaches,
+            mean_reattach_secs: if recovery.reattaches == 0 {
+                0.0
+            } else {
+                recovery.reattach_wait_us as f64 / 1e6 / recovery.reattaches as f64
+            },
+            median_reattach_secs: {
+                node_reattach_secs
+                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                node_reattach_secs
+                    .get(node_reattach_secs.len() / 2)
+                    .copied()
+                    .unwrap_or(0.0)
+            },
+            orphan_window_packets: recovery.orphan_window_packets,
+            control_retries: recovery.control_retries,
+            false_positive_evictions: recovery.false_positive_evictions,
         };
 
         RunResult {

@@ -15,8 +15,8 @@
 
 use std::sync::Arc;
 
-use bullet_dynamics::{ChurnConfig, ScenarioScript};
-use bullet_netsim::{NetworkSpec, OverlayId, SimTime};
+use bullet_dynamics::{ChurnConfig, ScenarioAction, ScenarioScript};
+use bullet_netsim::{FaultPlan, NetworkSpec, OverlayId, SimTime};
 use bullet_topology::{BandwidthProfile, LossProfile};
 
 use crate::env::{prepare_topology, TreeKind};
@@ -341,6 +341,231 @@ pub(crate) fn oscillating_bottleneck_plan(scale: Scale, sweep: &Sweep) -> Figure
             streaming.summary.steady_useful_kbps,
         ));
         crate::figures::push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
+}
+
+/// Sustained-crash recovery figure (§4.6 evaluation): one node crashes —
+/// and stays down — every 10 seconds, interior (largest-subtree) victims
+/// first so every crash orphans a subtree. Bullet with the recovery
+/// subsystem (orphan re-attach, peer liveness, control retries) is
+/// compared against the recovery-off churn profile under the *same* crash
+/// script: the delta is the goodput the §4.6 detect-and-re-attach path
+/// buys once the tree, not the mesh, is what keeps subtrees fed.
+pub fn recovery_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = recovery_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+/// The sustained-crash script shared by the recovery figure and bench:
+/// one crash every `RECOVERY_CRASH_EVERY_SECS` from shortly after stream
+/// start until 90% of the run, biggest subtrees first.
+pub fn sustained_crash_script(
+    tree: &bullet_overlay::Tree,
+    participants: usize,
+    stream_start: SimTime,
+    duration_secs: f64,
+) -> (ScenarioScript, usize) {
+    let mut victims: Vec<OverlayId> = (1..participants)
+        .filter(|&n| !tree.children(n).is_empty())
+        .collect();
+    victims.sort_by_key(|&n| std::cmp::Reverse(tree.subtree_size(n)));
+    victims.extend((1..participants).filter(|&n| tree.children(n).is_empty()));
+    let mut script = ScenarioScript::new();
+    let mut t = stream_start.as_secs_f64() + 10.0;
+    let end = duration_secs * 0.9;
+    let mut crashed = 0;
+    while t < end && crashed < victims.len() {
+        script.push(
+            SimTime::from_secs_f64(t),
+            ScenarioAction::Crash {
+                node: victims[crashed],
+            },
+        );
+        crashed += 1;
+        t += RECOVERY_CRASH_EVERY_SECS;
+    }
+    (script, crashed)
+}
+
+/// Crash cadence of the sustained-crash recovery scenario (the §4.6
+/// acceptance floor: at least one node per 10 s at the default scale).
+pub const RECOVERY_CRASH_EVERY_SECS: f64 = 10.0;
+
+pub(crate) fn recovery_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    let p = Params::new(scale, 34);
+    let topo = prepare_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+    let recovery_cfg = p.bullet_config(SCENARIO_RATE_BPS).recovery();
+    let baseline_cfg = p.bullet_config(SCENARIO_RATE_BPS).churn();
+    let (script, crashes) = sustained_crash_script(
+        &tree,
+        p.participants,
+        p.stream_start,
+        p.duration.as_secs_f64(),
+    );
+    let script = Arc::new(script);
+    let epoch_secs = recovery_cfg.ransub_epoch.as_secs_f64();
+
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (label, config) in [
+        ("Bullet - recovery on", &recovery_cfg),
+        ("Bullet - recovery off", &baseline_cfg),
+    ] {
+        for (k, &seed) in seeds.iter().enumerate() {
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let script = script.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+            }));
+        }
+    }
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "recovery",
+            "Achieved bandwidth under sustained crashes (one interior node per 10 s, never rejoining): §4.6 recovery subsystem on vs off",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        let (on, off) = (&chunks[0][0], &chunks[1][0]);
+        let s = &on.summary;
+        let ratio = s.steady_useful_kbps / off.summary.steady_useful_kbps.max(1e-9);
+        figure.notes.push(format!(
+            "{crashes} crashes: recovery-on {:.0} Kbps vs recovery-off {:.0} Kbps steady useful ({ratio:.1}x)",
+            s.steady_useful_kbps, off.summary.steady_useful_kbps,
+        ));
+        figure.notes.push(format!(
+            "{} orphan detections, {} re-attaches, median re-attach {:.2}s / mean {:.2}s ({:.0}s epochs), {} orphan-window packets, {} control retries, {} false-positive evictions",
+            s.orphan_detections,
+            s.reattaches,
+            s.median_reattach_secs,
+            s.mean_reattach_secs,
+            epoch_secs,
+            s.orphan_window_packets,
+            s.control_retries,
+            s.false_positive_evictions,
+        ));
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
+}
+
+/// Partition figure: a deterministic half of the overlay repeatedly
+/// partitions away from the rest (and heals), while a tenth of the nodes
+/// drop 20% of their control messages throughout. Recovery-on re-forms a
+/// tree inside each side and repairs it after every heal; recovery-off
+/// rides out each episode on whatever mesh state survives.
+pub fn partition_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = partition_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+pub(crate) fn partition_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    let p = Params::new(scale, 35);
+    let topo = prepare_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+    let recovery_cfg = p.bullet_config(SCENARIO_RATE_BPS).recovery();
+    let baseline_cfg = p.bullet_config(SCENARIO_RATE_BPS).churn();
+    let epoch_secs = recovery_cfg.ransub_epoch.as_secs_f64();
+
+    // The partitioned side: every other non-source node.
+    let side: Vec<OverlayId> = (1..p.participants).step_by(2).collect();
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    let mut partition_counts = Vec::new();
+    for (label, config) in [
+        ("Bullet - recovery on", &recovery_cfg),
+        ("Bullet - recovery off", &baseline_cfg),
+    ] {
+        for (k, &seed) in seeds.iter().enumerate() {
+            // Per-seed scripts: each sweep seed samples its own partition
+            // episode sequence (like the churn figure's scripts).
+            let mut script = ScenarioScript::partition_churn(
+                &side,
+                SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.2),
+                SimTime::from_secs_f64(p.duration.as_secs_f64() * 0.9),
+                window / 4.0,
+                (epoch_secs * 3.0).min(window / 6.0),
+                seed ^ 0x9A27,
+            );
+            if label.ends_with("on") {
+                partition_counts.push(script.len() / 2);
+            }
+            for node in (1..p.participants).step_by(10) {
+                script.push(
+                    p.stream_start,
+                    ScenarioAction::Fault {
+                        node,
+                        plan: FaultPlan {
+                            drop_chance: 0.2,
+                            ..FaultPlan::default()
+                        },
+                    },
+                );
+            }
+            let script = Arc::new(script);
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+            }));
+        }
+    }
+
+    let seeds = seeds.len();
+    let side_len = side.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "partition",
+            "Achieved bandwidth under repeated network partitions of half the overlay plus 20% control-message loss on a tenth of the nodes: §4.6 recovery subsystem on vs off",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        let (on, off) = (&chunks[0][0], &chunks[1][0]);
+        let s = &on.summary;
+        figure.notes.push(format!(
+            "{side_len} nodes partition away {} times: recovery-on {:.0} Kbps vs recovery-off {:.0} Kbps steady useful; {} re-attaches (median {:.2}s), {} control retries, {} false-positive evictions",
+            partition_counts.first().copied().unwrap_or(0),
+            s.steady_useful_kbps,
+            off.summary.steady_useful_kbps,
+            s.reattaches,
+            s.median_reattach_secs,
+            s.control_retries,
+            s.false_positive_evictions,
+        ));
+        push_seed_spread_notes(&mut figure, &chunks);
         vec![figure]
     })
 }

@@ -19,7 +19,9 @@ use crate::figures::{
 use crate::pool::Sweep;
 use crate::report::render_figure;
 use crate::scale::Scale;
-use crate::scenarios::{churn_plan, flash_crowd_plan, oscillating_bottleneck_plan};
+use crate::scenarios::{
+    churn_plan, flash_crowd_plan, oscillating_bottleneck_plan, partition_plan, recovery_plan,
+};
 
 /// The plan keys of the full suite, in assembly order. Subset requests
 /// ([`figure_suite_subset`]) name plans by these keys; the `fig07` plan
@@ -38,6 +40,8 @@ pub const SUITE_PLAN_KEYS: &[&str] = &[
     "churn",
     "flashcrowd",
     "oscillation",
+    "recovery",
+    "partition",
 ];
 
 /// Builds the plans selected by `keys` (see [`SUITE_PLAN_KEYS`]).
@@ -72,6 +76,8 @@ fn plans_for(scale: Scale, sweep: &Sweep, keys: &[&str]) -> Vec<FigurePlan> {
                 "churn" => churn_plan(scale, sweep),
                 "flashcrowd" => flash_crowd_plan(scale, sweep),
                 "oscillation" => oscillating_bottleneck_plan(scale, sweep),
+                "recovery" => recovery_plan(scale, sweep),
+                "partition" => partition_plan(scale, sweep),
                 other => panic!("unknown figure plan key {other:?} (see SUITE_PLAN_KEYS)"),
             }) as crate::pool::Task<'_, FigurePlan>
         })

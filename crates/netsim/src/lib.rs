@@ -66,5 +66,5 @@ pub use network::{
 };
 pub use rng::SimRng;
 pub use routing::{Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths};
-pub use sim::{NodeTraffic, Sim, SimCounters};
+pub use sim::{FaultPlan, NodeTraffic, Sim, SimCounters};
 pub use time::{transmission_time, SimDuration, SimTime};

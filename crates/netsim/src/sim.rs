@@ -43,10 +43,43 @@ pub struct SimCounters {
     pub dropped_dest_failed: u64,
     /// Messages discarded because the sender had failed when they were sent.
     pub dropped_src_failed: u64,
+    /// Messages discarded because sender and destination were on opposite
+    /// sides of an active network partition.
+    pub dropped_partitioned: u64,
+    /// Control messages dropped by an installed [`FaultPlan`].
+    pub dropped_faulted: u64,
+    /// Control messages duplicated by an installed [`FaultPlan`].
+    pub duplicated_faulted: u64,
+    /// Control messages delayed by an installed [`FaultPlan`].
+    pub delayed_faulted: u64,
     /// Timer expirations delivered.
     pub timers_fired: u64,
     /// Events processed in total.
     pub events: u64,
+}
+
+/// Deterministic control-plane fault model for one sender.
+///
+/// When installed via [`Sim::set_fault_plan`], every `MsgClass::Control`
+/// message the node sends is subjected (in this order, off the simulator's
+/// own RNG, so runs stay bit-identical at any thread count) to a drop
+/// chance, a duplicate chance, and a delay chance. Data traffic is never
+/// touched: the paper's §4.6 failure modes are lost *control* RPCs —
+/// peering requests, re-attach handshakes, RanSub sets — while data loss is
+/// already modelled by the links themselves. A simulator with no plans
+/// installed draws no extra RNG and behaves byte-identically to one built
+/// before this type existed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a control message is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a surviving control message is sent twice.
+    pub duplicate_chance: f64,
+    /// Probability a surviving control message is held back by
+    /// [`FaultPlan::delay`] before its first hop.
+    pub delay_chance: f64,
+    /// The hold-back applied when the delay chance hits.
+    pub delay: SimDuration,
 }
 
 /// An in-flight message. Flights live in the simulator's pooled slab; the
@@ -232,6 +265,12 @@ pub struct Sim<A: Agent> {
     queued_timers: usize,
     /// Dead-timer compaction sweeps run so far.
     timer_compactions: u64,
+    /// Per-node control-plane fault plans (`None` until the first plan is
+    /// installed, so fault-free runs pay nothing and draw no RNG).
+    faults: Option<Vec<Option<FaultPlan>>>,
+    /// Active partition side flags (`None` when the network is whole).
+    /// Messages between nodes with differing flags are dropped.
+    partition: Option<Vec<bool>>,
     started: bool,
     counters: SimCounters,
 }
@@ -292,6 +331,8 @@ impl<A: Agent> Sim<A> {
             timers: TimerAlloc::new(),
             queued_timers: 0,
             timer_compactions: 0,
+            faults: None,
+            partition: None,
             started: false,
             counters: SimCounters::default(),
         }
@@ -381,6 +422,51 @@ impl<A: Agent> Sim<A> {
     /// Schedules a recovery of a previously failed node.
     pub fn schedule_recovery(&mut self, at: SimTime, node: OverlayId) {
         self.push(at, EventKind::Recover(node));
+    }
+
+    /// Installs (or replaces) `node`'s control-plane [`FaultPlan`].
+    ///
+    /// Scenario drivers call this between event-loop steps; the plan takes
+    /// effect for every control message the node sends from now on.
+    pub fn set_fault_plan(&mut self, node: OverlayId, plan: FaultPlan) {
+        let n = self.agents.len();
+        self.faults.get_or_insert_with(|| vec![None; n])[node] = Some(plan);
+    }
+
+    /// Removes `node`'s fault plan (its control traffic flows clean again).
+    pub fn clear_fault_plan(&mut self, node: OverlayId) {
+        if let Some(plans) = &mut self.faults {
+            plans[node] = None;
+        }
+    }
+
+    /// The fault plan currently installed for `node`, if any.
+    pub fn fault_plan(&self, node: OverlayId) -> Option<FaultPlan> {
+        self.faults.as_ref().and_then(|plans| plans[node])
+    }
+
+    /// Partitions the network: the listed nodes land on one side, everyone
+    /// else on the other, and every message crossing the cut is dropped
+    /// (counted in [`SimCounters::dropped_partitioned`]). Replaces any
+    /// partition already active; [`Sim::heal_partition`] restores a whole
+    /// network. This models a clean overlay-level partition — physical
+    /// routes stay intact, so healing needs no topology-epoch invalidation.
+    pub fn set_partition(&mut self, nodes: &[OverlayId]) {
+        let mut sides = vec![false; self.agents.len()];
+        for &node in nodes {
+            sides[node] = true;
+        }
+        self.partition = Some(sides);
+    }
+
+    /// Heals any active partition.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
     }
 
     /// Dead queued timers are swept once they outnumber live timers by this
@@ -664,10 +750,52 @@ impl<A: Agent> Sim<A> {
             MsgClass::Data => self.traffic[from].data_bytes_out += size_bytes as u64,
             MsgClass::Control => self.traffic[from].control_bytes_out += size_bytes as u64,
         }
+        // Partition cut: the sender has paid its outbound bytes (the packet
+        // left the host), but nothing crossing the cut arrives.
+        if let Some(sides) = &self.partition {
+            if sides[from] != sides[to] {
+                self.counters.dropped_partitioned += 1;
+                return;
+            }
+        }
+        // Control-plane fault injection (drop, then duplicate, then delay —
+        // a fixed draw order so traces are reproducible). Only consulted
+        // when a plan is installed for the sender.
+        let mut duplicated = false;
+        let mut launch_delay = SimDuration::ZERO;
+        if matches!(class, MsgClass::Control) {
+            if let Some(plan) = self.faults.as_ref().and_then(|plans| plans[from]) {
+                if plan.drop_chance > 0.0 && self.rng.chance(plan.drop_chance) {
+                    self.counters.dropped_faulted += 1;
+                    return;
+                }
+                if plan.duplicate_chance > 0.0 && self.rng.chance(plan.duplicate_chance) {
+                    self.counters.duplicated_faulted += 1;
+                    duplicated = true;
+                }
+                if plan.delay_chance > 0.0 && self.rng.chance(plan.delay_chance) {
+                    self.counters.delayed_faulted += 1;
+                    launch_delay = plan.delay;
+                }
+            }
+        }
         let Some(route) = self.network.route(from, to) else {
             self.counters.dropped_in_network += 1;
             return;
         };
+        if duplicated {
+            let copy = self.flights.alloc(Flight {
+                from,
+                to,
+                msg: msg.clone(),
+                size_bytes,
+                class,
+                trace,
+                route,
+                hop: 0,
+            });
+            self.push(self.now + launch_delay, EventKind::Hop(copy));
+        }
         let fid = self.flights.alloc(Flight {
             from,
             to,
@@ -678,7 +806,7 @@ impl<A: Agent> Sim<A> {
             route,
             hop: 0,
         });
-        self.push(self.now, EventKind::Hop(fid));
+        self.push(self.now + launch_delay, EventKind::Hop(fid));
     }
 
     /// Pool introspection used by tests and benchmarks: `(flight slots,
@@ -1089,6 +1217,123 @@ mod tests {
             sim.agent(0).pongs_received.clone()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn fault_plan_drops_control_but_not_data() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_fault_plan(
+            0,
+            FaultPlan {
+                drop_chance: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        sim.invoke_agent(0, |_, ctx| ctx.send_control(1, PingMsg::Ping(0), 100));
+        sim.invoke_agent(0, |_, ctx| ctx.send_data(1, PingMsg::Ping(1), 100));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.counters().dropped_faulted, 1);
+        // The data ping arrived and earned a pong (sent clean: the receiver
+        // has no plan installed).
+        assert_eq!(sim.agent(0).pongs_received.len(), 1);
+        // The outbound bytes were still paid for the dropped control send.
+        assert_eq!(sim.traffic(0).control_bytes_out, 100);
+        // Clearing the plan restores clean control traffic.
+        sim.clear_fault_plan(0);
+        assert_eq!(sim.fault_plan(0), None);
+        sim.invoke_agent(0, |_, ctx| ctx.send_control(1, PingMsg::Ping(2), 100));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.counters().dropped_faulted, 1);
+        assert_eq!(sim.traffic(1).control_bytes_in, 100);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_and_delays_control() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_fault_plan(
+            0,
+            FaultPlan {
+                duplicate_chance: 1.0,
+                delay_chance: 1.0,
+                delay: SimDuration::from_millis(500),
+                ..FaultPlan::default()
+            },
+        );
+        sim.invoke_agent(0, |_, ctx| ctx.send_control(1, PingMsg::Ping(0), 100));
+        // Before the injected delay elapses nothing has arrived.
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(sim.traffic(1).control_bytes_in, 0);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.counters().duplicated_faulted, 1);
+        assert_eq!(sim.counters().delayed_faulted, 1);
+        // Both copies of the duplicated ping arrived (each earning a pong).
+        assert_eq!(sim.traffic(1).control_bytes_in, 200);
+        assert_eq!(sim.agent(0).pongs_received.len(), 2);
+    }
+
+    #[test]
+    fn partition_drops_cross_side_traffic_until_healed() {
+        // Three participants on the hub: 0 and 2 on one side, 1 on the other.
+        let mut spec = NetworkSpec::new(4);
+        for i in 0..3 {
+            spec.add_link(LinkSpec::new(3, i, 10e6, SimDuration::from_millis(10)));
+            spec.attach(i);
+        }
+        let agents = vec![
+            PingAgent::new(1, false, 0),
+            PingAgent::new(0, false, 0),
+            PingAgent::new(0, false, 0),
+        ];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_partition(&[1]);
+        assert!(sim.is_partitioned());
+        sim.invoke_agent(0, |_, ctx| ctx.send_data(1, PingMsg::Ping(0), 100));
+        sim.invoke_agent(2, |_, ctx| ctx.send_data(0, PingMsg::Ping(0), 100));
+        sim.run_until(SimTime::from_secs(1));
+        // 0 -> 1 crossed the cut and died; 2 -> 0 stayed on-side and its
+        // pong flowed back.
+        assert_eq!(sim.counters().dropped_partitioned, 1);
+        assert_eq!(sim.traffic(1).data_bytes_in, 0);
+        assert_eq!(sim.agent(2).pongs_received.len(), 1);
+        sim.heal_partition();
+        assert!(!sim.is_partitioned());
+        sim.invoke_agent(0, |_, ctx| ctx.send_data(1, PingMsg::Ping(1), 100));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.traffic(1).data_bytes_in, 100);
+        assert_eq!(sim.counters().dropped_partitioned, 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let spec = two_node_spec();
+            let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+            let mut sim = Sim::new(&spec, agents, 42);
+            sim.set_fault_plan(
+                0,
+                FaultPlan {
+                    drop_chance: 0.3,
+                    duplicate_chance: 0.2,
+                    delay_chance: 0.2,
+                    delay: SimDuration::from_millis(50),
+                },
+            );
+            for i in 0..50 {
+                sim.invoke_agent(0, move |_, ctx| ctx.send_control(1, PingMsg::Ping(i), 100));
+                sim.run_until(SimTime::from_millis(20 * (i as u64 + 1)));
+            }
+            sim.run_until(SimTime::from_secs(5));
+            (sim.counters(), sim.traffic(1))
+        };
+        let (c, t) = run();
+        assert_eq!((c, t), run());
+        assert!(c.dropped_faulted > 0, "drop chance never hit");
+        assert!(c.duplicated_faulted > 0, "duplicate chance never hit");
+        assert!(c.delayed_faulted > 0, "delay chance never hit");
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Prints the deterministic fingerprint of the fixed 64-node faults run.
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/faults64.rs`) drives the bullet64 star with the §4.6
+//! recovery subsystem enabled through permanent crashes, a partition/heal
+//! cycle and per-node control-message fault plans. The determinism test
+//! pins this fingerprint to golden values; this example exists so they
+//! can be (re)captured on any build.
+//!
+//! Run with `cargo run --release --example faults_probe`.
+
+#[path = "../tests/support/faults64.rs"]
+mod faults64;
+
+fn main() {
+    let (c, digest, bytes_sent, epoch, stats, reattaches) = faults64::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} dropped_partitioned={} dropped_faulted={} \
+         duplicated_faulted={} delayed_faulted={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.dropped_partitioned,
+        c.dropped_faulted,
+        c.duplicated_faulted,
+        c.delayed_faulted,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+    println!("topology_epoch: {epoch}");
+    println!(
+        "scenario: crashes={} partitions={} heals={} faults={}",
+        stats.crashes, stats.partitions, stats.heals, stats.faults
+    );
+    println!("reattaches: {reattaches}");
+}

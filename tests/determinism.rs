@@ -13,6 +13,8 @@
 mod bullet64;
 #[path = "support/churn64.rs"]
 mod churn64;
+#[path = "support/faults64.rs"]
+mod faults64;
 #[path = "support/paper_smoke.rs"]
 mod paper_smoke;
 
@@ -79,6 +81,50 @@ fn churn_64_matches_golden_run() {
 #[test]
 fn churn_64_is_deterministic_across_runs() {
     assert_eq!(churn64::fingerprint(), churn64::fingerprint());
+}
+
+/// The 64-node faults run: the bullet64 star with the §4.6 recovery
+/// subsystem enabled, driven through two permanent subtree-orphaning
+/// crashes, a 15-node partition/heal cycle, and per-node control-message
+/// fault plans (30% drop + 10% duplicate on one node, 50% 20 ms delay on
+/// another), all drawn from the deterministic sim RNG. The goldens below
+/// were captured with `examples/faults_probe.rs` on the first recovery
+/// build; the digest covers the recovery metrics (orphan detections,
+/// re-attaches, control retries, eviction false positives) per node, so
+/// any behavioural drift in the failure-recovery subsystem moves it.
+#[test]
+fn faults_64_matches_golden_run() {
+    let (counters, digest, bytes_sent, epoch, stats, reattaches) = faults64::fingerprint();
+    assert_eq!(counters.delivered, 68_294);
+    assert_eq!(counters.dropped_in_network, 737);
+    assert_eq!(counters.dropped_dest_failed, 796);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.dropped_partitioned, 1_578);
+    assert_eq!(counters.dropped_faulted, 102);
+    assert_eq!(counters.duplicated_faulted, 21);
+    assert_eq!(counters.delayed_faulted, 119);
+    assert_eq!(counters.timers_fired, 10_564);
+    assert_eq!(counters.events, 288_283);
+    assert_eq!(digest, 0x5369_0a92_4fd5_22d4);
+    assert_eq!(bytes_sent, 163_201_968);
+    // Partitions and faults never touch routes: no topology epochs.
+    assert_eq!(epoch, 0);
+    // The script applied in full.
+    assert_eq!(stats.crashes, 2);
+    assert_eq!(stats.partitions, 1);
+    assert_eq!(stats.heals, 1);
+    assert_eq!(stats.faults, 2);
+    // The recovery subsystem actually fired: orphans (and partition
+    // survivors that lost their parent path) re-attached.
+    assert_eq!(reattaches, 95);
+}
+
+/// Two faults runs with the same seed must be byte-identical: fault
+/// injection draws, partition drops and the re-attach ladder are all
+/// deterministic.
+#[test]
+fn faults_64_is_deterministic_across_runs() {
+    assert_eq!(faults64::fingerprint(), faults64::fingerprint());
 }
 
 /// The `BULLET_SCALE=paper` smoke run: 256 Bullet nodes streaming for a few

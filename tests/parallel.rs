@@ -15,15 +15,19 @@
 mod bullet64;
 #[path = "support/churn64.rs"]
 mod churn64;
+#[path = "support/faults64.rs"]
+mod faults64;
 
 use bullet_suite::experiments::{figure_suite_subset, render_suite, Scale, Sweep};
 
 /// The subset of the suite the invariance gate sweeps: a multi-run paper
 /// figure (fig09: three topologies × two protocols), the fig07 grid with
-/// its derived fig08 CDF, and a scenario-dynamics figure (churn: scripted
-/// mid-run membership events). Two seeds widen every configuration so the
-/// grid is large enough that an ordering bug cannot hide.
-const GATED_SUBSET: &[&str] = &["fig07", "fig09", "churn"];
+/// its derived fig08 CDF, a scenario-dynamics figure (churn: scripted
+/// mid-run membership events), and the failure-recovery figure (recovery:
+/// sustained crashes with the §4.6 subsystem on vs off). Two seeds widen
+/// every configuration so the grid is large enough that an ordering bug
+/// cannot hide.
+const GATED_SUBSET: &[&str] = &["fig07", "fig09", "churn", "recovery"];
 
 #[test]
 fn figure_suite_is_bit_identical_across_thread_counts() {
@@ -75,6 +79,25 @@ fn bullet64_golden_is_identical_under_concurrency() {
     let reference = bullet64::fingerprint();
     let concurrent: Vec<_> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..8).map(|_| scope.spawn(bullet64::fingerprint)).collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for fingerprint in concurrent {
+        assert_eq!(fingerprint, reference);
+    }
+}
+
+/// Same gate for the faults64 golden: the §4.6 recovery subsystem —
+/// orphan detection off RanSub-epoch silence, the re-attach ladder,
+/// control-RPC retries — together with partition drops and per-node
+/// fault-injection draws must be byte-identical at any thread count.
+#[test]
+fn faults64_golden_is_identical_under_concurrency() {
+    let reference = faults64::fingerprint();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8).map(|_| scope.spawn(faults64::fingerprint)).collect();
         workers
             .into_iter()
             .map(|w| w.join().expect("worker panicked"))

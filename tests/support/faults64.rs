@@ -1,0 +1,138 @@
+//! The fixed 64-node faults golden workload.
+//!
+//! The bullet64 star topology with the §4.6 recovery subsystem enabled
+//! (short 2-second RanSub epochs so detection fits the window), driven by
+//! a scenario script that exercises every failure channel at once: a
+//! permanent crash that orphans a subtree (recovery re-attaches it), a
+//! network partition with a later heal, and per-node control-message
+//! fault plans (drops, duplicates and delays off the deterministic sim
+//! RNG). Shared (via `#[path]` inclusion) by `tests/determinism.rs`,
+//! which pins the fingerprint to golden values, and
+//! `examples/faults_probe.rs`, which recaptures them.
+
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript, ScenarioStats};
+use bullet_suite::netsim::{
+    FaultPlan, LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime,
+};
+use bullet_suite::overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2003;
+const RUN_SECS: u64 = 25;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// The faults script over the 64-node star: a subtree-orphaning crash,
+/// a partition/heal cycle and two control-message fault plans.
+fn script() -> ScenarioScript {
+    ScenarioScript::new()
+        // Lossy and slow control planes from early on: node 5 drops 30%
+        // and duplicates 10% of its incoming control messages, node 9
+        // delays half of its by 20 ms.
+        .at(
+            SimTime::from_secs(3),
+            ScenarioAction::Fault {
+                node: 5,
+                plan: FaultPlan {
+                    drop_chance: 0.3,
+                    duplicate_chance: 0.1,
+                    ..FaultPlan::default()
+                },
+            },
+        )
+        .at(
+            SimTime::from_secs(3),
+            ScenarioAction::Fault {
+                node: 9,
+                plan: FaultPlan {
+                    delay_chance: 0.5,
+                    delay: SimDuration::from_millis(20),
+                    ..FaultPlan::default()
+                },
+            },
+        )
+        // A permanent crash: node 3's subtree orphans and must re-attach.
+        .at(SimTime::from_secs(6), ScenarioAction::Crash { node: 3 })
+        // A partition cuts nodes 33-47 off for three epochs, then heals.
+        .at(
+            SimTime::from_secs(8),
+            ScenarioAction::Partition {
+                nodes: (33..48).collect(),
+            },
+        )
+        .at(SimTime::from_secs(14), ScenarioAction::Heal)
+        // A second permanent crash after the heal.
+        .at(SimTime::from_secs(16), ScenarioAction::Crash { node: 11 })
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links, topology epoch, scenario stats, total
+/// re-attaches)`.
+///
+/// The digest extends the churn64 per-node values with the recovery
+/// metrics (orphan detections, re-attaches, control retries, eviction
+/// false positives), so any behavioural drift in the §4.6 subsystem —
+/// not just in delivery — moves the fingerprint.
+pub fn fingerprint() -> (SimCounters, u64, u64, u64, ScenarioStats, u64) {
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ransub_epoch: SimDuration::from_secs(2),
+        ..BulletConfig::default()
+    }
+    .recovery();
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, SEED);
+    let mut driver = ScenarioDriver::new(&script());
+    driver.install(&mut sim);
+    driver.run_until(&mut sim, SimTime::from_secs(RUN_SECS));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for node in 0..NODES {
+        let m = &sim.agent(node).metrics;
+        let t = sim.traffic(node);
+        for v in [
+            m.useful_packets,
+            m.useful_bytes,
+            m.raw_bytes,
+            m.duplicate_packets,
+            m.total_packets,
+            m.orphan_detections,
+            m.reattaches,
+            m.control_retries,
+            m.false_positive_evictions,
+            t.data_bytes_in,
+            t.control_bytes_in,
+            t.data_bytes_out,
+            t.control_bytes_out,
+        ] {
+            digest = mix(digest, v);
+        }
+    }
+    let reattaches = (0..NODES).map(|n| sim.agent(n).metrics.reattaches).sum();
+    (
+        sim.counters(),
+        digest,
+        sim.network().total_bytes_sent(),
+        sim.network().topology_epoch(),
+        driver.stats,
+        reattaches,
+    )
+}
