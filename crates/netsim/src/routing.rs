@@ -134,6 +134,32 @@ impl Adjacency {
         self.in_edges[to].push((from, link, cost));
     }
 
+    /// Updates the cost of an existing directed edge in place. A no-op if
+    /// the edge is not present (the link is administratively down).
+    ///
+    /// Edge-list order is irrelevant to canonical paths — relaxation scans
+    /// the whole list and the tie-break compares link ids, not positions —
+    /// so in-place patching yields bit-identical routes to a full rebuild.
+    pub fn set_edge_cost(&mut self, from: RouterId, to: RouterId, link: DirectedLinkId, cost: u64) {
+        for e in &mut self.edges[from] {
+            if e.1 == link {
+                e.2 = cost;
+            }
+        }
+        for e in &mut self.in_edges[to] {
+            if e.1 == link {
+                e.2 = cost;
+            }
+        }
+    }
+
+    /// Removes a directed edge (see [`Adjacency::set_edge_cost`] on why
+    /// in-place removal preserves canonical paths).
+    pub fn remove_edge(&mut self, from: RouterId, to: RouterId, link: DirectedLinkId) {
+        self.edges[from].retain(|e| e.1 != link);
+        self.in_edges[to].retain(|e| e.1 != link);
+    }
+
     /// Number of routers.
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -152,6 +178,37 @@ impl Adjacency {
     /// Edges arriving at `router`, as `(from, link, cost)`.
     pub fn in_neighbors(&self, router: RouterId) -> &[(RouterId, DirectedLinkId, u64)] {
         &self.in_edges[router]
+    }
+
+    /// Dijkstra distances from `source` to every router (`u64::MAX` marks
+    /// unreachable). One full-graph scan — used by the incremental repair's
+    /// exact improving-edge filter, where a handful of these replaces
+    /// recomputing every cached route.
+    pub fn distances_from(&self, source: RouterId) -> Vec<u64> {
+        dijkstra_dist(self, source)
+    }
+
+    /// Dijkstra distances from every router *to* `target`, running over the
+    /// in-edge lists — exact even on asymmetric graphs.
+    pub fn distances_to(&self, target: RouterId) -> Vec<u64> {
+        let n = self.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[target] = 0;
+        heap.push(Reverse((0u64, target)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, _, cost) in self.in_neighbors(u) {
+                let nd = d.saturating_add(cost);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
     }
 }
 
@@ -602,6 +659,18 @@ pub struct LazyRouterStats {
     pub landmarks: usize,
 }
 
+/// Outcome of a [`LazyRouter::repair_landmarks`] pass (see there for the
+/// invariant it restores).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LandmarkRepair {
+    /// Landmark tables checked for per-edge consistency.
+    pub checks: u64,
+    /// Tables that failed the check and were repaired.
+    pub repairs: u64,
+    /// Table entries lowered across all repairs.
+    pub nodes_lowered: u64,
+}
+
 /// On-demand point-to-point router: lazy bidirectional Dijkstra with an
 /// optional ALT (landmark) lower-bound mode.
 ///
@@ -693,6 +762,91 @@ impl LazyRouter {
             settled: self.settled,
             landmarks: self.landmark_dists.len(),
         }
+    }
+
+    /// The landmark distance tables this router computes potentials from
+    /// (raw, unscaled cost units; `u64::MAX` marks an unreachable router).
+    pub fn landmark_tables(&self) -> &[Vec<u64>] {
+        &self.landmark_dists
+    }
+
+    /// Restores landmark admissibility after graph mutations that *improved*
+    /// connectivity (edges added or costs lowered), without recomputing any
+    /// table from scratch.
+    ///
+    /// The invariant maintained is per-edge consistency: for every up edge
+    /// `(u, v)` of cost `c`, each table satisfies `d[v] ≤ d[u] + c`. By
+    /// induction along any path this implies `|d[a] − d[b]|` is a true lower
+    /// bound on `dist(a, b)` — the only property ALT needs; the tables never
+    /// have to be *exact* distances. Worsening mutations (removals, cost
+    /// increases) keep the invariant for free — stale entries are merely too
+    /// low, which is still a lower bound — so callers only pass the improved
+    /// edges. Consistency can only break *at* an improved edge, so the check
+    /// is `O(tables × improved edges)`; a table that fails is repaired with a
+    /// decrease-only Dijkstra seeded from the violated edges, touching just
+    /// the region whose entries actually drop. Entries decrease monotonically
+    /// and never rise, so a cost oscillation that returns an edge to its
+    /// original value needs zero repair work.
+    ///
+    /// `improved` holds `(from, to, new_cost)` directed edges, in raw cost
+    /// units; both orientations of a symmetric link must be present when both
+    /// changed. Tables are cloned on first write if still shared with sibling
+    /// routers ([`LazyRouter::with_landmarks`] sharing stays sound — sharers
+    /// keep their own consistent snapshot of the pre-mutation graph).
+    pub fn repair_landmarks(
+        &mut self,
+        adj: &Adjacency,
+        improved: &[(RouterId, RouterId, u64)],
+    ) -> LandmarkRepair {
+        let mut out = LandmarkRepair::default();
+        if self.landmark_dists.is_empty() || improved.is_empty() {
+            return out;
+        }
+        // Read-only pass first: only clone the shared tables when a repair is
+        // actually needed.
+        let violated: Vec<usize> = self
+            .landmark_dists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, table)| {
+                out.checks += 1;
+                improved
+                    .iter()
+                    .any(|&(u, v, c)| table[u].saturating_add(c) < table[v])
+                    .then_some(i)
+            })
+            .collect();
+        if violated.is_empty() {
+            return out;
+        }
+        let tables = Arc::make_mut(&mut self.landmark_dists);
+        let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
+        for i in violated {
+            out.repairs += 1;
+            let dist = &mut tables[i];
+            heap.clear();
+            for &(u, v, c) in improved {
+                let nd = dist[u].saturating_add(c);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                out.nodes_lowered += 1;
+                for &(v, _, cost) in adj.neighbors(u) {
+                    let nd = d.saturating_add(cost);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Computes the canonical shortest path from `src` to `dst`, returning
@@ -1296,5 +1450,100 @@ mod tests {
                 landmarks: RoutingMode::DEFAULT_LANDMARKS
             }
         );
+    }
+
+    /// In-place adjacency patching must be indistinguishable from building
+    /// the mutated graph fresh: same canonical path for every pair.
+    #[test]
+    fn in_place_mutators_match_a_freshly_built_graph() {
+        let mut adj = line(5);
+        // Mutate: drop the 1-2 hop, add a 0-4 shortcut, raise 2-3 to 7.
+        adj.remove_edge(1, 2, 2);
+        adj.remove_edge(2, 1, 3);
+        adj.add_edge(0, 4, 8, 3);
+        adj.add_edge(4, 0, 9, 3);
+        adj.set_edge_cost(2, 3, 4, 7);
+        adj.set_edge_cost(3, 2, 5, 7);
+        // Fresh build of the same final graph.
+        let mut fresh = Adjacency::new(5);
+        fresh.add_edge(0, 1, 0, 1);
+        fresh.add_edge(1, 0, 1, 1);
+        fresh.add_edge(2, 3, 4, 7);
+        fresh.add_edge(3, 2, 5, 7);
+        fresh.add_edge(3, 4, 6, 1);
+        fresh.add_edge(4, 3, 7, 1);
+        fresh.add_edge(0, 4, 8, 3);
+        fresh.add_edge(4, 0, 9, 3);
+        for src in 0..5 {
+            let a = ShortestPaths::compute(&adj, src);
+            let b = ShortestPaths::compute(&fresh, src);
+            for dst in 0..5 {
+                assert_eq!(a.cost_to(dst), b.cost_to(dst), "{src}->{dst}");
+                assert_eq!(a.path_to(dst), b.path_to(dst), "{src}->{dst}");
+            }
+        }
+        // Removing a down edge twice or patching a missing edge is a no-op.
+        adj.remove_edge(1, 2, 2);
+        adj.set_edge_cost(1, 2, 2, 9);
+        assert_eq!(adj.neighbors(1).len(), 1);
+    }
+
+    /// Landmark repair restores per-edge consistency (and with it
+    /// admissibility) after improvements, does nothing for worsenings, and
+    /// does zero work when an oscillation restores the original cost.
+    #[test]
+    fn landmark_repair_restores_admissibility() {
+        let mut adj = line(6);
+        let mut router = LazyRouter::new(&adj, 2);
+        let tables = router.landmark_tables().to_vec();
+
+        // Worsening: raise 2-3 to 9. Tables are now stale-low but still
+        // admissible; no repair pass is run (callers pass improvements only).
+        adj.set_edge_cost(2, 3, 4, 9);
+        adj.set_edge_cost(3, 2, 5, 9);
+        assert_eq!(router.landmark_tables(), &tables[..]);
+
+        // Improving: restore 2-3 to 1 — exactly the original graph, so the
+        // (unchanged) tables are already consistent and repair is free.
+        adj.set_edge_cost(2, 3, 4, 1);
+        adj.set_edge_cost(3, 2, 5, 1);
+        let r = router.repair_landmarks(&adj, &[(2, 3, 1), (3, 2, 1)]);
+        assert_eq!(r.checks, 2);
+        assert_eq!(r.repairs, 0);
+        assert_eq!(r.nodes_lowered, 0);
+
+        // Improving below the original: a 0-5 shortcut of cost 1 breaks
+        // consistency at the new edge; repair must lower entries and end
+        // with true lower bounds everywhere.
+        adj.add_edge(0, 5, 10, 1);
+        adj.add_edge(5, 0, 11, 1);
+        let r = router.repair_landmarks(&adj, &[(0, 5, 1), (5, 0, 1)]);
+        assert!(r.repairs > 0);
+        assert!(r.nodes_lowered > 0);
+        for table in router.landmark_tables() {
+            for u in 0..6 {
+                for &(v, _, c) in adj.neighbors(u) {
+                    assert!(
+                        table[v] <= table[u].saturating_add(c),
+                        "consistency broken at {u}->{v}"
+                    );
+                }
+            }
+        }
+        // Admissibility against true distances on the mutated graph.
+        for src in 0..6 {
+            let sp = ShortestPaths::compute(&adj, src);
+            for dst in 0..6 {
+                let true_dist = sp.cost_to(dst).unwrap();
+                for table in router.landmark_tables() {
+                    assert!(table[src].abs_diff(table[dst]) <= true_dist);
+                }
+            }
+        }
+        // And queries still return canonical paths with correct costs.
+        let sp = ShortestPaths::compute(&adj, 1);
+        let (cost, path) = router.query(&adj, 1, 5).unwrap();
+        assert_eq!(Some(cost), sp.cost_to(5));
+        assert_eq!(Some(path.to_vec()), sp.path_to(5));
     }
 }

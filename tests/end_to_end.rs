@@ -3,7 +3,7 @@
 
 use bullet_suite::baselines::{StreamConfig, StreamTransport, StreamingNode};
 use bullet_suite::bullet::{BulletConfig, BulletNode};
-use bullet_suite::dynamics::{ChurnConfig, ScenarioScript};
+use bullet_suite::dynamics::{ChurnConfig, ScenarioAction, ScenarioScript};
 use bullet_suite::experiments::{build_topology, build_tree};
 use bullet_suite::experiments::{
     bullet_run, bullet_run_scenario, flash_crowd_figure, run_metered, RunResult, RunSpec, Scale,
@@ -211,6 +211,93 @@ fn fig13_through_the_scenario_engine_matches_the_legacy_path() {
         "per-node byte counters moved"
     );
     assert_eq!(legacy.summary, scripted.summary, "summary scalars moved");
+}
+
+/// Loss and bandwidth mutations are metadata-only: link costs are
+/// propagation delays, so neither can re-route anything, and the repair
+/// subsystem must do literally zero work for them. Re-asserting the links'
+/// current values mid-run must reproduce the unscripted run bit for bit
+/// (identical delivery traces), and even genuinely changed values must not
+/// register a single route mutation or invalidation.
+#[test]
+fn loss_and_bandwidth_scripts_cause_zero_route_repair() {
+    let (topo, tree) = small_env(BandwidthProfile::Medium, 41);
+    let config = BulletConfig {
+        stream_rate_bps: STREAM_BPS,
+        stream_start: SimTime::from_secs(10),
+        ..BulletConfig::default()
+    };
+    let run = spec("Bullet, metadata-only mutations", 60);
+
+    let baseline =
+        bullet_run_scenario(&topo.spec, &tree, &config, &run, &ScenarioScript::new(), 41);
+
+    // Same-value re-asserts: metadata writes with no observable effect.
+    let mut noop = ScenarioScript::new();
+    for (i, at) in [(0usize, 20u64), (1, 30), (2, 40)] {
+        noop.push(
+            SimTime::from_secs(at),
+            ScenarioAction::SetLinkBandwidth {
+                link: i,
+                bps: topo.spec.links[i].bandwidth_bps,
+            },
+        );
+        noop.push(
+            SimTime::from_secs(at + 5),
+            ScenarioAction::SetLinkLoss {
+                link: i,
+                loss: topo.spec.links[i].loss,
+            },
+        );
+    }
+    let reasserted = bullet_run_scenario(&topo.spec, &tree, &config, &run, &noop, 41);
+    assert_eq!(
+        baseline.useful.kbps, reasserted.useful.kbps,
+        "same-value loss/bandwidth writes moved the useful series"
+    );
+    assert_eq!(
+        baseline.per_node_useful_bytes, reasserted.per_node_useful_bytes,
+        "same-value loss/bandwidth writes moved per-node delivery"
+    );
+    assert_eq!(
+        baseline.summary, reasserted.summary,
+        "same-value loss/bandwidth writes moved the summary"
+    );
+    assert_eq!(
+        baseline.summary.route_mutations, 0,
+        "repair work registered"
+    );
+
+    // Genuinely changed values alter packet fates but still must not touch
+    // the routing layers.
+    let changed = ScenarioScript::new()
+        .at(
+            SimTime::from_secs(20),
+            ScenarioAction::SetLinkBandwidth {
+                link: 0,
+                bps: topo.spec.links[0].bandwidth_bps * 0.5,
+            },
+        )
+        .at(
+            SimTime::from_secs(30),
+            ScenarioAction::SetLinkLoss {
+                link: 1,
+                loss: 0.05,
+            },
+        );
+    let perturbed = bullet_run_scenario(&topo.spec, &tree, &config, &run, &changed, 41);
+    assert_eq!(
+        perturbed.summary.route_mutations, 0,
+        "loss/bandwidth changes must not count as route mutations"
+    );
+    assert_eq!(
+        perturbed.summary.routes_invalidated, 0,
+        "loss/bandwidth changes must not invalidate any route"
+    );
+    assert_eq!(
+        perturbed.summary.landmark_repairs, 0,
+        "loss/bandwidth changes must not repair landmark tables"
+    );
 }
 
 /// A flash crowd absorbed mid-run: the late joiners bootstrap off the mesh

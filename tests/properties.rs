@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use bullet_suite::codec::{Framing, LtDecoder, LtEncoder, TornadoDecoder, TornadoEncoder};
 use bullet_suite::content::{BloomFilter, PermutationFamily, SummaryTicket, WorkingSet};
-use bullet_suite::netsim::{LinkSpec, Network, NetworkSpec, SimDuration, SimRng};
+use bullet_suite::netsim::{LinkSpec, Network, NetworkSpec, RoutingMode, SimDuration, SimRng};
 use bullet_suite::overlay::{
     bottleneck_tree_with, overcast_tree_with, random_tree, OmbtConfig, OracleStrategy,
     OvercastConfig, ThroughputOracle, Tree,
@@ -390,6 +390,138 @@ fn mutated_routing_matches_fresh_rebuild_on_tie_heavy_grids() {
         TopoMutation::Delay(7, SimDuration::from_millis(1)),
     ];
     routing_equiv::assert_mutation_equivalence(&spec, &mutations, "grid5x5");
+}
+
+/// The randomized mutation-equivalence gate for incremental route repair:
+/// long seeded sequences of mixed mutations (worsening, improving,
+/// exact-restore oscillations, no-op re-asserts, correlated router outages)
+/// over both generated topology classes, with a fresh rebuild as ground
+/// truth after every step and the repair-mode accounting pinned at the end.
+#[test]
+fn incremental_repair_matches_rebuild_under_fuzzed_mutation_sequences() {
+    let mut rng = SimRng::new(0x1C4E_9A1B);
+    for case in 0..3 {
+        let seed = rng.next_u64();
+        let clients = 6 + (rng.next_u64() % 6) as usize;
+        let small = generate(&TopologyConfig::small(clients, seed));
+        routing_equiv::assert_incremental_equivalence(
+            &small.spec,
+            rng.next_u64(),
+            14,
+            &format!("fuzz/small/case{case}"),
+        );
+        let emulation = generate(&TopologyConfig::emulation(clients, seed));
+        routing_equiv::assert_incremental_equivalence(
+            &emulation.spec,
+            rng.next_u64(),
+            14,
+            &format!("fuzz/emulation/case{case}"),
+        );
+    }
+}
+
+/// Same fuzzer on the tie-heavy grid, where improving mutations shift which
+/// of many equal-cost paths is canonical — the hardest case for the
+/// landmark-bound survival filter to get bit-identical (any `>=` where `>`
+/// is required keeps a route that the canonical tie-break would replace).
+#[test]
+fn incremental_repair_matches_rebuild_on_fuzzed_tie_heavy_grids() {
+    let (w, h) = (5, 5);
+    let mut spec = NetworkSpec::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                spec.add_link(LinkSpec::new(id, id + 1, 1e6, SimDuration::from_millis(1)));
+            }
+            if y + 1 < h {
+                spec.add_link(LinkSpec::new(id, id + w, 1e6, SimDuration::from_millis(1)));
+            }
+            spec.attach(id);
+        }
+    }
+    routing_equiv::assert_incremental_equivalence(&spec, 0x6E1D_F02D, 16, "fuzz/grid5x5");
+}
+
+/// ALT landmark lower bounds must stay admissible (`lb <= true cost`)
+/// across arbitrary mutation sequences. Worsening mutations keep stale
+/// tables sound for free; improving mutations must trigger the
+/// admissibility check-and-repair — and a stale-landmark query must never
+/// escape the guard: the repaired network's paths stay bit-identical to a
+/// fresh rebuild on every pair, after every step.
+#[test]
+fn alt_lower_bounds_stay_admissible_after_mutation_sequences() {
+    use routing_equiv::TopoMutation;
+    let mut rng = SimRng::new(0x0A17_B0B5);
+    for case in 0..4 {
+        let seed = rng.next_u64();
+        let topo = generate(&TopologyConfig::small(8, seed));
+        let mut spec = topo.spec.clone();
+        let mut net = Network::with_routing(&spec, RoutingMode::LazyAlt { landmarks: 4 });
+        let n = spec.participants();
+        for a in 0..n {
+            for b in 0..n {
+                let _ = net.path(a, b);
+            }
+        }
+        let links = spec.links.len();
+        // Alternate worsening and improving delay moves with a mid-sequence
+        // link outage and heal, so the landmark tables see both the
+        // stale-is-still-sound direction and the must-repair direction.
+        let target = (rng.next_u64() % links as u64) as usize;
+        let mutations = [
+            TopoMutation::Delay(target, SimDuration::from_millis(80)),
+            TopoMutation::LinkUp((target + 1) % links, false),
+            TopoMutation::Delay(target, SimDuration::from_micros(700)),
+            TopoMutation::LinkUp((target + 1) % links, true),
+            TopoMutation::Delay((target + 2) % links, SimDuration::from_micros(900)),
+        ];
+        for (step, mutation) in mutations.into_iter().enumerate() {
+            match mutation {
+                TopoMutation::Delay(link, delay) => {
+                    spec.set_link_delay(link, delay);
+                    net.set_link_delay(link, delay);
+                }
+                TopoMutation::LinkUp(link, up) => {
+                    spec.set_link_up(link, up);
+                    net.set_link_up(link, up);
+                }
+                _ => unreachable!(),
+            }
+            let mut fresh = Network::with_routing(&spec, RoutingMode::EagerPerSource);
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let ctx = format!("case {case} step {step}: {a}->{b}");
+                    // Stale landmarks must never leak a wrong route.
+                    assert_eq!(fresh.path(a, b), net.path(a, b), "{ctx}: path diverges");
+                    let lb = net
+                        .alt_lower_bound(a, b)
+                        .expect("ALT network must expose landmark bounds");
+                    if let Some(true_cost) = fresh.propagation_delay(a, b) {
+                        // All harness delays are >= 1us, so the raw routing
+                        // cost equals the propagation delay in microseconds.
+                        assert!(
+                            lb <= true_cost.as_micros(),
+                            "{ctx}: lower bound {lb} exceeds true cost {}",
+                            true_cost.as_micros()
+                        );
+                    }
+                }
+            }
+        }
+        let rs = net.repair_stats();
+        assert!(
+            rs.landmark_checks > 0,
+            "case {case}: improving mutations never triggered an admissibility check"
+        );
+        assert_eq!(
+            rs.full_invalidations, 0,
+            "case {case}: incremental network fell back to a wholesale dump"
+        );
+    }
 }
 
 /// The bandwidth oracles must observe link mutations: estimates read live

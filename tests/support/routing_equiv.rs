@@ -10,7 +10,9 @@
 //! `tests/properties.rs` and the paper-scale tests, so every generated
 //! topology class goes through the same gate.
 
-use bullet_suite::netsim::{Network, NetworkSpec, RouterId, RoutingMode, SimDuration};
+use bullet_suite::netsim::{
+    Network, NetworkSpec, RepairMode, RouterId, RoutingMode, SimDuration, SimRng,
+};
 
 /// Number of landmarks the harness gives the ALT router. Deliberately small
 /// so the landmark bounds do real pruning work instead of degenerating.
@@ -298,6 +300,263 @@ pub fn assert_mutation_equivalence(spec: &NetworkSpec, mutations: &[TopoMutation
     if route_affecting > 0 {
         assert!(eager.topology_epoch() > 0, "{label}: epoch never moved");
     }
+}
+
+/// Randomized mutation-sequence equivalence fuzzer for incremental route
+/// repair: drives `steps` seeded random mutations — bandwidth, loss, delay
+/// raises/lowers, exact-restore delay oscillations, link toggles, no-op
+/// re-asserts, correlated router outages and heals — over `spec`, and after
+/// **every** step asserts that all incrementally repaired networks (the
+/// three strategies plus both batched row-fill variants) and a
+/// wholesale-rebuild baseline serve routes bit-identical to a network
+/// freshly built on the mutated spec.
+///
+/// After the random phase, a deterministic heal epilogue restores every
+/// downed router and link and every changed delay (plus one raise/restore
+/// oscillation), so every run is guaranteed to exercise the improving-
+/// mutation machinery — landmark admissibility checks, the lower-bound
+/// survival filter, unreachable-pair reopening — regardless of seed.
+///
+/// The closing asserts pin the mode accounting: the incremental networks
+/// must never have fallen back to a wholesale dump, the rebuild baseline
+/// must have dumped on every route-affecting mutation, both must agree on
+/// the epoch, and the fuzz run must actually have exercised the repair
+/// machinery (route-affecting mutations and ALT admissibility checks > 0).
+pub fn assert_incremental_equivalence(spec: &NetworkSpec, seed: u64, steps: usize, label: &str) {
+    let mut rng = SimRng::new(seed);
+    let (mut eager, mut bidi, mut alt) = networks(spec);
+    let (mut bidi_batched, mut alt_batched) = batched_networks(spec);
+    // The fuzzer is about the incremental mode: pin it even if the
+    // environment overrode BULLET_REPAIR.
+    for net in [
+        &mut eager,
+        &mut bidi,
+        &mut alt,
+        &mut bidi_batched,
+        &mut alt_batched,
+    ] {
+        net.set_repair_mode(RepairMode::Incremental);
+    }
+    let mut rebuild = Network::with_routing(
+        spec,
+        RoutingMode::LazyAlt {
+            landmarks: HARNESS_LANDMARKS,
+        },
+    );
+    rebuild.set_repair_mode(RepairMode::Rebuild);
+    let n = spec.participants();
+    // Warm every cache layer so there is real state to invalidate.
+    for a in 0..n {
+        for b in 0..n {
+            for net in [&mut eager, &mut bidi, &mut alt, &mut rebuild] {
+                let _ = net.path(a, b);
+            }
+            let _ = bidi_batched.route_batched(a, b);
+            let _ = alt_batched.route_batched(a, b);
+        }
+    }
+    // Applies one mutation to the spec and every network under test, then
+    // checks every ordered participant pair against a network freshly built
+    // on the mutated spec.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_and_verify(
+        mutation: TopoMutation,
+        mutated_spec: &mut NetworkSpec,
+        eager: &mut Network,
+        bidi: &mut Network,
+        alt: &mut Network,
+        bidi_batched: &mut Network,
+        alt_batched: &mut Network,
+        rebuild: &mut Network,
+        n: usize,
+        step_label: &str,
+    ) {
+        mutation.apply_to_spec(mutated_spec);
+        for net in [
+            &mut *eager,
+            &mut *bidi,
+            &mut *alt,
+            &mut *bidi_batched,
+            &mut *alt_batched,
+            &mut *rebuild,
+        ] {
+            mutation.apply_to_network(net);
+        }
+        // Ground truth: a network freshly built on the mutated spec.
+        let mut fresh = Network::with_routing(mutated_spec, RoutingMode::EagerPerSource);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let reference = fresh.path(a, b);
+                let ctx = format!("{step_label} ({mutation:?}): {a}->{b}");
+                assert_eq!(reference, eager.path(a, b), "{ctx}: incremental eager");
+                assert_eq!(reference, bidi.path(a, b), "{ctx}: incremental bidi");
+                assert_eq!(reference, alt.path(a, b), "{ctx}: incremental alt");
+                assert_eq!(reference, rebuild.path(a, b), "{ctx}: rebuild baseline");
+                for (net, name) in [
+                    (&mut *bidi_batched, "batched-bidi"),
+                    (&mut *alt_batched, "batched-alt"),
+                ] {
+                    let batched = net
+                        .route_batched(a, b)
+                        .map(|id| net.route_links(id).to_vec());
+                    assert_eq!(reference, batched, "{ctx}: incremental {name}");
+                }
+                if reference.is_some() {
+                    assert_eq!(
+                        fresh.propagation_delay(a, b),
+                        alt.propagation_delay(a, b),
+                        "{ctx}: ALT cost diverges"
+                    );
+                }
+            }
+        }
+    }
+    let mut mutated_spec = spec.clone();
+    let links = mutated_spec.links.len();
+    let original_delays: Vec<SimDuration> =
+        mutated_spec.links.iter().map(|link| link.delay).collect();
+    let mut downed_routers: Vec<RouterId> = Vec::new();
+    for step in 0..steps {
+        let mutation = loop {
+            match rng.range_usize(0, 8) {
+                0 => {
+                    break TopoMutation::Bandwidth(
+                        rng.range_usize(0, links),
+                        rng.range_f64(1e6, 20e6),
+                    )
+                }
+                1 => break TopoMutation::Loss(rng.range_usize(0, links), rng.range_f64(0.0, 0.3)),
+                // A delay move in either direction (including onto a down
+                // link, where it must stay metadata-only until the heal).
+                2 => {
+                    break TopoMutation::Delay(
+                        rng.range_usize(0, links),
+                        SimDuration::from_micros(rng.range_u64(500, 60_000)),
+                    )
+                }
+                // Exact-restore oscillation: landmark repair must cost zero.
+                3 => {
+                    let link = rng.range_usize(0, links);
+                    break TopoMutation::Delay(link, original_delays[link]);
+                }
+                4 => {
+                    let link = rng.range_usize(0, links);
+                    break TopoMutation::LinkUp(link, !mutated_spec.links[link].up);
+                }
+                // Re-asserting the current state must be a complete no-op.
+                5 => {
+                    let link = rng.range_usize(0, links);
+                    break TopoMutation::LinkUp(link, mutated_spec.links[link].up);
+                }
+                // A correlated outage of any router — stub or transit.
+                6 => {
+                    if downed_routers.len() >= 2 {
+                        continue;
+                    }
+                    let router = rng.range_usize(0, mutated_spec.routers);
+                    if downed_routers.contains(&router) {
+                        continue;
+                    }
+                    downed_routers.push(router);
+                    break TopoMutation::RouterUp(router, false);
+                }
+                _ => {
+                    if downed_routers.is_empty() {
+                        continue;
+                    }
+                    let i = rng.range_usize(0, downed_routers.len());
+                    break TopoMutation::RouterUp(downed_routers.swap_remove(i), true);
+                }
+            }
+        };
+        apply_and_verify(
+            mutation,
+            &mut mutated_spec,
+            &mut eager,
+            &mut bidi,
+            &mut alt,
+            &mut bidi_batched,
+            &mut alt_batched,
+            &mut rebuild,
+            n,
+            &format!("{label}: step {step}"),
+        );
+    }
+    // Deterministic heal epilogue: bring every downed router and link back
+    // up, restore every changed delay, and finish with one raise/restore
+    // oscillation — so every seed exercises edge additions and cost lowers
+    // (the improving-mutation machinery) no matter what the random phase
+    // happened to draw.
+    let mut epilogue: Vec<TopoMutation> = Vec::new();
+    for router in downed_routers.drain(..) {
+        epilogue.push(TopoMutation::RouterUp(router, true));
+    }
+    for (link, state) in mutated_spec.links.iter().enumerate() {
+        if !state.up {
+            epilogue.push(TopoMutation::LinkUp(link, true));
+        }
+    }
+    for (link, &original) in original_delays.iter().enumerate() {
+        if mutated_spec.links[link].delay != original {
+            epilogue.push(TopoMutation::Delay(link, original));
+        }
+    }
+    epilogue.push(TopoMutation::Delay(
+        0,
+        original_delays[0] + SimDuration::from_millis(50),
+    ));
+    epilogue.push(TopoMutation::Delay(0, original_delays[0]));
+    for (step, mutation) in epilogue.into_iter().enumerate() {
+        apply_and_verify(
+            mutation,
+            &mut mutated_spec,
+            &mut eager,
+            &mut bidi,
+            &mut alt,
+            &mut bidi_batched,
+            &mut alt_batched,
+            &mut rebuild,
+            n,
+            &format!("{label}: heal step {step}"),
+        );
+    }
+    // Mode accounting over the whole run.
+    for (net, name) in [
+        (&eager, "eager"),
+        (&bidi, "bidi"),
+        (&alt, "alt"),
+        (&bidi_batched, "batched-bidi"),
+        (&alt_batched, "batched-alt"),
+    ] {
+        assert_eq!(
+            net.repair_stats().full_invalidations,
+            0,
+            "{label}: incremental {name} fell back to a wholesale dump"
+        );
+    }
+    let rb = rebuild.repair_stats();
+    assert_eq!(
+        rb.full_invalidations, rb.route_mutations,
+        "{label}: rebuild baseline must dump wholesale on every mutation"
+    );
+    assert_eq!(
+        rebuild.topology_epoch(),
+        alt.topology_epoch(),
+        "{label}: repair modes disagree on the epoch"
+    );
+    // The run must have exercised the machinery it gates.
+    let rs = alt.repair_stats();
+    assert!(
+        rs.route_mutations > 0,
+        "{label}: fuzz produced no route-affecting mutations"
+    );
+    assert!(
+        rs.landmark_checks > 0,
+        "{label}: fuzz produced no improving mutations (no ALT admissibility checks ran)"
+    );
 }
 
 fn check_batched_invariants(bidi: &Network, alt: &Network, participants: usize, label: &str) {
