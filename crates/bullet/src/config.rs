@@ -40,6 +40,47 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Data-plane integrity and misbehaving-peer defense parameters.
+///
+/// `None` in [`BulletConfig::integrity`] disables the layer entirely: no
+/// blocks are rejected, no peer is scored or quarantined, no extra
+/// messages are sent and no extra randomness is drawn, so runs without
+/// integrity are bit-identical to the pre-integrity protocol. (Block
+/// digests are still computed and carried — verification is RNG-free and
+/// behaviourally inert when the layer is off, which is what lets
+/// defense-off runs *meter* the corruption they accept.)
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntegrityConfig {
+    /// Misbehavior score added per corrupted block received from a peer.
+    pub corrupt_penalty: f64,
+    /// Misbehavior score added per mesh-evaluation window in which a
+    /// sending peer that owes us reconciliation rows delivered nothing
+    /// (a stall, or a false advertisement that never materialized).
+    pub stall_penalty: f64,
+    /// Multiplicative decay applied to every peer's misbehavior score at
+    /// each mesh-evaluation window, so isolated incidents are forgiven.
+    pub decay: f64,
+    /// A peer whose score reaches this threshold is quarantined: evicted
+    /// from the mesh (reconciliation rows restriped), excluded from the
+    /// RanSub candidate set and the re-attach ladder, and refused
+    /// peerings for [`IntegrityConfig::quarantine_backoff`].
+    pub quarantine_threshold: f64,
+    /// How long a quarantined peer stays excluded.
+    pub quarantine_backoff: SimDuration,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            corrupt_penalty: 1.0,
+            stall_penalty: 0.5,
+            decay: 0.5,
+            quarantine_threshold: 2.0,
+            quarantine_backoff: SimDuration::from_secs(60),
+        }
+    }
+}
+
 /// Tunable parameters of a Bullet node.
 ///
 /// Defaults follow the paper: 600 Kbps target stream, 1500-byte packets,
@@ -112,6 +153,11 @@ pub struct BulletConfig {
     /// liveness eviction and control-RPC retries. `None` (the default)
     /// disables the subsystem with zero behavioural footprint.
     pub recovery: Option<RecoveryConfig>,
+    /// Data-plane integrity and misbehaving-peer defense: block
+    /// verification on receive, decaying per-peer health scores, and
+    /// quarantine of threshold-crossing peers. `None` (the default)
+    /// disables the layer with zero behavioural footprint.
+    pub integrity: Option<IntegrityConfig>,
     /// Trace one data packet in this many for link-stress accounting
     /// (0 disables tracing).
     pub trace_interval: u64,
@@ -144,6 +190,7 @@ impl Default for BulletConfig {
             resemblance_peering: true,
             sender_idle_evals_to_drop: None,
             recovery: None,
+            integrity: None,
             trace_interval: 100,
             tfrc: TfrcConfig {
                 packet_size,
@@ -172,6 +219,17 @@ impl BulletConfig {
         BulletConfig {
             recovery: Some(RecoveryConfig::default()),
             ..self.churn()
+        }
+    }
+
+    /// The configuration profile for misbehaving-peer scenarios: the
+    /// recovery profile plus the data-plane integrity layer with its
+    /// default knobs (block verification, decaying health scores,
+    /// quarantine at score 2.0 with a 60 s backoff).
+    pub fn integrity(self) -> Self {
+        BulletConfig {
+            integrity: Some(IntegrityConfig::default()),
+            ..self.recovery()
         }
     }
 

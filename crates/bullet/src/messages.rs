@@ -20,6 +20,10 @@ pub enum BulletMsg {
         header: TfrcHeader,
         /// Application-level sequence number of the carried object.
         seq: u64,
+        /// Per-block integrity digest the packet is travelling with
+        /// (sealed by the source, relayed by forwarders). Rides inside
+        /// the existing packet framing, so it adds no wire bytes.
+        digest: u64,
     },
     /// TFRC feedback for the data connection flowing from the message's
     /// sender back to its destination.
@@ -144,6 +148,7 @@ mod tests {
         let msg = BulletMsg::Data {
             header: header(),
             seq: 7,
+            digest: bullet_content::block_digest(7),
         };
         assert_eq!(msg.wire_bytes(1_500), 1_500);
         assert!(msg.is_data());

@@ -54,6 +54,19 @@ pub struct BulletMetrics {
     /// Evicted-for-silence peers that were later heard from again — the
     /// liveness detector's false positives.
     pub false_positive_evictions: u64,
+    /// Data packets whose carried digest was checked against the sealed
+    /// block digest (always counted; verification is behaviourally inert
+    /// unless the integrity layer is enabled).
+    pub blocks_verified: u64,
+    /// Corrupted blocks rejected on receive (integrity layer on).
+    pub corrupt_blocks_rejected: u64,
+    /// Corrupted blocks accepted into the working set (integrity layer
+    /// off — meters how far tampered data propagates undefended).
+    pub corrupt_blocks_accepted: u64,
+    /// Misbehavior penalties applied to peers (corrupt blocks, stalls).
+    pub health_penalties: u64,
+    /// Peers quarantined after crossing the misbehavior threshold.
+    pub quarantines: u64,
 }
 
 impl BulletMetrics {

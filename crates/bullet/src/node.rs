@@ -17,18 +17,19 @@
 //! discrete-event simulator and the thread-based live runtime in the
 //! examples.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bullet_content::{
-    missing_keys_iter, BloomFilter, PermutationFamily, ReconcileRequest, SummaryTicket, WorkingSet,
+    block_digest, missing_keys_iter, BloomFilter, PermutationFamily, ReconcileRequest,
+    SummaryTicket, WorkingSet,
 };
 use bullet_dynamics::ScenarioAgent;
-use bullet_netsim::{Agent, Context, OverlayId, SimDuration};
+use bullet_netsim::{Agent, Context, FaultPlan, OverlayId, SimDuration, SimTime};
 use bullet_overlay::Tree;
 use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent, RanSubMsg};
 use bullet_transport::{TfrcReceiver, TfrcSender};
 
-use crate::config::BulletConfig;
+use crate::config::{BulletConfig, IntegrityConfig};
 use crate::disjoint::DisjointSender;
 use crate::messages::BulletMsg;
 use crate::metrics::BulletMetrics;
@@ -146,6 +147,22 @@ pub struct BulletNode {
     /// Peers recently evicted for silence, watched for signs of life
     /// (the liveness detector's false-positive metric). Bounded FIFO.
     recently_evicted: Vec<OverlayId>,
+
+    // ---- data-plane integrity (inert unless `config.integrity`) ----
+    /// Carried digests of *tainted* blocks: sequence numbers whose
+    /// stored digest does not verify. Genuine blocks are omitted (their
+    /// digest is recomputable from the sequence number), so the map
+    /// stays empty unless corruption was accepted — which only happens
+    /// with the defense off. Pruned alongside the working set.
+    tainted: BTreeMap<u64, u64>,
+    /// Decaying misbehavior score per peer (tree parent or mesh peer).
+    misbehavior: BTreeMap<OverlayId, f64>,
+    /// Quarantined peers and the time their backoff expires.
+    quarantined: BTreeMap<OverlayId, SimTime>,
+    /// Whether a scenario turned this node into a false advertiser: its
+    /// summary ticket claims phantom content it does not hold, and it
+    /// never serves its mesh receivers.
+    false_advertiser: bool,
 }
 
 impl BulletNode {
@@ -210,6 +227,10 @@ impl BulletNode {
             peering_retries: Vec::new(),
             retry_timer_armed: false,
             recently_evicted: Vec::new(),
+            tainted: BTreeMap::new(),
+            misbehavior: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            false_advertiser: false,
         }
     }
 
@@ -259,6 +280,38 @@ impl BulletNode {
         &self.config
     }
 
+    /// Tainted blocks currently held: sequence numbers in the working
+    /// set whose stored digest does not verify. Always zero with the
+    /// integrity layer on (corrupt blocks are rejected at receive); with
+    /// it off, measures how deep accepted corruption has spread.
+    pub fn corrupt_blocks_held(&self) -> usize {
+        self.tainted
+            .keys()
+            .filter(|&&seq| self.working_set.contains(seq))
+            .count()
+    }
+
+    /// Re-verifies every block in the working set against its content
+    /// digest, returning the number of mismatches. Unlike
+    /// [`BulletNode::corrupt_blocks_held`] this trusts no bookkeeping:
+    /// it recomputes the verdict per held block, which is what the
+    /// integrity property tests assert on final working sets.
+    pub fn reverify_working_set(&self) -> usize {
+        self.working_set
+            .iter()
+            .filter(|&seq| self.carried_digest(seq) != block_digest(seq))
+            .count()
+    }
+
+    /// Peers this node holds under quarantine at `now`.
+    pub fn quarantined_peers(&self, now: SimTime) -> Vec<OverlayId> {
+        self.quarantined
+            .iter()
+            .filter(|&(_, &until)| now < until)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
     fn send_msg(&self, ctx: &mut Context<'_, BulletMsg>, to: OverlayId, msg: BulletMsg) {
         let size = msg.wire_bytes(self.config.packet_size);
         if msg.is_data() {
@@ -275,7 +328,11 @@ impl BulletNode {
         header: bullet_transport::TfrcHeader,
         seq: u64,
     ) {
-        let msg = BulletMsg::Data { header, seq };
+        let msg = BulletMsg::Data {
+            header,
+            seq,
+            digest: self.carried_digest(seq),
+        };
         let size = msg.wire_bytes(self.config.packet_size);
         if self.config.trace_interval > 0 && seq.is_multiple_of(self.config.trace_interval) {
             ctx.send_data_traced(to, msg, size, seq);
@@ -327,8 +384,83 @@ impl BulletNode {
     /// Rebuilds the summary ticket from the pruned working set and pushes it
     /// into RanSub.
     fn rebuild_ticket(&mut self) {
-        self.ticket = SummaryTicket::from_elements(&self.family, self.working_set.iter());
+        self.ticket = if self.false_advertiser {
+            // A false advertiser claims a window of phantom content just
+            // past the live edge: maximally disjoint from every honest
+            // ticket, so resemblance-based peering is drawn straight to
+            // it.
+            let (_, high) = self.working_set.range();
+            let claim = (high + 1)..(high + 1 + self.config.working_set_window as u64);
+            SummaryTicket::from_elements(&self.family, claim)
+        } else {
+            SummaryTicket::from_elements(&self.family, self.working_set.iter())
+        };
         self.ransub.set_state(self.ticket.clone());
+    }
+
+    /// The digest a relayed copy of block `seq` travels with: the sealed
+    /// digest for genuine blocks, the stored bad digest for a block this
+    /// node accepted in tampered form (defense off) — which is how
+    /// corruption propagates through undefended overlays.
+    fn carried_digest(&self, seq: u64) -> u64 {
+        self.tainted
+            .get(&seq)
+            .copied()
+            .unwrap_or_else(|| block_digest(seq))
+    }
+
+    /// Whether `node` is under quarantine at `now`.
+    fn is_quarantined(&self, node: OverlayId, now: SimTime) -> bool {
+        self.quarantined
+            .get(&node)
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Applies a misbehavior penalty to `peer`; when the decayed score
+    /// crosses the threshold the peer is quarantined. No-op without the
+    /// integrity layer.
+    fn penalize(&mut self, ctx: &mut Context<'_, BulletMsg>, peer: OverlayId, amount: f64) {
+        let Some(integrity) = self.config.integrity else {
+            return;
+        };
+        self.metrics.health_penalties += 1;
+        let score = self.misbehavior.entry(peer).or_insert(0.0);
+        *score += amount;
+        if *score >= integrity.quarantine_threshold {
+            self.quarantine_peer(ctx, peer, integrity);
+        }
+    }
+
+    /// Quarantines `peer`: evict it from the mesh (restriping the
+    /// surviving senders' reconciliation rows), cut its transports, and
+    /// exclude it from peering, RanSub candidacy and the re-attach
+    /// ladder until the backoff expires. A quarantined tree parent
+    /// triggers an immediate re-attach — the §4.6 machinery treats it
+    /// like a corpse, except the orphan will not climb back onto it.
+    fn quarantine_peer(
+        &mut self,
+        ctx: &mut Context<'_, BulletMsg>,
+        peer: OverlayId,
+        integrity: IntegrityConfig,
+    ) {
+        self.misbehavior.remove(&peer);
+        self.quarantined
+            .insert(peer, ctx.now() + integrity.quarantine_backoff);
+        self.metrics.quarantines += 1;
+        let was_sender = self.peers.is_sender(peer);
+        self.peers.remove_peer(peer);
+        self.peering_retries.retain(|p| p.node != peer);
+        self.in_conns.remove(&peer);
+        self.out_conns.remove(&peer);
+        self.send_msg(ctx, peer, BulletMsg::PeerDrop);
+        if was_sender {
+            // Reassign the quarantined sender's reconciliation row to
+            // the survivors now rather than at the next refresh tick.
+            self.refresh_senders(ctx);
+        }
+        if Some(peer) == self.parent && self.reattach.is_none() {
+            self.begin_reattach(ctx);
+        }
     }
 
     /// Current per-child sending factors from RanSub descendant counts.
@@ -443,6 +575,15 @@ impl BulletNode {
             exclude.push(parent);
         }
         exclude.extend_from_slice(&self.children);
+        if !self.quarantined.is_empty() {
+            let now = ctx.now();
+            exclude.extend(
+                self.quarantined
+                    .iter()
+                    .filter(|&(_, &until)| now < until)
+                    .map(|(&n, _)| n),
+            );
+        }
         let candidate = self
             .peers
             .choose_candidate(&self.ticket, &members, &exclude, ctx.rng());
@@ -526,12 +667,14 @@ impl BulletNode {
         pool.extend(self.peers.senders().iter().map(|s| s.node));
         pool.extend(self.peers.receivers().iter().map(|r| r.node));
         pool.push(self.root_id);
+        let now = ctx.now();
         let mut candidates: Vec<OverlayId> = Vec::new();
         for n in pool {
             if n != self.id
                 && n != old_parent
                 && !self.children.contains(&n)
                 && !candidates.contains(&n)
+                && !self.is_quarantined(n, now)
             {
                 candidates.push(n);
             }
@@ -750,6 +893,11 @@ impl BulletNode {
     /// Serves missing keys to every receiving peer, as far as the transports
     /// allow.
     fn serve_receivers(&mut self, ctx: &mut Context<'_, BulletMsg>) {
+        if self.false_advertiser {
+            // A false advertiser accepts peerings (occupying a sender
+            // slot at each victim) but never serves a block.
+            return;
+        }
         let receiver_nodes = self.take_receiver_peers();
         let mut keys = std::mem::take(&mut self.scratch_keys);
         let now = ctx.now();
@@ -807,6 +955,29 @@ impl BulletNode {
             );
         }
         self.scratch_peers = senders;
+        if let Some(integrity) = self.config.integrity {
+            let now = ctx.now();
+            self.quarantined.retain(|_, until| now < *until);
+            for score in self.misbehavior.values_mut() {
+                *score *= integrity.decay;
+            }
+            self.misbehavior.retain(|_, score| *score >= 0.05);
+            // Stall penalties escalate with the silent-window streak, so
+            // a peer that keeps sitting on the reconciliation rows
+            // striped to it crosses the quarantine threshold instead of
+            // riding the decay fixpoint forever. Must run before
+            // `evaluate_senders` resets the window counters.
+            for node in self.peers.stalled_senders() {
+                let streak = self
+                    .peers
+                    .senders()
+                    .iter()
+                    .find(|s| s.node == node)
+                    .map(|s| s.idle_windows.max(1))
+                    .unwrap_or(1);
+                self.penalize(ctx, node, integrity.stall_penalty * streak as f64);
+            }
+        }
         let recovery = self.config.recovery;
         // An explicit idle-sender knob wins; otherwise the recovery
         // subsystem's peer-liveness window covers senders too.
@@ -874,6 +1045,7 @@ impl BulletNode {
         from: OverlayId,
         header: bullet_transport::TfrcHeader,
         seq: u64,
+        digest: u64,
     ) {
         // Transport-level processing: loss detection and feedback pacing.
         let feedback = self.in_conns.entry(from).or_default().on_data(
@@ -885,8 +1057,34 @@ impl BulletNode {
             self.send_msg(ctx, from, BulletMsg::Feedback(feedback));
         }
 
-        let duplicate = self.working_set.contains(seq) || seq < self.working_set.low_watermark();
+        // Verification is RNG-free and always metered; it only changes
+        // behaviour when the integrity layer is on.
+        self.metrics.blocks_verified += 1;
+        let valid = digest == block_digest(seq);
         let from_parent = Some(from) == self.parent;
+        if !valid {
+            if let Some(integrity) = self.config.integrity {
+                // Reject: the block never enters the working set, is
+                // never advertised, and — because it stays missing — the
+                // next reconciliation round re-requests it from an
+                // honest peer. The forwarder pays a misbehavior penalty.
+                self.metrics.corrupt_blocks_rejected += 1;
+                self.metrics.raw_bytes += self.config.packet_size as u64;
+                self.metrics.total_packets += 1;
+                if from_parent {
+                    self.metrics.from_parent_bytes += self.config.packet_size as u64;
+                } else {
+                    self.metrics.from_peers_bytes += self.config.packet_size as u64;
+                }
+                if let Some(sender) = self.peers.sender_mut(from) {
+                    sender.total_packets_window += 1;
+                }
+                self.penalize(ctx, from, integrity.corrupt_penalty);
+                return;
+            }
+        }
+
+        let duplicate = self.working_set.contains(seq) || seq < self.working_set.low_watermark();
         self.metrics
             .record_receive(self.config.packet_size, from_parent, duplicate);
         if let Some(sender) = self.peers.sender_mut(from) {
@@ -899,6 +1097,12 @@ impl BulletNode {
         }
         if duplicate {
             return;
+        }
+        if !valid {
+            // Defense off: the tampered block enters the working set and
+            // its bad digest rides along on every relay this node makes.
+            self.metrics.corrupt_blocks_accepted += 1;
+            self.tainted.insert(seq, digest);
         }
         if self.reattach.is_some() {
             // Useful data that arrived while orphaned: the mesh bridged
@@ -932,8 +1136,26 @@ impl Agent for BulletNode {
                 self.metrics.false_positive_evictions += 1;
             }
         }
+        if !self.quarantined.is_empty() && self.is_quarantined(from, ctx.now()) {
+            match msg {
+                // A quarantined peer's data is refused outright and its
+                // peering requests are rejected; other control traffic
+                // (drops, leaves, reparents) is still processed so tree
+                // bookkeeping cannot wedge on an excluded node.
+                BulletMsg::Data { .. } => return,
+                BulletMsg::PeeringRequest { .. } => {
+                    self.send_msg(ctx, from, BulletMsg::PeeringReject);
+                    return;
+                }
+                _ => {}
+            }
+        }
         match msg {
-            BulletMsg::Data { header, seq } => self.handle_data(ctx, from, header, seq),
+            BulletMsg::Data {
+                header,
+                seq,
+                digest,
+            } => self.handle_data(ctx, from, header, seq, digest),
             BulletMsg::Feedback(feedback) => {
                 if let Some(conn) = self.out_conns.get_mut(&from) {
                     conn.on_feedback(ctx.now(), &feedback);
@@ -954,6 +1176,7 @@ impl Agent for BulletNode {
                 if self.config.recovery.is_some()
                     && Some(from) == self.parent
                     && matches!(msg, RanSubMsg::Distribute { .. })
+                    && !self.is_quarantined(from, ctx.now())
                 {
                     // Parent liveness signal for the orphan detector.
                     self.distributes_seen += 1;
@@ -1126,6 +1349,9 @@ impl Agent for BulletNode {
             timer::HOUSEKEEPING => {
                 self.working_set
                     .prune_to_len(self.config.working_set_window);
+                if !self.tainted.is_empty() {
+                    self.tainted = self.tainted.split_off(&self.working_set.low_watermark());
+                }
                 let now = ctx.now();
                 for conn in self.out_conns.values_mut() {
                     conn.maybe_nofeedback_timeout(now);
@@ -1141,6 +1367,24 @@ impl Agent for BulletNode {
                 self.service_retries(ctx);
             }
             other => debug_assert!(false, "unknown timer tag {other}"),
+        }
+    }
+
+    /// Adversarial payload corruption (simulator fault injection): flip
+    /// the digest a data packet travels with, so the receiver's
+    /// verification fails. Control traffic is never tampered with.
+    fn tamper(msg: BulletMsg) -> BulletMsg {
+        match msg {
+            BulletMsg::Data {
+                header,
+                seq,
+                digest,
+            } => BulletMsg::Data {
+                header,
+                seq,
+                digest: digest ^ 0x5bad_cafe_dead_f00d,
+            },
+            other => other,
         }
     }
 }
@@ -1220,6 +1464,11 @@ impl ScenarioAgent for BulletNode {
         self.peering_retries.clear();
         self.retry_timer_armed = false;
         self.recently_evicted.clear();
+        // Health scores and quarantines refer to the pre-crash network;
+        // the tainted map is kept — it describes the surviving working
+        // set — and so is the false-advertiser persona.
+        self.misbehavior.clear();
+        self.quarantined.clear();
         if self.is_root() {
             let start_delay = self.config.stream_start.saturating_since(ctx.now());
             ctx.set_timer(start_delay, self.tag(timer::GENERATE));
@@ -1227,6 +1476,15 @@ impl ScenarioAgent for BulletNode {
         }
         self.arm_periodic_timers(ctx);
         self.arm_orphan_timer(ctx);
+    }
+
+    /// Scenario adversary switch: a `false_advertise` plan turns this
+    /// node into a liar — its summary ticket claims phantom content and
+    /// it never serves its mesh receivers. Packet-level corruption and
+    /// stalling are injected by the simulator from the same plan, so
+    /// this hook only has to flip the behavioural flag.
+    fn on_adversary(&mut self, _ctx: &mut Context<'_, BulletMsg>, plan: FaultPlan) {
+        self.false_advertiser = plan.false_advertise;
     }
 }
 
@@ -1586,5 +1844,232 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
+    }
+
+    fn forged_header() -> bullet_transport::TfrcHeader {
+        bullet_transport::TfrcHeader {
+            seq: 0,
+            timestamp: SimTime::ZERO,
+            rtt_estimate: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn recently_evicted_fifo_wraps_past_sixteen_entries() {
+        let mut rng = bullet_netsim::SimRng::new(1);
+        let tree = random_tree(4, 0, 2, &mut rng);
+        let mut node = BulletNode::new(1, &tree, quick_config().recovery());
+        for peer in 100..125 {
+            node.note_evicted(peer);
+        }
+        assert_eq!(node.recently_evicted.len(), 16, "FIFO bound violated");
+        assert_eq!(
+            node.recently_evicted.first(),
+            Some(&109),
+            "oldest survivor after 25 evictions into a 16-slot FIFO"
+        );
+        assert_eq!(node.recently_evicted.last(), Some(&124));
+        // Re-noting a watched peer neither duplicates it nor evicts
+        // another entry.
+        node.note_evicted(124);
+        assert_eq!(node.recently_evicted.len(), 16);
+        assert_eq!(
+            node.recently_evicted.iter().filter(|&&n| n == 124).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn a_revived_evictee_counts_as_exactly_one_false_positive() {
+        let mut sim = build_sim(4, 2_000_000.0, quick_config().recovery(), 31);
+        sim.run_until(SimTime::from_secs(1));
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.note_evicted(3);
+            // The evictee speaks twice: the first message clears the watch
+            // and scores the false positive, the second must not re-count.
+            agent.on_message(ctx, 3, BulletMsg::PeerDrop);
+            agent.on_message(ctx, 3, BulletMsg::PeerDrop);
+        });
+        assert_eq!(sim.agent(1).metrics.false_positive_evictions, 1);
+        assert!(sim.agent(1).recently_evicted.is_empty());
+    }
+
+    #[test]
+    fn peering_retries_give_up_cleanly_after_max_retries() {
+        let n = 6;
+        let mut sim = build_sim(n, 2_000_000.0, quick_config().recovery(), 33);
+        sim.run_until(SimTime::from_secs(1));
+        // Aim a retry-protected peering request at a black hole: the
+        // target is failed, so neither accept nor reject ever arrives.
+        sim.set_node_failed(5, true);
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.peering_retries.push(PendingPeering {
+                node: 5,
+                attempts: 1,
+                cooldown: 0,
+            });
+            agent.arm_retry_timer(ctx);
+        });
+        // Exponential cooldowns on a 500 ms base exhaust max_retries (3)
+        // well within a minute.
+        sim.run_until(SimTime::from_secs(60));
+        let agent = sim.agent(1);
+        assert!(
+            !agent.peering_retries.iter().any(|p| p.node == 5),
+            "give-up path left the dead request under retry protection"
+        );
+        assert!(
+            agent.metrics.control_retries >= 1,
+            "the request was never actually retried before giving up"
+        );
+        // The books are closed: no RETRY chain may stay armed for a node
+        // with nothing to retry, and dead-timer compaction keeps the live
+        // count at the periodic-chain budget (4 per node, plus the root's
+        // generate + RanSub chains).
+        if agent.peering_retries.is_empty() && agent.reattach.is_none() {
+            assert!(!agent.retry_timer_armed, "orphaned RETRY timer left armed");
+        }
+        let (_, _, _, live) = sim.pool_stats();
+        assert!(
+            live <= 4 * n + 2,
+            "orphaned timers survived the give-up: {live} live timers for {n} nodes"
+        );
+    }
+
+    #[test]
+    fn corrupt_blocks_are_rejected_and_the_forwarder_quarantined() {
+        let mut sim = build_sim(4, 2_000_000.0, quick_config().integrity(), 41);
+        sim.run_until(SimTime::from_secs(1));
+        // Two tampered blocks from node 3 (default corrupt penalty 1.0,
+        // threshold 2.0): the second crosses the threshold.
+        sim.invoke_agent(1, |agent, ctx| {
+            for seq in [10u64, 11] {
+                let msg = BulletMsg::Data {
+                    header: forged_header(),
+                    seq,
+                    digest: block_digest(seq) ^ 1,
+                };
+                agent.on_message(ctx, 3, msg);
+            }
+        });
+        let now = SimTime::from_secs(1);
+        {
+            let agent = sim.agent(1);
+            assert_eq!(agent.metrics.corrupt_blocks_rejected, 2);
+            assert_eq!(agent.metrics.corrupt_blocks_accepted, 0);
+            assert_eq!(agent.metrics.health_penalties, 2);
+            assert_eq!(agent.metrics.quarantines, 1);
+            assert_eq!(
+                agent.corrupt_blocks_held(),
+                0,
+                "a rejected block entered the working set"
+            );
+            assert_eq!(agent.quarantined_peers(now), vec![3]);
+            assert!(
+                !agent.working_set.contains(10),
+                "rejected block was advertised as held"
+            );
+        }
+        // Data from the quarantined peer is now refused before
+        // verification — even a genuine block.
+        sim.invoke_agent(1, |agent, ctx| {
+            let msg = BulletMsg::Data {
+                header: forged_header(),
+                seq: 12,
+                digest: block_digest(12),
+            };
+            agent.on_message(ctx, 3, msg);
+        });
+        assert_eq!(sim.agent(1).metrics.blocks_verified, 2);
+        assert!(!sim.agent(1).working_set.contains(12));
+    }
+
+    #[test]
+    fn undefended_nodes_accept_and_relay_the_tampered_digest() {
+        use bullet_overlay::Tree;
+        // A chain 0 -> 1 -> 2: whatever node 1 accepts it relays to 2.
+        let tree = Tree::from_parents(vec![None, Some(0), Some(1)]).expect("valid tree");
+        let spec = hub_network(3, 2_000_000.0);
+        let agents = (0..3)
+            .map(|i| BulletNode::new(i, &tree, quick_config().recovery()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 43);
+        sim.run_until(SimTime::from_secs(1));
+        let bad_digest = block_digest(5) ^ 0xdead_beef;
+        sim.invoke_agent(1, |agent, ctx| {
+            let msg = BulletMsg::Data {
+                header: forged_header(),
+                seq: 5,
+                digest: bad_digest,
+            };
+            agent.on_message(ctx, 0, msg);
+        });
+        {
+            let agent = sim.agent(1);
+            assert_eq!(agent.metrics.corrupt_blocks_accepted, 1);
+            assert_eq!(agent.corrupt_blocks_held(), 1);
+            assert_eq!(
+                agent.carried_digest(5),
+                bad_digest,
+                "relays must carry the stored bad digest, not a re-sealed one"
+            );
+        }
+        // The relayed copy reaches the child still tainted (run ends
+        // before stream_start so no genuine traffic muddies the count).
+        sim.run_until(SimTime::from_millis(1_900));
+        assert_eq!(sim.agent(2).metrics.corrupt_blocks_accepted, 1);
+        assert_eq!(sim.agent(2).corrupt_blocks_held(), 1);
+    }
+
+    #[test]
+    fn quarantining_the_parent_triggers_a_reattach_that_avoids_it() {
+        use bullet_overlay::Tree;
+        // A chain 0 -> 1 -> 2: node 2's re-attach ladder of last resort
+        // is the root, which is not its (quarantined) parent.
+        let tree = Tree::from_parents(vec![None, Some(0), Some(1)]).expect("valid tree");
+        let spec = hub_network(3, 2_000_000.0);
+        let agents = (0..3)
+            .map(|i| BulletNode::new(i, &tree, quick_config().integrity()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 44);
+        sim.run_until(SimTime::from_secs(1));
+        sim.invoke_agent(2, |agent, ctx| agent.penalize(ctx, 1, 2.0));
+        let agent = sim.agent(2);
+        assert_eq!(agent.metrics.quarantines, 1);
+        let state = agent
+            .reattach
+            .as_ref()
+            .expect("quarantining the parent must start a re-attach");
+        assert!(
+            !state.candidates.contains(&1),
+            "the re-attach ladder still lists the quarantined parent"
+        );
+        // A Distribute from the quarantined parent must not cancel the
+        // quarantine-triggered re-attach (it cancels ordinary false
+        // alarms).
+        sim.invoke_agent(2, |agent, ctx| {
+            let msg = BulletMsg::RanSub(RanSubMsg::Distribute {
+                epoch: 1,
+                set: bullet_ransub::WeightedSet::empty(),
+            });
+            agent.on_message(ctx, 1, msg);
+        });
+        assert!(
+            sim.agent(2).reattach.is_some(),
+            "the corpse talked its orphan out of leaving"
+        );
+    }
+
+    #[test]
+    fn quarantine_expires_after_the_backoff() {
+        let mut sim = build_sim(4, 2_000_000.0, quick_config().integrity(), 45);
+        sim.run_until(SimTime::from_secs(1));
+        sim.invoke_agent(1, |agent, ctx| agent.penalize(ctx, 3, 2.0));
+        let backoff = IntegrityConfig::default().quarantine_backoff;
+        let t_active = SimTime::from_secs(1) + backoff.mul_f64(0.5);
+        let t_expired = SimTime::from_secs(1) + backoff.mul_f64(1.5);
+        let agent = sim.agent(1);
+        assert_eq!(agent.quarantined_peers(t_active), vec![3]);
+        assert!(agent.quarantined_peers(t_expired).is_empty());
     }
 }

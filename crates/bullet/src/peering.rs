@@ -273,6 +273,24 @@ impl PeerManager {
         self.pending.clear();
     }
 
+    /// Senders that stalled in the current evaluation window: peers a
+    /// reconciliation row is striped to that produced nothing at all this
+    /// window, having either delivered before or already sat through a
+    /// full prior window (so a fresh trial peer gets one window of
+    /// shelter, but a peer that advertised content and never produces any
+    /// — a false advertiser — is not sheltered forever). Fed to the
+    /// integrity layer's health scoring. Call before
+    /// [`PeerManager::evaluate_senders`], which resets the window
+    /// counters. Order follows the sender list, so the result is
+    /// deterministic.
+    pub fn stalled_senders(&self) -> Vec<OverlayId> {
+        self.senders
+            .iter()
+            .filter(|s| s.total_packets_window == 0 && (s.ever_delivered || s.idle_windows >= 1))
+            .map(|s| s.node)
+            .collect()
+    }
+
     /// Evaluates the sender list (paper §3.4): drop any sender whose traffic
     /// was mostly duplicates; otherwise, when the list is full, drop the
     /// sender delivering the least useful data to open a trial slot. Window
@@ -639,6 +657,33 @@ mod tests {
             let chosen = pm.choose_candidate(&own, &candidates, &[5], &mut rng);
             assert_eq!(chosen, Some(6));
         }
+    }
+
+    #[test]
+    fn stalled_senders_are_the_once_productive_now_silent_ones() {
+        let mut pm = PeerManager::new(5, 3, 0.5, true);
+        for node in [1, 2, 3] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+        }
+        // Window 1: everyone delivers; evaluation records ever_delivered.
+        for node in [1, 2, 3] {
+            pm.sender_mut(node).unwrap().total_packets_window = 10;
+        }
+        assert!(pm.stalled_senders().is_empty(), "all productive");
+        pm.evaluate_senders(Some(4));
+        // Window 2: only node 2 delivers. Nodes 1 and 3 are stalls; a
+        // brand-new trial peer (never delivered, no prior window) is
+        // sheltered for its first window only.
+        pm.pending.insert(4);
+        pm.on_peering_accept(4);
+        pm.sender_mut(2).unwrap().total_packets_window = 10;
+        assert_eq!(pm.stalled_senders(), vec![1, 3]);
+        pm.evaluate_senders(Some(8));
+        // Window 3: node 4 has now sat through a full silent window; a
+        // never-delivering false advertiser stops being sheltered.
+        pm.sender_mut(2).unwrap().total_packets_window = 10;
+        assert_eq!(pm.stalled_senders(), vec![1, 3, 4]);
     }
 
     #[test]

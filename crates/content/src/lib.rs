@@ -11,14 +11,18 @@
 //!   sending peers.
 //! * [`reconcile`] — the sender-side logic that turns a receiver's filter,
 //!   range, and `(row, stripe)` assignment into the list of keys to forward.
+//! * [`block`] — per-block integrity digests ([`BlockMeta`]) for verifying
+//!   that forwarded data carries the source's bytes.
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod bloom;
 pub mod reconcile;
 pub mod summary;
 pub mod working_set;
 
+pub use block::{block_digest, BlockMeta};
 pub use bloom::BloomFilter;
 pub use reconcile::{missing_keys, missing_keys_iter, ReconcileRequest};
 pub use summary::{PermutationFamily, SummaryTicket, DEFAULT_ENTRIES};

@@ -20,7 +20,7 @@
 //!   run the agent's `on_join` bootstrap: recovered nodes bump timer
 //!   generations and reset connection state exactly like late joiners.
 
-use bullet_netsim::{Agent, Context, Sim, SimDuration, SimTime};
+use bullet_netsim::{Agent, Context, FaultPlan, Sim, SimDuration, SimTime};
 
 use crate::script::{ScenarioAction, ScenarioEvent, ScenarioScript};
 
@@ -38,6 +38,15 @@ pub trait ScenarioAgent: Agent {
     /// timers, reset stale connection state). Runs with the failed flag
     /// already cleared.
     fn on_join(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// The node was scripted to misbehave (or to stop misbehaving — the
+    /// plan's flags may all be clear). The simulator injects the plan's
+    /// packet-level behaviors (stalls, payload corruption) itself; this
+    /// hook lets the agent adopt the *protocol-level* behaviors, such as
+    /// advertising content it does not hold when
+    /// [`FaultPlan::false_advertise`] is set. Runs right after the plan
+    /// is installed.
+    fn on_adversary(&mut self, _ctx: &mut Context<'_, Self::Msg>, _plan: FaultPlan) {}
 }
 
 /// Counters of the actions a driver has applied, for harness assertions.
@@ -61,6 +70,8 @@ pub struct ScenarioStats {
     pub heals: u64,
     /// Fault plans installed.
     pub faults: u64,
+    /// Adversary plans installed (fault plan + agent behavior hook).
+    pub adversaries: u64,
 }
 
 /// Drives one [`ScenarioScript`] over one simulation run.
@@ -215,6 +226,13 @@ impl ScenarioDriver {
                 sim.set_fault_plan(node, plan);
                 self.stats.faults += 1;
             }
+            &ScenarioAction::Adversary { node, plan } => {
+                sim.set_fault_plan(node, plan);
+                if !sim.is_failed(node) {
+                    sim.invoke_agent(node, |agent, ctx| agent.on_adversary(ctx, plan));
+                }
+                self.stats.adversaries += 1;
+            }
             ScenarioAction::Crash { .. } => {
                 unreachable!("prescheduled actions never reach the stepping path")
             }
@@ -234,6 +252,7 @@ mod tests {
         heard: u64,
         leaves: Vec<SimTime>,
         joins: Vec<SimTime>,
+        adversary_plans: Vec<FaultPlan>,
     }
 
     impl BeatAgent {
@@ -243,6 +262,7 @@ mod tests {
                 heard: 0,
                 leaves: Vec::new(),
                 joins: Vec::new(),
+                adversary_plans: Vec::new(),
             }
         }
     }
@@ -277,6 +297,10 @@ mod tests {
         fn on_join(&mut self, ctx: &mut Context<'_, ()>) {
             self.joins.push(ctx.now());
             ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+
+        fn on_adversary(&mut self, _ctx: &mut Context<'_, ()>, plan: FaultPlan) {
+            self.adversary_plans.push(plan);
         }
     }
 
@@ -406,6 +430,35 @@ mod tests {
         assert_eq!(driver.stats.partitions, 1);
         assert_eq!(driver.stats.heals, 1);
         assert_eq!(driver.stats.faults, 1);
+    }
+
+    #[test]
+    fn adversary_installs_the_plan_and_runs_the_agent_hook() {
+        let plan = FaultPlan {
+            corrupt_chance: 0.5,
+            false_advertise: true,
+            ..Default::default()
+        };
+        let script = ScenarioScript::new().at(
+            SimTime::from_secs(2),
+            ScenarioAction::Adversary { node: 1, plan },
+        );
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(3);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(4));
+        assert_eq!(
+            sim.fault_plan(1).map(|p| p.corrupt_chance),
+            Some(0.5),
+            "adversary plan installed at the simulator"
+        );
+        assert_eq!(
+            sim.agent(1).adversary_plans,
+            vec![plan],
+            "agent hook ran with the plan"
+        );
+        assert_eq!(driver.stats.adversaries, 1);
+        assert_eq!(driver.stats.faults, 0, "adversaries are counted separately");
     }
 
     #[test]

@@ -89,6 +89,18 @@ pub enum ScenarioAction {
         /// The fault probabilities and delay.
         plan: FaultPlan,
     },
+    /// Turn a node into a misbehaving peer: the plan's data-plane knobs
+    /// (stall/corrupt chances) are injected by the simulator, and the
+    /// agent's [`crate::ScenarioAgent::on_adversary`] hook runs so it can
+    /// adopt protocol-level misbehavior (false advertisement). A plan
+    /// with every adversary flag clear reforms the node.
+    Adversary {
+        /// The misbehaving node.
+        node: OverlayId,
+        /// The adversary behaviors (see [`FaultPlan`]'s
+        /// `stall_chance`/`corrupt_chance`/`false_advertise`).
+        plan: FaultPlan,
+    },
 }
 
 impl ScenarioAction {
@@ -297,6 +309,46 @@ impl ScenarioScript {
         script
     }
 
+    /// Marks a deterministic fraction of `nodes` as misbehaving peers from
+    /// `at` on. The adversaries are a seeded uniform sample (sorted, for
+    /// reproducible scripts) alternating between two personas: payload
+    /// corrupters (every data packet they forward is tampered with
+    /// probability `corrupt_chance`) and false advertisers (they claim
+    /// phantom content, stall on every block they owe, and serve nothing).
+    /// Fully deterministic in the seed.
+    pub fn adversary_fraction(
+        nodes: &[OverlayId],
+        fraction: f64,
+        at: SimTime,
+        corrupt_chance: f64,
+        seed: u64,
+    ) -> Self {
+        let mut script = Self::new();
+        let count = ((nodes.len() as f64 * fraction).round() as usize).min(nodes.len());
+        if count == 0 {
+            return script;
+        }
+        let mut rng = SimRng::new(seed);
+        let mut chosen = rng.sample(nodes, count);
+        chosen.sort_unstable();
+        for (i, &node) in chosen.iter().enumerate() {
+            let plan = if i % 2 == 0 {
+                FaultPlan {
+                    corrupt_chance,
+                    ..FaultPlan::default()
+                }
+            } else {
+                FaultPlan {
+                    stall_chance: 1.0,
+                    false_advertise: true,
+                    ..FaultPlan::default()
+                }
+            };
+            script.push(at, ScenarioAction::Adversary { node, plan });
+        }
+        script
+    }
+
     /// A correlated stub outage: every link incident to `router` goes down
     /// at `at` and comes back after `duration_secs`.
     pub fn stub_outage(router: RouterId, at: SimTime, duration_secs: f64) -> Self {
@@ -370,20 +422,38 @@ impl ScenarioScript {
     /// <t> heal                     heal any active partition
     /// <t> fault <node> <drop> <dup> <delayp> <delaysecs>
     ///                              install a control-plane fault plan
+    /// <t> adversary <node> <corrupt> <stall> <false-adv 0|1>
+    ///                              turn the node into a misbehaving peer
     /// ```
+    ///
+    /// Errors name the (1-based) line of the offending entry, so a typo in
+    /// a long `BULLET_SCENARIO` value is findable.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut script = Self::new();
-        for raw in text.split([';', '\n']) {
-            let entry = raw.trim();
-            if entry.is_empty() || entry.starts_with('#') {
-                continue;
+        for (index, line) in text.lines().enumerate() {
+            for raw in line.split(';') {
+                let entry = raw.trim();
+                if entry.is_empty() || entry.starts_with('#') {
+                    continue;
+                }
+                script
+                    .parse_entry(entry)
+                    .map_err(|what| format!("line {}: {what}", index + 1))?;
             }
+        }
+        Ok(script)
+    }
+
+    /// Parses one `;`-free scenario entry into the script.
+    fn parse_entry(&mut self, entry: &str) -> Result<(), String> {
+        let script = self;
+        {
             let fields: Vec<&str> = entry.split_whitespace().collect();
             let err = |what: &str| format!("scenario entry {entry:?}: {what}");
             if fields[0] == "down" {
                 let node = Self::field::<OverlayId>(&fields, 1, entry)?;
                 script.down_from_start(node);
-                continue;
+                return Ok(());
             }
             let secs: f64 = fields[0]
                 .parse()
@@ -462,6 +532,35 @@ impl ScenarioScript {
                             duplicate_chance,
                             delay_chance,
                             delay: SimDuration::from_secs_f64(delay_secs),
+                            ..FaultPlan::default()
+                        },
+                    }
+                }
+                "adversary" => {
+                    let corrupt_chance: f64 = Self::field(&fields, 3, entry)?;
+                    let stall_chance: f64 = Self::field(&fields, 4, entry)?;
+                    for p in [corrupt_chance, stall_chance] {
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(err("adversary probabilities must be in [0, 1]"));
+                        }
+                    }
+                    let false_advertise =
+                        match *fields.get(5).ok_or_else(|| err("missing field 5"))? {
+                            "0" => false,
+                            "1" => true,
+                            other => {
+                                return Err(err(&format!(
+                                    "false-advertise must be 0 or 1, got {other:?}"
+                                )))
+                            }
+                        };
+                    ScenarioAction::Adversary {
+                        node: Self::field(&fields, 2, entry)?,
+                        plan: FaultPlan {
+                            stall_chance,
+                            corrupt_chance,
+                            false_advertise,
+                            ..FaultPlan::default()
                         },
                     }
                 }
@@ -469,21 +568,26 @@ impl ScenarioScript {
             };
             script.push(at, action);
         }
-        Ok(script)
+        Ok(())
     }
 
     /// Reads and parses the `BULLET_SCENARIO` environment variable, if set
     /// and non-empty.
     ///
-    /// # Panics
-    ///
-    /// Panics on a malformed value — silently ignoring it would attribute a
-    /// run's results to a scenario that never happened.
+    /// A malformed value terminates the process with the parser's
+    /// line-numbered diagnostic on stderr (exit code 2) rather than a
+    /// panic backtrace — silently ignoring it would attribute a run's
+    /// results to a scenario that never happened, and a user typo
+    /// deserves a pointer, not a stack dump.
     pub fn from_env() -> Option<Self> {
         match std::env::var("BULLET_SCENARIO") {
-            Ok(text) if !text.trim().is_empty() => {
-                Some(Self::parse(&text).expect("invalid BULLET_SCENARIO"))
-            }
+            Ok(text) if !text.trim().is_empty() => match Self::parse(&text) {
+                Ok(script) => Some(script),
+                Err(what) => {
+                    eprintln!("invalid BULLET_SCENARIO: {what}");
+                    std::process::exit(2);
+                }
+            },
             _ => None,
         }
     }
@@ -530,6 +634,12 @@ impl ScenarioScript {
                     plan.duplicate_chance,
                     plan.delay_chance,
                     plan.delay.as_secs_f64()
+                ),
+                ScenarioAction::Adversary { node, plan } => format!(
+                    "{t} adversary {node} {} {} {}",
+                    plan.corrupt_chance,
+                    plan.stall_chance,
+                    u8::from(plan.false_advertise)
                 ),
             });
         }
@@ -728,6 +838,7 @@ mod tests {
                     duplicate_chance: 0.0,
                     delay_chance: 0.5,
                     delay: SimDuration::from_secs_f64(0.125),
+                    ..FaultPlan::default()
                 }
             }
         );
@@ -752,6 +863,105 @@ mod tests {
         assert!(
             ScenarioScript::parse("5 fault 4 0 0 0").is_err(),
             "missing field"
+        );
+    }
+
+    #[test]
+    fn parses_the_adversary_verb() {
+        let script = ScenarioScript::parse("5 adversary 9 0.75 0.25 1; 8 adversary 4 0.5 0 0")
+            .expect("valid script");
+        let events = script.sorted_events();
+        assert_eq!(
+            events[0].action,
+            ScenarioAction::Adversary {
+                node: 9,
+                plan: FaultPlan {
+                    corrupt_chance: 0.75,
+                    stall_chance: 0.25,
+                    false_advertise: true,
+                    ..FaultPlan::default()
+                }
+            }
+        );
+        assert_eq!(
+            events[1].action,
+            ScenarioAction::Adversary {
+                node: 4,
+                plan: FaultPlan {
+                    corrupt_chance: 0.5,
+                    ..FaultPlan::default()
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_adversary_entries() {
+        assert!(
+            ScenarioScript::parse("5 adversary 9 1.5 0 0").is_err(),
+            "p > 1"
+        );
+        assert!(
+            ScenarioScript::parse("5 adversary 9 0 -1 0").is_err(),
+            "p < 0"
+        );
+        assert!(
+            ScenarioScript::parse("5 adversary 9 0.5 0 yes").is_err(),
+            "false-advertise flag must be 0/1"
+        );
+        assert!(
+            ScenarioScript::parse("5 adversary 9 0.5 0").is_err(),
+            "missing field"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = ScenarioScript::parse("down 3\n10 crash 4; 12 heal\n13 explode 9")
+            .expect_err("bad verb must fail");
+        assert!(
+            err.starts_with("line 3:"),
+            "error should name line 3, got: {err}"
+        );
+        assert!(err.contains("explode"), "error names the bad verb: {err}");
+        let err = ScenarioScript::parse("10 crash 4; ten heal").expect_err("bad time must fail");
+        assert!(
+            err.starts_with("line 1:"),
+            "same-line entries report line 1, got: {err}"
+        );
+    }
+
+    #[test]
+    fn adversary_fraction_is_deterministic_and_alternates_personas() {
+        let nodes: Vec<usize> = (1..41).collect();
+        let at = SimTime::from_secs(15);
+        let a = ScenarioScript::adversary_fraction(&nodes, 0.25, at, 0.8, 11);
+        let b = ScenarioScript::adversary_fraction(&nodes, 0.25, at, 0.8, 11);
+        assert_eq!(a, b, "same seed must pick the same adversaries");
+        let events = a.sorted_events();
+        assert_eq!(events.len(), 10, "25% of 40 nodes");
+        let mut corrupters = 0;
+        let mut liars = 0;
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.at, at);
+            let ScenarioAction::Adversary { node, plan } = &event.action else {
+                panic!("unexpected action {:?}", event.action);
+            };
+            assert!(nodes.contains(node));
+            if i % 2 == 0 {
+                assert_eq!(plan.corrupt_chance, 0.8);
+                assert!(!plan.false_advertise);
+                corrupters += 1;
+            } else {
+                assert!(plan.false_advertise);
+                assert_eq!(plan.stall_chance, 1.0);
+                liars += 1;
+            }
+        }
+        assert_eq!((corrupters, liars), (5, 5));
+        assert!(
+            ScenarioScript::adversary_fraction(&nodes, 0.0, at, 0.8, 11).is_empty(),
+            "zero fraction generates nothing"
         );
     }
 
@@ -817,6 +1027,19 @@ mod tests {
                         duplicate_chance: 0.0625,
                         delay_chance: 0.5,
                         delay: SimDuration::from_millis(250),
+                        ..FaultPlan::default()
+                    },
+                },
+            )
+            .at(
+                SimTime::from_secs(20),
+                ScenarioAction::Adversary {
+                    node: 8,
+                    plan: FaultPlan {
+                        corrupt_chance: 0.75,
+                        stall_chance: 0.125,
+                        false_advertise: true,
+                        ..FaultPlan::default()
                     },
                 },
             );

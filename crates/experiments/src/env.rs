@@ -282,6 +282,18 @@ pub fn constrained_source_topology(
     }
 }
 
+/// Whether `BULLET_INTEGRITY` asks the figure harness to enable the
+/// data-plane integrity layer (block verification, health scoring,
+/// quarantine) with its default parameters on every Bullet run. Accepts
+/// `1`/`true`/`on`; anything else — including unset — leaves the layer
+/// off, so historical figure output stays byte-identical.
+pub fn integrity_enabled() -> bool {
+    matches!(
+        std::env::var("BULLET_INTEGRITY").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

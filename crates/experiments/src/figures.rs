@@ -197,10 +197,17 @@ impl Params {
     }
 
     pub(crate) fn bullet_config(&self, rate_bps: f64) -> BulletConfig {
-        BulletConfig {
+        let config = BulletConfig {
             stream_rate_bps: rate_bps,
             stream_start: self.stream_start,
             ..BulletConfig::default()
+        };
+        if crate::env::integrity_enabled() {
+            // `BULLET_INTEGRITY=1`: every figure's Bullet runs verify
+            // blocks, score peer health and quarantine misbehavers.
+            config.integrity()
+        } else {
+            config
         }
     }
 

@@ -24,8 +24,8 @@ pub mod scenarios;
 pub mod suite;
 
 pub use env::{
-    build_topology, build_tree, constrained_source_topology, prepare_topology, PreparedSpec,
-    PreparedTopology, TreeKind,
+    build_topology, build_tree, constrained_source_topology, integrity_enabled, prepare_topology,
+    PreparedSpec, PreparedTopology, TreeKind,
 };
 pub use figures::{quick_bullet_demo, FigureResult};
 pub use metrics::{BandwidthSeries, Cdf, RunSummary};
@@ -38,7 +38,8 @@ pub use protocols::{
 pub use runner::{run_metered, run_metered_dynamic, Delivery, MeteredAgent, RunResult, RunSpec};
 pub use scale::Scale;
 pub use scenarios::{
-    access_link_of, churn_figure, flash_crowd_figure, oscillating_bottleneck_figure,
-    partition_figure, recovery_figure, sustained_crash_script, RECOVERY_CRASH_EVERY_SECS,
+    access_link_of, adversary_figure, churn_figure, flash_crowd_figure,
+    oscillating_bottleneck_figure, partition_figure, recovery_figure, sustained_crash_script,
+    ADVERSARY_CORRUPT_CHANCE, ADVERSARY_FRACTIONS, RECOVERY_CRASH_EVERY_SECS,
 };
 pub use suite::{figure_suite, figure_suite_subset, render_suite, SUITE_PLAN_KEYS};

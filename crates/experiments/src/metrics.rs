@@ -139,6 +139,23 @@ pub struct RunSummary {
     /// check failures; zero when mutations only worsened links or the
     /// tables were already consistent).
     pub landmark_repairs: u64,
+    /// Total data packets whose carried digest was checked against the
+    /// sealed block digest (zero for baselines, which carry no digests).
+    pub blocks_verified: u64,
+    /// Total corrupted blocks rejected on receive (integrity layer on).
+    pub corrupt_blocks_rejected: u64,
+    /// Total corrupted blocks accepted into working sets (integrity layer
+    /// off — how far tampering propagates undefended).
+    pub corrupt_blocks_accepted: u64,
+    /// Total peers quarantined for misbehavior.
+    pub quarantines: u64,
+    /// Steady-state goodput credited only to receivers whose working set
+    /// accepted zero tampered blocks, Kbps (`steady_useful_kbps` scaled by
+    /// the clean-receiver fraction — one accepted forgery poisons that
+    /// receiver's reconstructed stream). Equals `steady_useful_kbps` when
+    /// every working set stayed clean; the defense-on/off comparison in
+    /// the adversary figure is a ratio of these.
+    pub clean_goodput_kbps: f64,
 }
 
 #[cfg(test)]

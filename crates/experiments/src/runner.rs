@@ -44,6 +44,14 @@ pub struct Delivery {
     pub control_retries: u64,
     /// Silence-evicted peers later heard from again.
     pub false_positive_evictions: u64,
+    /// Data packets whose carried digest was checked (zero for baselines).
+    pub blocks_verified: u64,
+    /// Corrupted blocks rejected on receive (integrity layer on).
+    pub corrupt_blocks_rejected: u64,
+    /// Corrupted blocks accepted into the working set (integrity layer off).
+    pub corrupt_blocks_accepted: u64,
+    /// Peers quarantined for misbehavior.
+    pub quarantines: u64,
 }
 
 /// A protocol agent whose delivery progress the runner can observe.
@@ -70,6 +78,10 @@ impl MeteredAgent for BulletNode {
             orphan_window_packets: m.orphan_window_packets,
             control_retries: m.control_retries,
             false_positive_evictions: m.false_positive_evictions,
+            blocks_verified: m.blocks_verified,
+            corrupt_blocks_rejected: m.corrupt_blocks_rejected,
+            corrupt_blocks_accepted: m.corrupt_blocks_accepted,
+            quarantines: m.quarantines,
         }
     }
 }
@@ -249,6 +261,8 @@ impl Meter {
         let mut control_bytes = 0u64;
         let mut recovery = Delivery::default();
         let mut node_reattach_secs: Vec<f64> = Vec::new();
+        let mut receivers = 0u64;
+        let mut poisoned_receivers = 0u64;
         for node in 0..n {
             let d = sim.agent(node).delivery();
             if d.reattaches > 0 {
@@ -264,8 +278,18 @@ impl Meter {
             recovery.orphan_window_packets += d.orphan_window_packets;
             recovery.control_retries += d.control_retries;
             recovery.false_positive_evictions += d.false_positive_evictions;
-            if node != spec.source && generated > 0 {
-                delivery_fractions.push(d.useful_packets as f64 / generated as f64);
+            recovery.blocks_verified += d.blocks_verified;
+            recovery.corrupt_blocks_rejected += d.corrupt_blocks_rejected;
+            recovery.corrupt_blocks_accepted += d.corrupt_blocks_accepted;
+            recovery.quarantines += d.quarantines;
+            if node != spec.source {
+                receivers += 1;
+                if d.corrupt_blocks_accepted > 0 {
+                    poisoned_receivers += 1;
+                }
+                if generated > 0 {
+                    delivery_fractions.push(d.useful_packets as f64 / generated as f64);
+                }
             }
         }
         delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -313,6 +337,24 @@ impl Meter {
             route_mutations: repair.route_mutations,
             routes_invalidated: repair.routes_invalidated,
             landmark_repairs: repair.landmark_repairs,
+            blocks_verified: recovery.blocks_verified,
+            corrupt_blocks_rejected: recovery.corrupt_blocks_rejected,
+            corrupt_blocks_accepted: recovery.corrupt_blocks_accepted,
+            quarantines: recovery.quarantines,
+            clean_goodput_kbps: {
+                // Goodput credited only to *clean* receivers. Blocks feed
+                // the downstream decoder, so a receiver whose working set
+                // accepted even one tampered block reconstructs a poisoned
+                // stream — its goodput is worthless, not merely diluted.
+                // With the defense off this is most of the overlay; with
+                // it on, verification keeps every working set clean.
+                let clean_fraction = if receivers == 0 {
+                    1.0
+                } else {
+                    (receivers - poisoned_receivers) as f64 / receivers as f64
+                };
+                self.useful.steady_state_kbps(0.25) * clean_fraction
+            },
         };
 
         RunResult {

@@ -570,6 +570,113 @@ pub(crate) fn partition_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
     })
 }
 
+/// Misbehaving-peer sweep: a growing fraction of the overlay turns
+/// adversarial mid-stream — even picks corrupt every data block they relay,
+/// odd picks stall and falsely advertise phantom content — and Bullet with
+/// the integrity layer (block verification, health scoring, quarantine) is
+/// compared against the same overlay defenseless under the *same*
+/// adversary script. The headline number is the clean-goodput ratio at
+/// each fraction: without verification, tampered blocks count toward raw
+/// delivery but carry nothing usable.
+pub fn adversary_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = adversary_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+/// Adversary fractions the sweep runs (fraction of non-source nodes).
+pub const ADVERSARY_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+/// Per-relay corruption probability of the even-pick (corrupter) persona.
+pub const ADVERSARY_CORRUPT_CHANCE: f64 = 0.75;
+
+pub(crate) fn adversary_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    let p = Params::new(scale, 36);
+    let topo = prepare_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+    // The off arm clears the integrity layer explicitly so the
+    // comparison stays on/off even under `BULLET_INTEGRITY=1`; both arms
+    // share the recovery profile, making integrity the only delta.
+    let defense_cfg = p.bullet_config(SCENARIO_RATE_BPS).integrity();
+    let baseline_cfg = bullet_core::BulletConfig {
+        integrity: None,
+        ..p.bullet_config(SCENARIO_RATE_BPS).recovery()
+    };
+    let nodes: Vec<OverlayId> = (1..p.participants).collect();
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    let turn_at = SimTime::from_secs_f64(p.stream_start.as_secs_f64() + window * 0.2);
+
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (arm, config) in [("defense on", &defense_cfg), ("defense off", &baseline_cfg)] {
+        for fraction in ADVERSARY_FRACTIONS {
+            let label = format!("Bullet - {arm} - {:.0}% adversaries", fraction * 100.0);
+            for (k, &seed) in seeds.iter().enumerate() {
+                // Per-seed scripts: each sweep seed samples its own
+                // adversary placement (same convention as the churn
+                // figure). Both arms at the same (fraction, seed) get the
+                // identical script.
+                let script = Arc::new(ScenarioScript::adversary_fraction(
+                    &nodes,
+                    fraction,
+                    turn_at,
+                    ADVERSARY_CORRUPT_CHANCE,
+                    seed ^ 0xAD5A,
+                ));
+                let topo = topo.clone();
+                let tree = tree.clone();
+                let config = config.clone();
+                let run = p.run_spec(&seed_label(&label, k));
+                tasks.push(Box::new(move || {
+                    bullet_run_scenario_on(topo.network(), &tree, &config, &run, &script, seed)
+                }));
+            }
+        }
+    }
+
+    let seeds = seeds.len();
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "adversary",
+            "Clean goodput while a growing fraction of the overlay corrupts, stalls or falsely advertises: integrity defense (verification + health scoring + quarantine) on vs off",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        let arms = ADVERSARY_FRACTIONS.len();
+        for (i, fraction) in ADVERSARY_FRACTIONS.iter().enumerate() {
+            let on = &chunks[i][0].summary;
+            let off = &chunks[arms + i][0].summary;
+            let ratio = if off.clean_goodput_kbps > 0.0 {
+                format!("{:.1}x", on.clean_goodput_kbps / off.clean_goodput_kbps)
+            } else {
+                "every defense-off receiver poisoned".to_string()
+            };
+            figure.notes.push(format!(
+                "{:.0}% adversaries: defense-on clean {:.0} Kbps vs defense-off {:.0} Kbps ({ratio}); on: {} rejected, {} quarantines, {} accepted; off: {} accepted",
+                fraction * 100.0,
+                on.clean_goodput_kbps,
+                off.clean_goodput_kbps,
+                on.corrupt_blocks_rejected,
+                on.quarantines,
+                on.corrupt_blocks_accepted,
+                off.corrupt_blocks_accepted,
+            ));
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

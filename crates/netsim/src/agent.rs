@@ -264,6 +264,17 @@ pub trait Agent: Sized {
 
     /// Invoked when a timer armed via [`Context::set_timer`] expires.
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: u64);
+
+    /// Rewrites a data message an adversarial sender is corrupting in
+    /// flight (a `FaultPlan` with `corrupt_chance` hit; see the simulator's
+    /// fault plumbing). *Which* packets are corrupted is drawn off the
+    /// simulator RNG; what corruption *means* is protocol-specific, so the
+    /// protocol supplies the rewrite — e.g. Bullet flips the block digest
+    /// its data packets carry. The default leaves messages untouched, so
+    /// protocols that ignore adversaries run unchanged under any plan.
+    fn tamper(msg: Self::Msg) -> Self::Msg {
+        msg
+    }
 }
 
 #[cfg(test)]

@@ -52,23 +52,42 @@ pub struct SimCounters {
     pub duplicated_faulted: u64,
     /// Control messages delayed by an installed [`FaultPlan`].
     pub delayed_faulted: u64,
+    /// Data messages rewritten in flight by an adversarial sender's
+    /// [`FaultPlan::corrupt_chance`].
+    pub corrupted_adversary: u64,
+    /// Data messages swallowed by a stalling adversarial sender's
+    /// [`FaultPlan::stall_chance`].
+    pub stalled_adversary: u64,
     /// Timer expirations delivered.
     pub timers_fired: u64,
     /// Events processed in total.
     pub events: u64,
 }
 
-/// Deterministic control-plane fault model for one sender.
+/// Deterministic per-sender fault and adversary model.
 ///
 /// When installed via [`Sim::set_fault_plan`], every `MsgClass::Control`
 /// message the node sends is subjected (in this order, off the simulator's
 /// own RNG, so runs stay bit-identical at any thread count) to a drop
-/// chance, a duplicate chance, and a delay chance. Data traffic is never
-/// touched: the paper's §4.6 failure modes are lost *control* RPCs —
-/// peering requests, re-attach handshakes, RanSub sets — while data loss is
-/// already modelled by the links themselves. A simulator with no plans
-/// installed draws no extra RNG and behaves byte-identically to one built
-/// before this type existed.
+/// chance, a duplicate chance, and a delay chance — the paper's §4.6
+/// failure modes are lost *control* RPCs (peering requests, re-attach
+/// handshakes, RanSub sets), while benign data loss is already modelled by
+/// the links themselves.
+///
+/// The adversary knobs extend the model to *misbehaving* (not merely
+/// faulty) nodes and act on `MsgClass::Data` instead: a stalling sender
+/// swallows its outgoing data (occupying peering slots while contributing
+/// nothing), a corrupting sender has each surviving data message rewritten
+/// through [`Agent::tamper`] (stall, then corrupt, in a fixed draw order).
+/// `false_advertise` is carried here for scripting convenience but is
+/// agent-behavioural — the scenario driver hands the plan to the agent's
+/// `on_adversary` hook, and the protocol decides what advertising data it
+/// does not hold means.
+///
+/// Every draw is gated on its chance being positive, so a simulator with
+/// no plans installed — or with plans predating the adversary fields —
+/// draws no extra RNG and behaves byte-identically to one built before
+/// this type (or those fields) existed.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// Probability a control message is silently dropped.
@@ -80,6 +99,16 @@ pub struct FaultPlan {
     pub delay_chance: f64,
     /// The hold-back applied when the delay chance hits.
     pub delay: SimDuration,
+    /// Probability an outgoing data message is swallowed (a stalled
+    /// sender: the slot stays occupied, nothing arrives).
+    pub stall_chance: f64,
+    /// Probability a surviving outgoing data message is rewritten through
+    /// [`Agent::tamper`] (a corrupting sender).
+    pub corrupt_chance: f64,
+    /// Whether this node advertises data it does not hold (inflated
+    /// summary tickets, reconciliation rows it never serves). Applied by
+    /// the protocol agent, not the simulator.
+    pub false_advertise: bool,
 }
 
 /// An in-flight message. Flights live in the simulator's pooled slab; the
@@ -761,6 +790,7 @@ impl<A: Agent> Sim<A> {
         // Control-plane fault injection (drop, then duplicate, then delay —
         // a fixed draw order so traces are reproducible). Only consulted
         // when a plan is installed for the sender.
+        let mut msg = msg;
         let mut duplicated = false;
         let mut launch_delay = SimDuration::ZERO;
         if matches!(class, MsgClass::Control) {
@@ -776,6 +806,21 @@ impl<A: Agent> Sim<A> {
                 if plan.delay_chance > 0.0 && self.rng.chance(plan.delay_chance) {
                     self.counters.delayed_faulted += 1;
                     launch_delay = plan.delay;
+                }
+            }
+        }
+        // Data-plane adversary injection (stall, then corrupt — same fixed
+        // draw order discipline, each draw gated on a positive chance so
+        // adversary-free plans stay byte-identical).
+        if matches!(class, MsgClass::Data) {
+            if let Some(plan) = self.faults.as_ref().and_then(|plans| plans[from]) {
+                if plan.stall_chance > 0.0 && self.rng.chance(plan.stall_chance) {
+                    self.counters.stalled_adversary += 1;
+                    return;
+                }
+                if plan.corrupt_chance > 0.0 && self.rng.chance(plan.corrupt_chance) {
+                    self.counters.corrupted_adversary += 1;
+                    msg = A::tamper(msg);
                 }
             }
         }
@@ -1320,6 +1365,7 @@ mod tests {
                     duplicate_chance: 0.2,
                     delay_chance: 0.2,
                     delay: SimDuration::from_millis(50),
+                    ..FaultPlan::default()
                 },
             );
             for i in 0..50 {

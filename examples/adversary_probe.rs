@@ -1,0 +1,40 @@
+//! Prints the deterministic fingerprint of the fixed 64-node adversary run.
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/adversary64.rs`) drives the bullet64 star with the
+//! data-plane integrity layer enabled while 20% of the overlay corrupts,
+//! stalls or falsely advertises mid-stream. The determinism test pins
+//! this fingerprint to golden values; this example exists so they can be
+//! (re)captured on any build.
+//!
+//! Run with `cargo run --release --example adversary_probe`.
+
+#[path = "../tests/support/adversary64.rs"]
+mod adversary64;
+
+fn main() {
+    let (c, digest, bytes_sent, epoch, stats, quarantines) = adversary64::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} dropped_partitioned={} dropped_faulted={} \
+         duplicated_faulted={} delayed_faulted={} corrupted_adversary={} \
+         stalled_adversary={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.dropped_partitioned,
+        c.dropped_faulted,
+        c.duplicated_faulted,
+        c.delayed_faulted,
+        c.corrupted_adversary,
+        c.stalled_adversary,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+    println!("topology_epoch: {epoch}");
+    println!("scenario: adversaries={}", stats.adversaries);
+    println!("quarantines: {quarantines}");
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json artifacts at the repository root.
+
+Every benchmark artifact follows the same envelope: a JSON object with a
+``benchmark`` pointer to the harness source, a ``workload`` object whose
+``description`` explains what was measured, at least one result section
+(``default_scale``, ``paper_scale``, ``pre_refactor``/``post_refactor``, …)
+and an ``environment`` object recording how the numbers were produced.
+CI runs this against every ``BENCH_*.json`` so a hand-edited artifact that
+drops a section, references a benchmark file that no longer exists, or
+stops being valid JSON fails the push that broke it.
+
+Usage: python3 scripts/check_bench_schema.py [BENCH_foo.json ...]
+With no arguments, checks every BENCH_*.json in the repository root.
+"""
+
+import glob
+import json
+import os
+import sys
+
+ENVELOPE_KEYS = ("benchmark", "workload", "environment")
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def check(path, repo_root):
+    def reject_non_finite(token):
+        # Python's json module accepts NaN/Infinity literals by default;
+        # a speedup or ratio that divided by zero must fail the check.
+        raise ValueError(f"non-finite number {token!r}")
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle, parse_constant=reject_non_finite)
+    except (OSError, ValueError) as err:
+        return fail(path, f"not readable JSON: {err}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be a JSON object")
+
+    for key in ENVELOPE_KEYS:
+        if key not in doc:
+            return fail(path, f"missing required key {key!r}")
+
+    benchmark = doc["benchmark"]
+    if not isinstance(benchmark, str) or not benchmark:
+        return fail(path, "'benchmark' must be a non-empty source path")
+    if not os.path.exists(os.path.join(repo_root, benchmark)):
+        return fail(path, f"'benchmark' points at a missing file: {benchmark}")
+
+    workload = doc["workload"]
+    if not isinstance(workload, dict):
+        return fail(path, "'workload' must be an object")
+    prose = workload.get("description", workload.get("notes"))
+    if not isinstance(prose, str) or len(prose) < 40:
+        return fail(path, "'workload' needs a description/notes prose field")
+
+    if not isinstance(doc["environment"], dict):
+        return fail(path, "'environment' must be an object")
+
+    result_sections = [
+        key
+        for key, value in doc.items()
+        if key not in ENVELOPE_KEYS and isinstance(value, dict)
+    ]
+    if not result_sections:
+        return fail(path, "no result section (e.g. 'default_scale') found")
+
+    print(f"ok   {path}: sections {', '.join(sorted(result_sections))}")
+    return True
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = argv or sorted(glob.glob(os.path.join(repo_root, "BENCH_*.json")))
+    if not paths:
+        print("FAIL: no BENCH_*.json artifacts found")
+        return 1
+    ok = all([check(path, repo_root) for path in paths])
+    print(f"checked {len(paths)} artifact(s)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,8 @@
 //! and are asserted against the current implementation here. The workload
 //! itself lives in `tests/support/bullet64.rs`, shared with the probe.
 
+#[path = "support/adversary64.rs"]
+mod adversary64;
 #[path = "support/bullet64.rs"]
 mod bullet64;
 #[path = "support/churn64.rs"]
@@ -125,6 +127,46 @@ fn faults_64_matches_golden_run() {
 #[test]
 fn faults_64_is_deterministic_across_runs() {
     assert_eq!(faults64::fingerprint(), faults64::fingerprint());
+}
+
+/// The 64-node adversary run: the bullet64 star with the data-plane
+/// integrity layer enabled (on top of the §4.6 recovery profile) while an
+/// `adversary_fraction` script turns 20% of the overlay adversarial at
+/// t=5s — even picks corrupt 75% of the data blocks they relay, odd picks
+/// stall completely and falsely advertise phantom content. The goldens
+/// below were captured with `examples/adversary_probe.rs` on the first
+/// integrity build; the digest covers the integrity metrics (blocks
+/// verified, corrupt rejected/accepted, health penalties, quarantines)
+/// per node, so any behavioural drift in the defense moves it.
+#[test]
+fn adversary_64_matches_golden_run() {
+    let (counters, digest, bytes_sent, epoch, stats, quarantines) = adversary64::fingerprint();
+    assert_eq!(counters.delivered, 21_894);
+    assert_eq!(counters.dropped_in_network, 17);
+    assert_eq!(counters.dropped_dest_failed, 0);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.dropped_partitioned, 0);
+    assert_eq!(counters.dropped_faulted, 0);
+    assert_eq!(counters.corrupted_adversary, 47);
+    assert_eq!(counters.stalled_adversary, 1_075);
+    assert_eq!(counters.timers_fired, 10_699);
+    assert_eq!(counters.events, 98_337);
+    assert_eq!(digest, 0xe3fc_7a5b_b241_387f);
+    assert_eq!(bytes_sent, 51_218_216);
+    // Adversary plans never touch routes: no topology epochs.
+    assert_eq!(epoch, 0);
+    // The script applied in full: 20% of 63 non-source nodes.
+    assert_eq!(stats.adversaries, 13);
+    // The defense actually fired: misbehaving peers got quarantined.
+    assert_eq!(quarantines, 9);
+}
+
+/// Two adversary runs with the same seed must be byte-identical: the
+/// corrupt/stall draws, tamper hook, health scoring and quarantine
+/// evictions are all deterministic.
+#[test]
+fn adversary_64_is_deterministic_across_runs() {
+    assert_eq!(adversary64::fingerprint(), adversary64::fingerprint());
 }
 
 /// The `BULLET_SCALE=paper` smoke run: 256 Bullet nodes streaming for a few

@@ -11,6 +11,8 @@
 //! caught), and re-run the bullet64/churn64 golden workloads concurrently
 //! to pin them against their single-threaded fingerprints.
 
+#[path = "support/adversary64.rs"]
+mod adversary64;
 #[path = "support/bullet64.rs"]
 mod bullet64;
 #[path = "support/churn64.rs"]
@@ -98,6 +100,27 @@ fn faults64_golden_is_identical_under_concurrency() {
     let reference = faults64::fingerprint();
     let concurrent: Vec<_> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..8).map(|_| scope.spawn(faults64::fingerprint)).collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for fingerprint in concurrent {
+        assert_eq!(fingerprint, reference);
+    }
+}
+
+/// Same gate for the adversary64 golden: the data-plane integrity layer —
+/// block verification, the adversary stall/corrupt draws and tamper hook,
+/// health scoring decay and quarantine evictions — must be byte-identical
+/// at any thread count.
+#[test]
+fn adversary64_golden_is_identical_under_concurrency() {
+    let reference = adversary64::fingerprint();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| scope.spawn(adversary64::fingerprint))
+            .collect();
         workers
             .into_iter()
             .map(|w| w.join().expect("worker panicked"))

@@ -666,6 +666,131 @@ fn tree_oracles_are_identical_under_batched_and_pairwise_routing() {
     }
 }
 
+/// Builds the small adversary-property star: `n` Bullet nodes, a quarter of
+/// the non-source nodes turning adversarial at t=5s (alternating corrupter
+/// and stall/false-advertiser personas), run for 30 simulated seconds.
+fn integrity_run(
+    config: bullet_suite::bullet::BulletConfig,
+    seed: u64,
+) -> bullet_suite::netsim::Sim<bullet_suite::bullet::BulletNode> {
+    use bullet_suite::bullet::BulletNode;
+    use bullet_suite::dynamics::{ScenarioDriver, ScenarioScript};
+    use bullet_suite::netsim::{Sim, SimTime};
+    let n = 20;
+    let mut spec = NetworkSpec::new(n + 1);
+    for i in 0..n {
+        spec.add_link(LinkSpec::new(
+            n,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(seed);
+    let tree = random_tree(n, 0, 4, &mut rng);
+    let agents: Vec<BulletNode> = (0..n)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, seed);
+    let nodes: Vec<usize> = (1..n).collect();
+    let script =
+        ScenarioScript::adversary_fraction(&nodes, 0.25, SimTime::from_secs(5), 0.9, seed ^ 0xBAD);
+    let mut driver = ScenarioDriver::new(&script);
+    driver.install(&mut sim);
+    driver.run_until(&mut sim, SimTime::from_secs(30));
+    sim
+}
+
+/// With the integrity layer on, no final working set holds a corrupted
+/// block, nothing tampered is ever accepted, and the defense visibly fired
+/// (rejections and quarantines) — across seeds, i.e. across adversary
+/// placements.
+#[test]
+fn integrity_defense_keeps_working_sets_clean() {
+    use bullet_suite::bullet::BulletConfig;
+    use bullet_suite::netsim::SimTime;
+    for seed in [1u64, 2, 3] {
+        let config = BulletConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            ransub_epoch: SimDuration::from_secs(2),
+            ..BulletConfig::default()
+        }
+        .integrity();
+        let sim = integrity_run(config, seed);
+        let mut rejected = 0;
+        let mut quarantines = 0;
+        for node in 0..20 {
+            let agent = sim.agent(node);
+            assert_eq!(
+                agent.corrupt_blocks_held(),
+                0,
+                "seed {seed}: node {node} holds corrupted blocks with the defense on"
+            );
+            assert_eq!(
+                agent.reverify_working_set(),
+                0,
+                "seed {seed}: node {node} has a block whose digest does not re-verify"
+            );
+            assert_eq!(
+                agent.metrics.corrupt_blocks_accepted, 0,
+                "seed {seed}: node {node} accepted a tampered block with the defense on"
+            );
+            rejected += agent.metrics.corrupt_blocks_rejected;
+            quarantines += agent.metrics.quarantines;
+        }
+        assert!(
+            rejected > 0,
+            "seed {seed}: the attack never landed a tampered block to reject"
+        );
+        assert!(
+            quarantines > 0,
+            "seed {seed}: no misbehaving peer was ever quarantined"
+        );
+    }
+}
+
+/// With the integrity layer off, the same attack lands: tampered blocks
+/// are accepted into working sets and survive to the end of the run.
+#[test]
+fn integrity_attack_lands_when_the_defense_is_off() {
+    use bullet_suite::bullet::BulletConfig;
+    use bullet_suite::netsim::SimTime;
+    for seed in [1u64, 2, 3] {
+        let config = BulletConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            ransub_epoch: SimDuration::from_secs(2),
+            ..BulletConfig::default()
+        }
+        .recovery();
+        let sim = integrity_run(config, seed);
+        let accepted: u64 = (0..20)
+            .map(|n| sim.agent(n).metrics.corrupt_blocks_accepted)
+            .sum();
+        let held: usize = (0..20).map(|n| sim.agent(n).corrupt_blocks_held()).sum();
+        let reverify: usize = (0..20).map(|n| sim.agent(n).reverify_working_set()).sum();
+        let quarantines: u64 = (0..20).map(|n| sim.agent(n).metrics.quarantines).sum();
+        assert!(
+            accepted > 0,
+            "seed {seed}: the undefended overlay accepted no tampered blocks"
+        );
+        assert!(
+            held > 0,
+            "seed {seed}: no tampered block survived in any working set"
+        );
+        assert_eq!(
+            reverify, held,
+            "seed {seed}: tainted bookkeeping disagrees with direct re-verification"
+        );
+        assert_eq!(
+            quarantines, 0,
+            "seed {seed}: quarantine fired with the integrity layer off"
+        );
+    }
+}
+
 /// Framing maps sequence numbers to (block, offset) pairs and back without
 /// loss.
 #[test]

@@ -1,0 +1,105 @@
+//! The fixed 64-node adversary golden workload.
+//!
+//! The bullet64 star topology with the data-plane integrity layer enabled
+//! (block verification, peer health scoring, quarantine) on top of the
+//! §4.6 recovery profile, driven by an `adversary_fraction` script that
+//! turns 20% of the non-source nodes adversarial mid-stream: even picks
+//! corrupt 75% of the data blocks they relay, odd picks stall completely
+//! and falsely advertise phantom content. Shared (via `#[path]`
+//! inclusion) by `tests/determinism.rs`, which pins the fingerprint to
+//! golden values, and `examples/adversary_probe.rs`, which recaptures
+//! them.
+
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::dynamics::{ScenarioDriver, ScenarioScript, ScenarioStats};
+use bullet_suite::netsim::{LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime};
+use bullet_suite::overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2004;
+const RUN_SECS: u64 = 25;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// 20% of the non-source nodes turn adversarial at t=5s, alternating
+/// corrupter and stall/false-advertiser personas.
+fn script() -> ScenarioScript {
+    let nodes: Vec<usize> = (1..NODES).collect();
+    ScenarioScript::adversary_fraction(&nodes, 0.2, SimTime::from_secs(5), 0.75, SEED ^ 0xAD5A)
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links, topology epoch, scenario stats, total
+/// quarantines)`.
+///
+/// The digest extends the faults64 per-node values with the integrity
+/// metrics (blocks verified, corrupt blocks rejected/accepted, health
+/// penalties, quarantines), so any behavioural drift in the defense — not
+/// just in delivery — moves the fingerprint.
+pub fn fingerprint() -> (SimCounters, u64, u64, u64, ScenarioStats, u64) {
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ransub_epoch: SimDuration::from_secs(2),
+        ..BulletConfig::default()
+    }
+    .integrity();
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, SEED);
+    let mut driver = ScenarioDriver::new(&script());
+    driver.install(&mut sim);
+    driver.run_until(&mut sim, SimTime::from_secs(RUN_SECS));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for node in 0..NODES {
+        let m = &sim.agent(node).metrics;
+        let t = sim.traffic(node);
+        for v in [
+            m.useful_packets,
+            m.useful_bytes,
+            m.raw_bytes,
+            m.duplicate_packets,
+            m.total_packets,
+            m.orphan_detections,
+            m.reattaches,
+            m.control_retries,
+            m.false_positive_evictions,
+            m.blocks_verified,
+            m.corrupt_blocks_rejected,
+            m.corrupt_blocks_accepted,
+            m.health_penalties,
+            m.quarantines,
+            t.data_bytes_in,
+            t.control_bytes_in,
+            t.data_bytes_out,
+            t.control_bytes_out,
+        ] {
+            digest = mix(digest, v);
+        }
+    }
+    let quarantines = (0..NODES).map(|n| sim.agent(n).metrics.quarantines).sum();
+    (
+        sim.counters(),
+        digest,
+        sim.network().total_bytes_sent(),
+        sim.network().topology_epoch(),
+        driver.stats,
+        quarantines,
+    )
+}
