@@ -1,53 +1,13 @@
 //! Delivery metrics shared by the baseline protocols.
 //!
-//! Mirrors the counters Bullet keeps so the experiment harness can build the
-//! same bandwidth-over-time series for every system under comparison.
+//! The baselines keep the same cumulative delivery counters Bullet keeps so
+//! the experiment harness can build the same bandwidth-over-time series for
+//! every system under comparison. Since PR 9 the counter struct itself lives
+//! in `bullet-telemetry` ([`bullet_telemetry::DeliveryCounters`]) and is
+//! shared verbatim with `bullet-core`; this module re-exports it under the
+//! historical name.
 
-/// Cumulative per-node delivery counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DeliveryMetrics {
-    /// Bytes received for the first time.
-    pub useful_bytes: u64,
-    /// Bytes received in total, including duplicates.
-    pub raw_bytes: u64,
-    /// Bytes received from the tree parent (zero for protocols without a
-    /// tree).
-    pub from_parent_bytes: u64,
-    /// Packets received more than once.
-    pub duplicate_packets: u64,
-    /// Packets received in total.
-    pub total_packets: u64,
-    /// Distinct sequence numbers received.
-    pub useful_packets: u64,
-    /// Packets generated (source only).
-    pub packets_generated: u64,
-}
-
-impl DeliveryMetrics {
-    /// Records the reception of one data packet.
-    pub fn record_receive(&mut self, bytes: u32, from_parent: bool, duplicate: bool) {
-        self.raw_bytes += bytes as u64;
-        self.total_packets += 1;
-        if from_parent {
-            self.from_parent_bytes += bytes as u64;
-        }
-        if duplicate {
-            self.duplicate_packets += 1;
-        } else {
-            self.useful_bytes += bytes as u64;
-            self.useful_packets += 1;
-        }
-    }
-
-    /// Fraction of received packets that were duplicates.
-    pub fn duplicate_fraction(&self) -> f64 {
-        if self.total_packets == 0 {
-            0.0
-        } else {
-            self.duplicate_packets as f64 / self.total_packets as f64
-        }
-    }
-}
+pub use bullet_telemetry::DeliveryCounters as DeliveryMetrics;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,126 @@
+//! Telemetry overhead benchmark: events/s with the observability layer
+//! off, counters-only (metrics hub + self-profiling), and fully tracing.
+//!
+//! Runs the bullet64-shaped star workload through `run_metered_with`
+//! three ways and prints one `telemetry_bench {...}` JSON line per mode
+//! plus a final line with the relative overheads. Those lines feed
+//! `BENCH_telemetry.json` at the repository root and the nightly
+//! `BENCH_telemetry` artifact published by the paper-smoke workflow.
+//!
+//! The acceptance number lives in the final line: `counters_overhead_pct`
+//! (hub sampling + self-profiling, no flight recorder) must stay within
+//! 10% of the telemetry-off event rate. The workload is fixed-size on
+//! purpose — overhead ratios, not absolute throughput, are the contract.
+
+use std::time::Instant;
+
+use bullet_bench::announce;
+use bullet_core::{BulletConfig, BulletNode};
+use bullet_experiments::{run_metered_with, RunSpec, TelemetryConfig};
+use bullet_netsim::telemetry::TraceSpec;
+use bullet_netsim::{LinkSpec, NetworkSpec, Sim, SimDuration, SimRng, SimTime};
+use bullet_overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2003;
+const RUN_SECS: u64 = 20;
+const ITERATIONS: usize = 3;
+
+fn build_sim() -> Sim<BulletNode> {
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ..BulletConfig::default()
+    };
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    Sim::new(&spec, agents, SEED)
+}
+
+fn run_spec() -> RunSpec {
+    RunSpec {
+        label: "telemetry_overhead".into(),
+        source: 0,
+        duration: SimDuration::from_secs(RUN_SECS),
+        sample_interval: SimDuration::from_secs(2),
+        failure: None,
+    }
+}
+
+/// Best-of-N events/s for one telemetry configuration (the minimum wall
+/// time is the least-noisy estimator on a shared machine).
+fn measure(config: &TelemetryConfig) -> (u64, f64) {
+    let spec = run_spec();
+    // Warmup run, untimed.
+    let _ = run_metered_with(build_sim(), &spec, config);
+    let mut events = 0u64;
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..ITERATIONS {
+        let sim = build_sim();
+        let start = Instant::now();
+        let result = run_metered_with(sim, &spec, config);
+        let secs = start.elapsed().as_secs_f64();
+        events = result.summary.sim_events;
+        if secs < best_secs {
+            best_secs = secs;
+        }
+    }
+    (events, events as f64 / best_secs)
+}
+
+fn main() {
+    announce("Telemetry overhead — events/s off vs counters-only vs full trace");
+    println!(
+        "# fixed workload: {NODES}-node star, 500 Kbps stream, {RUN_SECS} s sim, \
+         best of {ITERATIONS} runs"
+    );
+
+    let modes: [(&str, TelemetryConfig); 3] = [
+        ("off", TelemetryConfig::disabled()),
+        (
+            "counters",
+            TelemetryConfig {
+                trace: None,
+                profile: true,
+            },
+        ),
+        (
+            "trace",
+            TelemetryConfig {
+                trace: Some(TraceSpec::parse("all,cap=1048576").expect("valid spec")),
+                profile: true,
+            },
+        ),
+    ];
+
+    let mut rates = [0.0f64; 3];
+    for (i, (name, config)) in modes.iter().enumerate() {
+        let (events, rate) = measure(config);
+        rates[i] = rate;
+        println!(
+            "telemetry_bench {{\"mode\": \"{name}\", \"sim_events\": {events}, \
+             \"events_per_sec\": {rate:.0}}}"
+        );
+    }
+
+    let overhead = |rate: f64| (rates[0] / rate - 1.0) * 100.0;
+    println!(
+        "telemetry_bench {{\"mode\": \"summary\", \"counters_overhead_pct\": {:.2}, \
+         \"trace_overhead_pct\": {:.2}, \"budget_counters_pct\": 10.0}}",
+        overhead(rates[1]),
+        overhead(rates[2]),
+    );
+}

@@ -5,31 +5,20 @@
 //! portion received from the node's tree parent. The harness samples these
 //! cumulative counters periodically and differences them to produce the
 //! bandwidth-over-time series and CDFs of the paper's figures.
+//!
+//! The delivery core ([`DeliveryCounters`]) is shared with the baseline
+//! protocols through `bullet-telemetry`, so the experiment harness meters
+//! every system through one sampler; Bullet layers its recovery- and
+//! integrity-subsystem counters on top.
+
+pub use bullet_telemetry::DeliveryCounters;
 
 /// Cumulative counters; all byte counts refer to data packets only (control
 /// traffic is accounted separately by the simulator's per-class counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BulletMetrics {
-    /// Bytes of data received for the first time (the "useful total").
-    pub useful_bytes: u64,
-    /// Bytes of data received in total, including duplicates (the "raw
-    /// total").
-    pub raw_bytes: u64,
-    /// Bytes of data received from the tree parent.
-    pub from_parent_bytes: u64,
-    /// Bytes of data received from mesh peers (useful or not).
-    pub from_peers_bytes: u64,
-    /// Data packets received more than once.
-    pub duplicate_packets: u64,
-    /// Duplicates that arrived from the tree parent (relays of recovered
-    /// packets down the tree, the source the paper calls out in §3.2).
-    pub duplicate_from_parent: u64,
-    /// Data packets received in total.
-    pub total_packets: u64,
-    /// Distinct sequence numbers received.
-    pub useful_packets: u64,
-    /// Packets generated (source only).
-    pub packets_generated: u64,
+    /// The delivery core shared with every metered protocol.
+    pub delivery: DeliveryCounters,
     /// Packets this node could not forward to any child (dropped ownership).
     pub orphaned_packets: u64,
     /// Packets forwarded to children (owned or extra).
@@ -72,31 +61,12 @@ pub struct BulletMetrics {
 impl BulletMetrics {
     /// Fraction of received data packets that were duplicates.
     pub fn duplicate_fraction(&self) -> f64 {
-        if self.total_packets == 0 {
-            0.0
-        } else {
-            self.duplicate_packets as f64 / self.total_packets as f64
-        }
+        self.delivery.duplicate_fraction()
     }
 
     /// Records the reception of a data packet.
     pub fn record_receive(&mut self, bytes: u32, from_parent: bool, duplicate: bool) {
-        self.raw_bytes += bytes as u64;
-        self.total_packets += 1;
-        if from_parent {
-            self.from_parent_bytes += bytes as u64;
-        } else {
-            self.from_peers_bytes += bytes as u64;
-        }
-        if duplicate {
-            self.duplicate_packets += 1;
-            if from_parent {
-                self.duplicate_from_parent += 1;
-            }
-        } else {
-            self.useful_bytes += bytes as u64;
-            self.useful_packets += 1;
-        }
+        self.delivery.record_receive(bytes, from_parent, duplicate);
     }
 }
 
@@ -110,13 +80,13 @@ mod tests {
         m.record_receive(1_500, true, false);
         m.record_receive(1_500, false, false);
         m.record_receive(1_500, false, true);
-        assert_eq!(m.useful_bytes, 3_000);
-        assert_eq!(m.raw_bytes, 4_500);
-        assert_eq!(m.from_parent_bytes, 1_500);
-        assert_eq!(m.from_peers_bytes, 3_000);
-        assert_eq!(m.duplicate_packets, 1);
-        assert_eq!(m.total_packets, 3);
-        assert_eq!(m.useful_packets, 2);
+        assert_eq!(m.delivery.useful_bytes, 3_000);
+        assert_eq!(m.delivery.raw_bytes, 4_500);
+        assert_eq!(m.delivery.from_parent_bytes, 1_500);
+        assert_eq!(m.delivery.from_peers_bytes, 3_000);
+        assert_eq!(m.delivery.duplicate_packets, 1);
+        assert_eq!(m.delivery.total_packets, 3);
+        assert_eq!(m.delivery.useful_packets, 2);
         assert!((m.duplicate_fraction() - 1.0 / 3.0).abs() < 1e-12);
     }
 

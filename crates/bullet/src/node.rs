@@ -27,6 +27,7 @@ use bullet_dynamics::ScenarioAgent;
 use bullet_netsim::{Agent, Context, FaultPlan, OverlayId, SimDuration, SimTime};
 use bullet_overlay::Tree;
 use bullet_ransub::{Member, RanSub, RanSubConfig, RanSubEvent, RanSubMsg};
+use bullet_telemetry::{TraceData, CAT_JOURNEY, CAT_PROTO};
 use bullet_transport::{TfrcReceiver, TfrcSender};
 
 use crate::config::{BulletConfig, IntegrityConfig};
@@ -447,6 +448,9 @@ impl BulletNode {
         self.quarantined
             .insert(peer, ctx.now() + integrity.quarantine_backoff);
         self.metrics.quarantines += 1;
+        if ctx.tracing(CAT_PROTO) {
+            ctx.trace(TraceData::Quarantine { peer: peer as u32 });
+        }
         let was_sender = self.peers.is_sender(peer);
         self.peers.remove_peer(peer);
         self.peering_retries.retain(|p| p.node != peer);
@@ -506,6 +510,12 @@ impl BulletNode {
             }
         });
         for (child, header) in accepted {
+            if ctx.tracing(CAT_JOURNEY) {
+                ctx.trace(TraceData::TreePush {
+                    seq,
+                    to: child as u32,
+                });
+            }
             self.send_data_packet(ctx, child, header, seq);
         }
         self.metrics.forwarded_packets += outcome.sent_to.len() as u64;
@@ -683,6 +693,11 @@ impl BulletNode {
             return;
         }
         self.metrics.orphan_detections += 1;
+        if ctx.tracing(CAT_PROTO) {
+            ctx.trace(TraceData::ReattachStart {
+                dead_parent: old_parent as u32,
+            });
+        }
         self.reattach = Some(ReattachState {
             candidates,
             index: 0,
@@ -697,7 +712,7 @@ impl BulletNode {
     /// Sends `Reattach` to the current ladder candidate and schedules the
     /// exponential-backoff follow-up.
     fn reattach_send_current(&mut self, ctx: &mut Context<'_, BulletMsg>) {
-        let target = {
+        let (target, attempt) = {
             let Some(state) = self.reattach.as_mut() else {
                 return;
             };
@@ -710,8 +725,14 @@ impl BulletNode {
             if state.attempts > 1 {
                 self.metrics.control_retries += 1;
             }
-            target
+            (target, state.attempts)
         };
+        if ctx.tracing(CAT_PROTO) {
+            ctx.trace(TraceData::ReattachStep {
+                candidate: target as u32,
+                attempt,
+            });
+        }
         self.send_msg(ctx, target, BulletMsg::Reattach);
         self.arm_retry_timer(ctx);
     }
@@ -756,6 +777,12 @@ impl BulletNode {
         self.out_conns.remove(&state.old_parent);
         self.metrics.reattaches += 1;
         self.metrics.reattach_wait_us += ctx.now().as_micros().saturating_sub(state.started_us);
+        if ctx.tracing(CAT_PROTO) {
+            ctx.trace(TraceData::ReattachDone {
+                new_parent: new_parent as u32,
+                wait_us: ctx.now().as_micros().saturating_sub(state.started_us),
+            });
+        }
         self.orphan_strikes = 0;
         self.distributes_at_last_check = self.distributes_seen;
     }
@@ -887,6 +914,11 @@ impl BulletNode {
             let request = ReconcileRequest::new(filter.clone(), low, high, stripe, row as u64);
             self.send_msg(ctx, node, BulletMsg::FilterRefresh { request });
         }
+        if ctx.tracing(CAT_PROTO) {
+            ctx.trace(TraceData::ReconcileRound {
+                senders: senders.len() as u32,
+            });
+        }
         self.scratch_peers = senders;
     }
 
@@ -923,6 +955,12 @@ impl BulletNode {
                     .or_insert_with(|| TfrcSender::new(tfrc));
                 match conn.try_send(now, packet_size) {
                     Ok(header) => {
+                        if ctx.tracing(CAT_JOURNEY) {
+                            ctx.trace(TraceData::MeshServe {
+                                seq: key,
+                                to: node as u32,
+                            });
+                        }
                         self.send_data_packet(ctx, node, header, key);
                         self.metrics.served_packets += 1;
                         if let Some(receiver) = self.peers.receiver_mut(node) {
@@ -943,7 +981,7 @@ impl BulletNode {
     fn evaluate_mesh(&mut self, ctx: &mut Context<'_, BulletMsg>) {
         // Report our total received bandwidth to every sender so they can
         // run their receiver eviction.
-        let window_bytes = self.metrics.raw_bytes;
+        let window_bytes = self.metrics.delivery.raw_bytes;
         let senders = self.take_sender_peers();
         for &node in &senders {
             self.send_msg(
@@ -1069,12 +1107,12 @@ impl BulletNode {
                 // next reconciliation round re-requests it from an
                 // honest peer. The forwarder pays a misbehavior penalty.
                 self.metrics.corrupt_blocks_rejected += 1;
-                self.metrics.raw_bytes += self.config.packet_size as u64;
-                self.metrics.total_packets += 1;
+                self.metrics.delivery.raw_bytes += self.config.packet_size as u64;
+                self.metrics.delivery.total_packets += 1;
                 if from_parent {
-                    self.metrics.from_parent_bytes += self.config.packet_size as u64;
+                    self.metrics.delivery.from_parent_bytes += self.config.packet_size as u64;
                 } else {
-                    self.metrics.from_peers_bytes += self.config.packet_size as u64;
+                    self.metrics.delivery.from_peers_bytes += self.config.packet_size as u64;
                 }
                 if let Some(sender) = self.peers.sender_mut(from) {
                     sender.total_packets_window += 1;
@@ -1087,6 +1125,14 @@ impl BulletNode {
         let duplicate = self.working_set.contains(seq) || seq < self.working_set.low_watermark();
         self.metrics
             .record_receive(self.config.packet_size, from_parent, duplicate);
+        if ctx.tracing(CAT_JOURNEY) {
+            ctx.trace(TraceData::BlockAccept {
+                seq,
+                from: from as u32,
+                from_parent,
+                duplicate,
+            });
+        }
         if let Some(sender) = self.peers.sender_mut(from) {
             sender.total_packets_window += 1;
             if duplicate {
@@ -1316,7 +1362,10 @@ impl Agent for BulletNode {
                 if self.streaming {
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    self.metrics.packets_generated += 1;
+                    self.metrics.delivery.packets_generated += 1;
+                    if ctx.tracing(CAT_JOURNEY) {
+                        ctx.trace(TraceData::BlockSealed { seq });
+                    }
                     self.learn_seq(seq);
                     self.route_to_children(ctx, seq);
                 }
@@ -1536,11 +1585,11 @@ mod tests {
         let config = quick_config();
         let mut sim = build_sim(12, 2_000_000.0, config, 1);
         sim.run_until(SimTime::from_secs(40));
-        let generated = sim.agent(0).metrics.packets_generated;
+        let generated = sim.agent(0).metrics.delivery.packets_generated;
         assert!(generated > 500, "source generated only {generated}");
         for node in 1..12 {
             let m = &sim.agent(node).metrics;
-            let fraction = m.useful_packets as f64 / generated as f64;
+            let fraction = m.delivery.useful_packets as f64 / generated as f64;
             assert!(
                 fraction > 0.7,
                 "node {node} received only {:.0}% of the stream",
@@ -1591,7 +1640,7 @@ mod tests {
         let mut sim = build_sim(12, 500_000.0, config, 4);
         sim.run_until(SimTime::from_secs(45));
         let peer_supplied = (1..12)
-            .filter(|&n| sim.agent(n).metrics.from_peers_bytes > 0)
+            .filter(|&n| sim.agent(n).metrics.delivery.from_peers_bytes > 0)
             .count();
         assert!(
             peer_supplied >= 6,
@@ -1669,12 +1718,12 @@ mod tests {
         // The repaired tree keeps delivering to the orphaned subtree.
         let before: Vec<u64> = kids
             .iter()
-            .map(|&k| sim.agent(k).metrics.useful_packets)
+            .map(|&k| sim.agent(k).metrics.delivery.useful_packets)
             .collect();
         driver.run_until(&mut sim, SimTime::from_secs(45));
         for (i, &kid) in kids.iter().enumerate() {
             assert!(
-                sim.agent(kid).metrics.useful_packets > before[i] + 50,
+                sim.agent(kid).metrics.delivery.useful_packets > before[i] + 50,
                 "adopted child {kid} stalled after the handoff"
             );
         }
@@ -1698,10 +1747,10 @@ mod tests {
         let mut sim = build_sim(n, 2_000_000.0, quick_config(), 7);
         driver.install(&mut sim);
         driver.run_until(&mut sim, SimTime::from_secs(29));
-        let frozen = sim.agent(victim).metrics.useful_packets;
+        let frozen = sim.agent(victim).metrics.delivery.useful_packets;
         driver.run_until(&mut sim, SimTime::from_secs(60));
         assert!(
-            sim.agent(victim).metrics.useful_packets > frozen + 100,
+            sim.agent(victim).metrics.delivery.useful_packets > frozen + 100,
             "rejoined node did not resume receiving the stream"
         );
         // Each periodic chain keeps exactly one armed timer; a rejoin that
@@ -1756,7 +1805,7 @@ mod tests {
         driver.run_until(&mut sim, SimTime::from_secs(25));
         let frozen: Vec<u64> = orphans
             .iter()
-            .map(|&o| sim.agent(o).metrics.useful_packets)
+            .map(|&o| sim.agent(o).metrics.delivery.useful_packets)
             .collect();
         driver.run_until(&mut sim, SimTime::from_secs(60));
         for (i, &orphan) in orphans.iter().enumerate() {
@@ -1783,7 +1832,7 @@ mod tests {
                 "new parent {new_parent} does not list orphan {orphan} as a child"
             );
             assert!(
-                sim.agent(orphan).metrics.useful_packets > frozen[i] + 100,
+                sim.agent(orphan).metrics.delivery.useful_packets > frozen[i] + 100,
                 "orphan {orphan} did not resume receiving the stream after re-attach"
             );
         }
@@ -1840,7 +1889,7 @@ mod tests {
             let mut sim = build_sim(10, 1_000_000.0, quick_config(), seed);
             sim.run_until(SimTime::from_secs(25));
             (0..10)
-                .map(|n| sim.agent(n).metrics.useful_packets)
+                .map(|n| sim.agent(n).metrics.delivery.useful_packets)
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));

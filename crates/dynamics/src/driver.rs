@@ -83,6 +83,12 @@ pub struct ScenarioDriver {
     installed: bool,
     /// What has been applied so far.
     pub stats: ScenarioStats,
+    /// Wall-clock seconds spent inside route-affecting mutations (link
+    /// bandwidth/loss/up, router up) — the simulator repairs or invalidates
+    /// routes synchronously inside these calls, so this is the driver's
+    /// share of routing-repair time. Excluded from [`ScenarioStats`] so the
+    /// stats stay comparable across runs; feed it to self-profiling instead.
+    pub repair_wall_secs: f64,
 }
 
 impl ScenarioDriver {
@@ -105,6 +111,7 @@ impl ScenarioDriver {
             next: 0,
             installed: false,
             stats: ScenarioStats::default(),
+            repair_wall_secs: 0.0,
         }
     }
 
@@ -199,19 +206,31 @@ impl ScenarioDriver {
                 self.stats.joins += 1;
             }
             &ScenarioAction::SetLinkBandwidth { link, bps } => {
+                let started = std::time::Instant::now();
                 sim.network_mut().set_link_bandwidth(link, bps);
+                self.repair_wall_secs += started.elapsed().as_secs_f64();
+                sim.record_route_repair();
                 self.stats.link_mutations += 1;
             }
             &ScenarioAction::SetLinkLoss { link, loss } => {
+                let started = std::time::Instant::now();
                 sim.network_mut().set_link_loss(link, loss);
+                self.repair_wall_secs += started.elapsed().as_secs_f64();
+                sim.record_route_repair();
                 self.stats.link_mutations += 1;
             }
             &ScenarioAction::SetLinkUp { link, up } => {
+                let started = std::time::Instant::now();
                 sim.network_mut().set_link_up(link, up);
+                self.repair_wall_secs += started.elapsed().as_secs_f64();
+                sim.record_route_repair();
                 self.stats.link_mutations += 1;
             }
             &ScenarioAction::SetRouterUp { router, up } => {
+                let started = std::time::Instant::now();
                 sim.network_mut().set_router_up(router, up);
+                self.repair_wall_secs += started.elapsed().as_secs_f64();
+                sim.record_route_repair();
                 self.stats.router_mutations += 1;
             }
             ScenarioAction::Partition { nodes } => {

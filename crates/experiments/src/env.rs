@@ -294,6 +294,17 @@ pub fn integrity_enabled() -> bool {
     )
 }
 
+/// Whether `BULLET_PROFILE` asks metered runs to enable simulator
+/// self-profiling (event-queue depth tracking, pool occupancy, wall-clock
+/// throughput). Accepts `1`/`true`/`on`; anything else — including unset —
+/// keeps profiling off and the run loop untouched.
+pub fn profile_enabled() -> bool {
+    matches!(
+        std::env::var("BULLET_PROFILE").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1065,6 +1065,7 @@ mod tests {
                 routers_settled: 0,
                 landmarks: 0,
             },
+            telemetry: None,
         };
         let results = vec![run("a0"), run("a1"), run("b0"), run("b1")];
         let chunks = chunked(results, 2);

@@ -25,7 +25,7 @@ pub mod suite;
 
 pub use env::{
     build_topology, build_tree, constrained_source_topology, integrity_enabled, prepare_topology,
-    PreparedSpec, PreparedTopology, TreeKind,
+    profile_enabled, PreparedSpec, PreparedTopology, TreeKind,
 };
 pub use figures::{quick_bullet_demo, FigureResult};
 pub use metrics::{BandwidthSeries, Cdf, RunSummary};
@@ -35,7 +35,10 @@ pub use protocols::{
     bullet_run_scenario_on, gossip_run, gossip_run_on, streaming_run, streaming_run_on,
     streaming_run_scenario, streaming_run_scenario_on,
 };
-pub use runner::{run_metered, run_metered_dynamic, Delivery, MeteredAgent, RunResult, RunSpec};
+pub use runner::{
+    run_metered, run_metered_dynamic, run_metered_dynamic_with, run_metered_with, Delivery,
+    MeteredAgent, RunResult, RunSpec, RunTelemetry, TelemetryConfig,
+};
 pub use scale::Scale;
 pub use scenarios::{
     access_link_of, adversary_figure, churn_figure, flash_crowd_figure,

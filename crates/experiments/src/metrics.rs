@@ -1,5 +1,34 @@
 //! Series and summary statistics for experiment results.
 
+/// `numerator / denominator`, or `0.0` when the denominator is zero — the
+/// guard every summary ratio shares so a degenerate run (no packets, no
+/// duplicates) folds to zero instead of NaN.
+pub fn ratio_or_zero(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Sorts `values` and returns the element at index `len / 2` — the
+/// harness's historical median convention — or `0.0` when the input is
+/// empty (e.g. a source-only run with no receivers).
+pub fn median_or_zero(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.get(values.len() / 2).copied().unwrap_or(0.0)
+}
+
+/// Mean seconds per completion from a cumulative microsecond total, or
+/// `0.0` when nothing completed.
+pub fn mean_secs_from_us(total_us: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total_us as f64 / 1e6 / count as f64
+    }
+}
+
 /// A labelled bandwidth-over-time series (the unit of every figure's plot).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BandwidthSeries {
@@ -156,6 +185,15 @@ pub struct RunSummary {
     /// every working set stayed clean; the defense-on/off comparison in
     /// the adversary figure is a ratio of these.
     pub clean_goodput_kbps: f64,
+    /// Simulator events dispatched over the run (deterministic; always
+    /// populated, telemetry on or off).
+    pub sim_events: u64,
+    /// Peak event-queue depth observed (zero unless self-profiling was
+    /// enabled for the run; deterministic when populated).
+    pub peak_queue_depth: u64,
+    /// Mean event-queue depth over all dispatches (zero unless
+    /// self-profiling was enabled; deterministic when populated).
+    pub mean_queue_depth: f64,
 }
 
 #[cfg(test)]
@@ -198,5 +236,35 @@ mod tests {
         let cdf = Cdf::from_samples(Vec::new());
         assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
         assert_eq!(cdf.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominators() {
+        assert_eq!(ratio_or_zero(5.0, 0.0), 0.0);
+        assert_eq!(ratio_or_zero(0.0, 0.0), 0.0);
+        assert_eq!(ratio_or_zero(3.0, 4.0), 0.75);
+    }
+
+    #[test]
+    fn median_of_source_only_run_is_zero_not_nan() {
+        // A run whose only participant is the source produces no per-node
+        // fractions at all; the median must fold to 0, never NaN.
+        let median = median_or_zero(Vec::new());
+        assert_eq!(median, 0.0);
+        assert!(!median.is_nan());
+    }
+
+    #[test]
+    fn median_uses_the_historical_len_over_two_pick() {
+        assert_eq!(median_or_zero(vec![3.0, 1.0, 2.0]), 2.0);
+        // Even length picks the upper-middle element, like the harness
+        // always has.
+        assert_eq!(median_or_zero(vec![4.0, 1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn mean_secs_with_zero_completions_is_zero() {
+        assert_eq!(mean_secs_from_us(5_000_000, 0), 0.0);
+        assert_eq!(mean_secs_from_us(3_000_000, 2), 1.5);
     }
 }

@@ -5,13 +5,27 @@
 //! [`MeteredAgent`]; the runner samples them on a fixed interval while the
 //! simulation advances and turns them into the bandwidth-over-time series,
 //! CDFs and scalar summaries the paper's figures are built from.
+//!
+//! Sampling goes through the [`MetricsHub`]: each delivery counter is a
+//! registered rate channel, differenced and folded by the hub with the
+//! same arithmetic (and the same `f64` accumulation order) the harness
+//! has always used, so the series are byte-identical to the pre-hub
+//! output. When a run is configured with a [`TelemetryConfig`], the
+//! result additionally carries a [`RunTelemetry`]: the flight-recorder
+//! trace, the hub series, per-block journey spans and the simulator's
+//! self-profile.
 
 use bullet_baselines::{AntiEntropyNode, GossipNode, StreamingNode};
 use bullet_core::BulletNode;
 use bullet_dynamics::{ScenarioAgent, ScenarioDriver, ScenarioScript};
+use bullet_netsim::telemetry::{
+    block_journeys, journeys_to_jsonl, ChannelId, MetricsHub, SelfProfile, TraceSpec,
+};
 use bullet_netsim::{Agent, OverlayId, RoutingStats, Sim, SimDuration, SimTime};
 
-use crate::metrics::{BandwidthSeries, Cdf, RunSummary};
+use crate::metrics::{
+    mean_secs_from_us, median_or_zero, ratio_or_zero, BandwidthSeries, Cdf, RunSummary,
+};
 
 /// A snapshot of one node's cumulative delivery counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,15 +77,16 @@ pub trait MeteredAgent: Agent {
 impl MeteredAgent for BulletNode {
     fn delivery(&self) -> Delivery {
         let m = &self.metrics;
+        let d = &m.delivery;
         Delivery {
-            useful_bytes: m.useful_bytes,
-            raw_bytes: m.raw_bytes,
-            from_parent_bytes: m.from_parent_bytes,
-            duplicate_packets: m.duplicate_packets,
-            duplicate_from_parent: m.duplicate_from_parent,
-            total_packets: m.total_packets,
-            useful_packets: m.useful_packets,
-            packets_generated: m.packets_generated,
+            useful_bytes: d.useful_bytes,
+            raw_bytes: d.raw_bytes,
+            from_parent_bytes: d.from_parent_bytes,
+            duplicate_packets: d.duplicate_packets,
+            duplicate_from_parent: d.duplicate_from_parent,
+            total_packets: d.total_packets,
+            useful_packets: d.useful_packets,
+            packets_generated: d.packets_generated,
             orphan_detections: m.orphan_detections,
             reattaches: m.reattaches,
             reattach_wait_us: m.reattach_wait_us,
@@ -96,6 +111,10 @@ macro_rules! impl_metered_for_baseline {
                     raw_bytes: m.raw_bytes,
                     from_parent_bytes: m.from_parent_bytes,
                     duplicate_packets: m.duplicate_packets,
+                    // The shared counters now track parent duplicates for
+                    // the baselines too, but the historical harness never
+                    // surfaced them; keep reporting zero so baseline
+                    // summaries stay byte-identical.
                     duplicate_from_parent: 0,
                     total_packets: m.total_packets,
                     useful_packets: m.useful_packets,
@@ -111,11 +130,65 @@ impl_metered_for_baseline!(StreamingNode);
 impl_metered_for_baseline!(GossipNode);
 impl_metered_for_baseline!(AntiEntropyNode);
 
+/// Telemetry switches for one metered run. The default is everything off,
+/// which keeps the run byte-identical to (and as fast as) the pre-telemetry
+/// harness: no recorder is installed and the sim's hot path only checks one
+/// `Option`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Install a flight recorder with this spec before the run.
+    pub trace: Option<TraceSpec>,
+    /// Enable simulator self-profiling (queue-depth tracking).
+    pub profile: bool,
+}
+
+impl TelemetryConfig {
+    /// Everything off — the zero-cost default.
+    pub fn disabled() -> Self {
+        TelemetryConfig::default()
+    }
+
+    /// Resolves the switches from the environment: `BULLET_TRACE` (see
+    /// [`TraceSpec::from_env`]) and `BULLET_PROFILE` (`1`/`true`/`on`).
+    pub fn from_env() -> Self {
+        TelemetryConfig {
+            trace: TraceSpec::from_env(),
+            profile: crate::env::profile_enabled(),
+        }
+    }
+
+    /// Whether the run should skip telemetry collection entirely.
+    pub fn is_off(&self) -> bool {
+        self.trace.is_none() && !self.profile
+    }
+}
+
+/// Telemetry captured by one run; present on [`RunResult::telemetry`] only
+/// when the run was configured with tracing or profiling.
+///
+/// Every field except the wall-clock half of the profile is a pure function
+/// of the simulation, so two runs of the same configuration compare equal
+/// across thread counts and hosts ([`SelfProfile`]'s `PartialEq` ignores
+/// its wall-clock fields).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunTelemetry {
+    /// Flight-recorder events as JSONL (empty when tracing was off).
+    pub trace_jsonl: String,
+    /// Metrics-hub series as JSONL (one line per windowed point).
+    pub series_jsonl: String,
+    /// Per-block journey spans as JSONL (empty when tracing was off).
+    pub journeys_jsonl: String,
+    /// Simulator self-profile (`None` unless profiling was enabled).
+    pub profile: Option<SelfProfile>,
+}
+
 /// The full outcome of one run: per-curve series plus scalar summary.
 ///
 /// `PartialEq` compares every sampled value bit for bit — the
 /// thread-invariance gates assert whole `RunResult`s equal across
-/// `BULLET_THREADS` settings.
+/// `BULLET_THREADS` settings. Telemetry participates in the comparison
+/// (traces are deterministic); only the profile's wall-clock fields are
+/// exempt.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Curve label.
@@ -139,6 +212,9 @@ pub struct RunResult {
     /// this is how harnesses verify that no per-source shortest-path tree
     /// was ever materialized (`trees_built == 0`).
     pub routing: RoutingStats,
+    /// Captured telemetry; `None` for runs configured with
+    /// [`TelemetryConfig::disabled`] (the default).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunResult {
@@ -192,67 +268,101 @@ pub struct RunSpec {
 /// ([`run_metered`]) and scenario-driven ([`run_metered_dynamic`]) drivers.
 struct Meter {
     n: usize,
-    source: OverlayId,
     times: Vec<f64>,
     per_node_useful: Vec<Vec<u64>>,
-    per_node_raw_prev: Vec<u64>,
-    per_node_useful_prev: Vec<u64>,
-    per_node_parent_prev: Vec<u64>,
+    hub: MetricsHub,
+    ch_useful: ChannelId,
+    ch_raw: ChannelId,
+    ch_parent: ChannelId,
+    ch_control: ChannelId,
     useful: BandwidthSeries,
     raw: BandwidthSeries,
     from_parent: BandwidthSeries,
-    last_t: f64,
 }
 
 impl Meter {
     fn new(n: usize, spec: &RunSpec) -> Self {
+        let mut hub = MetricsHub::new(n, Some(spec.source));
+        let ch_useful = hub.counter_rate("useful_kbps");
+        let ch_raw = hub.counter_rate("raw_kbps");
+        let ch_parent = hub.counter_rate("from_parent_kbps");
+        let ch_control = hub.counter_rate("control_in_kbps");
         Meter {
             n,
-            source: spec.source,
             times: Vec::new(),
             per_node_useful: Vec::new(),
-            per_node_raw_prev: vec![0; n],
-            per_node_useful_prev: vec![0; n],
-            per_node_parent_prev: vec![0; n],
+            hub,
+            ch_useful,
+            ch_raw,
+            ch_parent,
+            ch_control,
             useful: BandwidthSeries::new(spec.label.clone()),
             raw: BandwidthSeries::new(format!("{} (raw)", spec.label)),
             from_parent: BandwidthSeries::new(format!("{} (from parent)", spec.label)),
-            last_t: 0.0,
         }
     }
 
     fn sample<A: MeteredAgent>(&mut self, now: SimTime, sim: &Sim<A>) {
         let t = now.as_secs_f64();
-        let dt = (t - self.last_t).max(1e-9);
-        self.last_t = t;
-        let mut useful_sum = 0.0;
-        let mut raw_sum = 0.0;
-        let mut parent_sum = 0.0;
+        self.hub.begin_window(t);
         let mut row = Vec::with_capacity(self.n);
         for node in 0..self.n {
             let d = sim.agent(node).delivery();
             row.push(d.useful_bytes);
-            if node != self.source {
-                useful_sum += (d.useful_bytes - self.per_node_useful_prev[node]) as f64;
-                raw_sum += (d.raw_bytes - self.per_node_raw_prev[node]) as f64;
-                parent_sum += (d.from_parent_bytes - self.per_node_parent_prev[node]) as f64;
-            }
-            self.per_node_useful_prev[node] = d.useful_bytes;
-            self.per_node_raw_prev[node] = d.raw_bytes;
-            self.per_node_parent_prev[node] = d.from_parent_bytes;
+            self.hub.observe_node(self.ch_useful, node, d.useful_bytes);
+            self.hub.observe_node(self.ch_raw, node, d.raw_bytes);
+            self.hub
+                .observe_node(self.ch_parent, node, d.from_parent_bytes);
+            self.hub
+                .observe_node(self.ch_control, node, sim.traffic(node).control_bytes_in);
         }
-        let receivers = (self.n.saturating_sub(1)).max(1) as f64;
-        self.useful
-            .push(t, useful_sum * 8.0 / dt / 1_000.0 / receivers);
-        self.raw.push(t, raw_sum * 8.0 / dt / 1_000.0 / receivers);
-        self.from_parent
-            .push(t, parent_sum * 8.0 / dt / 1_000.0 / receivers);
+        self.hub.end_window();
+        let latest = |ch: ChannelId| self.hub.points(ch).last().expect("rate point").value;
+        self.useful.push(t, latest(self.ch_useful));
+        self.raw.push(t, latest(self.ch_raw));
+        self.from_parent.push(t, latest(self.ch_parent));
         self.times.push(t);
         self.per_node_useful.push(row);
     }
 
-    fn finish<A: MeteredAgent>(self, sim: &Sim<A>, spec: &RunSpec) -> RunResult {
+    fn finish<A: MeteredAgent>(
+        self,
+        sim: &mut Sim<A>,
+        spec: &RunSpec,
+        telemetry: &TelemetryConfig,
+        wall_secs: f64,
+        repair_wall_secs: f64,
+    ) -> RunResult {
         let n = self.n;
+
+        // Fill the profile's wall-clock half before the deterministic
+        // pieces are read; `SelfProfile::eq` ignores these fields.
+        let mut profile = sim.profile();
+        if let Some(p) = &mut profile {
+            p.wall_secs = wall_secs;
+            p.events_per_sec = ratio_or_zero(p.events as f64, wall_secs);
+            p.repair_wall_secs = repair_wall_secs;
+        }
+        let captured = if telemetry.is_off() {
+            None
+        } else {
+            let recorder = sim.take_recorder();
+            let receivers = n.saturating_sub(1).max(1);
+            let (trace_jsonl, journeys_jsonl) = match &recorder {
+                Some(rec) => (
+                    rec.to_jsonl(),
+                    journeys_to_jsonl(&block_journeys(rec.events()), receivers),
+                ),
+                None => (String::new(), String::new()),
+            };
+            Some(RunTelemetry {
+                trace_jsonl,
+                series_jsonl: self.hub.to_jsonl(),
+                journeys_jsonl,
+                profile,
+            })
+        };
+
         let mut total_dups = 0u64;
         let mut total_parent_dups = 0u64;
         let mut total_packets = 0u64;
@@ -266,7 +376,7 @@ impl Meter {
         for node in 0..n {
             let d = sim.agent(node).delivery();
             if d.reattaches > 0 {
-                node_reattach_secs.push(d.reattach_wait_us as f64 / 1e6 / d.reattaches as f64);
+                node_reattach_secs.push(mean_secs_from_us(d.reattach_wait_us, d.reattaches));
             }
             total_dups += d.duplicate_packets;
             total_parent_dups += d.duplicate_from_parent;
@@ -292,45 +402,25 @@ impl Meter {
                 }
             }
         }
-        delivery_fractions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let stress = sim.network().stress_stats();
         let repair = sim.network().repair_stats();
         let duration_secs = spec.duration.as_secs_f64().max(1e-9);
         let summary = RunSummary {
             steady_useful_kbps: self.useful.steady_state_kbps(0.25),
             steady_raw_kbps: self.raw.steady_state_kbps(0.25),
-            duplicate_fraction: if total_packets == 0 {
-                0.0
-            } else {
-                total_dups as f64 / total_packets as f64
-            },
-            parent_relay_duplicate_share: if total_dups == 0 {
-                0.0
-            } else {
-                total_parent_dups as f64 / total_dups as f64
-            },
+            duplicate_fraction: ratio_or_zero(total_dups as f64, total_packets as f64),
+            parent_relay_duplicate_share: ratio_or_zero(
+                total_parent_dups as f64,
+                total_dups as f64,
+            ),
             control_overhead_kbps: control_bytes as f64 * 8.0 / duration_secs / 1_000.0 / n as f64,
             link_stress_mean: stress.mean,
             link_stress_max: stress.max,
-            median_delivery_fraction: delivery_fractions
-                .get(delivery_fractions.len() / 2)
-                .copied()
-                .unwrap_or(0.0),
+            median_delivery_fraction: median_or_zero(delivery_fractions),
             orphan_detections: recovery.orphan_detections,
             reattaches: recovery.reattaches,
-            mean_reattach_secs: if recovery.reattaches == 0 {
-                0.0
-            } else {
-                recovery.reattach_wait_us as f64 / 1e6 / recovery.reattaches as f64
-            },
-            median_reattach_secs: {
-                node_reattach_secs
-                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                node_reattach_secs
-                    .get(node_reattach_secs.len() / 2)
-                    .copied()
-                    .unwrap_or(0.0)
-            },
+            mean_reattach_secs: mean_secs_from_us(recovery.reattach_wait_us, recovery.reattaches),
+            median_reattach_secs: median_or_zero(node_reattach_secs),
             orphan_window_packets: recovery.orphan_window_packets,
             control_retries: recovery.control_retries,
             false_positive_evictions: recovery.false_positive_evictions,
@@ -355,6 +445,9 @@ impl Meter {
                 };
                 self.useful.steady_state_kbps(0.25) * clean_fraction
             },
+            sim_events: sim.counters().events,
+            peak_queue_depth: profile.map_or(0, |p| p.peak_queue_depth),
+            mean_queue_depth: profile.map_or(0.0, |p| p.mean_queue_depth),
         };
 
         RunResult {
@@ -367,20 +460,41 @@ impl Meter {
             source: spec.source,
             summary,
             routing: sim.network().routing_stats(),
+            telemetry: captured,
         }
     }
 }
 
 /// Runs the simulation to completion while sampling every agent's delivery
-/// counters, producing the standard [`RunResult`].
-pub fn run_metered<A: MeteredAgent>(mut sim: Sim<A>, spec: &RunSpec) -> RunResult {
+/// counters, producing the standard [`RunResult`]. Telemetry switches
+/// resolve from the environment (`BULLET_TRACE`, `BULLET_PROFILE`) — both
+/// unset, the historical default, collects nothing.
+pub fn run_metered<A: MeteredAgent>(sim: Sim<A>, spec: &RunSpec) -> RunResult {
+    run_metered_with(sim, spec, &TelemetryConfig::from_env())
+}
+
+/// [`run_metered`] with explicit telemetry switches (the environment is
+/// not consulted — tests use this to avoid racy env mutation).
+pub fn run_metered_with<A: MeteredAgent>(
+    mut sim: Sim<A>,
+    spec: &RunSpec,
+    telemetry: &TelemetryConfig,
+) -> RunResult {
+    if let Some(trace) = &telemetry.trace {
+        sim.install_recorder(trace);
+    }
+    if telemetry.profile {
+        sim.enable_profiling();
+    }
     if let Some((at, node)) = spec.failure {
         sim.schedule_failure(at, node);
     }
     let mut meter = Meter::new(sim.agents().len(), spec);
     let end = SimTime::ZERO + spec.duration;
+    let started = std::time::Instant::now();
     sim.run_sampled(end, spec.sample_interval, |now, sim| meter.sample(now, sim));
-    meter.finish(&sim, spec)
+    let wall_secs = started.elapsed().as_secs_f64();
+    meter.finish(&mut sim, spec, telemetry, wall_secs, 0.0)
 }
 
 /// Runs the simulation under a [`ScenarioScript`], sampling exactly like
@@ -391,10 +505,29 @@ pub fn run_metered<A: MeteredAgent>(mut sim: Sim<A>, spec: &RunSpec) -> RunResul
 /// one-crash script reproduces the legacy failure injection event for
 /// event. Lifecycle and link events apply between event-loop steps at
 /// their scripted instants.
-pub fn run_metered_dynamic<A>(mut sim: Sim<A>, spec: &RunSpec, script: &ScenarioScript) -> RunResult
+pub fn run_metered_dynamic<A>(sim: Sim<A>, spec: &RunSpec, script: &ScenarioScript) -> RunResult
 where
     A: MeteredAgent + ScenarioAgent,
 {
+    run_metered_dynamic_with(sim, spec, script, &TelemetryConfig::from_env())
+}
+
+/// [`run_metered_dynamic`] with explicit telemetry switches.
+pub fn run_metered_dynamic_with<A>(
+    mut sim: Sim<A>,
+    spec: &RunSpec,
+    script: &ScenarioScript,
+    telemetry: &TelemetryConfig,
+) -> RunResult
+where
+    A: MeteredAgent + ScenarioAgent,
+{
+    if let Some(trace) = &telemetry.trace {
+        sim.install_recorder(trace);
+    }
+    if telemetry.profile {
+        sim.enable_profiling();
+    }
     let mut driver = ScenarioDriver::new(script);
     driver.install(&mut sim);
     if let Some((at, node)) = spec.failure {
@@ -402,10 +535,18 @@ where
     }
     let mut meter = Meter::new(sim.agents().len(), spec);
     let end = SimTime::ZERO + spec.duration;
+    let started = std::time::Instant::now();
     driver.run_sampled(&mut sim, end, spec.sample_interval, |now, sim| {
         meter.sample(now, sim)
     });
-    meter.finish(&sim, spec)
+    let wall_secs = started.elapsed().as_secs_f64();
+    meter.finish(
+        &mut sim,
+        spec,
+        telemetry,
+        wall_secs,
+        driver.repair_wall_secs,
+    )
 }
 
 #[cfg(test)]
@@ -429,7 +570,7 @@ mod tests {
         spec
     }
 
-    fn streaming_run(n: usize, secs: u64) -> RunResult {
+    fn streaming_sim(n: usize) -> Sim<StreamingNode> {
         let spec = hub(n, 2_000_000.0);
         let mut rng = SimRng::new(1);
         let tree = random_tree(n, 0, 3, &mut rng);
@@ -442,16 +583,24 @@ mod tests {
         let agents = (0..n)
             .map(|i| StreamingNode::new(i, &tree, config.clone()))
             .collect();
-        let sim = Sim::new(&spec, agents, 1);
-        run_metered(
-            sim,
-            &RunSpec {
-                label: "streaming".into(),
-                source: 0,
-                duration: SimDuration::from_secs(secs),
-                sample_interval: SimDuration::from_secs(2),
-                failure: None,
-            },
+        Sim::new(&spec, agents, 1)
+    }
+
+    fn streaming_spec(secs: u64) -> RunSpec {
+        RunSpec {
+            label: "streaming".into(),
+            source: 0,
+            duration: SimDuration::from_secs(secs),
+            sample_interval: SimDuration::from_secs(2),
+            failure: None,
+        }
+    }
+
+    fn streaming_run(n: usize, secs: u64) -> RunResult {
+        run_metered_with(
+            streaming_sim(n),
+            &streaming_spec(secs),
+            &TelemetryConfig::disabled(),
         )
     }
 
@@ -513,5 +662,46 @@ mod tests {
         let last = result.per_node_useful_bytes.last().unwrap()[victim];
         let at_12 = result.per_node_useful_bytes[idx_at_12][victim];
         assert_eq!(last, at_12, "failed node kept receiving data");
+    }
+
+    #[test]
+    fn telemetry_off_run_carries_no_telemetry() {
+        let result = streaming_run(6, 10);
+        assert!(result.telemetry.is_none());
+        assert!(result.summary.sim_events > 0, "sim_events always populated");
+        assert_eq!(result.summary.peak_queue_depth, 0);
+        assert_eq!(result.summary.mean_queue_depth, 0.0);
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_the_run() {
+        let plain = streaming_run(8, 20);
+        let config = TelemetryConfig {
+            trace: Some(TraceSpec::parse("all").unwrap()),
+            profile: true,
+        };
+        let traced = run_metered_with(streaming_sim(8), &streaming_spec(20), &config);
+
+        // Telemetry must be read-only: every sampled value matches.
+        assert_eq!(traced.times, plain.times);
+        assert_eq!(traced.useful, plain.useful);
+        assert_eq!(traced.raw, plain.raw);
+        assert_eq!(traced.from_parent, plain.from_parent);
+        assert_eq!(traced.per_node_useful_bytes, plain.per_node_useful_bytes);
+        assert_eq!(
+            traced.summary.steady_useful_kbps,
+            plain.summary.steady_useful_kbps
+        );
+        assert_eq!(traced.summary.sim_events, plain.summary.sim_events);
+
+        let telemetry = traced.telemetry.expect("telemetry captured");
+        assert!(!telemetry.trace_jsonl.is_empty());
+        assert!(telemetry
+            .series_jsonl
+            .contains("\"series\":\"useful_kbps\""));
+        let profile = telemetry.profile.expect("profile captured");
+        assert_eq!(profile.events, traced.summary.sim_events);
+        assert!(profile.peak_queue_depth > 0);
+        assert_eq!(traced.summary.peak_queue_depth, profile.peak_queue_depth);
     }
 }

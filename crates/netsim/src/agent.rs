@@ -7,6 +7,8 @@
 //! independent of the runtime that drives it (the discrete-event simulator in
 //! this crate, or the thread-based live runtime in the examples).
 
+use bullet_telemetry::{FlightRecorder, TraceData};
+
 use crate::network::OverlayId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -167,6 +169,10 @@ pub struct Context<'a, M> {
     rng: &'a mut SimRng,
     actions: &'a mut Vec<Action<M>>,
     timers: &'a mut TimerAlloc,
+    /// Optional flight-recorder sink for protocol-level trace events
+    /// (`None` unless the driving runtime installed one; recording never
+    /// feeds back into protocol behaviour).
+    recorder: Option<&'a mut FlightRecorder>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -184,6 +190,44 @@ impl<'a, M> Context<'a, M> {
             rng,
             actions,
             timers,
+            recorder: None,
+        }
+    }
+
+    /// Creates a context with a flight-recorder sink attached, so agent
+    /// callbacks can emit protocol trace events via [`Context::trace`].
+    pub fn with_recorder(
+        now: SimTime,
+        node: OverlayId,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<Action<M>>,
+        timers: &'a mut TimerAlloc,
+        recorder: Option<&'a mut FlightRecorder>,
+    ) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            actions,
+            timers,
+            recorder,
+        }
+    }
+
+    /// Whether any category in `mask` is being traced. Protocol code
+    /// guards event construction behind this so the untraced path costs
+    /// one branch.
+    #[inline]
+    pub fn tracing(&self, mask: u32) -> bool {
+        self.recorder.as_ref().is_some_and(|rec| rec.wants(mask))
+    }
+
+    /// Records a protocol trace event on this node at the current sim
+    /// time. A no-op without a recorder (or outside its category mask).
+    #[inline]
+    pub fn trace(&mut self, data: TraceData) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(self.now.as_micros(), self.node as u32, data);
         }
     }
 

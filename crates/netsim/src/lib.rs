@@ -59,6 +59,7 @@ pub mod sim;
 pub mod time;
 
 pub use agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
+pub use bullet_telemetry as telemetry;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use link::{DirectedLink, DirectedLinkId, HopOutcome, LinkCounters, LinkSpec, RouterId};
 pub use network::{

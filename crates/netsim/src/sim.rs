@@ -8,6 +8,10 @@
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 
+use bullet_telemetry::{
+    DropReason, FlightRecorder, SelfProfile, TraceData, TraceSpec, CAT_ROUTE, CAT_SIM, NETWORK_NODE,
+};
+
 use crate::agent::{Action, Agent, Context, MsgClass, TimerAlloc, TimerId};
 use crate::event_queue::{event_key, key_time_micros, EventQueue};
 use crate::link::HopOutcome;
@@ -302,6 +306,21 @@ pub struct Sim<A: Agent> {
     partition: Option<Vec<bool>>,
     started: bool,
     counters: SimCounters,
+    /// Optional flight recorder (`None` by default: every telemetry hook
+    /// is a single branch on this option, keeping the traced-off hot path
+    /// allocation- and work-free).
+    recorder: Option<Box<FlightRecorder>>,
+    /// Optional event-loop profiling state (queue-depth accounting),
+    /// `None` unless [`Sim::enable_profiling`] was called.
+    profile: Option<ProfileState>,
+}
+
+/// Deterministic event-loop profiling accumulators.
+#[derive(Clone, Copy, Debug, Default)]
+struct ProfileState {
+    peak_depth: usize,
+    depth_sum: u128,
+    depth_samples: u64,
 }
 
 impl<A: Agent> Sim<A> {
@@ -364,6 +383,82 @@ impl<A: Agent> Sim<A> {
             partition: None,
             started: false,
             counters: SimCounters::default(),
+            recorder: None,
+            profile: None,
+        }
+    }
+
+    /// Installs a flight recorder built from `spec`. Recording is purely
+    /// observational — it never touches the RNG or event ordering — so a
+    /// traced run is byte-identical to an untraced one.
+    pub fn install_recorder(&mut self, spec: &TraceSpec) {
+        self.recorder = Some(Box::new(FlightRecorder::new(spec)));
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Removes and returns the installed flight recorder.
+    pub fn take_recorder(&mut self) -> Option<Box<FlightRecorder>> {
+        self.recorder.take()
+    }
+
+    /// Turns on event-loop profiling (queue-depth accounting per
+    /// dispatched event). Like tracing, profiling observes only.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(ProfileState::default());
+    }
+
+    /// The run's [`SelfProfile`] (deterministic fields only — the caller
+    /// owns wall-clock measurement). `None` unless profiling was enabled.
+    pub fn profile(&self) -> Option<SelfProfile> {
+        let p = self.profile.as_ref()?;
+        let (flight_slots, flight_free_slots, timer_slots, live_timers) = self.pool_stats();
+        Some(SelfProfile {
+            events: self.counters.events,
+            peak_queue_depth: p.peak_depth as u64,
+            mean_queue_depth: if p.depth_samples == 0 {
+                0.0
+            } else {
+                p.depth_sum as f64 / p.depth_samples as f64
+            },
+            flight_slots: flight_slots as u64,
+            flight_free_slots: flight_free_slots as u64,
+            timer_slots: timer_slots as u64,
+            live_timers: live_timers as u64,
+            ..SelfProfile::default()
+        })
+    }
+
+    /// Records a route-repair trace event carrying the network's
+    /// cumulative repair counters. Scenario drivers call this after
+    /// applying a route-affecting mutation.
+    pub fn record_route_repair(&mut self) {
+        if let Some(rec) = &mut self.recorder {
+            if rec.wants(CAT_ROUTE) {
+                let repair = self.network.repair_stats();
+                rec.record(
+                    self.now.as_micros(),
+                    NETWORK_NODE,
+                    TraceData::RouteRepair {
+                        mutations: repair.route_mutations,
+                        invalidated: repair.routes_invalidated,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Records one simulator trace event; the payload closure only runs
+    /// when a recorder is installed and wants the category.
+    #[inline]
+    fn trace(&mut self, mask: u32, node: u32, data: impl FnOnce() -> TraceData) {
+        if let Some(rec) = &mut self.recorder {
+            if rec.wants(mask) {
+                rec.record(self.now.as_micros(), node, data());
+            }
         }
     }
 
@@ -596,12 +691,13 @@ impl<A: Agent> Sim<A> {
     {
         let mut actions = std::mem::take(&mut self.scratch_actions);
         {
-            let mut ctx = Context::new(
+            let mut ctx = Context::with_recorder(
                 self.now,
                 node,
                 &mut self.rng,
                 &mut actions,
                 &mut self.timers,
+                self.recorder.as_deref_mut(),
             );
             invoke(&mut self.agents[node], &mut ctx);
         }
@@ -634,6 +730,12 @@ impl<A: Agent> Sim<A> {
             }
             self.now = SimTime::from_micros(key_time_micros(key));
             self.counters.events += 1;
+            if let Some(p) = &mut self.profile {
+                let depth = self.queue.len() + self.now_fifo.len();
+                p.peak_depth = p.peak_depth.max(depth);
+                p.depth_sum += depth as u128;
+                p.depth_samples += 1;
+            }
             self.dispatch(kind);
         }
         self.now = end;
@@ -687,6 +789,7 @@ impl<A: Agent> Sim<A> {
         }
         let link = links[hop];
         let (size_bytes, trace) = (flight.size_bytes, flight.trace);
+        let (from, to) = (flight.from, flight.to);
         match self
             .network
             .offer_hop(self.now, link, size_bytes, trace, &mut self.rng)
@@ -698,6 +801,10 @@ impl<A: Agent> Sim<A> {
             HopOutcome::DroppedQueue | HopOutcome::DroppedLoss | HopOutcome::DroppedDown => {
                 self.counters.dropped_in_network += 1;
                 self.flights.release(fid);
+                self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                    to: to as u32,
+                    reason: DropReason::Network,
+                });
             }
         }
     }
@@ -707,6 +814,10 @@ impl<A: Agent> Sim<A> {
         let node = flight.to;
         if self.failed[node] {
             self.counters.dropped_dest_failed += 1;
+            self.trace(CAT_SIM, flight.from as u32, || TraceData::Drop {
+                to: node as u32,
+                reason: DropReason::DestFailed,
+            });
             return;
         }
         self.counters.delivered += 1;
@@ -714,6 +825,12 @@ impl<A: Agent> Sim<A> {
             MsgClass::Data => self.traffic[node].data_bytes_in += flight.size_bytes as u64,
             MsgClass::Control => self.traffic[node].control_bytes_in += flight.size_bytes as u64,
         }
+        let (from, class, size_bytes) = (flight.from, flight.class, flight.size_bytes);
+        self.trace(CAT_SIM, node as u32, || TraceData::Deliver {
+            from: from as u32,
+            control: matches!(class, MsgClass::Control),
+            bytes: size_bytes,
+        });
         self.run_agent(node, |agent, ctx| {
             agent.on_message(ctx, flight.from, flight.msg)
         });
@@ -729,6 +846,7 @@ impl<A: Agent> Sim<A> {
             return;
         }
         self.counters.timers_fired += 1;
+        self.trace(CAT_SIM, node as u32, || TraceData::TimerFire { tag });
         self.run_agent(node, |agent, ctx| agent.on_timer(ctx, tag));
     }
 
@@ -773,17 +891,30 @@ impl<A: Agent> Sim<A> {
     ) {
         if self.failed[from] {
             self.counters.dropped_src_failed += 1;
+            self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                to: to as u32,
+                reason: DropReason::SrcFailed,
+            });
             return;
         }
         match class {
             MsgClass::Data => self.traffic[from].data_bytes_out += size_bytes as u64,
             MsgClass::Control => self.traffic[from].control_bytes_out += size_bytes as u64,
         }
+        self.trace(CAT_SIM, from as u32, || TraceData::Send {
+            to: to as u32,
+            control: matches!(class, MsgClass::Control),
+            bytes: size_bytes,
+        });
         // Partition cut: the sender has paid its outbound bytes (the packet
         // left the host), but nothing crossing the cut arrives.
         if let Some(sides) = &self.partition {
             if sides[from] != sides[to] {
                 self.counters.dropped_partitioned += 1;
+                self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                    to: to as u32,
+                    reason: DropReason::Partitioned,
+                });
                 return;
             }
         }
@@ -797,6 +928,10 @@ impl<A: Agent> Sim<A> {
             if let Some(plan) = self.faults.as_ref().and_then(|plans| plans[from]) {
                 if plan.drop_chance > 0.0 && self.rng.chance(plan.drop_chance) {
                     self.counters.dropped_faulted += 1;
+                    self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                        to: to as u32,
+                        reason: DropReason::Faulted,
+                    });
                     return;
                 }
                 if plan.duplicate_chance > 0.0 && self.rng.chance(plan.duplicate_chance) {
@@ -816,6 +951,10 @@ impl<A: Agent> Sim<A> {
             if let Some(plan) = self.faults.as_ref().and_then(|plans| plans[from]) {
                 if plan.stall_chance > 0.0 && self.rng.chance(plan.stall_chance) {
                     self.counters.stalled_adversary += 1;
+                    self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                        to: to as u32,
+                        reason: DropReason::Stalled,
+                    });
                     return;
                 }
                 if plan.corrupt_chance > 0.0 && self.rng.chance(plan.corrupt_chance) {
@@ -826,6 +965,10 @@ impl<A: Agent> Sim<A> {
         }
         let Some(route) = self.network.route(from, to) else {
             self.counters.dropped_in_network += 1;
+            self.trace(CAT_SIM, from as u32, || TraceData::Drop {
+                to: to as u32,
+                reason: DropReason::NoRoute,
+            });
             return;
         };
         if duplicated {
@@ -958,6 +1101,48 @@ mod tests {
         let first_rtt = initiator.pongs_received[0].0;
         assert!(first_rtt.as_micros() >= 20_000);
         assert!(first_rtt.as_micros() < 30_000);
+    }
+
+    #[test]
+    fn recorder_and_profiling_observe_without_perturbing() {
+        let run = |instrument: bool| {
+            let spec = two_node_spec();
+            let agents = vec![PingAgent::new(1, true, 3), PingAgent::new(0, false, 0)];
+            let mut sim = Sim::new(&spec, agents, 1);
+            if instrument {
+                sim.install_recorder(&TraceSpec::parse("sim").unwrap());
+                sim.enable_profiling();
+            }
+            sim.run_until(SimTime::from_secs(5));
+            sim
+        };
+        let plain = run(false);
+        let traced = run(true);
+        // Tracing and profiling are purely observational.
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(
+            plain.agent(0).pongs_received,
+            traced.agent(0).pongs_received
+        );
+        assert!(plain.recorder().is_none() && plain.profile().is_none());
+
+        let rec = traced.recorder().unwrap();
+        // 3 pings + 3 pongs, each a send + a deliver, plus one timer fire.
+        let kinds: Vec<_> = rec.events().map(|e| e.data.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "send").count(), 6);
+        assert_eq!(kinds.iter().filter(|k| **k == "deliver").count(), 6);
+        assert_eq!(kinds.iter().filter(|k| **k == "timer_fire").count(), 1);
+        assert_eq!(rec.evicted(), 0);
+        // Event timestamps are sim time, monotonically non-decreasing.
+        let times: Vec<_> = rec.events().map(|e| e.t_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+        let profile = traced.profile().unwrap();
+        assert_eq!(profile.events, traced.counters().events);
+        assert!(profile.peak_queue_depth >= 1);
+        assert!(profile.mean_queue_depth > 0.0);
+        assert!(profile.flight_slots >= 1);
+        assert_eq!(profile.wall_secs, 0.0, "the sim never reads a wall clock");
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Block-journey spans: the per-sequence causal story of how each block
+//! moved through the overlay.
+//!
+//! A journey is derived (at export time, never on the hot path) from a
+//! recorded trace: the block is sealed at the source, pushed down tree
+//! edges, served sideways by mesh senders to recovering receivers, and
+//! accepted — once — by each node that gets it. One query then answers
+//! "how did block N reach the p95 node": the accept list is in arrival
+//! order, each hop labelled with whether it came down the tree edge or
+//! across the mesh.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{TraceData, TraceEvent};
+
+/// One node's first (non-duplicate) acceptance of a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Arrival time in simulated microseconds.
+    pub t_us: u64,
+    /// The accepting node.
+    pub node: u32,
+    /// The overlay node it arrived from.
+    pub from: u32,
+    /// `true` when the block crossed a mesh edge (recovery fetch or peer
+    /// serve) rather than the tree edge from the parent.
+    pub via_mesh: bool,
+}
+
+/// The full span of one block's dissemination.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockJourney {
+    /// Block sequence number.
+    pub seq: u64,
+    /// When the source sealed it (absent if evicted from the ring).
+    pub sealed_us: Option<u64>,
+    /// First acceptance per node, in arrival order.
+    pub accepts: Vec<HopRecord>,
+    /// Tree-push sends observed for this block.
+    pub tree_pushes: u64,
+    /// Mesh serves observed for this block.
+    pub mesh_serves: u64,
+    /// Duplicate receptions observed for this block.
+    pub duplicates: u64,
+}
+
+impl BlockJourney {
+    /// How many nodes first got this block across a mesh edge.
+    pub fn mesh_recovery_hops(&self) -> usize {
+        self.accepts.iter().filter(|h| h.via_mesh).count()
+    }
+
+    /// The absolute sim time at which `fraction` of `receivers` nodes had
+    /// accepted the block, or `None` if it never reached that many.
+    pub fn time_to_fraction_us(&self, receivers: usize, fraction: f64) -> Option<u64> {
+        if receivers == 0 {
+            return None;
+        }
+        let need = ((fraction * receivers as f64).ceil() as usize).max(1);
+        self.accepts.get(need.saturating_sub(1)).map(|h| h.t_us)
+    }
+
+    /// Like [`Self::time_to_fraction_us`] but relative to the sealing
+    /// instant — the "time to reach the p-th percentile node" span.
+    pub fn reach_delta_us(&self, receivers: usize, fraction: f64) -> Option<u64> {
+        let sealed = self.sealed_us?;
+        self.time_to_fraction_us(receivers, fraction)
+            .map(|t| t.saturating_sub(sealed))
+    }
+}
+
+/// Fold a recorded trace (oldest event first) into one journey per
+/// sequence number, ordered by sequence.
+pub fn block_journeys<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Vec<BlockJourney> {
+    let mut journeys: BTreeMap<u64, BlockJourney> = BTreeMap::new();
+    fn entry(map: &mut BTreeMap<u64, BlockJourney>, seq: u64) -> &mut BlockJourney {
+        map.entry(seq).or_insert_with(|| BlockJourney {
+            seq,
+            ..BlockJourney::default()
+        })
+    }
+    for event in events {
+        match event.data {
+            TraceData::BlockSealed { seq } => {
+                let j = entry(&mut journeys, seq);
+                if j.sealed_us.is_none() {
+                    j.sealed_us = Some(event.t_us);
+                }
+            }
+            TraceData::TreePush { seq, .. } => entry(&mut journeys, seq).tree_pushes += 1,
+            TraceData::MeshServe { seq, .. } => entry(&mut journeys, seq).mesh_serves += 1,
+            TraceData::BlockAccept {
+                seq,
+                from,
+                from_parent,
+                duplicate,
+            } => {
+                let j = entry(&mut journeys, seq);
+                if duplicate {
+                    j.duplicates += 1;
+                } else {
+                    j.accepts.push(HopRecord {
+                        t_us: event.t_us,
+                        node: event.node,
+                        from,
+                        via_mesh: !from_parent,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    journeys.into_values().collect()
+}
+
+fn write_opt(out: &mut String, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Render journeys as JSONL: one object per block, with the accept count,
+/// hop mix, and time-to-reach percentiles (relative to sealing) against
+/// the given receiver population.
+pub fn journeys_to_jsonl(journeys: &[BlockJourney], receivers: usize) -> String {
+    let mut out = String::with_capacity(journeys.len() * 96);
+    for j in journeys {
+        let _ = write!(out, "{{\"seq\":{},\"sealed_us\":", j.seq);
+        write_opt(&mut out, j.sealed_us);
+        let _ = write!(
+            out,
+            ",\"accepts\":{},\"tree_pushes\":{},\"mesh_serves\":{},\"mesh_recovery_hops\":{},\"duplicates\":{},\"reach_p50_us\":",
+            j.accepts.len(),
+            j.tree_pushes,
+            j.mesh_serves,
+            j.mesh_recovery_hops(),
+            j.duplicates
+        );
+        write_opt(&mut out, j.reach_delta_us(receivers, 0.50));
+        out.push_str(",\"reach_p95_us\":");
+        write_opt(&mut out, j.reach_delta_us(receivers, 0.95));
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_us: u64, node: u32, data: TraceData) -> TraceEvent {
+        TraceEvent { t_us, node, data }
+    }
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            ev(100, 0, TraceData::BlockSealed { seq: 7 }),
+            ev(110, 0, TraceData::TreePush { seq: 7, to: 1 }),
+            ev(
+                150,
+                1,
+                TraceData::BlockAccept {
+                    seq: 7,
+                    from: 0,
+                    from_parent: true,
+                    duplicate: false,
+                },
+            ),
+            ev(200, 1, TraceData::MeshServe { seq: 7, to: 2 }),
+            ev(
+                260,
+                2,
+                TraceData::BlockAccept {
+                    seq: 7,
+                    from: 1,
+                    from_parent: false,
+                    duplicate: false,
+                },
+            ),
+            ev(
+                300,
+                2,
+                TraceData::BlockAccept {
+                    seq: 7,
+                    from: 0,
+                    from_parent: true,
+                    duplicate: true,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn journey_reconstructs_the_causal_story() {
+        let trace = sample_trace();
+        let journeys = block_journeys(trace.iter());
+        assert_eq!(journeys.len(), 1);
+        let j = &journeys[0];
+        assert_eq!(j.seq, 7);
+        assert_eq!(j.sealed_us, Some(100));
+        assert_eq!(j.tree_pushes, 1);
+        assert_eq!(j.mesh_serves, 1);
+        assert_eq!(j.duplicates, 1);
+        assert_eq!(j.accepts.len(), 2);
+        assert!(!j.accepts[0].via_mesh, "node 1 got it down the tree");
+        assert!(j.accepts[1].via_mesh, "node 2 recovered it over the mesh");
+        assert_eq!(j.mesh_recovery_hops(), 1);
+    }
+
+    #[test]
+    fn reach_percentiles_are_relative_to_sealing() {
+        let trace = sample_trace();
+        let journeys = block_journeys(trace.iter());
+        let j = &journeys[0];
+        // 2 receivers: p50 needs 1 accept (t=150), p95 needs 2 (t=260).
+        assert_eq!(j.reach_delta_us(2, 0.50), Some(50));
+        assert_eq!(j.reach_delta_us(2, 0.95), Some(160));
+        // A fraction the block never reached yields None.
+        assert_eq!(j.reach_delta_us(3, 0.95), None);
+    }
+
+    #[test]
+    fn jsonl_uses_null_for_unreached_fractions() {
+        let trace = sample_trace();
+        let journeys = block_journeys(trace.iter());
+        let line = journeys_to_jsonl(&journeys, 63);
+        assert_eq!(
+            line.trim(),
+            "{\"seq\":7,\"sealed_us\":100,\"accepts\":2,\"tree_pushes\":1,\"mesh_serves\":1,\
+             \"mesh_recovery_hops\":1,\"duplicates\":1,\"reach_p50_us\":null,\"reach_p95_us\":null}"
+        );
+    }
+}

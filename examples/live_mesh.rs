@@ -188,8 +188,8 @@ fn main() {
         println!(
             "node {:>2}: useful {:>7.0} KB, from parent {:>7.0} KB, peers(senders) {:?}",
             node.id(),
-            m.useful_bytes as f64 / 1e3,
-            m.from_parent_bytes as f64 / 1e3,
+            m.delivery.useful_bytes as f64 / 1e3,
+            m.delivery.from_parent_bytes as f64 / 1e3,
             node.sender_peers(),
         );
     }

@@ -21,6 +21,7 @@ pub use bullet_experiments as experiments;
 pub use bullet_netsim as netsim;
 pub use bullet_overlay as overlay;
 pub use bullet_ransub as ransub;
+pub use bullet_telemetry as telemetry;
 pub use bullet_topology as topology;
 pub use bullet_transport as transport;
 

@@ -37,6 +37,30 @@ fn bullet_64_matches_pre_refactor_golden_run() {
     assert_eq!(bytes_sent, 143_402_772);
 }
 
+/// A fully instrumented run (all-category flight recorder + self-profiling)
+/// must reproduce the same golden fingerprint: telemetry is observation
+/// only, and the trace it captures is itself deterministic.
+#[test]
+fn bullet_64_traced_matches_the_same_golden_run() {
+    let traced = bullet64::fingerprint_traced();
+    let (counters, digest, bytes_sent) = traced.base;
+    assert_eq!(counters.delivered, 61_237);
+    assert_eq!(counters.events, 252_623);
+    assert_eq!(digest, 0xb60f_4497_7cd1_2016);
+    assert_eq!(bytes_sent, 143_402_772);
+    // The trace saw the run: sends, deliveries, block journeys.
+    assert!(!traced.trace_jsonl.is_empty());
+    assert!(traced.trace_jsonl.contains("\"kind\":\"block_sealed\""));
+    assert!(traced.journeys_jsonl.contains("\"seq\":0,"));
+    assert_eq!(traced.profile.events, counters.events);
+    assert!(traced.profile.peak_queue_depth > 0);
+    // Two instrumented runs produce byte-identical traces.
+    let again = bullet64::fingerprint_traced();
+    assert_eq!(again.trace_jsonl, traced.trace_jsonl);
+    assert_eq!(again.journeys_jsonl, traced.journeys_jsonl);
+    assert_eq!(again.profile, traced.profile);
+}
+
 /// Two runs with the same seed must be byte-identical, including the event
 /// count (which covers event ordering, not just outcomes).
 #[test]

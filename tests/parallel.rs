@@ -91,6 +91,31 @@ fn bullet64_golden_is_identical_under_concurrency() {
     }
 }
 
+/// The telemetry gate: a fully instrumented bullet64 run (all-category
+/// flight recorder + self-profiling) must produce the *same trace bytes*
+/// on every worker thread — sim-time-stamped events only, no wall clock,
+/// no thread identity. The deterministic half of the profile compares too
+/// (`SelfProfile::eq` ignores its wall-clock fields by design).
+#[test]
+fn bullet64_trace_is_identical_under_concurrency() {
+    let reference = bullet64::fingerprint_traced();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| scope.spawn(bullet64::fingerprint_traced))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for traced in concurrent {
+        assert_eq!(traced.base, reference.base);
+        assert_eq!(traced.trace_jsonl, reference.trace_jsonl);
+        assert_eq!(traced.journeys_jsonl, reference.journeys_jsonl);
+        assert_eq!(traced.profile, reference.profile);
+    }
+}
+
 /// Same gate for the faults64 golden: the §4.6 recovery subsystem —
 /// orphan detection off RanSub-epoch silence, the re-attach ladder,
 /// control-RPC retries — together with partition drops and per-node

@@ -7,6 +7,7 @@
 //! regression test runs.
 
 use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::netsim::telemetry::{block_journeys, journeys_to_jsonl, SelfProfile, TraceSpec};
 use bullet_suite::netsim::{LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime};
 use bullet_suite::overlay::random_tree;
 
@@ -18,9 +19,7 @@ fn mix(h: u64, v: u64) -> u64 {
     (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
 }
 
-/// Runs the workload and returns `(counters, delivery digest, total bytes
-/// sent on physical links)`.
-pub fn fingerprint() -> (SimCounters, u64, u64) {
+fn run_sim(traced: bool) -> Sim<BulletNode> {
     // Star topology: one core router, one stub router per participant.
     let mut spec = NetworkSpec::new(NODES + 1);
     for i in 0..NODES {
@@ -43,18 +42,26 @@ pub fn fingerprint() -> (SimCounters, u64, u64) {
         .map(|i| BulletNode::new(i, &tree, config.clone()))
         .collect();
     let mut sim = Sim::new(&spec, agents, SEED);
+    if traced {
+        let trace = TraceSpec::parse("all,cap=1048576").expect("valid trace spec");
+        sim.install_recorder(&trace);
+        sim.enable_profiling();
+    }
     sim.run_until(SimTime::from_secs(RUN_SECS));
+    sim
+}
 
+fn digest_of(sim: &Sim<BulletNode>) -> u64 {
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for node in 0..NODES {
         let m = &sim.agent(node).metrics;
         let t = sim.traffic(node);
         for v in [
-            m.useful_packets,
-            m.useful_bytes,
-            m.raw_bytes,
-            m.duplicate_packets,
-            m.total_packets,
+            m.delivery.useful_packets,
+            m.delivery.useful_bytes,
+            m.delivery.raw_bytes,
+            m.delivery.duplicate_packets,
+            m.delivery.total_packets,
             t.data_bytes_in,
             t.control_bytes_in,
             t.data_bytes_out,
@@ -63,5 +70,47 @@ pub fn fingerprint() -> (SimCounters, u64, u64) {
             digest = mix(digest, v);
         }
     }
+    digest
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links)`.
+pub fn fingerprint() -> (SimCounters, u64, u64) {
+    let sim = run_sim(false);
+    let digest = digest_of(&sim);
     (sim.counters(), digest, sim.network().total_bytes_sent())
+}
+
+/// The golden fingerprint plus the telemetry a fully instrumented run of
+/// the same workload captures.
+#[allow(dead_code)]
+pub struct TracedFingerprint {
+    /// The base `(counters, digest, bytes)` fingerprint of the run.
+    pub base: (SimCounters, u64, u64),
+    /// Flight-recorder trace as JSONL (all categories, no eviction).
+    pub trace_jsonl: String,
+    /// Per-block journey spans as JSONL.
+    pub journeys_jsonl: String,
+    /// The simulator self-profile.
+    pub profile: SelfProfile,
+}
+
+/// Runs the same workload with a full-category flight recorder (sized so
+/// nothing is evicted) and self-profiling enabled. The base fingerprint
+/// must match [`fingerprint`] exactly — telemetry is read-only — and the
+/// trace itself must be deterministic.
+#[allow(dead_code)]
+pub fn fingerprint_traced() -> TracedFingerprint {
+    let mut sim = run_sim(true);
+    let digest = digest_of(&sim);
+    let base = (sim.counters(), digest, sim.network().total_bytes_sent());
+    let profile = sim.profile().expect("profiling enabled");
+    let recorder = sim.take_recorder().expect("recorder installed");
+    assert_eq!(recorder.evicted(), 0, "trace ring sized to hold the run");
+    TracedFingerprint {
+        base,
+        trace_jsonl: recorder.to_jsonl(),
+        journeys_jsonl: journeys_to_jsonl(&block_journeys(recorder.events()), NODES - 1),
+        profile,
+    }
 }

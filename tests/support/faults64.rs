@@ -109,11 +109,11 @@ pub fn fingerprint() -> (SimCounters, u64, u64, u64, ScenarioStats, u64) {
         let m = &sim.agent(node).metrics;
         let t = sim.traffic(node);
         for v in [
-            m.useful_packets,
-            m.useful_bytes,
-            m.raw_bytes,
-            m.duplicate_packets,
-            m.total_packets,
+            m.delivery.useful_packets,
+            m.delivery.useful_bytes,
+            m.delivery.raw_bytes,
+            m.delivery.duplicate_packets,
+            m.delivery.total_packets,
             m.orphan_detections,
             m.reattaches,
             m.control_retries,
