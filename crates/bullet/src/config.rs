@@ -81,6 +81,60 @@ impl Default for IntegrityConfig {
     }
 }
 
+/// Overload-resilience parameters: bounded prioritized inboxes, a
+/// working-set memory budget, join admission control and slow-receiver
+/// demotion.
+///
+/// `None` in [`BulletConfig::overload`] disables the layer entirely: no
+/// message is shed, no join is deferred, no block is evicted beyond the
+/// ordinary working-set window and no peer is demoted for lagging, so
+/// runs without overload protection are bit-identical to the
+/// pre-overload protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverloadConfig {
+    /// Control messages (reconciliation + peering classes together)
+    /// accepted per housekeeping window (1 s) before shedding begins.
+    /// Data and transport feedback are never shed.
+    pub inbox_budget: u32,
+    /// Fraction of [`OverloadConfig::inbox_budget`] past which the node
+    /// considers itself under pressure: peering/join traffic (the lowest
+    /// priority class) is shed first, from this threshold on, while
+    /// reconciliation traffic is still admitted up to the full budget.
+    pub pressure_fraction: f64,
+    /// Maximum blocks retained in the working set under memory pressure;
+    /// blocks still owed to mesh receivers are never evicted, so the
+    /// effective floor is the oldest outstanding receiver request.
+    pub working_set_budget: usize,
+    /// First deferral a pressured node hands a joining peer; successive
+    /// deferrals of the same peer back off exponentially (doubling per
+    /// strike, capped by [`OverloadConfig::defer_max_exponent`]).
+    pub defer_base: SimDuration,
+    /// Cap on the deferral doubling (`retry_after <= defer_base <<
+    /// defer_max_exponent`), so deferred joiners are never starved.
+    pub defer_max_exponent: u32,
+    /// A mesh receiver whose reported intake stays below
+    /// [`OverloadConfig::slow_receiver_fraction`] of the mean across
+    /// receivers for this many consecutive evaluation windows is demoted
+    /// (dropped from the sender slot) before any healthy peer is touched.
+    pub slow_receiver_windows: u32,
+    /// The lag threshold, as a fraction of the mean reported intake.
+    pub slow_receiver_fraction: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            inbox_budget: 200,
+            pressure_fraction: 0.5,
+            working_set_budget: 1_500,
+            defer_base: SimDuration::from_millis(500),
+            defer_max_exponent: 4,
+            slow_receiver_windows: 3,
+            slow_receiver_fraction: 0.25,
+        }
+    }
+}
+
 /// Tunable parameters of a Bullet node.
 ///
 /// Defaults follow the paper: 600 Kbps target stream, 1500-byte packets,
@@ -158,6 +212,18 @@ pub struct BulletConfig {
     /// quarantine of threshold-crossing peers. `None` (the default)
     /// disables the layer with zero behavioural footprint.
     pub integrity: Option<IntegrityConfig>,
+    /// Overload resilience: bounded prioritized inboxes, working-set
+    /// memory budget, join admission control and slow-receiver demotion.
+    /// `None` (the default) disables the layer with zero behavioural
+    /// footprint.
+    pub overload: Option<OverloadConfig>,
+    /// Playout freshness deadline: a first-delivery block older than this
+    /// (measured from its generation slot at the source,
+    /// `stream_start + seq * packet_interval`) is counted as late in the
+    /// delivery metrics (`fresh_bytes`) — a live playout that far behind
+    /// the source cannot use it. Purely observational: no protocol
+    /// decision consults it.
+    pub freshness_deadline: SimDuration,
     /// Trace one data packet in this many for link-stress accounting
     /// (0 disables tracing).
     pub trace_interval: u64,
@@ -191,6 +257,8 @@ impl Default for BulletConfig {
             sender_idle_evals_to_drop: None,
             recovery: None,
             integrity: None,
+            overload: None,
+            freshness_deadline: SimDuration::from_secs(10),
             trace_interval: 100,
             tfrc: TfrcConfig {
                 packet_size,
@@ -230,6 +298,17 @@ impl BulletConfig {
         BulletConfig {
             integrity: Some(IntegrityConfig::default()),
             ..self.recovery()
+        }
+    }
+
+    /// The configuration profile for overload scenarios: the integrity
+    /// profile plus the overload-resilience layer with its default knobs
+    /// (bounded prioritized inboxes, working-set budget, deferred-join
+    /// admission control, slow-receiver demotion).
+    pub fn overload(self) -> Self {
+        BulletConfig {
+            overload: Some(OverloadConfig::default()),
+            ..self.integrity()
         }
     }
 

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod node;
 pub mod peering;
 
-pub use config::BulletConfig;
+pub use config::{BulletConfig, IntegrityConfig, OverloadConfig, RecoveryConfig};
 pub use disjoint::{ChildState, DisjointSender, RouteOutcome};
 pub use messages::BulletMsg;
 pub use metrics::BulletMetrics;

@@ -40,6 +40,13 @@ pub enum BulletMsg {
     /// The potential sender rejected the peering request (receiver list
     /// full).
     PeeringReject,
+    /// The potential sender is under overload pressure and asks the
+    /// requester to retry after the carried backoff instead of silently
+    /// dropping the join (overload admission control).
+    PeeringDeferred {
+        /// How long the requester should wait before retrying.
+        retry_after: bullet_netsim::SimDuration,
+    },
     /// Periodic refresh of the Bloom filter, range and row assignment a
     /// receiver installs at one of its senders.
     FilterRefresh {
@@ -110,6 +117,7 @@ impl BulletMsg {
             }
             BulletMsg::PeeringAccept
             | BulletMsg::PeeringReject
+            | BulletMsg::PeeringDeferred { .. }
             | BulletMsg::PeerDrop
             | BulletMsg::Reparent { .. }
             | BulletMsg::Reattach

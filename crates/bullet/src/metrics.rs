@@ -56,6 +56,19 @@ pub struct BulletMetrics {
     pub health_penalties: u64,
     /// Peers quarantined after crossing the misbehavior threshold.
     pub quarantines: u64,
+    /// Control messages shed by the bounded inbox (overload layer on).
+    pub inbox_sheds: u64,
+    /// Peering requests answered `PeeringDeferred` under pressure.
+    pub joins_deferred: u64,
+    /// Previously deferred peering requests that were later admitted.
+    pub joins_admitted_after_defer: u64,
+    /// Deepest per-window inbox backlog observed (tracked unconditionally —
+    /// pure counting, so it meters unbounded growth with the layer off).
+    pub peak_inbox_depth: u64,
+    /// Working-set blocks evicted by the memory budget (overload layer on).
+    pub working_set_evictions: u64,
+    /// Mesh receivers demoted for persistently lagging reports.
+    pub slow_demotions: u64,
 }
 
 impl BulletMetrics {

@@ -55,6 +55,9 @@ mod timer {
     /// Control-RPC retry/backoff tick. Armed only while a retryable RPC
     /// (`PeeringRequest`, `Reattach`) is outstanding under recovery.
     pub const RETRY: u64 = 8;
+    /// Deferred-join retry: armed once per `PeeringDeferred` received,
+    /// firing after the responder's requested backoff (overload layer).
+    pub const DEFER_RETRY: u64 = 9;
 
     /// Bits of the tag holding the timer kind.
     pub const KIND_BITS: u32 = 8;
@@ -164,6 +167,25 @@ pub struct BulletNode {
     /// summary ticket claims phantom content it does not hold, and it
     /// never serves its mesh receivers.
     false_advertiser: bool,
+
+    // ---- overload resilience (inert unless `config.overload`) ----
+    /// Control messages processed since the last housekeeping tick: the
+    /// bounded-inbox depth the shedding decisions key on. Counted
+    /// unconditionally (it feeds `peak_inbox_depth`, which meters the
+    /// unbounded baseline too); only *acted on* with the layer enabled.
+    inbox_window: u64,
+    /// Consecutive deferrals issued per requester, driving the
+    /// exponential backoff carried in `PeeringDeferred`.
+    defer_strikes: BTreeMap<OverlayId, u32>,
+    /// Responders whose `PeeringDeferred` backoff is being waited out;
+    /// front-popped by the DEFER_RETRY tick.
+    deferred_retries: Vec<OverlayId>,
+    /// Responders that deferred us at least once, for the
+    /// admitted-after-defer metric. Cleared on accept/reject.
+    deferred_once: Vec<OverlayId>,
+    /// Factor applied to the intake figure reported to senders; scenario
+    /// `slow_node` sets it below 1 to present as a persistent laggard.
+    report_scale: f64,
 }
 
 impl BulletNode {
@@ -232,6 +254,11 @@ impl BulletNode {
             misbehavior: BTreeMap::new(),
             quarantined: BTreeMap::new(),
             false_advertiser: false,
+            inbox_window: 0,
+            defer_strikes: BTreeMap::new(),
+            deferred_retries: Vec::new(),
+            deferred_once: Vec::new(),
+            report_scale: 1.0,
         }
     }
 
@@ -417,9 +444,67 @@ impl BulletNode {
             .is_some_and(|&until| now < until)
     }
 
+    /// Answers a join request with `PeeringDeferred` instead of silently
+    /// dropping it (overload admission control): the carried backoff grows
+    /// exponentially with the requester's consecutive-deferral streak, so
+    /// a storm spreads itself out instead of hammering the same window.
+    fn defer_join(&mut self, ctx: &mut Context<'_, BulletMsg>, from: OverlayId) {
+        let Some(overload) = self.config.overload else {
+            return;
+        };
+        let strikes = self.defer_strikes.get(&from).copied().unwrap_or(0);
+        let exponent = strikes.min(overload.defer_max_exponent);
+        self.defer_strikes.insert(from, strikes.saturating_add(1));
+        let retry_after = overload.defer_base.saturating_mul(1u64 << exponent);
+        self.metrics.joins_deferred += 1;
+        self.send_msg(ctx, from, BulletMsg::PeeringDeferred { retry_after });
+    }
+
+    /// The mesh sender that is this node's *last live path* toward the
+    /// source, if any: the sole sender while the tree parent is dead,
+    /// quarantined, or mid-re-attach. Such a sender is shielded from
+    /// penalties, eviction and demotion — cutting it would fully detach
+    /// the node. `None` (nothing to shield) whenever the parent link is
+    /// healthy, there are multiple senders, or the overload layer is off.
+    fn last_path_sender(&self) -> Option<OverlayId> {
+        self.config.overload?;
+        let [sole] = self.peers.senders() else {
+            return None;
+        };
+        let sole = sole.node;
+        let parent_alive = match self.parent {
+            Some(p) => p != sole && self.reattach.is_none(),
+            None => self.is_root(),
+        };
+        if parent_alive {
+            None
+        } else {
+            Some(sole)
+        }
+    }
+
+    /// Whether the residue class `row (mod stripe)` of `[low, high]` has
+    /// any block this node is missing — i.e. whether the sender assigned
+    /// that row actually *owes* us data (satellite of the stall-penalty
+    /// fix: a sender whose row is fully held is idle, not stalled).
+    fn row_has_gap(&self, low: u64, high: u64, stripe: u64, row: u64) -> bool {
+        let stripe = stripe.max(1);
+        let mut seq = low + (row + stripe - low % stripe) % stripe;
+        while seq <= high {
+            if !self.working_set.contains(seq) {
+                return true;
+            }
+            seq += stripe;
+        }
+        false
+    }
+
     /// Applies a misbehavior penalty to `peer`; when the decayed score
     /// crosses the threshold the peer is quarantined. No-op without the
-    /// integrity layer.
+    /// integrity layer. A peer that is the node's last live path toward
+    /// the source is shielded from quarantine (overload liveness guard) —
+    /// the penalty still accrues, so the shield lifts as soon as another
+    /// path exists.
     fn penalize(&mut self, ctx: &mut Context<'_, BulletMsg>, peer: OverlayId, amount: f64) {
         let Some(integrity) = self.config.integrity else {
             return;
@@ -428,6 +513,9 @@ impl BulletNode {
         let score = self.misbehavior.entry(peer).or_insert(0.0);
         *score += amount;
         if *score >= integrity.quarantine_threshold {
+            if self.last_path_sender() == Some(peer) {
+                return;
+            }
             self.quarantine_peer(ctx, peer, integrity);
         }
     }
@@ -911,6 +999,12 @@ impl BulletNode {
         let filter = std::sync::Arc::new(self.build_filter());
         let (low, high) = self.request_range();
         for (row, &node) in senders.iter().enumerate() {
+            // Record whether this sender's row covers anything we are
+            // actually missing: only senders *owing* data can later be
+            // judged stalled (a sender whose row we fully hold is idle,
+            // not misbehaving).
+            let owed = self.row_has_gap(low, high, stripe, row as u64);
+            self.peers.set_sender_owed(node, owed);
             let request = ReconcileRequest::new(filter.clone(), low, high, stripe, row as u64);
             self.send_msg(ctx, node, BulletMsg::FilterRefresh { request });
         }
@@ -980,8 +1074,13 @@ impl BulletNode {
     /// senders, evict the least-benefiting receiver.
     fn evaluate_mesh(&mut self, ctx: &mut Context<'_, BulletMsg>) {
         // Report our total received bandwidth to every sender so they can
-        // run their receiver eviction.
-        let window_bytes = self.metrics.delivery.raw_bytes;
+        // run their receiver eviction. A scripted slow node understates
+        // its intake, presenting as a persistent laggard.
+        let window_bytes = if self.report_scale != 1.0 {
+            (self.metrics.delivery.raw_bytes as f64 * self.report_scale) as u64
+        } else {
+            self.metrics.delivery.raw_bytes
+        };
         let senders = self.take_sender_peers();
         for &node in &senders {
             self.send_msg(
@@ -1023,7 +1122,10 @@ impl BulletNode {
             .config
             .sender_idle_evals_to_drop
             .or(recovery.map(|r| r.peer_idle_windows));
-        let evaluation = self.peers.evaluate_senders(idle_limit);
+        // Liveness guard: the sender that is our last live path toward
+        // the source is never evicted, whatever the rules say.
+        let protected = self.last_path_sender();
+        let evaluation = self.peers.evaluate_senders_protected(idle_limit, protected);
         let restripe = recovery.is_some() && !evaluation.drop.is_empty();
         for node in evaluation.drop {
             self.in_conns.remove(&node);
@@ -1040,6 +1142,19 @@ impl BulletNode {
                 self.out_conns.remove(&node);
                 self.send_msg(ctx, node, BulletMsg::PeerDrop);
                 self.note_evicted(node);
+            }
+        }
+        if let Some(overload) = self.config.overload {
+            // Demote persistently lagging receivers from serving slots
+            // before any healthy peer is judged: a slow receiver drags the
+            // sender's pacing down for everyone it serves.
+            for node in self.peers.evaluate_slow_receivers(
+                overload.slow_receiver_fraction,
+                overload.slow_receiver_windows,
+            ) {
+                self.metrics.slow_demotions += 1;
+                self.out_conns.remove(&node);
+                self.send_msg(ctx, node, BulletMsg::PeerDrop);
             }
         }
         if let Some(node) = self.peers.evaluate_receivers() {
@@ -1125,6 +1240,22 @@ impl BulletNode {
         let duplicate = self.working_set.contains(seq) || seq < self.working_set.low_watermark();
         self.metrics
             .record_receive(self.config.packet_size, from_parent, duplicate);
+        if !duplicate {
+            // Timeliness: the source emits `seq` at `stream_start +
+            // seq * packet_interval`, so every node can judge a block's
+            // age locally. First deliveries past the playout deadline
+            // are reclassified as late (they stay useful for repair and
+            // relay, but a live viewer has moved on).
+            let generated_us = self
+                .config
+                .stream_start
+                .as_micros()
+                .saturating_add(seq.saturating_mul(self.config.packet_interval().as_micros()));
+            let age_us = ctx.now().as_micros().saturating_sub(generated_us);
+            if age_us > self.config.freshness_deadline.as_micros() {
+                self.metrics.delivery.record_stale(self.config.packet_size);
+            }
+        }
         if ctx.tracing(CAT_JOURNEY) {
             ctx.trace(TraceData::BlockAccept {
                 seq,
@@ -1196,6 +1327,46 @@ impl Agent for BulletNode {
                 _ => {}
             }
         }
+        // Bounded control inbox (overload layer). Depth is always counted —
+        // `peak_inbox_depth` meters unbounded growth with the layer off —
+        // but shedding only happens when configured, in strict priority
+        // order: the data plane and its feedback are never shed; above the
+        // *pressure* watermark new joins are deferred (not dropped) and
+        // re-attach requests refused; above the full budget,
+        // reconciliation refreshes, reports and non-parent RanSub traffic
+        // are shed lowest-priority-first. Parent RanSub traffic is exempt
+        // at any depth: it carries the orphan detector's liveness signal.
+        if !msg.is_data() && !matches!(msg, BulletMsg::Feedback(_)) {
+            self.inbox_window += 1;
+            self.metrics.peak_inbox_depth = self.metrics.peak_inbox_depth.max(self.inbox_window);
+            if let Some(overload) = self.config.overload {
+                let pressure = (overload.inbox_budget as f64 * overload.pressure_fraction) as u64;
+                let budget = overload.inbox_budget as u64;
+                match &msg {
+                    BulletMsg::PeeringRequest { .. } if self.inbox_window > pressure => {
+                        self.defer_join(ctx, from);
+                        return;
+                    }
+                    BulletMsg::Reattach if self.inbox_window > pressure => {
+                        self.metrics.inbox_sheds += 1;
+                        return;
+                    }
+                    BulletMsg::FilterRefresh { .. } | BulletMsg::ReceiverReport { .. }
+                        if self.inbox_window > budget =>
+                    {
+                        self.metrics.inbox_sheds += 1;
+                        return;
+                    }
+                    BulletMsg::RanSub(_)
+                        if self.inbox_window > budget && Some(from) != self.parent =>
+                    {
+                        self.metrics.inbox_sheds += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
         match msg {
             BulletMsg::Data {
                 header,
@@ -1240,6 +1411,10 @@ impl Agent for BulletNode {
                     if let Some(receiver) = self.peers.receiver_mut(from) {
                         receiver.active_this_window = true;
                     }
+                    if !self.defer_strikes.is_empty() {
+                        // Admission clears the requester's backoff streak.
+                        self.defer_strikes.remove(&from);
+                    }
                     self.send_msg(ctx, from, BulletMsg::PeeringAccept);
                 } else {
                     self.send_msg(ctx, from, BulletMsg::PeeringReject);
@@ -1247,6 +1422,13 @@ impl Agent for BulletNode {
             }
             BulletMsg::PeeringAccept => {
                 self.peering_retries.retain(|p| p.node != from);
+                if !self.deferred_once.is_empty() || !self.deferred_retries.is_empty() {
+                    if let Some(pos) = self.deferred_once.iter().position(|&n| n == from) {
+                        self.deferred_once.remove(pos);
+                        self.metrics.joins_admitted_after_defer += 1;
+                    }
+                    self.deferred_retries.retain(|&n| n != from);
+                }
                 if self.peers.on_peering_accept(from) {
                     // Rebalance the row assignments across all senders now
                     // that the stripe count changed.
@@ -1255,7 +1437,23 @@ impl Agent for BulletNode {
             }
             BulletMsg::PeeringReject => {
                 self.peering_retries.retain(|p| p.node != from);
+                if !self.deferred_once.is_empty() || !self.deferred_retries.is_empty() {
+                    self.deferred_once.retain(|&n| n != from);
+                    self.deferred_retries.retain(|&n| n != from);
+                }
                 self.peers.on_peering_reject(from)
+            }
+            BulletMsg::PeeringDeferred { retry_after } => {
+                // The responder is overloaded but promises admission later:
+                // take the request out of the lost-RPC retry machinery
+                // (an answer *did* arrive) and arm a one-shot retry at the
+                // responder's requested backoff.
+                self.peering_retries.retain(|p| p.node != from);
+                if !self.deferred_once.contains(&from) {
+                    self.deferred_once.push(from);
+                }
+                self.deferred_retries.push(from);
+                ctx.set_timer(retry_after, self.tag(timer::DEFER_RETRY));
             }
             BulletMsg::FilterRefresh { request } => {
                 if let Some(receiver) = self.peers.receiver_mut(from) {
@@ -1396,6 +1594,24 @@ impl Agent for BulletNode {
                 ctx.set_timer(self.config.mesh_eval_interval, self.tag(timer::MESH_EVAL));
             }
             timer::HOUSEKEEPING => {
+                self.inbox_window = 0;
+                if let Some(overload) = self.config.overload {
+                    // Working-set memory budget: evict oldest blocks past
+                    // the budget, but never below the lowest block still
+                    // owed to a mesh receiver — shedding must not break a
+                    // serving promise.
+                    if self.working_set.len() > overload.working_set_budget {
+                        let floor = self.peers.receivers().iter().map(|r| r.request.low).min();
+                        let owed = floor
+                            .map(|f| self.working_set.iter_range(f, u64::MAX).count())
+                            .unwrap_or(0);
+                        let target = overload.working_set_budget.max(owed);
+                        let before = self.working_set.len();
+                        self.working_set.prune_to_len(target);
+                        self.metrics.working_set_evictions +=
+                            before.saturating_sub(self.working_set.len()) as u64;
+                    }
+                }
                 self.working_set
                     .prune_to_len(self.config.working_set_window);
                 if !self.tainted.is_empty() {
@@ -1414,6 +1630,22 @@ impl Agent for BulletNode {
             timer::RETRY => {
                 self.retry_timer_armed = false;
                 self.service_retries(ctx);
+            }
+            timer::DEFER_RETRY => {
+                // One deferral, one timer, one retry: pop the oldest
+                // waiting responder and re-ask, unless the peering
+                // resolved some other way in the meantime.
+                if self.deferred_retries.is_empty() {
+                    return;
+                }
+                let node = self.deferred_retries.remove(0);
+                if self.peers.is_sender(node) || self.is_quarantined(node, ctx.now()) {
+                    return;
+                }
+                let stripe = (self.peers.senders().len() as u64 + 1).max(1);
+                let row = self.peers.senders().len() as u64;
+                let request = self.build_request(stripe, row);
+                self.send_msg(ctx, node, BulletMsg::PeeringRequest { request });
             }
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
@@ -1515,9 +1747,16 @@ impl ScenarioAgent for BulletNode {
         self.recently_evicted.clear();
         // Health scores and quarantines refer to the pre-crash network;
         // the tainted map is kept — it describes the surviving working
-        // set — and so is the false-advertiser persona.
+        // set — and so is the false-advertiser persona (and the
+        // slow-node report scale, which models the node's own capacity).
         self.misbehavior.clear();
         self.quarantined.clear();
+        // Overload bookkeeping likewise restarts fresh; in-flight
+        // DEFER_RETRY timers die with the old timer generation.
+        self.inbox_window = 0;
+        self.defer_strikes.clear();
+        self.deferred_retries.clear();
+        self.deferred_once.clear();
         if self.is_root() {
             let start_delay = self.config.stream_start.saturating_since(ctx.now());
             ctx.set_timer(start_delay, self.tag(timer::GENERATE));
@@ -1534,6 +1773,13 @@ impl ScenarioAgent for BulletNode {
     /// this hook only has to flip the behavioural flag.
     fn on_adversary(&mut self, _ctx: &mut Context<'_, BulletMsg>, plan: FaultPlan) {
         self.false_advertiser = plan.false_advertise;
+    }
+
+    /// Scenario slow-node switch: scale the intake figure this node
+    /// reports to its senders, so it presents as a persistent laggard to
+    /// their slow-receiver demotion (overload evaluation).
+    fn on_slow_node(&mut self, _ctx: &mut Context<'_, BulletMsg>, factor: f64) {
+        self.report_scale = factor;
     }
 }
 
@@ -2120,5 +2366,238 @@ mod tests {
         let agent = sim.agent(1);
         assert_eq!(agent.quarantined_peers(t_active), vec![3]);
         assert!(agent.quarantined_peers(t_expired).is_empty());
+    }
+
+    #[test]
+    fn a_clean_run_accrues_no_stall_penalties() {
+        // Regression for the stall-penalty misfire: with integrity on and
+        // zero adversaries, transiently idle (but honest) senders must not
+        // accrue health penalties — only senders sitting on rows that
+        // actually owe data can stall.
+        let mut sim = build_sim(12, 2_000_000.0, quick_config().integrity(), 46);
+        sim.run_until(SimTime::from_secs(40));
+        for node in 0..12 {
+            let m = &sim.agent(node).metrics;
+            assert_eq!(
+                m.health_penalties, 0,
+                "node {node} penalized an honest peer in an adversary-free run"
+            );
+            assert_eq!(m.quarantines, 0, "node {node} quarantined an honest peer");
+        }
+    }
+
+    #[test]
+    fn joins_are_deferred_under_pressure_and_later_admitted() {
+        let mut sim = build_sim(8, 2_000_000.0, quick_config().overload(), 47);
+        sim.run_until(SimTime::from_secs(1));
+        let budget = crate::config::OverloadConfig::default().inbox_budget as u64;
+        // Responder side: above the pressure watermark a join is answered
+        // PeeringDeferred, not silently dropped and not admitted.
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = budget;
+            let request = agent.build_request(1, 0);
+            agent.on_message(ctx, 7, BulletMsg::PeeringRequest { request });
+        });
+        {
+            let agent = sim.agent(1);
+            assert_eq!(agent.metrics.joins_deferred, 1);
+            assert!(!agent.peers.is_receiver(7), "deferred join was admitted");
+            assert_eq!(
+                agent.defer_strikes.get(&7),
+                Some(&1),
+                "backoff streak recorded"
+            );
+        }
+        // Pressure gone: the retried join is admitted and the streak clears.
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = 0;
+            let request = agent.build_request(1, 0);
+            agent.on_message(ctx, 7, BulletMsg::PeeringRequest { request });
+        });
+        {
+            let agent = sim.agent(1);
+            assert!(
+                agent.peers.is_receiver(7),
+                "join not admitted after pressure"
+            );
+            assert!(
+                agent.defer_strikes.is_empty(),
+                "admission must clear the streak"
+            );
+        }
+        // Requester side: a PeeringDeferred arms a retry; the eventual
+        // accept scores admitted-after-defer exactly once.
+        sim.invoke_agent(2, |agent, ctx| {
+            let msg = BulletMsg::PeeringDeferred {
+                retry_after: SimDuration::from_millis(500),
+            };
+            agent.on_message(ctx, 7, msg);
+        });
+        assert_eq!(sim.agent(2).deferred_retries, vec![7]);
+        sim.invoke_agent(2, |agent, ctx| {
+            agent.on_message(ctx, 7, BulletMsg::PeeringAccept);
+        });
+        {
+            let agent = sim.agent(2);
+            assert_eq!(agent.metrics.joins_admitted_after_defer, 1);
+            assert!(agent.deferred_retries.is_empty());
+            assert!(agent.deferred_once.is_empty());
+        }
+    }
+
+    #[test]
+    fn shedding_follows_priority_classes_and_exempts_the_parent() {
+        use bullet_overlay::Tree;
+        use bullet_ransub::WeightedSet;
+        // A chain 0 -> 1 -> 2: node 1's parent is 0.
+        let tree = Tree::from_parents(vec![None, Some(0), Some(1)]).expect("valid tree");
+        let spec = hub_network(3, 2_000_000.0);
+        let agents = (0..3)
+            .map(|i| BulletNode::new(i, &tree, quick_config().overload()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 48);
+        sim.run_until(SimTime::from_secs(1));
+        let budget = crate::config::OverloadConfig::default().inbox_budget as u64;
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = budget;
+            // Reconciliation traffic above the budget is shed...
+            let request = agent.build_request(1, 0);
+            agent.on_message(ctx, 2, BulletMsg::FilterRefresh { request });
+        });
+        assert_eq!(sim.agent(1).metrics.inbox_sheds, 1);
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = budget;
+            // ...data never is...
+            let msg = BulletMsg::Data {
+                header: forged_header(),
+                seq: 3,
+                digest: block_digest(3),
+            };
+            agent.on_message(ctx, 0, msg);
+        });
+        {
+            let agent = sim.agent(1);
+            assert_eq!(agent.metrics.inbox_sheds, 1, "data plane was shed");
+            assert!(agent.working_set.contains(3), "data packet dropped");
+        }
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = budget;
+            // ...parent RanSub is exempt (orphan-detector liveness)...
+            let msg = BulletMsg::RanSub(RanSubMsg::Distribute {
+                epoch: 1,
+                set: WeightedSet::empty(),
+            });
+            agent.on_message(ctx, 0, msg);
+        });
+        {
+            let agent = sim.agent(1);
+            assert_eq!(agent.metrics.inbox_sheds, 1, "parent RanSub was shed");
+            assert_eq!(agent.distributes_seen, 1, "liveness signal lost");
+        }
+        sim.invoke_agent(1, |agent, ctx| {
+            agent.inbox_window = budget;
+            // ...and non-parent RanSub is shed.
+            let msg = BulletMsg::RanSub(RanSubMsg::Distribute {
+                epoch: 1,
+                set: WeightedSet::empty(),
+            });
+            agent.on_message(ctx, 2, msg);
+        });
+        assert_eq!(sim.agent(1).metrics.inbox_sheds, 2);
+        // Peak depth metering saw the forced backlog.
+        assert!(sim.agent(1).metrics.peak_inbox_depth > budget);
+    }
+
+    #[test]
+    fn working_set_eviction_never_drops_blocks_owed_to_receivers() {
+        use crate::config::OverloadConfig;
+        let config = BulletConfig {
+            overload: Some(OverloadConfig {
+                working_set_budget: 20,
+                ..OverloadConfig::default()
+            }),
+            ..quick_config().overload()
+        };
+        let mut sim = build_sim(4, 2_000_000.0, config, 49);
+        sim.run_until(SimTime::from_secs(1));
+        sim.invoke_agent(1, |agent, ctx| {
+            for seq in 0..100 {
+                agent.working_set.insert(seq);
+            }
+            // A receiver still reconciling from sequence 10 up: everything
+            // at or above 10 is owed and must survive the budget eviction.
+            let request = ReconcileRequest::new(BloomFilter::new(1_024, 4), 10, 90, 1, 0);
+            assert!(agent.peers.on_peering_request(9, request));
+            agent.on_timer(ctx, agent.tag(timer::HOUSEKEEPING));
+        });
+        {
+            let agent = sim.agent(1);
+            assert!(agent.working_set.contains(10), "owed block evicted");
+            assert!(!agent.working_set.contains(9), "unowed block survived");
+            assert_eq!(agent.metrics.working_set_evictions, 10);
+        }
+        // Without receivers the budget applies in full.
+        sim.invoke_agent(2, |agent, ctx| {
+            for seq in 0..100 {
+                agent.working_set.insert(seq);
+            }
+            agent.on_timer(ctx, agent.tag(timer::HOUSEKEEPING));
+        });
+        {
+            let agent = sim.agent(2);
+            assert_eq!(agent.working_set.len(), 20);
+            assert_eq!(agent.metrics.working_set_evictions, 80);
+        }
+    }
+
+    #[test]
+    fn the_last_live_path_toward_the_source_is_never_quarantined() {
+        use bullet_overlay::Tree;
+        // 0 -> 1 -> 2, with 3 a separate child of the root. Node 2's only
+        // mesh sender is 3.
+        let tree = Tree::from_parents(vec![None, Some(0), Some(1), Some(0)]).expect("valid tree");
+        let spec = hub_network(4, 2_000_000.0);
+        let agents = (0..4)
+            .map(|i| BulletNode::new(i, &tree, quick_config().overload()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, 50);
+        sim.run_until(SimTime::from_secs(1));
+        sim.invoke_agent(2, |agent, ctx| {
+            agent.peers.force_sender(3);
+            // The parent misbehaves enough to be quarantined: node 2 is
+            // now orphaned mid-re-attach, with 3 its only live path.
+            agent.penalize(ctx, 1, 2.0);
+        });
+        {
+            let agent = sim.agent(2);
+            assert_eq!(agent.metrics.quarantines, 1);
+            assert!(agent.reattach.is_some(), "orphan must be re-attaching");
+            assert_eq!(agent.last_path_sender(), Some(3));
+        }
+        // However badly the last-path sender now scores, it survives.
+        sim.invoke_agent(2, |agent, ctx| agent.penalize(ctx, 3, 100.0));
+        {
+            let agent = sim.agent(2);
+            assert_eq!(agent.metrics.quarantines, 1, "last live path quarantined");
+            assert!(agent.peers.is_sender(3), "last live path evicted");
+        }
+    }
+
+    #[test]
+    fn the_overlay_still_delivers_with_the_overload_layer_on() {
+        let config = quick_config().overload();
+        let mut sim = build_sim(12, 2_000_000.0, config, 51);
+        sim.run_until(SimTime::from_secs(40));
+        let generated = sim.agent(0).metrics.delivery.packets_generated;
+        assert!(generated > 500, "source generated only {generated}");
+        for node in 1..12 {
+            let m = &sim.agent(node).metrics;
+            let fraction = m.delivery.useful_packets as f64 / generated as f64;
+            assert!(
+                fraction > 0.7,
+                "node {node} received only {:.0}% of the stream with overload on",
+                fraction * 100.0
+            );
+        }
     }
 }

@@ -31,6 +31,11 @@ pub struct SenderPeer {
     /// Whether this sender has ever delivered a packet; fresh trial peers
     /// get a doubled idle grace before being judged dead.
     pub ever_delivered: bool,
+    /// Whether this sender currently owes us data: at the last filter
+    /// refresh we were missing blocks striped to its reconciliation row.
+    /// Only an owed sender can be judged stalled — an honest peer whose
+    /// row has nothing outstanding is idle, not misbehaving.
+    pub owed: bool,
 }
 
 impl SenderPeer {
@@ -42,6 +47,7 @@ impl SenderPeer {
             total_packets_window: 0,
             idle_windows: 0,
             ever_delivered: false,
+            owed: false,
         }
     }
 
@@ -77,6 +83,10 @@ pub struct ReceiverPeer {
     /// Consecutive evaluation windows without any activity from this
     /// receiver (dead-peer detection under churn).
     pub idle_windows: u32,
+    /// Consecutive evaluation windows in which this receiver's reported
+    /// intake lagged far below the mean across receivers (slow-receiver
+    /// demotion, overload layer).
+    pub lag_windows: u32,
 }
 
 impl ReceiverPeer {
@@ -89,6 +99,7 @@ impl ReceiverPeer {
             reported_total_bytes: 0,
             active_this_window: true,
             idle_windows: 0,
+            lag_windows: 0,
         }
     }
 
@@ -273,22 +284,75 @@ impl PeerManager {
         self.pending.clear();
     }
 
-    /// Senders that stalled in the current evaluation window: peers a
-    /// reconciliation row is striped to that produced nothing at all this
+    /// Senders that stalled in the current evaluation window: peers with
+    /// an *outstanding advertised-but-unserved* block — their
+    /// reconciliation row covered data we were missing at the last filter
+    /// refresh ([`SenderPeer::owed`]) — that produced nothing at all this
     /// window, having either delivered before or already sat through a
     /// full prior window (so a fresh trial peer gets one window of
     /// shelter, but a peer that advertised content and never produces any
-    /// — a false advertiser — is not sheltered forever). Fed to the
-    /// integrity layer's health scoring. Call before
-    /// [`PeerManager::evaluate_senders`], which resets the window
+    /// — a false advertiser — is not sheltered forever). An honest peer
+    /// whose row has nothing outstanding is idle, not stalled, and is
+    /// never penalized. Fed to the integrity layer's health scoring. Call
+    /// before [`PeerManager::evaluate_senders`], which resets the window
     /// counters. Order follows the sender list, so the result is
     /// deterministic.
     pub fn stalled_senders(&self) -> Vec<OverlayId> {
         self.senders
             .iter()
-            .filter(|s| s.total_packets_window == 0 && (s.ever_delivered || s.idle_windows >= 1))
+            .filter(|s| {
+                s.owed && s.total_packets_window == 0 && (s.ever_delivered || s.idle_windows >= 1)
+            })
             .map(|s| s.node)
             .collect()
+    }
+
+    /// Records whether `node`'s reconciliation row covered blocks we are
+    /// actually missing, as of the latest filter refresh. Called by the
+    /// node each time it (re)installs a request at a sender.
+    pub fn set_sender_owed(&mut self, node: OverlayId, owed: bool) {
+        if let Some(sender) = self.sender_mut(node) {
+            sender.owed = owed;
+        }
+    }
+
+    /// Receivers whose reported intake has lagged below `fraction` of the
+    /// mean reported intake for `windows` consecutive evaluation windows
+    /// (overload layer: slow receivers are demoted from serving slots
+    /// before any healthy peer is touched). Non-reporting receivers are
+    /// sheltered — the liveness check owns silence. Demoted receivers are
+    /// removed and returned; lag streaks update for everyone else.
+    pub fn evaluate_slow_receivers(&mut self, fraction: f64, windows: u32) -> Vec<OverlayId> {
+        let reported: Vec<u64> = self
+            .receivers
+            .iter()
+            .map(|r| r.reported_total_bytes)
+            .filter(|&b| b > 0)
+            .collect();
+        if reported.len() < 2 {
+            // A lone reporter has no cohort to lag behind.
+            return Vec::new();
+        }
+        let mean = reported.iter().sum::<u64>() as f64 / reported.len() as f64;
+        let threshold = mean * fraction;
+        let mut drop = Vec::new();
+        for receiver in &mut self.receivers {
+            if receiver.reported_total_bytes == 0 {
+                continue;
+            }
+            if (receiver.reported_total_bytes as f64) < threshold {
+                receiver.lag_windows += 1;
+                if receiver.lag_windows >= windows {
+                    drop.push(receiver.node);
+                }
+            } else {
+                receiver.lag_windows = 0;
+            }
+        }
+        for node in &drop {
+            self.receivers.retain(|r| r.node != *node);
+        }
+        drop
     }
 
     /// Evaluates the sender list (paper §3.4): drop any sender whose traffic
@@ -305,6 +369,20 @@ impl PeerManager {
     /// (the same sheltering `min_packets_to_judge` gives the other rules).
     /// `None` preserves the paper's static-network behaviour.
     pub fn evaluate_senders(&mut self, idle_limit: Option<u32>) -> SenderEvaluation {
+        self.evaluate_senders_protected(idle_limit, None)
+    }
+
+    /// [`PeerManager::evaluate_senders`] with a liveness shield: `protected`
+    /// is never dropped, whatever the rules say. The overlay passes the
+    /// sender that is a node's *last live path* toward the source (sole
+    /// sender while the tree parent is dead or mid-re-attach), so overload
+    /// shedding and eviction can never fully detach a node. Window
+    /// counters still reset for everyone, the shielded sender included.
+    pub fn evaluate_senders_protected(
+        &mut self,
+        idle_limit: Option<u32>,
+        protected: Option<OverlayId>,
+    ) -> SenderEvaluation {
         let mut evaluation = SenderEvaluation::default();
         // Dead senders first: no packets at all for `idle_limit` windows.
         if let Some(limit) = idle_limit {
@@ -345,6 +423,9 @@ impl PeerManager {
                 evaluation.drop.push(worst.node);
             }
         }
+        if let Some(shielded) = protected {
+            evaluation.drop.retain(|&n| n != shielded);
+        }
         for node in &evaluation.drop {
             self.senders.retain(|s| s.node != *node);
         }
@@ -354,6 +435,14 @@ impl PeerManager {
             sender.total_packets_window = 0;
         }
         evaluation
+    }
+
+    /// Installs `node` directly as an accepted sender, bypassing the
+    /// request/accept handshake. Test scaffolding only.
+    #[cfg(test)]
+    pub(crate) fn force_sender(&mut self, node: OverlayId) {
+        self.pending.insert(node);
+        self.on_peering_accept(node);
     }
 
     /// Drops receivers that showed no control activity (filter refreshes,
@@ -562,6 +651,43 @@ mod tests {
     }
 
     #[test]
+    fn a_protected_sender_survives_every_drop_rule() {
+        let mut pm = manager();
+        for node in [1, 2, 3] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+        }
+        // Node 2 trips every rule at once: duplicate-heavy, least useful,
+        // and (after the resets below) idle. The shield must beat all of
+        // them.
+        {
+            let s = pm.sender_mut(2).unwrap();
+            s.total_packets_window = 100;
+            s.duplicate_packets_window = 90;
+            s.useful_bytes_window = 1;
+        }
+        for node in [1, 3] {
+            let s = pm.sender_mut(node).unwrap();
+            s.total_packets_window = 100;
+            s.useful_bytes_window = 50_000;
+        }
+        assert!(pm
+            .evaluate_senders_protected(Some(1), Some(2))
+            .drop
+            .is_empty());
+        assert!(pm.is_sender(2), "shielded sender evicted");
+        // Idle rule: node 2 delivered once, then goes silent past the limit.
+        for _ in 0..4 {
+            let eval = pm.evaluate_senders_protected(Some(1), Some(2));
+            assert!(
+                !eval.drop.contains(&2),
+                "shielded sender evicted while idle"
+            );
+        }
+        assert!(pm.is_sender(2));
+    }
+
+    #[test]
     fn fresh_trial_senders_get_a_doubled_idle_grace() {
         // A peer that has never delivered (its first reconciliation round
         // may legitimately take a while) survives `limit` idle windows and
@@ -665,6 +791,7 @@ mod tests {
         for node in [1, 2, 3] {
             pm.pending.insert(node);
             pm.on_peering_accept(node);
+            pm.set_sender_owed(node, true);
         }
         // Window 1: everyone delivers; evaluation records ever_delivered.
         for node in [1, 2, 3] {
@@ -677,6 +804,7 @@ mod tests {
         // sheltered for its first window only.
         pm.pending.insert(4);
         pm.on_peering_accept(4);
+        pm.set_sender_owed(4, true);
         pm.sender_mut(2).unwrap().total_packets_window = 10;
         assert_eq!(pm.stalled_senders(), vec![1, 3]);
         pm.evaluate_senders(Some(8));
@@ -684,6 +812,77 @@ mod tests {
         // never-delivering false advertiser stops being sheltered.
         pm.sender_mut(2).unwrap().total_packets_window = 10;
         assert_eq!(pm.stalled_senders(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn senders_owed_nothing_are_never_stalled() {
+        // The PR 8 misfire: an honest sender whose reconciliation row has
+        // nothing outstanding went silent and was penalized anyway. Owed
+        // tracking shelters it — only a sender sitting on an advertised-
+        // but-unserved block can stall.
+        let mut pm = PeerManager::new(5, 3, 0.5, true);
+        for node in [1, 2] {
+            pm.pending.insert(node);
+            pm.on_peering_accept(node);
+            pm.sender_mut(node).unwrap().total_packets_window = 10;
+        }
+        pm.evaluate_senders(Some(4));
+        // Both are silent this window, but only node 2 owes us data.
+        pm.set_sender_owed(1, false);
+        pm.set_sender_owed(2, true);
+        assert_eq!(pm.stalled_senders(), vec![2]);
+        // The debt was served (or the refresh found nothing missing).
+        pm.set_sender_owed(2, false);
+        assert!(pm.stalled_senders().is_empty());
+    }
+
+    #[test]
+    fn persistently_lagging_receivers_are_demoted() {
+        let mut pm = manager();
+        for node in [1, 2, 3] {
+            pm.on_peering_request(node, request());
+        }
+        // Node 3 reports a tiny fraction of the cohort mean.
+        let feed = |pm: &mut PeerManager| {
+            for (node, total) in [(1u64, 100_000u64), (2, 120_000), (3, 1_000)] {
+                if let Some(r) = pm.receiver_mut(node as usize) {
+                    r.reported_total_bytes = total;
+                }
+            }
+        };
+        feed(&mut pm);
+        assert!(pm.evaluate_slow_receivers(0.25, 3).is_empty());
+        feed(&mut pm);
+        assert!(pm.evaluate_slow_receivers(0.25, 3).is_empty());
+        feed(&mut pm);
+        assert_eq!(pm.evaluate_slow_receivers(0.25, 3), vec![3]);
+        assert!(!pm.is_receiver(3), "lagging receiver demoted");
+        assert!(pm.is_receiver(1) && pm.is_receiver(2), "healthy kept");
+    }
+
+    #[test]
+    fn slow_receiver_demotion_spares_non_reporters_and_recoverers() {
+        let mut pm = manager();
+        for node in [1, 2, 3] {
+            pm.on_peering_request(node, request());
+        }
+        // Node 3 never reported: the liveness check owns silence.
+        pm.receiver_mut(1).unwrap().reported_total_bytes = 100_000;
+        pm.receiver_mut(2).unwrap().reported_total_bytes = 100;
+        assert!(pm.evaluate_slow_receivers(0.25, 2).is_empty());
+        // Node 2 recovers before its streak completes: streak resets.
+        pm.receiver_mut(2).unwrap().reported_total_bytes = 90_000;
+        assert!(pm.evaluate_slow_receivers(0.25, 2).is_empty());
+        pm.receiver_mut(2).unwrap().reported_total_bytes = 100;
+        assert!(pm.evaluate_slow_receivers(0.25, 2).is_empty());
+        assert_eq!(pm.receivers().len(), 3, "nobody demoted");
+        // A lone reporter has no cohort: never demoted.
+        let mut lone = manager();
+        lone.on_peering_request(9, request());
+        lone.receiver_mut(9).unwrap().reported_total_bytes = 1;
+        for _ in 0..5 {
+            assert!(lone.evaluate_slow_receivers(0.9, 1).is_empty());
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   run the agent's `on_join` bootstrap: recovered nodes bump timer
 //!   generations and reset connection state exactly like late joiners.
 
-use bullet_netsim::{Agent, Context, FaultPlan, Sim, SimDuration, SimTime};
+use bullet_netsim::{Agent, Context, FaultPlan, Sim, SimDuration, SimRng, SimTime};
 
 use crate::script::{ScenarioAction, ScenarioEvent, ScenarioScript};
 
@@ -47,6 +47,12 @@ pub trait ScenarioAgent: Agent {
     /// [`FaultPlan::false_advertise`] is set. Runs right after the plan
     /// is installed.
     fn on_adversary(&mut self, _ctx: &mut Context<'_, Self::Msg>, _plan: FaultPlan) {}
+
+    /// The node was scripted slow (overload evaluation): it should present
+    /// as a persistent laggard to its mesh senders — e.g. by scaling the
+    /// intake figure it reports to them by `factor`. A factor of `1.0`
+    /// restores normal reporting.
+    fn on_slow_node(&mut self, _ctx: &mut Context<'_, Self::Msg>, _factor: f64) {}
 }
 
 /// Counters of the actions a driver has applied, for harness assertions.
@@ -72,6 +78,8 @@ pub struct ScenarioStats {
     pub faults: u64,
     /// Adversary plans installed (fault plan + agent behavior hook).
     pub adversaries: u64,
+    /// Slow-node switches applied (agent reporting hook).
+    pub slow_nodes: u64,
 }
 
 /// Drives one [`ScenarioScript`] over one simulation run.
@@ -95,17 +103,43 @@ impl ScenarioDriver {
     /// Builds a driver for `script`. Call [`ScenarioDriver::install`]
     /// before the first run step.
     pub fn new(script: &ScenarioScript) -> Self {
+        let mut initially_down = script.initially_down().to_vec();
         let mut prescheduled = Vec::new();
         let mut stepped = Vec::new();
         for event in script.sorted_events() {
             if event.action.is_prescheduled() {
                 prescheduled.push(event);
+            } else if let ScenarioAction::JoinStorm {
+                first,
+                count,
+                ramp_secs,
+                seed,
+            } = event.action
+            {
+                // Expand the storm deterministically: the cohort starts the
+                // run down and joins at seeded uniform offsets inside the
+                // ramp — the same shape `ScenarioScript::flash_crowd`
+                // generates, but carried as one compact script line.
+                let mut rng = SimRng::new(seed);
+                for node in first..first + count {
+                    if !initially_down.contains(&node) {
+                        initially_down.push(node);
+                    }
+                    let offset = rng.next_f64() * ramp_secs;
+                    stepped.push(ScenarioEvent {
+                        at: SimTime::from_secs_f64(event.at.as_secs_f64() + offset),
+                        action: ScenarioAction::Join { node },
+                    });
+                }
             } else {
                 stepped.push(event);
             }
         }
+        // Storm expansion lands joins at arbitrary offsets; re-sort (stably,
+        // so equal-time events keep script order) for the stepping walk.
+        stepped.sort_by_key(|e| e.at.as_micros());
         ScenarioDriver {
-            initially_down: script.initially_down().to_vec(),
+            initially_down,
             prescheduled,
             stepped,
             next: 0,
@@ -252,8 +286,17 @@ impl ScenarioDriver {
                 }
                 self.stats.adversaries += 1;
             }
+            &ScenarioAction::SlowNode { node, factor } => {
+                if !sim.is_failed(node) {
+                    sim.invoke_agent(node, |agent, ctx| agent.on_slow_node(ctx, factor));
+                }
+                self.stats.slow_nodes += 1;
+            }
             ScenarioAction::Crash { .. } => {
                 unreachable!("prescheduled actions never reach the stepping path")
+            }
+            ScenarioAction::JoinStorm { .. } => {
+                unreachable!("join storms are expanded at driver construction")
             }
         }
     }
@@ -272,6 +315,7 @@ mod tests {
         leaves: Vec<SimTime>,
         joins: Vec<SimTime>,
         adversary_plans: Vec<FaultPlan>,
+        slow_factors: Vec<f64>,
     }
 
     impl BeatAgent {
@@ -282,6 +326,7 @@ mod tests {
                 leaves: Vec::new(),
                 joins: Vec::new(),
                 adversary_plans: Vec::new(),
+                slow_factors: Vec::new(),
             }
         }
     }
@@ -320,6 +365,10 @@ mod tests {
 
         fn on_adversary(&mut self, _ctx: &mut Context<'_, ()>, plan: FaultPlan) {
             self.adversary_plans.push(plan);
+        }
+
+        fn on_slow_node(&mut self, _ctx: &mut Context<'_, ()>, factor: f64) {
+            self.slow_factors.push(factor);
         }
     }
 
@@ -556,6 +605,88 @@ mod tests {
             samples,
             vec![2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000]
         );
+    }
+
+    #[test]
+    fn join_storm_expands_to_deterministic_joins_inside_the_ramp() {
+        let script = ScenarioScript::new().at(
+            SimTime::from_secs(5),
+            ScenarioAction::JoinStorm {
+                first: 2,
+                count: 3,
+                ramp_secs: 4.0,
+                seed: 37,
+            },
+        );
+        let joins_of = |driver: &mut ScenarioDriver| {
+            let mut sim = beat_sim(5);
+            driver.install(&mut sim);
+            driver.run_until(&mut sim, SimTime::from_secs(15));
+            (2..5)
+                .map(|node| sim.agent(node).joins.clone())
+                .collect::<Vec<_>>()
+        };
+        let mut driver = ScenarioDriver::new(&script);
+        let first = joins_of(&mut driver);
+        assert_eq!(driver.stats.joins, 3, "every storm member joins");
+        for joins in &first {
+            assert_eq!(joins.len(), 1, "each member joins exactly once");
+            assert!(joins[0] >= SimTime::from_secs(5), "not before the storm");
+            assert!(joins[0] <= SimTime::from_secs(9), "inside the ramp");
+        }
+        // Storm members start the run down: node 2 heard nothing at t=0..5.
+        let again = joins_of(&mut ScenarioDriver::new(&script));
+        assert_eq!(first, again, "expansion is seed-deterministic");
+    }
+
+    #[test]
+    fn storm_members_start_down_and_slow_node_runs_the_agent_hook() {
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(6),
+                ScenarioAction::JoinStorm {
+                    first: 2,
+                    count: 2,
+                    ramp_secs: 1.0,
+                    seed: 9,
+                },
+            )
+            .at(
+                SimTime::from_secs(2),
+                ScenarioAction::SlowNode {
+                    node: 1,
+                    factor: 0.25,
+                },
+            )
+            .at(
+                SimTime::from_secs(3),
+                ScenarioAction::SlowNode {
+                    node: 2,
+                    factor: 0.5,
+                },
+            );
+        let mut driver = ScenarioDriver::new(&script);
+        let mut sim = beat_sim(4);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(5));
+        assert_eq!(
+            sim.agent(2).heard,
+            0,
+            "storm members are down from the start"
+        );
+        assert_eq!(
+            sim.agent(1).slow_factors,
+            vec![0.25],
+            "hook ran with factor"
+        );
+        assert_eq!(
+            sim.agent(2).slow_factors,
+            Vec::<f64>::new(),
+            "slow_node on a down node is skipped"
+        );
+        assert_eq!(driver.stats.slow_nodes, 2, "counted even when skipped");
+        driver.run_until(&mut sim, SimTime::from_secs(12));
+        assert!(sim.agent(2).heard > 0, "storm member joined the stream");
     }
 
     #[test]

@@ -101,6 +101,34 @@ pub enum ScenarioAction {
         /// `stall_chance`/`corrupt_chance`/`false_advertise`).
         plan: FaultPlan,
     },
+    /// A join storm (overload evaluation): the cohort `first .. first +
+    /// count` starts the run down and joins at seeded uniform times inside
+    /// `[t, t + ramp_secs)`. Kept first-class — rather than pre-expanded
+    /// into `down` markers and [`ScenarioAction::Join`] events — so a
+    /// storm stays one script line and `parse`/`format` round-trips
+    /// losslessly; the [`crate::ScenarioDriver`] expands it
+    /// deterministically at construction.
+    JoinStorm {
+        /// First node of the joining cohort.
+        first: OverlayId,
+        /// Cohort size (nodes `first .. first + count`).
+        count: usize,
+        /// Ramp length in seconds: join times land uniformly inside it.
+        ramp_secs: f64,
+        /// Seed for the deterministic join offsets.
+        seed: u64,
+    },
+    /// Make a node a slow receiver: from this instant its `ReceiverReport`s
+    /// under-state its intake by `factor` (the agent's
+    /// [`crate::ScenarioAgent::on_slow_node`] hook), presenting it to its
+    /// mesh senders as a persistent laggard. A factor of `1.0` restores
+    /// honest reporting.
+    SlowNode {
+        /// The slowed node.
+        node: OverlayId,
+        /// Multiplier applied to the node's reported intake, in `[0, 1]`.
+        factor: f64,
+    },
 }
 
 impl ScenarioAction {
@@ -424,6 +452,10 @@ impl ScenarioScript {
     ///                              install a control-plane fault plan
     /// <t> adversary <node> <corrupt> <stall> <false-adv 0|1>
     ///                              turn the node into a misbehaving peer
+    /// <t> joinstorm <first> <count> <ramp-secs> <seed>
+    ///                              cohort starts down, joins inside the ramp
+    /// <t> slow_node <node> <factor>
+    ///                              scale the node's reported intake by factor
     /// ```
     ///
     /// Errors name the (1-based) line of the offending entry, so a typo in
@@ -564,6 +596,28 @@ impl ScenarioScript {
                         },
                     }
                 }
+                "joinstorm" => {
+                    let ramp_secs: f64 = Self::field(&fields, 4, entry)?;
+                    if !ramp_secs.is_finite() || ramp_secs < 0.0 {
+                        return Err(err("join-storm ramp must be a non-negative number"));
+                    }
+                    ScenarioAction::JoinStorm {
+                        first: Self::field(&fields, 2, entry)?,
+                        count: Self::field(&fields, 3, entry)?,
+                        ramp_secs,
+                        seed: Self::field(&fields, 5, entry)?,
+                    }
+                }
+                "slow_node" => {
+                    let factor: f64 = Self::field(&fields, 3, entry)?;
+                    if !(0.0..=1.0).contains(&factor) {
+                        return Err(err("slow-node factor must be in [0, 1]"));
+                    }
+                    ScenarioAction::SlowNode {
+                        node: Self::field(&fields, 2, entry)?,
+                        factor,
+                    }
+                }
                 other => return Err(err(&format!("unknown action {other:?}"))),
             };
             script.push(at, action);
@@ -641,6 +695,15 @@ impl ScenarioScript {
                     plan.stall_chance,
                     u8::from(plan.false_advertise)
                 ),
+                ScenarioAction::JoinStorm {
+                    first,
+                    count,
+                    ramp_secs,
+                    seed,
+                } => format!("{t} joinstorm {first} {count} {ramp_secs} {seed}"),
+                ScenarioAction::SlowNode { node, factor } => {
+                    format!("{t} slow_node {node} {factor}")
+                }
             });
         }
         lines.join("\n")
@@ -1042,11 +1105,94 @@ mod tests {
                         ..FaultPlan::default()
                     },
                 },
+            )
+            .at(
+                SimTime::from_secs(21),
+                ScenarioAction::JoinStorm {
+                    first: 12,
+                    count: 24,
+                    ramp_secs: 7.5,
+                    seed: 37,
+                },
+            )
+            .at(
+                SimTime::from_secs(22),
+                ScenarioAction::SlowNode {
+                    node: 4,
+                    factor: 0.25,
+                },
             );
         script.down_from_start(7);
         script.down_from_start(11);
         let reparsed = ScenarioScript::parse(&script.format()).expect("formatted script parses");
         assert_eq!(reparsed, script, "parse(format(s)) must reconstruct s");
+    }
+
+    #[test]
+    fn parses_and_round_trips_the_overload_verbs() {
+        let script = ScenarioScript::parse("30 joinstorm 8 24 10 37; 45.5 slow_node 3 0.25")
+            .expect("valid script");
+        let events = script.sorted_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].action,
+            ScenarioAction::JoinStorm {
+                first: 8,
+                count: 24,
+                ramp_secs: 10.0,
+                seed: 37,
+            }
+        );
+        assert_eq!(
+            events[1].action,
+            ScenarioAction::SlowNode {
+                node: 3,
+                factor: 0.25,
+            }
+        );
+        assert_eq!(events[1].at, SimTime::from_secs_f64(45.5));
+        let reparsed = ScenarioScript::parse(&script.format()).expect("formatted script parses");
+        assert_eq!(reparsed, script, "overload verbs must round-trip");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_overload_entries_with_line_numbers() {
+        assert!(
+            ScenarioScript::parse("5 joinstorm 8 24 10").is_err(),
+            "missing seed"
+        );
+        assert!(
+            ScenarioScript::parse("5 joinstorm 8 24 -1 7").is_err(),
+            "negative ramp"
+        );
+        assert!(
+            ScenarioScript::parse("5 joinstorm 8 many 10 7").is_err(),
+            "non-numeric count"
+        );
+        assert!(
+            ScenarioScript::parse("5 slow_node 3 1.5").is_err(),
+            "factor > 1"
+        );
+        assert!(
+            ScenarioScript::parse("5 slow_node 3 -0.1").is_err(),
+            "factor < 0"
+        );
+        assert!(
+            ScenarioScript::parse("5 slow_node 3").is_err(),
+            "missing factor"
+        );
+        let err = ScenarioScript::parse("down 1\n10 crash 2\n12 slow_node 3 nine")
+            .expect_err("bad factor must fail");
+        assert!(
+            err.starts_with("line 3:"),
+            "error should name line 3, got: {err}"
+        );
+        let err = ScenarioScript::parse("10 crash 2\n11 joinstorm 8 24 10")
+            .expect_err("short storm must fail");
+        assert!(
+            err.starts_with("line 2:"),
+            "error should name line 2, got: {err}"
+        );
     }
 
     #[test]

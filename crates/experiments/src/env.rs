@@ -294,6 +294,20 @@ pub fn integrity_enabled() -> bool {
     )
 }
 
+/// Whether `BULLET_OVERLOAD` asks the figure harness to enable the
+/// overload-resilience layer (bounded prioritized inboxes, join admission
+/// control, working-set memory budget, slow-receiver demotion) on every
+/// Bullet run. The layer rides on the integrity profile, so enabling it
+/// also enables block verification and the §4.6 recovery subsystem.
+/// Accepts `1`/`true`/`on`; anything else — including unset — leaves the
+/// layer off, so historical figure output stays byte-identical.
+pub fn overload_enabled() -> bool {
+    matches!(
+        std::env::var("BULLET_OVERLOAD").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 /// Whether `BULLET_PROFILE` asks metered runs to enable simulator
 /// self-profiling (event-queue depth tracking, pool occupancy, wall-clock
 /// throughput). Accepts `1`/`true`/`on`; anything else — including unset —

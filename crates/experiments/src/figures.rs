@@ -57,6 +57,10 @@ pub struct FigureResult {
     pub summaries: Vec<(String, RunSummary)>,
     /// Free-form observations (crossover points, ratios, ...).
     pub notes: Vec<String>,
+    /// Named scalar outcomes derived across runs (e.g. the overload
+    /// figure's steady-member goodput per arm) that benches and CI gates
+    /// read without re-deriving per-node data. Empty for most figures.
+    pub scalars: Vec<(String, f64)>,
 }
 
 impl FigureResult {
@@ -202,10 +206,19 @@ impl Params {
             stream_start: self.stream_start,
             ..BulletConfig::default()
         };
-        if crate::env::integrity_enabled() {
+        let config = if crate::env::integrity_enabled() {
             // `BULLET_INTEGRITY=1`: every figure's Bullet runs verify
             // blocks, score peer health and quarantine misbehavers.
             config.integrity()
+        } else {
+            config
+        };
+        if crate::env::overload_enabled() {
+            // `BULLET_OVERLOAD=1`: every figure's Bullet runs additionally
+            // bound their inboxes and working sets, defer joins under
+            // pressure and demote persistently slow receivers (the layer
+            // implies the integrity profile).
+            config.overload()
         } else {
             config
         }
@@ -1054,6 +1067,7 @@ mod tests {
             raw: BandwidthSeries::new(label),
             from_parent: BandwidthSeries::new(label),
             per_node_useful_bytes: Vec::new(),
+            per_node_fresh_bytes: Vec::new(),
             source: 0,
             summary: RunSummary::default(),
             routing: bullet_netsim::RoutingStats {

@@ -24,16 +24,16 @@ pub mod scenarios;
 pub mod suite;
 
 pub use env::{
-    build_topology, build_tree, constrained_source_topology, integrity_enabled, prepare_topology,
-    profile_enabled, PreparedSpec, PreparedTopology, TreeKind,
+    build_topology, build_tree, constrained_source_topology, integrity_enabled, overload_enabled,
+    prepare_topology, profile_enabled, PreparedSpec, PreparedTopology, TreeKind,
 };
 pub use figures::{quick_bullet_demo, FigureResult};
 pub use metrics::{BandwidthSeries, Cdf, RunSummary};
 pub use pool::{RunPool, Sweep};
 pub use protocols::{
     antientropy_run, antientropy_run_on, bullet_run, bullet_run_on, bullet_run_scenario,
-    bullet_run_scenario_on, gossip_run, gossip_run_on, streaming_run, streaming_run_on,
-    streaming_run_scenario, streaming_run_scenario_on,
+    bullet_run_scenario_on, bullet_run_scenario_resourced_on, gossip_run, gossip_run_on,
+    streaming_run, streaming_run_on, streaming_run_scenario, streaming_run_scenario_on,
 };
 pub use runner::{
     run_metered, run_metered_dynamic, run_metered_dynamic_with, run_metered_with, Delivery,
@@ -42,7 +42,8 @@ pub use runner::{
 pub use scale::Scale;
 pub use scenarios::{
     access_link_of, adversary_figure, churn_figure, flash_crowd_figure,
-    oscillating_bottleneck_figure, partition_figure, recovery_figure, sustained_crash_script,
-    ADVERSARY_CORRUPT_CHANCE, ADVERSARY_FRACTIONS, RECOVERY_CRASH_EVERY_SECS,
+    oscillating_bottleneck_figure, overload_figure, overload_figure_knobs, partition_figure,
+    recovery_figure, sustained_crash_script, ADVERSARY_CORRUPT_CHANCE, ADVERSARY_FRACTIONS,
+    OVERLOAD_NODE_RESOURCES, OVERLOAD_SLOW_FACTOR, RECOVERY_CRASH_EVERY_SECS,
 };
 pub use suite::{figure_suite, figure_suite_subset, render_suite, SUITE_PLAN_KEYS};

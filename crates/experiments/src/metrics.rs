@@ -185,6 +185,27 @@ pub struct RunSummary {
     /// every working set stayed clean; the defense-on/off comparison in
     /// the adversary figure is a ratio of these.
     pub clean_goodput_kbps: f64,
+    /// Total control messages shed at bounded inboxes (overload layer on;
+    /// zero otherwise).
+    pub inbox_sheds: u64,
+    /// Total join requests answered with a deferral instead of an
+    /// immediate accept/reject (overload layer on).
+    pub joins_deferred: u64,
+    /// Total deferred joins later admitted after their backoff.
+    pub joins_admitted_after_defer: u64,
+    /// Deepest per-node inbox backlog observed within any one-second
+    /// window, across the overlay (populated whether or not the overload
+    /// layer bounds it).
+    pub peak_inbox_depth: u64,
+    /// Total working-set blocks evicted by the memory budget.
+    pub working_set_evictions: u64,
+    /// Total receivers demoted for sustained slowness.
+    pub slow_demotions: u64,
+    /// Messages shed at simulated ingress queues (the netsim
+    /// `NodeResources` model; zero when no resource model is installed).
+    pub ingress_sheds: u64,
+    /// Deepest simulated ingress backlog observed across resourced nodes.
+    pub ingress_peak_depth: u64,
     /// Simulator events dispatched over the run (deterministic; always
     /// populated, telemetry on or off).
     pub sim_events: u64,

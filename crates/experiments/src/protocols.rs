@@ -6,7 +6,7 @@ use bullet_baselines::{
 };
 use bullet_core::{BulletConfig, BulletNode};
 use bullet_dynamics::ScenarioScript;
-use bullet_netsim::{Network, NetworkSpec, OverlayId, Sim};
+use bullet_netsim::{Network, NetworkSpec, NodeResources, OverlayId, Sim};
 use bullet_overlay::Tree;
 
 use crate::runner::{run_metered, run_metered_dynamic, RunResult, RunSpec};
@@ -52,6 +52,31 @@ pub fn bullet_run_scenario_on(
         .map(|i| BulletNode::new(i, tree, config.clone()))
         .collect();
     let sim = Sim::with_network(network, agents, seed);
+    run_metered_dynamic(sim, run, script)
+}
+
+/// [`bullet_run_scenario_on`] with a deterministic per-node resource model
+/// installed before the run: each `(node, model)` pair bounds that node's
+/// simulated ingress queue (see [`bullet_netsim::NodeResources`]). The
+/// overload figure gives *both* of its arms the same finite per-node
+/// capacity this way, so an unbounded application-level queue discipline
+/// has a measurable cost instead of free infinite buffering.
+pub fn bullet_run_scenario_resourced_on(
+    network: Network,
+    tree: &Tree,
+    config: &BulletConfig,
+    run: &RunSpec,
+    script: &ScenarioScript,
+    resources: &[(OverlayId, NodeResources)],
+    seed: u64,
+) -> RunResult {
+    let agents: Vec<BulletNode> = (0..network.participants())
+        .map(|i| BulletNode::new(i, tree, config.clone()))
+        .collect();
+    let mut sim = Sim::with_network(network, agents, seed);
+    for &(node, model) in resources {
+        sim.set_node_resources(node, model);
+    }
     run_metered_dynamic(sim, run, script)
 }
 

@@ -32,6 +32,10 @@ use crate::metrics::{
 pub struct Delivery {
     /// Bytes received for the first time.
     pub useful_bytes: u64,
+    /// First-delivery bytes that also arrived within the protocol's
+    /// playout freshness deadline of their generation (timely goodput;
+    /// equals `useful_bytes` for protocols that do not track block age).
+    pub fresh_bytes: u64,
     /// Bytes received in total (including duplicates).
     pub raw_bytes: u64,
     /// Bytes received from the tree parent.
@@ -66,6 +70,18 @@ pub struct Delivery {
     pub corrupt_blocks_accepted: u64,
     /// Peers quarantined for misbehavior.
     pub quarantines: u64,
+    /// Control messages shed at the bounded inbox (overload layer on).
+    pub inbox_sheds: u64,
+    /// Join requests answered with a deferral (overload layer on).
+    pub joins_deferred: u64,
+    /// Deferred joins later admitted after backoff.
+    pub joins_admitted_after_defer: u64,
+    /// Deepest one-second inbox backlog observed at this node.
+    pub peak_inbox_depth: u64,
+    /// Working-set blocks evicted by the memory budget.
+    pub working_set_evictions: u64,
+    /// Receivers demoted for sustained slowness.
+    pub slow_demotions: u64,
 }
 
 /// A protocol agent whose delivery progress the runner can observe.
@@ -80,6 +96,7 @@ impl MeteredAgent for BulletNode {
         let d = &m.delivery;
         Delivery {
             useful_bytes: d.useful_bytes,
+            fresh_bytes: d.fresh_bytes,
             raw_bytes: d.raw_bytes,
             from_parent_bytes: d.from_parent_bytes,
             duplicate_packets: d.duplicate_packets,
@@ -97,6 +114,12 @@ impl MeteredAgent for BulletNode {
             corrupt_blocks_rejected: m.corrupt_blocks_rejected,
             corrupt_blocks_accepted: m.corrupt_blocks_accepted,
             quarantines: m.quarantines,
+            inbox_sheds: m.inbox_sheds,
+            joins_deferred: m.joins_deferred,
+            joins_admitted_after_defer: m.joins_admitted_after_defer,
+            peak_inbox_depth: m.peak_inbox_depth,
+            working_set_evictions: m.working_set_evictions,
+            slow_demotions: m.slow_demotions,
         }
     }
 }
@@ -108,6 +131,7 @@ macro_rules! impl_metered_for_baseline {
                 let m = &self.metrics;
                 Delivery {
                     useful_bytes: m.useful_bytes,
+                    fresh_bytes: m.fresh_bytes,
                     raw_bytes: m.raw_bytes,
                     from_parent_bytes: m.from_parent_bytes,
                     duplicate_packets: m.duplicate_packets,
@@ -204,6 +228,11 @@ pub struct RunResult {
     /// Per-sample, per-node cumulative useful bytes (`[sample][node]`),
     /// source included; used to derive CDFs at arbitrary instants.
     pub per_node_useful_bytes: Vec<Vec<u64>>,
+    /// Per-sample, per-node cumulative *timely* useful bytes — first
+    /// deliveries within the protocol's playout freshness deadline of
+    /// their generation (`[sample][node]`, source included). Equal to
+    /// `per_node_useful_bytes` for protocols without block-age tracking.
+    pub per_node_fresh_bytes: Vec<Vec<u64>>,
     /// The source node (excluded from per-node averages).
     pub source: OverlayId,
     /// Scalar summary of the run.
@@ -270,6 +299,7 @@ struct Meter {
     n: usize,
     times: Vec<f64>,
     per_node_useful: Vec<Vec<u64>>,
+    per_node_fresh: Vec<Vec<u64>>,
     hub: MetricsHub,
     ch_useful: ChannelId,
     ch_raw: ChannelId,
@@ -291,6 +321,7 @@ impl Meter {
             n,
             times: Vec::new(),
             per_node_useful: Vec::new(),
+            per_node_fresh: Vec::new(),
             hub,
             ch_useful,
             ch_raw,
@@ -306,9 +337,11 @@ impl Meter {
         let t = now.as_secs_f64();
         self.hub.begin_window(t);
         let mut row = Vec::with_capacity(self.n);
+        let mut fresh_row = Vec::with_capacity(self.n);
         for node in 0..self.n {
             let d = sim.agent(node).delivery();
             row.push(d.useful_bytes);
+            fresh_row.push(d.fresh_bytes);
             self.hub.observe_node(self.ch_useful, node, d.useful_bytes);
             self.hub.observe_node(self.ch_raw, node, d.raw_bytes);
             self.hub
@@ -323,6 +356,7 @@ impl Meter {
         self.from_parent.push(t, latest(self.ch_parent));
         self.times.push(t);
         self.per_node_useful.push(row);
+        self.per_node_fresh.push(fresh_row);
     }
 
     fn finish<A: MeteredAgent>(
@@ -392,6 +426,12 @@ impl Meter {
             recovery.corrupt_blocks_rejected += d.corrupt_blocks_rejected;
             recovery.corrupt_blocks_accepted += d.corrupt_blocks_accepted;
             recovery.quarantines += d.quarantines;
+            recovery.inbox_sheds += d.inbox_sheds;
+            recovery.joins_deferred += d.joins_deferred;
+            recovery.joins_admitted_after_defer += d.joins_admitted_after_defer;
+            recovery.peak_inbox_depth = recovery.peak_inbox_depth.max(d.peak_inbox_depth);
+            recovery.working_set_evictions += d.working_set_evictions;
+            recovery.slow_demotions += d.slow_demotions;
             if node != spec.source {
                 receivers += 1;
                 if d.corrupt_blocks_accepted > 0 {
@@ -404,6 +444,7 @@ impl Meter {
         }
         let stress = sim.network().stress_stats();
         let repair = sim.network().repair_stats();
+        let ingress = sim.overload_stats();
         let duration_secs = spec.duration.as_secs_f64().max(1e-9);
         let summary = RunSummary {
             steady_useful_kbps: self.useful.steady_state_kbps(0.25),
@@ -431,6 +472,14 @@ impl Meter {
             corrupt_blocks_rejected: recovery.corrupt_blocks_rejected,
             corrupt_blocks_accepted: recovery.corrupt_blocks_accepted,
             quarantines: recovery.quarantines,
+            inbox_sheds: recovery.inbox_sheds,
+            joins_deferred: recovery.joins_deferred,
+            joins_admitted_after_defer: recovery.joins_admitted_after_defer,
+            peak_inbox_depth: recovery.peak_inbox_depth,
+            working_set_evictions: recovery.working_set_evictions,
+            slow_demotions: recovery.slow_demotions,
+            ingress_sheds: ingress.dropped,
+            ingress_peak_depth: ingress.peak_depth as u64,
             clean_goodput_kbps: {
                 // Goodput credited only to *clean* receivers. Blocks feed
                 // the downstream decoder, so a receiver whose working set
@@ -457,6 +506,7 @@ impl Meter {
             raw: self.raw,
             from_parent: self.from_parent,
             per_node_useful_bytes: self.per_node_useful,
+            per_node_fresh_bytes: self.per_node_fresh,
             source: spec.source,
             summary,
             routing: sim.network().routing_stats(),

@@ -15,14 +15,19 @@
 
 use std::sync::Arc;
 
+use bullet_core::OverloadConfig;
 use bullet_dynamics::{ChurnConfig, ScenarioAction, ScenarioScript};
-use bullet_netsim::{FaultPlan, NetworkSpec, OverlayId, SimTime};
+use bullet_netsim::{
+    FaultPlan, NetworkSpec, NodeResources, OverlayId, QueueDiscipline, SimDuration, SimTime,
+};
 use bullet_topology::{BandwidthProfile, LossProfile};
 
 use crate::env::{prepare_topology, TreeKind};
 use crate::figures::{chunked, push_seed_spread_notes, FigurePlan, FigureResult, Params, RunTask};
 use crate::pool::{seed_label, Sweep};
-use crate::protocols::{bullet_run_scenario_on, streaming_run_scenario_on};
+use crate::protocols::{
+    bullet_run_scenario_on, bullet_run_scenario_resourced_on, streaming_run_scenario_on,
+};
 use crate::runner::RunResult;
 use crate::scale::Scale;
 
@@ -675,6 +680,409 @@ pub(crate) fn adversary_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
         push_seed_spread_notes(&mut figure, &chunks);
         vec![figure]
     })
+}
+
+/// Overload figure: a join storm with the flash crowd's 60% joiner suffix
+/// compressed into a tenth of its ramp slams the overlay mid-stream — in
+/// repeated crash-and-rejoin waves — while roughly a tenth of the
+/// steady-state receivers understate their intake fivefold for the whole
+/// run, on nodes with finite processing capacity ([`NodeResources`]).
+/// Bullet with the overload layer (bounded prioritized inboxes,
+/// deferred-join admission control, working-set budget, slow-receiver
+/// demotion; the node's ingress is a drop-tail queue at its budget) is
+/// compared against the same overlay with unbounded queues (nothing shed,
+/// the backlog and with it every message's queueing delay growing for as
+/// long as the storm outpaces the drain) under the identical storm; the
+/// headline number is the steady-state members' goodput ratio measured
+/// through the storm.
+pub fn overload_figure(scale: Scale) -> FigureResult {
+    let sweep = Sweep::from_env();
+    let mut figures = overload_plan(scale, &sweep).run(sweep.pool());
+    figures.remove(0)
+}
+
+/// Intake-understatement factor of the overload figure's slow receivers.
+pub const OVERLOAD_SLOW_FACTOR: f64 = 0.2;
+
+/// The playout deadline the overload figure judges timeliness against: a
+/// block arriving more than this after its generation slot missed the
+/// live playout point, whatever its integrity. Both arms are scored with
+/// the same deadline.
+pub const OVERLOAD_PLAYOUT_DEADLINE: SimDuration = SimDuration::from_secs(10);
+
+/// The per-node ingress processing capacity both overload-figure arms run
+/// under: enough headroom for the stream plus routine control, not enough
+/// to absorb a join storm without either shedding (bounded arm) or
+/// falling behind (unbounded arm). The drain rate is identical across the
+/// arms — the figure compares queue *disciplines* on identical
+/// processors: the bounded arm presents a drop-tail queue at this budget
+/// (its overload layer sheds before work piles up, so its queueing delay
+/// is capped at `queue_budget / drain_per_sec`), while the unbounded arm
+/// runs [`QueueDiscipline::Unbounded`] — nothing is ever refused, the
+/// backlog grows for as long as the storm outpaces the drain, and every
+/// message (data included) is served ever later.
+pub const OVERLOAD_NODE_RESOURCES: NodeResources = NodeResources {
+    queue_budget: 60,
+    drain_per_sec: 60.0,
+    discipline: QueueDiscipline::DropTail,
+};
+
+/// Fraction of the stream window at which the storm opens.
+pub const OVERLOAD_STORM_FROM: f64 = 0.30;
+
+/// Fraction of the stream window at which the last storm cohort lands
+/// (and at which the acceptance window closes — the ratio is the members'
+/// goodput *under* the assault, not after a calm tail has let the
+/// unbounded arm drain its backlog).
+pub const OVERLOAD_STORM_TO: f64 = 0.95;
+
+/// The storm suffix is split into this many cohorts on staggered
+/// crash-and-rejoin cycles, so some cohort is always mid-join: pressure
+/// on the steady-state members is sustained for the whole storm span
+/// instead of arriving in synchronized waves with calm gaps the
+/// unbounded arm uses to drain its backlog.
+pub const OVERLOAD_STORM_COHORTS: usize = 6;
+
+/// Each cohort's crash-and-rejoin cycle length, as a fraction of the
+/// stream window.
+pub const OVERLOAD_STORM_PERIOD: f64 = 0.10;
+
+/// The tightened overload knobs of the bounded arm (the defaults target
+/// paper-scale overlays; at figure scale the storm has to hit the budgets
+/// for the mechanisms to fire).
+pub fn overload_figure_knobs() -> OverloadConfig {
+    OverloadConfig {
+        inbox_budget: 10,
+        working_set_budget: 450,
+        defer_max_exponent: 6,
+        ..OverloadConfig::default()
+    }
+}
+
+pub(crate) fn overload_plan(scale: Scale, sweep: &Sweep) -> FigurePlan {
+    let p = Params::new(scale, 37);
+    let topo = prepare_topology(
+        scale,
+        p.participants,
+        BandwidthProfile::Medium,
+        LossProfile::None,
+        p.seed,
+    );
+    let tree = Arc::new(topo.tree(TreeKind::Random { max_children: 10 }, 0, p.seed));
+
+    // Both arms share the integrity profile and the same finite ingress
+    // resources; the overload layer is the only delta. The off arm clears
+    // it explicitly so the comparison stays on/off even under
+    // `BULLET_OVERLOAD=1`.
+    let knobs = overload_figure_knobs();
+    let mut bounded_cfg = p.bullet_config(SCENARIO_RATE_BPS).overload();
+    bounded_cfg.overload = Some(knobs);
+    bounded_cfg.freshness_deadline = OVERLOAD_PLAYOUT_DEADLINE;
+    let unbounded_cfg = bullet_core::BulletConfig {
+        overload: None,
+        freshness_deadline: OVERLOAD_PLAYOUT_DEADLINE,
+        ..p.bullet_config(SCENARIO_RATE_BPS).integrity()
+    };
+
+    // The storm: the flash crowd's 60% joiner suffix, arriving over a ramp
+    // compressed tenfold (a "10x join storm" relative to the flashcrowd
+    // figure's arrival rate).
+    let storm_first = p.participants - (p.participants * 6 / 10);
+    let storm_count = p.participants - storm_first;
+    let window = p.duration.as_secs_f64() - p.stream_start.as_secs_f64();
+    let ramp = window * 0.01;
+
+    // Slow receivers: every tenth steady-state member understates its
+    // intake from stream start on.
+    let slow: Vec<OverlayId> = (1..storm_first).step_by(10).collect();
+    // The steady-state members the acceptance ratio is measured over: in
+    // the overlay before the storm and not scripted slow (the slow ones
+    // are *deliberately* degraded — that is the graceful part).
+    let members: Vec<OverlayId> = (1..storm_first).filter(|n| !slow.contains(n)).collect();
+    // Identical processors, different queue disciplines (see
+    // [`OVERLOAD_NODE_RESOURCES`]): the bounded arm's nodes shed at their
+    // budget, the unbounded arm's nodes queue everything and fall behind.
+    let arm_resources = |discipline: QueueDiscipline| -> Arc<Vec<(OverlayId, NodeResources)>> {
+        Arc::new(
+            (1..p.participants)
+                .map(|n| {
+                    (
+                        n,
+                        NodeResources {
+                            discipline,
+                            ..OVERLOAD_NODE_RESOURCES
+                        },
+                    )
+                })
+                .collect(),
+        )
+    };
+
+    let seeds = sweep.run_seeds(p.seed);
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for (label, config, discipline) in [
+        (
+            "Bullet - bounded queues",
+            &bounded_cfg,
+            QueueDiscipline::DropTail,
+        ),
+        (
+            "Bullet - unbounded queues",
+            &unbounded_cfg,
+            QueueDiscipline::Unbounded,
+        ),
+    ] {
+        let resources = arm_resources(discipline);
+        for (k, &seed) in seeds.iter().enumerate() {
+            let mut script = ScenarioScript::new();
+            for &node in &slow {
+                script.push(
+                    p.stream_start,
+                    ScenarioAction::SlowNode {
+                        node,
+                        factor: OVERLOAD_SLOW_FACTOR,
+                    },
+                );
+            }
+            // Rolling cohorts: each sixth of the suffix crashes and
+            // re-storms on its own staggered cycle, so a fresh join
+            // burst lands every `period / cohorts` seconds for the
+            // whole storm span — sustained pressure, no calm gaps.
+            let cohort_len = storm_count.div_ceil(OVERLOAD_STORM_COHORTS);
+            let storm_open = p.stream_start.as_secs_f64() + window * OVERLOAD_STORM_FROM;
+            let storm_close = p.stream_start.as_secs_f64() + window * OVERLOAD_STORM_TO;
+            let period = window * OVERLOAD_STORM_PERIOD;
+            let stagger = period / OVERLOAD_STORM_COHORTS as f64;
+            let mut wave = 0u64;
+            for c in 0..OVERLOAD_STORM_COHORTS {
+                let first = storm_first + c * cohort_len;
+                if first >= p.participants {
+                    break;
+                }
+                let count = cohort_len.min(p.participants - first);
+                let mut at = storm_open + stagger * c as f64;
+                let mut cycle = 0u32;
+                while at + ramp <= storm_close {
+                    if cycle > 0 {
+                        // The cohort crashes out a couple of seconds
+                        // before it re-storms, so every cycle is a
+                        // fresh cold-state join burst.
+                        for node in first..first + count {
+                            script.push(
+                                SimTime::from_secs_f64(at - ramp - 2.0),
+                                ScenarioAction::Crash { node },
+                            );
+                        }
+                    }
+                    script.push(
+                        SimTime::from_secs_f64(at),
+                        ScenarioAction::JoinStorm {
+                            first,
+                            count,
+                            ramp_secs: ramp,
+                            seed: seed ^ (0x0B57 + wave),
+                        },
+                    );
+                    wave += 1;
+                    at += period;
+                    cycle += 1;
+                }
+            }
+            let script = Arc::new(script);
+            let topo = topo.clone();
+            let tree = tree.clone();
+            let config = config.clone();
+            let resources = resources.clone();
+            let run = p.run_spec(&seed_label(label, k));
+            tasks.push(Box::new(move || {
+                bullet_run_scenario_resourced_on(
+                    topo.network(),
+                    &tree,
+                    &config,
+                    &run,
+                    &script,
+                    &resources,
+                    seed,
+                )
+            }));
+        }
+    }
+
+    let seeds = seeds.len();
+    let slow_len = slow.len();
+    // The acceptance ratio is measured *during the storm*: from the first
+    // cohort's arrival to the last cohort's landing. Stopping there (not
+    // at run end) keeps the post-storm calm out of the window — that calm
+    // is exactly when the unbounded arm finally drains its backlog.
+    let storm_from = p.stream_start.as_secs_f64() + window * OVERLOAD_STORM_FROM;
+    let storm_to = p.stream_start.as_secs_f64() + window * OVERLOAD_STORM_TO;
+    FigurePlan::new(tasks, move |results| {
+        let mut figure = FigureResult::new(
+            "overload",
+            "Achieved bandwidth through a 10x join storm plus persistent slow receivers on finite-capacity nodes: overload layer (bounded queues, backpressure, graceful degradation) on vs off",
+        );
+        let chunks = chunked(results, seeds);
+        for chunk in &chunks {
+            for run in chunk {
+                figure.add_run(run);
+            }
+        }
+        let (bounded, unbounded) = (&chunks[0][0], &chunks[1][0]);
+        let member_on = member_goodput_kbps(bounded, &members, storm_from, storm_to);
+        let member_off = member_goodput_kbps(unbounded, &members, storm_from, storm_to);
+        figure
+            .scalars
+            .push(("bounded_member_goodput_kbps".into(), member_on));
+        figure
+            .scalars
+            .push(("unbounded_member_goodput_kbps".into(), member_off));
+        let ratio = member_on / member_off.max(1e-9);
+        // The members hurt most by receive livelock are the ones behind
+        // the saturated interior nodes: compare the worst quartile of the
+        // per-member distribution, not just the mean.
+        let worst_quartile = |run: &RunResult| -> f64 {
+            let mut per: Vec<f64> = members
+                .iter()
+                .map(|&n| member_goodput_kbps(run, &[n], storm_from, storm_to))
+                .collect();
+            per.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = (per.len() / 4).max(1);
+            per[..q].iter().sum::<f64>() / q as f64
+        };
+        let (wq_on, wq_off) = (worst_quartile(bounded), worst_quartile(unbounded));
+        figure
+            .scalars
+            .push(("bounded_worst_quartile_kbps".into(), wq_on));
+        figure
+            .scalars
+            .push(("unbounded_worst_quartile_kbps".into(), wq_off));
+        figure.notes.push(format!(
+            "{storm_count} joiners in {OVERLOAD_STORM_COHORTS} rolling crash-and-rejoin cohorts (ramp {ramp:.1}s, cycle {:.0}s), plus {slow_len} slow receivers (factor {OVERLOAD_SLOW_FACTOR}); every node drains {}/s — bounded arm drop-tails at {} queued messages, unbounded arm queues everything and falls behind",
+            window * OVERLOAD_STORM_PERIOD,
+            OVERLOAD_NODE_RESOURCES.drain_per_sec,
+            OVERLOAD_NODE_RESOURCES.queue_budget,
+        ));
+        figure.notes.push(format!(
+            "steady-state members through the storm, timely within the {}s playout deadline: bounded {member_on:.0} Kbps vs unbounded {member_off:.0} Kbps ({ratio:.1}x mean, {:.1}x for the worst-quartile members at {wq_on:.0} vs {wq_off:.0} Kbps); overlay-wide steady useful {:.0} vs {:.0} Kbps",
+            OVERLOAD_PLAYOUT_DEADLINE.as_secs_f64(),
+            wq_on / wq_off.max(1e-9),
+            bounded.summary.steady_useful_kbps, unbounded.summary.steady_useful_kbps,
+        ));
+        let s = &bounded.summary;
+        figure.notes.push(format!(
+            "bounded arm: {} inbox sheds (peak window depth {} vs budget {}), {} joins deferred / {} admitted after backoff, {} working-set evictions (budget {}), {} slow demotions; ingress peak backlog {} (sheds {}) vs {} unbounded (grows unshed)",
+            s.inbox_sheds,
+            s.peak_inbox_depth,
+            knobs.inbox_budget,
+            s.joins_deferred,
+            s.joins_admitted_after_defer,
+            s.working_set_evictions,
+            knobs.working_set_budget,
+            s.slow_demotions,
+            s.ingress_peak_depth,
+            s.ingress_sheds,
+            unbounded.summary.ingress_peak_depth,
+        ));
+        if std::env::var("BULLET_OVERLOAD_DEBUG").is_ok() {
+            for (b, u) in chunks[0].iter().zip(&chunks[1]) {
+                for (name, run) in [("bounded", b), ("unbounded", u)] {
+                    let mut per: Vec<f64> = members
+                        .iter()
+                        .map(|&n| member_goodput_kbps(run, &[n], storm_from, storm_to))
+                        .collect();
+                    per.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    figure.notes.push(format!(
+                        "debug per-member {name}: {}",
+                        per.iter()
+                            .map(|v| format!("{v:.0}"))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    ));
+                }
+            }
+            for (name, run) in [("bounded", bounded), ("unbounded", unbounded)] {
+                let series: Vec<String> = (1..run.times.len())
+                    .map(|i| {
+                        let dt = (run.times[i] - run.times[i - 1]).max(1e-9);
+                        let rate: f64 = members
+                            .iter()
+                            .map(|&n| {
+                                run.per_node_fresh_bytes[i][n]
+                                    .saturating_sub(run.per_node_fresh_bytes[i - 1][n])
+                                    as f64
+                                    * 8.0
+                                    / dt
+                                    / 1_000.0
+                            })
+                            .sum::<f64>()
+                            / members.len() as f64;
+                        format!("{:.0}", rate)
+                    })
+                    .collect();
+                figure
+                    .notes
+                    .push(format!("debug member timely {name}: {}", series.join(" ")));
+            }
+        }
+        if seeds > 1 {
+            // Extra sweep seeds regenerate the storm under fresh RNG: show
+            // the headline ratio's stability across them.
+            let spread: Vec<String> = (0..seeds)
+                .map(|k| {
+                    format!(
+                        "{:.0}/{:.0}",
+                        member_goodput_kbps(&chunks[0][k], &members, storm_from, storm_to),
+                        member_goodput_kbps(&chunks[1][k], &members, storm_from, storm_to),
+                    )
+                })
+                .collect();
+            figure.notes.push(format!(
+                "per-seed member goodput (bounded/unbounded Kbps): {}",
+                spread.join(", ")
+            ));
+        }
+        push_seed_spread_notes(&mut figure, &chunks);
+        vec![figure]
+    })
+}
+
+/// Mean *timely* useful bandwidth (Kbps) of `nodes` between `from_secs`
+/// and `to_secs` (clamped to the sampled range), from the per-node
+/// cumulative fresh-byte rows: only first deliveries inside the playout
+/// freshness deadline count — a block that spent longer than the deadline
+/// in queues is useless to a live viewer however intact it arrives. The
+/// overload figure measures its steady-state members from the first storm
+/// cohort's arrival to the last one's landing.
+fn member_goodput_kbps(
+    result: &RunResult,
+    nodes: &[OverlayId],
+    from_secs: f64,
+    to_secs: f64,
+) -> f64 {
+    let len = result.times.len();
+    if len < 2 || nodes.is_empty() {
+        return 0.0;
+    }
+    let start = result
+        .times
+        .iter()
+        .position(|&t| t >= from_secs)
+        .unwrap_or(len - 2)
+        .min(len - 2);
+    let end = result
+        .times
+        .iter()
+        .rposition(|&t| t <= to_secs)
+        .unwrap_or(len - 1)
+        .max(start + 1);
+    let dt = (result.times[end] - result.times[start]).max(1e-9);
+    let first = &result.per_node_fresh_bytes[start];
+    let last = &result.per_node_fresh_bytes[end];
+    nodes
+        .iter()
+        .map(|&n| last[n].saturating_sub(first[n]) as f64 * 8.0 / dt / 1_000.0)
+        .sum::<f64>()
+        / nodes.len() as f64
 }
 
 #[cfg(test)]

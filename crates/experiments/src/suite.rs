@@ -20,8 +20,8 @@ use crate::pool::Sweep;
 use crate::report::render_figure;
 use crate::scale::Scale;
 use crate::scenarios::{
-    adversary_plan, churn_plan, flash_crowd_plan, oscillating_bottleneck_plan, partition_plan,
-    recovery_plan,
+    adversary_plan, churn_plan, flash_crowd_plan, oscillating_bottleneck_plan, overload_plan,
+    partition_plan, recovery_plan,
 };
 
 /// The plan keys of the full suite, in assembly order. Subset requests
@@ -44,6 +44,7 @@ pub const SUITE_PLAN_KEYS: &[&str] = &[
     "recovery",
     "partition",
     "adversary",
+    "overload",
 ];
 
 /// Builds the plans selected by `keys` (see [`SUITE_PLAN_KEYS`]).
@@ -81,6 +82,7 @@ fn plans_for(scale: Scale, sweep: &Sweep, keys: &[&str]) -> Vec<FigurePlan> {
                 "recovery" => recovery_plan(scale, sweep),
                 "partition" => partition_plan(scale, sweep),
                 "adversary" => adversary_plan(scale, sweep),
+                "overload" => overload_plan(scale, sweep),
                 other => panic!("unknown figure plan key {other:?} (see SUITE_PLAN_KEYS)"),
             }) as crate::pool::Task<'_, FigurePlan>
         })

@@ -70,5 +70,7 @@ pub use rng::SimRng;
 pub use routing::{
     Adjacency, LandmarkRepair, LazyRouter, LazyRouterStats, RoutingMode, ShortestPaths,
 };
-pub use sim::{FaultPlan, NodeTraffic, Sim, SimCounters};
+pub use sim::{
+    FaultPlan, NodeOverloadStats, NodeResources, NodeTraffic, QueueDiscipline, Sim, SimCounters,
+};
 pub use time::{transmission_time, SimDuration, SimTime};

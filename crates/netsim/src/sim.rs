@@ -66,6 +66,81 @@ pub struct SimCounters {
     pub timers_fired: u64,
     /// Events processed in total.
     pub events: u64,
+    /// Messages shed at a destination whose ingress queue budget was
+    /// exhausted (the [`NodeResources`] overload model).
+    pub dropped_overload: u64,
+}
+
+/// Deterministic per-node resource model for overload experiments.
+///
+/// When installed via [`Sim::set_node_resources`], the node's ingress is
+/// accounted as a virtual work queue: each delivered message occupies the
+/// node for `1 / drain_per_sec` of simulated time, and a message arriving
+/// while earlier work is still backlogged waits its turn — it is delivered
+/// when its own service slot completes, so a queue's depth is felt as
+/// queueing delay exactly as on a real processor. What happens when the
+/// queue is *full* is the [`QueueDiscipline`]: a `DropTail` node sheds the
+/// arrival deterministically (counted in [`SimCounters::dropped_overload`]
+/// and traced as an `overload` drop) and its delay therefore never exceeds
+/// `queue_budget / drain_per_sec`; an `Unbounded` node admits everything
+/// and its backlog — and with it every later message's delay — grows
+/// without limit for as long as arrivals outpace the drain. The model
+/// draws no RNG and preserves per-node FIFO order; a simulator with no
+/// resources installed behaves byte-identically to one built before this
+/// type existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeResources {
+    /// Backlogged messages at which the discipline kicks in. A `DropTail`
+    /// node sheds arrivals beyond this depth; an `Unbounded` node ignores
+    /// it (the field still scales nothing — depth is observable through
+    /// [`NodeOverloadStats::peak_depth`] either way).
+    pub queue_budget: u32,
+    /// Messages' worth of work the node retires per simulated second.
+    pub drain_per_sec: f64,
+    /// What a full queue does to the next arrival.
+    pub discipline: QueueDiscipline,
+}
+
+/// The full-queue policy of a [`NodeResources`] ingress queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueueDiscipline {
+    /// Arrivals beyond `queue_budget` are shed; queueing delay is bounded
+    /// by `queue_budget / drain_per_sec`. (The discipline a node with
+    /// bounded application queues presents to the network.)
+    #[default]
+    DropTail,
+    /// Every arrival is admitted; the backlog and the queueing delay grow
+    /// without bound while arrivals outpace the drain. (The discipline of
+    /// the unbounded-queue baseline: nothing is ever refused, everything
+    /// is eventually served — late.)
+    Unbounded,
+}
+
+/// Live accounting for one node's [`NodeResources`] model.
+#[derive(Clone, Copy, Debug)]
+struct ResourceState {
+    model: NodeResources,
+    /// `false` after [`Sim::clear_node_resources`]: the stats stay
+    /// readable but the queue stops constraining (or delaying) anything.
+    active: bool,
+    /// The node is busy retiring already-admitted work until this instant
+    /// (in integer microseconds, so the depth arithmetic is exact).
+    busy_until_us: u64,
+    /// Deepest backlog observed at any admission decision.
+    peak_depth: u32,
+    /// Messages shed at this node.
+    dropped: u64,
+}
+
+/// Per-node overload observations: `(peak queue depth, messages shed)`.
+/// Returned by [`Sim::node_overload_stats`]; all-zero when no resource
+/// model is installed for the node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeOverloadStats {
+    /// Deepest ingress backlog observed.
+    pub peak_depth: u32,
+    /// Messages shed at the ingress queue.
+    pub dropped: u64,
 }
 
 /// Deterministic per-sender fault and adversary model.
@@ -130,6 +205,10 @@ struct Flight<M> {
     route: RouteId,
     /// Next hop index into the route's links.
     hop: u32,
+    /// The destination's [`NodeResources`] queue already admitted this
+    /// flight and booked its service time; the pending `Deliver` event is
+    /// the end of its service slot, not its network arrival.
+    charged: bool,
 }
 
 /// Index into the simulator's flight pool.
@@ -301,6 +380,9 @@ pub struct Sim<A: Agent> {
     /// Per-node control-plane fault plans (`None` until the first plan is
     /// installed, so fault-free runs pay nothing and draw no RNG).
     faults: Option<Vec<Option<FaultPlan>>>,
+    /// Per-node overload resource models (`None` until the first model is
+    /// installed, so unconstrained runs pay nothing).
+    resources: Option<Vec<Option<ResourceState>>>,
     /// Active partition side flags (`None` when the network is whole).
     /// Messages between nodes with differing flags are dropped.
     partition: Option<Vec<bool>>,
@@ -380,6 +462,7 @@ impl<A: Agent> Sim<A> {
             queued_timers: 0,
             timer_compactions: 0,
             faults: None,
+            resources: None,
             partition: None,
             started: false,
             counters: SimCounters::default(),
@@ -567,6 +650,85 @@ impl<A: Agent> Sim<A> {
     /// The fault plan currently installed for `node`, if any.
     pub fn fault_plan(&self, node: OverlayId) -> Option<FaultPlan> {
         self.faults.as_ref().and_then(|plans| plans[node])
+    }
+
+    /// Installs (or replaces) `node`'s overload [`NodeResources`] model.
+    /// Takes effect for every message delivered to the node from now on;
+    /// accumulated backlog and stats carry over when a model is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is degenerate (`queue_budget == 0` would shed
+    /// everything; a non-positive `drain_per_sec` never drains).
+    pub fn set_node_resources(&mut self, node: OverlayId, model: NodeResources) {
+        assert!(model.queue_budget > 0, "queue budget must be positive");
+        assert!(
+            model.drain_per_sec > 0.0,
+            "drain rate must be positive, got {}",
+            model.drain_per_sec
+        );
+        let n = self.agents.len();
+        let slot = &mut self.resources.get_or_insert_with(|| vec![None; n])[node];
+        match slot {
+            Some(state) => {
+                state.model = model;
+                state.active = true;
+            }
+            None => {
+                *slot = Some(ResourceState {
+                    model,
+                    active: true,
+                    busy_until_us: 0,
+                    peak_depth: 0,
+                    dropped: 0,
+                })
+            }
+        }
+    }
+
+    /// Removes `node`'s resource model (its ingress is uncharged again).
+    /// Accumulated [`NodeOverloadStats`] are kept for post-run inspection.
+    pub fn clear_node_resources(&mut self, node: OverlayId) {
+        if let Some(states) = &mut self.resources {
+            if let Some(state) = &mut states[node] {
+                // Keep the stats visible but stop constraining: deliveries
+                // are neither shed nor charged (nor delayed) any more.
+                state.active = false;
+            }
+        }
+    }
+
+    /// The resource model currently installed for `node`, if any.
+    pub fn node_resources(&self, node: OverlayId) -> Option<NodeResources> {
+        self.resources
+            .as_ref()
+            .and_then(|states| states[node].filter(|s| s.active).map(|s| s.model))
+    }
+
+    /// Overload observations for `node`: peak ingress backlog and messages
+    /// shed. All-zero when no resource model was ever installed.
+    pub fn node_overload_stats(&self, node: OverlayId) -> NodeOverloadStats {
+        self.resources
+            .as_ref()
+            .and_then(|states| states[node])
+            .map(|s| NodeOverloadStats {
+                peak_depth: s.peak_depth,
+                dropped: s.dropped,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Overload observations aggregated across every node with a resource
+    /// model: `(max peak depth, total messages shed)`.
+    pub fn overload_stats(&self) -> NodeOverloadStats {
+        let mut total = NodeOverloadStats::default();
+        if let Some(states) = &self.resources {
+            for state in states.iter().flatten() {
+                total.peak_depth = total.peak_depth.max(state.peak_depth);
+                total.dropped += state.dropped;
+            }
+        }
+        total
     }
 
     /// Partitions the network: the listed nodes land on one side, everyone
@@ -820,6 +982,44 @@ impl<A: Agent> Sim<A> {
             });
             return;
         }
+        // Overload resource model (first arrival only — a `charged` flight
+        // already waited out its service slot): the message is shed if the
+        // destination is a `DropTail` queue at budget; otherwise its
+        // service time is booked and, when earlier work is still
+        // backlogged, its delivery is deferred to the end of its own slot.
+        // Later bookings get strictly later slots, so per-node FIFO order
+        // is preserved, and the model draws no RNG.
+        if !flight.charged {
+            if let Some(states) = &mut self.resources {
+                if let Some(state) = states[node].as_mut().filter(|s| s.active) {
+                    let now_us = self.now.as_micros();
+                    let service_us = ((1e6 / state.model.drain_per_sec) as u64).max(1);
+                    let backlog_us = state.busy_until_us.saturating_sub(now_us);
+                    let depth = (backlog_us / service_us) as u32;
+                    if depth >= state.model.queue_budget
+                        && state.model.discipline == QueueDiscipline::DropTail
+                    {
+                        state.dropped += 1;
+                        self.counters.dropped_overload += 1;
+                        self.trace(CAT_SIM, flight.from as u32, || TraceData::Drop {
+                            to: node as u32,
+                            reason: DropReason::Overload,
+                        });
+                        return;
+                    }
+                    state.busy_until_us = state.busy_until_us.max(now_us) + service_us;
+                    state.peak_depth = state.peak_depth.max(depth + 1);
+                    if backlog_us > 0 {
+                        let at = SimTime::from_micros(state.busy_until_us);
+                        let mut flight = flight;
+                        flight.charged = true;
+                        let fid = self.flights.alloc(flight);
+                        self.push(at, EventKind::Deliver(fid));
+                        return;
+                    }
+                }
+            }
+        }
         self.counters.delivered += 1;
         match flight.class {
             MsgClass::Data => self.traffic[node].data_bytes_in += flight.size_bytes as u64,
@@ -981,6 +1181,7 @@ impl<A: Agent> Sim<A> {
                 trace,
                 route,
                 hop: 0,
+                charged: false,
             });
             self.push(self.now + launch_delay, EventKind::Hop(copy));
         }
@@ -993,6 +1194,7 @@ impl<A: Agent> Sim<A> {
             trace,
             route,
             hop: 0,
+            charged: false,
         });
         self.push(self.now + launch_delay, EventKind::Hop(fid));
     }
@@ -1565,6 +1767,175 @@ mod tests {
         assert!(c.dropped_faulted > 0, "drop chance never hit");
         assert!(c.duplicated_faulted > 0, "duplicate chance never hit");
         assert!(c.delayed_faulted > 0, "delay chance never hit");
+    }
+
+    #[test]
+    fn resource_model_sheds_deterministically_past_the_budget() {
+        // A burst of 10 back-to-back messages against a budget of 4 with a
+        // slow drain: the first few occupy the queue, the rest are shed
+        // (arrivals stagger by the link's serialization time, so one extra
+        // message squeezes in while the head of the queue drains).
+        let run = || {
+            let spec = two_node_spec();
+            let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+            let mut sim = Sim::new(&spec, agents, 1);
+            sim.set_node_resources(
+                1,
+                NodeResources {
+                    queue_budget: 4,
+                    drain_per_sec: 10.0,
+                    discipline: QueueDiscipline::DropTail,
+                },
+            );
+            for i in 0..10 {
+                sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, PingMsg::Ping(i), 100));
+            }
+            sim.run_until(SimTime::from_secs(1));
+            (sim.counters(), sim.node_overload_stats(1))
+        };
+        let (counters, stats) = run();
+        assert_eq!(counters.dropped_overload, 5);
+        assert_eq!(counters.delivered, 5 + 5, "5 pings admitted, 5 pongs back");
+        assert_eq!(stats.dropped, 5);
+        assert_eq!(stats.peak_depth, 4, "backlog peaked at the budget");
+        assert_eq!((counters, stats), run(), "the model is deterministic");
+    }
+
+    #[test]
+    fn resource_model_drains_over_time_and_admits_again() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_node_resources(
+            1,
+            NodeResources {
+                queue_budget: 2,
+                drain_per_sec: 10.0, // 100 ms of work per message
+                discipline: QueueDiscipline::DropTail,
+            },
+        );
+        for i in 0..4 {
+            sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, PingMsg::Ping(i), 100));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.counters().dropped_overload, 1, "burst overflows");
+        // A second's idle drained the backlog; a fresh send is admitted.
+        sim.invoke_agent(0, |_, ctx| ctx.send_data(1, PingMsg::Ping(9), 100));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.counters().dropped_overload, 1, "drained queue admits");
+        assert_eq!(sim.node_overload_stats(1).dropped, 1);
+        assert_eq!(sim.node_resources(1).map(|m| m.queue_budget), Some(2));
+        assert_eq!(sim.node_resources(0), None);
+    }
+
+    #[test]
+    fn clearing_a_resource_model_unbounds_ingress_but_keeps_stats() {
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_node_resources(
+            1,
+            NodeResources {
+                queue_budget: 1,
+                drain_per_sec: 1.0,
+                discipline: QueueDiscipline::DropTail,
+            },
+        );
+        for i in 0..3 {
+            sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, PingMsg::Ping(i), 100));
+        }
+        sim.run_until(SimTime::from_millis(100));
+        let shed = sim.counters().dropped_overload;
+        assert!(shed > 0, "budget of 1 must shed a burst of 3");
+        sim.clear_node_resources(1);
+        for i in 0..20 {
+            sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, PingMsg::Ping(i), 100));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sim.counters().dropped_overload,
+            shed,
+            "cleared model sheds nothing more"
+        );
+        assert_eq!(sim.node_overload_stats(1).dropped, shed, "stats kept");
+        assert_eq!(sim.overload_stats().dropped, shed);
+    }
+
+    #[test]
+    fn unbounded_discipline_delays_instead_of_shedding() {
+        // The same burst against the same drain, but with the unbounded
+        // discipline: nothing is shed, the backlog sails past the nominal
+        // budget, and the tail of the burst is served late — the messages
+        // all arrive eventually, each a service slot after the previous.
+        let spec = two_node_spec();
+        let agents = vec![PingAgent::new(1, false, 0), PingAgent::new(0, false, 0)];
+        let mut sim = Sim::new(&spec, agents, 1);
+        sim.set_node_resources(
+            1,
+            NodeResources {
+                queue_budget: 4,
+                drain_per_sec: 10.0,
+                discipline: QueueDiscipline::Unbounded,
+            },
+        );
+        for i in 0..10 {
+            sim.invoke_agent(0, move |_, ctx| ctx.send_data(1, PingMsg::Ping(i), 100));
+        }
+        // At 0.5s only ~5 of the 10 serialized arrivals have cleared the
+        // 100ms-per-message queue; by 2s all of them have.
+        sim.run_until(SimTime::from_millis(500));
+        let midway = sim.counters().delivered;
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.counters().dropped_overload, 0, "unbounded never sheds");
+        assert_eq!(sim.node_overload_stats(1).dropped, 0);
+        assert!(
+            sim.node_overload_stats(1).peak_depth > 4,
+            "backlog grows past the nominal budget, got {}",
+            sim.node_overload_stats(1).peak_depth
+        );
+        assert_eq!(
+            sim.counters().delivered,
+            10 + 10,
+            "every ping (and its pong) is eventually served"
+        );
+        assert!(
+            midway < sim.counters().delivered,
+            "the tail of the burst was still queued at 0.5s ({midway} delivered)"
+        );
+    }
+
+    #[test]
+    fn resource_model_free_runs_are_untouched() {
+        let run = |constrain: bool| {
+            let spec = two_node_spec();
+            let agents = vec![PingAgent::new(1, true, 50), PingAgent::new(0, false, 0)];
+            let mut sim = Sim::new(&spec, agents, 7);
+            if constrain {
+                // A budget far above the workload: installed but never hit.
+                sim.set_node_resources(
+                    1,
+                    NodeResources {
+                        queue_budget: 1_000_000,
+                        drain_per_sec: 1e9,
+                        discipline: QueueDiscipline::DropTail,
+                    },
+                );
+            }
+            sim.run_until(SimTime::from_secs(10));
+            (
+                sim.counters(),
+                sim.agent(0).pongs_received.clone(),
+                sim.traffic(1),
+            )
+        };
+        let (mut c, pongs, traffic) = run(true);
+        assert_eq!(c.dropped_overload, 0);
+        c.dropped_overload = 0;
+        assert_eq!(
+            (c, pongs, traffic),
+            run(false),
+            "an unexercised model must not perturb the run"
+        );
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub struct DeliveryCounters {
     pub total_packets: u64,
     /// Distinct sequence numbers received.
     pub useful_packets: u64,
+    /// Useful bytes that additionally arrived within the protocol's
+    /// freshness deadline of their generation at the source — the
+    /// *timely* goodput a live playout can actually use. Protocols that
+    /// do not track block age leave this equal to [`useful_bytes`]
+    /// (every first delivery counted as timely).
+    ///
+    /// [`useful_bytes`]: DeliveryCounters::useful_bytes
+    pub fresh_bytes: u64,
     /// Packets generated (source only).
     pub packets_generated: u64,
 }
@@ -46,7 +54,13 @@ impl DeliveryCounters {
         }
     }
 
-    /// Records the reception of a data packet.
+    /// Records the reception of a data packet. First deliveries are
+    /// counted as timely ([`fresh_bytes`]); a protocol that tracks block
+    /// age calls [`record_stale`] afterwards for first deliveries that
+    /// missed its freshness deadline.
+    ///
+    /// [`fresh_bytes`]: DeliveryCounters::fresh_bytes
+    /// [`record_stale`]: DeliveryCounters::record_stale
     pub fn record_receive(&mut self, bytes: u32, from_parent: bool, duplicate: bool) {
         self.raw_bytes += bytes as u64;
         self.total_packets += 1;
@@ -63,7 +77,16 @@ impl DeliveryCounters {
         } else {
             self.useful_bytes += bytes as u64;
             self.useful_packets += 1;
+            self.fresh_bytes += bytes as u64;
         }
+    }
+
+    /// Reclassifies a just-recorded first delivery as late: the block
+    /// arrived past the protocol's freshness deadline, so a live playout
+    /// cannot use it. Call immediately after the corresponding
+    /// [`record_receive`](DeliveryCounters::record_receive).
+    pub fn record_stale(&mut self, bytes: u32) {
+        self.fresh_bytes = self.fresh_bytes.saturating_sub(bytes as u64);
     }
 }
 
@@ -79,6 +102,9 @@ mod tests {
         m.record_receive(1_500, false, true);
         m.record_receive(1_500, true, true);
         assert_eq!(m.useful_bytes, 3_000);
+        assert_eq!(m.fresh_bytes, 3_000);
+        m.record_stale(1_500);
+        assert_eq!(m.fresh_bytes, 1_500);
         assert_eq!(m.raw_bytes, 6_000);
         assert_eq!(m.from_parent_bytes, 3_000);
         assert_eq!(m.from_peers_bytes, 3_000);

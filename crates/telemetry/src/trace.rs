@@ -46,6 +46,9 @@ pub enum DropReason {
     /// Lost inside the network: queue overflow, random loss, or a dead
     /// router on the path.
     Network,
+    /// The destination node's ingress queue budget was exhausted (the
+    /// deterministic overload resource model shed it).
+    Overload,
 }
 
 impl DropReason {
@@ -58,6 +61,7 @@ impl DropReason {
             DropReason::Stalled => "stalled",
             DropReason::NoRoute => "no_route",
             DropReason::Network => "network",
+            DropReason::Overload => "overload",
         }
     }
 }

@@ -1,0 +1,43 @@
+//! Prints the deterministic fingerprint of the fixed 64-node overload run.
+//!
+//! The workload (shared with `tests/determinism.rs` via
+//! `tests/support/overload64.rs`) drives the bullet64 star with the
+//! overload-resilience layer enabled through a 16-node join storm and six
+//! scripted slow receivers. The determinism test pins this fingerprint to
+//! golden values; this example exists so they can be (re)captured on any
+//! build.
+//!
+//! Run with `cargo run --release --example overload_probe`.
+
+#[path = "../tests/support/overload64.rs"]
+mod overload64;
+
+fn main() {
+    let (c, digest, bytes_sent, stats, activity) = overload64::fingerprint();
+    println!(
+        "counters: delivered={} dropped_in_network={} dropped_dest_failed={} \
+         dropped_src_failed={} timers_fired={} events={}",
+        c.delivered,
+        c.dropped_in_network,
+        c.dropped_dest_failed,
+        c.dropped_src_failed,
+        c.timers_fired,
+        c.events
+    );
+    println!("delivery_digest: {digest:#018x}");
+    println!("total_bytes_sent: {bytes_sent}");
+    println!(
+        "scenario: joins={} slow_nodes={}",
+        stats.joins, stats.slow_nodes
+    );
+    println!(
+        "overload: sheds={} deferred={} admitted_after_defer={} peak_inbox={} \
+         evictions={} demotions={}",
+        activity.inbox_sheds,
+        activity.joins_deferred,
+        activity.joins_admitted_after_defer,
+        activity.peak_inbox_depth,
+        activity.working_set_evictions,
+        activity.slow_demotions
+    );
+}

@@ -17,6 +17,8 @@ mod bullet64;
 mod churn64;
 #[path = "support/faults64.rs"]
 mod faults64;
+#[path = "support/overload64.rs"]
+mod overload64;
 #[path = "support/paper_smoke.rs"]
 mod paper_smoke;
 
@@ -161,7 +163,12 @@ fn faults_64_is_deterministic_across_runs() {
 /// below were captured with `examples/adversary_probe.rs` on the first
 /// integrity build; the digest covers the integrity metrics (blocks
 /// verified, corrupt rejected/accepted, health penalties, quarantines)
-/// per node, so any behavioural drift in the defense moves it.
+/// per node, so any behavioural drift in the defense moves it. The digest
+/// was recaptured when the stall-penalty misfire was fixed (penalties now
+/// require an outstanding *owed* block): honest idle senders stopped
+/// accruing penalties, which moves the per-node penalty counts — and only
+/// them; every simulator counter, event count and quarantine decision is
+/// unchanged.
 #[test]
 fn adversary_64_matches_golden_run() {
     let (counters, digest, bytes_sent, epoch, stats, quarantines) = adversary64::fingerprint();
@@ -175,7 +182,7 @@ fn adversary_64_matches_golden_run() {
     assert_eq!(counters.stalled_adversary, 1_075);
     assert_eq!(counters.timers_fired, 10_699);
     assert_eq!(counters.events, 98_337);
-    assert_eq!(digest, 0xe3fc_7a5b_b241_387f);
+    assert_eq!(digest, 0x722f_465c_502e_41d6);
     assert_eq!(bytes_sent, 51_218_216);
     // Adversary plans never touch routes: no topology epochs.
     assert_eq!(epoch, 0);
@@ -191,6 +198,45 @@ fn adversary_64_matches_golden_run() {
 #[test]
 fn adversary_64_is_deterministic_across_runs() {
     assert_eq!(adversary64::fingerprint(), adversary64::fingerprint());
+}
+
+/// The 64-node overload run: the bullet64 star with the overload-resilience
+/// layer enabled (bounded prioritized inboxes, join admission control,
+/// working-set memory budget, slow-receiver demotion) driven through a
+/// 16-node join storm and six scripted slow receivers. The goldens below
+/// were captured with `examples/overload_probe.rs` on the first overload
+/// build; the digest covers the overload metrics (sheds, deferrals,
+/// later admissions, peak inbox depth, evictions, demotions) per node, so
+/// any behavioural drift in the defense moves it.
+#[test]
+fn overload_64_matches_golden_run() {
+    let (counters, digest, bytes_sent, stats, activity) = overload64::fingerprint();
+    assert_eq!(counters.delivered, 94_318);
+    assert_eq!(counters.dropped_in_network, 415);
+    assert_eq!(counters.dropped_dest_failed, 205);
+    assert_eq!(counters.dropped_src_failed, 0);
+    assert_eq!(counters.timers_fired, 13_551);
+    assert_eq!(counters.events, 392_523);
+    assert_eq!(digest, 0x02e0_ef65_ed69_08ad);
+    assert_eq!(bytes_sent, 221_772_616);
+    // The script applied in full: 16 storm joins, 6 slow-node switches.
+    assert_eq!(stats.joins, 16);
+    assert_eq!(stats.slow_nodes, 6);
+    // Every overload mechanism actually fired.
+    assert_eq!(activity.inbox_sheds, 529);
+    assert_eq!(activity.joins_deferred, 825);
+    assert_eq!(activity.joins_admitted_after_defer, 90);
+    assert_eq!(activity.peak_inbox_depth, 74);
+    assert_eq!(activity.working_set_evictions, 7_517);
+    assert_eq!(activity.slow_demotions, 4);
+}
+
+/// Two overload runs with the same seed must be byte-identical: storm
+/// expansion, deferral backoffs, shedding decisions, budget evictions and
+/// slow demotions are all deterministic.
+#[test]
+fn overload_64_is_deterministic_across_runs() {
+    assert_eq!(overload64::fingerprint(), overload64::fingerprint());
 }
 
 /// The `BULLET_SCALE=paper` smoke run: 256 Bullet nodes streaming for a few

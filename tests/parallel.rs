@@ -19,6 +19,8 @@ mod bullet64;
 mod churn64;
 #[path = "support/faults64.rs"]
 mod faults64;
+#[path = "support/overload64.rs"]
+mod overload64;
 
 use bullet_suite::experiments::{figure_suite_subset, render_suite, Scale, Sweep};
 
@@ -145,6 +147,27 @@ fn adversary64_golden_is_identical_under_concurrency() {
     let concurrent: Vec<_> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..8)
             .map(|_| scope.spawn(adversary64::fingerprint))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    for fingerprint in concurrent {
+        assert_eq!(fingerprint, reference);
+    }
+}
+
+/// Same gate for the overload64 golden: the overload-resilience layer —
+/// bounded-inbox shedding, join deferral backoffs, working-set budget
+/// evictions, slow-receiver demotions, and the join-storm expansion — must
+/// be byte-identical at any thread count.
+#[test]
+fn overload64_golden_is_identical_under_concurrency() {
+    let reference = overload64::fingerprint();
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| scope.spawn(overload64::fingerprint))
             .collect();
         workers
             .into_iter()

@@ -791,6 +791,124 @@ fn integrity_attack_lands_when_the_defense_is_off() {
     }
 }
 
+/// Liveness under maximum pressure: with every overload budget at its
+/// tightest and finite drop-tail ingress on every node, half the overlay
+/// storming in mid-stream, and scripted slow receivers, nothing starves.
+/// Every deferred join is eventually admitted (each storm node ends the
+/// run receiving data), and every receiver keeps making fresh progress
+/// late in the run — the overload layer sheds and defers, it never wedges.
+#[test]
+fn overload_max_pressure_never_starves_receivers() {
+    use bullet_suite::bullet::config::OverloadConfig;
+    use bullet_suite::bullet::{BulletConfig, BulletNode};
+    use bullet_suite::dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript};
+    use bullet_suite::netsim::{NodeResources, QueueDiscipline, Sim, SimTime};
+    use bullet_suite::overlay::random_tree;
+
+    const NODES: usize = 24;
+    for seed in [1u64, 2, 3] {
+        let mut spec = NetworkSpec::new(NODES + 1);
+        for i in 0..NODES {
+            spec.add_link(LinkSpec::new(
+                NODES,
+                i,
+                2_000_000.0,
+                SimDuration::from_millis(10),
+            ));
+            spec.attach(i);
+        }
+        let mut rng = SimRng::new(seed);
+        let tree = random_tree(NODES, 0, 4, &mut rng);
+        let mut config = BulletConfig {
+            stream_rate_bps: 400_000.0,
+            stream_start: SimTime::from_secs(2),
+            ransub_epoch: SimDuration::from_secs(2),
+            filter_refresh_interval: SimDuration::from_secs(2),
+            mesh_eval_interval: SimDuration::from_secs(5),
+            ..BulletConfig::default()
+        }
+        .overload();
+        config.overload = Some(OverloadConfig {
+            inbox_budget: 2,
+            working_set_budget: 80,
+            ..OverloadConfig::default()
+        });
+        let agents: Vec<BulletNode> = (0..NODES)
+            .map(|i| BulletNode::new(i, &tree, config.clone()))
+            .collect();
+        let mut sim = Sim::new(&spec, agents, seed);
+        for node in 1..NODES {
+            sim.set_node_resources(
+                node,
+                NodeResources {
+                    queue_budget: 25,
+                    drain_per_sec: 60.0,
+                    discipline: QueueDiscipline::DropTail,
+                },
+            );
+        }
+        let script = ScenarioScript::new()
+            .at(
+                SimTime::from_secs(3),
+                ScenarioAction::SlowNode {
+                    node: 5,
+                    factor: 0.2,
+                },
+            )
+            .at(
+                SimTime::from_secs(3),
+                ScenarioAction::SlowNode {
+                    node: 11,
+                    factor: 0.2,
+                },
+            )
+            .at(
+                SimTime::from_secs(4),
+                ScenarioAction::JoinStorm {
+                    first: 12,
+                    count: 12,
+                    ramp_secs: 3.0,
+                    seed: seed ^ 0x0B10,
+                },
+            );
+        let mut driver = ScenarioDriver::new(&script);
+        driver.install(&mut sim);
+        driver.run_until(&mut sim, SimTime::from_secs(25));
+        let mid: Vec<u64> = (0..NODES)
+            .map(|n| sim.agent(n).metrics.delivery.useful_packets)
+            .collect();
+        driver.run_until(&mut sim, SimTime::from_secs(40));
+
+        let mut sheds = 0;
+        let mut deferred = 0;
+        let mut admitted = 0;
+        for (node, &before) in mid.iter().enumerate().skip(1) {
+            let m = &sim.agent(node).metrics;
+            assert!(
+                m.delivery.useful_packets > before,
+                "seed {seed}: node {node} made no fresh progress after t=25s \
+                 ({} useful packets, stuck)",
+                m.delivery.useful_packets,
+            );
+            sheds += m.inbox_sheds;
+            deferred += m.joins_deferred;
+            admitted += m.joins_admitted_after_defer;
+        }
+        assert!(
+            sheds > 0,
+            "seed {seed}: the inbox budget never shed — the run exerted no pressure"
+        );
+        assert!(
+            deferred > 0,
+            "seed {seed}: no join was ever deferred — admission control never engaged"
+        );
+        assert!(
+            admitted > 0,
+            "seed {seed}: no deferred join was ever admitted"
+        );
+    }
+}
+
 /// Framing maps sequence numbers to (block, offset) pairs and back without
 /// loss.
 #[test]

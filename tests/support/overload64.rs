@@ -1,0 +1,149 @@
+//! The fixed 64-node overload golden workload.
+//!
+//! The bullet64 star topology with the overload-resilience layer enabled
+//! (bounded prioritized inboxes, join admission control, working-set
+//! memory budget, slow-receiver demotion) on top of the integrity and
+//! recovery profiles, driven through a 16-node join storm at t=5s and six
+//! scripted slow receivers (~10% of the overlay) that understate their
+//! intake fivefold. The overload knobs are tightened well below their
+//! defaults so every mechanism actually fires at this scale: the inbox
+//! budget forces sheds and join deferrals during the storm, and the
+//! working-set budget forces owed-floor evictions. Shared (via `#[path]`
+//! inclusion) by `tests/determinism.rs`, which pins the fingerprint to
+//! golden values, and `examples/overload_probe.rs`, which recaptures
+//! them.
+
+use bullet_suite::bullet::config::OverloadConfig;
+use bullet_suite::bullet::{BulletConfig, BulletNode};
+use bullet_suite::dynamics::{ScenarioAction, ScenarioDriver, ScenarioScript, ScenarioStats};
+use bullet_suite::netsim::{LinkSpec, NetworkSpec, Sim, SimCounters, SimDuration, SimRng, SimTime};
+use bullet_suite::overlay::random_tree;
+
+const NODES: usize = 64;
+const SEED: u64 = 2005;
+const RUN_SECS: u64 = 30;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Aggregated overload-layer activity across the overlay, for the golden
+/// assertions that the layer actually fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadActivity {
+    pub inbox_sheds: u64,
+    pub joins_deferred: u64,
+    pub joins_admitted_after_defer: u64,
+    pub peak_inbox_depth: u64,
+    pub working_set_evictions: u64,
+    pub slow_demotions: u64,
+}
+
+/// Six slow receivers from t=3s, then a 16-node join storm at t=5s ramped
+/// over 5 seconds.
+fn script() -> ScenarioScript {
+    let mut script = ScenarioScript::new();
+    for node in [7, 14, 21, 28, 35, 42] {
+        script = script.at(
+            SimTime::from_secs(3),
+            ScenarioAction::SlowNode { node, factor: 0.2 },
+        );
+    }
+    script.at(
+        SimTime::from_secs(5),
+        ScenarioAction::JoinStorm {
+            first: 48,
+            count: 16,
+            ramp_secs: 5.0,
+            seed: SEED ^ 0x0B10,
+        },
+    )
+}
+
+/// Runs the workload and returns `(counters, delivery digest, total bytes
+/// sent on physical links, scenario stats, overlay-wide overload
+/// activity)`.
+///
+/// The digest extends the adversary64 per-node values with the overload
+/// metrics (inbox sheds, join deferrals and later admissions, peak inbox
+/// depth, working-set evictions, slow demotions), so any behavioural
+/// drift in the overload layer — not just in delivery — moves it.
+pub fn fingerprint() -> (SimCounters, u64, u64, ScenarioStats, OverloadActivity) {
+    let mut spec = NetworkSpec::new(NODES + 1);
+    for i in 0..NODES {
+        spec.add_link(LinkSpec::new(
+            NODES,
+            i,
+            2_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        spec.attach(i);
+    }
+    let mut rng = SimRng::new(SEED);
+    let tree = random_tree(NODES, 0, 4, &mut rng);
+    let mut config = BulletConfig {
+        stream_rate_bps: 500_000.0,
+        stream_start: SimTime::from_secs(2),
+        ransub_epoch: SimDuration::from_secs(2),
+        filter_refresh_interval: SimDuration::from_secs(2),
+        mesh_eval_interval: SimDuration::from_secs(5),
+        ..BulletConfig::default()
+    }
+    .overload();
+    config.overload = Some(OverloadConfig {
+        inbox_budget: 12,
+        working_set_budget: 600,
+        ..OverloadConfig::default()
+    });
+    let agents: Vec<BulletNode> = (0..NODES)
+        .map(|i| BulletNode::new(i, &tree, config.clone()))
+        .collect();
+    let mut sim = Sim::new(&spec, agents, SEED);
+    let mut driver = ScenarioDriver::new(&script());
+    driver.install(&mut sim);
+    driver.run_until(&mut sim, SimTime::from_secs(RUN_SECS));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut activity = OverloadActivity::default();
+    for node in 0..NODES {
+        let m = &sim.agent(node).metrics;
+        let t = sim.traffic(node);
+        for v in [
+            m.delivery.useful_packets,
+            m.delivery.useful_bytes,
+            m.delivery.raw_bytes,
+            m.delivery.duplicate_packets,
+            m.delivery.total_packets,
+            m.orphan_detections,
+            m.reattaches,
+            m.control_retries,
+            m.health_penalties,
+            m.quarantines,
+            m.inbox_sheds,
+            m.joins_deferred,
+            m.joins_admitted_after_defer,
+            m.peak_inbox_depth,
+            m.working_set_evictions,
+            m.slow_demotions,
+            t.data_bytes_in,
+            t.control_bytes_in,
+            t.data_bytes_out,
+            t.control_bytes_out,
+        ] {
+            digest = mix(digest, v);
+        }
+        activity.inbox_sheds += m.inbox_sheds;
+        activity.joins_deferred += m.joins_deferred;
+        activity.joins_admitted_after_defer += m.joins_admitted_after_defer;
+        activity.peak_inbox_depth = activity.peak_inbox_depth.max(m.peak_inbox_depth);
+        activity.working_set_evictions += m.working_set_evictions;
+        activity.slow_demotions += m.slow_demotions;
+    }
+    (
+        sim.counters(),
+        digest,
+        sim.network().total_bytes_sent(),
+        driver.stats,
+        activity,
+    )
+}
